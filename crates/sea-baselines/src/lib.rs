@@ -1,0 +1,46 @@
+//! # sea-baselines — comparator algorithms for constrained matrix problems
+//!
+//! The algorithms the paper evaluates SEA against, plus the RAS method its
+//! introduction positions SEA as superseding:
+//!
+//! * [`rc`] — the **RC equilibration algorithm** of Nagurney, Kim &
+//!   Robinson (1990). For general problems RC nests the splitting the other
+//!   way around from SEA: the dual row/column alternation is *outside* and
+//!   the projection (diagonalization) method runs to convergence *inside*
+//!   each half-step, paying one dense `G` mat-vec plus one serial
+//!   convergence verification per projection iteration (Fig. 6). For
+//!   diagonal problems RC coincides with diagonal SEA (§3.1.3).
+//! * [`bachem_korte`] — the **B-K algorithm** (Bachem & Korte 1978) for
+//!   quadratic optimization over transportation polytopes, realized here as
+//!   Frank–Wolfe with exact transportation-LP subproblems (see DESIGN.md
+//!   substitution S3): era-faithful, exactly feasible iterates, and a
+//!   sublinear rate that makes it one to two orders of magnitude slower
+//!   than SEA on the paper's dense instances — the Table 7 gap.
+//! * [`transport_lp`] — the classical **transportation simplex** (MODI)
+//!   solving B-K's linear subproblems exactly; a reusable substrate in its
+//!   own right.
+//! * [`projections`] — **Dykstra's alternating weighted projections**, an
+//!   additional primal baseline for the fixed-totals class.
+//! * [`ras`] — the **RAS / iterative proportional fitting** method of
+//!   Deming & Stephan (1940): the most widely used practical method, with
+//!   the non-convergence failure modes (Mohr, Crown & Polenske 1987) that
+//!   motivate a robust quadratic approach.
+
+// Numeric-kernel idioms: indexed loops over multiple parallel arrays are
+// clearer than zipped iterator chains in the equilibration math, and
+// `!(w > 0.0)` deliberately treats NaN as invalid (a positive-weight check
+// that `w <= 0.0` would pass NaN through).
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod bachem_korte;
+pub mod projections;
+pub mod ras;
+pub mod rc;
+pub mod transport_lp;
+
+pub use bachem_korte::{solve_diagonal_bk, solve_general_bk, BkCriterion, BkOptions, BkSolution};
+pub use projections::{solve_diagonal_dykstra, DykstraSolution};
+pub use ras::{ras_balance, RasFailure, RasOptions, RasOutcome};
+pub use rc::{solve_general_rc, RcOptions, RcSolution};
+pub use transport_lp::{solve_transport, TransportSolution};

@@ -1,0 +1,321 @@
+//! RAS / iterative proportional fitting (Deming & Stephan 1940).
+//!
+//! The paper's introduction singles RAS out as "the most widely applied
+//! computational method in practice" for fixed-totals constrained matrix
+//! problems — and notes its two limitations that motivate SEA: it commits
+//! to one specific (biproportional / entropy-like) objective, and it can
+//! fail to converge on matrices whose zero structure makes the target
+//! margins unattainable (Mohr, Crown & Polenske 1987). Both behaviours are
+//! implemented here: classic row/column scaling plus an explicit
+//! non-convergence diagnosis.
+
+use sea_core::SeaError;
+use sea_linalg::DenseMatrix;
+use std::time::{Duration, Instant};
+
+/// Options for [`ras_balance`].
+#[derive(Debug, Clone)]
+pub struct RasOptions {
+    /// Relative margin tolerance.
+    pub epsilon: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for RasOptions {
+    fn default() -> Self {
+        Self {
+            epsilon: 1e-8,
+            max_iterations: 100_000,
+        }
+    }
+}
+
+/// Why RAS failed, when it did.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RasFailure {
+    /// A row (`true`) or column (`false`) has a positive target but no
+    /// positive entries to scale — structurally infeasible.
+    EmptySupport {
+        /// True for a row, false for a column.
+        is_row: bool,
+        /// Index of the offending line.
+        index: usize,
+    },
+    /// The iteration cap was reached with the residual stalled — the
+    /// oscillatory non-convergence mode of infeasible RAS problems.
+    Stalled {
+        /// Residual at the last iteration.
+        residual: f64,
+        /// Residual `max_iterations/2` earlier, for comparison.
+        earlier_residual: f64,
+    },
+}
+
+/// Outcome of a RAS balancing run.
+#[derive(Debug, Clone)]
+pub struct RasOutcome {
+    /// The scaled matrix (zeros of the prior preserved exactly).
+    pub x: DenseMatrix,
+    /// Row multipliers `r` (the "R" of RAS).
+    pub r: Vec<f64>,
+    /// Column multipliers `s` (the "S" of RAS).
+    pub s: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the margins were met within tolerance.
+    pub converged: bool,
+    /// Final relative margin residual.
+    pub residual: f64,
+    /// Diagnosis when not converged.
+    pub failure: Option<RasFailure>,
+    /// Wall clock.
+    pub elapsed: Duration,
+}
+
+/// Balance `x0 ≥ 0` to row totals `s0` and column totals `d0` by RAS.
+///
+/// ```
+/// use sea_baselines::ras::{ras_balance, RasOptions};
+/// use sea_linalg::DenseMatrix;
+///
+/// let x0 = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+/// let out = ras_balance(&x0, &[6.0, 14.0], &[8.0, 12.0], &RasOptions::default()).unwrap();
+/// assert!(out.converged);
+/// assert!((out.x.row_sums()[0] - 6.0).abs() < 1e-6);
+/// ```
+///
+/// # Errors
+/// * [`SeaError::Shape`] on dimension mismatches.
+/// * [`SeaError::NonFinite`] for negative or non-finite priors.
+/// * [`SeaError::InconsistentTotals`] when `Σ s⁰ ≠ Σ d⁰`.
+pub fn ras_balance(
+    x0: &DenseMatrix,
+    s0: &[f64],
+    d0: &[f64],
+    opts: &RasOptions,
+) -> Result<RasOutcome, SeaError> {
+    let (m, n) = (x0.rows(), x0.cols());
+    if s0.len() != m {
+        return Err(SeaError::Shape {
+            context: "RAS s0",
+            expected: m,
+            actual: s0.len(),
+        });
+    }
+    if d0.len() != n {
+        return Err(SeaError::Shape {
+            context: "RAS d0",
+            expected: n,
+            actual: d0.len(),
+        });
+    }
+    if x0.as_slice().iter().any(|&v| v < 0.0 || !v.is_finite()) {
+        return Err(SeaError::NonFinite { context: "RAS prior" });
+    }
+    let rs: f64 = s0.iter().sum();
+    let cs: f64 = d0.iter().sum();
+    if (rs - cs).abs() > 1e-9 * rs.abs().max(cs.abs()).max(1.0) {
+        return Err(SeaError::InconsistentTotals {
+            row_total: rs,
+            col_total: cs,
+        });
+    }
+
+    let start = Instant::now();
+    let mut x = x0.clone();
+    let mut r = vec![1.0; m];
+    let mut s = vec![1.0; n];
+
+    // Structural feasibility: positive target on an all-zero line can never
+    // be met by scaling.
+    for (i, &t) in s0.iter().enumerate() {
+        if t > 0.0 && x0.row(i).iter().all(|&v| v == 0.0) {
+            return Ok(RasOutcome {
+                x,
+                r,
+                s,
+                iterations: 0,
+                converged: false,
+                residual: f64::INFINITY,
+                failure: Some(RasFailure::EmptySupport { is_row: true, index: i }),
+                elapsed: start.elapsed(),
+            });
+        }
+    }
+    let col_sums0 = x0.col_sums();
+    for (j, &t) in d0.iter().enumerate() {
+        if t > 0.0 && col_sums0[j] == 0.0 {
+            return Ok(RasOutcome {
+                x,
+                r,
+                s,
+                iterations: 0,
+                converged: false,
+                residual: f64::INFINITY,
+                failure: Some(RasFailure::EmptySupport { is_row: false, index: j }),
+                elapsed: start.elapsed(),
+            });
+        }
+    }
+
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut residual = f64::INFINITY;
+    let mut residual_history: Vec<f64> = Vec::new();
+
+    for t in 1..=opts.max_iterations {
+        iterations = t;
+        // Row scaling.
+        for i in 0..m {
+            let sum: f64 = x.row(i).iter().sum();
+            if sum > 0.0 {
+                let f = s0[i] / sum;
+                r[i] *= f;
+                for v in x.row_mut(i) {
+                    *v *= f;
+                }
+            }
+        }
+        // Column scaling.
+        let mut col_sums = vec![0.0; n];
+        for i in 0..m {
+            for (cs, &v) in col_sums.iter_mut().zip(x.row(i)) {
+                *cs += v;
+            }
+        }
+        let factors: Vec<f64> = (0..n)
+            .map(|j| {
+                if col_sums[j] > 0.0 {
+                    d0[j] / col_sums[j]
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        for (sj, &f) in s.iter_mut().zip(&factors) {
+            *sj *= f;
+        }
+        for i in 0..m {
+            for (v, &f) in x.row_mut(i).iter_mut().zip(&factors) {
+                *v *= f;
+            }
+        }
+        // Residual: rows were scaled before columns, so only rows can be
+        // off now.
+        let row_sums = x.row_sums();
+        let mut rel: f64 = 0.0;
+        for i in 0..m {
+            rel = rel.max((row_sums[i] - s0[i]).abs() / s0[i].abs().max(1e-12));
+        }
+        residual = rel;
+        residual_history.push(rel);
+        if rel <= opts.epsilon {
+            converged = true;
+            break;
+        }
+    }
+
+    let failure = if converged {
+        None
+    } else {
+        let half = residual_history.len() / 2;
+        let earlier = residual_history.get(half).copied().unwrap_or(f64::INFINITY);
+        Some(RasFailure::Stalled {
+            residual,
+            earlier_residual: earlier,
+        })
+    };
+
+    Ok(RasOutcome {
+        x,
+        r,
+        s,
+        iterations,
+        converged,
+        residual,
+        failure,
+        elapsed: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ras_balances_positive_matrix() {
+        let x0 = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let out = ras_balance(&x0, &[6.0, 14.0], &[8.0, 12.0], &RasOptions::default()).unwrap();
+        assert!(out.converged);
+        let rs = out.x.row_sums();
+        let cs = out.x.col_sums();
+        assert!((rs[0] - 6.0).abs() < 1e-6);
+        assert!((cs[0] - 8.0).abs() < 1e-6);
+        // Biproportionality: x = diag(r) x0 diag(s).
+        for i in 0..2 {
+            for j in 0..2 {
+                let expect = out.r[i] * x0.get(i, j) * out.s[j];
+                assert!((out.x.get(i, j) - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn ras_preserves_zeros() {
+        let x0 = DenseMatrix::from_rows(&[vec![0.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let out = ras_balance(&x0, &[3.0, 6.0], &[4.0, 5.0], &RasOptions::default()).unwrap();
+        assert!(out.converged);
+        assert_eq!(out.x.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn ras_detects_empty_support() {
+        let x0 = DenseMatrix::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0]]).unwrap();
+        let out = ras_balance(&x0, &[3.0, 6.0], &[4.0, 5.0], &RasOptions::default()).unwrap();
+        assert!(!out.converged);
+        assert_eq!(
+            out.failure,
+            Some(RasFailure::EmptySupport { is_row: true, index: 0 })
+        );
+    }
+
+    #[test]
+    fn ras_stalls_on_structurally_infeasible_margins() {
+        // Zero diagonal forces x12 = row1 total and x21 = row2 total; the
+        // requested margins contradict that, so RAS oscillates.
+        let x0 = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        // Need col1 sum = 5 but col1 only receives from row 2 whose total
+        // is 1: infeasible.
+        let opts = RasOptions {
+            epsilon: 1e-10,
+            max_iterations: 500,
+        };
+        let out = ras_balance(&x0, &[4.0, 1.0], &[5.0, 0.0], &opts).unwrap();
+        assert!(!out.converged);
+        assert!(matches!(out.failure, Some(RasFailure::Stalled { .. })));
+    }
+
+    #[test]
+    fn ras_validates_inputs() {
+        let x0 = DenseMatrix::filled(2, 2, 1.0).unwrap();
+        assert!(ras_balance(&x0, &[1.0], &[1.0, 1.0], &RasOptions::default()).is_err());
+        assert!(ras_balance(&x0, &[1.0, 1.0], &[1.0, 2.0], &RasOptions::default()).is_err());
+        let neg = DenseMatrix::from_rows(&[vec![-1.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        assert!(ras_balance(&neg, &[0.0, 2.0], &[0.0, 2.0], &RasOptions::default()).is_err());
+    }
+
+    #[test]
+    fn ras_agrees_with_chi_square_sea_on_proportional_growth() {
+        // Uniform doubling: both RAS and chi-square SEA double every entry.
+        let x0 = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        let s0: Vec<f64> = x0.row_sums().iter().map(|v| 2.0 * v).collect();
+        let d0: Vec<f64> = x0.col_sums().iter().map(|v| 2.0 * v).collect();
+        let out = ras_balance(&x0, &s0, &d0, &RasOptions::default()).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((out.x.get(i, j) - 2.0 * x0.get(i, j)).abs() < 1e-6);
+            }
+        }
+    }
+}

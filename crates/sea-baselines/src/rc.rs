@@ -1,0 +1,480 @@
+//! The RC equilibration algorithm (Nagurney, Kim & Robinson 1990).
+//!
+//! RC and SEA apply the same two ingredients — dual row/column splitting
+//! and the Dafermos projection (diagonalization) method — but nested in
+//! opposite orders (paper §5, Figs. 4 vs 6):
+//!
+//! * **SEA**: diagonalize once per outer iteration, then run the full
+//!   diagonal SEA (row *and* column dual ascent) on the frozen subproblem.
+//! * **RC**: alternate a *row equilibration* half-step and a *column
+//!   equilibration* half-step at the outer level; inside each half-step the
+//!   projection method runs **to convergence** on the general objective
+//!   subject to only that side's constraints. Every projection iteration
+//!   pays a dense `G` mat-vec *and a serial convergence verification* —
+//!   the overheads responsible for RC's 3–4× serial disadvantage (Table 7)
+//!   and its lower parallel efficiency (Table 9).
+//!
+//! For diagonal problems the projection step is exact, both nestings
+//! collapse to the same iteration, and RC ≡ diagonal SEA (§3.1.3) — so
+//! this module only implements the general, fixed-totals case the paper
+//! benchmarks (Tables 7 and 9).
+
+use sea_core::equilibrate::{equilibration_pass, PassInputs};
+use sea_core::general::{GeneralProblem, GeneralTotalSpec};
+use sea_core::knapsack::TotalMode;
+use sea_core::parallel::Parallelism;
+use sea_core::trace::{ExecutionTrace, PhaseKind};
+use sea_core::SeaError;
+use sea_linalg::DenseMatrix;
+use std::time::{Duration, Instant};
+
+/// Options for [`solve_general_rc`].
+#[derive(Debug, Clone)]
+pub struct RcOptions {
+    /// Outer stopping tolerance on `maxᵢⱼ |Δxᵢⱼ|` across a full
+    /// row-phase + column-phase outer iteration (the paper's ε′).
+    pub outer_epsilon: f64,
+    /// Cap on outer iterations.
+    pub max_outer: usize,
+    /// Projection-method tolerance inside each half-step.
+    pub projection_epsilon: f64,
+    /// Cap on projection iterations per half-step.
+    pub max_projection_iterations: usize,
+    /// Fan-out strategy for the equilibration passes and mat-vecs.
+    pub parallelism: Parallelism,
+    /// Record a phase trace for the scheduling simulator.
+    pub record_trace: bool,
+}
+
+impl Default for RcOptions {
+    fn default() -> Self {
+        Self {
+            outer_epsilon: 1e-6,
+            max_outer: 200,
+            projection_epsilon: 1e-7,
+            max_projection_iterations: 500,
+            parallelism: Parallelism::Serial,
+            record_trace: false,
+        }
+    }
+}
+
+impl RcOptions {
+    /// Paper-style options at tolerance `eps` (projection one decade
+    /// tighter).
+    pub fn with_epsilon(eps: f64) -> Self {
+        Self {
+            outer_epsilon: eps,
+            projection_epsilon: eps * 0.1,
+            ..Self::default()
+        }
+    }
+}
+
+/// Result of an RC solve.
+#[derive(Debug, Clone)]
+pub struct RcSolution {
+    /// The matrix estimate.
+    pub x: DenseMatrix,
+    /// Row multipliers after the final row phase.
+    pub lambda: Vec<f64>,
+    /// Column multipliers after the final column phase.
+    pub mu: Vec<f64>,
+    /// Outer (row-phase + column-phase) iterations.
+    pub outer_iterations: usize,
+    /// Total projection-method iterations across all half-steps.
+    pub projection_iterations: usize,
+    /// Whether the outer loop converged.
+    pub converged: bool,
+    /// Final outer change.
+    pub outer_residual: f64,
+    /// Primal objective at the solution.
+    pub objective: f64,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// Phase trace (present iff requested).
+    pub trace: Option<ExecutionTrace>,
+}
+
+struct HalfStepBuffers {
+    dev: Vec<f64>,
+    g_dev: Vec<f64>,
+    q: DenseMatrix,
+    y: DenseMatrix,
+    totals_tmp: Vec<f64>,
+    costs: Vec<f64>,
+}
+
+/// One half-step: projection method to convergence on the general objective
+/// subject to only this orientation's constraints.
+///
+/// `x` enters/leaves in *row orientation of this half-step* (the column
+/// phase passes transposed data). `flatten` maps this orientation's flat
+/// index to the canonical row-major index of `G`.
+#[allow(clippy::too_many_arguments)]
+fn half_step(
+    p: &GeneralProblem,
+    x: &mut DenseMatrix,
+    x0: &DenseMatrix,
+    gamma: &DenseMatrix,
+    g_diag: &[f64],
+    totals: &[f64],
+    shift: &[f64],
+    lambda_out: &mut [f64],
+    transposed: bool,
+    opts: &RcOptions,
+    buf: &mut HalfStepBuffers,
+    trace: &mut Option<ExecutionTrace>,
+) -> Result<usize, SeaError> {
+    let rows = x.rows();
+    let cols = x.cols();
+    let mn = rows * cols;
+    let parallel = opts.parallelism.is_parallel();
+    let mut projection_iterations = 0;
+
+    for _ in 0..opts.max_projection_iterations {
+        projection_iterations += 1;
+
+        // --- Projection step: q = y − G(y − x0)/diag(G), in G's canonical
+        // (row-major, untransposed) index space.
+        let t0 = Instant::now();
+        if transposed {
+            // Map this orientation (n×m) back to canonical (m×n) flat order.
+            for j in 0..rows {
+                let xr = x.row(j);
+                let x0r = x0.row(j);
+                for i in 0..cols {
+                    buf.dev[i * rows + j] = xr[i] - x0r[i];
+                }
+            }
+        } else {
+            for (d, (a, b)) in buf
+                .dev
+                .iter_mut()
+                .zip(x.as_slice().iter().zip(x0.as_slice()))
+            {
+                *d = a - b;
+            }
+        }
+        if parallel {
+            p.g().matvec_parallel(&buf.dev, &mut buf.g_dev)?;
+        } else {
+            p.g().matvec(&buf.dev, &mut buf.g_dev)?;
+        }
+        if transposed {
+            for j in 0..rows {
+                let xr = x.row(j);
+                let qr = buf.q.row_mut(j);
+                for i in 0..cols {
+                    let k = i * rows + j;
+                    qr[i] = xr[i] - buf.g_dev[k] / g_diag[k];
+                }
+            }
+        } else {
+            let qs = buf.q.as_mut_slice();
+            for k in 0..mn {
+                qs[k] = x.as_slice()[k] - buf.g_dev[k] / g_diag[k];
+            }
+        }
+        let proj_secs = t0.elapsed().as_secs_f64();
+        if let Some(tr) = trace.as_mut() {
+            // Coarse-chunked like a real parallel mat-vec (see general.rs).
+            let chunks = mn.min(256);
+            tr.push(
+                PhaseKind::Projection,
+                vec![proj_secs / chunks as f64; chunks],
+            );
+        }
+
+        // --- Equilibration pass on this orientation only.
+        let inputs = PassInputs {
+            prior: &buf.q,
+            gamma,
+            support: None,
+            shift,
+            side: if transposed { "column" } else { "row" },
+        };
+        let costs = opts.record_trace.then_some(&mut buf.costs);
+        equilibration_pass(
+            &inputs,
+            &|i| TotalMode::Fixed { total: totals[i] },
+            lambda_out,
+            &mut buf.totals_tmp,
+            &mut buf.y,
+            opts.parallelism,
+            costs,
+        )?;
+        if let Some(tr) = trace.as_mut() {
+            tr.push(
+                if transposed {
+                    PhaseKind::ColumnEquilibration
+                } else {
+                    PhaseKind::RowEquilibration
+                },
+                buf.costs.clone(),
+            );
+        }
+
+        // --- Serial projection-convergence verification (RC's extra
+        // serial phase).
+        let t0 = Instant::now();
+        let delta = buf.y.max_abs_diff(x);
+        std::mem::swap(x, &mut buf.y);
+        let check_secs = t0.elapsed().as_secs_f64();
+        if let Some(tr) = trace.as_mut() {
+            tr.push(PhaseKind::ConvergenceCheck, vec![check_secs]);
+        }
+        if delta <= opts.projection_epsilon {
+            break;
+        }
+    }
+    Ok(projection_iterations)
+}
+
+/// Solve a general **fixed-totals** constrained matrix problem with the RC
+/// algorithm.
+///
+/// # Errors
+/// * [`SeaError::Shape`] if the problem's totals are not
+///   [`GeneralTotalSpec::Fixed`] (RC, like B-K, was designed for the fixed
+///   class — §5.1.1).
+/// * Propagated equilibration failures.
+pub fn solve_general_rc(
+    p: &GeneralProblem,
+    opts: &RcOptions,
+) -> Result<RcSolution, SeaError> {
+    let (s0, d0) = match p.totals() {
+        GeneralTotalSpec::Fixed { s0, d0 } => (s0.clone(), d0.clone()),
+        _ => {
+            return Err(SeaError::Shape {
+                context: "RC requires fixed totals",
+                expected: 0,
+                actual: 1,
+            })
+        }
+    };
+    let start = Instant::now();
+    let (m, n) = (p.m(), p.n());
+    let mn = m * n;
+    let g_diag = p.g().diagonal();
+    let gamma = DenseMatrix::from_vec(m, n, g_diag.iter().map(|&v| 0.5 * v).collect())?;
+    let gamma_t = gamma.transposed();
+    let x0 = p.x0().clone();
+    let x0_t = x0.transposed();
+    // diag(G) in transposed orientation lookup happens via index mapping in
+    // half_step, so only the canonical vector is needed.
+
+    let (mut x, _, _) = p.initial_feasible();
+    let mut x_t = x.transposed();
+    let mut lambda = vec![0.0; m];
+    let mut mu = vec![0.0; n];
+
+    let mut trace = opts.record_trace.then(ExecutionTrace::new);
+    let mut buf_row = HalfStepBuffers {
+        dev: vec![0.0; mn],
+        g_dev: vec![0.0; mn],
+        q: DenseMatrix::zeros(m, n)?,
+        y: DenseMatrix::zeros(m, n)?,
+        totals_tmp: vec![0.0; m],
+        costs: Vec::new(),
+    };
+    let mut buf_col = HalfStepBuffers {
+        dev: vec![0.0; mn],
+        g_dev: vec![0.0; mn],
+        q: DenseMatrix::zeros(n, m)?,
+        y: DenseMatrix::zeros(n, m)?,
+        totals_tmp: vec![0.0; n],
+        costs: Vec::new(),
+    };
+
+    let mut outer_iterations = 0;
+    let mut projection_iterations = 0;
+    let mut converged = false;
+    let mut outer_residual = f64::INFINITY;
+
+    opts.parallelism.run(|| -> Result<(), SeaError> {
+        let mut x_prev_outer = x.clone();
+        for t in 1..=opts.max_outer {
+            outer_iterations = t;
+
+            // Row phase: general objective − Σⱼ μⱼ(Σᵢ xᵢⱼ − d⁰ⱼ), row
+            // constraints only, projection to convergence.
+            projection_iterations += half_step(
+                p,
+                &mut x,
+                &x0,
+                &gamma,
+                &g_diag,
+                &s0,
+                &mu,
+                &mut lambda,
+                false,
+                opts,
+                &mut buf_row,
+                &mut trace,
+            )?;
+
+            // Column phase on the transposed orientation.
+            // Refresh x_t from x.
+            x_t = x.transposed();
+            projection_iterations += half_step(
+                p,
+                &mut x_t,
+                &x0_t,
+                &gamma_t,
+                &g_diag,
+                &d0,
+                &lambda,
+                &mut mu,
+                true,
+                opts,
+                &mut buf_col,
+                &mut trace,
+            )?;
+            x = x_t.transposed();
+
+            // Outer convergence check (serial).
+            let t0 = Instant::now();
+            let delta = x.max_abs_diff(&x_prev_outer);
+            x_prev_outer.as_mut_slice().copy_from_slice(x.as_slice());
+            let secs = t0.elapsed().as_secs_f64();
+            if let Some(tr) = trace.as_mut() {
+                tr.push(PhaseKind::ConvergenceCheck, vec![secs]);
+            }
+            outer_residual = delta;
+            if delta <= opts.outer_epsilon {
+                converged = true;
+                break;
+            }
+        }
+        Ok(())
+    })?;
+
+    let objective = p.objective(&x, &s0, &d0);
+    Ok(RcSolution {
+        x,
+        lambda,
+        mu,
+        outer_iterations,
+        projection_iterations,
+        converged,
+        outer_residual,
+        objective,
+        elapsed: start.elapsed(),
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sea_core::general::{solve_general, GeneralSeaOptions};
+    use sea_linalg::SymMatrix;
+
+    fn dd_matrix(order: usize, diag: f64, off: f64) -> SymMatrix {
+        let mut mtx = DenseMatrix::zeros(order, order).unwrap();
+        for i in 0..order {
+            for j in 0..order {
+                mtx.set(i, j, if i == j { diag } else { -off });
+            }
+        }
+        SymMatrix::from_dense(mtx, 1e-12).unwrap()
+    }
+
+    fn fixed_problem(off: f64) -> GeneralProblem {
+        let x0 = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        GeneralProblem::new(
+            x0,
+            dd_matrix(4, 10.0, off),
+            GeneralTotalSpec::Fixed {
+                s0: vec![4.0, 6.0],
+                d0: vec![5.0, 5.0],
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rc_rejects_elastic_problems() {
+        let x0 = DenseMatrix::filled(2, 2, 1.0).unwrap();
+        let p = GeneralProblem::new(
+            x0,
+            dd_matrix(4, 10.0, 0.5),
+            GeneralTotalSpec::Elastic {
+                a: dd_matrix(2, 2.0, 0.1),
+                s0: vec![2.0, 2.0],
+                b: dd_matrix(2, 2.0, 0.1),
+                d0: vec![2.0, 2.0],
+            },
+        )
+        .unwrap();
+        assert!(solve_general_rc(&p, &RcOptions::default()).is_err());
+    }
+
+    #[test]
+    fn rc_converges_and_is_feasible() {
+        let p = fixed_problem(1.0);
+        let sol = solve_general_rc(&p, &RcOptions::with_epsilon(1e-9)).unwrap();
+        assert!(sol.converged);
+        let rs = sol.x.row_sums();
+        let cs = sol.x.col_sums();
+        assert!((rs[0] - 4.0).abs() < 1e-6 && (rs[1] - 6.0).abs() < 1e-6);
+        assert!((cs[0] - 5.0).abs() < 1e-6 && (cs[1] - 5.0).abs() < 1e-6);
+        assert!(sol.x.as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn rc_matches_sea_optimum() {
+        let p = fixed_problem(1.5);
+        let rc = solve_general_rc(&p, &RcOptions::with_epsilon(1e-10)).unwrap();
+        let sea = solve_general(&p, &GeneralSeaOptions::with_epsilon(1e-10)).unwrap();
+        assert!(rc.converged && sea.converged);
+        assert!(
+            rc.x.max_abs_diff(&sea.x) < 1e-5,
+            "RC and SEA disagree by {}",
+            rc.x.max_abs_diff(&sea.x)
+        );
+        assert!((rc.objective - sea.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rc_does_more_projection_work_than_sea() {
+        // The structural claim behind Table 7: RC pays projection
+        // iterations inside *each* half step.
+        let p = fixed_problem(1.0);
+        let mut rc_opts = RcOptions::with_epsilon(1e-8);
+        rc_opts.record_trace = true;
+        let rc = solve_general_rc(&p, &rc_opts).unwrap();
+        let mut sea_opts = GeneralSeaOptions::with_epsilon(1e-8);
+        sea_opts.record_trace = true;
+        let sea = solve_general(&p, &sea_opts).unwrap();
+        let rc_mv = rc.trace.as_ref().unwrap().count(PhaseKind::Projection);
+        let sea_mv = sea.trace.as_ref().unwrap().count(PhaseKind::Projection);
+        assert!(
+            rc_mv > sea_mv,
+            "RC should need more G mat-vecs: rc={rc_mv} sea={sea_mv}"
+        );
+        // And more serial convergence checks.
+        let rc_checks = rc
+            .trace
+            .as_ref()
+            .unwrap()
+            .count(PhaseKind::ConvergenceCheck);
+        let sea_checks = sea
+            .trace
+            .as_ref()
+            .unwrap()
+            .count(PhaseKind::ConvergenceCheck);
+        assert!(rc_checks > sea_checks);
+    }
+
+    #[test]
+    fn rc_parallel_matches_serial() {
+        let p = fixed_problem(1.0);
+        let serial = solve_general_rc(&p, &RcOptions::with_epsilon(1e-9)).unwrap();
+        let mut opts = RcOptions::with_epsilon(1e-9);
+        opts.parallelism = Parallelism::RayonThreads(2);
+        let par = solve_general_rc(&p, &opts).unwrap();
+        assert!(serial.x.max_abs_diff(&par.x) < 1e-9);
+    }
+}

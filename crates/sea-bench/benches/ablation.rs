@@ -1,0 +1,106 @@
+//! Criterion ablations: serial vs rayon equilibration passes, structural
+//! zeros vs free zeros on sparse priors, and convergence-check cadence.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sea_core::{
+    solve_diagonal, DiagonalProblem, Parallelism, SeaOptions, TotalSpec, ZeroPolicy,
+};
+use sea_data::table1_instance;
+use sea_linalg::DenseMatrix;
+use sea_spatial::random_spe;
+use std::hint::black_box;
+
+fn sparse_problem(n: usize, density: f64, policy: ZeroPolicy) -> DiagonalProblem {
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let mut data = vec![0.0; n * n];
+    for v in &mut data {
+        if rng.random_range(0.0..1.0) < density {
+            *v = rng.random_range(0.1..100.0);
+        }
+    }
+    // Ensure support.
+    for i in 0..n {
+        if data[i * n..(i + 1) * n].iter().all(|&v| v == 0.0) {
+            data[i * n + (i + 1) % n] = 1.0;
+        }
+    }
+    for j in 0..n {
+        if (0..n).all(|i| data[i * n + j] == 0.0) {
+            data[((j + 1) % n) * n + j] = 1.0;
+        }
+    }
+    let x0 = DenseMatrix::from_vec(n, n, data).unwrap();
+    let gamma = DenseMatrix::from_vec(
+        n,
+        n,
+        x0.as_slice()
+            .iter()
+            .map(|&v| if v > 0.0 { 1.0 / v } else { 1.0 })
+            .collect(),
+    )
+    .unwrap();
+    let s0: Vec<f64> = x0.row_sums().iter().map(|v| 1.2 * v).collect();
+    let d0: Vec<f64> = x0.col_sums().iter().map(|v| 1.2 * v).collect();
+    DiagonalProblem::with_zero_policy(x0, gamma, TotalSpec::Fixed { s0, d0 }, policy).unwrap()
+}
+
+fn bench_parallelism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallelism_mode");
+    group.sample_size(10);
+    let p = table1_instance(300, 7);
+    for (name, par) in [
+        ("serial", Parallelism::Serial),
+        ("rayon", Parallelism::Rayon),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut o = SeaOptions::with_epsilon(0.01);
+                o.parallelism = par;
+                solve_diagonal(black_box(&p), &o).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_zero_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zero_policy_sparse16pct");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("structural", ZeroPolicy::Structural),
+        ("free", ZeroPolicy::Free),
+    ] {
+        let p = sparse_problem(300, 0.16, policy);
+        group.bench_with_input(BenchmarkId::new(name, 300), &p, |b, p| {
+            b.iter(|| solve_diagonal(black_box(p), &SeaOptions::with_epsilon(0.01)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_check_cadence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("check_cadence_sp100");
+    group.sample_size(10);
+    let spe = random_spe(100, 100, 3);
+    let p = spe.to_constrained_matrix().unwrap();
+    for cadence in [1usize, 2, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(cadence), &cadence, |b, &k| {
+            b.iter(|| {
+                let mut o = SeaOptions::with_epsilon(0.01);
+                o.check_every = k;
+                solve_diagonal(black_box(&p), &o).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parallelism,
+    bench_zero_policy,
+    bench_check_cadence
+);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Criterion microbenchmarks for the hot kernels: exact equilibration,
+//! the sorting routines it relies on, and the dense mat-vec of the general
+//! solvers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sea_core::knapsack::{exact_equilibration, EquilibrationScratch, TotalMode};
+use sea_linalg::{sort, DenseMatrix};
+use std::hint::black_box;
+
+fn bench_exact_equilibration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_equilibration");
+    group.sample_size(20);
+    for &n in &[100usize, 1000, 5000] {
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let q: Vec<f64> = (0..n).map(|_| rng.random_range(0.1..10_000.0)).collect();
+        let gamma: Vec<f64> = q.iter().map(|&v| 1.0 / v).collect();
+        let shift: Vec<f64> = (0..n).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let total: f64 = q.iter().sum::<f64>() * 1.7;
+        let mut x = vec![0.0; n];
+        let mut scratch = EquilibrationScratch::new();
+        group.bench_with_input(BenchmarkId::new("fixed", n), &n, |b, _| {
+            b.iter(|| {
+                exact_equilibration(
+                    black_box(&q),
+                    &gamma,
+                    &shift,
+                    TotalMode::Fixed { total },
+                    &mut x,
+                    &mut scratch,
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("elastic", n), &n, |b, _| {
+            b.iter(|| {
+                exact_equilibration(
+                    black_box(&q),
+                    &gamma,
+                    &shift,
+                    TotalMode::Elastic {
+                        alpha: 0.5,
+                        prior: total,
+                        cross: 0.0,
+                    },
+                    &mut x,
+                    &mut scratch,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sorts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("argsort");
+    group.sample_size(20);
+    for &n in &[60usize, 120, 1000] {
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let key: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..1.0)).collect();
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        group.bench_with_input(BenchmarkId::new("heapsort", n), &n, |b, _| {
+            b.iter(|| {
+                sort::identity_permutation(&mut idx);
+                sort::heap_argsort(black_box(&mut idx), &key);
+            })
+        });
+        if n <= 120 {
+            group.bench_with_input(BenchmarkId::new("insertion", n), &n, |b, _| {
+                b.iter(|| {
+                    sort::identity_permutation(&mut idx);
+                    sort::insertion_argsort(black_box(&mut idx), &key);
+                })
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("dispatched", n), &n, |b, _| {
+            b.iter(|| {
+                sort::identity_permutation(&mut idx);
+                sort::argsort(black_box(&mut idx), &key);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_matvec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_matvec");
+    group.sample_size(10);
+    for &n in &[400usize, 1600] {
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let data: Vec<f64> = (0..n * n).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let m = DenseMatrix::from_vec(n, n, data).unwrap();
+        let x: Vec<f64> = (0..n).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let mut y = vec![0.0; n];
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |b, _| {
+            b.iter(|| m.matvec(black_box(&x), &mut y).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &n, |b, _| {
+            b.iter(|| m.matvec_parallel(black_box(&x), &mut y).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_equilibration, bench_sorts, bench_matvec);
+criterion_main!(benches);

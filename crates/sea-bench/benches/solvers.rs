@@ -1,0 +1,65 @@
+//! Criterion benchmarks for full solves: diagonal SEA across problem
+//! classes, and SEA vs RC vs B-K on a small general instance (the Table 7
+//! microcosm).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sea_baselines::bachem_korte::{solve_general_bk, BkOptions};
+use sea_baselines::rc::{solve_general_rc, RcOptions};
+use sea_core::{solve_diagonal, solve_general, GeneralSeaOptions, SeaOptions};
+use sea_data::sam::{sam_problem, SamInstance};
+use sea_data::{table1_instance, table7_instance};
+use sea_spatial::random_spe;
+use std::hint::black_box;
+
+fn bench_diagonal_sea(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diagonal_sea");
+    group.sample_size(10);
+    for &n in &[100usize, 300] {
+        let p = table1_instance(n, 1990);
+        group.bench_with_input(BenchmarkId::new("fixed", n), &n, |b, _| {
+            b.iter(|| solve_diagonal(black_box(&p), &SeaOptions::with_epsilon(0.01)).unwrap())
+        });
+    }
+    {
+        let p = sam_problem(SamInstance::Usda82e, 1990);
+        group.bench_function("sam_usda82e", |b| {
+            b.iter(|| solve_diagonal(black_box(&p), &SeaOptions::with_epsilon(0.001)).unwrap())
+        });
+    }
+    {
+        let spe = random_spe(100, 100, 1990);
+        let p = spe.to_constrained_matrix().unwrap();
+        group.bench_function("elastic_sp100", |b| {
+            b.iter(|| {
+                let mut o = SeaOptions::with_epsilon(0.01);
+                o.check_every = 2;
+                solve_diagonal(black_box(&p), &o).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_general_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("general_solvers");
+    group.sample_size(10);
+    let p = table7_instance(15, 1990); // G is 225 x 225
+    group.bench_function("sea", |b| {
+        b.iter(|| solve_general(black_box(&p), &GeneralSeaOptions::with_epsilon(0.001)).unwrap())
+    });
+    group.bench_function("rc", |b| {
+        b.iter(|| solve_general_rc(black_box(&p), &RcOptions::with_epsilon(0.001)).unwrap())
+    });
+    // B-K is orders of magnitude slower (the Table 7 point); bench it on a
+    // smaller instance at a looser tolerance so `cargo bench` stays usable.
+    let p_small = table7_instance(8, 1990);
+    group.bench_function("bachem_korte", |b| {
+        b.iter(|| {
+            solve_general_bk(black_box(&p_small), &BkOptions::with_epsilon(0.01)).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_diagonal_sea, bench_general_solvers);
+criterion_main!(benches);

@@ -1,0 +1,147 @@
+//! Empirical validation of the paper's §3.1 theory (extension study).
+//!
+//! Three claims are checked on real solver runs:
+//!
+//! 1. **Monotone dual ascent** (eq. 71): the block-coordinate dual values
+//!    never decrease.
+//! 2. **Geometric rate** (eq. 76): `δᵗ⁺¹ ≤ δᵗ(1 − A/4M̄)` — the distance to
+//!    the optimal dual value contracts by a roughly constant factor, so the
+//!    log-gap falls linearly.
+//! 3. **Additive iteration growth** (after eq. 77): tightening ε̄ tenfold
+//!    adds a roughly constant number of iterations, rather than
+//!    multiplying them.
+//!
+//! Plus the a-priori certificates: measured iterations never exceed the
+//! worst-case bound of eq. 64.
+
+use sea_bench::{results_dir, Scale};
+use sea_core::{solve_diagonal, theory, ConvergenceCriterion, SeaOptions};
+use sea_spatial::random_spe;
+use sea_report::{ExperimentRecord, Table};
+
+fn main() {
+    let (scale, seed) = Scale::from_args();
+    let size = match scale {
+        Scale::Small => 30,
+        Scale::Medium => 80,
+        Scale::Paper => 150,
+    };
+    // An elastic (spatial-price) instance: the slow-converging class where
+    // the dual dynamics are visible.
+    let spe = random_spe(size, size, seed);
+    let cmp = spe.to_constrained_matrix().expect("valid instance");
+
+    let mut record = ExperimentRecord::new(
+        "theory_check",
+        "Theory validation: dual ascent, geometric rate, additive iterations (Section 3.1)",
+    );
+
+    // ---- 1 & 2: dual ascent + geometric rate from one instrumented run. --
+    let mut opts = SeaOptions::with_epsilon(1e-9);
+    opts.criterion = Some(ConvergenceCriterion::ConstraintNorm);
+    opts.record_history = true;
+    let sol = solve_diagonal(&cmp, &opts).expect("solvable");
+    assert!(sol.stats.converged);
+    let history = sol.stats.history.as_ref().expect("history requested");
+    let zeta_star = history.last().expect("nonempty").dual_value;
+
+    let mut ascent_ok = true;
+    for w in history.windows(2) {
+        if w[1].dual_value < w[0].dual_value - 1e-9 * w[0].dual_value.abs().max(1.0) {
+            ascent_ok = false;
+        }
+    }
+    // Fit the contraction factor over the middle of the run (endpoints are
+    // dominated by the active-set changes / floating-point floor).
+    let gaps: Vec<(usize, f64)> = history
+        .iter()
+        .filter(|s| zeta_star - s.dual_value > 1e-12 * zeta_star.abs().max(1.0))
+        .map(|s| (s.iteration, zeta_star - s.dual_value))
+        .collect();
+    let mut t = Table::new(
+        "Dual gap decay (sampled)",
+        &["iteration", "dual gap", "per-iteration contraction"],
+    );
+    let stride = (gaps.len() / 8).max(1);
+    let mut factors = Vec::new();
+    for k in (stride..gaps.len()).step_by(stride) {
+        let (i0, g0) = gaps[k - stride];
+        let (i1, g1) = gaps[k];
+        let rate = (g1 / g0).powf(1.0 / (i1 - i0) as f64);
+        factors.push(rate);
+        t.push_row(vec![
+            i1.to_string(),
+            format!("{g1:.3e}"),
+            format!("{rate:.4}"),
+        ]);
+    }
+    record.push_table(t);
+    record.push_note(format!(
+        "monotone dual ascent: {} (eq. 71)",
+        if ascent_ok { "HOLDS" } else { "VIOLATED" }
+    ));
+    let geo = factors.iter().all(|&f| f < 1.0);
+    record.push_note(format!(
+        "geometric contraction (all sampled factors < 1): {} (eq. 76)",
+        if geo { "HOLDS" } else { "VIOLATED" }
+    ));
+    assert!(ascent_ok, "dual ascent must hold");
+    assert!(geo, "geometric contraction must hold");
+
+    // ---- 3: additive iterations in log(1/epsilon). -----------------------
+    let mut t = Table::new(
+        "Iterations vs tolerance (MaxAbsChange criterion)",
+        &["epsilon", "iterations", "increment vs previous"],
+    );
+    let mut prev: Option<usize> = None;
+    let mut increments = Vec::new();
+    for k in 2..=7 {
+        let eps = 10f64.powi(-k);
+        let mut o = SeaOptions::with_epsilon(eps);
+        o.criterion = Some(ConvergenceCriterion::MaxAbsChange);
+        let s = solve_diagonal(&cmp, &o).expect("solvable");
+        assert!(s.stats.converged, "eps={eps} did not converge");
+        let inc = prev.map(|p| s.stats.iterations as i64 - p as i64);
+        if let Some(i) = inc {
+            increments.push(i);
+        }
+        t.push_row(vec![
+            format!("1e-{k}"),
+            s.stats.iterations.to_string(),
+            inc.map(|i| i.to_string()).unwrap_or_else(|| "-".into()),
+        ]);
+        prev = Some(s.stats.iterations);
+    }
+    record.push_table(t);
+    let max_inc = increments.iter().cloned().max().unwrap_or(0);
+    let min_inc = increments.iter().cloned().min().unwrap_or(0);
+    record.push_note(format!(
+        "each 10x tightening adds between {min_inc} and {max_inc} iterations — \
+         additive, not multiplicative, as the paper's eq. 77 discussion predicts"
+    ));
+
+    // ---- eq. 64 worst-case bound. ----------------------------------------
+    let eps = 1e-3;
+    let mut o = SeaOptions::with_epsilon(eps);
+    o.criterion = Some(ConvergenceCriterion::ConstraintNorm);
+    let s = solve_diagonal(&cmp, &o).expect("solvable");
+    let bound = theory::iteration_bound(&cmp, eps);
+    record.push_note(format!(
+        "measured iterations {} <= worst-case bound {:.3e} at eps = {eps} \
+         (eq. 64; the bound is loose by design): {}",
+        s.stats.iterations,
+        bound,
+        if (s.stats.iterations as f64) <= bound {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+    ));
+    assert!((s.stats.iterations as f64) <= bound);
+
+    record.push_note(format!("scale = {scale:?} (SP{size} x {size}), seed = {seed}"));
+    record.print();
+    if let Ok(path) = record.save_markdown(&results_dir()) {
+        eprintln!("saved {}", path.display());
+    }
+}

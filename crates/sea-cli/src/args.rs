@@ -1,0 +1,289 @@
+//! Hand-rolled argument parsing (kept dependency-free).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Options shared by every subcommand.
+#[derive(Debug, Clone)]
+pub struct CommonOpts {
+    /// Prior matrix file.
+    pub matrix: PathBuf,
+    /// Output file (`None` = stdout).
+    pub out: Option<PathBuf>,
+    /// Weight scheme name: `unit`, `chi2`, or `sqrt`.
+    pub weights: String,
+    /// Stopping tolerance.
+    pub epsilon: f64,
+    /// Treat zeros of the prior as structural.
+    pub structural_zeros: bool,
+}
+
+/// Parsed subcommand.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// Fixed row/column totals.
+    Fixed {
+        /// Common options.
+        common: CommonOpts,
+        /// Row totals file.
+        row_totals: PathBuf,
+        /// Column totals file.
+        col_totals: PathBuf,
+    },
+    /// Elastic (estimated) totals.
+    Elastic {
+        /// Common options.
+        common: CommonOpts,
+        /// Prior row totals file.
+        row_totals: PathBuf,
+        /// Prior column totals file.
+        col_totals: PathBuf,
+        /// Weight on the total deviations.
+        total_weight: f64,
+    },
+    /// SAM balancing (row total i = column total i, estimated).
+    Sam {
+        /// Common options.
+        common: CommonOpts,
+        /// Optional prior totals file (default: average of the prior's
+        /// row/column sums).
+        totals: Option<PathBuf>,
+    },
+    /// RAS / iterative proportional fitting.
+    Ras {
+        /// Common options (weights ignored).
+        common: CommonOpts,
+        /// Row totals file.
+        row_totals: PathBuf,
+        /// Column totals file.
+        col_totals: PathBuf,
+    },
+    /// Print matrix statistics.
+    Info {
+        /// Matrix file.
+        matrix: PathBuf,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Parse errors are plain strings shown to the user.
+pub type ParseError = String;
+
+fn take_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>), ParseError> {
+    let mut flags = HashMap::new();
+    let mut positional = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            if name == "structural-zeros" || name == "zeros" && it.peek().is_none() {
+                flags.insert("structural-zeros".to_string(), "true".to_string());
+                continue;
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{name} requires a value"))?;
+            flags.insert(name.to_string(), value.clone());
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok((flags, positional))
+}
+
+fn common_from(flags: &mut HashMap<String, String>) -> Result<CommonOpts, ParseError> {
+    let matrix = flags
+        .remove("matrix")
+        .ok_or("missing required --matrix <file>")?;
+    let out = flags.remove("out").map(PathBuf::from);
+    let weights = flags.remove("weights").unwrap_or_else(|| "chi2".to_string());
+    if !["unit", "chi2", "sqrt"].contains(&weights.as_str()) {
+        return Err(format!(
+            "unknown --weights {weights:?} (expected unit, chi2, or sqrt)"
+        ));
+    }
+    let epsilon: f64 = match flags.remove("epsilon") {
+        None => 1e-8,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--epsilon {v:?} is not a number"))?,
+    };
+    let structural_zeros = match flags.remove("zeros").as_deref() {
+        None => flags.remove("structural-zeros").is_some(),
+        Some("structural") => true,
+        Some("free") => false,
+        Some(other) => return Err(format!("unknown --zeros {other:?} (structural|free)")),
+    };
+    Ok(CommonOpts {
+        matrix: PathBuf::from(matrix),
+        out,
+        weights,
+        epsilon,
+        structural_zeros,
+    })
+}
+
+fn required_path(
+    flags: &mut HashMap<String, String>,
+    name: &str,
+) -> Result<PathBuf, ParseError> {
+    flags
+        .remove(name)
+        .map(PathBuf::from)
+        .ok_or_else(|| format!("missing required --{name} <file>"))
+}
+
+/// Parse a full argv (excluding the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
+    let Some(sub) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let rest = &args[1..];
+    let (mut flags, positional) = take_flags(rest)?;
+    if !positional.is_empty() {
+        return Err(format!("unexpected argument {:?}", positional[0]));
+    }
+    let cmd = match sub.as_str() {
+        "fixed" => {
+            let row_totals = required_path(&mut flags, "row-totals")?;
+            let col_totals = required_path(&mut flags, "col-totals")?;
+            Command::Fixed {
+                common: common_from(&mut flags)?,
+                row_totals,
+                col_totals,
+            }
+        }
+        "elastic" => {
+            let row_totals = required_path(&mut flags, "row-totals")?;
+            let col_totals = required_path(&mut flags, "col-totals")?;
+            let total_weight: f64 = match flags.remove("total-weight") {
+                None => 1.0,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| format!("--total-weight {v:?} is not a number"))?,
+            };
+            if !(total_weight > 0.0) {
+                return Err("--total-weight must be strictly positive".to_string());
+            }
+            Command::Elastic {
+                common: common_from(&mut flags)?,
+                row_totals,
+                col_totals,
+                total_weight,
+            }
+        }
+        "sam" => {
+            let totals = flags.remove("totals").map(PathBuf::from);
+            Command::Sam {
+                common: common_from(&mut flags)?,
+                totals,
+            }
+        }
+        "ras" => {
+            let row_totals = required_path(&mut flags, "row-totals")?;
+            let col_totals = required_path(&mut flags, "col-totals")?;
+            Command::Ras {
+                common: common_from(&mut flags)?,
+                row_totals,
+                col_totals,
+            }
+        }
+        "info" => {
+            let matrix = required_path(&mut flags, "matrix")?;
+            Command::Info { matrix }
+        }
+        "help" | "--help" | "-h" => Command::Help,
+        other => return Err(format!("unknown subcommand {other:?}")),
+    };
+    if let Some(extra) = flags.keys().next() {
+        return Err(format!("unknown flag --{extra}"));
+    }
+    Ok(cmd)
+}
+
+/// The usage text.
+pub const USAGE: &str = "\
+sea-solve — balance matrices with the splitting equilibration algorithm
+
+USAGE:
+  sea-solve fixed   --matrix X0.csv --row-totals s.csv --col-totals d.csv [opts]
+  sea-solve elastic --matrix X0.csv --row-totals s.csv --col-totals d.csv
+                    [--total-weight W] [opts]
+  sea-solve sam     --matrix X0.csv [--totals s.csv] [opts]
+  sea-solve ras     --matrix X0.csv --row-totals s.csv --col-totals d.csv [--out F]
+  sea-solve info    --matrix X0.csv
+
+OPTIONS (solver subcommands):
+  --weights unit|chi2|sqrt   deviation weights (default chi2 = 1/x0)
+  --epsilon <f64>            stopping tolerance (default 1e-8)
+  --zeros structural|free    zero handling (default free)
+  --out <file>               write the estimate as CSV (default stdout)
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_fixed_command() {
+        let cmd = parse_args(&argv(
+            "fixed --matrix m.csv --row-totals s.csv --col-totals d.csv --weights unit --epsilon 1e-6 --zeros structural --out x.csv",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Fixed {
+                common,
+                row_totals,
+                col_totals,
+            } => {
+                assert_eq!(common.matrix, PathBuf::from("m.csv"));
+                assert_eq!(common.weights, "unit");
+                assert_eq!(common.epsilon, 1e-6);
+                assert!(common.structural_zeros);
+                assert_eq!(common.out, Some(PathBuf::from("x.csv")));
+                assert_eq!(row_totals, PathBuf::from("s.csv"));
+                assert_eq!(col_totals, PathBuf::from("d.csv"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn defaults_are_sensible() {
+        let cmd = parse_args(&argv(
+            "sam --matrix m.csv",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Sam { common, totals } => {
+                assert_eq!(common.weights, "chi2");
+                assert_eq!(common.epsilon, 1e-8);
+                assert!(!common.structural_zeros);
+                assert!(totals.is_none());
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&argv("fixed --matrix m.csv")).is_err()); // missing totals
+        assert!(parse_args(&argv("fixed --matrix m.csv --row-totals s --col-totals d --weights bogus")).is_err());
+        assert!(parse_args(&argv("nonsense")).is_err());
+        assert!(parse_args(&argv("fixed --matrix m.csv --row-totals s --col-totals d --mystery 1")).is_err());
+        assert!(parse_args(&argv(
+            "elastic --matrix m.csv --row-totals s --col-totals d --total-weight -2"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn no_args_prints_help() {
+        assert!(matches!(parse_args(&[]), Ok(Command::Help)));
+        assert!(matches!(parse_args(&argv("help")), Ok(Command::Help)));
+    }
+}

@@ -1,0 +1,361 @@
+//! Subcommand implementations.
+
+use crate::args::{Command, CommonOpts, USAGE};
+use crate::csv;
+use sea_baselines::ras::{ras_balance, RasOptions};
+use sea_core::{
+    solve_diagonal, DiagonalProblem, SeaOptions, TotalSpec, WeightScheme, ZeroPolicy,
+};
+use sea_linalg::DenseMatrix;
+use std::path::Path;
+
+/// Human-facing failure type for the CLI.
+pub type CliError = String;
+
+fn weight_scheme(name: &str) -> WeightScheme {
+    match name {
+        "unit" => WeightScheme::LeastSquares,
+        "sqrt" => WeightScheme::InverseSqrt,
+        _ => WeightScheme::ChiSquare,
+    }
+}
+
+fn load_matrix(path: &Path) -> Result<DenseMatrix, CliError> {
+    csv::read_matrix(path).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn load_vector(path: &Path, expected: usize, what: &str) -> Result<Vec<f64>, CliError> {
+    let v = csv::read_vector(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    if v.len() != expected {
+        return Err(format!(
+            "{}: expected {expected} {what}, found {}",
+            path.display(),
+            v.len()
+        ));
+    }
+    Ok(v)
+}
+
+fn build_gamma(x0: &DenseMatrix, scheme: WeightScheme) -> Result<DenseMatrix, CliError> {
+    scheme
+        .entry_weights(x0)
+        .map_err(|e| format!("weight construction failed: {e}"))
+}
+
+fn emit(common: &CommonOpts, x: &DenseMatrix) -> Result<String, CliError> {
+    match &common.out {
+        Some(path) => {
+            csv::write_matrix(path, x).map_err(|e| format!("{}: {e}", path.display()))?;
+            Ok(format!("wrote {}\n", path.display()))
+        }
+        None => Ok(csv::matrix_to_csv(x)),
+    }
+}
+
+fn solve_and_emit(
+    common: &CommonOpts,
+    problem: &DiagonalProblem,
+) -> Result<String, CliError> {
+    let opts = SeaOptions::with_epsilon(common.epsilon);
+    let sol = solve_diagonal(problem, &opts).map_err(|e| format!("solver failed: {e}"))?;
+    if !sol.stats.converged {
+        return Err(format!(
+            "did not converge within {} iterations (residual {:.3e}); \
+             loosen --epsilon or check the inputs",
+            sol.stats.iterations, sol.stats.residual
+        ));
+    }
+    let mut report = emit(common, &sol.x)?;
+    report.push_str(&format!(
+        "# converged in {} iterations; objective {:.6e}; max row residual {:.3e}\n",
+        sol.stats.iterations, sol.stats.objective, sol.stats.residuals.row_inf
+    ));
+    Ok(report)
+}
+
+/// Execute a parsed command, returning the text to print.
+pub fn run(cmd: &Command) -> Result<String, CliError> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Info { matrix } => {
+            let m = load_matrix(matrix)?;
+            let rows = m.row_sums();
+            let cols = m.col_sums();
+            let stats = sea_linalg::stats::summarize(m.as_slice());
+            Ok(format!(
+                "matrix: {} x {}\nnonzero: {} ({:.1}%)\nentry range: [{}, {}], mean {:.4}\n\
+                 grand total: {}\nrow sums: min {} max {}\ncol sums: min {} max {}\n",
+                m.rows(),
+                m.cols(),
+                m.count_nonzero(),
+                100.0 * m.density(),
+                stats.min,
+                stats.max,
+                stats.mean,
+                m.total(),
+                rows.iter().cloned().fold(f64::INFINITY, f64::min),
+                rows.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                cols.iter().cloned().fold(f64::INFINITY, f64::min),
+                cols.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            ))
+        }
+        Command::Fixed {
+            common,
+            row_totals,
+            col_totals,
+        } => {
+            let x0 = load_matrix(&common.matrix)?;
+            let s0 = load_vector(row_totals, x0.rows(), "row totals")?;
+            let d0 = load_vector(col_totals, x0.cols(), "column totals")?;
+            let gamma = build_gamma(&x0, weight_scheme(&common.weights))?;
+            let policy = if common.structural_zeros {
+                ZeroPolicy::Structural
+            } else {
+                ZeroPolicy::Free
+            };
+            let problem = DiagonalProblem::with_zero_policy(
+                x0,
+                gamma,
+                TotalSpec::Fixed { s0, d0 },
+                policy,
+            )
+            .map_err(|e| format!("invalid problem: {e}"))?;
+            solve_and_emit(common, &problem)
+        }
+        Command::Elastic {
+            common,
+            row_totals,
+            col_totals,
+            total_weight,
+        } => {
+            let x0 = load_matrix(&common.matrix)?;
+            let s0 = load_vector(row_totals, x0.rows(), "row totals")?;
+            let d0 = load_vector(col_totals, x0.cols(), "column totals")?;
+            let gamma = build_gamma(&x0, weight_scheme(&common.weights))?;
+            let policy = if common.structural_zeros {
+                ZeroPolicy::Structural
+            } else {
+                ZeroPolicy::Free
+            };
+            let (m, n) = (x0.rows(), x0.cols());
+            let problem = DiagonalProblem::with_zero_policy(
+                x0,
+                gamma,
+                TotalSpec::Elastic {
+                    alpha: vec![*total_weight; m],
+                    s0,
+                    beta: vec![*total_weight; n],
+                    d0,
+                },
+                policy,
+            )
+            .map_err(|e| format!("invalid problem: {e}"))?;
+            solve_and_emit(common, &problem)
+        }
+        Command::Sam { common, totals } => {
+            let x0 = load_matrix(&common.matrix)?;
+            if x0.rows() != x0.cols() {
+                return Err(format!(
+                    "SAM balancing needs a square matrix, got {} x {}",
+                    x0.rows(),
+                    x0.cols()
+                ));
+            }
+            let n = x0.rows();
+            let s0 = match totals {
+                Some(path) => load_vector(path, n, "account totals")?,
+                None => {
+                    let r = x0.row_sums();
+                    let c = x0.col_sums();
+                    r.iter().zip(&c).map(|(a, b)| 0.5 * (a + b)).collect()
+                }
+            };
+            let alpha: Vec<f64> = s0.iter().map(|&t| 1.0 / t.abs().max(1e-9)).collect();
+            let gamma = build_gamma(&x0, weight_scheme(&common.weights))?;
+            let policy = if common.structural_zeros {
+                ZeroPolicy::Structural
+            } else {
+                ZeroPolicy::Free
+            };
+            let problem = DiagonalProblem::with_zero_policy(
+                x0,
+                gamma,
+                TotalSpec::Balanced { alpha, s0 },
+                policy,
+            )
+            .map_err(|e| format!("invalid problem: {e}"))?;
+            solve_and_emit(common, &problem)
+        }
+        Command::Ras {
+            common,
+            row_totals,
+            col_totals,
+        } => {
+            let x0 = load_matrix(&common.matrix)?;
+            let s0 = load_vector(row_totals, x0.rows(), "row totals")?;
+            let d0 = load_vector(col_totals, x0.cols(), "column totals")?;
+            let opts = RasOptions {
+                epsilon: common.epsilon,
+                ..RasOptions::default()
+            };
+            let out = ras_balance(&x0, &s0, &d0, &opts).map_err(|e| format!("RAS failed: {e}"))?;
+            if !out.converged {
+                return Err(format!(
+                    "RAS did not converge ({:?}); the quadratic solvers may still \
+                     handle this problem — try `sea-solve fixed`",
+                    out.failure
+                ));
+            }
+            let mut report = emit(common, &out.x)?;
+            report.push_str(&format!("# RAS converged in {} iterations\n", out.iterations));
+            Ok(report)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+    use std::path::PathBuf;
+
+    fn write(dir: &Path, name: &str, content: &str) -> PathBuf {
+        let p = dir.join(name);
+        std::fs::write(&p, content).unwrap();
+        p
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("sea-cli-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn fixed_end_to_end() {
+        let dir = tmpdir("fixed");
+        write(&dir, "m.csv", "1,2\n3,4\n");
+        write(&dir, "s.csv", "4,6\n");
+        write(&dir, "d.csv", "5\n5\n");
+        let out = dir.join("x.csv");
+        let argv: Vec<String> = [
+            "fixed",
+            "--matrix",
+            dir.join("m.csv").to_str().unwrap(),
+            "--row-totals",
+            dir.join("s.csv").to_str().unwrap(),
+            "--col-totals",
+            dir.join("d.csv").to_str().unwrap(),
+            "--weights",
+            "unit",
+            "--out",
+            out.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let cmd = parse_args(&argv).unwrap();
+        let report = run(&cmd).unwrap();
+        assert!(report.contains("converged"));
+        let x = csv::read_matrix(&out).unwrap();
+        let rs = x.row_sums();
+        assert!((rs[0] - 4.0).abs() < 1e-6 && (rs[1] - 6.0).abs() < 1e-6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sam_end_to_end_defaults_totals() {
+        let dir = tmpdir("sam");
+        write(&dir, "m.csv", "0,5,1\n2,0,3\n4,1,0\n");
+        let argv: Vec<String> = [
+            "sam",
+            "--matrix",
+            dir.join("m.csv").to_str().unwrap(),
+            "--zeros",
+            "structural",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let report = run(&parse_args(&argv).unwrap()).unwrap();
+        // Output on stdout: parse back the CSV lines (ignore # trailer).
+        let x = csv::read_matrix_from_str(&report).unwrap();
+        let rs = x.row_sums();
+        let cs = x.col_sums();
+        for i in 0..3 {
+            assert!((rs[i] - cs[i]).abs() < 1e-5 * rs[i].max(1.0));
+        }
+        assert_eq!(x.get(0, 0), 0.0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ras_end_to_end_and_failure_advice() {
+        let dir = tmpdir("ras");
+        write(&dir, "m.csv", "1,2\n3,4\n");
+        write(&dir, "s.csv", "6,14\n");
+        write(&dir, "d.csv", "8,12\n");
+        let argv: Vec<String> = [
+            "ras",
+            "--matrix",
+            dir.join("m.csv").to_str().unwrap(),
+            "--row-totals",
+            dir.join("s.csv").to_str().unwrap(),
+            "--col-totals",
+            dir.join("d.csv").to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let report = run(&parse_args(&argv).unwrap()).unwrap();
+        assert!(report.contains("RAS converged"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn info_reports_shape() {
+        let dir = tmpdir("info");
+        write(&dir, "m.csv", "1,0\n3,4\n");
+        let argv: Vec<String> = ["info", "--matrix", dir.join("m.csv").to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let report = run(&parse_args(&argv).unwrap()).unwrap();
+        assert!(report.contains("2 x 2"));
+        assert!(report.contains("75.0%"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let argv: Vec<String> = ["info", "--matrix", "/nonexistent/m.csv"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = run(&parse_args(&argv).unwrap()).unwrap_err();
+        assert!(err.contains("/nonexistent/m.csv"));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_a_clean_error() {
+        let dir = tmpdir("dims");
+        write(&dir, "m.csv", "1,2\n3,4\n");
+        write(&dir, "s.csv", "1,2,3\n");
+        write(&dir, "d.csv", "5,5\n");
+        let argv: Vec<String> = [
+            "fixed",
+            "--matrix",
+            dir.join("m.csv").to_str().unwrap(),
+            "--row-totals",
+            dir.join("s.csv").to_str().unwrap(),
+            "--col-totals",
+            dir.join("d.csv").to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let err = run(&parse_args(&argv).unwrap()).unwrap_err();
+        assert!(err.contains("expected 2 row totals"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

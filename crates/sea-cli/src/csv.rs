@@ -1,0 +1,209 @@
+//! Minimal CSV reading/writing for numeric matrices and vectors.
+//!
+//! Deliberately dependency-free: comma-separated `f64` values, one matrix
+//! row per line; blank lines and `#` comment lines are skipped. Vectors
+//! may be a single row, a single column, or any rectangle read in row-major
+//! order.
+
+use sea_linalg::DenseMatrix;
+use std::fmt;
+use std::path::Path;
+
+/// CSV parsing/IO errors with file/line context.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A cell failed to parse as `f64`.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The offending cell text.
+        cell: String,
+    },
+    /// Rows have differing lengths.
+    Ragged {
+        /// 1-based line number of the first offending row.
+        line: usize,
+        /// Expected width.
+        expected: usize,
+        /// Actual width.
+        actual: usize,
+    },
+    /// The file contained no data rows.
+    Empty,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::BadNumber { line, cell } => {
+                write!(f, "line {line}: cannot parse {cell:?} as a number")
+            }
+            CsvError::Ragged {
+                line,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "line {line}: expected {expected} columns, found {actual}"
+            ),
+            CsvError::Empty => write!(f, "file contains no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Parse CSV text into rows of numbers.
+pub fn parse_rows(text: &str) -> Result<Vec<Vec<f64>>, CsvError> {
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut width: Option<usize> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut row = Vec::new();
+        for cell in line.split(',') {
+            let cell = cell.trim();
+            if cell.is_empty() {
+                continue;
+            }
+            let v: f64 = cell.parse().map_err(|_| CsvError::BadNumber {
+                line: idx + 1,
+                cell: cell.to_string(),
+            })?;
+            row.push(v);
+        }
+        if row.is_empty() {
+            continue;
+        }
+        match width {
+            None => width = Some(row.len()),
+            Some(w) if w != row.len() => {
+                return Err(CsvError::Ragged {
+                    line: idx + 1,
+                    expected: w,
+                    actual: row.len(),
+                })
+            }
+            _ => {}
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    Ok(rows)
+}
+
+/// Read a matrix from a CSV file.
+pub fn read_matrix(path: &Path) -> Result<DenseMatrix, CsvError> {
+    let text = std::fs::read_to_string(path)?;
+    let rows = parse_rows(&text)?;
+    DenseMatrix::from_rows(&rows).map_err(|_| CsvError::Ragged {
+        line: 1,
+        expected: rows[0].len(),
+        actual: 0,
+    })
+}
+
+/// Parse a matrix directly from CSV text (used for stdout round-trips in
+/// tests).
+pub fn read_matrix_from_str(text: &str) -> Result<DenseMatrix, CsvError> {
+    let rows = parse_rows(text)?;
+    DenseMatrix::from_rows(&rows).map_err(|_| CsvError::Empty)
+}
+
+/// Read a vector (any rectangle, flattened row-major) from a CSV file.
+pub fn read_vector(path: &Path) -> Result<Vec<f64>, CsvError> {
+    let text = std::fs::read_to_string(path)?;
+    let rows = parse_rows(&text)?;
+    Ok(rows.into_iter().flatten().collect())
+}
+
+/// Write a matrix as CSV (full precision round-trippable floats).
+pub fn write_matrix(path: &Path, m: &DenseMatrix) -> Result<(), CsvError> {
+    let mut out = String::new();
+    for i in 0..m.rows() {
+        let cells: Vec<String> = m.row(i).iter().map(|v| format!("{v}")).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    std::fs::write(path, out)?;
+    Ok(())
+}
+
+/// Render a matrix as CSV to a string (used for stdout output).
+pub fn matrix_to_csv(m: &DenseMatrix) -> String {
+    let mut out = String::new();
+    for i in 0..m.rows() {
+        let cells: Vec<String> = m.row(i).iter().map(|v| format!("{v}")).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_blanks_and_numbers() {
+        let text = "# header\n1, 2.5, 3\n\n4,5e1,-6\n";
+        let rows = parse_rows(text).unwrap();
+        assert_eq!(rows, vec![vec![1.0, 2.5, 3.0], vec![4.0, 50.0, -6.0]]);
+    }
+
+    #[test]
+    fn rejects_bad_cells_and_ragged_rows() {
+        assert!(matches!(
+            parse_rows("1,banana\n"),
+            Err(CsvError::BadNumber { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_rows("1,2\n3\n"),
+            Err(CsvError::Ragged { line: 2, expected: 2, actual: 1 })
+        ));
+        assert!(matches!(parse_rows("# nothing\n"), Err(CsvError::Empty)));
+    }
+
+    #[test]
+    fn matrix_round_trip() {
+        let dir = std::env::temp_dir().join(format!("sea-cli-csv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.csv");
+        let m = DenseMatrix::from_rows(&[vec![1.5, 2.0], vec![0.125, 4.0]]).unwrap();
+        write_matrix(&path, &m).unwrap();
+        let back = read_matrix(&path).unwrap();
+        assert_eq!(m, back);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn vector_reads_rows_or_columns() {
+        let row = parse_rows("1,2,3\n").unwrap();
+        let col = parse_rows("1\n2\n3\n").unwrap();
+        let vr: Vec<f64> = row.into_iter().flatten().collect();
+        let vc: Vec<f64> = col.into_iter().flatten().collect();
+        assert_eq!(vr, vc);
+    }
+
+    #[test]
+    fn display_messages_have_context() {
+        let e = CsvError::BadNumber {
+            line: 7,
+            cell: "x".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

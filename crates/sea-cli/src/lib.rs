@@ -1,0 +1,29 @@
+//! # sea-cli — balance tables from the command line
+//!
+//! A small production tool over the SEA solvers: read a prior matrix and
+//! margin information from CSV files, solve the constrained matrix
+//! problem, and write the estimate back as CSV.
+//!
+//! ```text
+//! sea-solve fixed   --matrix X0.csv --row-totals s.csv --col-totals d.csv \
+//!                   [--weights unit|chi2|sqrt] [--epsilon 1e-8] [--zeros structural] \
+//!                   [--out X.csv]
+//! sea-solve elastic --matrix X0.csv --row-totals s.csv --col-totals d.csv \
+//!                   [--total-weight 1.0] [--weights …] [--out X.csv]
+//! sea-solve sam     --matrix X0.csv [--totals s.csv] [--weights …] [--out X.csv]
+//! sea-solve ras     --matrix X0.csv --row-totals s.csv --col-totals d.csv [--out X.csv]
+//! sea-solve info    --matrix X0.csv
+//! ```
+//!
+//! All machinery lives in this library crate so it is unit-testable; the
+//! binary is a thin wrapper.
+
+// `!(w > 0.0)` deliberately treats NaN as invalid input.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod args;
+pub mod commands;
+pub mod csv;
+
+pub use args::{parse_args, Command, CommonOpts};
+pub use commands::run;

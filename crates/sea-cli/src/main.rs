@@ -1,0 +1,18 @@
+//! Thin binary wrapper over the `sea-cli` library.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match sea_cli::parse_args(&args) {
+        Ok(cmd) => match sea_cli::run(&cmd) {
+            Ok(output) => print!("{output}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", sea_cli::args::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! End-to-end tests through the compiled `sea-solve` binary.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_sea-solve")
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("sea-solve-e2e-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn write(dir: &Path, name: &str, content: &str) -> PathBuf {
+    let p = dir.join(name);
+    std::fs::write(&p, content).unwrap();
+    p
+}
+
+#[test]
+fn fixed_solve_round_trips_through_the_binary() {
+    let dir = tmpdir("fixed");
+    write(&dir, "m.csv", "10,4,6\n3,12,5\n7,2,11\n");
+    write(&dir, "s.csv", "24,22,24\n");
+    write(&dir, "d.csv", "25,20,25\n");
+    let out = dir.join("x.csv");
+    let status = Command::new(bin())
+        .args([
+            "fixed",
+            "--matrix",
+            dir.join("m.csv").to_str().unwrap(),
+            "--row-totals",
+            dir.join("s.csv").to_str().unwrap(),
+            "--col-totals",
+            dir.join("d.csv").to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .status()
+        .expect("binary runs");
+    assert!(status.success());
+    let text = std::fs::read_to_string(&out).unwrap();
+    let rows: Vec<Vec<f64>> = text
+        .lines()
+        .map(|l| l.split(',').map(|c| c.parse().unwrap()).collect())
+        .collect();
+    let row_sum: f64 = rows[0].iter().sum();
+    assert!((row_sum - 24.0).abs() < 1e-6);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn help_is_printed_without_arguments() {
+    let output = Command::new(bin()).output().expect("binary runs");
+    assert!(output.status.success());
+    let text = String::from_utf8_lossy(&output.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("sea-solve fixed"));
+}
+
+#[test]
+fn bad_flags_exit_with_code_2_and_usage() {
+    let output = Command::new(bin())
+        .args(["fixed", "--nonsense"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("error:"));
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn solver_failures_exit_with_code_1() {
+    let dir = tmpdir("fail");
+    write(&dir, "m.csv", "1,2\n3,4\n");
+    write(&dir, "s.csv", "4,6\n");
+    write(&dir, "d.csv", "5,9\n"); // inconsistent grand total
+    let output = Command::new(bin())
+        .args([
+            "fixed",
+            "--matrix",
+            dir.join("m.csv").to_str().unwrap(),
+            "--row-totals",
+            dir.join("s.csv").to_str().unwrap(),
+            "--col-totals",
+            dir.join("d.csv").to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("inconsistent"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn stdout_output_when_no_out_flag() {
+    let dir = tmpdir("stdout");
+    write(&dir, "m.csv", "1,2\n3,4\n");
+    write(&dir, "s.csv", "4,6\n");
+    write(&dir, "d.csv", "5,5\n");
+    let output = Command::new(bin())
+        .args([
+            "fixed",
+            "--matrix",
+            dir.join("m.csv").to_str().unwrap(),
+            "--row-totals",
+            dir.join("s.csv").to_str().unwrap(),
+            "--col-totals",
+            dir.join("d.csv").to_str().unwrap(),
+            "--weights",
+            "unit",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let text = String::from_utf8_lossy(&output.stdout);
+    // Two CSV rows plus a trailing comment line.
+    assert_eq!(text.lines().count(), 3);
+    assert!(text.lines().last().unwrap().starts_with('#'));
+    std::fs::remove_dir_all(&dir).unwrap();
+}

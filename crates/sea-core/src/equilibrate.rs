@@ -1,0 +1,384 @@
+//! Row/column equilibration passes.
+//!
+//! One pass maximizes the dual over one multiplier block (all `λᵢ` or all
+//! `μⱼ′`) with the other block fixed — which, by the duality argument of
+//! §3.1, is exactly a set of *independent* single-constraint subproblems,
+//! one per row (resp. column), each solved in closed form by
+//! [`crate::knapsack::exact_equilibration`]. Independence is what makes SEA
+//! parallel: every subproblem can go to a distinct processor.
+//!
+//! Both passes share one orientation-agnostic implementation: the caller
+//! supplies the prior and weight matrices oriented so subproblems are rows
+//! (the column pass passes transposed copies built once per solve).
+
+use crate::error::SeaError;
+use crate::knapsack::{exact_equilibration, EquilibrationScratch, TotalMode};
+use crate::parallel::Parallelism;
+use rayon::prelude::*;
+use sea_linalg::DenseMatrix;
+use std::time::Instant;
+
+/// Per-thread scratch: gather buffers for structural-zero subproblems plus
+/// the kernel's own workspace. Reused across every subproblem a thread
+/// handles (allocation-free hot loop).
+#[derive(Debug, Default, Clone)]
+pub(crate) struct TaskScratch {
+    eq: EquilibrationScratch,
+    q: Vec<f64>,
+    g: Vec<f64>,
+    sh: Vec<f64>,
+    x: Vec<f64>,
+}
+
+impl TaskScratch {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Inputs shared by every subproblem of a pass, in "row orientation".
+pub struct PassInputs<'a> {
+    /// Prior matrix, oriented so each subproblem is a contiguous row.
+    pub prior: &'a DenseMatrix,
+    /// Weight matrix, same orientation.
+    pub gamma: &'a DenseMatrix,
+    /// Structural-zero support lists (per subproblem), if any.
+    pub support: Option<&'a [Vec<u32>]>,
+    /// The opposite side's multipliers (length = subproblem size).
+    pub shift: &'a [f64],
+    /// `"row"` or `"column"`, for error reporting.
+    pub side: &'static str,
+}
+
+/// Solve one subproblem; returns `(λ, realized total)` and writes the
+/// subproblem's entries into `x_row`.
+fn solve_task(
+    inp: &PassInputs<'_>,
+    i: usize,
+    mode: TotalMode,
+    x_row: &mut [f64],
+    scratch: &mut TaskScratch,
+) -> Result<(f64, f64), SeaError> {
+    match inp.support {
+        None => {
+            let r = exact_equilibration(
+                inp.prior.row(i),
+                inp.gamma.row(i),
+                inp.shift,
+                mode,
+                x_row,
+                &mut scratch.eq,
+            )?;
+            Ok((r.lambda, r.total))
+        }
+        Some(support) => {
+            let idx = &support[i];
+            let k = idx.len();
+            if k == 0 {
+                x_row.fill(0.0);
+                return match mode {
+                    TotalMode::Fixed { total } if total > 0.0 => {
+                        Err(SeaError::InfeasibleSubproblem {
+                            side: inp.side,
+                            index: i,
+                        })
+                    }
+                    TotalMode::Fixed { .. } => Ok((0.0, 0.0)),
+                    TotalMode::Elastic { alpha, prior, cross } => {
+                        Ok((2.0 * alpha * prior - cross, 0.0))
+                    }
+                };
+            }
+            scratch.q.clear();
+            scratch.g.clear();
+            scratch.sh.clear();
+            let prior_row = inp.prior.row(i);
+            let gamma_row = inp.gamma.row(i);
+            for &j in idx {
+                let j = j as usize;
+                scratch.q.push(prior_row[j]);
+                scratch.g.push(gamma_row[j]);
+                scratch.sh.push(inp.shift[j]);
+            }
+            scratch.x.resize(k, 0.0);
+            let r = exact_equilibration(
+                &scratch.q,
+                &scratch.g,
+                &scratch.sh,
+                mode,
+                &mut scratch.x,
+                &mut scratch.eq,
+            )
+            .map_err(|e| match e {
+                SeaError::InfeasibleSubproblem { .. } => SeaError::InfeasibleSubproblem {
+                    side: inp.side,
+                    index: i,
+                },
+                other => other,
+            })?;
+            x_row.fill(0.0);
+            for (&j, &v) in idx.iter().zip(&scratch.x) {
+                x_row[j as usize] = v;
+            }
+            Ok((r.lambda, r.total))
+        }
+    }
+}
+
+/// Run a full equilibration pass.
+///
+/// `modes(i)` supplies the total specification of subproblem `i`; `lambda`
+/// and `totals_out` receive, per subproblem, the constraint multiplier and
+/// the realized total; `x` (same orientation as `inp.prior`) receives the
+/// primal iterate. When `costs` is provided it is filled with per-task
+/// wall-clock seconds for the scheduling simulator.
+///
+/// # Errors
+/// Propagates the first subproblem failure (infeasibility, invalid data).
+pub fn equilibration_pass(
+    inp: &PassInputs<'_>,
+    modes: &(dyn Fn(usize) -> TotalMode + Sync),
+    lambda: &mut [f64],
+    totals_out: &mut [f64],
+    x: &mut DenseMatrix,
+    par: Parallelism,
+    mut costs: Option<&mut Vec<f64>>,
+) -> Result<(), SeaError> {
+    let m = inp.prior.rows();
+    debug_assert_eq!(lambda.len(), m);
+    debug_assert_eq!(totals_out.len(), m);
+    debug_assert_eq!(x.rows(), m);
+    debug_assert_eq!(x.cols(), inp.prior.cols());
+
+    if let Some(c) = costs.as_deref_mut() {
+        c.clear();
+        c.resize(m, 0.0);
+    }
+    let timing = costs.is_some();
+    // A dummy slot so the zip below always has a cost target.
+    let mut dummy: Vec<f64> = Vec::new();
+    let cost_slice: &mut [f64] = match costs {
+        Some(c) => c.as_mut_slice(),
+        None => &mut dummy,
+    };
+
+    match par {
+        Parallelism::Serial => {
+            let mut scratch = TaskScratch::new();
+            for i in 0..m {
+                let t0 = timing.then(Instant::now);
+                let (l, s) = solve_task(inp, i, modes(i), x.row_mut(i), &mut scratch)?;
+                lambda[i] = l;
+                totals_out[i] = s;
+                if let Some(t0) = t0 {
+                    cost_slice[i] = t0.elapsed().as_secs_f64();
+                }
+            }
+            Ok(())
+        }
+        Parallelism::Rayon | Parallelism::RayonThreads(_) => {
+            // `RayonThreads` pools are installed by the solver around the
+            // whole solve; here both variants fan out on the current pool.
+            if timing {
+                lambda
+                    .par_iter_mut()
+                    .zip(totals_out.par_iter_mut())
+                    .zip(x.par_row_iter_mut())
+                    .zip(cost_slice.par_iter_mut())
+                    .enumerate()
+                    .try_for_each_init(TaskScratch::new, |scratch, (i, (((l, s), xr), c))| {
+                        let t0 = Instant::now();
+                        let (lv, sv) = solve_task(inp, i, modes(i), xr, scratch)?;
+                        *l = lv;
+                        *s = sv;
+                        *c = t0.elapsed().as_secs_f64();
+                        Ok(())
+                    })
+            } else {
+                lambda
+                    .par_iter_mut()
+                    .zip(totals_out.par_iter_mut())
+                    .zip(x.par_row_iter_mut())
+                    .enumerate()
+                    .try_for_each_init(TaskScratch::new, |scratch, (i, ((l, s), xr))| {
+                        let (lv, sv) = solve_task(inp, i, modes(i), xr, scratch)?;
+                        *l = lv;
+                        *s = sv;
+                        Ok(())
+                    })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (DenseMatrix, DenseMatrix) {
+        let x0 = DenseMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 0.0, 2.0]]).unwrap();
+        let gamma = DenseMatrix::filled(2, 3, 1.0).unwrap();
+        (x0, gamma)
+    }
+
+    #[test]
+    fn fixed_pass_hits_row_totals() {
+        let (x0, gamma) = setup();
+        let shift = vec![0.0; 3];
+        let inp = PassInputs {
+            prior: &x0,
+            gamma: &gamma,
+            support: None,
+            shift: &shift,
+            side: "row",
+        };
+        let s0 = [9.0, 3.0];
+        let mut lambda = vec![0.0; 2];
+        let mut totals = vec![0.0; 2];
+        let mut x = DenseMatrix::zeros(2, 3).unwrap();
+        equilibration_pass(
+            &inp,
+            &|i| TotalMode::Fixed { total: s0[i] },
+            &mut lambda,
+            &mut totals,
+            &mut x,
+            Parallelism::Serial,
+            None,
+        )
+        .unwrap();
+        let sums = x.row_sums();
+        assert!((sums[0] - 9.0).abs() < 1e-9);
+        assert!((sums[1] - 3.0).abs() < 1e-9);
+        assert!(x.as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let (x0, gamma) = setup();
+        let shift = vec![0.5, -0.5, 0.25];
+        let inp = PassInputs {
+            prior: &x0,
+            gamma: &gamma,
+            support: None,
+            shift: &shift,
+            side: "row",
+        };
+        let run = |par: Parallelism| {
+            let mut lambda = vec![0.0; 2];
+            let mut totals = vec![0.0; 2];
+            let mut x = DenseMatrix::zeros(2, 3).unwrap();
+            equilibration_pass(
+                &inp,
+                &|i| TotalMode::Elastic {
+                    alpha: 1.0 + i as f64,
+                    prior: 5.0,
+                    cross: 0.0,
+                },
+                &mut lambda,
+                &mut totals,
+                &mut x,
+                par,
+                None,
+            )
+            .unwrap();
+            (lambda, totals, x)
+        };
+        let (l1, t1, x1) = run(Parallelism::Serial);
+        let (l2, t2, x2) = run(Parallelism::Rayon);
+        assert_eq!(l1, l2);
+        assert_eq!(t1, t2);
+        assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn structural_support_keeps_zeros() {
+        let (x0, gamma) = setup();
+        let support = vec![vec![0u32, 1, 2], vec![0u32, 2]];
+        let shift = vec![0.0; 3];
+        let inp = PassInputs {
+            prior: &x0,
+            gamma: &gamma,
+            support: Some(&support),
+            shift: &shift,
+            side: "row",
+        };
+        let mut lambda = vec![0.0; 2];
+        let mut totals = vec![0.0; 2];
+        let mut x = DenseMatrix::zeros(2, 3).unwrap();
+        equilibration_pass(
+            &inp,
+            &|_| TotalMode::Fixed { total: 8.0 },
+            &mut lambda,
+            &mut totals,
+            &mut x,
+            Parallelism::Serial,
+            None,
+        )
+        .unwrap();
+        assert_eq!(x.get(1, 1), 0.0, "structural zero must stay zero");
+        let sums = x.row_sums();
+        assert!((sums[1] - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_structural_row_with_positive_total_is_infeasible() {
+        let (x0, gamma) = setup();
+        let support = vec![vec![0u32, 1, 2], vec![]];
+        let shift = vec![0.0; 3];
+        let inp = PassInputs {
+            prior: &x0,
+            gamma: &gamma,
+            support: Some(&support),
+            shift: &shift,
+            side: "column",
+        };
+        let mut lambda = vec![0.0; 2];
+        let mut totals = vec![0.0; 2];
+        let mut x = DenseMatrix::zeros(2, 3).unwrap();
+        let e = equilibration_pass(
+            &inp,
+            &|_| TotalMode::Fixed { total: 8.0 },
+            &mut lambda,
+            &mut totals,
+            &mut x,
+            Parallelism::Serial,
+            None,
+        );
+        assert!(matches!(
+            e,
+            Err(SeaError::InfeasibleSubproblem {
+                side: "column",
+                index: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn cost_recording_fills_per_task_entries() {
+        let (x0, gamma) = setup();
+        let shift = vec![0.0; 3];
+        let inp = PassInputs {
+            prior: &x0,
+            gamma: &gamma,
+            support: None,
+            shift: &shift,
+            side: "row",
+        };
+        let mut lambda = vec![0.0; 2];
+        let mut totals = vec![0.0; 2];
+        let mut x = DenseMatrix::zeros(2, 3).unwrap();
+        let mut costs = Vec::new();
+        equilibration_pass(
+            &inp,
+            &|_| TotalMode::Fixed { total: 5.0 },
+            &mut lambda,
+            &mut totals,
+            &mut x,
+            Parallelism::Serial,
+            Some(&mut costs),
+        )
+        .unwrap();
+        assert_eq!(costs.len(), 2);
+        assert!(costs.iter().all(|&c| c >= 0.0));
+    }
+}

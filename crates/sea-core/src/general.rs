@@ -1,0 +1,677 @@
+//! SEA for **general** quadratic constrained matrix problems (paper §3.2).
+//!
+//! The general problem weights deviations with dense strictly positive
+//! definite matrices `G` (`mn×mn`), and — when totals are estimated — `A`
+//! (`m×m`) and `B` (`n×n`). SEA handles it with the projection
+//! (diagonalization) method of Dafermos (1982, 1983): each outer iteration
+//! freezes the off-diagonal coupling into a linear term (eq. 79) and solves
+//! the resulting *diagonal* constrained matrix problem with the diagonal
+//! SEA of §3.1 — so the expensive dense `G` mat-vec happens once per outer
+//! iteration, while all constraint work stays in the cheap, parallel
+//! equilibration passes.
+
+use crate::error::SeaError;
+use crate::problem::{DiagonalProblem, Residuals, TotalSpec, ZeroPolicy};
+use crate::solver::{solve_diagonal, SeaOptions};
+use crate::trace::{ExecutionTrace, PhaseKind};
+use sea_linalg::{DenseMatrix, SymMatrix};
+use std::time::{Duration, Instant};
+
+/// Total specification for the general problem.
+#[derive(Debug, Clone)]
+pub enum GeneralTotalSpec {
+    /// Known fixed totals (objective 10, constraints 11–12).
+    Fixed {
+        /// Row totals (length m).
+        s0: Vec<f64>,
+        /// Column totals (length n).
+        d0: Vec<f64>,
+    },
+    /// Estimated totals with dense weight matrices (objective 1).
+    Elastic {
+        /// Row-total weight matrix `A` (order m, SPD).
+        a: SymMatrix,
+        /// Prior row totals.
+        s0: Vec<f64>,
+        /// Column-total weight matrix `B` (order n, SPD).
+        b: SymMatrix,
+        /// Prior column totals.
+        d0: Vec<f64>,
+    },
+    /// SAM balance with a dense account-weight matrix (objective 6).
+    Balanced {
+        /// Account weight matrix `A` (order n, SPD).
+        a: SymMatrix,
+        /// Prior account totals.
+        s0: Vec<f64>,
+    },
+}
+
+/// A general quadratic constrained matrix problem.
+#[derive(Debug, Clone)]
+pub struct GeneralProblem {
+    x0: DenseMatrix,
+    g: SymMatrix,
+    totals: GeneralTotalSpec,
+}
+
+impl GeneralProblem {
+    /// Build and validate.
+    ///
+    /// # Errors
+    /// * [`SeaError::Shape`] if `G`'s order is not `m·n` or total vectors
+    ///   mismatch.
+    /// * [`SeaError::NonPositiveWeight`] if any diagonal of `G`/`A`/`B` is
+    ///   not strictly positive (the diagonalization step divides by them).
+    /// * [`SeaError::InconsistentTotals`] for inconsistent fixed totals.
+    /// * [`SeaError::NotSquareSam`] for a non-square balanced problem.
+    pub fn new(
+        x0: DenseMatrix,
+        g: SymMatrix,
+        totals: GeneralTotalSpec,
+    ) -> Result<Self, SeaError> {
+        let (m, n) = (x0.rows(), x0.cols());
+        if g.order() != m * n {
+            return Err(SeaError::Shape {
+                context: "G order",
+                expected: m * n,
+                actual: g.order(),
+            });
+        }
+        if !g.has_positive_diagonal() {
+            return Err(SeaError::NonPositiveWeight {
+                which: "diag(G)",
+                index: 0,
+                value: 0.0,
+            });
+        }
+        match &totals {
+            GeneralTotalSpec::Fixed { s0, d0 } => {
+                if s0.len() != m {
+                    return Err(SeaError::Shape {
+                        context: "fixed s0",
+                        expected: m,
+                        actual: s0.len(),
+                    });
+                }
+                if d0.len() != n {
+                    return Err(SeaError::Shape {
+                        context: "fixed d0",
+                        expected: n,
+                        actual: d0.len(),
+                    });
+                }
+                let rs: f64 = s0.iter().sum();
+                let cs: f64 = d0.iter().sum();
+                if (rs - cs).abs() > 1e-9 * rs.abs().max(cs.abs()).max(1.0) {
+                    return Err(SeaError::InconsistentTotals {
+                        row_total: rs,
+                        col_total: cs,
+                    });
+                }
+            }
+            GeneralTotalSpec::Elastic { a, s0, b, d0 } => {
+                if a.order() != m || s0.len() != m {
+                    return Err(SeaError::Shape {
+                        context: "elastic A/s0",
+                        expected: m,
+                        actual: a.order().min(s0.len()),
+                    });
+                }
+                if b.order() != n || d0.len() != n {
+                    return Err(SeaError::Shape {
+                        context: "elastic B/d0",
+                        expected: n,
+                        actual: b.order().min(d0.len()),
+                    });
+                }
+                if !a.has_positive_diagonal() || !b.has_positive_diagonal() {
+                    return Err(SeaError::NonPositiveWeight {
+                        which: "diag(A)/diag(B)",
+                        index: 0,
+                        value: 0.0,
+                    });
+                }
+            }
+            GeneralTotalSpec::Balanced { a, s0 } => {
+                if m != n {
+                    return Err(SeaError::NotSquareSam { rows: m, cols: n });
+                }
+                if a.order() != n || s0.len() != n {
+                    return Err(SeaError::Shape {
+                        context: "balanced A/s0",
+                        expected: n,
+                        actual: a.order().min(s0.len()),
+                    });
+                }
+                if !a.has_positive_diagonal() {
+                    return Err(SeaError::NonPositiveWeight {
+                        which: "diag(A)",
+                        index: 0,
+                        value: 0.0,
+                    });
+                }
+            }
+        }
+        Ok(Self { x0, g, totals })
+    }
+
+    /// Rows of the prior.
+    pub fn m(&self) -> usize {
+        self.x0.rows()
+    }
+
+    /// Columns of the prior.
+    pub fn n(&self) -> usize {
+        self.x0.cols()
+    }
+
+    /// The prior matrix.
+    pub fn x0(&self) -> &DenseMatrix {
+        &self.x0
+    }
+
+    /// The entry weight matrix `G`.
+    pub fn g(&self) -> &SymMatrix {
+        &self.g
+    }
+
+    /// The total specification.
+    pub fn totals(&self) -> &GeneralTotalSpec {
+        &self.totals
+    }
+
+    /// Primal objective (eq. 1/6/10): `(x−x⁰)ᵀG(x−x⁰) [+ totals terms]`.
+    pub fn objective(&self, x: &DenseMatrix, s: &[f64], d: &[f64]) -> f64 {
+        let dev: Vec<f64> = x
+            .as_slice()
+            .iter()
+            .zip(self.x0.as_slice())
+            .map(|(a, b)| a - b)
+            .collect();
+        let mut obj = self.g.quadratic_form(&dev).expect("validated dims");
+        match &self.totals {
+            GeneralTotalSpec::Fixed { .. } => {}
+            GeneralTotalSpec::Elastic { a, s0, b, d0 } => {
+                let ds: Vec<f64> = s.iter().zip(s0).map(|(a, b)| a - b).collect();
+                let dd: Vec<f64> = d.iter().zip(d0).map(|(a, b)| a - b).collect();
+                obj += a.quadratic_form(&ds).expect("validated dims");
+                obj += b.quadratic_form(&dd).expect("validated dims");
+            }
+            GeneralTotalSpec::Balanced { a, s0 } => {
+                let ds: Vec<f64> = s.iter().zip(s0).map(|(a, b)| a - b).collect();
+                obj += a.quadratic_form(&ds).expect("validated dims");
+            }
+        }
+        obj
+    }
+
+    /// An initial feasible point for the projection method ("start with any
+    /// feasible (s, x, d)"): proportional fill for fixed totals, the prior
+    /// itself for elastic totals, a balanced proportional fill for SAMs.
+    pub fn initial_feasible(&self) -> (DenseMatrix, Vec<f64>, Vec<f64>) {
+        let (m, n) = (self.m(), self.n());
+        match &self.totals {
+            GeneralTotalSpec::Fixed { s0, d0 } => {
+                let total: f64 = s0.iter().sum();
+                let mut x = DenseMatrix::zeros(m, n).expect("nonempty");
+                if total > 0.0 {
+                    for i in 0..m {
+                        let row = x.row_mut(i);
+                        for (j, r) in row.iter_mut().enumerate() {
+                            *r = s0[i] * d0[j] / total;
+                        }
+                    }
+                }
+                (x, s0.clone(), d0.clone())
+            }
+            GeneralTotalSpec::Elastic { .. } => {
+                let s = self.x0.row_sums();
+                let d = self.x0.col_sums();
+                (self.x0.clone(), s, d)
+            }
+            GeneralTotalSpec::Balanced { .. } => {
+                let rs = self.x0.row_sums();
+                let cs = self.x0.col_sums();
+                let t: Vec<f64> = rs.iter().zip(&cs).map(|(a, b)| 0.5 * (a + b)).collect();
+                let total: f64 = t.iter().sum();
+                let mut x = DenseMatrix::zeros(m, n).expect("nonempty");
+                if total > 0.0 {
+                    for i in 0..m {
+                        let row = x.row_mut(i);
+                        for (j, r) in row.iter_mut().enumerate() {
+                            *r = t[i] * t[j] / total;
+                        }
+                    }
+                }
+                (x, t.clone(), t)
+            }
+        }
+    }
+}
+
+/// Options for [`solve_general`].
+#[derive(Debug, Clone)]
+pub struct GeneralSeaOptions {
+    /// Outer stopping tolerance on `maxᵢⱼ |xᵗᵢⱼ − xᵗ⁻¹ᵢⱼ|` (eq. Step 2 of
+    /// §3.2.1; the paper's ε′).
+    pub outer_epsilon: f64,
+    /// Cap on projection (outer) iterations.
+    pub max_outer: usize,
+    /// Options for the inner diagonal SEA solves.
+    pub inner: SeaOptions,
+    /// Record a phase trace (projection mat-vecs + inner solves).
+    pub record_trace: bool,
+    /// Warm-start each inner diagonal solve with the previous outer
+    /// iteration's column multipliers (extension; the paper restarts from
+    /// `μ = 0` each time).
+    pub warm_start_inner: bool,
+}
+
+impl Default for GeneralSeaOptions {
+    fn default() -> Self {
+        Self {
+            outer_epsilon: 1e-6,
+            max_outer: 200,
+            inner: SeaOptions::default(),
+            record_trace: false,
+            warm_start_inner: true,
+        }
+    }
+}
+
+impl GeneralSeaOptions {
+    /// Paper-style options: outer tolerance `eps`, inner solves one decade
+    /// tighter.
+    pub fn with_epsilon(eps: f64) -> Self {
+        Self {
+            outer_epsilon: eps,
+            inner: SeaOptions::with_epsilon(eps * 0.1),
+            ..Self::default()
+        }
+    }
+}
+
+/// Result of a general solve.
+#[derive(Debug, Clone)]
+pub struct GeneralSolution {
+    /// The matrix estimate.
+    pub x: DenseMatrix,
+    /// Row totals.
+    pub s: Vec<f64>,
+    /// Column totals.
+    pub d: Vec<f64>,
+    /// Outer (projection) iterations performed.
+    pub outer_iterations: usize,
+    /// Total inner (diagonal SEA) iterations across all outer iterations.
+    pub inner_iterations: usize,
+    /// Whether the outer loop converged.
+    pub converged: bool,
+    /// Final outer change `maxᵢⱼ |Δxᵢⱼ|`.
+    pub outer_residual: f64,
+    /// Primal objective at the solution.
+    pub objective: f64,
+    /// Constraint residuals at the solution.
+    pub residuals: Residuals,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// Phase trace (present iff requested).
+    pub trace: Option<ExecutionTrace>,
+}
+
+/// Build the diagonalized pseudo-prior `q = y − M(y − y⁰)/diag(M)` for one
+/// variable block (eq. 79 rearranged; see DESIGN.md §5).
+fn diagonalized_prior(
+    msym: &SymMatrix,
+    diag: &[f64],
+    y: &[f64],
+    y0: &[f64],
+    scratch: &mut Vec<f64>,
+    parallel: bool,
+) -> Result<Vec<f64>, SeaError> {
+    let k = y.len();
+    scratch.clear();
+    scratch.extend(y.iter().zip(y0).map(|(a, b)| a - b));
+    let mut mv = vec![0.0; k];
+    if parallel {
+        msym.matvec_parallel(scratch, &mut mv)?;
+    } else {
+        msym.matvec(scratch, &mut mv)?;
+    }
+    Ok((0..k).map(|i| y[i] - mv[i] / diag[i]).collect())
+}
+
+/// Solve a general constrained matrix problem with SEA (projection outer
+/// loop + diagonal SEA inner solves).
+///
+/// # Errors
+/// Propagates validation and inner-solver failures.
+pub fn solve_general(
+    p: &GeneralProblem,
+    opts: &GeneralSeaOptions,
+) -> Result<GeneralSolution, SeaError> {
+    let start = Instant::now();
+    let (m, n) = (p.m(), p.n());
+    let mn = m * n;
+    let g_diag = p.g().diagonal();
+    let gamma = DenseMatrix::from_vec(m, n, g_diag.iter().map(|&v| 0.5 * v).collect())?;
+    let parallel = opts.inner.parallelism.is_parallel();
+
+    let (mut x, mut s, mut d) = p.initial_feasible();
+    let x0_flat = p.x0().as_slice().to_vec();
+
+    let mut trace = opts.record_trace.then(ExecutionTrace::new);
+    let mut inner_iterations = 0usize;
+    let mut outer_iterations = 0usize;
+    let mut converged = false;
+    let mut outer_residual = f64::INFINITY;
+    let mut scratch: Vec<f64> = Vec::with_capacity(mn);
+
+    let mut inner_opts = opts.inner.clone();
+    inner_opts.record_trace = opts.record_trace;
+
+    for t in 1..=opts.max_outer {
+        outer_iterations = t;
+
+        // ---- Projection step: freeze off-diagonal coupling (eq. 79). ----
+        let proj_t0 = Instant::now();
+        let q_flat = diagonalized_prior(
+            p.g(),
+            &g_diag,
+            x.as_slice(),
+            &x0_flat,
+            &mut scratch,
+            parallel,
+        )?;
+        let q = DenseMatrix::from_vec(m, n, q_flat)?;
+
+        let spec = match p.totals() {
+            GeneralTotalSpec::Fixed { s0, d0 } => TotalSpec::Fixed {
+                s0: s0.clone(),
+                d0: d0.clone(),
+            },
+            GeneralTotalSpec::Elastic { a, s0, b, d0 } => {
+                let a_diag = a.diagonal();
+                let b_diag = b.diagonal();
+                let ps = diagonalized_prior(a, &a_diag, &s, s0, &mut scratch, parallel)?;
+                let pd = diagonalized_prior(b, &b_diag, &d, d0, &mut scratch, parallel)?;
+                TotalSpec::Elastic {
+                    alpha: a_diag.iter().map(|&v| 0.5 * v).collect(),
+                    s0: ps,
+                    beta: b_diag.iter().map(|&v| 0.5 * v).collect(),
+                    d0: pd,
+                }
+            }
+            GeneralTotalSpec::Balanced { a, s0 } => {
+                let a_diag = a.diagonal();
+                let ps = diagonalized_prior(a, &a_diag, &s, s0, &mut scratch, parallel)?;
+                TotalSpec::Balanced {
+                    alpha: a_diag.iter().map(|&v| 0.5 * v).collect(),
+                    s0: ps,
+                }
+            }
+        };
+        let proj_secs = proj_t0.elapsed().as_secs_f64();
+        if let Some(tr) = trace.as_mut() {
+            // The dense mat-vec parallelizes over rows of G; a real
+            // scheduler hands out coarse chunks, so record the phase as up
+            // to 256 equal chunks rather than mn micro-tasks.
+            let chunks = mn.min(256);
+            tr.push(
+                PhaseKind::Projection,
+                vec![proj_secs / chunks as f64; chunks],
+            );
+        }
+
+        // ---- Inner diagonal SEA solve. -----------------------------------
+        let sub = DiagonalProblem::with_signed_prior(q, gamma.clone(), spec, ZeroPolicy::Free)?;
+        let sol = solve_diagonal(&sub, &inner_opts)?;
+        if opts.warm_start_inner {
+            inner_opts.initial_mu = Some(sol.mu.clone());
+        }
+        inner_iterations += sol.stats.iterations;
+        if let Some(tr) = trace.as_mut() {
+            if let Some(inner_tr) = sol.stats.trace {
+                tr.extend(inner_tr);
+            }
+        }
+
+        // ---- Outer convergence check. ------------------------------------
+        outer_residual = sol.x.max_abs_diff(&x);
+        x = sol.x;
+        s = sol.s;
+        d = sol.d;
+        if outer_residual <= opts.outer_epsilon {
+            converged = true;
+            break;
+        }
+    }
+
+    // Residuals against this problem's constraints.
+    let residuals = {
+        let row_sums = x.row_sums();
+        let col_sums = x.col_sums();
+        let (st, dt): (&[f64], &[f64]) = match p.totals() {
+            GeneralTotalSpec::Fixed { s0, d0 } => (s0, d0),
+            GeneralTotalSpec::Elastic { .. } => (&s, &d),
+            GeneralTotalSpec::Balanced { .. } => (&s, &s),
+        };
+        let mut r = Residuals::default();
+        let mut sq = 0.0;
+        for i in 0..m {
+            let v = (row_sums[i] - st[i]).abs();
+            r.row_inf = r.row_inf.max(v);
+            r.rel_row_inf = r.rel_row_inf.max(v / st[i].abs().max(1e-12));
+            sq += v * v;
+        }
+        for j in 0..n {
+            let v = (col_sums[j] - dt[j]).abs();
+            r.col_inf = r.col_inf.max(v);
+            sq += v * v;
+        }
+        r.norm2 = sq.sqrt();
+        r
+    };
+    let objective = p.objective(&x, &s, &d);
+
+    Ok(GeneralSolution {
+        x,
+        s,
+        d,
+        outer_iterations,
+        inner_iterations,
+        converged,
+        outer_residual,
+        objective,
+        residuals,
+        elapsed: start.elapsed(),
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Strictly diagonally dominant SPD matrix with negative off-diagonals,
+    /// as the paper's §5.1.1 generator prescribes.
+    fn dd_matrix(order: usize, diag: f64, off: f64) -> SymMatrix {
+        let mut mtx = DenseMatrix::zeros(order, order).unwrap();
+        for i in 0..order {
+            for j in 0..order {
+                mtx.set(i, j, if i == j { diag } else { -off });
+            }
+        }
+        SymMatrix::from_dense(mtx, 1e-12).unwrap()
+    }
+
+    #[test]
+    fn validation_catches_bad_shapes() {
+        let x0 = DenseMatrix::filled(2, 2, 1.0).unwrap();
+        let g = dd_matrix(3, 10.0, 0.1); // wrong order (should be 4)
+        assert!(matches!(
+            GeneralProblem::new(
+                x0,
+                g,
+                GeneralTotalSpec::Fixed {
+                    s0: vec![2.0, 2.0],
+                    d0: vec![2.0, 2.0]
+                }
+            ),
+            Err(SeaError::Shape { .. })
+        ));
+    }
+
+    #[test]
+    fn diagonal_g_reduces_to_diagonal_solver() {
+        // With G purely diagonal, general SEA must agree with diagonal SEA.
+        let x0 = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let gd = vec![2.0, 4.0, 6.0, 8.0];
+        let g = SymMatrix::from_diagonal(&gd).unwrap();
+        let totals = GeneralTotalSpec::Fixed {
+            s0: vec![4.0, 6.0],
+            d0: vec![5.0, 5.0],
+        };
+        let p = GeneralProblem::new(x0.clone(), g, totals).unwrap();
+        let sol = solve_general(&p, &GeneralSeaOptions::with_epsilon(1e-10)).unwrap();
+        assert!(sol.converged);
+        // Reference: diagonal problem with γ = diag(G)/2... but the
+        // objective (x−x0)ᵀG(x−x0) with diagonal G equals Σ G_kk(x_k−x0_k)²,
+        // i.e. γ_k = G_kk. Minimizers coincide for any positive scaling.
+        let gamma = DenseMatrix::from_vec(2, 2, gd).unwrap();
+        let dp = DiagonalProblem::new(
+            x0,
+            gamma,
+            TotalSpec::Fixed {
+                s0: vec![4.0, 6.0],
+                d0: vec![5.0, 5.0],
+            },
+        )
+        .unwrap();
+        let dsol = solve_diagonal(&dp, &SeaOptions::with_epsilon(1e-12)).unwrap();
+        assert!(
+            sol.x.max_abs_diff(&dsol.x) < 1e-6,
+            "general vs diagonal mismatch: {}",
+            sol.x.max_abs_diff(&dsol.x)
+        );
+        // Diagonal G: a single outer iteration suffices (projection is
+        // exact), plus one confirming iteration.
+        assert!(sol.outer_iterations <= 2);
+    }
+
+    #[test]
+    fn dense_g_converges_and_is_feasible() {
+        let x0 = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let g = dd_matrix(4, 10.0, 1.0);
+        let p = GeneralProblem::new(
+            x0,
+            g,
+            GeneralTotalSpec::Fixed {
+                s0: vec![4.0, 6.0],
+                d0: vec![5.0, 5.0],
+            },
+        )
+        .unwrap();
+        let sol = solve_general(&p, &GeneralSeaOptions::with_epsilon(1e-9)).unwrap();
+        assert!(sol.converged, "residual {}", sol.outer_residual);
+        assert!(sol.residuals.row_inf < 1e-6);
+        assert!(sol.residuals.col_inf < 1e-6);
+        assert!(sol.x.as_slice().iter().all(|&v| v >= 0.0));
+        // The solution must beat the feasible starting point.
+        let (x_init, s_init, d_init) = p.initial_feasible();
+        assert!(sol.objective <= p.objective(&x_init, &s_init, &d_init) + 1e-9);
+    }
+
+    #[test]
+    fn elastic_general_runs() {
+        let x0 = DenseMatrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let g = dd_matrix(4, 8.0, 0.5);
+        let a = dd_matrix(2, 4.0, 0.5);
+        let b = dd_matrix(2, 4.0, 0.5);
+        let p = GeneralProblem::new(
+            x0,
+            g,
+            GeneralTotalSpec::Elastic {
+                a,
+                s0: vec![5.0, 5.0],
+                b,
+                d0: vec![5.0, 5.0],
+            },
+        )
+        .unwrap();
+        let sol = solve_general(&p, &GeneralSeaOptions::with_epsilon(1e-9)).unwrap();
+        assert!(sol.converged);
+        // Row sums match estimated totals.
+        let rs = sol.x.row_sums();
+        for i in 0..2 {
+            assert!((rs[i] - sol.s[i]).abs() < 1e-6);
+        }
+        // Totals pulled from prior margins (3) toward targets (5).
+        assert!(sol.s[0] > 3.0 && sol.s[0] < 5.0);
+    }
+
+    #[test]
+    fn balanced_general_balances() {
+        let x0 = DenseMatrix::from_rows(&[vec![0.0, 3.0], vec![2.0, 1.0]]).unwrap();
+        let g = dd_matrix(4, 8.0, 0.5);
+        let a = dd_matrix(2, 4.0, 0.5);
+        let p = GeneralProblem::new(
+            x0,
+            g,
+            GeneralTotalSpec::Balanced {
+                a,
+                s0: vec![4.0, 3.0],
+            },
+        )
+        .unwrap();
+        let sol = solve_general(&p, &GeneralSeaOptions::with_epsilon(1e-9)).unwrap();
+        assert!(sol.converged);
+        let rs = sol.x.row_sums();
+        let cs = sol.x.col_sums();
+        for i in 0..2 {
+            assert!((rs[i] - cs[i]).abs() < 1e-6, "account {i} unbalanced");
+        }
+    }
+
+    #[test]
+    fn warm_start_does_not_change_the_answer() {
+        let x0 = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let g = dd_matrix(4, 8.0, 1.5);
+        let totals = GeneralTotalSpec::Fixed {
+            s0: vec![4.0, 6.0],
+            d0: vec![5.0, 5.0],
+        };
+        let p = GeneralProblem::new(x0, g, totals).unwrap();
+        let mut warm = GeneralSeaOptions::with_epsilon(1e-10);
+        warm.warm_start_inner = true;
+        let mut cold = GeneralSeaOptions::with_epsilon(1e-10);
+        cold.warm_start_inner = false;
+        let a = solve_general(&p, &warm).unwrap();
+        let b = solve_general(&p, &cold).unwrap();
+        assert!(a.converged && b.converged);
+        assert!(a.x.max_abs_diff(&b.x) < 1e-7);
+        // Warm starting can only reduce the total inner work.
+        assert!(a.inner_iterations <= b.inner_iterations);
+    }
+
+    #[test]
+    fn trace_contains_projection_phases() {
+        let x0 = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let g = dd_matrix(4, 10.0, 1.0);
+        let p = GeneralProblem::new(
+            x0,
+            g,
+            GeneralTotalSpec::Fixed {
+                s0: vec![4.0, 6.0],
+                d0: vec![5.0, 5.0],
+            },
+        )
+        .unwrap();
+        let mut opts = GeneralSeaOptions::with_epsilon(1e-8);
+        opts.record_trace = true;
+        let sol = solve_general(&p, &opts).unwrap();
+        let tr = sol.trace.as_ref().unwrap();
+        assert_eq!(tr.count(PhaseKind::Projection), sol.outer_iterations);
+        assert!(tr.count(PhaseKind::RowEquilibration) >= sol.outer_iterations);
+    }
+}

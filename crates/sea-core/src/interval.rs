@@ -1,0 +1,353 @@
+//! Box/interval-constrained diagonal problems — the Harrigan–Buchanan
+//! (1984) and Ohuchi–Kaji (1984) extensions noted in §2.
+//!
+//! The fixed-totals diagonal problem gains per-entry bounds
+//! `loᵢⱼ ≤ xᵢⱼ ≤ hiᵢⱼ` (interval constraints on the estimates). The SEA
+//! machinery carries over unchanged: each row/column subproblem becomes a
+//! box-bounded continuous quadratic knapsack, still solvable exactly by a
+//! breakpoint sweep ([`crate::knapsack::exact_equilibration_boxed`]).
+
+use crate::error::SeaError;
+use crate::knapsack::{exact_equilibration_boxed, EquilibrationScratch, TotalMode};
+use crate::problem::Residuals;
+use sea_linalg::DenseMatrix;
+use std::time::{Duration, Instant};
+
+/// A fixed-totals diagonal problem with entry bounds.
+#[derive(Debug, Clone)]
+pub struct BoundedProblem {
+    x0: DenseMatrix,
+    gamma: DenseMatrix,
+    lo: DenseMatrix,
+    hi: DenseMatrix,
+    s0: Vec<f64>,
+    d0: Vec<f64>,
+}
+
+impl BoundedProblem {
+    /// Build and validate.
+    ///
+    /// # Errors
+    /// * [`SeaError::Shape`] for any dimension mismatch.
+    /// * [`SeaError::InconsistentBounds`] if some `lo > hi` entrywise.
+    /// * [`SeaError::InconsistentTotals`] if `Σ s⁰ ≠ Σ d⁰`.
+    /// * [`SeaError::NonPositiveWeight`] for non-positive `γ`.
+    /// * [`SeaError::InfeasibleSubproblem`] when a row/column total falls
+    ///   outside its `[Σ lo, Σ hi]` range.
+    pub fn new(
+        x0: DenseMatrix,
+        gamma: DenseMatrix,
+        lo: DenseMatrix,
+        hi: DenseMatrix,
+        s0: Vec<f64>,
+        d0: Vec<f64>,
+    ) -> Result<Self, SeaError> {
+        let (m, n) = (x0.rows(), x0.cols());
+        for (mat, ctx) in [(&gamma, "gamma"), (&lo, "lo"), (&hi, "hi")] {
+            if mat.rows() != m || mat.cols() != n {
+                return Err(SeaError::Shape {
+                    context: match ctx {
+                        "gamma" => "bounded gamma shape",
+                        "lo" => "bounded lo shape",
+                        _ => "bounded hi shape",
+                    },
+                    expected: m * n,
+                    actual: mat.rows() * mat.cols(),
+                });
+            }
+        }
+        if s0.len() != m || d0.len() != n {
+            return Err(SeaError::Shape {
+                context: "bounded totals",
+                expected: m + n,
+                actual: s0.len() + d0.len(),
+            });
+        }
+        for (k, (&l, &h)) in lo.as_slice().iter().zip(hi.as_slice()).enumerate() {
+            if l > h {
+                return Err(SeaError::InconsistentBounds { index: k });
+            }
+        }
+        for (k, &g) in gamma.as_slice().iter().enumerate() {
+            if !(g > 0.0) {
+                return Err(SeaError::NonPositiveWeight {
+                    which: "gamma",
+                    index: k,
+                    value: g,
+                });
+            }
+        }
+        let rs: f64 = s0.iter().sum();
+        let cs: f64 = d0.iter().sum();
+        if (rs - cs).abs() > 1e-9 * rs.abs().max(cs.abs()).max(1.0) {
+            return Err(SeaError::InconsistentTotals {
+                row_total: rs,
+                col_total: cs,
+            });
+        }
+        // Per-subproblem feasibility: s⁰ᵢ ∈ [Σⱼ lo, Σⱼ hi], likewise columns.
+        for i in 0..m {
+            let l: f64 = lo.row(i).iter().sum();
+            let h: f64 = hi.row(i).iter().sum();
+            if s0[i] < l - 1e-9 || s0[i] > h + 1e-9 {
+                return Err(SeaError::InfeasibleSubproblem { side: "row", index: i });
+            }
+        }
+        let lo_t = lo.transposed();
+        let hi_t = hi.transposed();
+        for j in 0..n {
+            let l: f64 = lo_t.row(j).iter().sum();
+            let h: f64 = hi_t.row(j).iter().sum();
+            if d0[j] < l - 1e-9 || d0[j] > h + 1e-9 {
+                return Err(SeaError::InfeasibleSubproblem {
+                    side: "column",
+                    index: j,
+                });
+            }
+        }
+        Ok(Self {
+            x0,
+            gamma,
+            lo,
+            hi,
+            s0,
+            d0,
+        })
+    }
+
+    /// Rows.
+    pub fn m(&self) -> usize {
+        self.x0.rows()
+    }
+
+    /// Columns.
+    pub fn n(&self) -> usize {
+        self.x0.cols()
+    }
+
+    /// Objective `Σ γᵢⱼ (xᵢⱼ − x⁰ᵢⱼ)²`.
+    pub fn objective(&self, x: &DenseMatrix) -> f64 {
+        x.as_slice()
+            .iter()
+            .zip(self.x0.as_slice().iter().zip(self.gamma.as_slice()))
+            .map(|(x, (x0, g))| g * (x - x0) * (x - x0))
+            .sum()
+    }
+}
+
+/// Result of a bounded solve.
+#[derive(Debug, Clone)]
+pub struct BoundedSolution {
+    /// The estimate.
+    pub x: DenseMatrix,
+    /// Row multipliers.
+    pub lambda: Vec<f64>,
+    /// Column multipliers.
+    pub mu: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the relative row-balance criterion fired.
+    pub converged: bool,
+    /// Final constraint residuals.
+    pub residuals: Residuals,
+    /// Objective value.
+    pub objective: f64,
+    /// Wall clock.
+    pub elapsed: Duration,
+}
+
+/// Solve a bounded problem by SEA with box-bounded exact equilibration.
+///
+/// # Errors
+/// Propagates kernel failures; returns `converged = false` on hitting
+/// `max_iterations`.
+pub fn solve_bounded(
+    p: &BoundedProblem,
+    epsilon: f64,
+    max_iterations: usize,
+) -> Result<BoundedSolution, SeaError> {
+    let start = Instant::now();
+    let (m, n) = (p.m(), p.n());
+    let x0_t = p.x0.transposed();
+    let gamma_t = p.gamma.transposed();
+    let lo_t = p.lo.transposed();
+    let hi_t = p.hi.transposed();
+
+    let mut lambda = vec![0.0; m];
+    let mut mu = vec![0.0; n];
+    let mut x = DenseMatrix::zeros(m, n)?;
+    let mut x_t = DenseMatrix::zeros(n, m)?;
+    let mut scratch = EquilibrationScratch::new();
+
+    let mut iterations = 0;
+    let mut converged = false;
+    for t in 1..=max_iterations.max(1) {
+        iterations = t;
+        for i in 0..m {
+            let r = exact_equilibration_boxed(
+                p.x0.row(i),
+                p.gamma.row(i),
+                &mu,
+                p.lo.row(i),
+                p.hi.row(i),
+                TotalMode::Fixed { total: p.s0[i] },
+                x.row_mut(i),
+                &mut scratch,
+            )?;
+            lambda[i] = r.lambda;
+        }
+        for j in 0..n {
+            let r = exact_equilibration_boxed(
+                x0_t.row(j),
+                gamma_t.row(j),
+                &lambda,
+                lo_t.row(j),
+                hi_t.row(j),
+                TotalMode::Fixed { total: p.d0[j] },
+                x_t.row_mut(j),
+                &mut scratch,
+            )?;
+            mu[j] = r.lambda;
+        }
+        // Relative row balance after the column pass.
+        let row_sums = x_t.col_sums();
+        let rel = row_sums
+            .iter()
+            .zip(&p.s0)
+            .map(|(r, s)| (r - s).abs() / s.abs().max(1e-12))
+            .fold(0.0_f64, f64::max);
+        if rel <= epsilon {
+            converged = true;
+            break;
+        }
+    }
+
+    let x_final = x_t.transposed();
+    let row_sums = x_final.row_sums();
+    let col_sums = x_final.col_sums();
+    let mut residuals = Residuals::default();
+    let mut sq = 0.0;
+    for i in 0..m {
+        let v = (row_sums[i] - p.s0[i]).abs();
+        residuals.row_inf = residuals.row_inf.max(v);
+        residuals.rel_row_inf = residuals.rel_row_inf.max(v / p.s0[i].abs().max(1e-12));
+        sq += v * v;
+    }
+    for j in 0..n {
+        let v = (col_sums[j] - p.d0[j]).abs();
+        residuals.col_inf = residuals.col_inf.max(v);
+        sq += v * v;
+    }
+    residuals.norm2 = sq.sqrt();
+    let objective = p.objective(&x_final);
+
+    Ok(BoundedSolution {
+        x: x_final,
+        lambda,
+        mu,
+        iterations,
+        converged,
+        residuals,
+        objective,
+        elapsed: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn problem() -> BoundedProblem {
+        let x0 = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let gamma = DenseMatrix::filled(2, 2, 1.0).unwrap();
+        let lo = DenseMatrix::filled(2, 2, 0.5).unwrap();
+        let hi = DenseMatrix::filled(2, 2, 10.0).unwrap();
+        BoundedProblem::new(x0, gamma, lo, hi, vec![4.0, 6.0], vec![5.0, 5.0]).unwrap()
+    }
+
+    #[test]
+    fn bounded_solve_is_feasible_and_within_bounds() {
+        let p = problem();
+        let sol = solve_bounded(&p, 1e-10, 10_000).unwrap();
+        assert!(sol.converged);
+        assert!(sol.residuals.row_inf < 1e-8);
+        assert!(sol.residuals.col_inf < 1e-9);
+        for &v in sol.x.as_slice() {
+            assert!((0.5..=10.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn loose_bounds_match_unbounded_sea() {
+        let x0 = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let gamma = DenseMatrix::filled(2, 2, 1.0).unwrap();
+        let lo = DenseMatrix::filled(2, 2, 0.0).unwrap();
+        let hi = DenseMatrix::filled(2, 2, 1e9).unwrap();
+        let p = BoundedProblem::new(
+            x0.clone(),
+            gamma.clone(),
+            lo,
+            hi,
+            vec![4.0, 6.0],
+            vec![5.0, 5.0],
+        )
+        .unwrap();
+        let bounded = solve_bounded(&p, 1e-12, 10_000).unwrap();
+        let dp = crate::problem::DiagonalProblem::new(
+            x0,
+            gamma,
+            crate::problem::TotalSpec::Fixed {
+                s0: vec![4.0, 6.0],
+                d0: vec![5.0, 5.0],
+            },
+        )
+        .unwrap();
+        let free = crate::solver::solve_diagonal(
+            &dp,
+            &crate::solver::SeaOptions::with_epsilon(1e-12),
+        )
+        .unwrap();
+        assert!(bounded.x.max_abs_diff(&free.x) < 1e-6);
+    }
+
+    #[test]
+    fn tight_bounds_pin_entries() {
+        // Pin entry (0,0) to exactly 2.0 via lo = hi.
+        let x0 = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let gamma = DenseMatrix::filled(2, 2, 1.0).unwrap();
+        let mut lo = DenseMatrix::filled(2, 2, 0.0).unwrap();
+        let mut hi = DenseMatrix::filled(2, 2, 100.0).unwrap();
+        lo.set(0, 0, 2.0);
+        hi.set(0, 0, 2.0);
+        let p = BoundedProblem::new(x0, gamma, lo, hi, vec![4.0, 6.0], vec![5.0, 5.0]).unwrap();
+        let sol = solve_bounded(&p, 1e-10, 10_000).unwrap();
+        assert!(sol.converged);
+        assert!((sol.x.get(0, 0) - 2.0).abs() < 1e-9);
+        assert!(sol.residuals.row_inf < 1e-7);
+    }
+
+    #[test]
+    fn validation_rejects_infeasible_margins() {
+        let x0 = DenseMatrix::filled(2, 2, 1.0).unwrap();
+        let gamma = DenseMatrix::filled(2, 2, 1.0).unwrap();
+        let lo = DenseMatrix::filled(2, 2, 0.0).unwrap();
+        let hi = DenseMatrix::filled(2, 2, 1.0).unwrap();
+        // Row 0 total 3.0 exceeds Σ hi = 2.
+        assert!(matches!(
+            BoundedProblem::new(x0, gamma, lo, hi, vec![3.0, 1.0], vec![2.0, 2.0]),
+            Err(SeaError::InfeasibleSubproblem { side: "row", index: 0 })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_crossed_bounds() {
+        let x0 = DenseMatrix::filled(2, 2, 1.0).unwrap();
+        let gamma = DenseMatrix::filled(2, 2, 1.0).unwrap();
+        let lo = DenseMatrix::filled(2, 2, 2.0).unwrap();
+        let hi = DenseMatrix::filled(2, 2, 1.0).unwrap();
+        assert!(matches!(
+            BoundedProblem::new(x0, gamma, lo, hi, vec![4.0, 4.0], vec![4.0, 4.0]),
+            Err(SeaError::InconsistentBounds { index: 0 })
+        ));
+    }
+}

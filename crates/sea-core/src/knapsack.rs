@@ -1,0 +1,974 @@
+//! Exact equilibration: the closed-form single-constraint quadratic solver.
+//!
+//! Every row and column subproblem that SEA (and RC) produces has the form
+//!
+//! ```text
+//!   min  Σⱼ γⱼ (xⱼ − qⱼ)²  −  Σⱼ shiftⱼ·xⱼ   [+ total term]
+//!   s.t. Σⱼ xⱼ = S,   xⱼ ≥ 0
+//! ```
+//!
+//! where `shiftⱼ` carries the opposite side's Lagrange multipliers (μⱼ′ in a
+//! row pass, λᵢ in a column pass). The KKT conditions (paper eq. 20–23) give
+//!
+//! ```text
+//!   xⱼ(λ) = ( qⱼ + (shiftⱼ + λ) / (2γⱼ) )₊
+//! ```
+//!
+//! with `λ` the multiplier of the total constraint, so the subproblem
+//! reduces to the one-dimensional piecewise-linear equation `Σⱼ xⱼ(λ) = S(λ)`
+//! solved exactly by sorting the *breakpoints* `bⱼ = −2γⱼqⱼ − shiftⱼ` and
+//! scanning — the *exact equilibration* of Eydeland–Nagurney (1989), with
+//! the paper's `7n + n·ln n + 2n` operation profile.
+//!
+//! The total specification `S(λ)` comes in three flavours ([`TotalMode`]):
+//!
+//! * **Fixed** — `S = s⁰` (eq. 45–48; the classical transportation case).
+//! * **Elastic** — `S = s` is itself a variable with objective term
+//!   `α(s − s⁰)²`; KKT gives `s(λ) = s⁰ − (λ + cross)/(2α)` (eq. 23b/40b),
+//!   where `cross` is 0 for the unknown-totals problem and the transpose
+//!   multiplier for the SAM problem.
+//!
+//! A box-bounded variant ([`exact_equilibration_boxed`]) supports the
+//! Ohuchi–Kaji (1984) bounded model and Harrigan–Buchanan (1984) interval
+//! constraints.
+
+use crate::error::SeaError;
+use sea_linalg::sort;
+
+/// How the subproblem's total is specified.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TotalMode {
+    /// The total is known and fixed: `Σⱼ xⱼ = total`.
+    Fixed {
+        /// The fixed (nonnegative) total `s⁰ᵢ` or `d⁰ⱼ′`.
+        total: f64,
+    },
+    /// The total is elastic with quadratic penalty `alpha·(s − prior)²`; the
+    /// optimal total is `s(λ) = prior − (λ + cross)/(2·alpha)`.
+    Elastic {
+        /// Strictly positive penalty weight (`αᵢ` or `βⱼ′`).
+        alpha: f64,
+        /// Prior total (`s⁰ᵢ` or `d⁰ⱼ′`).
+        prior: f64,
+        /// Extra multiplier folded into the total's stationarity condition:
+        /// 0 for the unknown-totals problem, the transpose multiplier for
+        /// the SAM balanced problem (eq. 40b).
+        cross: f64,
+    },
+}
+
+/// Result of one exact equilibration solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EquilibrationResult {
+    /// Lagrange multiplier of the total constraint.
+    pub lambda: f64,
+    /// The realized total `S` (equals the fixed total, or the optimal
+    /// elastic total).
+    pub total: f64,
+    /// Number of strictly positive entries in the solution.
+    pub active: usize,
+}
+
+/// Reusable workspace so the hot loop performs no allocation (workhorse
+/// buffers, per the performance guide).
+#[derive(Debug, Default, Clone)]
+pub struct EquilibrationScratch {
+    breakpoints: Vec<f64>,
+    order: Vec<u32>,
+    /// Second event array for the boxed variant.
+    events_hi: Vec<f64>,
+}
+
+impl EquilibrationScratch {
+    /// Fresh scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn prepare(&mut self, n: usize) {
+        self.breakpoints.clear();
+        self.breakpoints.reserve(n);
+        self.order.clear();
+        self.order.reserve(2 * n);
+    }
+}
+
+/// Operation-count model for one exact equilibration of length `n`, per the
+/// paper's Section 3 analysis (`7n + n ln n + 2n`). Used by the scheduling
+/// simulator as an architecture-independent task cost.
+#[inline]
+pub fn operation_count(n: usize) -> f64 {
+    let nf = n as f64;
+    9.0 * nf + nf * nf.max(1.0).ln()
+}
+
+#[inline]
+fn validate_inputs(
+    q: &[f64],
+    gamma: &[f64],
+    shift: &[f64],
+    x_out: &[f64],
+) -> Result<(), SeaError> {
+    let n = q.len();
+    if gamma.len() != n {
+        return Err(SeaError::Shape {
+            context: "exact_equilibration gamma",
+            expected: n,
+            actual: gamma.len(),
+        });
+    }
+    if shift.len() != n {
+        return Err(SeaError::Shape {
+            context: "exact_equilibration shift",
+            expected: n,
+            actual: shift.len(),
+        });
+    }
+    if x_out.len() != n {
+        return Err(SeaError::Shape {
+            context: "exact_equilibration x_out",
+            expected: n,
+            actual: x_out.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Solve the single-constraint subproblem by exact equilibration.
+///
+/// `q` are the priors, `gamma` the strictly positive quadratic weights,
+/// `shift` the opposite-side multipliers, `mode` the total specification.
+/// The optimal entries are written to `x_out`.
+///
+/// ```
+/// use sea_core::knapsack::{exact_equilibration, EquilibrationScratch, TotalMode};
+///
+/// // Spread a total of 9 across priors (1, 2, 3) with unit weights:
+/// // every entry shifts by +1.
+/// let mut x = [0.0; 3];
+/// let mut scratch = EquilibrationScratch::new();
+/// let r = exact_equilibration(
+///     &[1.0, 2.0, 3.0],
+///     &[1.0, 1.0, 1.0],
+///     &[0.0, 0.0, 0.0],
+///     TotalMode::Fixed { total: 9.0 },
+///     &mut x,
+///     &mut scratch,
+/// ).unwrap();
+/// assert!((x[0] - 2.0).abs() < 1e-12);
+/// assert!((r.lambda - 2.0).abs() < 1e-12);
+/// ```
+///
+/// # Errors
+/// * [`SeaError::Shape`] on length mismatches.
+/// * [`SeaError::InfeasibleSubproblem`] for a fixed positive total with no
+///   entries.
+/// * [`SeaError::NonPositiveWeight`] if any `gamma` (or elastic `alpha`) is
+///   not strictly positive (checked in debug and on the slow path).
+pub fn exact_equilibration(
+    q: &[f64],
+    gamma: &[f64],
+    shift: &[f64],
+    mode: TotalMode,
+    x_out: &mut [f64],
+    scratch: &mut EquilibrationScratch,
+) -> Result<EquilibrationResult, SeaError> {
+    validate_inputs(q, gamma, shift, x_out)?;
+    let n = q.len();
+
+    if let TotalMode::Elastic { alpha, .. } = mode {
+        if !(alpha > 0.0) {
+            return Err(SeaError::NonPositiveWeight {
+                which: "alpha",
+                index: 0,
+                value: alpha,
+            });
+        }
+    }
+
+    if n == 0 {
+        return match mode {
+            TotalMode::Fixed { total } if total > 0.0 => Err(SeaError::InfeasibleSubproblem {
+                side: "row",
+                index: 0,
+            }),
+            TotalMode::Fixed { .. } => Ok(EquilibrationResult {
+                lambda: 0.0,
+                total: 0.0,
+                active: 0,
+            }),
+            TotalMode::Elastic { alpha, prior, cross } => {
+                // Only the elastic total remains: s = prior − (λ+cross)/(2α)
+                // with s = Σx = 0 ⇒ λ = 2α·prior − cross.
+                Ok(EquilibrationResult {
+                    lambda: 2.0 * alpha * prior - cross,
+                    total: 0.0,
+                    active: 0,
+                })
+            }
+        };
+    }
+
+    // Breakpoints bⱼ = −2γⱼqⱼ − shiftⱼ: entry j is active for λ > bⱼ.
+    scratch.prepare(n);
+    for j in 0..n {
+        debug_assert!(gamma[j] > 0.0, "gamma must be strictly positive");
+        scratch
+            .breakpoints
+            .push(-2.0 * gamma[j] * q[j] - shift[j]);
+    }
+    scratch.order.resize(n, 0);
+    sort::identity_permutation(&mut scratch.order);
+    sort::argsort(&mut scratch.order, &scratch.breakpoints);
+
+    // Sweep the segments. Active prefix r contributes Σ (qⱼ + shiftⱼ/(2γⱼ))
+    // (accumulated in `a`) plus λ·Σ 1/(2γⱼ) (accumulated in `b`).
+    let mut a = 0.0_f64;
+    let mut b = 0.0_f64;
+    // Elastic constants.
+    let (el_slope, el_const) = match mode {
+        TotalMode::Fixed { .. } => (0.0, 0.0),
+        TotalMode::Elastic { alpha, prior, cross } => {
+            (1.0 / (2.0 * alpha), prior - cross / (2.0 * alpha))
+        }
+    };
+
+    let mut lambda = f64::NAN;
+    for r in 0..=n {
+        let upper = if r < n {
+            scratch.breakpoints[scratch.order[r] as usize]
+        } else {
+            f64::INFINITY
+        };
+        // Root of: a + λ·b  =  S(λ), where for fixed mode S(λ) = total and
+        // for elastic S(λ) = el_const − λ·el_slope.
+        let cand = match mode {
+            TotalMode::Fixed { total } => {
+                if b > 0.0 {
+                    Some((total - a) / b)
+                } else if total <= 0.0 {
+                    // All entries zero is the solution; λ may sit anywhere
+                    // at or below the first breakpoint — report the
+                    // boundary (the largest valid multiplier).
+                    Some(if r < n { upper } else { 0.0 })
+                } else {
+                    None
+                }
+            }
+            TotalMode::Elastic { .. } => Some((el_const - a) / (b + el_slope)),
+        };
+        if let Some(c) = cand {
+            if c <= upper {
+                lambda = c;
+                break;
+            }
+        }
+        if r < n {
+            let j = scratch.order[r] as usize;
+            let inv2g = 1.0 / (2.0 * gamma[j]);
+            a += q[j] + shift[j] * inv2g;
+            b += inv2g;
+        }
+    }
+
+    if !lambda.is_finite() {
+        // Fixed positive total but every segment exhausted: can only happen
+        // when b stays 0, i.e. n == 0 (handled above) — defensive.
+        return Err(SeaError::NumericalBreakdown { iteration: 0 });
+    }
+
+    // Materialize the solution.
+    let mut sum = 0.0;
+    let mut active = 0usize;
+    for j in 0..n {
+        let v = q[j] + (shift[j] + lambda) / (2.0 * gamma[j]);
+        let v = if v > 0.0 { v } else { 0.0 };
+        if v > 0.0 {
+            active += 1;
+        }
+        x_out[j] = v;
+        sum += v;
+    }
+
+    let total = match mode {
+        TotalMode::Fixed { total } => total,
+        TotalMode::Elastic { alpha, prior, cross } => prior - (lambda + cross) / (2.0 * alpha),
+    };
+
+    // Absorb the residual rounding error into the largest entries so the
+    // constraint holds to near machine precision (keeps downstream
+    // convergence checks honest). Proportional correction preserves
+    // nonnegativity.
+    let err = total - sum;
+    if err != 0.0 && sum > 0.0 && err.abs() > 0.0 {
+        let scale = total / sum;
+        if scale.is_finite() && scale > 0.0 {
+            for v in x_out.iter_mut() {
+                *v *= scale;
+            }
+        }
+    }
+
+    Ok(EquilibrationResult {
+        lambda,
+        total,
+        active,
+    })
+}
+
+/// Box-bounded exact equilibration: `loⱼ ≤ xⱼ ≤ hiⱼ` instead of `xⱼ ≥ 0`.
+///
+/// Supports the Ohuchi–Kaji (1984) bounded transportation model and the
+/// Harrigan–Buchanan (1984) interval-constrained I/O estimation model. The
+/// projected entry is `xⱼ(λ) = clamp(qⱼ + (shiftⱼ + λ)/(2γⱼ), loⱼ, hiⱼ)`,
+/// so each entry contributes two breakpoints; the sweep is otherwise the
+/// same as [`exact_equilibration`].
+///
+/// # Errors
+/// * [`SeaError::Shape`] on length mismatches.
+/// * [`SeaError::InconsistentBounds`] if some `loⱼ > hiⱼ`.
+/// * [`SeaError::InfeasibleSubproblem`] if the fixed total lies outside
+///   `[Σ lo, Σ hi]`.
+#[allow(clippy::too_many_arguments)]
+pub fn exact_equilibration_boxed(
+    q: &[f64],
+    gamma: &[f64],
+    shift: &[f64],
+    lo: &[f64],
+    hi: &[f64],
+    mode: TotalMode,
+    x_out: &mut [f64],
+    scratch: &mut EquilibrationScratch,
+) -> Result<EquilibrationResult, SeaError> {
+    validate_inputs(q, gamma, shift, x_out)?;
+    let n = q.len();
+    if lo.len() != n || hi.len() != n {
+        return Err(SeaError::Shape {
+            context: "exact_equilibration_boxed bounds",
+            expected: n,
+            actual: lo.len().min(hi.len()),
+        });
+    }
+    for j in 0..n {
+        if lo[j] > hi[j] {
+            return Err(SeaError::InconsistentBounds { index: j });
+        }
+    }
+    let sum_lo: f64 = lo.iter().sum();
+    let sum_hi: f64 = hi.iter().sum();
+    if let TotalMode::Fixed { total } = mode {
+        let span = (sum_hi - sum_lo).abs().max(1.0);
+        if total < sum_lo - 1e-9 * span || total > sum_hi + 1e-9 * span {
+            return Err(SeaError::InfeasibleSubproblem {
+                side: "row",
+                index: 0,
+            });
+        }
+    }
+    if let TotalMode::Elastic { alpha, .. } = mode {
+        if !(alpha > 0.0) {
+            return Err(SeaError::NonPositiveWeight {
+                which: "alpha",
+                index: 0,
+                value: alpha,
+            });
+        }
+    }
+
+    // Event k < n is entry k leaving its lower bound; event k ≥ n is entry
+    // k−n saturating at its upper bound.
+    scratch.prepare(n);
+    scratch.events_hi.clear();
+    scratch.events_hi.reserve(2 * n);
+    for j in 0..n {
+        scratch
+            .events_hi
+            .push(2.0 * gamma[j] * (lo[j] - q[j]) - shift[j]);
+    }
+    for j in 0..n {
+        scratch
+            .events_hi
+            .push(2.0 * gamma[j] * (hi[j] - q[j]) - shift[j]);
+    }
+    scratch.order.resize(2 * n, 0);
+    sort::identity_permutation(&mut scratch.order);
+    sort::argsort(&mut scratch.order, &scratch.events_hi);
+
+    let (el_slope, el_const) = match mode {
+        TotalMode::Fixed { .. } => (0.0, 0.0),
+        TotalMode::Elastic { alpha, prior, cross } => {
+            (1.0 / (2.0 * alpha), prior - cross / (2.0 * alpha))
+        }
+    };
+
+    // Start below every event: all entries pinned at lo.
+    let mut a = sum_lo;
+    let mut b = 0.0_f64;
+    let mut lambda = f64::NAN;
+    for r in 0..=(2 * n) {
+        let upper = if r < 2 * n {
+            scratch.events_hi[scratch.order[r] as usize]
+        } else {
+            f64::INFINITY
+        };
+        let cand = match mode {
+            TotalMode::Fixed { total } => {
+                if b > 0.0 {
+                    Some((total - a) / b)
+                } else if (a - total).abs() <= 1e-12 * total.abs().max(1.0) {
+                    // Flat segment already matching the total.
+                    Some(if r < 2 * n { upper } else { 0.0 })
+                } else {
+                    None
+                }
+            }
+            TotalMode::Elastic { .. } => Some((el_const - a) / (b + el_slope)),
+        };
+        if let Some(c) = cand {
+            if c <= upper {
+                lambda = c;
+                break;
+            }
+        }
+        if r < 2 * n {
+            let e = scratch.order[r] as usize;
+            let j = e % n;
+            let inv2g = 1.0 / (2.0 * gamma[j]);
+            if e < n {
+                // Entry leaves its lower bound.
+                a += q[j] + shift[j] * inv2g - lo[j];
+                b += inv2g;
+            } else {
+                // Entry saturates at its upper bound.
+                a += hi[j] - (q[j] + shift[j] * inv2g);
+                b -= inv2g;
+            }
+        }
+    }
+    if !lambda.is_finite() {
+        // Fixed mode where the total is only attained at the extreme: clamp.
+        lambda = match mode {
+            TotalMode::Fixed { total } if total >= sum_hi => f64::MAX.sqrt(),
+            _ => -f64::MAX.sqrt(),
+        };
+    }
+
+    let mut active = 0usize;
+    let mut sum = 0.0;
+    for j in 0..n {
+        let raw = q[j] + (shift[j] + lambda) / (2.0 * gamma[j]);
+        let v = raw.clamp(lo[j], hi[j]);
+        if v > lo[j] && v < hi[j] {
+            active += 1;
+        }
+        x_out[j] = v;
+        sum += v;
+    }
+    let total = match mode {
+        TotalMode::Fixed { total } => total,
+        TotalMode::Elastic { alpha, prior, cross } => prior - (lambda + cross) / (2.0 * alpha),
+    };
+    let _ = sum;
+
+    Ok(EquilibrationResult {
+        lambda,
+        total,
+        active,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Reference solve by bisection on λ — independent of the sweep logic.
+    fn bisect_reference(
+        q: &[f64],
+        gamma: &[f64],
+        shift: &[f64],
+        mode: TotalMode,
+    ) -> (f64, Vec<f64>) {
+        let g = |lam: f64| -> f64 {
+            let s: f64 = q
+                .iter()
+                .zip(gamma)
+                .zip(shift)
+                .map(|((&qj, &gj), &mj)| (qj + (mj + lam) / (2.0 * gj)).max(0.0))
+                .sum();
+            match mode {
+                TotalMode::Fixed { total } => s - total,
+                TotalMode::Elastic { alpha, prior, cross } => {
+                    s - (prior - (lam + cross) / (2.0 * alpha))
+                }
+            }
+        };
+        let (mut lo, mut hi) = (-1e9, 1e9);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if g(mid) > 0.0 {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        let lam = 0.5 * (lo + hi);
+        let x = q
+            .iter()
+            .zip(gamma)
+            .zip(shift)
+            .map(|((&qj, &gj), &mj)| (qj + (mj + lam) / (2.0 * gj)).max(0.0))
+            .collect();
+        (lam, x)
+    }
+
+    fn check_kkt(
+        q: &[f64],
+        gamma: &[f64],
+        shift: &[f64],
+        x: &[f64],
+        lambda: f64,
+        tol: f64,
+    ) {
+        for j in 0..q.len() {
+            let grad = 2.0 * gamma[j] * (x[j] - q[j]) - shift[j] - lambda;
+            if x[j] > tol {
+                assert!(
+                    grad.abs() <= tol * (1.0 + gamma[j].abs() * q[j].abs()),
+                    "stationarity violated at {j}: grad={grad}"
+                );
+            } else {
+                assert!(grad >= -tol * (1.0 + gamma[j].abs()), "sign violated at {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_mode_simple() {
+        // Equal weights, zero shift: equilibration spreads the total with
+        // equal adjustments.
+        let q = [1.0, 2.0, 3.0];
+        let gamma = [1.0, 1.0, 1.0];
+        let shift = [0.0; 3];
+        let mut x = [0.0; 3];
+        let mut sc = EquilibrationScratch::new();
+        let r = exact_equilibration(
+            &q,
+            &gamma,
+            &shift,
+            TotalMode::Fixed { total: 9.0 },
+            &mut x,
+            &mut sc,
+        )
+        .unwrap();
+        // Each entry shifts by +1 ⇒ x = (2,3,4), λ = 2.
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+        assert!((x[2] - 4.0).abs() < 1e-12);
+        assert!((r.lambda - 2.0).abs() < 1e-12);
+        assert_eq!(r.active, 3);
+    }
+
+    #[test]
+    fn fixed_mode_activates_nonnegativity() {
+        // Shrinking the total far enough drives small entries to zero.
+        let q = [1.0, 10.0];
+        let gamma = [1.0, 1.0];
+        let shift = [0.0; 2];
+        let mut x = [0.0; 2];
+        let mut sc = EquilibrationScratch::new();
+        let r = exact_equilibration(
+            &q,
+            &gamma,
+            &shift,
+            TotalMode::Fixed { total: 2.0 },
+            &mut x,
+            &mut sc,
+        )
+        .unwrap();
+        assert_eq!(x[0], 0.0);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+        assert_eq!(r.active, 1);
+        check_kkt(&q, &gamma, &shift, &x, r.lambda, 1e-9);
+    }
+
+    #[test]
+    fn fixed_zero_total_gives_zero_solution() {
+        let q = [1.0, 2.0];
+        let gamma = [0.5, 2.0];
+        let shift = [0.3, -0.7];
+        let mut x = [9.0; 2];
+        let mut sc = EquilibrationScratch::new();
+        let r = exact_equilibration(
+            &q,
+            &gamma,
+            &shift,
+            TotalMode::Fixed { total: 0.0 },
+            &mut x,
+            &mut sc,
+        )
+        .unwrap();
+        assert_eq!(x, [0.0, 0.0]);
+        assert_eq!(r.active, 0);
+        // λ must keep every entry at or below zero.
+        check_kkt(&q, &gamma, &shift, &x, r.lambda, 1e-9);
+    }
+
+    #[test]
+    fn elastic_mode_matches_hand_computation() {
+        // One entry, q=0, γ=1/2, shift=0, α=1/2, prior=4:
+        // x(λ)=(λ)₊, s(λ)=4−λ; x=s ⇒ λ=2, x=2, s=2.
+        let q = [0.0];
+        let gamma = [0.5];
+        let shift = [0.0];
+        let mut x = [0.0];
+        let mut sc = EquilibrationScratch::new();
+        let r = exact_equilibration(
+            &q,
+            &gamma,
+            &shift,
+            TotalMode::Elastic {
+                alpha: 0.5,
+                prior: 4.0,
+                cross: 0.0,
+            },
+            &mut x,
+            &mut sc,
+        )
+        .unwrap();
+        assert!((r.lambda - 2.0).abs() < 1e-12);
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((r.total - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elastic_cross_shift_moves_total() {
+        // SAM-style cross term reduces the realized total.
+        let q = [0.0];
+        let gamma = [0.5];
+        let shift = [0.0];
+        let mut x = [0.0];
+        let mut sc = EquilibrationScratch::new();
+        let r = exact_equilibration(
+            &q,
+            &gamma,
+            &shift,
+            TotalMode::Elastic {
+                alpha: 0.5,
+                prior: 4.0,
+                cross: 1.0,
+            },
+            &mut x,
+            &mut sc,
+        )
+        .unwrap();
+        // x(λ)=λ₊, s=4−(λ+1) ⇒ λ = 1.5, x = 1.5.
+        assert!((r.lambda - 1.5).abs() < 1e-12);
+        assert!((x[0] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_subproblem_cases() {
+        let mut x: [f64; 0] = [];
+        let mut sc = EquilibrationScratch::new();
+        assert!(exact_equilibration(
+            &[],
+            &[],
+            &[],
+            TotalMode::Fixed { total: 1.0 },
+            &mut x,
+            &mut sc
+        )
+        .is_err());
+        let r = exact_equilibration(
+            &[],
+            &[],
+            &[],
+            TotalMode::Fixed { total: 0.0 },
+            &mut x,
+            &mut sc,
+        )
+        .unwrap();
+        assert_eq!(r.active, 0);
+        let r = exact_equilibration(
+            &[],
+            &[],
+            &[],
+            TotalMode::Elastic {
+                alpha: 1.0,
+                prior: 3.0,
+                cross: 0.0,
+            },
+            &mut x,
+            &mut sc,
+        )
+        .unwrap();
+        assert_eq!(r.total, 0.0);
+        assert!((r.lambda - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shape_errors() {
+        let mut x = [0.0; 2];
+        let mut sc = EquilibrationScratch::new();
+        assert!(matches!(
+            exact_equilibration(
+                &[1.0, 2.0],
+                &[1.0],
+                &[0.0, 0.0],
+                TotalMode::Fixed { total: 1.0 },
+                &mut x,
+                &mut sc
+            ),
+            Err(SeaError::Shape { .. })
+        ));
+    }
+
+    #[test]
+    fn boxed_respects_bounds_and_total() {
+        let q = [1.0, 5.0, 2.0];
+        let gamma = [1.0, 1.0, 1.0];
+        let shift = [0.0; 3];
+        let lo = [0.5, 0.0, 1.0];
+        let hi = [2.0, 3.0, 2.5];
+        let mut x = [0.0; 3];
+        let mut sc = EquilibrationScratch::new();
+        let r = exact_equilibration_boxed(
+            &q,
+            &gamma,
+            &shift,
+            &lo,
+            &hi,
+            TotalMode::Fixed { total: 6.0 },
+            &mut x,
+            &mut sc,
+        )
+        .unwrap();
+        let sum: f64 = x.iter().sum();
+        assert!((sum - 6.0).abs() < 1e-9, "sum={sum}");
+        for j in 0..3 {
+            assert!(x[j] >= lo[j] - 1e-12 && x[j] <= hi[j] + 1e-12);
+        }
+        let _ = r;
+    }
+
+    #[test]
+    fn boxed_detects_infeasible_total() {
+        let mut x = [0.0; 2];
+        let mut sc = EquilibrationScratch::new();
+        assert!(matches!(
+            exact_equilibration_boxed(
+                &[1.0, 1.0],
+                &[1.0, 1.0],
+                &[0.0, 0.0],
+                &[0.0, 0.0],
+                &[1.0, 1.0],
+                TotalMode::Fixed { total: 5.0 },
+                &mut x,
+                &mut sc
+            ),
+            Err(SeaError::InfeasibleSubproblem { .. })
+        ));
+        assert!(matches!(
+            exact_equilibration_boxed(
+                &[1.0, 1.0],
+                &[1.0, 1.0],
+                &[0.0, 0.0],
+                &[2.0, 0.0],
+                &[1.0, 1.0],
+                TotalMode::Fixed { total: 1.5 },
+                &mut x,
+                &mut sc
+            ),
+            Err(SeaError::InconsistentBounds { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn boxed_reduces_to_plain_when_bounds_loose() {
+        let q = [1.0, 2.0, 3.0];
+        let gamma = [0.5, 1.5, 1.0];
+        let shift = [0.1, -0.2, 0.0];
+        let lo = [0.0; 3];
+        let hi = [1e12; 3];
+        let mut x_plain = [0.0; 3];
+        let mut x_box = [0.0; 3];
+        let mut sc = EquilibrationScratch::new();
+        let mode = TotalMode::Fixed { total: 7.0 };
+        let r1 =
+            exact_equilibration(&q, &gamma, &shift, mode, &mut x_plain, &mut sc).unwrap();
+        let r2 = exact_equilibration_boxed(
+            &q, &gamma, &shift, &lo, &hi, mode, &mut x_box, &mut sc,
+        )
+        .unwrap();
+        assert!((r1.lambda - r2.lambda).abs() < 1e-9);
+        for j in 0..3 {
+            assert!((x_plain[j] - x_box[j]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn boxed_elastic_mode_balances_total_against_bounds() {
+        // Elastic total with tight upper bounds: the realized total cannot
+        // exceed Σ hi even though the prior total asks for more.
+        let q = [0.0, 0.0];
+        let gamma = [0.5, 0.5];
+        let shift = [0.0, 0.0];
+        let lo = [0.0, 0.0];
+        let hi = [1.0, 1.0];
+        let mut x = [0.0; 2];
+        let mut sc = EquilibrationScratch::new();
+        let r = exact_equilibration_boxed(
+            &q,
+            &gamma,
+            &shift,
+            &lo,
+            &hi,
+            TotalMode::Elastic {
+                alpha: 0.5,
+                prior: 100.0,
+                cross: 0.0,
+            },
+            &mut x,
+            &mut sc,
+        )
+        .unwrap();
+        // Entries saturate at the bounds; the elastic total then sits at
+        // Σx = 2, with λ at the stationarity value s = prior − λ/(2α).
+        assert!((x[0] - 1.0).abs() < 1e-9 && (x[1] - 1.0).abs() < 1e-9);
+        assert!((r.total - 2.0).abs() < 1e-9);
+        let s_stat = 100.0 - r.lambda / (2.0 * 0.5);
+        assert!((s_stat - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boxed_elastic_interior_matches_plain_elastic() {
+        let q = [1.0, 3.0, 2.0];
+        let gamma = [0.7, 1.2, 0.4];
+        let shift = [0.2, -0.1, 0.0];
+        let mode = TotalMode::Elastic {
+            alpha: 0.8,
+            prior: 9.0,
+            cross: 0.3,
+        };
+        let mut x_plain = [0.0; 3];
+        let mut x_boxed = [0.0; 3];
+        let mut sc = EquilibrationScratch::new();
+        let r1 = exact_equilibration(&q, &gamma, &shift, mode, &mut x_plain, &mut sc).unwrap();
+        let lo = [0.0; 3];
+        let hi = [1e9; 3];
+        let r2 = exact_equilibration_boxed(
+            &q, &gamma, &shift, &lo, &hi, mode, &mut x_boxed, &mut sc,
+        )
+        .unwrap();
+        assert!((r1.lambda - r2.lambda).abs() < 1e-9);
+        assert!((r1.total - r2.total).abs() < 1e-9);
+        for k in 0..3 {
+            assert!((x_plain[k] - x_boxed[k]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn operation_count_grows_superlinearly() {
+        assert!(operation_count(2000) > 2.0 * operation_count(1000));
+        assert!(operation_count(0) == 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn fixed_matches_bisection(
+            n in 1usize..40,
+            seed in 0u64..1000,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let q: Vec<f64> = (0..n).map(|_| rng.random_range(-5.0..10.0)).collect();
+            let gamma: Vec<f64> = (0..n).map(|_| rng.random_range(0.05..5.0)).collect();
+            let shift: Vec<f64> = (0..n).map(|_| rng.random_range(-3.0..3.0)).collect();
+            let total = rng.random_range(0.0..30.0);
+            let mode = TotalMode::Fixed { total };
+            let mut x = vec![0.0; n];
+            let mut sc = EquilibrationScratch::new();
+            let r = exact_equilibration(&q, &gamma, &shift, mode, &mut x, &mut sc).unwrap();
+            let (lam_ref, x_ref) = bisect_reference(&q, &gamma, &shift, mode);
+            // Feasibility.
+            let sum: f64 = x.iter().sum();
+            prop_assert!((sum - total).abs() <= 1e-8 * (1.0 + total.abs()), "sum {} vs {}", sum, total);
+            // Multiplier and solution agreement (λ can be non-unique only in
+            // degenerate all-zero cases; compare solutions instead).
+            for j in 0..n {
+                prop_assert!((x[j] - x_ref[j]).abs() <= 1e-5 * (1.0 + x_ref[j].abs()));
+            }
+            if total > 1e-9 {
+                prop_assert!((r.lambda - lam_ref).abs() <= 1e-4 * (1.0 + lam_ref.abs()));
+            }
+            check_kkt(&q, &gamma, &shift, &x, r.lambda, 1e-6);
+        }
+
+        #[test]
+        fn elastic_matches_bisection(
+            n in 1usize..40,
+            seed in 0u64..1000,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let q: Vec<f64> = (0..n).map(|_| rng.random_range(-5.0..10.0)).collect();
+            let gamma: Vec<f64> = (0..n).map(|_| rng.random_range(0.05..5.0)).collect();
+            let shift: Vec<f64> = (0..n).map(|_| rng.random_range(-3.0..3.0)).collect();
+            let alpha = rng.random_range(0.05..5.0);
+            let prior = rng.random_range(-5.0..30.0);
+            let cross = rng.random_range(-2.0..2.0);
+            let mode = TotalMode::Elastic { alpha, prior, cross };
+            let mut x = vec![0.0; n];
+            let mut sc = EquilibrationScratch::new();
+            let r = exact_equilibration(&q, &gamma, &shift, mode, &mut x, &mut sc).unwrap();
+            let (lam_ref, _x_ref) = bisect_reference(&q, &gamma, &shift, mode);
+            prop_assert!((r.lambda - lam_ref).abs() <= 1e-5 * (1.0 + lam_ref.abs()));
+            // Realized total equals the elastic stationarity value and the
+            // entry sum simultaneously.
+            let sum: f64 = x.iter().sum();
+            prop_assert!((sum - r.total).abs() <= 1e-8 * (1.0 + r.total.abs()));
+            let s_stat = prior - (r.lambda + cross) / (2.0 * alpha);
+            prop_assert!((r.total - s_stat).abs() <= 1e-8 * (1.0 + s_stat.abs()));
+            check_kkt(&q, &gamma, &shift, &x, r.lambda, 1e-6);
+        }
+
+        #[test]
+        fn boxed_feasible_and_kkt(
+            n in 1usize..30,
+            seed in 0u64..500,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0xB0C5);
+            let q: Vec<f64> = (0..n).map(|_| rng.random_range(-5.0..10.0)).collect();
+            let gamma: Vec<f64> = (0..n).map(|_| rng.random_range(0.05..5.0)).collect();
+            let shift: Vec<f64> = (0..n).map(|_| rng.random_range(-3.0..3.0)).collect();
+            let lo: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..2.0)).collect();
+            let hi: Vec<f64> = lo.iter().map(|&l| l + rng.random_range(0.1..5.0)).collect();
+            let slo: f64 = lo.iter().sum();
+            let shi: f64 = hi.iter().sum();
+            let total = rng.random_range(slo..=shi);
+            let mut x = vec![0.0; n];
+            let mut sc = EquilibrationScratch::new();
+            let r = exact_equilibration_boxed(
+                &q, &gamma, &shift, &lo, &hi,
+                TotalMode::Fixed { total }, &mut x, &mut sc,
+            ).unwrap();
+            let sum: f64 = x.iter().sum();
+            prop_assert!((sum - total).abs() <= 1e-6 * (1.0 + total.abs()), "sum {} vs total {}", sum, total);
+            for j in 0..n {
+                prop_assert!(x[j] >= lo[j] - 1e-9 && x[j] <= hi[j] + 1e-9);
+                let grad = 2.0 * gamma[j] * (x[j] - q[j]) - shift[j] - r.lambda;
+                if x[j] > lo[j] + 1e-7 && x[j] < hi[j] - 1e-7 {
+                    prop_assert!(grad.abs() <= 1e-5 * (1.0 + grad.abs()));
+                } else if x[j] <= lo[j] + 1e-7 {
+                    prop_assert!(grad >= -1e-6 * (1.0 + gamma[j]));
+                } else {
+                    prop_assert!(grad <= 1e-6 * (1.0 + gamma[j]));
+                }
+            }
+        }
+    }
+}

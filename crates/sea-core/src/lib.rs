@@ -1,0 +1,83 @@
+//! # sea-core — the Splitting Equilibration Algorithm
+//!
+//! Implementation of Nagurney & Eydeland (1990): quadratic constrained
+//! matrix problems and the splitting equilibration algorithm (SEA) that
+//! solves them by alternating parallel row/column *exact equilibrations* on
+//! the dual.
+//!
+//! ## Layout
+//!
+//! * [`problem`] — [`DiagonalProblem`] with the three total specifications
+//!   ([`TotalSpec::Fixed`], [`TotalSpec::Elastic`], [`TotalSpec::Balanced`])
+//!   and structural-zero support.
+//! * [`weights`] — [`WeightScheme`]: least-squares, chi-square,
+//!   inverse-sqrt.
+//! * [`knapsack`] — the exact-equilibration kernel (closed-form
+//!   single-constraint QP via breakpoint sort), plus a box-bounded variant.
+//! * [`solver`] — [`solve_diagonal`]: the diagonal SEA driver (§3.1).
+//! * [`general`] — [`GeneralProblem`] and [`solve_general`]: the
+//!   projection/diagonalization outer loop for dense `A`, `B`, `G` (§3.2).
+//! * [`dual`] — `ζ₁/ζ₂/ζ₃`, gradients, weak duality.
+//! * [`theory`] — curvature and iteration bounds (eq. 58–64, 77).
+//! * [`components`] — support-graph components and the Modified Algorithm.
+//! * [`parallel`], [`trace`] — execution control and phase traces for the
+//!   scheduling simulator.
+//! * [`interval`] — interval/box-constrained extension (Harrigan–Buchanan,
+//!   Ohuchi–Kaji).
+//! * [`verify`] — first-principles KKT/duality verification of computed
+//!   solutions.
+//!
+//! ## Example
+//!
+//! ```
+//! use sea_core::{DiagonalProblem, SeaOptions, TotalSpec, WeightScheme, solve_diagonal};
+//! use sea_linalg::DenseMatrix;
+//!
+//! let x0 = DenseMatrix::from_rows(&[vec![10.0, 5.0], vec![5.0, 10.0]]).unwrap();
+//! let gamma = WeightScheme::ChiSquare.entry_weights(&x0).unwrap();
+//! let p = DiagonalProblem::new(
+//!     x0,
+//!     gamma,
+//!     TotalSpec::Fixed { s0: vec![18.0, 18.0], d0: vec![18.0, 18.0] },
+//! ).unwrap();
+//! let sol = solve_diagonal(&p, &SeaOptions::with_epsilon(1e-10)).unwrap();
+//! assert!(sol.stats.converged);
+//! assert!(sol.stats.residuals.row_inf < 1e-6);
+//! ```
+
+// Numeric-kernel idioms: indexed loops over multiple parallel arrays are
+// clearer than zipped iterator chains in the equilibration math, and
+// `!(w > 0.0)` deliberately treats NaN as invalid (a positive-weight check
+// that `w <= 0.0` would pass NaN through).
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod components;
+pub mod dual;
+pub mod equilibrate;
+pub mod error;
+pub mod general;
+pub mod interval;
+pub mod knapsack;
+pub mod parallel;
+pub mod problem;
+pub mod solver;
+pub mod theory;
+pub mod trace;
+pub mod verify;
+pub mod weights;
+
+pub use error::SeaError;
+pub use general::{
+    solve_general, GeneralProblem, GeneralSeaOptions, GeneralSolution, GeneralTotalSpec,
+};
+pub use interval::{solve_bounded, BoundedProblem};
+pub use knapsack::{exact_equilibration, EquilibrationResult, EquilibrationScratch, TotalMode};
+pub use parallel::Parallelism;
+pub use problem::{DiagonalProblem, Residuals, TotalSpec, ZeroPolicy};
+pub use solver::{
+    solve_diagonal, ConvergenceCriterion, IterationSnapshot, SeaOptions, Solution, SolveStats,
+};
+pub use trace::{ExecutionTrace, Phase, PhaseKind};
+pub use verify::{verify_solution, KktReport};
+pub use weights::WeightScheme;

@@ -1,0 +1,74 @@
+//! Parallel execution control.
+//!
+//! SEA's row and column equilibration phases are embarrassingly parallel
+//! (each subproblem is independent and solved in closed form); the paper
+//! allocates them to distinct processors via Parallel FORTRAN. Here the
+//! fan-out uses rayon, either on the global pool or on a dedicated pool of
+//! a requested width (the speedup experiments sweep 1, 2, 4, 6 workers).
+
+/// How the solver should fan out its independent subproblems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Plain sequential loops — the serial implementation of §4.1.
+    #[default]
+    Serial,
+    /// Rayon on the global thread pool.
+    Rayon,
+    /// Rayon on a dedicated pool of exactly this many threads (the
+    /// "N CPUs" of the speedup tables).
+    RayonThreads(usize),
+}
+
+impl Parallelism {
+    /// True for any rayon variant.
+    pub fn is_parallel(self) -> bool {
+        !matches!(self, Parallelism::Serial)
+    }
+
+    /// Run `f` in the appropriate execution context. For
+    /// [`Parallelism::RayonThreads`], builds a dedicated pool and installs
+    /// it for the duration of `f` (so any nested rayon iterators use it).
+    pub fn run<R: Send>(self, f: impl FnOnce() -> R + Send) -> R {
+        match self {
+            Parallelism::Serial | Parallelism::Rayon => f(),
+            Parallelism::RayonThreads(k) => {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(k.max(1))
+                    .build()
+                    .expect("failed to build rayon pool");
+                pool.install(f)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn serial_runs_inline() {
+        assert!(!Parallelism::Serial.is_parallel());
+        assert_eq!(Parallelism::Serial.run(|| 2 + 2), 4);
+    }
+
+    #[test]
+    fn dedicated_pool_has_requested_width() {
+        assert!(Parallelism::RayonThreads(3).is_parallel());
+        let width = Parallelism::RayonThreads(3).run(rayon::current_num_threads);
+        assert_eq!(width, 3);
+    }
+
+    #[test]
+    fn rayon_variant_executes_parallel_iterators() {
+        let sum: i64 = Parallelism::Rayon.run(|| (0..1000i64).into_par_iter().sum());
+        assert_eq!(sum, 499_500);
+    }
+
+    #[test]
+    fn zero_thread_request_is_clamped_to_one() {
+        let width = Parallelism::RayonThreads(0).run(rayon::current_num_threads);
+        assert_eq!(width, 1);
+    }
+}

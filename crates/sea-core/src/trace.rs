@@ -1,0 +1,162 @@
+//! Execution traces: the bridge between the solvers and the multiprocessor
+//! scheduling simulator.
+//!
+//! The paper's parallel experiments (§4.2, §5.2) decompose each SEA
+//! iteration into a parallel **row equilibration** phase (m independent
+//! tasks), a parallel **column equilibration** phase (n tasks), and a
+//! *serial* **convergence verification** phase — the structure that
+//! determines the measured speedups. When a solver runs with
+//! `record_trace`, it emits one [`Phase`] per such stage with measured
+//! per-task costs; `sea-parsim` then replays the trace on a simulated
+//! N-processor machine.
+
+/// What a phase represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseKind {
+    /// Parallel row equilibration (one task per row subproblem).
+    RowEquilibration,
+    /// Parallel column equilibration (one task per column subproblem).
+    ColumnEquilibration,
+    /// Serial convergence verification (the paper's O(m²) serial stage).
+    ConvergenceCheck,
+    /// Serial projection-step work in the general solvers (building the
+    /// diagonalized linear terms; dominated by the G mat-vec). Task costs
+    /// are per-row of the mat-vec, so this phase is parallelizable.
+    Projection,
+}
+
+impl PhaseKind {
+    /// Whether tasks in this phase may execute concurrently.
+    pub fn is_parallel(self) -> bool {
+        !matches!(self, PhaseKind::ConvergenceCheck)
+    }
+}
+
+/// One stage of a solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// The stage type.
+    pub kind: PhaseKind,
+    /// Per-task costs in seconds (one entry per independent subproblem).
+    /// Serial phases carry a single entry.
+    pub task_seconds: Vec<f64>,
+}
+
+impl Phase {
+    /// Total work in the phase (sum of task costs) in seconds.
+    pub fn total_work(&self) -> f64 {
+        self.task_seconds.iter().sum()
+    }
+
+    /// Longest single task in seconds (0.0 when empty).
+    pub fn longest_task(&self) -> f64 {
+        self.task_seconds.iter().fold(0.0_f64, |m, &v| m.max(v))
+    }
+}
+
+/// A full solve decomposed into phases.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecutionTrace {
+    /// Phases in execution order.
+    pub phases: Vec<Phase>,
+}
+
+impl ExecutionTrace {
+    /// Create an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a phase.
+    pub fn push(&mut self, kind: PhaseKind, task_seconds: Vec<f64>) {
+        self.phases.push(Phase { kind, task_seconds });
+    }
+
+    /// Total single-processor time: every task executed back to back.
+    pub fn serial_time(&self) -> f64 {
+        self.phases.iter().map(Phase::total_work).sum()
+    }
+
+    /// Time spent in inherently serial phases.
+    pub fn inherently_serial_time(&self) -> f64 {
+        self.phases
+            .iter()
+            .filter(|p| !p.kind.is_parallel())
+            .map(Phase::total_work)
+            .sum()
+    }
+
+    /// The serial fraction (Amdahl), in `[0, 1]`; `0.0` for an empty trace.
+    pub fn serial_fraction(&self) -> f64 {
+        let total = self.serial_time();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.inherently_serial_time() / total
+        }
+    }
+
+    /// Number of phases of a given kind.
+    pub fn count(&self, kind: PhaseKind) -> usize {
+        self.phases.iter().filter(|p| p.kind == kind).count()
+    }
+
+    /// Concatenate another trace after this one (used by the general
+    /// solvers to splice inner diagonal solves into the outer trace).
+    pub fn extend(&mut self, other: ExecutionTrace) {
+        self.phases.extend(other.phases);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExecutionTrace {
+        let mut t = ExecutionTrace::new();
+        t.push(PhaseKind::RowEquilibration, vec![1.0, 2.0, 3.0]);
+        t.push(PhaseKind::ColumnEquilibration, vec![2.0, 2.0]);
+        t.push(PhaseKind::ConvergenceCheck, vec![0.5]);
+        t
+    }
+
+    #[test]
+    fn totals_and_fractions() {
+        let t = sample();
+        assert_eq!(t.serial_time(), 10.5);
+        assert_eq!(t.inherently_serial_time(), 0.5);
+        assert!((t.serial_fraction() - 0.5 / 10.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_by_kind() {
+        let t = sample();
+        assert_eq!(t.count(PhaseKind::RowEquilibration), 1);
+        assert_eq!(t.count(PhaseKind::Projection), 0);
+    }
+
+    #[test]
+    fn phase_aggregates() {
+        let p = Phase {
+            kind: PhaseKind::RowEquilibration,
+            task_seconds: vec![1.0, 4.0, 2.0],
+        };
+        assert_eq!(p.total_work(), 7.0);
+        assert_eq!(p.longest_task(), 4.0);
+        assert!(p.kind.is_parallel());
+        assert!(!PhaseKind::ConvergenceCheck.is_parallel());
+    }
+
+    #[test]
+    fn empty_trace_fraction_is_zero() {
+        assert_eq!(ExecutionTrace::new().serial_fraction(), 0.0);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = sample();
+        let b = sample();
+        a.extend(b);
+        assert_eq!(a.phases.len(), 6);
+    }
+}

@@ -1,0 +1,243 @@
+//! Independent optimality verification of computed solutions.
+//!
+//! [`verify_solution`] checks, from first principles, everything that makes
+//! a [`Solution`] the optimum of its [`DiagonalProblem`]: primal
+//! feasibility, the KKT stationarity/sign conditions (paper eq. 20–22),
+//! total-stationarity for elastic/balanced classes, and the duality gap.
+//! Downstream users can call it after any solve to obtain a machine-checked
+//! certificate; the test suites use it as a one-stop oracle.
+
+use crate::dual;
+use crate::problem::{DiagonalProblem, Residuals, TotalSpec};
+use crate::solver::Solution;
+
+/// A first-principles optimality report.
+#[derive(Debug, Clone, Copy)]
+pub struct KktReport {
+    /// Worst stationarity violation `|2γᵢⱼ(xᵢⱼ−x⁰ᵢⱼ) − λᵢ − μⱼ|` over
+    /// entries with `xᵢⱼ > 0` (relative to the gradient scale).
+    pub max_stationarity: f64,
+    /// Worst sign violation `max(0, λᵢ + μⱼ − 2γᵢⱼ(xᵢⱼ−x⁰ᵢⱼ))` over
+    /// entries at zero (a positive value means the zero entry wants to be
+    /// positive).
+    pub max_sign_violation: f64,
+    /// Worst total-stationarity violation (eq. 21/22/39): 0 for fixed
+    /// totals.
+    pub max_total_stationarity: f64,
+    /// Constraint residuals.
+    pub residuals: Residuals,
+    /// `objective − ζ(λ,μ) ≥ 0`; approaches 0 at the optimum.
+    pub duality_gap: f64,
+    /// Smallest entry (must be ≥ 0).
+    pub min_entry: f64,
+}
+
+impl KktReport {
+    /// True when every check is within `tol` (scaled checks) — a compact
+    /// pass/fail for assertions.
+    pub fn is_optimal(&self, tol: f64) -> bool {
+        self.max_stationarity <= tol
+            && self.max_sign_violation <= tol
+            && self.max_total_stationarity <= tol
+            && self.residuals.rel_row_inf <= tol
+            && self.min_entry >= -tol
+            && self.duality_gap.abs() <= tol * self.duality_gap_scale()
+    }
+
+    fn duality_gap_scale(&self) -> f64 {
+        1.0_f64.max(self.duality_gap.abs())
+    }
+}
+
+/// Verify `sol` against `p` from first principles.
+///
+/// ```
+/// use sea_core::{solve_diagonal, verify_solution, DiagonalProblem, SeaOptions, TotalSpec};
+/// use sea_linalg::DenseMatrix;
+///
+/// let x0 = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+/// let gamma = DenseMatrix::filled(2, 2, 1.0).unwrap();
+/// let p = DiagonalProblem::new(
+///     x0,
+///     gamma,
+///     TotalSpec::Fixed { s0: vec![4.0, 6.0], d0: vec![5.0, 5.0] },
+/// ).unwrap();
+/// let sol = solve_diagonal(&p, &SeaOptions::with_epsilon(1e-12)).unwrap();
+/// let report = verify_solution(&p, &sol);
+/// assert!(report.is_optimal(1e-6));
+/// ```
+pub fn verify_solution(p: &DiagonalProblem, sol: &Solution) -> KktReport {
+    let (m, n) = (p.m(), p.n());
+    let x0 = p.x0();
+    let gamma = p.gamma();
+
+    // Gradient scale for relative stationarity.
+    let mut grad_scale: f64 = 1.0;
+    for i in 0..m {
+        grad_scale = grad_scale.max(sol.lambda[i].abs());
+    }
+    for j in 0..n {
+        grad_scale = grad_scale.max(sol.mu[j].abs());
+    }
+
+    let mut max_stationarity: f64 = 0.0;
+    let mut max_sign_violation: f64 = 0.0;
+    let mut min_entry = f64::INFINITY;
+    let entry_scale = x0
+        .as_slice()
+        .iter()
+        .fold(1e-12_f64, |acc, &v| acc.max(v.abs()));
+    for i in 0..m {
+        let (x0r, gr) = (x0.row(i), gamma.row(i));
+        let xr = sol.x.row(i);
+        for j in 0..n {
+            min_entry = min_entry.min(xr[j]);
+            // Structural zeros carry no KKT condition.
+            if p.support().is_some() && x0r[j] == 0.0 {
+                continue;
+            }
+            let grad = 2.0 * gr[j] * (xr[j] - x0r[j]) - sol.lambda[i] - sol.mu[j];
+            if xr[j] > 1e-10 * entry_scale {
+                max_stationarity = max_stationarity.max(grad.abs() / grad_scale);
+            } else {
+                max_sign_violation = max_sign_violation.max((-grad).max(0.0) / grad_scale);
+            }
+        }
+    }
+
+    let mut max_total_stationarity: f64 = 0.0;
+    match p.totals() {
+        TotalSpec::Fixed { .. } => {}
+        TotalSpec::Elastic { alpha, s0, beta, d0 } => {
+            for i in 0..m {
+                let expect = 2.0 * alpha[i] * (s0[i] - sol.s[i]);
+                max_total_stationarity = max_total_stationarity
+                    .max((sol.lambda[i] - expect).abs() / grad_scale);
+            }
+            for j in 0..n {
+                let expect = 2.0 * beta[j] * (d0[j] - sol.d[j]);
+                max_total_stationarity =
+                    max_total_stationarity.max((sol.mu[j] - expect).abs() / grad_scale);
+            }
+        }
+        TotalSpec::Balanced { alpha, s0 } => {
+            for i in 0..n {
+                let expect = 2.0 * alpha[i] * (s0[i] - sol.s[i]);
+                max_total_stationarity = max_total_stationarity
+                    .max((sol.lambda[i] + sol.mu[i] - expect).abs() / grad_scale);
+            }
+        }
+    }
+
+    let residuals = p.residuals(&sol.x, &sol.s, &sol.d);
+    let objective = p.objective(&sol.x, &sol.s, &sol.d);
+    let zeta = dual::dual_value(p, &sol.lambda, &sol.mu);
+
+    KktReport {
+        max_stationarity,
+        max_sign_violation,
+        max_total_stationarity,
+        residuals,
+        duality_gap: objective - zeta,
+        min_entry,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::ZeroPolicy;
+    use crate::solver::{solve_diagonal, SeaOptions};
+    use sea_linalg::DenseMatrix;
+
+    fn solve(p: &DiagonalProblem) -> Solution {
+        solve_diagonal(p, &SeaOptions::with_epsilon(1e-12)).unwrap()
+    }
+
+    #[test]
+    fn verifies_fixed_solution() {
+        let x0 = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let mut gamma = DenseMatrix::filled(2, 2, 1.0).unwrap();
+        gamma.set(0, 0, 2.5);
+        let p = DiagonalProblem::new(
+            x0,
+            gamma,
+            TotalSpec::Fixed {
+                s0: vec![4.0, 6.0],
+                d0: vec![5.0, 5.0],
+            },
+        )
+        .unwrap();
+        let report = verify_solution(&p, &solve(&p));
+        assert!(report.is_optimal(1e-6), "{report:?}");
+    }
+
+    #[test]
+    fn verifies_elastic_and_balanced_solutions() {
+        let x0 = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let gamma = DenseMatrix::filled(2, 2, 1.0).unwrap();
+        let elastic = DiagonalProblem::new(
+            x0.clone(),
+            gamma.clone(),
+            TotalSpec::Elastic {
+                alpha: vec![1.0; 2],
+                s0: vec![4.0, 8.0],
+                beta: vec![1.0; 2],
+                d0: vec![6.0, 6.0],
+            },
+        )
+        .unwrap();
+        let report = verify_solution(&elastic, &solve(&elastic));
+        assert!(report.is_optimal(1e-6), "elastic: {report:?}");
+
+        let balanced = DiagonalProblem::new(
+            x0,
+            gamma,
+            TotalSpec::Balanced {
+                alpha: vec![1.0; 2],
+                s0: vec![4.0, 7.0],
+            },
+        )
+        .unwrap();
+        let report = verify_solution(&balanced, &solve(&balanced));
+        assert!(report.is_optimal(1e-6), "balanced: {report:?}");
+    }
+
+    #[test]
+    fn flags_a_corrupted_solution() {
+        let x0 = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let gamma = DenseMatrix::filled(2, 2, 1.0).unwrap();
+        let p = DiagonalProblem::new(
+            x0,
+            gamma,
+            TotalSpec::Fixed {
+                s0: vec![4.0, 6.0],
+                d0: vec![5.0, 5.0],
+            },
+        )
+        .unwrap();
+        let mut sol = solve(&p);
+        sol.x.set(0, 0, sol.x.get(0, 0) + 0.5);
+        let report = verify_solution(&p, &sol);
+        assert!(!report.is_optimal(1e-6));
+        assert!(report.residuals.row_inf > 0.1);
+    }
+
+    #[test]
+    fn skips_structural_zeros() {
+        let x0 = DenseMatrix::from_rows(&[vec![0.0, 5.0], vec![3.0, 2.0]]).unwrap();
+        let gamma = DenseMatrix::filled(2, 2, 1.0).unwrap();
+        let p = DiagonalProblem::with_zero_policy(
+            x0,
+            gamma,
+            TotalSpec::Fixed {
+                s0: vec![6.0, 6.0],
+                d0: vec![4.0, 8.0],
+            },
+            ZeroPolicy::Structural,
+        )
+        .unwrap();
+        let report = verify_solution(&p, &solve(&p));
+        assert!(report.is_optimal(1e-6), "{report:?}");
+    }
+}

@@ -1,0 +1,143 @@
+//! Weight schemes for the quadratic deviation objective.
+//!
+//! Section 2 of the paper emphasizes the modelling flexibility of the
+//! weights: unit weights give a constrained least-squares problem; weights
+//! `γᵢⱼ = 1/x⁰ᵢⱼ`, `αᵢ = 1/s⁰ᵢ`, `βⱼ = 1/d⁰ⱼ` give the classical chi-square
+//! objective (the choice used for the paper's Table 1 experiments); the
+//! inverse-square-root variant and fully custom (e.g. inverse
+//! variance–covariance based) weights are also supported.
+
+use crate::error::SeaError;
+use sea_linalg::DenseMatrix;
+
+/// Named weighting schemes for diagonal constrained matrix problems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightScheme {
+    /// All weights 1 — constrained least squares (Friedlander 1961 used
+    /// `G = I`).
+    LeastSquares,
+    /// `w = 1/v⁰` — the chi-square objective (Deming–Stephan 1940). Zero
+    /// priors receive the weight `1/floor` with the scheme's positive floor
+    /// (see [`WeightScheme::entry_weights_with_floor`]).
+    ChiSquare,
+    /// `w = 1/√v⁰` — the mixed scheme mentioned in §2.
+    InverseSqrt,
+}
+
+impl WeightScheme {
+    /// Default floor substituted for zero/tiny priors in the reciprocal
+    /// schemes so that weights stay finite and strictly positive.
+    pub const DEFAULT_FLOOR: f64 = 1e-8;
+
+    #[inline]
+    fn weight_of(self, v0: f64, floor: f64) -> f64 {
+        let v = v0.abs().max(floor);
+        match self {
+            WeightScheme::LeastSquares => 1.0,
+            WeightScheme::ChiSquare => 1.0 / v,
+            WeightScheme::InverseSqrt => 1.0 / v.sqrt(),
+        }
+    }
+
+    /// Per-entry weight matrix `Γ = (γᵢⱼ)` from the prior `X⁰`, using
+    /// [`Self::DEFAULT_FLOOR`].
+    ///
+    /// # Errors
+    /// Returns [`SeaError::NonFinite`] if the prior contains NaN/∞.
+    pub fn entry_weights(self, x0: &DenseMatrix) -> Result<DenseMatrix, SeaError> {
+        self.entry_weights_with_floor(x0, Self::DEFAULT_FLOOR)
+    }
+
+    /// Per-entry weight matrix with an explicit positive floor for the
+    /// reciprocal schemes.
+    ///
+    /// # Errors
+    /// Returns [`SeaError::NonFinite`] if the prior contains NaN/∞ or the
+    /// floor is not strictly positive.
+    pub fn entry_weights_with_floor(
+        self,
+        x0: &DenseMatrix,
+        floor: f64,
+    ) -> Result<DenseMatrix, SeaError> {
+        if !(floor > 0.0) || !floor.is_finite() {
+            return Err(SeaError::NonFinite {
+                context: "weight floor",
+            });
+        }
+        if !sea_linalg::vector::all_finite(x0.as_slice()) {
+            return Err(SeaError::NonFinite { context: "prior X0" });
+        }
+        let data: Vec<f64> = x0
+            .as_slice()
+            .iter()
+            .map(|&v| self.weight_of(v, floor))
+            .collect();
+        Ok(DenseMatrix::from_vec(x0.rows(), x0.cols(), data)?)
+    }
+
+    /// Per-total weight vector (for `α` from `s⁰` or `β` from `d⁰`), using
+    /// [`Self::DEFAULT_FLOOR`].
+    ///
+    /// # Errors
+    /// Returns [`SeaError::NonFinite`] if the priors contain NaN/∞.
+    pub fn total_weights(self, t0: &[f64]) -> Result<Vec<f64>, SeaError> {
+        if !sea_linalg::vector::all_finite(t0) {
+            return Err(SeaError::NonFinite {
+                context: "prior totals",
+            });
+        }
+        Ok(t0
+            .iter()
+            .map(|&v| self.weight_of(v, Self::DEFAULT_FLOOR))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prior() -> DenseMatrix {
+        DenseMatrix::from_rows(&[vec![4.0, 0.0], vec![1.0, 16.0]]).unwrap()
+    }
+
+    #[test]
+    fn least_squares_is_all_ones() {
+        let w = WeightScheme::LeastSquares.entry_weights(&prior()).unwrap();
+        assert!(w.as_slice().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn chi_square_is_reciprocal_with_floor() {
+        let w = WeightScheme::ChiSquare.entry_weights(&prior()).unwrap();
+        assert_eq!(w.get(0, 0), 0.25);
+        assert_eq!(w.get(1, 0), 1.0);
+        // Zero prior hits the floor instead of dividing by zero.
+        assert_eq!(w.get(0, 1), 1.0 / WeightScheme::DEFAULT_FLOOR);
+        assert!(sea_linalg::vector::all_positive(w.as_slice()));
+    }
+
+    #[test]
+    fn inverse_sqrt_scheme() {
+        let w = WeightScheme::InverseSqrt.entry_weights(&prior()).unwrap();
+        assert_eq!(w.get(1, 1), 0.25);
+        assert_eq!(w.get(0, 0), 0.5);
+    }
+
+    #[test]
+    fn total_weights_match_entry_logic() {
+        let a = WeightScheme::ChiSquare.total_weights(&[2.0, 8.0]).unwrap();
+        assert_eq!(a, vec![0.5, 0.125]);
+    }
+
+    #[test]
+    fn rejects_non_finite_and_bad_floor() {
+        let mut x0 = prior();
+        x0.set(0, 0, f64::NAN);
+        assert!(WeightScheme::ChiSquare.entry_weights(&x0).is_err());
+        assert!(WeightScheme::ChiSquare
+            .entry_weights_with_floor(&prior(), 0.0)
+            .is_err());
+        assert!(WeightScheme::ChiSquare.total_weights(&[f64::INFINITY]).is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! # sea-data — synthetic economic datasets for the SEA experiments
+//!
+//! The paper evaluates on proprietary economic datasets (US input/output
+//! tables from Polenske/Rockler, SAMs including the USDA 1982 matrix,
+//! Tobler's US state-to-state migration tables). Those files are not
+//! redistributable, so this crate generates **synthetic stand-ins that match
+//! every property the paper documents**: dimensions, sparsity, value
+//! dispersion, and the exact example-construction recipes of §4.1.2 and
+//! §5.1 (growth-factor perturbations, additive noise, dense diagonally
+//! dominant `G` matrices). See DESIGN.md substitution S1.
+//!
+//! * [`random`] — the large-scale random instances of Table 1 and the
+//!   general-problem instances of Table 7.
+//! * [`io_tables`] — the IOC72/IOC77/IO72 input/output series (Table 2).
+//! * [`sam`] — social accounting matrices: STONE, TURK, SRI, USDA82E,
+//!   S500/S750/S1000 (Table 3).
+//! * [`migration`] — 48×48 US state-to-state migration tables, diagonal
+//!   (Table 4) and general with dense `G` (Table 8).
+//!
+//! Every generator is deterministic in its seed (ChaCha8), so experiment
+//! tables are exactly reproducible.
+
+// Numeric-kernel idioms: indexed loops over multiple parallel arrays are
+// clearer than zipped iterator chains in the equilibration math, and
+// `!(w > 0.0)` deliberately treats NaN as invalid (a positive-weight check
+// that `w <= 0.0` would pass NaN through).
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod io_tables;
+pub mod migration;
+pub mod random;
+pub mod sam;
+
+pub use io_tables::{io_dataset, IoVariant};
+pub use migration::{migration_general, migration_problem, MigrationVariant, Period};
+pub use random::{table1_instance, table7_instance};
+pub use sam::{sam_problem, SamInstance};

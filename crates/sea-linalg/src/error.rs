@@ -1,0 +1,87 @@
+//! Error type for dimension and validity failures in the linalg substrate.
+
+use std::fmt;
+
+/// Errors raised by matrix and vector constructors/operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// A constructor was given data whose length does not match the
+    /// requested dimensions.
+    DimensionMismatch {
+        /// What was being constructed or applied.
+        context: &'static str,
+        /// Expected element count or dimension.
+        expected: usize,
+        /// Actual element count or dimension.
+        actual: usize,
+    },
+    /// An operation that requires a square matrix received a rectangular one.
+    NotSquare {
+        /// Row count of the offending matrix.
+        rows: usize,
+        /// Column count of the offending matrix.
+        cols: usize,
+    },
+    /// A matrix expected to be symmetric was not, within tolerance.
+    NotSymmetric {
+        /// Row index of the first asymmetric pair found.
+        i: usize,
+        /// Column index of the first asymmetric pair found.
+        j: usize,
+    },
+    /// An empty matrix or vector was supplied where a nonempty one is
+    /// required.
+    Empty {
+        /// What was being constructed or applied.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch {
+                context,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            LinalgError::NotSymmetric { i, j } => {
+                write!(f, "matrix is not symmetric at entry ({i},{j})")
+            }
+            LinalgError::Empty { context } => write!(f, "{context} must be nonempty"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = LinalgError::DimensionMismatch {
+            context: "DenseMatrix::from_vec",
+            expected: 6,
+            actual: 5,
+        };
+        assert!(e.to_string().contains("expected 6"));
+        assert!(e.to_string().contains("got 5"));
+
+        let e = LinalgError::NotSquare { rows: 2, cols: 3 };
+        assert!(e.to_string().contains("2x3"));
+
+        let e = LinalgError::NotSymmetric { i: 1, j: 2 };
+        assert!(e.to_string().contains("(1,2)"));
+
+        let e = LinalgError::Empty { context: "vector" };
+        assert!(e.to_string().contains("nonempty"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Summary statistics for generators, validators, and reports.
+
+/// Summary of a sample: count, min, max, mean, and (population) standard
+/// deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Smallest observation (`0.0` when empty).
+    pub min: f64,
+    /// Largest observation (`0.0` when empty).
+    pub max: f64,
+    /// Arithmetic mean (`0.0` when empty).
+    pub mean: f64,
+    /// Population standard deviation (`0.0` when empty).
+    pub std_dev: f64,
+}
+
+/// Compute a [`Summary`] of the sample.
+pub fn summarize(xs: &[f64]) -> Summary {
+    if xs.is_empty() {
+        return Summary {
+            count: 0,
+            min: 0.0,
+            max: 0.0,
+            mean: 0.0,
+            std_dev: 0.0,
+        };
+    }
+    let count = xs.len();
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    for &x in xs {
+        min = min.min(x);
+        max = max.max(x);
+        sum += x;
+    }
+    let mean = sum / count as f64;
+    let var = xs.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / count as f64;
+    Summary {
+        count,
+        min,
+        max,
+        mean,
+        std_dev: var.sqrt(),
+    }
+}
+
+/// Arithmetic mean (`0.0` when empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    summarize(xs).mean
+}
+
+/// Geometric mean of strictly positive samples; returns `None` when the
+/// sample is empty or contains a non-positive value. Used to aggregate
+/// CPU-time ratios across problem sizes.
+pub fn geometric_mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = xs.iter().map(|&x| x.ln()).sum();
+    Some((log_sum / xs.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_basic() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 2.5);
+        assert!((s.std_dev - (1.25_f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summarize_empty() {
+        let s = summarize(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_of_ratios() {
+        let g = geometric_mean(&[2.0, 8.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12);
+        assert!(geometric_mean(&[]).is_none());
+        assert!(geometric_mean(&[1.0, 0.0]).is_none());
+        assert!(geometric_mean(&[1.0, -2.0]).is_none());
+    }
+
+    #[test]
+    fn mean_shortcut() {
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # sea-parsim — deterministic multiprocessor scheduling simulator
+//!
+//! Reproduces the paper's parallel speedup experiments (§4.2 Table 6/Fig. 5
+//! and §5.2 Table 9/Fig. 7) without requiring a multiprocessor: the solvers
+//! emit per-task execution traces (one task per row/column equilibration
+//! subproblem, plus serial convergence-verification phases) and this crate
+//! replays them on a simulated machine of `N` identical processors.
+//!
+//! The model captures exactly the effects the paper discusses:
+//!
+//! * parallel phases are scheduled by **LPT list scheduling** (longest
+//!   processing time first — the natural model for Parallel FORTRAN task
+//!   dispatch over identical CPUs);
+//! * each dispatched task pays a fixed **dispatch overhead** and each
+//!   parallel phase a **fork/join overhead** (task-allocation costs);
+//! * **serial phases** (convergence verification) run on one processor
+//!   regardless of `N` — the Amdahl term the paper blames for the
+//!   sub-linear speedups of the larger problems.
+//!
+//! `T₁` is the plain serial execution (sum of all task costs, no
+//! overheads), matching the paper's definition of speedup against the
+//! *serial implementation*.
+
+pub mod machine;
+pub mod schedule;
+pub mod speedup;
+
+pub use machine::MachineModel;
+pub use schedule::{lpt_makespan, simulate, SimPhase};
+pub use speedup::{speedup_table, SpeedupRow};

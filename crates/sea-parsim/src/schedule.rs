@@ -1,0 +1,211 @@
+//! LPT list scheduling and trace replay.
+
+use crate::machine::MachineModel;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One phase of a solve, as seen by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimPhase {
+    /// Whether the phase's tasks may run concurrently.
+    pub parallel: bool,
+    /// Whether the phase is memory-bandwidth-bound (dense mat-vec):
+    /// parallelism is then capped by the machine's memory system.
+    pub memory_bound: bool,
+    /// Per-task costs in seconds.
+    pub tasks: Vec<f64>,
+}
+
+impl SimPhase {
+    /// A compute-bound parallel phase.
+    pub fn parallel(tasks: Vec<f64>) -> Self {
+        Self {
+            parallel: true,
+            memory_bound: false,
+            tasks,
+        }
+    }
+
+    /// A memory-bound parallel phase (dense mat-vec style).
+    pub fn parallel_memory_bound(tasks: Vec<f64>) -> Self {
+        Self {
+            parallel: true,
+            memory_bound: true,
+            tasks,
+        }
+    }
+
+    /// A serial phase.
+    pub fn serial(tasks: Vec<f64>) -> Self {
+        Self {
+            parallel: false,
+            memory_bound: false,
+            tasks,
+        }
+    }
+
+    /// Total work in the phase.
+    pub fn work(&self) -> f64 {
+        self.tasks.iter().sum()
+    }
+}
+
+/// Makespan of scheduling `tasks` on `processors` identical machines with
+/// LPT (longest processing time first, greedy to the least-loaded
+/// processor).
+///
+/// Total f64 ordering on nonnegative costs; NaN costs are treated as zero.
+pub fn lpt_makespan(tasks: &[f64], processors: usize) -> f64 {
+    let p = processors.max(1);
+    if tasks.is_empty() {
+        return 0.0;
+    }
+    if p == 1 {
+        return tasks.iter().filter(|t| t.is_finite()).sum();
+    }
+    let mut sorted: Vec<f64> = tasks
+        .iter()
+        .map(|&t| if t.is_finite() && t > 0.0 { t } else { 0.0 })
+        .collect();
+    sorted.sort_unstable_by(|a, b| b.partial_cmp(a).expect("finite"));
+    // Min-heap of processor loads keyed by bit pattern of the load (all
+    // loads are nonnegative finite, so the ordering is correct).
+    let mut heap: BinaryHeap<Reverse<(u64, u64)>> = (0..p as u64)
+        .map(|i| Reverse((0u64, i)))
+        .collect();
+    for t in sorted {
+        let Reverse((bits, id)) = heap.pop().expect("nonempty heap");
+        let load = f64::from_bits(bits) + t;
+        heap.push(Reverse((load.to_bits(), id)));
+    }
+    heap.into_iter()
+        .map(|Reverse((bits, _))| f64::from_bits(bits))
+        .fold(0.0_f64, f64::max)
+}
+
+/// Replay the phases on the machine: parallel phases are LPT-scheduled with
+/// per-task dispatch overhead plus a fork/join overhead; serial phases run
+/// back to back on one processor. Returns the simulated elapsed seconds.
+pub fn simulate(phases: &[SimPhase], machine: &MachineModel) -> f64 {
+    let mut elapsed = 0.0;
+    for phase in phases {
+        if phase.parallel && machine.processors > 1 {
+            let p_eff = if phase.memory_bound {
+                machine.processors.min(machine.memory_parallelism)
+            } else {
+                machine.processors
+            };
+            if p_eff > 1 {
+                // Dispatch overhead attaches to each task.
+                let with_overhead: Vec<f64> = phase
+                    .tasks
+                    .iter()
+                    .map(|&t| t + machine.dispatch_overhead)
+                    .collect();
+                elapsed +=
+                    lpt_makespan(&with_overhead, p_eff) + machine.fork_join_overhead;
+            } else {
+                elapsed += phase.work();
+            }
+        } else {
+            elapsed += phase.work();
+        }
+    }
+    elapsed
+}
+
+/// Plain serial execution time: every task back to back, no overheads —
+/// the paper's `T₁`.
+pub fn serial_time(phases: &[SimPhase]) -> f64 {
+    phases.iter().map(SimPhase::work).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn makespan_trivial_cases() {
+        assert_eq!(lpt_makespan(&[], 4), 0.0);
+        assert_eq!(lpt_makespan(&[3.0], 4), 3.0);
+        assert_eq!(lpt_makespan(&[1.0, 2.0, 3.0], 1), 6.0);
+    }
+
+    #[test]
+    fn makespan_balances_equal_tasks() {
+        // 6 unit tasks on 3 processors = 2.
+        let tasks = vec![1.0; 6];
+        assert!((lpt_makespan(&tasks, 3) - 2.0).abs() < 1e-12);
+        // 7 unit tasks on 3 processors = 3.
+        let tasks = vec![1.0; 7];
+        assert!((lpt_makespan(&tasks, 3) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn makespan_dominated_by_longest_task() {
+        let tasks = [10.0, 0.1, 0.1, 0.1];
+        assert!((lpt_makespan(&tasks, 4) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simulate_respects_serial_phases() {
+        let phases = [
+            SimPhase::parallel(vec![1.0; 4]),
+            SimPhase::serial(vec![2.0]),
+        ];
+        let t1 = serial_time(&phases);
+        assert_eq!(t1, 6.0);
+        let t4 = simulate(&phases, &MachineModel::ideal(4));
+        assert!((t4 - 3.0).abs() < 1e-12);
+        // Amdahl bound: speedup ≤ 1/f with serial fraction f = 1/3.
+        assert!(t1 / t4 <= 3.0 + 1e-12);
+    }
+
+    #[test]
+    fn overheads_reduce_efficiency() {
+        let phases = [SimPhase::parallel(vec![1e-3; 100])];
+        let ideal = simulate(&phases, &MachineModel::ideal(4));
+        let real = simulate(&phases, &MachineModel::new(4));
+        assert!(real > ideal);
+    }
+
+    #[test]
+    fn single_processor_machine_ignores_overheads() {
+        let phases = [SimPhase::parallel(vec![1.0; 8])];
+        let t = simulate(&phases, &MachineModel::new(1));
+        assert_eq!(t, 8.0);
+    }
+
+    proptest! {
+        #[test]
+        fn makespan_within_classical_bounds(
+            tasks in proptest::collection::vec(0.0f64..100.0, 1..60),
+            p in 1usize..8,
+        ) {
+            let ms = lpt_makespan(&tasks, p);
+            let total: f64 = tasks.iter().sum();
+            let longest = tasks.iter().cloned().fold(0.0_f64, f64::max);
+            let lower = (total / p as f64).max(longest);
+            prop_assert!(ms >= lower - 1e-9);
+            prop_assert!(ms <= total + 1e-9);
+            // Graham's list-scheduling guarantee:
+            // makespan ≤ total/p + (1 − 1/p)·longest.
+            let graham = total / p as f64 + (1.0 - 1.0 / p as f64) * longest;
+            prop_assert!(ms <= graham + 1e-9);
+        }
+
+        #[test]
+        fn makespan_monotone_in_processors(
+            tasks in proptest::collection::vec(0.0f64..100.0, 1..60),
+            p in 1usize..7,
+        ) {
+            // More processors never increases the *lower bound driven*
+            // makespan by more than numerical noise; check weak
+            // monotonicity of our scheduler.
+            let a = lpt_makespan(&tasks, p);
+            let b = lpt_makespan(&tasks, p + 1);
+            prop_assert!(b <= a + 1e-9);
+        }
+    }
+}

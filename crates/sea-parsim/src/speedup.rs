@@ -1,0 +1,128 @@
+//! Speedup and efficiency tables (the paper's `S_N = T₁/T_N`,
+//! `E_N = T₁/(T_N·N)`).
+
+use crate::machine::MachineModel;
+use crate::schedule::{serial_time, simulate, SimPhase};
+
+/// One row of a speedup table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedupRow {
+    /// Number of processors `N`.
+    pub processors: usize,
+    /// Simulated elapsed time `T_N` (seconds).
+    pub time: f64,
+    /// Speedup `S_N = T₁ / T_N`.
+    pub speedup: f64,
+    /// Efficiency `E_N = S_N / N`, in `[0, 1]` up to overhead noise.
+    pub efficiency: f64,
+}
+
+/// Simulate the trace at each processor count and compute speedups against
+/// the serial execution `T₁` (sum of all task costs, no parallel
+/// overheads — the paper's serial-implementation baseline).
+///
+/// `overheads` supplies the dispatch/fork-join costs of the parallel
+/// machine; pass [`MachineModel::ideal`]'s zeros for pure Amdahl curves.
+///
+/// ```
+/// use sea_parsim::{speedup_table, SimPhase};
+///
+/// // 1.0s of perfectly parallel work plus a 0.25s serial phase.
+/// let phases = vec![
+///     SimPhase::parallel(vec![0.25; 4]),
+///     SimPhase::serial(vec![0.25]),
+/// ];
+/// let rows = speedup_table(&phases, &[1, 4], 0.0, 0.0);
+/// assert_eq!(rows[0].speedup, 1.0);
+/// // Amdahl with serial fraction 1/5: S_4 = 1 / (0.2 + 0.8/4) = 2.5.
+/// assert!((rows[1].speedup - 2.5).abs() < 1e-9);
+/// ```
+pub fn speedup_table(
+    phases: &[SimPhase],
+    processor_counts: &[usize],
+    dispatch_overhead: f64,
+    fork_join_overhead: f64,
+) -> Vec<SpeedupRow> {
+    let t1 = serial_time(phases);
+    processor_counts
+        .iter()
+        .map(|&p| {
+            let machine =
+                MachineModel::with_overheads(p, dispatch_overhead, fork_join_overhead);
+            let tn = if p <= 1 {
+                t1
+            } else {
+                simulate(phases, &machine)
+            };
+            let speedup = if tn > 0.0 { t1 / tn } else { 1.0 };
+            SpeedupRow {
+                processors: p,
+                time: tn,
+                speedup,
+                efficiency: speedup / p as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn trace(serial_work: f64, parallel_tasks: usize, task_cost: f64) -> Vec<SimPhase> {
+        vec![
+            SimPhase::parallel(vec![task_cost; parallel_tasks]),
+            SimPhase::serial(vec![serial_work]),
+        ]
+    }
+
+    #[test]
+    fn speedups_bounded_by_processor_count_and_amdahl() {
+        let phases = trace(1.0, 1000, 0.01);
+        let rows = speedup_table(&phases, &[1, 2, 4, 6], 0.0, 0.0);
+        assert_eq!(rows[0].speedup, 1.0);
+        let t1 = 1.0 + 10.0;
+        for r in &rows {
+            assert!(r.speedup <= r.processors as f64 + 1e-9);
+            // Amdahl: serial fraction f = 1/11.
+            let f = 1.0 / t1;
+            assert!(r.speedup <= 1.0 / (f + (1.0 - f) / r.processors as f64) + 1e-9);
+            assert!(r.efficiency <= 1.0 + 1e-9);
+        }
+        // More processors → more speedup here (plenty of tasks).
+        assert!(rows[3].speedup > rows[1].speedup);
+    }
+
+    #[test]
+    fn larger_serial_fraction_lowers_efficiency() {
+        let small_serial = speedup_table(&trace(0.1, 100, 0.1), &[4], 0.0, 0.0);
+        let big_serial = speedup_table(&trace(5.0, 100, 0.1), &[4], 0.0, 0.0);
+        assert!(small_serial[0].efficiency > big_serial[0].efficiency);
+    }
+
+    #[test]
+    fn overheads_lower_measured_speedup() {
+        let phases = trace(0.0, 64, 1e-4);
+        let ideal = speedup_table(&phases, &[4], 0.0, 0.0);
+        let lossy = speedup_table(&phases, &[4], 1e-5, 1e-4);
+        assert!(lossy[0].speedup < ideal[0].speedup);
+    }
+
+    proptest! {
+        #[test]
+        fn efficiency_in_unit_interval_without_overheads(
+            tasks in proptest::collection::vec(1e-6f64..1.0, 1..50),
+            serial in 0.0f64..1.0,
+            p in 1usize..8,
+        ) {
+            let phases = vec![
+                SimPhase::parallel(tasks),
+                SimPhase::serial(vec![serial]),
+            ];
+            let rows = speedup_table(&phases, &[p], 0.0, 0.0);
+            prop_assert!(rows[0].speedup >= 1.0 - 1e-9);
+            prop_assert!(rows[0].efficiency <= 1.0 + 1e-9);
+        }
+    }
+}

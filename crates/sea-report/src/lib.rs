@@ -1,0 +1,11 @@
+//! # sea-report — experiment harness utilities
+//!
+//! Table formatting, duration formatting, and experiment records used by
+//! the `sea-bench` binaries that regenerate the paper's Tables 1–9 and
+//! Figures 5/7. Kept dependency-free so every consumer can use it.
+
+pub mod record;
+pub mod table;
+
+pub use record::ExperimentRecord;
+pub use table::{fmt_seconds, Table};

@@ -1,0 +1,114 @@
+//! Experiment records: one per paper table/figure, written to
+//! `results/<id>.md` by the bench binaries so EXPERIMENTS.md can reference
+//! stable artifacts.
+
+use crate::table::Table;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A completed experiment: identifier (paper table/figure), rendered
+/// tables, and free-form notes (scale, substitutions, observations).
+#[derive(Debug, Clone)]
+pub struct ExperimentRecord {
+    /// Stable identifier, e.g. `table1`, `fig5`.
+    pub id: String,
+    /// Human title, e.g. `Table 1: SEA on large-scale diagonal problems`.
+    pub title: String,
+    /// Result tables.
+    pub tables: Vec<Table>,
+    /// Notes shown under the tables.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentRecord {
+    /// New empty record.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            tables: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Attach a table.
+    pub fn push_table(&mut self, t: Table) {
+        self.tables.push(t);
+    }
+
+    /// Attach a note.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Render the whole record as markdown.
+    pub fn render_markdown(&self) -> String {
+        let mut out = format!("## {}\n\n", self.title);
+        for t in &self.tables {
+            out.push_str(&t.render_markdown());
+            out.push('\n');
+        }
+        if !self.notes.is_empty() {
+            out.push_str("Notes:\n\n");
+            for n in &self.notes {
+                out.push_str(&format!("- {n}\n"));
+            }
+        }
+        out
+    }
+
+    /// Print to stdout (plain text) — what the bench binaries do by
+    /// default.
+    pub fn print(&self) {
+        println!("== {} ==", self.title);
+        for t in &self.tables {
+            println!("{}", t.render());
+        }
+        for n in &self.notes {
+            println!("note: {n}");
+        }
+    }
+
+    /// Write `results/<id>.md` under `dir`, creating the directory.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn save_markdown(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.md", self.id));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(self.render_markdown().as_bytes())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> ExperimentRecord {
+        let mut r = ExperimentRecord::new("table9", "Table 9: speedups");
+        let mut t = Table::new("speedups", &["N", "S_N"]);
+        t.push_row(vec!["2".into(), "1.82".into()]);
+        r.push_table(t);
+        r.push_note("simulated machine");
+        r
+    }
+
+    #[test]
+    fn renders_markdown_with_notes() {
+        let md = record().render_markdown();
+        assert!(md.contains("## Table 9"));
+        assert!(md.contains("| 2 | 1.82 |"));
+        assert!(md.contains("- simulated machine"));
+    }
+
+    #[test]
+    fn saves_to_results_dir() {
+        let dir = std::env::temp_dir().join(format!("sea-report-test-{}", std::process::id()));
+        let path = record().save_markdown(&dir).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("Table 9"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,165 @@
+//! ASCII/markdown table rendering.
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (wi, cell) in w.iter_mut().zip(row) {
+                *wi = (*wi).max(cell.len());
+            }
+        }
+        w
+    }
+
+    /// Render as an aligned plain-text table.
+    pub fn render(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let line =
+            |cells: &[String], w: &[usize]| -> String {
+                let mut s = String::new();
+                for (c, width) in cells.iter().zip(w) {
+                    s.push_str(&format!("| {c:>width$} "));
+                }
+                s.push('|');
+                s
+            };
+        out.push_str(&line(&self.headers, &w));
+        out.push('\n');
+        let mut sep = String::new();
+        for width in &w {
+            sep.push_str(&format!("|{}", "-".repeat(width + 2)));
+        }
+        sep.push('|');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &w));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as a GitHub-flavoured markdown table (title as a heading).
+    pub fn render_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| " --- |").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Human-friendly seconds formatting with four significant decimals, like
+/// the paper's CPU-time columns.
+pub fn fmt_seconds(secs: f64) -> String {
+    if secs < 1e-3 {
+        format!("{:.4e}", secs)
+    } else {
+        format!("{secs:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Table X", &["name", "seconds"]);
+        t.push_row(vec!["alpha".into(), "1.25".into()]);
+        t.push_row(vec!["b".into(), "100.0".into()]);
+        t
+    }
+
+    #[test]
+    fn renders_aligned_text() {
+        let s = sample().render();
+        assert!(s.starts_with("Table X\n"));
+        assert!(s.contains("|  name | seconds |"));
+        assert!(s.contains("| alpha |    1.25 |"));
+        assert!(s.contains("|     b |   100.0 |"));
+    }
+
+    #[test]
+    fn renders_markdown() {
+        let s = sample().render_markdown();
+        assert!(s.contains("### Table X"));
+        assert!(s.contains("| name | seconds |"));
+        assert!(s.contains("| --- | --- |"));
+        assert!(s.contains("| alpha | 1.25 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn counts_rows() {
+        let t = sample();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.title(), "Table X");
+    }
+
+    #[test]
+    fn formats_seconds() {
+        assert_eq!(fmt_seconds(1.23456), "1.2346");
+        assert_eq!(fmt_seconds(0.0024), "0.0024");
+        assert!(fmt_seconds(1e-5).contains('e'));
+    }
+}

@@ -1,0 +1,84 @@
+//! Random SPE instance generators (the paper's `SP50×50` … `SP750×750`
+//! series: "linear supply price, demand price, and transportation cost
+//! functions which are also separable", §4.1.2).
+//!
+//! Parameters are drawn so instances are economically active (demand
+//! intercepts exceed supply intercepts plus typical transport costs, so a
+//! substantial fraction of links trade) and deterministic given the seed.
+
+use crate::model::SpatialPriceProblem;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sea_linalg::DenseMatrix;
+
+/// Generate a random SPE instance with `m` supply and `n` demand markets.
+///
+/// Deterministic in `(m, n, seed)`.
+///
+/// # Panics
+/// Panics if `m` or `n` is zero.
+pub fn random_spe(m: usize, n: usize, seed: u64) -> SpatialPriceProblem {
+    assert!(m > 0 && n > 0, "markets must be nonempty");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5EA_5EA);
+    let supply_intercept: Vec<f64> = (0..m).map(|_| rng.random_range(1.0..10.0)).collect();
+    let supply_slope: Vec<f64> = (0..m).map(|_| rng.random_range(0.5..3.0)).collect();
+    let demand_intercept: Vec<f64> = (0..n).map(|_| rng.random_range(150.0..300.0)).collect();
+    let demand_slope: Vec<f64> = (0..n).map(|_| rng.random_range(1.0..5.0)).collect();
+    let cost_intercept = DenseMatrix::from_vec(
+        m,
+        n,
+        (0..m * n).map(|_| rng.random_range(1.0..25.0)).collect(),
+    )
+    .expect("nonempty dims");
+    let cost_slope = DenseMatrix::from_vec(
+        m,
+        n,
+        (0..m * n).map(|_| rng.random_range(0.01..0.5)).collect(),
+    )
+    .expect("nonempty dims");
+    SpatialPriceProblem {
+        supply_intercept,
+        supply_slope,
+        demand_intercept,
+        demand_slope,
+        cost_intercept,
+        cost_slope,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::solve_spe;
+    use sea_core::SeaOptions;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = random_spe(5, 7, 42);
+        let b = random_spe(5, 7, 42);
+        assert_eq!(a.supply_intercept, b.supply_intercept);
+        assert_eq!(a.cost_slope, b.cost_slope);
+        let c = random_spe(5, 7, 43);
+        assert_ne!(a.supply_intercept, c.supply_intercept);
+    }
+
+    #[test]
+    fn generated_instances_validate_and_trade() {
+        let p = random_spe(10, 10, 7);
+        p.validate().unwrap();
+        let sol = solve_spe(&p, &SeaOptions::with_epsilon(1e-8)).unwrap();
+        assert!(sol.converged);
+        assert!(sol.report.total_flow > 0.0);
+        assert!(sol.report.active_links > 10, "instance should be active");
+        assert!(sol.report.max_price_violation < 1e-4);
+    }
+
+    #[test]
+    fn rectangular_instances_work() {
+        let p = random_spe(3, 8, 11);
+        let sol = solve_spe(&p, &SeaOptions::with_epsilon(1e-8)).unwrap();
+        assert!(sol.converged);
+        assert_eq!(sol.x.rows(), 3);
+        assert_eq!(sol.x.cols(), 8);
+    }
+}

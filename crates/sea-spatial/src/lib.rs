@@ -1,0 +1,44 @@
+//! # sea-spatial — spatial price equilibrium problems
+//!
+//! The classical spatial price equilibrium (SPE) problem of Enke (1951),
+//! Samuelson (1952), and Takayama & Judge (1971): `m` supply markets and
+//! `n` demand markets with linear separable supply price, demand price, and
+//! transaction cost functions. The paper (after Stone 1951 and Nagurney
+//! 1989) uses the **isomorphism between SPE and the constrained matrix
+//! problem with unknown row and column totals**: SPE's equivalent
+//! optimization objective
+//!
+//! ```text
+//!   Σᵢ ∫₀^{sᵢ} πᵢ(u) du + Σᵢⱼ ∫₀^{xᵢⱼ} tᵢⱼ(u) du − Σⱼ ∫₀^{dⱼ} ρⱼ(u) du
+//! ```
+//!
+//! is, for linear functions, exactly a diagonal elastic constrained matrix
+//! objective (paper eq. 5) after completing the square — so SEA computes
+//! spatial equilibria, and the SP experiments of Table 5 / Table 6 are
+//! constrained matrix solves.
+//!
+//! * [`model`] — [`SpatialPriceProblem`], the transformation to a
+//!   [`DiagonalProblem`](sea_core::DiagonalProblem), and equilibrium
+//!   condition verification.
+//! * [`generate`] — random instance generators (`SP50×50` … `SP750×750`).
+//! * [`asymmetric`] — asymmetric SPE (cross-market price Jacobians): the
+//!   variational-inequality class with *no* equivalent optimization
+//!   formulation (paper §2), solved by diagonalization over separable SPE
+//!   subproblems.
+
+// Numeric-kernel idioms: indexed loops over multiple parallel arrays are
+// clearer than zipped iterator chains in the equilibration math, and
+// `!(w > 0.0)` deliberately treats NaN as invalid (a positive-weight check
+// that `w <= 0.0` would pass NaN through).
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod asymmetric;
+pub mod generate;
+pub mod model;
+
+pub use asymmetric::{
+    random_asymmetric_spe, solve_asymmetric_spe, AsymmetricSolution, AsymmetricSpe,
+};
+pub use generate::random_spe;
+pub use model::{check_equilibrium, solve_spe, EquilibriumReport, SpatialPriceProblem, SpeSolution};

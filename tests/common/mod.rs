@@ -1,0 +1,143 @@
+//! Shared helpers for the integration tests: an independent dense linear
+//! solver and an equality-constrained QP reference that does **not** share
+//! any code path with the SEA solvers.
+
+#![allow(clippy::needless_range_loop)] // parallel-array numeric idiom
+#![allow(dead_code)] // each integration test uses a subset of these helpers
+
+use sea::linalg::DenseMatrix;
+
+/// Solve `A x = b` by Gaussian elimination with partial pivoting.
+/// Returns `None` for (numerically) singular systems.
+pub fn gaussian_solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    assert_eq!(a.len(), n);
+    for col in 0..n {
+        // Pivot.
+        let (piv, piv_val) = (col..n)
+            .map(|r| (r, a[r][col].abs()))
+            .max_by(|x, y| x.1.partial_cmp(&y.1).unwrap())?;
+        if piv_val < 1e-12 {
+            return None;
+        }
+        a.swap(col, piv);
+        b.swap(col, piv);
+        // Eliminate below.
+        for r in (col + 1)..n {
+            let f = a[r][col] / a[col][col];
+            if f != 0.0 {
+                for c in col..n {
+                    a[r][c] -= f * a[col][c];
+                }
+                b[r] -= f * b[col];
+            }
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for r in (0..n).rev() {
+        let mut s = b[r];
+        for c in (r + 1)..n {
+            s -= a[r][c] * x[c];
+        }
+        x[r] = s / a[r][r];
+    }
+    Some(x)
+}
+
+/// Reference solution of `min Σ γᵢⱼ(xᵢⱼ − x⁰ᵢⱼ)²` subject to the margin
+/// equalities ONLY (nonnegativity ignored), via the KKT linear system with
+/// one redundant constraint dropped. Valid as a reference for the full
+/// problem exactly when the returned matrix is nonnegative.
+pub fn equality_qp_reference(
+    x0: &DenseMatrix,
+    gamma: &DenseMatrix,
+    s0: &[f64],
+    d0: &[f64],
+) -> Option<DenseMatrix> {
+    let (m, n) = (x0.rows(), x0.cols());
+    let mn = m * n;
+    let ncons = m + n - 1; // drop the last column constraint (redundant)
+    let dim = mn + ncons;
+    let mut a = vec![vec![0.0; dim]; dim];
+    let mut b = vec![0.0; dim];
+
+    // Stationarity: 2γ_k x_k − Σ ν_c A_{c,k} = 2γ_k x0_k.
+    for i in 0..m {
+        for j in 0..n {
+            let k = i * n + j;
+            a[k][k] = 2.0 * gamma.get(i, j);
+            b[k] = 2.0 * gamma.get(i, j) * x0.get(i, j);
+            // Row constraint i.
+            a[k][mn + i] = -1.0;
+            // Column constraint j (except the dropped last one).
+            if j + 1 < n {
+                a[k][mn + m + j] = -1.0;
+            }
+        }
+    }
+    // Constraints.
+    for i in 0..m {
+        for j in 0..n {
+            a[mn + i][i * n + j] = 1.0;
+        }
+        b[mn + i] = s0[i];
+    }
+    for j in 0..(n - 1) {
+        for i in 0..m {
+            a[mn + m + j][i * n + j] = 1.0;
+        }
+        b[mn + m + j] = d0[j];
+    }
+
+    let x = gaussian_solve(&mut a, &mut b)?;
+    DenseMatrix::from_vec(m, n, x[..mn].to_vec()).ok()
+}
+
+/// Reference solution of the **general** problem
+/// `min (x−x⁰)ᵀG(x−x⁰)` subject to the margin equalities ONLY
+/// (nonnegativity ignored), via the dense KKT system. Valid for the full
+/// problem exactly when the result is nonnegative.
+pub fn general_equality_qp_reference(
+    x0: &DenseMatrix,
+    g: &sea::linalg::SymMatrix,
+    s0: &[f64],
+    d0: &[f64],
+) -> Option<DenseMatrix> {
+    let (m, n) = (x0.rows(), x0.cols());
+    let mn = m * n;
+    let ncons = m + n - 1;
+    let dim = mn + ncons;
+    let mut a = vec![vec![0.0; dim]; dim];
+    let mut b = vec![0.0; dim];
+
+    // Stationarity: 2·G·x − Σ ν_c A_{c,·} = 2·G·x⁰.
+    let mut gx0 = vec![0.0; mn];
+    g.matvec(x0.as_slice(), &mut gx0).ok()?;
+    for k in 0..mn {
+        for l in 0..mn {
+            a[k][l] = 2.0 * g.get(k, l);
+        }
+        b[k] = 2.0 * gx0[k];
+        let i = k / n;
+        let j = k % n;
+        a[k][mn + i] = -1.0;
+        if j + 1 < n {
+            a[k][mn + m + j] = -1.0;
+        }
+    }
+    for i in 0..m {
+        for j in 0..n {
+            a[mn + i][i * n + j] = 1.0;
+        }
+        b[mn + i] = s0[i];
+    }
+    for j in 0..(n - 1) {
+        for i in 0..m {
+            a[mn + m + j][i * n + j] = 1.0;
+        }
+        b[mn + m + j] = d0[j];
+    }
+    let x = gaussian_solve(&mut a, &mut b)?;
+    DenseMatrix::from_vec(m, n, x[..mn].to_vec()).ok()
+}
