@@ -21,7 +21,7 @@
 
 use sea_core::equilibrate::{equilibration_pass, PassInputs};
 use sea_core::general::{GeneralProblem, GeneralTotalSpec};
-use sea_core::knapsack::TotalMode;
+use sea_core::knapsack::{KernelKind, TotalMode};
 use sea_core::parallel::Parallelism;
 use sea_core::trace::{ExecutionTrace, PhaseKind};
 use sea_core::SeaError;
@@ -42,6 +42,8 @@ pub struct RcOptions {
     pub max_projection_iterations: usize,
     /// Fan-out strategy for the equilibration passes and mat-vecs.
     pub parallelism: Parallelism,
+    /// Equilibration kernel for the half-step subproblems.
+    pub kernel: KernelKind,
     /// Record a phase trace for the scheduling simulator.
     pub record_trace: bool,
 }
@@ -54,6 +56,7 @@ impl Default for RcOptions {
             projection_epsilon: 1e-7,
             max_projection_iterations: 500,
             parallelism: Parallelism::Serial,
+            kernel: KernelKind::default(),
             record_trace: false,
         }
     }
@@ -193,6 +196,7 @@ fn half_step(
             support: None,
             shift,
             side: if transposed { "column" } else { "row" },
+            kernel: opts.kernel,
         };
         let costs = opts.record_trace.then_some(&mut buf.costs);
         equilibration_pass(

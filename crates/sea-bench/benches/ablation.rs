@@ -1,11 +1,13 @@
-//! Criterion ablations: serial vs rayon equilibration passes, structural
-//! zeros vs free zeros on sparse priors, and convergence-check cadence.
+//! Criterion ablations: sort-scan vs quickselect equilibration kernels,
+//! serial vs rayon equilibration passes, structural zeros vs free zeros on
+//! sparse priors, and convergence-check cadence.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use sea_core::{
-    solve_diagonal, DiagonalProblem, Parallelism, SeaOptions, TotalSpec, ZeroPolicy,
+    solve_diagonal, DiagonalProblem, KernelKind, Parallelism, SeaOptions, TotalSpec,
+    ZeroPolicy,
 };
 use sea_data::table1_instance;
 use sea_linalg::DenseMatrix;
@@ -44,6 +46,31 @@ fn sparse_problem(n: usize, density: f64, policy: ZeroPolicy) -> DiagonalProblem
     let s0: Vec<f64> = x0.row_sums().iter().map(|v| 1.2 * v).collect();
     let d0: Vec<f64> = x0.col_sums().iter().map(|v| 1.2 * v).collect();
     DiagonalProblem::with_zero_policy(x0, gamma, TotalSpec::Fixed { s0, d0 }, policy).unwrap()
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    // End-to-end solve cost under each equilibration kernel: each SEA
+    // iteration runs one knapsack per row and per column, so the kernel
+    // dominates once the subproblems are long.
+    let mut group = c.benchmark_group("kernel_ablation");
+    group.sample_size(10);
+    for &n in &[100usize, 300] {
+        let p = table1_instance(n, 7);
+        for kernel in [KernelKind::SortScan, KernelKind::Quickselect] {
+            group.bench_with_input(
+                BenchmarkId::new(kernel.name(), n),
+                &p,
+                |b, p| {
+                    b.iter(|| {
+                        let mut o = SeaOptions::with_epsilon(0.01);
+                        o.kernel = kernel;
+                        solve_diagonal(black_box(p), &o).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
 }
 
 fn bench_parallelism(c: &mut Criterion) {
@@ -99,6 +126,7 @@ fn bench_check_cadence(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_kernel,
     bench_parallelism,
     bench_zero_policy,
     bench_check_cadence

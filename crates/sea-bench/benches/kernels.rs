@@ -5,7 +5,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use sea_core::knapsack::{exact_equilibration, EquilibrationScratch, TotalMode};
+use sea_core::knapsack::{
+    exact_equilibration_boxed_with, exact_equilibration_with, EquilibrationScratch,
+    KernelKind, TotalMode,
+};
 use sea_linalg::{sort, DenseMatrix};
 use std::hint::black_box;
 
@@ -20,36 +23,87 @@ fn bench_exact_equilibration(c: &mut Criterion) {
         let total: f64 = q.iter().sum::<f64>() * 1.7;
         let mut x = vec![0.0; n];
         let mut scratch = EquilibrationScratch::new();
-        group.bench_with_input(BenchmarkId::new("fixed", n), &n, |b, _| {
-            b.iter(|| {
-                exact_equilibration(
-                    black_box(&q),
-                    &gamma,
-                    &shift,
-                    TotalMode::Fixed { total },
-                    &mut x,
-                    &mut scratch,
-                )
-                .unwrap()
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("elastic", n), &n, |b, _| {
-            b.iter(|| {
-                exact_equilibration(
-                    black_box(&q),
-                    &gamma,
-                    &shift,
-                    TotalMode::Elastic {
-                        alpha: 0.5,
-                        prior: total,
-                        cross: 0.0,
-                    },
-                    &mut x,
-                    &mut scratch,
-                )
-                .unwrap()
-            })
-        });
+        for kernel in [KernelKind::SortScan, KernelKind::Quickselect] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("fixed-{kernel}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        exact_equilibration_with(
+                            kernel,
+                            black_box(&q),
+                            &gamma,
+                            &shift,
+                            TotalMode::Fixed { total },
+                            &mut x,
+                            &mut scratch,
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("elastic-{kernel}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        exact_equilibration_with(
+                            kernel,
+                            black_box(&q),
+                            &gamma,
+                            &shift,
+                            TotalMode::Elastic {
+                                alpha: 0.5,
+                                prior: total,
+                                cross: 0.0,
+                            },
+                            &mut x,
+                            &mut scratch,
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_boxed_equilibration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("boxed_equilibration");
+    group.sample_size(20);
+    for &n in &[100usize, 1000, 5000] {
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64 ^ 0xB0);
+        let q: Vec<f64> = (0..n).map(|_| rng.random_range(0.1..100.0)).collect();
+        let gamma: Vec<f64> = q.iter().map(|&v| 1.0 / v).collect();
+        let shift: Vec<f64> = (0..n).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let lo: Vec<f64> = q.iter().map(|&v| 0.5 * v).collect();
+        let hi: Vec<f64> = q.iter().map(|&v| 2.0 * v).collect();
+        let total: f64 = q.iter().sum::<f64>() * 1.2;
+        let mut x = vec![0.0; n];
+        let mut scratch = EquilibrationScratch::new();
+        for kernel in [KernelKind::SortScan, KernelKind::Quickselect] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("fixed-{kernel}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        exact_equilibration_boxed_with(
+                            kernel,
+                            black_box(&q),
+                            &gamma,
+                            &shift,
+                            &lo,
+                            &hi,
+                            TotalMode::Fixed { total },
+                            &mut x,
+                            &mut scratch,
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }
@@ -104,5 +158,11 @@ fn bench_matvec(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_exact_equilibration, bench_sorts, bench_matvec);
+criterion_group!(
+    benches,
+    bench_exact_equilibration,
+    bench_boxed_equilibration,
+    bench_sorts,
+    bench_matvec
+);
 criterion_main!(benches);

@@ -16,6 +16,8 @@ pub struct CommonOpts {
     pub epsilon: f64,
     /// Treat zeros of the prior as structural.
     pub structural_zeros: bool,
+    /// Equilibration kernel name: `sortscan` or `quickselect`.
+    pub kernel: String,
 }
 
 /// Parsed subcommand.
@@ -114,12 +116,21 @@ fn common_from(flags: &mut HashMap<String, String>) -> Result<CommonOpts, ParseE
         Some("free") => false,
         Some(other) => return Err(format!("unknown --zeros {other:?} (structural|free)")),
     };
+    let kernel = flags
+        .remove("kernel")
+        .unwrap_or_else(|| "sortscan".to_string());
+    if !["sortscan", "quickselect"].contains(&kernel.as_str()) {
+        return Err(format!(
+            "unknown --kernel {kernel:?} (expected sortscan or quickselect)"
+        ));
+    }
     Ok(CommonOpts {
         matrix: PathBuf::from(matrix),
         out,
         weights,
         epsilon,
         structural_zeros,
+        kernel,
     })
 }
 
@@ -217,6 +228,10 @@ OPTIONS (solver subcommands):
   --weights unit|chi2|sqrt   deviation weights (default chi2 = 1/x0)
   --epsilon <f64>            stopping tolerance (default 1e-8)
   --zeros structural|free    zero handling (default free)
+  --kernel sortscan|quickselect
+                             equilibration kernel (default sortscan; both
+                             produce the same solution, quickselect skips
+                             the breakpoint sort)
   --out <file>               write the estimate as CSV (default stdout)
 ";
 
@@ -267,6 +282,21 @@ mod tests {
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_kernel_flag() {
+        let cmd = parse_args(&argv("sam --matrix m.csv --kernel quickselect")).unwrap();
+        match cmd {
+            Command::Sam { common, .. } => assert_eq!(common.kernel, "quickselect"),
+            other => panic!("wrong command {other:?}"),
+        }
+        let cmd = parse_args(&argv("sam --matrix m.csv")).unwrap();
+        match cmd {
+            Command::Sam { common, .. } => assert_eq!(common.kernel, "sortscan"),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse_args(&argv("sam --matrix m.csv --kernel mergesort")).is_err());
     }
 
     #[test]

@@ -4,7 +4,8 @@ use crate::args::{Command, CommonOpts, USAGE};
 use crate::csv;
 use sea_baselines::ras::{ras_balance, RasOptions};
 use sea_core::{
-    solve_diagonal, DiagonalProblem, SeaOptions, TotalSpec, WeightScheme, ZeroPolicy,
+    solve_diagonal, DiagonalProblem, KernelKind, SeaOptions, TotalSpec, WeightScheme,
+    ZeroPolicy,
 };
 use sea_linalg::DenseMatrix;
 use std::path::Path;
@@ -56,7 +57,9 @@ fn solve_and_emit(
     common: &CommonOpts,
     problem: &DiagonalProblem,
 ) -> Result<String, CliError> {
-    let opts = SeaOptions::with_epsilon(common.epsilon);
+    let mut opts = SeaOptions::with_epsilon(common.epsilon);
+    opts.kernel = KernelKind::parse(&common.kernel)
+        .ok_or_else(|| format!("unknown kernel {:?}", common.kernel))?;
     let sol = solve_diagonal(problem, &opts).map_err(|e| format!("solver failed: {e}"))?;
     if !sol.stats.converged {
         return Err(format!(

@@ -12,7 +12,7 @@
 //! (the column pass passes transposed copies built once per solve).
 
 use crate::error::SeaError;
-use crate::knapsack::{exact_equilibration, EquilibrationScratch, TotalMode};
+use crate::knapsack::{exact_equilibration_with, EquilibrationScratch, KernelKind, TotalMode};
 use crate::parallel::Parallelism;
 use rayon::prelude::*;
 use sea_linalg::DenseMatrix;
@@ -48,6 +48,8 @@ pub struct PassInputs<'a> {
     pub shift: &'a [f64],
     /// `"row"` or `"column"`, for error reporting.
     pub side: &'static str,
+    /// Which equilibration kernel solves each subproblem.
+    pub kernel: KernelKind,
 }
 
 /// Solve one subproblem; returns `(λ, realized total)` and writes the
@@ -61,7 +63,8 @@ fn solve_task(
 ) -> Result<(f64, f64), SeaError> {
     match inp.support {
         None => {
-            let r = exact_equilibration(
+            let r = exact_equilibration_with(
+                inp.kernel,
                 inp.prior.row(i),
                 inp.gamma.row(i),
                 inp.shift,
@@ -101,7 +104,8 @@ fn solve_task(
                 scratch.sh.push(inp.shift[j]);
             }
             scratch.x.resize(k, 0.0);
-            let r = exact_equilibration(
+            let r = exact_equilibration_with(
+                inp.kernel,
                 &scratch.q,
                 &scratch.g,
                 &scratch.sh,
@@ -231,6 +235,7 @@ mod tests {
             support: None,
             shift: &shift,
             side: "row",
+            kernel: KernelKind::SortScan,
         };
         let s0 = [9.0, 3.0];
         let mut lambda = vec![0.0; 2];
@@ -262,6 +267,7 @@ mod tests {
             support: None,
             shift: &shift,
             side: "row",
+            kernel: KernelKind::SortScan,
         };
         let run = |par: Parallelism| {
             let mut lambda = vec![0.0; 2];
@@ -301,6 +307,7 @@ mod tests {
             support: Some(&support),
             shift: &shift,
             side: "row",
+            kernel: KernelKind::SortScan,
         };
         let mut lambda = vec![0.0; 2];
         let mut totals = vec![0.0; 2];
@@ -331,6 +338,7 @@ mod tests {
             support: Some(&support),
             shift: &shift,
             side: "column",
+            kernel: KernelKind::SortScan,
         };
         let mut lambda = vec![0.0; 2];
         let mut totals = vec![0.0; 2];
@@ -363,6 +371,7 @@ mod tests {
             support: None,
             shift: &shift,
             side: "row",
+            kernel: KernelKind::SortScan,
         };
         let mut lambda = vec![0.0; 2];
         let mut totals = vec![0.0; 2];

@@ -8,7 +8,9 @@
 //! breakpoint sweep ([`crate::knapsack::exact_equilibration_boxed`]).
 
 use crate::error::SeaError;
-use crate::knapsack::{exact_equilibration_boxed, EquilibrationScratch, TotalMode};
+use crate::knapsack::{
+    exact_equilibration_boxed_with, EquilibrationScratch, KernelKind, TotalMode,
+};
 use crate::problem::Residuals;
 use sea_linalg::DenseMatrix;
 use std::time::{Duration, Instant};
@@ -166,6 +168,19 @@ pub fn solve_bounded(
     epsilon: f64,
     max_iterations: usize,
 ) -> Result<BoundedSolution, SeaError> {
+    solve_bounded_with(p, epsilon, max_iterations, KernelKind::SortScan)
+}
+
+/// [`solve_bounded`] with an explicit equilibration kernel choice.
+///
+/// # Errors
+/// Same contract as [`solve_bounded`].
+pub fn solve_bounded_with(
+    p: &BoundedProblem,
+    epsilon: f64,
+    max_iterations: usize,
+    kernel: KernelKind,
+) -> Result<BoundedSolution, SeaError> {
     let start = Instant::now();
     let (m, n) = (p.m(), p.n());
     let x0_t = p.x0.transposed();
@@ -184,7 +199,8 @@ pub fn solve_bounded(
     for t in 1..=max_iterations.max(1) {
         iterations = t;
         for i in 0..m {
-            let r = exact_equilibration_boxed(
+            let r = exact_equilibration_boxed_with(
+                kernel,
                 p.x0.row(i),
                 p.gamma.row(i),
                 &mu,
@@ -197,7 +213,8 @@ pub fn solve_bounded(
             lambda[i] = r.lambda;
         }
         for j in 0..n {
-            let r = exact_equilibration_boxed(
+            let r = exact_equilibration_boxed_with(
+                kernel,
                 x0_t.row(j),
                 gamma_t.row(j),
                 &lambda,

@@ -57,6 +57,50 @@ pub enum TotalMode {
     },
 }
 
+/// Which algorithm solves the piecewise-linear equation `Σⱼ xⱼ(λ) = S(λ)`.
+///
+/// Both kernels produce the same solution (differentially tested to 1e-10);
+/// they differ only in how they locate the linear segment containing the
+/// root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelKind {
+    /// Argsort the breakpoints, then scan segments in order — `O(n log n)`,
+    /// the paper's `7n + n·ln n + 2n` profile. The reference oracle.
+    #[default]
+    SortScan,
+    /// Expected-`O(n)` selection: deterministic median-of-3 quickselect over
+    /// the breakpoints, folding discarded segments into running linear
+    /// coefficients instead of ever sorting (Kiwiel-style breakpoint
+    /// search).
+    Quickselect,
+}
+
+impl KernelKind {
+    /// Stable lowercase name, for CLI flags and report tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::SortScan => "sortscan",
+            KernelKind::Quickselect => "quickselect",
+        }
+    }
+
+    /// Parse a CLI spelling. Accepts `sortscan`/`sort-scan`/`sort` and
+    /// `quickselect`/`select`/`qs`.
+    pub fn parse(s: &str) -> Option<KernelKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "sortscan" | "sort-scan" | "sort" => Some(KernelKind::SortScan),
+            "quickselect" | "select" | "qs" => Some(KernelKind::Quickselect),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Result of one exact equilibration solve.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EquilibrationResult {
@@ -69,14 +113,27 @@ pub struct EquilibrationResult {
     pub active: usize,
 }
 
+/// One breakpoint event for the selection kernel: crossing `v` changes the
+/// active-set linear form `f(λ) = A + B·λ` by `(da, db)`.
+#[derive(Debug, Default, Clone, Copy)]
+struct SelectEvent {
+    v: f64,
+    da: f64,
+    db: f64,
+}
+
 /// Reusable workspace so the hot loop performs no allocation (workhorse
-/// buffers, per the performance guide).
+/// buffers, per the performance guide). Buffers grow to the subproblem size
+/// on first use; every subsequent solve of the same (or smaller) size is
+/// allocation-free regardless of kernel.
 #[derive(Debug, Default, Clone)]
 pub struct EquilibrationScratch {
     breakpoints: Vec<f64>,
     order: Vec<u32>,
     /// Second event array for the boxed variant.
     events_hi: Vec<f64>,
+    /// Breakpoint events for the quickselect kernel (plain and boxed).
+    events: Vec<SelectEvent>,
 }
 
 impl EquilibrationScratch {
@@ -90,6 +147,8 @@ impl EquilibrationScratch {
         self.breakpoints.reserve(n);
         self.order.clear();
         self.order.reserve(2 * n);
+        self.events.clear();
+        self.events.reserve(2 * n);
     }
 }
 
@@ -100,6 +159,17 @@ impl EquilibrationScratch {
 pub fn operation_count(n: usize) -> f64 {
     let nf = n as f64;
     9.0 * nf + nf * nf.max(1.0).ln()
+}
+
+/// Operation-count model dispatched by kernel: the selection kernel drops
+/// the `n·ln n` sorting term (expected-linear breakpoint search), keeping a
+/// larger linear constant for the partition passes.
+#[inline]
+pub fn operation_count_for(kernel: KernelKind, n: usize) -> f64 {
+    match kernel {
+        KernelKind::SortScan => operation_count(n),
+        KernelKind::Quickselect => 13.0 * n as f64,
+    }
 }
 
 #[inline]
@@ -173,6 +243,26 @@ pub fn exact_equilibration(
     x_out: &mut [f64],
     scratch: &mut EquilibrationScratch,
 ) -> Result<EquilibrationResult, SeaError> {
+    exact_equilibration_with(KernelKind::SortScan, q, gamma, shift, mode, x_out, scratch)
+}
+
+/// [`exact_equilibration`] with an explicit kernel choice.
+///
+/// [`KernelKind::SortScan`] is the reference oracle; [`KernelKind::Quickselect`]
+/// locates the same root segment by in-place selection in expected linear
+/// time. Both write the same solution (to floating-point roundoff).
+///
+/// # Errors
+/// Same contract as [`exact_equilibration`].
+pub fn exact_equilibration_with(
+    kernel: KernelKind,
+    q: &[f64],
+    gamma: &[f64],
+    shift: &[f64],
+    mode: TotalMode,
+    x_out: &mut [f64],
+    scratch: &mut EquilibrationScratch,
+) -> Result<EquilibrationResult, SeaError> {
     validate_inputs(q, gamma, shift, x_out)?;
     let n = q.len();
 
@@ -209,67 +299,10 @@ pub fn exact_equilibration(
         };
     }
 
-    // Breakpoints bⱼ = −2γⱼqⱼ − shiftⱼ: entry j is active for λ > bⱼ.
-    scratch.prepare(n);
-    for j in 0..n {
-        debug_assert!(gamma[j] > 0.0, "gamma must be strictly positive");
-        scratch
-            .breakpoints
-            .push(-2.0 * gamma[j] * q[j] - shift[j]);
-    }
-    scratch.order.resize(n, 0);
-    sort::identity_permutation(&mut scratch.order);
-    sort::argsort(&mut scratch.order, &scratch.breakpoints);
-
-    // Sweep the segments. Active prefix r contributes Σ (qⱼ + shiftⱼ/(2γⱼ))
-    // (accumulated in `a`) plus λ·Σ 1/(2γⱼ) (accumulated in `b`).
-    let mut a = 0.0_f64;
-    let mut b = 0.0_f64;
-    // Elastic constants.
-    let (el_slope, el_const) = match mode {
-        TotalMode::Fixed { .. } => (0.0, 0.0),
-        TotalMode::Elastic { alpha, prior, cross } => {
-            (1.0 / (2.0 * alpha), prior - cross / (2.0 * alpha))
-        }
+    let lambda = match kernel {
+        KernelKind::SortScan => plain_lambda_sort_scan(q, gamma, shift, mode, scratch),
+        KernelKind::Quickselect => plain_lambda_quickselect(q, gamma, shift, mode, scratch),
     };
-
-    let mut lambda = f64::NAN;
-    for r in 0..=n {
-        let upper = if r < n {
-            scratch.breakpoints[scratch.order[r] as usize]
-        } else {
-            f64::INFINITY
-        };
-        // Root of: a + λ·b  =  S(λ), where for fixed mode S(λ) = total and
-        // for elastic S(λ) = el_const − λ·el_slope.
-        let cand = match mode {
-            TotalMode::Fixed { total } => {
-                if b > 0.0 {
-                    Some((total - a) / b)
-                } else if total <= 0.0 {
-                    // All entries zero is the solution; λ may sit anywhere
-                    // at or below the first breakpoint — report the
-                    // boundary (the largest valid multiplier).
-                    Some(if r < n { upper } else { 0.0 })
-                } else {
-                    None
-                }
-            }
-            TotalMode::Elastic { .. } => Some((el_const - a) / (b + el_slope)),
-        };
-        if let Some(c) = cand {
-            if c <= upper {
-                lambda = c;
-                break;
-            }
-        }
-        if r < n {
-            let j = scratch.order[r] as usize;
-            let inv2g = 1.0 / (2.0 * gamma[j]);
-            a += q[j] + shift[j] * inv2g;
-            b += inv2g;
-        }
-    }
 
     if !lambda.is_finite() {
         // Fixed positive total but every segment exhausted: can only happen
@@ -316,6 +349,247 @@ pub fn exact_equilibration(
     })
 }
 
+/// Slope/intercept of the elastic total response `S(λ) = el_const − λ·el_slope`
+/// (fixed mode degenerates to `(0, 0)` and is special-cased by callers).
+#[inline]
+fn elastic_constants(mode: TotalMode) -> (f64, f64) {
+    match mode {
+        TotalMode::Fixed { .. } => (0.0, 0.0),
+        TotalMode::Elastic { alpha, prior, cross } => {
+            (1.0 / (2.0 * alpha), prior - cross / (2.0 * alpha))
+        }
+    }
+}
+
+/// Sort-based segment search for the nonnegative subproblem: argsort the
+/// breakpoints, then sweep segments left to right accumulating the active
+/// linear form. Returns NaN when no segment accepts (numerical breakdown;
+/// the caller reports it).
+fn plain_lambda_sort_scan(
+    q: &[f64],
+    gamma: &[f64],
+    shift: &[f64],
+    mode: TotalMode,
+    scratch: &mut EquilibrationScratch,
+) -> f64 {
+    let n = q.len();
+    // Breakpoints bⱼ = −2γⱼqⱼ − shiftⱼ: entry j is active for λ > bⱼ.
+    scratch.prepare(n);
+    for j in 0..n {
+        debug_assert!(gamma[j] > 0.0, "gamma must be strictly positive");
+        scratch
+            .breakpoints
+            .push(-2.0 * gamma[j] * q[j] - shift[j]);
+    }
+    scratch.order.resize(n, 0);
+    sort::identity_permutation(&mut scratch.order);
+    sort::argsort(&mut scratch.order, &scratch.breakpoints);
+
+    // Sweep the segments. Active prefix r contributes Σ (qⱼ + shiftⱼ/(2γⱼ))
+    // (accumulated in `a`) plus λ·Σ 1/(2γⱼ) (accumulated in `b`).
+    let mut a = 0.0_f64;
+    let mut b = 0.0_f64;
+    let (el_slope, el_const) = elastic_constants(mode);
+
+    let mut lambda = f64::NAN;
+    for r in 0..=n {
+        let upper = if r < n {
+            scratch.breakpoints[scratch.order[r] as usize]
+        } else {
+            f64::INFINITY
+        };
+        // Root of: a + λ·b  =  S(λ), where for fixed mode S(λ) = total and
+        // for elastic S(λ) = el_const − λ·el_slope.
+        let cand = match mode {
+            TotalMode::Fixed { total } => {
+                if b > 0.0 {
+                    Some((total - a) / b)
+                } else if total <= 0.0 {
+                    // All entries zero is the solution; λ may sit anywhere
+                    // at or below the first breakpoint — report the
+                    // boundary (the largest valid multiplier).
+                    Some(if r < n { upper } else { 0.0 })
+                } else {
+                    None
+                }
+            }
+            TotalMode::Elastic { .. } => Some((el_const - a) / (b + el_slope)),
+        };
+        if let Some(c) = cand {
+            if c <= upper {
+                lambda = c;
+                break;
+            }
+        }
+        if r < n {
+            let j = scratch.order[r] as usize;
+            let inv2g = 1.0 / (2.0 * gamma[j]);
+            a += q[j] + shift[j] * inv2g;
+            b += inv2g;
+        }
+    }
+    lambda
+}
+
+/// Selection kernel for the nonnegative subproblem: one breakpoint event
+/// per entry, then [`select_lambda`]. Returns NaN on breakdown.
+fn plain_lambda_quickselect(
+    q: &[f64],
+    gamma: &[f64],
+    shift: &[f64],
+    mode: TotalMode,
+    scratch: &mut EquilibrationScratch,
+) -> f64 {
+    let n = q.len();
+    scratch.prepare(n);
+    for j in 0..n {
+        debug_assert!(gamma[j] > 0.0, "gamma must be strictly positive");
+        let inv2g = 1.0 / (2.0 * gamma[j]);
+        scratch.events.push(SelectEvent {
+            v: -2.0 * gamma[j] * q[j] - shift[j],
+            // Crossing the breakpoint activates xⱼ(λ) = daⱼ + λ·dbⱼ.
+            da: q[j] + shift[j] * inv2g,
+            db: inv2g,
+        });
+    }
+    select_lambda(&mut scratch.events, 0.0, mode, FlatPolicy::NonnegativePrefix)
+        .unwrap_or(f64::NAN)
+}
+
+/// How a flat (zero-slope) terminal segment is resolved in fixed mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FlatPolicy {
+    /// Plain kernel: zero slope only happens left of every breakpoint,
+    /// where all entries clamp to zero — a solution iff `total ≤ 0`; report
+    /// the segment's upper boundary, matching the sort-scan sweep.
+    NonnegativePrefix,
+    /// Boxed kernel: flat segments can occur anywhere (every entry pinned
+    /// at a bound); accept when the pinned sum already matches the total.
+    BoundedMatch,
+}
+
+#[inline]
+fn median3(a: f64, b: f64, c: f64) -> f64 {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    if c <= lo {
+        lo
+    } else if c >= hi {
+        hi
+    } else {
+        c
+    }
+}
+
+/// Expected-O(n) segment search shared by the plain and boxed selection
+/// kernels.
+///
+/// `events` encodes `f(λ) = base_a + Σ_{vₑ ≤ λ} (daₑ + λ·dbₑ)`: each event,
+/// once crossed, adds `(daₑ, dbₑ)` to the active linear form — and is built
+/// so its contribution is exactly zero *at* its own breakpoint. The routine
+/// finds the segment containing the root of `f(λ) = S(λ)` (f nondecreasing)
+/// by deterministic median-of-3 quickselect: pivot on an event value,
+/// evaluate `f` there, and either discard the right part or fold the left
+/// part into running coefficients. Every step retires at least the
+/// pivot-equal events and partitions in place, so the search performs no
+/// allocation and no sort.
+///
+/// Returns `None` when fixed mode finds no consistent segment (the caller
+/// picks its fallback).
+fn select_lambda(
+    events: &mut [SelectEvent],
+    base_a: f64,
+    mode: TotalMode,
+    flat: FlatPolicy,
+) -> Option<f64> {
+    let (el_slope, el_const) = elastic_constants(mode);
+    let (mut lo, mut hi) = (0usize, events.len());
+    let mut acc_a = base_a;
+    let mut acc_b = 0.0_f64;
+    // Boundaries of the narrowed segment: smallest pivot ruled
+    // "root ≤ pivot" and largest pivot ruled "root > pivot" so far. The
+    // root always lies in [seg_lo, seg_hi]; the final division is clamped
+    // there so that catastrophic cancellation in acc_b (e.g. every boxed
+    // event folded left, leaving a tiny ±ε slope) cannot fling λ out of
+    // the segment.
+    let mut seg_hi = f64::INFINITY;
+    let mut seg_lo = f64::NEG_INFINITY;
+
+    while lo < hi {
+        let p = median3(
+            events[lo].v,
+            events[lo + (hi - lo) / 2].v,
+            events[hi - 1].v,
+        );
+        // Three-way partition of the window around p:
+        // [lo..lt) < p, [lt..gt) == p, [gt..hi) > p.
+        let (mut lt, mut cur, mut gt) = (lo, lo, hi);
+        while cur < gt {
+            let v = events[cur].v;
+            if v < p {
+                events.swap(lt, cur);
+                lt += 1;
+                cur += 1;
+            } else if v > p {
+                gt -= 1;
+                events.swap(cur, gt);
+            } else {
+                cur += 1;
+            }
+        }
+        let (mut sa, mut sb) = (0.0_f64, 0.0_f64);
+        for e in &events[lo..gt] {
+            sa += e.da;
+            sb += e.db;
+        }
+        let f_p = (acc_a + sa) + p * (acc_b + sb);
+        let s_p = match mode {
+            TotalMode::Fixed { total } => total,
+            TotalMode::Elastic { .. } => el_const - el_slope * p,
+        };
+        if f_p >= s_p {
+            // Root at or left of the pivot: drop everything ≥ p.
+            seg_hi = p;
+            hi = lt;
+        } else {
+            // Root right of the pivot: fold everything ≤ p.
+            acc_a += sa;
+            acc_b += sb;
+            lo = gt;
+            seg_lo = p;
+        }
+    }
+
+    // The root lies in the identified segment, where f(λ) = acc_a + λ·acc_b.
+    match mode {
+        TotalMode::Fixed { total } => {
+            if acc_b > 0.0 {
+                Some(((total - acc_a) / acc_b).clamp(seg_lo, seg_hi))
+            } else {
+                let flat_solves = match flat {
+                    FlatPolicy::NonnegativePrefix => total <= 0.0,
+                    FlatPolicy::BoundedMatch => {
+                        (acc_a - total).abs() <= 1e-12 * total.abs().max(1.0)
+                    }
+                };
+                if flat_solves {
+                    Some(if seg_hi.is_finite() {
+                        seg_hi
+                    } else if seg_lo.is_finite() {
+                        seg_lo
+                    } else {
+                        0.0
+                    })
+                } else {
+                    None
+                }
+            }
+        }
+        TotalMode::Elastic { .. } => {
+            Some(((el_const - acc_a) / (acc_b + el_slope)).clamp(seg_lo, seg_hi))
+        }
+    }
+}
+
 /// Box-bounded exact equilibration: `loⱼ ≤ xⱼ ≤ hiⱼ` instead of `xⱼ ≥ 0`.
 ///
 /// Supports the Ohuchi–Kaji (1984) bounded transportation model and the
@@ -331,6 +605,36 @@ pub fn exact_equilibration(
 ///   `[Σ lo, Σ hi]`.
 #[allow(clippy::too_many_arguments)]
 pub fn exact_equilibration_boxed(
+    q: &[f64],
+    gamma: &[f64],
+    shift: &[f64],
+    lo: &[f64],
+    hi: &[f64],
+    mode: TotalMode,
+    x_out: &mut [f64],
+    scratch: &mut EquilibrationScratch,
+) -> Result<EquilibrationResult, SeaError> {
+    exact_equilibration_boxed_with(
+        KernelKind::SortScan,
+        q,
+        gamma,
+        shift,
+        lo,
+        hi,
+        mode,
+        x_out,
+        scratch,
+    )
+}
+
+/// [`exact_equilibration_boxed`] with an explicit kernel choice (see
+/// [`exact_equilibration_with`]).
+///
+/// # Errors
+/// Same contract as [`exact_equilibration_boxed`].
+#[allow(clippy::too_many_arguments)]
+pub fn exact_equilibration_boxed_with(
+    kernel: KernelKind,
     q: &[f64],
     gamma: &[f64],
     shift: &[f64],
@@ -375,76 +679,14 @@ pub fn exact_equilibration_boxed(
         }
     }
 
-    // Event k < n is entry k leaving its lower bound; event k ≥ n is entry
-    // k−n saturating at its upper bound.
-    scratch.prepare(n);
-    scratch.events_hi.clear();
-    scratch.events_hi.reserve(2 * n);
-    for j in 0..n {
-        scratch
-            .events_hi
-            .push(2.0 * gamma[j] * (lo[j] - q[j]) - shift[j]);
-    }
-    for j in 0..n {
-        scratch
-            .events_hi
-            .push(2.0 * gamma[j] * (hi[j] - q[j]) - shift[j]);
-    }
-    scratch.order.resize(2 * n, 0);
-    sort::identity_permutation(&mut scratch.order);
-    sort::argsort(&mut scratch.order, &scratch.events_hi);
-
-    let (el_slope, el_const) = match mode {
-        TotalMode::Fixed { .. } => (0.0, 0.0),
-        TotalMode::Elastic { alpha, prior, cross } => {
-            (1.0 / (2.0 * alpha), prior - cross / (2.0 * alpha))
+    let mut lambda = match kernel {
+        KernelKind::SortScan => {
+            boxed_lambda_sort_scan(q, gamma, shift, lo, hi, sum_lo, mode, scratch)
+        }
+        KernelKind::Quickselect => {
+            boxed_lambda_quickselect(q, gamma, shift, lo, hi, sum_lo, mode, scratch)
         }
     };
-
-    // Start below every event: all entries pinned at lo.
-    let mut a = sum_lo;
-    let mut b = 0.0_f64;
-    let mut lambda = f64::NAN;
-    for r in 0..=(2 * n) {
-        let upper = if r < 2 * n {
-            scratch.events_hi[scratch.order[r] as usize]
-        } else {
-            f64::INFINITY
-        };
-        let cand = match mode {
-            TotalMode::Fixed { total } => {
-                if b > 0.0 {
-                    Some((total - a) / b)
-                } else if (a - total).abs() <= 1e-12 * total.abs().max(1.0) {
-                    // Flat segment already matching the total.
-                    Some(if r < 2 * n { upper } else { 0.0 })
-                } else {
-                    None
-                }
-            }
-            TotalMode::Elastic { .. } => Some((el_const - a) / (b + el_slope)),
-        };
-        if let Some(c) = cand {
-            if c <= upper {
-                lambda = c;
-                break;
-            }
-        }
-        if r < 2 * n {
-            let e = scratch.order[r] as usize;
-            let j = e % n;
-            let inv2g = 1.0 / (2.0 * gamma[j]);
-            if e < n {
-                // Entry leaves its lower bound.
-                a += q[j] + shift[j] * inv2g - lo[j];
-                b += inv2g;
-            } else {
-                // Entry saturates at its upper bound.
-                a += hi[j] - (q[j] + shift[j] * inv2g);
-                b -= inv2g;
-            }
-        }
-    }
     if !lambda.is_finite() {
         // Fixed mode where the total is only attained at the extreme: clamp.
         lambda = match mode {
@@ -475,6 +717,131 @@ pub fn exact_equilibration_boxed(
         total,
         active,
     })
+}
+
+/// Sort-based segment search for the boxed subproblem: two events per entry
+/// (leaving its lower bound, saturating at its upper bound), argsorted and
+/// swept. Returns NaN when no segment accepts (caller clamps).
+#[allow(clippy::too_many_arguments)]
+fn boxed_lambda_sort_scan(
+    q: &[f64],
+    gamma: &[f64],
+    shift: &[f64],
+    lo: &[f64],
+    hi: &[f64],
+    sum_lo: f64,
+    mode: TotalMode,
+    scratch: &mut EquilibrationScratch,
+) -> f64 {
+    let n = q.len();
+    // Event k < n is entry k leaving its lower bound; event k ≥ n is entry
+    // k−n saturating at its upper bound.
+    scratch.prepare(n);
+    scratch.events_hi.clear();
+    scratch.events_hi.reserve(2 * n);
+    for j in 0..n {
+        scratch
+            .events_hi
+            .push(2.0 * gamma[j] * (lo[j] - q[j]) - shift[j]);
+    }
+    for j in 0..n {
+        scratch
+            .events_hi
+            .push(2.0 * gamma[j] * (hi[j] - q[j]) - shift[j]);
+    }
+    scratch.order.resize(2 * n, 0);
+    sort::identity_permutation(&mut scratch.order);
+    sort::argsort(&mut scratch.order, &scratch.events_hi);
+
+    let (el_slope, el_const) = elastic_constants(mode);
+
+    // Start below every event: all entries pinned at lo.
+    let mut a = sum_lo;
+    let mut b = 0.0_f64;
+    let mut lambda = f64::NAN;
+    // Lower edge of the current segment (the last event crossed). Accepted
+    // candidates are clamped to it: when the slope `b` cancels to a tiny
+    // residue (all entries pinned at bounds), the division can otherwise
+    // fling λ far outside the segment that actually contains the root.
+    let mut seg_lo = f64::NEG_INFINITY;
+    for r in 0..=(2 * n) {
+        let upper = if r < 2 * n {
+            scratch.events_hi[scratch.order[r] as usize]
+        } else {
+            f64::INFINITY
+        };
+        let cand = match mode {
+            TotalMode::Fixed { total } => {
+                if b > 0.0 {
+                    Some((total - a) / b)
+                } else if (a - total).abs() <= 1e-12 * total.abs().max(1.0) {
+                    // Flat segment already matching the total.
+                    Some(if r < 2 * n { upper } else { seg_lo })
+                } else {
+                    None
+                }
+            }
+            TotalMode::Elastic { .. } => Some((el_const - a) / (b + el_slope)),
+        };
+        if let Some(c) = cand {
+            if c <= upper {
+                lambda = c.max(seg_lo);
+                break;
+            }
+        }
+        if r < 2 * n {
+            let e = scratch.order[r] as usize;
+            let j = e % n;
+            let inv2g = 1.0 / (2.0 * gamma[j]);
+            if e < n {
+                // Entry leaves its lower bound.
+                a += q[j] + shift[j] * inv2g - lo[j];
+                b += inv2g;
+            } else {
+                // Entry saturates at its upper bound.
+                a += hi[j] - (q[j] + shift[j] * inv2g);
+                b -= inv2g;
+            }
+            seg_lo = upper;
+        }
+    }
+    lambda
+}
+
+/// Selection kernel for the boxed subproblem: the clamp decomposes into a
+/// `+w` hinge at the lower-bound event and a `−w` hinge at the upper-bound
+/// event, so the same [`select_lambda`] search applies with `base = Σ loⱼ`.
+/// Returns NaN when no segment accepts (caller clamps).
+#[allow(clippy::too_many_arguments)]
+fn boxed_lambda_quickselect(
+    q: &[f64],
+    gamma: &[f64],
+    shift: &[f64],
+    lo: &[f64],
+    hi: &[f64],
+    sum_lo: f64,
+    mode: TotalMode,
+    scratch: &mut EquilibrationScratch,
+) -> f64 {
+    let n = q.len();
+    scratch.prepare(n);
+    for j in 0..n {
+        let inv2g = 1.0 / (2.0 * gamma[j]);
+        scratch.events.push(SelectEvent {
+            v: 2.0 * gamma[j] * (lo[j] - q[j]) - shift[j],
+            // Leaving the lower bound swaps loⱼ for the interior response.
+            da: q[j] + shift[j] * inv2g - lo[j],
+            db: inv2g,
+        });
+        scratch.events.push(SelectEvent {
+            v: 2.0 * gamma[j] * (hi[j] - q[j]) - shift[j],
+            // Saturating at the upper bound freezes the response at hiⱼ.
+            da: hi[j] - (q[j] + shift[j] * inv2g),
+            db: -inv2g,
+        });
+    }
+    select_lambda(&mut scratch.events, sum_lo, mode, FlatPolicy::BoundedMatch)
+        .unwrap_or(f64::NAN)
 }
 
 #[cfg(test)]
@@ -874,6 +1241,231 @@ mod tests {
         assert!(operation_count(0) == 0.0);
     }
 
+    #[test]
+    fn kernel_kind_parses_and_prints() {
+        assert_eq!(KernelKind::parse("sortscan"), Some(KernelKind::SortScan));
+        assert_eq!(KernelKind::parse("sort-scan"), Some(KernelKind::SortScan));
+        assert_eq!(KernelKind::parse("QS"), Some(KernelKind::Quickselect));
+        assert_eq!(KernelKind::parse("select"), Some(KernelKind::Quickselect));
+        assert_eq!(KernelKind::parse("bogosort"), None);
+        assert_eq!(KernelKind::Quickselect.to_string(), "quickselect");
+        assert_eq!(KernelKind::default(), KernelKind::SortScan);
+    }
+
+    #[test]
+    fn quickselect_cost_model_is_linear() {
+        let per_entry = operation_count_for(KernelKind::Quickselect, 1000) / 1000.0;
+        assert!(
+            (operation_count_for(KernelKind::Quickselect, 4000) / 4000.0 - per_entry).abs()
+                < 1e-9
+        );
+        // The sort-scan model keeps its n log n term.
+        assert!(
+            operation_count_for(KernelKind::SortScan, 4000)
+                > operation_count_for(KernelKind::Quickselect, 4000)
+        );
+    }
+
+    /// Run both kernels on the same plain subproblem; panic on hard error.
+    fn both_plain(
+        q: &[f64],
+        gamma: &[f64],
+        shift: &[f64],
+        mode: TotalMode,
+    ) -> ((EquilibrationResult, Vec<f64>), (EquilibrationResult, Vec<f64>)) {
+        let n = q.len();
+        let mut sc = EquilibrationScratch::new();
+        let mut x_sort = vec![0.0; n];
+        let r_sort = exact_equilibration_with(
+            KernelKind::SortScan,
+            q,
+            gamma,
+            shift,
+            mode,
+            &mut x_sort,
+            &mut sc,
+        )
+        .unwrap();
+        let mut x_qs = vec![0.0; n];
+        let r_qs = exact_equilibration_with(
+            KernelKind::Quickselect,
+            q,
+            gamma,
+            shift,
+            mode,
+            &mut x_qs,
+            &mut sc,
+        )
+        .unwrap();
+        ((r_sort, x_sort), (r_qs, x_qs))
+    }
+
+    /// Run both kernels on the same boxed subproblem; panic on hard error.
+    #[allow(clippy::too_many_arguments)]
+    fn both_boxed(
+        q: &[f64],
+        gamma: &[f64],
+        shift: &[f64],
+        lo: &[f64],
+        hi: &[f64],
+        mode: TotalMode,
+    ) -> ((EquilibrationResult, Vec<f64>), (EquilibrationResult, Vec<f64>)) {
+        let n = q.len();
+        let mut sc = EquilibrationScratch::new();
+        let mut x_sort = vec![0.0; n];
+        let r_sort = exact_equilibration_boxed_with(
+            KernelKind::SortScan,
+            q,
+            gamma,
+            shift,
+            lo,
+            hi,
+            mode,
+            &mut x_sort,
+            &mut sc,
+        )
+        .unwrap();
+        let mut x_qs = vec![0.0; n];
+        let r_qs = exact_equilibration_boxed_with(
+            KernelKind::Quickselect,
+            q,
+            gamma,
+            shift,
+            lo,
+            hi,
+            mode,
+            &mut x_qs,
+            &mut sc,
+        )
+        .unwrap();
+        ((r_sort, x_sort), (r_qs, x_qs))
+    }
+
+    #[test]
+    fn quickselect_single_element_rows() {
+        // Single-element subproblems exercise the trivial selection window.
+        let ((r1, x1), (r2, x2)) =
+            both_plain(&[3.0], &[0.7], &[0.2], TotalMode::Fixed { total: 5.0 });
+        assert_eq!(x1, x2);
+        assert!((r1.lambda - r2.lambda).abs() < 1e-12);
+        assert!((x1[0] - 5.0).abs() < 1e-12);
+
+        let mode = TotalMode::Elastic { alpha: 0.5, prior: 4.0, cross: 0.0 };
+        let ((r1, x1), (r2, x2)) = both_plain(&[0.0], &[0.5], &[0.0], mode);
+        assert_eq!(x1, x2);
+        assert!((r1.lambda - 2.0).abs() < 1e-12);
+        assert!((r2.lambda - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quickselect_tied_breakpoints() {
+        // Every breakpoint identical: the selection loop must retire all
+        // events in one partition round and agree with the sorted sweep.
+        let q = [2.0; 6];
+        let gamma = [1.0; 6];
+        let shift = [0.0; 6];
+        for total in [0.0, 3.0, 12.0, 24.0] {
+            let ((r1, x1), (r2, x2)) =
+                both_plain(&q, &gamma, &shift, TotalMode::Fixed { total });
+            for j in 0..6 {
+                assert!(
+                    (x1[j] - x2[j]).abs() <= 1e-10 * (1.0 + x1[j].abs()),
+                    "total={total} j={j}: {} vs {}",
+                    x1[j],
+                    x2[j]
+                );
+            }
+            let sum: f64 = x2.iter().sum();
+            assert!((sum - total).abs() <= 1e-9 * (1.0 + total));
+            check_kkt(&q, &gamma, &shift, &x2, r2.lambda, 1e-9);
+            let _ = r1;
+        }
+    }
+
+    #[test]
+    fn quickselect_nonpositive_total_flat_segment() {
+        // total <= 0 forces x = 0 with λ pinned to the lowest breakpoint
+        // segment; both kernels must pick multipliers that satisfy KKT.
+        let q = [1.0, 2.0, 4.0];
+        let gamma = [0.5, 2.0, 1.0];
+        let shift = [0.3, -0.7, 0.1];
+        let ((r1, x1), (r2, x2)) =
+            both_plain(&q, &gamma, &shift, TotalMode::Fixed { total: 0.0 });
+        assert_eq!(x1, vec![0.0; 3]);
+        assert_eq!(x2, vec![0.0; 3]);
+        check_kkt(&q, &gamma, &shift, &x1, r1.lambda, 1e-9);
+        check_kkt(&q, &gamma, &shift, &x2, r2.lambda, 1e-9);
+    }
+
+    #[test]
+    fn quickselect_near_degenerate_weights() {
+        // Weights spanning ten orders of magnitude stress the accumulator
+        // arithmetic shared by the two kernels.
+        let q = [1.0, 2.0, 3.0, 4.0];
+        let gamma = [1e-5, 1e5, 1.0, 1e-5];
+        let shift = [0.0, 1.0, -1.0, 0.5];
+        for total in [1.0, 10.0, 50.0] {
+            let ((r1, x1), (r2, x2)) =
+                both_plain(&q, &gamma, &shift, TotalMode::Fixed { total });
+            assert!(
+                (r1.lambda - r2.lambda).abs() <= 1e-10 * (1.0 + r1.lambda.abs()),
+                "λ {} vs {}",
+                r1.lambda,
+                r2.lambda
+            );
+            for j in 0..4 {
+                assert!((x1[j] - x2[j]).abs() <= 1e-10 * (1.0 + x1[j].abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn quickselect_boxed_all_entries_at_bounds() {
+        let q = [1.0, 5.0, 2.0];
+        let gamma = [1.0, 2.0, 0.5];
+        let shift = [0.0, 0.1, -0.2];
+        let lo = [0.5, 1.0, 1.5];
+        let hi = [2.0, 3.0, 2.5];
+        let slo: f64 = lo.iter().sum();
+        let shi: f64 = hi.iter().sum();
+        // total = Σlo pins every entry at its lower bound; total = Σhi at the
+        // upper bound. Both sit on flat segments of the breakpoint function.
+        for total in [slo, shi] {
+            let ((r1, x1), (r2, x2)) =
+                both_boxed(&q, &gamma, &shift, &lo, &hi, TotalMode::Fixed { total });
+            for j in 0..3 {
+                assert!(
+                    (x1[j] - x2[j]).abs() <= 1e-10 * (1.0 + x1[j].abs()),
+                    "total={total} j={j}: {} vs {}",
+                    x1[j],
+                    x2[j]
+                );
+            }
+            let sum: f64 = x2.iter().sum();
+            assert!((sum - total).abs() <= 1e-9 * (1.0 + total.abs()));
+            let (_, _) = (r1, r2);
+        }
+    }
+
+    #[test]
+    fn quickselect_boxed_pinned_entries() {
+        // lo == hi entries contribute two coincident events with opposite
+        // slopes; their net effect must cancel identically.
+        let q = [1.0, 2.0, 3.0];
+        let gamma = [1.0, 1.0, 1.0];
+        let shift = [0.0; 3];
+        let lo = [1.5, 0.0, 2.0];
+        let hi = [1.5, 4.0, 2.0];
+        let ((_, x1), (r2, x2)) =
+            both_boxed(&q, &gamma, &shift, &lo, &hi, TotalMode::Fixed { total: 6.0 });
+        assert!((x2[0] - 1.5).abs() < 1e-12 && (x2[2] - 2.0).abs() < 1e-12);
+        assert!((x2[1] - 2.5).abs() < 1e-9);
+        for j in 0..3 {
+            assert!((x1[j] - x2[j]).abs() <= 1e-10 * (1.0 + x1[j].abs()));
+        }
+        let _ = r2;
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -969,6 +1561,136 @@ mod tests {
                     prop_assert!(grad <= 1e-6 * (1.0 + gamma[j]));
                 }
             }
+        }
+
+        /// Differential test: the quickselect kernel must reproduce the
+        /// sort-scan oracle on adversarial plain subproblems. Half the cases
+        /// snap inputs to a coarse grid so breakpoints collide.
+        #[test]
+        fn quickselect_differential_plain(
+            n in 1usize..60,
+            seed in 0u64..1500,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0x5E1EC7);
+            let tie_grid = seed % 2 == 0;
+            let snap = |v: f64| if tie_grid { (v * 2.0).round() / 2.0 } else { v };
+            let q: Vec<f64> = (0..n).map(|_| snap(rng.random_range(-5.0..10.0))).collect();
+            let gamma: Vec<f64> = (0..n)
+                .map(|_| {
+                    // Occasionally near-degenerate weights.
+                    if rng.random_range(0.0..1.0) < 0.1 {
+                        rng.random_range(1e-6..1e-4)
+                    } else {
+                        rng.random_range(0.05..5.0)
+                    }
+                })
+                .collect();
+            let shift: Vec<f64> = (0..n).map(|_| snap(rng.random_range(-3.0..3.0))).collect();
+            // Mix binding (small/zero totals) with slack (large) constraints.
+            let total = match seed % 4 {
+                0 => 0.0,
+                1 => rng.random_range(0.0..2.0),
+                _ => rng.random_range(0.0..40.0),
+            };
+            let mode = TotalMode::Fixed { total };
+            let ((r1, x1), (r2, x2)) = both_plain(&q, &gamma, &shift, mode);
+            for j in 0..n {
+                prop_assert!(
+                    (x1[j] - x2[j]).abs() <= 1e-10 * (1.0 + x1[j].abs()),
+                    "x[{}]: sortscan {} vs quickselect {}", j, x1[j], x2[j]
+                );
+            }
+            // λ is unique whenever some entry is strictly active.
+            if r1.active > 0 {
+                prop_assert!(
+                    (r1.lambda - r2.lambda).abs() <= 1e-9 * (1.0 + r1.lambda.abs()),
+                    "λ: {} vs {}", r1.lambda, r2.lambda
+                );
+            }
+            check_kkt(&q, &gamma, &shift, &x2, r2.lambda, 1e-6);
+        }
+
+        /// Elastic-mode differential: λ is always unique here (the elastic
+        /// term adds strictly positive slope), so both λ and x must agree.
+        #[test]
+        fn quickselect_differential_elastic(
+            n in 1usize..60,
+            seed in 0u64..1500,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0xE1A57C);
+            let tie_grid = seed % 2 == 0;
+            let snap = |v: f64| if tie_grid { v.round() } else { v };
+            let q: Vec<f64> = (0..n).map(|_| snap(rng.random_range(-5.0..10.0))).collect();
+            let gamma: Vec<f64> = (0..n).map(|_| rng.random_range(0.05..5.0)).collect();
+            let shift: Vec<f64> = (0..n).map(|_| snap(rng.random_range(-3.0..3.0))).collect();
+            let mode = TotalMode::Elastic {
+                alpha: rng.random_range(0.05..5.0),
+                prior: rng.random_range(-5.0..30.0),
+                cross: rng.random_range(-2.0..2.0),
+            };
+            let ((r1, x1), (r2, x2)) = both_plain(&q, &gamma, &shift, mode);
+            prop_assert!(
+                (r1.lambda - r2.lambda).abs() <= 1e-9 * (1.0 + r1.lambda.abs()),
+                "λ: {} vs {}", r1.lambda, r2.lambda
+            );
+            prop_assert!((r1.total - r2.total).abs() <= 1e-9 * (1.0 + r1.total.abs()));
+            for j in 0..n {
+                prop_assert!(
+                    (x1[j] - x2[j]).abs() <= 1e-10 * (1.0 + x1[j].abs()),
+                    "x[{}]: {} vs {}", j, x1[j], x2[j]
+                );
+            }
+        }
+
+        /// Boxed differential: compare solutions (λ may legitimately differ
+        /// on flat tie segments where any multiplier in an interval is a
+        /// valid KKT certificate — x is unique, λ is not).
+        #[test]
+        fn quickselect_differential_boxed(
+            n in 1usize..40,
+            seed in 0u64..1000,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0xB0CED);
+            let tie_grid = seed % 2 == 0;
+            let snap = |v: f64| if tie_grid { (v * 2.0).round() / 2.0 } else { v };
+            let q: Vec<f64> = (0..n).map(|_| snap(rng.random_range(-5.0..10.0))).collect();
+            let gamma: Vec<f64> = (0..n).map(|_| rng.random_range(0.05..5.0)).collect();
+            let shift: Vec<f64> = (0..n).map(|_| snap(rng.random_range(-3.0..3.0))).collect();
+            let lo: Vec<f64> = (0..n).map(|_| snap(rng.random_range(0.0..2.0))).collect();
+            let hi: Vec<f64> = lo
+                .iter()
+                .map(|&l| {
+                    // Some entries pinned (lo == hi), most with real slack.
+                    if rng.random_range(0.0..1.0) < 0.15 {
+                        l
+                    } else {
+                        l + snap(rng.random_range(0.1..5.0)).max(0.1)
+                    }
+                })
+                .collect();
+            let slo: f64 = lo.iter().sum();
+            let shi: f64 = hi.iter().sum();
+            // Include the exact endpoints: all-at-lower / all-at-upper rows.
+            let total = match seed % 5 {
+                0 => slo,
+                1 => shi,
+                _ => rng.random_range(slo..=shi),
+            };
+            let mode = TotalMode::Fixed { total };
+            let ((_r1, x1), (r2, x2)) = both_boxed(&q, &gamma, &shift, &lo, &hi, mode);
+            for j in 0..n {
+                prop_assert!(
+                    (x1[j] - x2[j]).abs() <= 1e-10 * (1.0 + x1[j].abs()),
+                    "x[{}]: sortscan {} vs quickselect {}", j, x1[j], x2[j]
+                );
+                prop_assert!(x2[j] >= lo[j] - 1e-9 && x2[j] <= hi[j] + 1e-9);
+            }
+            let sum: f64 = x2.iter().sum();
+            prop_assert!((sum - total).abs() <= 1e-6 * (1.0 + total.abs()));
+            let _ = r2;
         }
     }
 }

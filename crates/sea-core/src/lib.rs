@@ -71,8 +71,11 @@ pub use error::SeaError;
 pub use general::{
     solve_general, GeneralProblem, GeneralSeaOptions, GeneralSolution, GeneralTotalSpec,
 };
-pub use interval::{solve_bounded, BoundedProblem};
-pub use knapsack::{exact_equilibration, EquilibrationResult, EquilibrationScratch, TotalMode};
+pub use interval::{solve_bounded, solve_bounded_with, BoundedProblem};
+pub use knapsack::{
+    exact_equilibration, exact_equilibration_with, EquilibrationResult, EquilibrationScratch,
+    KernelKind, TotalMode,
+};
 pub use parallel::Parallelism;
 pub use problem::{DiagonalProblem, Residuals, TotalSpec, ZeroPolicy};
 pub use solver::{

@@ -18,7 +18,7 @@ use crate::components::normalize_multipliers;
 use crate::dual;
 use crate::equilibrate::{equilibration_pass, PassInputs};
 use crate::error::SeaError;
-use crate::knapsack::TotalMode;
+use crate::knapsack::{KernelKind, TotalMode};
 use crate::parallel::Parallelism;
 use crate::problem::{DiagonalProblem, Residuals, TotalSpec};
 use crate::trace::{ExecutionTrace, PhaseKind};
@@ -57,6 +57,10 @@ pub struct SeaOptions {
     pub check_every: usize,
     /// Fan-out strategy for the row/column phases.
     pub parallelism: Parallelism,
+    /// Which equilibration kernel solves the row/column subproblems:
+    /// the sort-based reference or the expected-linear selection kernel
+    /// (identical solutions; see [`crate::knapsack::KernelKind`]).
+    pub kernel: KernelKind,
     /// Record an [`ExecutionTrace`] for the scheduling simulator.
     pub record_trace: bool,
     /// Enable the paper's Modified Algorithm with this bound `R`: when some
@@ -82,6 +86,7 @@ impl Default for SeaOptions {
             max_iterations: 100_000,
             check_every: 1,
             parallelism: Parallelism::Serial,
+            kernel: KernelKind::SortScan,
             record_trace: false,
             multiplier_bound: None,
             initial_mu: None,
@@ -230,6 +235,7 @@ fn solve_diagonal_inner(p: &DiagonalProblem, opts: &SeaOptions) -> Result<Soluti
                 support: row_support,
                 shift: &mu,
                 side: "row",
+                kernel: opts.kernel,
             };
             let costs = trace.is_some().then_some(&mut row_costs);
             match p.totals() {
@@ -285,6 +291,7 @@ fn solve_diagonal_inner(p: &DiagonalProblem, opts: &SeaOptions) -> Result<Soluti
                 support: col_support,
                 shift: &lambda,
                 side: "column",
+                kernel: opts.kernel,
             };
             let costs = trace.is_some().then_some(&mut col_costs);
             match p.totals() {

@@ -1,0 +1,112 @@
+//! Steady-state allocation audit for the equilibration kernels.
+//!
+//! A counting global allocator wraps the system allocator; after one warm-up
+//! call per (kernel × variant) that sizes the reusable scratch, repeated
+//! kernel invocations must perform exactly zero heap allocations. This file
+//! deliberately holds a single test: the counter is process-global.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use sea_core::{
+    exact_equilibration_with, EquilibrationScratch, KernelKind, TotalMode,
+};
+use sea_core::knapsack::exact_equilibration_boxed_with;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn kernels_do_not_allocate_in_steady_state() {
+    let n = 512;
+    let q: Vec<f64> = (0..n).map(|j| ((j * 37 % 101) as f64) / 10.0 - 2.0).collect();
+    let gamma: Vec<f64> = (0..n).map(|j| 0.05 + ((j * 13 % 89) as f64) / 20.0).collect();
+    let shift: Vec<f64> = (0..n).map(|j| ((j * 7 % 61) as f64) / 30.0 - 1.0).collect();
+    let lo: Vec<f64> = (0..n).map(|j| ((j * 3 % 17) as f64) / 10.0).collect();
+    let hi: Vec<f64> = lo.iter().map(|&l| l + 3.0).collect();
+    let slo: f64 = lo.iter().sum();
+    let shi: f64 = hi.iter().sum();
+    let mut x = vec![0.0; n];
+    let mut scratch = EquilibrationScratch::new();
+
+    let fixed = TotalMode::Fixed { total: 300.0 };
+    let elastic = TotalMode::Elastic { alpha: 0.7, prior: 280.0, cross: 0.4 };
+    let boxed_total = TotalMode::Fixed { total: 0.5 * (slo + shi) };
+
+    // Warm-up: size the scratch buffers for every code path once.
+    for kernel in [KernelKind::SortScan, KernelKind::Quickselect] {
+        for mode in [fixed, elastic] {
+            exact_equilibration_with(kernel, &q, &gamma, &shift, mode, &mut x, &mut scratch)
+                .unwrap();
+        }
+        exact_equilibration_boxed_with(
+            kernel, &q, &gamma, &shift, &lo, &hi, boxed_total, &mut x, &mut scratch,
+        )
+        .unwrap();
+    }
+
+    for kernel in [KernelKind::SortScan, KernelKind::Quickselect] {
+        let before = allocations();
+        for round in 0..200 {
+            // Vary the total so the active set moves between calls.
+            let total = 100.0 + (round as f64) * 2.0;
+            exact_equilibration_with(
+                kernel,
+                &q,
+                &gamma,
+                &shift,
+                TotalMode::Fixed { total },
+                &mut x,
+                &mut scratch,
+            )
+            .unwrap();
+            exact_equilibration_with(kernel, &q, &gamma, &shift, elastic, &mut x, &mut scratch)
+                .unwrap();
+            let boxed_t = slo + (shi - slo) * ((round as f64) + 0.5) / 200.0;
+            exact_equilibration_boxed_with(
+                kernel,
+                &q,
+                &gamma,
+                &shift,
+                &lo,
+                &hi,
+                TotalMode::Fixed { total: boxed_t },
+                &mut x,
+                &mut scratch,
+            )
+            .unwrap();
+        }
+        let after = allocations();
+        assert_eq!(
+            after - before,
+            0,
+            "{kernel}: kernel allocated in steady state"
+        );
+    }
+}

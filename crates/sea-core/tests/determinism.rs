@@ -1,0 +1,78 @@
+//! Bitwise determinism across execution modes.
+//!
+//! The SEA row/column subproblems are independent, and every per-subproblem
+//! code path (including the quickselect pivot choice) is sequential and
+//! input-deterministic, so Serial, global-pool Rayon, and dedicated pools of
+//! any width must produce *identical* bits — same solutions, same iteration
+//! counts — on all three problem classes.
+
+mod common;
+
+use common::{all_fixtures, solve_with};
+use sea_core::{KernelKind, Parallelism};
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn all_execution_modes_are_bitwise_identical() {
+    let modes = [
+        Parallelism::Rayon,
+        Parallelism::RayonThreads(1),
+        Parallelism::RayonThreads(2),
+        Parallelism::RayonThreads(4),
+    ];
+    for (tag, problem) in all_fixtures() {
+        for kernel in [KernelKind::SortScan, KernelKind::Quickselect] {
+            let reference = solve_with(&problem, kernel, Parallelism::Serial);
+            for mode in modes {
+                let sol = solve_with(&problem, kernel, mode);
+                assert_eq!(
+                    sol.stats.iterations, reference.stats.iterations,
+                    "{tag}/{kernel}/{mode:?}: iteration count diverged"
+                );
+                assert_eq!(
+                    bits(sol.x.as_slice()),
+                    bits(reference.x.as_slice()),
+                    "{tag}/{kernel}/{mode:?}: solution bits diverged"
+                );
+                assert_eq!(
+                    bits(&sol.lambda),
+                    bits(&reference.lambda),
+                    "{tag}/{kernel}/{mode:?}: row multipliers diverged"
+                );
+                assert_eq!(
+                    bits(&sol.mu),
+                    bits(&reference.mu),
+                    "{tag}/{kernel}/{mode:?}: column multipliers diverged"
+                );
+                assert_eq!(
+                    bits(&sol.s),
+                    bits(&reference.s),
+                    "{tag}/{kernel}/{mode:?}: row totals diverged"
+                );
+                assert_eq!(
+                    bits(&sol.d),
+                    bits(&reference.d),
+                    "{tag}/{kernel}/{mode:?}: column totals diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn kernels_have_independent_trajectories_but_equal_iteration_counts() {
+    // The two kernels compute the same λ per subproblem (up to rounding), so
+    // the dual ascent should walk the same path: equal iteration counts on
+    // every fixture is a cheap canary for kernel-induced drift.
+    for (tag, problem) in all_fixtures() {
+        let a = solve_with(&problem, KernelKind::SortScan, Parallelism::Serial);
+        let b = solve_with(&problem, KernelKind::Quickselect, Parallelism::Serial);
+        assert_eq!(
+            a.stats.iterations, b.stats.iterations,
+            "{tag}: kernels took different iteration counts"
+        );
+    }
+}

@@ -1,0 +1,274 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset this workspace's benches use: [`Criterion`],
+//! [`Criterion::benchmark_group`], `bench_function`/`bench_with_input`,
+//! [`BenchmarkId`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros (simple form). Each
+//! benchmark runs a short warm-up then `sample_size` timed samples and
+//! prints min/mean/max wall-clock per iteration. There are no plots,
+//! baselines, or statistical analysis — just honest timings, so relative
+//! comparisons (e.g. kernel A vs kernel B at the same `n`) remain valid.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier combining a function name and a parameter, printed as
+/// `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(name: S, parameter: P) -> Self {
+        let name = name.into();
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs and times the
+/// routine.
+pub struct Bencher {
+    samples: usize,
+    /// Per-iteration durations collected by `iter`.
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` once per sample after a warm-up call, keeping the
+    /// result alive via [`black_box`] so the work is not optimized away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        self.timings.clear();
+        self.timings.reserve(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.timings.push(start.elapsed());
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// A named collection of benchmarks sharing a sample count.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark in the group takes.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        let full = format!("{}/{}", self.name, label);
+        if !self.criterion.matches(&full) {
+            return;
+        }
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            timings: Vec::new(),
+        };
+        f(&mut bencher);
+        let t = &bencher.timings;
+        if t.is_empty() {
+            println!("{full:<48} (no samples: bencher.iter never called)");
+            return;
+        }
+        let min = *t.iter().min().unwrap();
+        let max = *t.iter().max().unwrap();
+        let mean = t.iter().sum::<Duration>() / t.len() as u32;
+        println!(
+            "{full:<48} time: [{} {} {}]  ({} samples)",
+            format_duration(min),
+            format_duration(mean),
+            format_duration(max),
+            t.len(),
+        );
+    }
+
+    /// Benchmark `f` under `id` (any `Display`, e.g. a [`BenchmarkId`] or
+    /// `&str`).
+    pub fn bench_function<D: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: D,
+        f: F,
+    ) -> &mut Self {
+        self.run_one(&id.to_string(), f);
+        self
+    }
+
+    /// Benchmark `f` with a borrowed input (the input is passed through
+    /// unchanged; criterion's per-input setup machinery is not needed
+    /// here).
+    pub fn bench_with_input<D, I, F>(&mut self, id: D, input: &I, mut f: F) -> &mut Self
+    where
+        D: std::fmt::Display,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// End the group (separator line, matching criterion's API shape).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Benchmark driver. Holds the optional substring filter taken from the
+/// command line (`cargo bench -- <filter>`).
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Read a name filter from argv, skipping harness flags cargo passes
+    /// (`--bench`, `--test`) and any `--flag[=value]` pairs.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if arg == "--bench" || arg == "--test" || arg == "--nocapture" {
+                continue;
+            }
+            if let Some(flag) = arg.strip_prefix("--") {
+                // Consume a separated value for value-taking flags.
+                if !flag.contains('=') && matches!(flag, "sample-size" | "measurement-time") {
+                    let _ = args.next();
+                }
+                continue;
+            }
+            self.filter = Some(arg);
+        }
+        self
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_name.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 20,
+            criterion: self,
+        }
+    }
+}
+
+/// `criterion_group!(name, target, ...)` — defines `fn name()` running each
+/// target against a shared [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// `criterion_main!(group, ...)` — defines `fn main()` invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut b = Bencher {
+            samples: 5,
+            timings: Vec::new(),
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        assert_eq!(b.timings.len(), 5);
+        // One warm-up call plus five samples.
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("fixed", 100).to_string(), "fixed/100");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+
+    #[test]
+    fn filter_matching() {
+        let c = Criterion {
+            filter: Some("kern".into()),
+        };
+        assert!(c.matches("kernels/fixed/100"));
+        assert!(!c.matches("solvers/sea"));
+        let open = Criterion::default();
+        assert!(open.matches("anything"));
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("t");
+            g.sample_size(2);
+            g.bench_function("a", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        // warm-up + 2 samples
+        assert_eq!(ran, 3);
+    }
+}

@@ -1,0 +1,321 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the subset used across this workspace: the [`proptest!`] macro
+//! with an optional `#![proptest_config(...)]` header, range strategies over
+//! the numeric primitives, [`collection::vec`], [`array::uniform2`], and the
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!` macros. Case generation
+//! is a deterministic SplitMix64 stream keyed on the test's module path and
+//! name plus the case index, so failures are reproducible run-to-run.
+//! Unlike upstream there is no shrinking: the failing case's inputs are
+//! fully determined by the printed case index.
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+pub mod test_runner {
+    /// Number of cases to run per property.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// How many generated cases each property is checked with.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Deterministic per-case random source (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for case number `case` of the property named `name`.
+        pub fn for_case(name: &str, case: u32) -> Self {
+            // FNV-1a over the fully qualified name, mixed with the case.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng {
+                state: h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform integer in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "empty sampling bound");
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_float_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty float strategy range");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+    impl_float_strategy!(f32, f64);
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategies are usable behind references (the macro takes `&expr`).
+    impl<S: Strategy> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+}
+
+/// `Vec` strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` of `element`-generated values, length uniform in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec-size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Fixed-size array strategies.
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `[T; 2]`.
+    pub struct Uniform2<S> {
+        element: S,
+    }
+
+    /// Two independent draws from `element`.
+    pub fn uniform2<S: Strategy>(element: S) -> Uniform2<S> {
+        Uniform2 { element }
+    }
+
+    impl<S: Strategy> Strategy for Uniform2<S> {
+        type Value = [S::Value; 2];
+
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; 2] {
+            [self.element.generate(rng), self.element.generate(rng)]
+        }
+    }
+}
+
+/// Define properties: optional `#![proptest_config(expr)]`, then one or
+/// more `#[test] fn name(arg in strategy, ...) { body }` items. Each body
+/// runs once per generated case; `prop_assert*`/`prop_assume!` short-circuit
+/// the case, and ordinary panics propagate with the case index attached.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let qualified = concat!(module_path!(), "::", stringify!($name));
+            for case in 0..config.cases {
+                let mut proptest_case_rng =
+                    $crate::test_runner::TestRng::for_case(qualified, case);
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(
+                        &($strat),
+                        &mut proptest_case_rng,
+                    );
+                )*
+                let outcome: ::std::result::Result<(), ::std::string::String> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(message) = outcome {
+                    panic!("property {qualified} failed at case {case}: {message}");
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::Config::default()) $($rest)*
+        );
+    };
+}
+
+/// Assert inside a property; failure reports the generating case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                left, right, format!($($fmt)*)
+            ));
+        }
+    }};
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// The glob import test modules use.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(
+            n in 3usize..17,
+            x in -2.5f64..4.0,
+        ) {
+            prop_assert!((3..17).contains(&n));
+            prop_assert!((-2.5..4.0).contains(&x), "x out of range: {x}");
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(
+            v in crate::collection::vec(0.0f64..1.0, 2..9),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+            prop_assert!(v.iter().all(|&e| (0.0..1.0).contains(&e)));
+        }
+
+        #[test]
+        fn uniform2_generates_pairs(p in crate::array::uniform2(-1.0f64..1.0)) {
+            prop_assert!(p.len() == 2);
+            prop_assert_eq!(p.len(), 2);
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0u64..10) {
+            prop_assume!(n < 3);
+            prop_assert!(n < 3);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::test_runner::TestRng::for_case("x::y", 7);
+        let mut b = crate::test_runner::TestRng::for_case("x::y", 7);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::TestRng::for_case("x::y", 8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,218 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! handful of `rand` APIs the code actually uses are reimplemented here with
+//! no external dependencies: [`RngCore`]/[`Rng`] with `random_range`,
+//! [`SeedableRng`] with the SplitMix64-based `seed_from_u64`, and
+//! [`seq::SliceRandom::shuffle`]. The value stream is deterministic for a
+//! given seed (which is all the experiments and tests rely on) but is *not*
+//! bit-compatible with upstream `rand`.
+
+/// Low-level source of randomness: a 64-bit word generator.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits (upper half of [`next_u64`](Self::next_u64)).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing extension methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample uniformly from `range` (half-open or inclusive).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distr::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Sample a bool with probability `p` of `true`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        distr::unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable construction, mirroring upstream's `SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a fixed-size byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding it through SplitMix64 exactly like
+    /// upstream `rand` does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let x = splitmix64(&mut state);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// One SplitMix64 step (public so sibling stand-ins can share it).
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform range sampling.
+pub mod distr {
+    use super::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Map 64 random bits to a `f64` in `[0, 1)`.
+    #[inline]
+    pub(crate) fn unit_f64(bits: u64) -> f64 {
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A range type that can produce a uniform sample of `T`.
+    pub trait SampleRange<T> {
+        /// Draw one uniform sample from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! impl_float_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "empty float range");
+                    let u = unit_f64(rng.next_u64()) as $t;
+                    self.start + u * (self.end - self.start)
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (a, b) = (*self.start(), *self.end());
+                    assert!(a <= b, "empty float range");
+                    let u = unit_f64(rng.next_u64()) as $t;
+                    a + u * (b - a)
+                }
+            }
+        )*};
+    }
+    impl_float_range!(f32, f64);
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "empty integer range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (a, b) = (*self.start(), *self.end());
+                    assert!(a <= b, "empty integer range");
+                    let span = (b as i128 - a as i128) as u128 + 1;
+                    let v = (rng.next_u64() as u128) % span;
+                    (a as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+/// Slice utilities (`shuffle`).
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Shuffling for slices, mirroring upstream's trait of the same name.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            let mut s = self.0;
+            self.0 += 1;
+            splitmix64(&mut s)
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let f = rng.random_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let i = rng.random_range(5usize..9);
+            assert!((5..9).contains(&i));
+            let k = rng.random_range(-3i64..=3);
+            assert!((-3..=3).contains(&k));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        use seq::SliceRandom;
+        let mut v: Vec<u32> = (0..50).collect();
+        let mut rng = Counter(42);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        struct Raw([u8; 16]);
+        impl SeedableRng for Raw {
+            type Seed = [u8; 16];
+            fn from_seed(seed: [u8; 16]) -> Self {
+                Raw(seed)
+            }
+        }
+        assert_eq!(Raw::seed_from_u64(9).0, Raw::seed_from_u64(9).0);
+        assert_ne!(Raw::seed_from_u64(9).0, Raw::seed_from_u64(10).0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Offline stand-in for `rand_chacha`: [`ChaCha8Rng`] built on a genuine
+//! ChaCha block function (8 rounds), seeded via the workspace `rand`
+//! stand-in's [`rand::SeedableRng`]. Deterministic per seed; not
+//! bit-compatible with the upstream crate.
+
+use rand::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// A ChaCha keystream RNG with 8 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key words (from the 32-byte seed).
+    key: [u32; 8],
+    /// 64-bit block counter.
+    counter: u64,
+    /// Buffered keystream block.
+    buf: [u32; 16],
+    /// Next unread word in `buf` (16 = exhausted).
+    idx: usize,
+}
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // Nonce left at zero (single-stream use).
+        let input = state;
+        for _ in 0..4 {
+            // One double round = column round + diagonal round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            self.buf[i] = state[i].wrapping_add(input[i]);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.idx = 0;
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            buf: [0; 16],
+            idx: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(123);
+        let mut b = ChaCha8Rng::seed_from_u64(123);
+        let va: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+        let mut c = ChaCha8Rng::seed_from_u64(124);
+        assert_ne!(va[0], c.next_u64());
+    }
+
+    #[test]
+    fn keystream_is_not_constant_across_blocks() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let first: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn range_sampling_looks_uniform_enough() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.random_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

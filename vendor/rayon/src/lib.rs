@@ -1,0 +1,637 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the subset of the rayon API this workspace uses — parallel
+//! slice/range iterators with `zip`/`enumerate`/`for_each`/
+//! `try_for_each_init`/`sum`, plus [`ThreadPoolBuilder`] and
+//! [`current_num_threads`] — on top of `std::thread::scope`. Every parallel
+//! iterator here is *indexed* (exactly splittable), which is all the
+//! equilibration passes need: the driver splits the index space into one
+//! contiguous chunk per worker and runs each chunk with plain sequential
+//! iterators, so per-item results are bitwise identical to the serial path
+//! regardless of worker count.
+
+use std::cell::Cell;
+
+// ---------------------------------------------------------------------------
+// Thread accounting and pools.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Width installed by [`ThreadPool::install`] on this thread (0 = none).
+    static INSTALLED_WIDTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of threads parallel drives on this thread will fan out to: the
+/// installed pool width if inside [`ThreadPool::install`], otherwise the
+/// machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_WIDTH.with(Cell::get);
+    if installed > 0 {
+        installed
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by this
+/// stand-in, present for API parity).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A "pool" of a fixed width. Threads are not persistent: the width is
+/// installed for the duration of [`install`](Self::install) and scoped
+/// threads are spawned per parallel drive.
+#[derive(Debug)]
+pub struct ThreadPool {
+    width: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's width installed as the fan-out for any
+    /// parallel iterators it drives.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_WIDTH.with(|c| c.set(self.0));
+            }
+        }
+        let prev = INSTALLED_WIDTH.with(|c| c.replace(self.width));
+        let _restore = Restore(prev);
+        op()
+    }
+
+    /// The width this pool was built with.
+    pub fn current_num_threads(&self) -> usize {
+        self.width
+    }
+}
+
+/// Builder for [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder (default width = available parallelism).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request an exact width; `0` means the default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    ///
+    /// # Errors
+    /// Never fails in this stand-in; the `Result` mirrors rayon's API.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let width = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { width })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The iterator traits.
+// ---------------------------------------------------------------------------
+
+/// Base parallel-iterator trait carrying the item type.
+pub trait ParallelIterator: Sized + Send {
+    /// The element type.
+    type Item: Send;
+}
+
+/// An exactly-splittable parallel iterator over a known-length index space.
+pub trait IndexedParallelIterator: ParallelIterator {
+    /// The sequential iterator a chunk is driven with.
+    type SeqIter: Iterator<Item = Self::Item>;
+
+    /// Remaining number of items.
+    fn len(&self) -> usize;
+
+    /// True when no items remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Split into the first `index` items and the rest.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Downgrade to a sequential iterator.
+    fn into_seq(self) -> Self::SeqIter;
+
+    /// Pair up with another indexed iterator (truncates to the shorter).
+    fn zip<B: IndexedParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Attach the global index to each item.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+
+    /// Run `op` on every item across the current fan-out width.
+    fn for_each<OP>(self, op: OP)
+    where
+        OP: Fn(Self::Item) + Sync,
+    {
+        each_chunk(self, &|chunk| {
+            chunk.into_seq().for_each(&op);
+            Ok::<(), Never>(())
+        })
+        .unwrap_or_else(|never| match never {});
+    }
+
+    /// Fallible for-each with one `init()` value per worker chunk — the
+    /// rayon idiom the equilibration passes use for per-thread scratch.
+    /// All chunks run to completion; the first error in chunk order wins.
+    ///
+    /// # Errors
+    /// Returns the first error produced by `op`.
+    fn try_for_each_init<T, E, INIT, OP>(self, init: INIT, op: OP) -> Result<(), E>
+    where
+        INIT: Fn() -> T + Sync,
+        OP: Fn(&mut T, Self::Item) -> Result<(), E> + Sync,
+        E: Send,
+    {
+        each_chunk(self, &|chunk| {
+            let mut acc = init();
+            for item in chunk.into_seq() {
+                op(&mut acc, item)?;
+            }
+            Ok(())
+        })
+    }
+
+    /// Sum of all items (chunk partials are added in chunk order).
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        let mut partials: Vec<S> = Vec::new();
+        collect_chunk_results(self, &|chunk| chunk.into_seq().sum::<S>(), &mut partials);
+        partials.into_iter().sum()
+    }
+}
+
+/// Uninhabited error for the infallible drive.
+enum Never {}
+
+/// Split `it` into one contiguous chunk per worker and run `body` on each,
+/// in parallel when the installed width allows it. Chunk results are
+/// combined in chunk order, so outcomes are deterministic.
+fn each_chunk<I, E>(it: I, body: &(dyn Fn(I) -> Result<(), E> + Sync)) -> Result<(), E>
+where
+    I: IndexedParallelIterator,
+    E: Send,
+{
+    let mut results: Vec<Result<(), E>> = Vec::new();
+    collect_chunk_results(it, body, &mut results);
+    results.into_iter().collect()
+}
+
+/// Shared chunked drive: splits `it` evenly, runs `body` per chunk (scoped
+/// threads beyond the first), and pushes per-chunk outputs in chunk order.
+fn collect_chunk_results<I, R>(
+    it: I,
+    body: &(dyn Fn(I) -> R + Sync),
+    out: &mut Vec<R>,
+) where
+    I: IndexedParallelIterator,
+    R: Send,
+{
+    let len = it.len();
+    let workers = current_num_threads().clamp(1, len.max(1));
+    if workers <= 1 {
+        out.push(body(it));
+        return;
+    }
+    // Even split: the first `len % workers` chunks get one extra item.
+    let mut parts = Vec::with_capacity(workers);
+    let (base, extra) = (len / workers, len % workers);
+    let mut rest = it;
+    for i in 0..workers - 1 {
+        let take = base + usize::from(i < extra);
+        let (head, tail) = rest.split_at(take);
+        parts.push(head);
+        rest = tail;
+    }
+    parts.push(rest);
+
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(workers - 1);
+        let mut parts = parts.into_iter();
+        let first = parts.next().expect("at least one chunk");
+        for part in parts {
+            handles.push(s.spawn(move || body(part)));
+        }
+        out.push(body(first));
+        for h in handles {
+            match h.join() {
+                Ok(r) => out.push(r),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Sources: slices, chunks, ranges.
+// ---------------------------------------------------------------------------
+
+/// Parallel shared-slice iterator (`par_iter`).
+pub struct Iter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for Iter<'a, T> {
+    type Item = &'a T;
+}
+
+impl<'a, T: Sync> IndexedParallelIterator for Iter<'a, T> {
+    type SeqIter = std::slice::Iter<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at(index);
+        (Iter { slice: a }, Iter { slice: b })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.iter()
+    }
+}
+
+/// Parallel mutable-slice iterator (`par_iter_mut`).
+pub struct IterMut<'a, T: Send> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for IterMut<'a, T> {
+    type Item = &'a mut T;
+}
+
+impl<'a, T: Send> IndexedParallelIterator for IterMut<'a, T> {
+    type SeqIter = std::slice::IterMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at_mut(index);
+        (IterMut { slice: a }, IterMut { slice: b })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.iter_mut()
+    }
+}
+
+/// Parallel iterator over complete `chunk`-sized windows
+/// (`par_chunks_exact`).
+pub struct ChunksExact<'a, T: Sync> {
+    /// Trimmed to a multiple of `chunk` at construction.
+    slice: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ChunksExact<'a, T> {
+    type Item = &'a [T];
+}
+
+impl<'a, T: Sync> IndexedParallelIterator for ChunksExact<'a, T> {
+    type SeqIter = std::slice::ChunksExact<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len() / self.chunk
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at(index * self.chunk);
+        (
+            ChunksExact {
+                slice: a,
+                chunk: self.chunk,
+            },
+            ChunksExact {
+                slice: b,
+                chunk: self.chunk,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.chunks_exact(self.chunk)
+    }
+}
+
+/// Mutable variant of [`ChunksExact`] (`par_chunks_exact_mut`).
+pub struct ChunksExactMut<'a, T: Send> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ChunksExactMut<'a, T> {
+    type Item = &'a mut [T];
+}
+
+impl<'a, T: Send> IndexedParallelIterator for ChunksExactMut<'a, T> {
+    type SeqIter = std::slice::ChunksExactMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len() / self.chunk
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at_mut(index * self.chunk);
+        (
+            ChunksExactMut {
+                slice: a,
+                chunk: self.chunk,
+            },
+            ChunksExactMut {
+                slice: b,
+                chunk: self.chunk,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.chunks_exact_mut(self.chunk)
+    }
+}
+
+/// Extension methods on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over elements.
+    fn par_iter(&self) -> Iter<'_, T>;
+    /// Parallel iterator over complete `chunk`-sized windows.
+    fn par_chunks_exact(&self, chunk: usize) -> ChunksExact<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> Iter<'_, T> {
+        Iter { slice: self }
+    }
+
+    fn par_chunks_exact(&self, chunk: usize) -> ChunksExact<'_, T> {
+        assert!(chunk > 0, "chunk size must be positive");
+        let complete = self.len() - self.len() % chunk;
+        ChunksExact {
+            slice: &self[..complete],
+            chunk,
+        }
+    }
+}
+
+/// Extension methods on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable elements.
+    fn par_iter_mut(&mut self) -> IterMut<'_, T>;
+    /// Parallel iterator over complete mutable `chunk`-sized windows.
+    fn par_chunks_exact_mut(&mut self, chunk: usize) -> ChunksExactMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> IterMut<'_, T> {
+        IterMut { slice: self }
+    }
+
+    fn par_chunks_exact_mut(&mut self, chunk: usize) -> ChunksExactMut<'_, T> {
+        assert!(chunk > 0, "chunk size must be positive");
+        let complete = self.len() - self.len() % chunk;
+        ChunksExactMut {
+            slice: &mut self[..complete],
+            chunk,
+        }
+    }
+}
+
+/// Conversion into a parallel iterator (implemented for integer ranges).
+pub trait IntoParallelIterator {
+    /// The resulting iterator.
+    type Iter: IndexedParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter<T> {
+    range: std::ops::Range<T>,
+}
+
+macro_rules! impl_range_iter {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+        }
+
+        impl IndexedParallelIterator for RangeIter<$t> {
+            type SeqIter = std::ops::Range<$t>;
+
+            fn len(&self) -> usize {
+                (self.range.end as i128 - self.range.start as i128).max(0) as usize
+            }
+
+            fn split_at(self, index: usize) -> (Self, Self) {
+                let mid = (self.range.start as i128 + index as i128) as $t;
+                (
+                    RangeIter { range: self.range.start..mid },
+                    RangeIter { range: mid..self.range.end },
+                )
+            }
+
+            fn into_seq(self) -> Self::SeqIter {
+                self.range
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Iter = RangeIter<$t>;
+            type Item = $t;
+
+            fn into_par_iter(self) -> RangeIter<$t> {
+                RangeIter { range: self }
+            }
+        }
+    )*};
+}
+impl_range_iter!(u32, u64, usize, i32, i64);
+
+// ---------------------------------------------------------------------------
+// Adapters.
+// ---------------------------------------------------------------------------
+
+/// Lock-step pairing of two indexed iterators.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: IndexedParallelIterator, B: IndexedParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+}
+
+impl<A: IndexedParallelIterator, B: IndexedParallelIterator> IndexedParallelIterator
+    for Zip<A, B>
+{
+    type SeqIter = std::iter::Zip<A::SeqIter, B::SeqIter>;
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a1, a2) = self.a.split_at(index);
+        let (b1, b2) = self.b.split_at(index);
+        (Zip { a: a1, b: b1 }, Zip { a: a2, b: b2 })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+/// Global-index attachment, split-aware via an offset.
+pub struct Enumerate<I> {
+    base: I,
+    offset: usize,
+}
+
+impl<I: IndexedParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+}
+
+impl<I: IndexedParallelIterator> IndexedParallelIterator for Enumerate<I> {
+    type SeqIter = std::iter::Zip<std::ops::Range<usize>, I::SeqIter>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(index);
+        (
+            Enumerate {
+                base: a,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: b,
+                offset: self.offset + index,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        let start = self.offset;
+        let end = start + self.base.len();
+        (start..end).zip(self.base.into_seq())
+    }
+}
+
+/// The glob import used throughout the workspace.
+pub mod prelude {
+    pub use crate::{
+        IndexedParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn for_each_covers_every_item() {
+        let mut data = vec![0u64; 1000];
+        data.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, v)| *v = i as u64 + 1);
+        assert_eq!(data.iter().sum::<u64>(), 500_500);
+    }
+
+    #[test]
+    fn zip_and_chunks_line_up() {
+        let src: Vec<f64> = (0..12).map(f64::from).collect();
+        let mut dst = vec![0.0; 4];
+        dst.par_iter_mut()
+            .zip(src.par_chunks_exact(3))
+            .for_each(|(d, row)| *d = row.iter().sum());
+        assert_eq!(dst, vec![3.0, 12.0, 21.0, 30.0]);
+    }
+
+    #[test]
+    fn try_for_each_init_reports_first_error_in_order() {
+        let data: Vec<usize> = (0..64).collect();
+        let r = data
+            .par_iter()
+            .try_for_each_init(|| 0usize, |_acc, &v| if v >= 10 { Err(v) } else { Ok(()) });
+        assert_eq!(r, Err(10));
+    }
+
+    #[test]
+    fn range_sum_matches_closed_form() {
+        let sum: i64 = (0..1000i64).into_par_iter().sum();
+        assert_eq!(sum, 499_500);
+    }
+
+    #[test]
+    fn pool_width_is_installed_and_restored() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let outside = current_num_threads();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn parallel_results_match_serial_bitwise() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let src: Vec<f64> = (0..997).map(|i| (i as f64).sin()).collect();
+        let mut serial = vec![0.0; src.len()];
+        for (d, s) in serial.iter_mut().zip(&src) {
+            *d = s.exp().ln_1p();
+        }
+        let mut par = vec![0.0; src.len()];
+        pool.install(|| {
+            par.par_iter_mut()
+                .zip(src.par_iter())
+                .for_each(|(d, s)| *d = s.exp().ln_1p());
+        });
+        assert_eq!(serial, par);
+    }
+}
