@@ -214,8 +214,7 @@ pub fn solve_diagonal_bk(p: &DiagonalProblem, opts: &BkOptions) -> Result<BkSolu
         }
     };
     let start = Instant::now();
-    let (x, sweeps, converged, residual) =
-        frank_wolfe(p.x0(), p.gamma(), &s0, &d0, opts, None)?;
+    let (x, sweeps, converged, residual) = frank_wolfe(p.x0(), p.gamma(), &s0, &d0, opts, None)?;
     let objective = p.objective(&x, &s0, &d0);
     Ok(BkSolution {
         x,
@@ -273,8 +272,7 @@ pub fn solve_general_bk(p: &GeneralProblem, opts: &BkOptions) -> Result<BkSoluti
         let q = DenseMatrix::from_vec(m, n, q_flat)?;
 
         // Warm-start each inner solve from the current feasible iterate.
-        let (x_new, sweeps, _ok, _res) =
-            frank_wolfe(&q, &gamma, &s0, &d0, opts, Some(x.clone()))?;
+        let (x_new, sweeps, _ok, _res) = frank_wolfe(&q, &gamma, &s0, &d0, opts, Some(x.clone()))?;
         sweeps_total += sweeps;
         let delta = x_new.max_abs_diff(&x);
         x = x_new;
@@ -432,11 +430,8 @@ mod tests {
         )
         .unwrap();
         let bk = solve_general_bk(&p, &BkOptions::with_epsilon(1e-7)).unwrap();
-        let sea = sea_core::solve_general(
-            &p,
-            &sea_core::GeneralSeaOptions::with_epsilon(1e-9),
-        )
-        .unwrap();
+        let sea =
+            sea_core::solve_general(&p, &sea_core::GeneralSeaOptions::with_epsilon(1e-9)).unwrap();
         assert!(bk.converged);
         assert!(
             bk.x.max_abs_diff(&sea.x) < 1e-3,

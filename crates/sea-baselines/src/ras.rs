@@ -111,7 +111,9 @@ pub fn ras_balance(
         });
     }
     if x0.as_slice().iter().any(|&v| v < 0.0 || !v.is_finite()) {
-        return Err(SeaError::NonFinite { context: "RAS prior" });
+        return Err(SeaError::NonFinite {
+            context: "RAS prior",
+        });
     }
     let rs: f64 = s0.iter().sum();
     let cs: f64 = d0.iter().sum();
@@ -138,7 +140,10 @@ pub fn ras_balance(
                 iterations: 0,
                 converged: false,
                 residual: f64::INFINITY,
-                failure: Some(RasFailure::EmptySupport { is_row: true, index: i }),
+                failure: Some(RasFailure::EmptySupport {
+                    is_row: true,
+                    index: i,
+                }),
                 elapsed: start.elapsed(),
             });
         }
@@ -153,7 +158,10 @@ pub fn ras_balance(
                 iterations: 0,
                 converged: false,
                 residual: f64::INFINITY,
-                failure: Some(RasFailure::EmptySupport { is_row: false, index: j }),
+                failure: Some(RasFailure::EmptySupport {
+                    is_row: false,
+                    index: j,
+                }),
                 elapsed: start.elapsed(),
             });
         }
@@ -276,7 +284,10 @@ mod tests {
         assert!(!out.converged);
         assert_eq!(
             out.failure,
-            Some(RasFailure::EmptySupport { is_row: true, index: 0 })
+            Some(RasFailure::EmptySupport {
+                is_row: true,
+                index: 0
+            })
         );
     }
 

@@ -207,6 +207,7 @@ fn half_step(
             &mut buf.y,
             opts.parallelism,
             costs,
+            None,
         )?;
         if let Some(tr) = trace.as_mut() {
             tr.push(
@@ -243,10 +244,7 @@ fn half_step(
 ///   [`GeneralTotalSpec::Fixed`] (RC, like B-K, was designed for the fixed
 ///   class — §5.1.1).
 /// * Propagated equilibration failures.
-pub fn solve_general_rc(
-    p: &GeneralProblem,
-    opts: &RcOptions,
-) -> Result<RcSolution, SeaError> {
+pub fn solve_general_rc(p: &GeneralProblem, opts: &RcOptions) -> Result<RcSolution, SeaError> {
     let (s0, d0) = match p.totals() {
         GeneralTotalSpec::Fixed { s0, d0 } => (s0.clone(), d0.clone()),
         _ => {

@@ -496,7 +496,11 @@ mod tests {
         // Greedy inspection: ship 20@4, then 20@5 + 10@3, then 20@4+30@2…
         // the solver's certified optimum:
         let brute = brute_force_min(&cost, &supply, &demand);
-        assert!((sol.objective - brute).abs() < 1e-6, "{} vs {brute}", sol.objective);
+        assert!(
+            (sol.objective - brute).abs() < 1e-6,
+            "{} vs {brute}",
+            sol.objective
+        );
     }
 
     /// Tiny-instance brute force: solve by enumerating vertices via
@@ -514,9 +518,8 @@ mod tests {
         use rand::SeedableRng;
         let (m, n) = (cost.rows(), cost.cols());
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
-        let mut cells: Vec<(usize, usize)> = (0..m)
-            .flat_map(|i| (0..n).map(move |j| (i, j)))
-            .collect();
+        let mut cells: Vec<(usize, usize)> =
+            (0..m).flat_map(|i| (0..n).map(move |j| (i, j))).collect();
         let mut best = f64::INFINITY;
         for _ in 0..2000 {
             cells.shuffle(&mut rng);
@@ -570,8 +573,7 @@ mod tests {
     #[test]
     fn negative_costs_are_supported() {
         // Frank–Wolfe gradients can be negative.
-        let cost =
-            DenseMatrix::from_rows(&[vec![-3.0, 2.0], vec![1.0, -4.0]]).unwrap();
+        let cost = DenseMatrix::from_rows(&[vec![-3.0, 2.0], vec![1.0, -4.0]]).unwrap();
         let supply = [5.0, 5.0];
         let demand = [5.0, 5.0];
         let sol = solve_transport(&cost, &supply, &demand).unwrap();

@@ -6,8 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use sea_core::{
-    solve_diagonal, DiagonalProblem, KernelKind, Parallelism, SeaOptions, TotalSpec,
-    ZeroPolicy,
+    solve_diagonal, DiagonalProblem, KernelKind, Parallelism, SeaOptions, TotalSpec, ZeroPolicy,
 };
 use sea_data::table1_instance;
 use sea_linalg::DenseMatrix;
@@ -57,17 +56,13 @@ fn bench_kernel(c: &mut Criterion) {
     for &n in &[100usize, 300] {
         let p = table1_instance(n, 7);
         for kernel in [KernelKind::SortScan, KernelKind::Quickselect] {
-            group.bench_with_input(
-                BenchmarkId::new(kernel.name(), n),
-                &p,
-                |b, p| {
-                    b.iter(|| {
-                        let mut o = SeaOptions::with_epsilon(0.01);
-                        o.kernel = kernel;
-                        solve_diagonal(black_box(p), &o).unwrap()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kernel.name(), n), &p, |b, p| {
+                b.iter(|| {
+                    let mut o = SeaOptions::with_epsilon(0.01);
+                    o.kernel = kernel;
+                    solve_diagonal(black_box(p), &o).unwrap()
+                })
+            });
         }
     }
     group.finish();

@@ -6,8 +6,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use sea_core::knapsack::{
-    exact_equilibration_boxed_with, exact_equilibration_with, EquilibrationScratch,
-    KernelKind, TotalMode,
+    exact_equilibration_boxed_with, exact_equilibration_with, EquilibrationScratch, KernelKind,
+    TotalMode,
 };
 use sea_linalg::{sort, DenseMatrix};
 use std::hint::black_box;

@@ -54,9 +54,7 @@ fn bench_general_solvers(c: &mut Criterion) {
     // smaller instance at a looser tolerance so `cargo bench` stays usable.
     let p_small = table7_instance(8, 1990);
     group.bench_function("bachem_korte", |b| {
-        b.iter(|| {
-            solve_general_bk(black_box(&p_small), &BkOptions::with_epsilon(0.01)).unwrap()
-        })
+        b.iter(|| solve_general_bk(black_box(&p_small), &BkOptions::with_epsilon(0.01)).unwrap())
     });
     group.finish();
 }

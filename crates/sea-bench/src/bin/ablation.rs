@@ -56,7 +56,11 @@ fn main() {
     };
     let mut t = Table::new(
         "Sorting strategy (seconds, lower is better)",
-        &["strategy", "short arrays (10-120)", "long arrays (500-3000)"],
+        &[
+            "strategy",
+            "short arrays (10-120)",
+            "long arrays (500-3000)",
+        ],
     );
     let shorts = [10usize, 30, 60, 120];
     let longs = [500usize, 1000, 3000];
@@ -126,7 +130,10 @@ fn main() {
     );
     for oh in [0.0, 1e-6, 1e-5, 1e-4] {
         let rows = speedup_table(&phases, &[6], oh, MachineModel::DEFAULT_FORK_JOIN_OVERHEAD);
-        t.push_row(vec![format!("{oh:.0e}"), format!("{:.2}%", 100.0 * rows[0].efficiency)]);
+        t.push_row(vec![
+            format!("{oh:.0e}"),
+            format!("{:.2}%", 100.0 * rows[0].efficiency),
+        ]);
     }
     record.push_table(t);
     record.push_note(

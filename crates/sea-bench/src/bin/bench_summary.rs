@@ -1,0 +1,180 @@
+//! Machine-readable perf snapshot: median timings for both equilibration
+//! kernels plus an end-to-end diagonal solve, written as JSON.
+//!
+//! Seeds the repo's BENCH trajectory (`BENCH_<pr>.json` at the repo root):
+//! each entry records the medians for this revision so later PRs can
+//! compare against a committed baseline instead of re-running history.
+//!
+//! ```text
+//! bench_summary [--out BENCH_2.json] [--repeats 41] [--seed 1990]
+//! ```
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sea_core::knapsack::{exact_equilibration_with, EquilibrationScratch, KernelKind, TotalMode};
+use sea_core::{solve_diagonal, SeaOptions};
+use sea_data::random::table1_instance;
+use sea_observe::json::{f64_to_json, JsonValue};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Subproblem size for the kernel microbenchmark.
+const KERNEL_N: usize = 2000;
+/// Problem order for the end-to-end solve.
+const SOLVE_N: usize = 200;
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    assert!(!samples.is_empty());
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+/// Median seconds of one exact equilibration over `KERNEL_N` variables.
+fn bench_kernel(kernel: KernelKind, repeats: usize, seed: u64) -> f64 {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xBE_2C);
+    let q: Vec<f64> = (0..KERNEL_N)
+        .map(|_| rng.random_range(0.1..10_000.0))
+        .collect();
+    let gamma: Vec<f64> = q.iter().map(|&v| 1.0 / v).collect();
+    let shift: Vec<f64> = (0..KERNEL_N).map(|_| rng.random_range(-1.0..1.0)).collect();
+    let total: f64 = q.iter().sum::<f64>() * 1.7;
+    let mut x = vec![0.0; KERNEL_N];
+    let mut scratch = EquilibrationScratch::new();
+    let run = |x: &mut [f64], scratch: &mut EquilibrationScratch| {
+        exact_equilibration_with(
+            kernel,
+            black_box(&q),
+            &gamma,
+            &shift,
+            TotalMode::Fixed { total },
+            x,
+            scratch,
+        )
+        .expect("valid inputs")
+    };
+    // Warm up (fills scratch buffers so the timed runs are steady-state).
+    for _ in 0..3 {
+        run(&mut x, &mut scratch);
+    }
+    let samples: Vec<f64> = (0..repeats)
+        .map(|_| {
+            let t0 = Instant::now();
+            run(&mut x, &mut scratch);
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    median(samples)
+}
+
+/// Median seconds (and iteration count) of a full Table-1-style solve.
+fn bench_solve(kernel: KernelKind, repeats: usize, seed: u64) -> (f64, usize) {
+    let p = table1_instance(SOLVE_N, seed);
+    let mut opts = SeaOptions::with_epsilon(1e-8);
+    opts.kernel = kernel;
+    let mut iterations = 0;
+    let samples: Vec<f64> = (0..repeats.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            let sol = solve_diagonal(black_box(&p), &opts).expect("solvable");
+            assert!(sol.stats.converged, "bench instance must converge");
+            iterations = sol.stats.iterations;
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    (median(samples), iterations)
+}
+
+fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut out = "BENCH_2.json".to_string();
+    let mut repeats = 41usize;
+    let mut seed = 1990u64;
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => {
+                if let Some(v) = it.next() {
+                    out = v.clone();
+                }
+            }
+            "--repeats" => {
+                if let Some(v) = it.next() {
+                    repeats = v.parse().unwrap_or(repeats).max(1);
+                }
+            }
+            "--seed" => {
+                if let Some(v) = it.next() {
+                    seed = v.parse().unwrap_or(seed);
+                }
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut kernels: Vec<(String, JsonValue)> = Vec::new();
+    let mut solves: Vec<(String, JsonValue)> = Vec::new();
+    for kernel in [KernelKind::SortScan, KernelKind::Quickselect] {
+        let name = kernel.name();
+        let micro = bench_kernel(kernel, repeats, seed);
+        kernels.push((
+            name.to_string(),
+            obj(vec![("median_seconds", f64_to_json(micro))]),
+        ));
+        // End-to-end solves are heavier; a third of the repeats suffices.
+        let (solve_median, iterations) = bench_solve(kernel, repeats / 3, seed);
+        solves.push((
+            name.to_string(),
+            obj(vec![
+                ("median_seconds", f64_to_json(solve_median)),
+                ("iterations", JsonValue::Number(iterations as f64)),
+            ]),
+        ));
+        eprintln!(
+            "{name}: equilibration(n={KERNEL_N}) {micro:.3e}s, \
+             solve({SOLVE_N}x{SOLVE_N}) {solve_median:.3e}s ({iterations} iters)"
+        );
+    }
+
+    let doc = obj(vec![
+        (
+            "schema",
+            JsonValue::String("sea-bench-summary/v1".to_string()),
+        ),
+        ("pr", JsonValue::Number(2.0)),
+        ("repeats", JsonValue::Number(repeats as f64)),
+        ("seed", JsonValue::Number(seed as f64)),
+        (
+            "kernel_equilibration",
+            obj(vec![
+                ("n", JsonValue::Number(KERNEL_N as f64)),
+                ("mode", JsonValue::String("fixed".to_string())),
+                ("by_kernel", JsonValue::Object(kernels)),
+            ]),
+        ),
+        (
+            "solve_diagonal",
+            obj(vec![
+                ("rows", JsonValue::Number(SOLVE_N as f64)),
+                ("cols", JsonValue::Number(SOLVE_N as f64)),
+                ("epsilon", f64_to_json(1e-8)),
+                ("by_kernel", JsonValue::Object(solves)),
+            ]),
+        ),
+    ]);
+    let mut text = doc.render();
+    text.push('\n');
+    std::fs::write(&out, text).expect("write bench summary");
+    println!("wrote {out}");
+}

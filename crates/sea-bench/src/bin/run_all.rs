@@ -7,8 +7,20 @@ use std::process::Command;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let bins = [
-        "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
-        "table9", "fig5", "fig7", "ablation", "weights_study", "theory_check",
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "table6",
+        "table7",
+        "table8",
+        "table9",
+        "fig5",
+        "fig7",
+        "ablation",
+        "weights_study",
+        "theory_check",
     ];
     let exe_dir = std::env::current_exe()
         .expect("own path")
@@ -18,9 +30,7 @@ fn main() {
     let mut failures = Vec::new();
     for bin in bins {
         eprintln!("==== running {bin} {} ====", args.join(" "));
-        let status = Command::new(exe_dir.join(bin))
-            .args(&args)
-            .status();
+        let status = Command::new(exe_dir.join(bin)).args(&args).status();
         match status {
             Ok(s) if s.success() => {}
             Ok(s) => {

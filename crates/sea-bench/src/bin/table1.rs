@@ -47,7 +47,9 @@ fn main() {
     }
 
     record.push_table(table);
-    record.push_note(format!("scale = {scale:?}, seed = {seed}, epsilon = .01 (paper setting)"));
+    record.push_note(format!(
+        "scale = {scale:?}, seed = {seed}, epsilon = .01 (paper setting)"
+    ));
     record.push_note(
         "Paper (IBM 3090-600E, VS FORTRAN): 750^2 = 204.7s, 1000^2 = 483.2s, \
          2000^2 = 3823.2s, 3000^2 = 13561.6s; compare growth shape, not absolutes.",

@@ -46,7 +46,9 @@ fn main() {
     }
 
     record.push_table(table);
-    record.push_note(format!("scale = {scale:?} (fixed 48x48 size, as in the paper)"));
+    record.push_note(format!(
+        "scale = {scale:?} (fixed 48x48 size, as in the paper)"
+    ));
     record.push_note(
         "Paper: a-variants 1.3-3.5s, b-variants 4.0-9.1s, c-variants ~0.8s. \
          Expected shape: iterations(b) >= iterations(a) > iterations(c).",

@@ -6,7 +6,9 @@
 //! N ∈ {2, 4, 6} come from the `sea-parsim` machine simulator (DESIGN.md
 //! substitution S2 — this container has one CPU, the paper had six).
 
-use sea_bench::{experiments::diagonal_speedup_experiment, results_dir, speedup_rows_to_table, Scale};
+use sea_bench::{
+    experiments::diagonal_speedup_experiment, results_dir, speedup_rows_to_table, Scale,
+};
 use sea_report::{ExperimentRecord, Table};
 
 fn main() {

@@ -55,8 +55,7 @@ fn main() {
         for r in 0..reps {
             let p = table7_instance(side, seed.wrapping_add(r));
 
-            let sea = solve_general(&p, &GeneralSeaOptions::with_epsilon(0.001))
-                .expect("solvable");
+            let sea = solve_general(&p, &GeneralSeaOptions::with_epsilon(0.001)).expect("solvable");
             assert!(sea.converged, "SEA failed on G {g_order}");
             sea_secs += sea.elapsed.as_secs_f64();
 
@@ -69,8 +68,7 @@ fn main() {
             // replication only (its column in the paper is likewise the
             // point of abandonment for the larger sizes).
             if run_bk && r == 0 {
-                let bk = solve_general_bk(&p, &BkOptions::with_epsilon(0.001))
-                    .expect("solvable");
+                let bk = solve_general_bk(&p, &BkOptions::with_epsilon(0.001)).expect("solvable");
                 bk_secs = bk.elapsed.as_secs_f64();
                 agreement = agreement.max(sea.x.max_abs_diff(&bk.x));
             }
@@ -87,9 +85,7 @@ fn main() {
                 "-".to_string()
             },
         ]);
-        eprintln!(
-            "table7: G {g_order}x{g_order} done (max solver disagreement {agreement:.2e})"
-        );
+        eprintln!("table7: G {g_order}x{g_order} done (max solver disagreement {agreement:.2e})");
     }
 
     record.push_table(table);

@@ -21,14 +21,9 @@ fn main() {
 
     for period in Period::all() {
         for perturb in [false, true] {
-            let name = format!(
-                "GMIG{}{}",
-                period.tag(),
-                if perturb { 'b' } else { 'a' }
-            );
+            let name = format!("GMIG{}{}", period.tag(), if perturb { 'b' } else { 'a' });
             let p = migration_general(period, perturb);
-            let sol = solve_general(&p, &GeneralSeaOptions::with_epsilon(0.001))
-                .expect("solvable");
+            let sol = solve_general(&p, &GeneralSeaOptions::with_epsilon(0.001)).expect("solvable");
             assert!(sol.converged, "{name} did not converge");
             table.push_row(vec![
                 name.clone(),
@@ -41,7 +36,9 @@ fn main() {
     }
 
     record.push_table(table);
-    record.push_note(format!("scale = {scale:?} (fixed 48x48 / G 2304^2, as in the paper)"));
+    record.push_note(format!(
+        "scale = {scale:?} (fixed 48x48 / G 2304^2, as in the paper)"
+    ));
     record.push_note(
         "Paper: all six examples ~23-29 CPU seconds with epsilon' = .001; the \
          dominant cost is the dense 2304^2 G mat-vec per projection step, so \

@@ -7,7 +7,9 @@
 //! projection convergence once, RC once per projection iteration inside
 //! every half-step, so SEA parallelizes better.
 
-use sea_bench::{experiments::general_speedup_experiment, results_dir, speedup_rows_to_table, Scale};
+use sea_bench::{
+    experiments::general_speedup_experiment, results_dir, speedup_rows_to_table, Scale,
+};
 use sea_report::{ExperimentRecord, Table};
 
 fn main() {

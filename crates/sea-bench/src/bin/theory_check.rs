@@ -16,8 +16,8 @@
 
 use sea_bench::{results_dir, Scale};
 use sea_core::{solve_diagonal, theory, ConvergenceCriterion, SeaOptions};
-use sea_spatial::random_spe;
 use sea_report::{ExperimentRecord, Table};
+use sea_spatial::random_spe;
 
 fn main() {
     let (scale, seed) = Scale::from_args();
@@ -139,7 +139,9 @@ fn main() {
     ));
     assert!((s.stats.iterations as f64) <= bound);
 
-    record.push_note(format!("scale = {scale:?} (SP{size} x {size}), seed = {seed}"));
+    record.push_note(format!(
+        "scale = {scale:?} (SP{size} x {size}), seed = {seed}"
+    ));
     record.print();
     if let Ok(path) = record.save_markdown(&results_dir()) {
         eprintln!("saved {}", path.display());

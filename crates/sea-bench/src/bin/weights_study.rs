@@ -72,7 +72,8 @@ fn main() {
         let bounds = theory::CurvatureBounds::compute(&p);
         let sol = solve_diagonal(&p, &SeaOptions::with_epsilon(0.001)).expect("solvable");
         assert!(sol.stats.converged, "{name} did not converge");
-        let rel_change = sol.x.max_abs_diff(&x0) / x0.as_slice().iter().fold(0.0_f64, |m, &v| m.max(v));
+        let rel_change =
+            sol.x.max_abs_diff(&x0) / x0.as_slice().iter().fold(0.0_f64, |m, &v| m.max(v));
         t.push_row(vec![
             name.to_string(),
             format!("{:.1}", bounds.upper / bounds.lower),

@@ -3,11 +3,11 @@
 //! numbers.
 
 use crate::{trace_to_phases, Scale};
-use sea_parsim::SimPhase;
 use sea_baselines::rc::{solve_general_rc, RcOptions};
 use sea_core::{solve_diagonal, GeneralSeaOptions, SeaOptions};
 use sea_data::io_tables::{io_dataset, IoVariant};
 use sea_data::{table1_instance, table7_instance};
+use sea_parsim::SimPhase;
 use sea_parsim::{speedup_table, MachineModel, SpeedupRow};
 use sea_spatial::random_spe;
 
@@ -65,7 +65,13 @@ pub fn diagonal_speedup_experiment(scale: Scale, seed: u64) -> Vec<(String, Vec<
     // IO72b (fixed totals; scale shrinks the companion random instance
     // sizes but the I/O dataset is fixed-size).
     {
-        let p = io_dataset(IoVariant { family: 2, variant: 'b' }, 0);
+        let p = io_dataset(
+            IoVariant {
+                family: 2,
+                variant: 'b',
+            },
+            0,
+        );
         let mut opts = SeaOptions::with_epsilon(0.01);
         opts.record_trace = true;
         let sol = solve_diagonal(&p, &opts).expect("feasible");

@@ -18,6 +18,12 @@ pub struct CommonOpts {
     pub structural_zeros: bool,
     /// Equilibration kernel name: `sortscan` or `quickselect`.
     pub kernel: String,
+    /// Write a JSONL solve log (one event per line) to this file.
+    pub observe: Option<PathBuf>,
+    /// Write Prometheus text-exposition metrics to this file.
+    pub metrics: Option<PathBuf>,
+    /// Write the recorded execution trace (JSON) to this file.
+    pub trace: Option<PathBuf>,
 }
 
 /// Parsed subcommand.
@@ -65,6 +71,13 @@ pub enum Command {
         /// Matrix file.
         matrix: PathBuf,
     },
+    /// Summarize a recorded JSONL solve log.
+    Report {
+        /// Events file written by `--observe`.
+        events: PathBuf,
+        /// Replay the log on a simulated machine with this many processors.
+        processors: Option<usize>,
+    },
     /// Print usage.
     Help,
 }
@@ -98,7 +111,9 @@ fn common_from(flags: &mut HashMap<String, String>) -> Result<CommonOpts, ParseE
         .remove("matrix")
         .ok_or("missing required --matrix <file>")?;
     let out = flags.remove("out").map(PathBuf::from);
-    let weights = flags.remove("weights").unwrap_or_else(|| "chi2".to_string());
+    let weights = flags
+        .remove("weights")
+        .unwrap_or_else(|| "chi2".to_string());
     if !["unit", "chi2", "sqrt"].contains(&weights.as_str()) {
         return Err(format!(
             "unknown --weights {weights:?} (expected unit, chi2, or sqrt)"
@@ -124,6 +139,9 @@ fn common_from(flags: &mut HashMap<String, String>) -> Result<CommonOpts, ParseE
             "unknown --kernel {kernel:?} (expected sortscan or quickselect)"
         ));
     }
+    let observe = flags.remove("observe").map(PathBuf::from);
+    let metrics = flags.remove("metrics").map(PathBuf::from);
+    let trace = flags.remove("trace").map(PathBuf::from);
     Ok(CommonOpts {
         matrix: PathBuf::from(matrix),
         out,
@@ -131,13 +149,13 @@ fn common_from(flags: &mut HashMap<String, String>) -> Result<CommonOpts, ParseE
         epsilon,
         structural_zeros,
         kernel,
+        observe,
+        metrics,
+        trace,
     })
 }
 
-fn required_path(
-    flags: &mut HashMap<String, String>,
-    name: &str,
-) -> Result<PathBuf, ParseError> {
+fn required_path(flags: &mut HashMap<String, String>, name: &str) -> Result<PathBuf, ParseError> {
     flags
         .remove(name)
         .map(PathBuf::from)
@@ -203,6 +221,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
             let matrix = required_path(&mut flags, "matrix")?;
             Command::Info { matrix }
         }
+        "report" => {
+            let events = required_path(&mut flags, "events")?;
+            let processors = match flags.remove("processors") {
+                None => None,
+                Some(v) => Some(
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("--processors {v:?} is not a positive integer"))?,
+                ),
+            };
+            Command::Report { events, processors }
+        }
         "help" | "--help" | "-h" => Command::Help,
         other => return Err(format!("unknown subcommand {other:?}")),
     };
@@ -223,6 +254,7 @@ USAGE:
   sea-solve sam     --matrix X0.csv [--totals s.csv] [opts]
   sea-solve ras     --matrix X0.csv --row-totals s.csv --col-totals d.csv [--out F]
   sea-solve info    --matrix X0.csv
+  sea-solve report  --events events.jsonl [--processors N]
 
 OPTIONS (solver subcommands):
   --weights unit|chi2|sqrt   deviation weights (default chi2 = 1/x0)
@@ -233,6 +265,15 @@ OPTIONS (solver subcommands):
                              produce the same solution, quickselect skips
                              the breakpoint sort)
   --out <file>               write the estimate as CSV (default stdout)
+
+OBSERVABILITY (quadratic solver subcommands):
+  --observe <file>           stream typed solver events as JSONL
+  --metrics <file>           write Prometheus text-format metrics
+  --trace <file>             dump the recorded execution trace as JSON
+
+`report` summarizes a JSONL log recorded with --observe: per-phase wall
+time, serial fraction, and iterations to convergence; with --processors N
+it also replays the log on a simulated N-processor machine.
 ";
 
 #[cfg(test)]
@@ -269,10 +310,7 @@ mod tests {
 
     #[test]
     fn defaults_are_sensible() {
-        let cmd = parse_args(&argv(
-            "sam --matrix m.csv",
-        ))
-        .unwrap();
+        let cmd = parse_args(&argv("sam --matrix m.csv")).unwrap();
         match cmd {
             Command::Sam { common, totals } => {
                 assert_eq!(common.weights, "chi2");
@@ -300,11 +338,59 @@ mod tests {
     }
 
     #[test]
+    fn parses_observability_flags() {
+        let cmd = parse_args(&argv(
+            "sam --matrix m.csv --observe e.jsonl --metrics m.prom --trace t.json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Sam { common, .. } => {
+                assert_eq!(common.observe, Some(PathBuf::from("e.jsonl")));
+                assert_eq!(common.metrics, Some(PathBuf::from("m.prom")));
+                assert_eq!(common.trace, Some(PathBuf::from("t.json")));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // All three default to off.
+        match parse_args(&argv("sam --matrix m.csv")).unwrap() {
+            Command::Sam { common, .. } => {
+                assert!(common.observe.is_none() && common.metrics.is_none());
+                assert!(common.trace.is_none());
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_report_command() {
+        match parse_args(&argv("report --events e.jsonl")).unwrap() {
+            Command::Report { events, processors } => {
+                assert_eq!(events, PathBuf::from("e.jsonl"));
+                assert!(processors.is_none());
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse_args(&argv("report --events e.jsonl --processors 8")).unwrap() {
+            Command::Report { processors, .. } => assert_eq!(processors, Some(8)),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse_args(&argv("report")).is_err());
+        assert!(parse_args(&argv("report --events e.jsonl --processors 0")).is_err());
+        assert!(parse_args(&argv("report --events e.jsonl --processors many")).is_err());
+    }
+
+    #[test]
     fn rejects_bad_input() {
         assert!(parse_args(&argv("fixed --matrix m.csv")).is_err()); // missing totals
-        assert!(parse_args(&argv("fixed --matrix m.csv --row-totals s --col-totals d --weights bogus")).is_err());
+        assert!(parse_args(&argv(
+            "fixed --matrix m.csv --row-totals s --col-totals d --weights bogus"
+        ))
+        .is_err());
         assert!(parse_args(&argv("nonsense")).is_err());
-        assert!(parse_args(&argv("fixed --matrix m.csv --row-totals s --col-totals d --mystery 1")).is_err());
+        assert!(parse_args(&argv(
+            "fixed --matrix m.csv --row-totals s --col-totals d --mystery 1"
+        ))
+        .is_err());
         assert!(parse_args(&argv(
             "elastic --matrix m.csv --row-totals s --col-totals d --total-weight -2"
         ))

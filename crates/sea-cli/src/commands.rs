@@ -4,14 +4,44 @@ use crate::args::{Command, CommonOpts, USAGE};
 use crate::csv;
 use sea_baselines::ras::{ras_balance, RasOptions};
 use sea_core::{
-    solve_diagonal, DiagonalProblem, KernelKind, SeaOptions, TotalSpec, WeightScheme,
-    ZeroPolicy,
+    solve_diagonal_observed, trace_from_events, DiagonalProblem, Event, ExecutionTrace, KernelKind,
+    Observer, SeaOptions, TotalSpec, WeightScheme, ZeroPolicy,
 };
 use sea_linalg::DenseMatrix;
+use sea_observe::jsonl::{parse_events, JsonlObserver};
+use sea_observe::metrics::MetricsObserver;
+use sea_parsim::SimPhase;
+use sea_report::SolveSummary;
+use std::fs::File;
+use std::io::BufWriter;
 use std::path::Path;
 
 /// Human-facing failure type for the CLI.
 pub type CliError = String;
+
+/// The CLI's composite sink: an optional JSONL stream plus an optional
+/// metrics aggregator. With neither requested it reports disabled, so the
+/// solver takes its zero-overhead path.
+#[derive(Debug, Default)]
+struct CliObserver {
+    jsonl: Option<JsonlObserver<BufWriter<File>>>,
+    metrics: Option<MetricsObserver>,
+}
+
+impl Observer for CliObserver {
+    fn enabled(&self) -> bool {
+        self.jsonl.is_some() || self.metrics.is_some()
+    }
+
+    fn record(&mut self, event: &Event) {
+        if let Some(j) = &mut self.jsonl {
+            j.record(event);
+        }
+        if let Some(m) = &mut self.metrics {
+            m.record(event);
+        }
+    }
+}
 
 fn weight_scheme(name: &str) -> WeightScheme {
     match name {
@@ -53,14 +83,47 @@ fn emit(common: &CommonOpts, x: &DenseMatrix) -> Result<String, CliError> {
     }
 }
 
-fn solve_and_emit(
-    common: &CommonOpts,
-    problem: &DiagonalProblem,
-) -> Result<String, CliError> {
+fn solve_and_emit(common: &CommonOpts, problem: &DiagonalProblem) -> Result<String, CliError> {
     let mut opts = SeaOptions::with_epsilon(common.epsilon);
     opts.kernel = KernelKind::parse(&common.kernel)
         .ok_or_else(|| format!("unknown kernel {:?}", common.kernel))?;
-    let sol = solve_diagonal(problem, &opts).map_err(|e| format!("solver failed: {e}"))?;
+    opts.record_trace = common.trace.is_some();
+    let mut obs = CliObserver {
+        jsonl: match &common.observe {
+            Some(path) => {
+                let f = File::create(path).map_err(|e| format!("{}: {e}", path.display()))?;
+                Some(JsonlObserver::new(BufWriter::new(f)))
+            }
+            None => None,
+        },
+        metrics: common.metrics.as_ref().map(|_| MetricsObserver::new()),
+    };
+    let sol = solve_diagonal_observed(problem, &opts, &mut obs)
+        .map_err(|e| format!("solver failed: {e}"))?;
+    // Flush every sink before judging convergence, so a failed solve still
+    // leaves its log/metrics behind for diagnosis.
+    let mut sink_notes = String::new();
+    if let Some(jsonl) = obs.jsonl.take() {
+        let path = common.observe.as_ref().expect("observe path set");
+        jsonl
+            .finish()
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        sink_notes.push_str(&format!("# events: {}\n", path.display()));
+    }
+    if let Some(metrics) = obs.metrics.take() {
+        let path = common.metrics.as_ref().expect("metrics path set");
+        std::fs::write(path, metrics.render()).map_err(|e| format!("{}: {e}", path.display()))?;
+        sink_notes.push_str(&format!("# metrics: {}\n", path.display()));
+    }
+    if let Some(path) = &common.trace {
+        let trace = sol
+            .stats
+            .trace
+            .as_ref()
+            .ok_or("solver recorded no execution trace")?;
+        std::fs::write(path, trace.to_json()).map_err(|e| format!("{}: {e}", path.display()))?;
+        sink_notes.push_str(&format!("# trace: {}\n", path.display()));
+    }
     if !sol.stats.converged {
         return Err(format!(
             "did not converge within {} iterations (residual {:.3e}); \
@@ -73,7 +136,57 @@ fn solve_and_emit(
         "# converged in {} iterations; objective {:.6e}; max row residual {:.3e}\n",
         sol.stats.iterations, sol.stats.objective, sol.stats.residuals.row_inf
     ));
+    report.push_str(&sink_notes);
     Ok(report)
+}
+
+/// Convert a replayed trace into simulator phases (mirrors the conversion
+/// the bench harness applies to in-process traces).
+fn trace_to_sim_phases(trace: &ExecutionTrace) -> Vec<SimPhase> {
+    use sea_core::PhaseKind;
+    trace
+        .phases
+        .iter()
+        .map(|ph| match ph.kind {
+            k if !k.is_parallel() => SimPhase::serial(ph.task_seconds.clone()),
+            PhaseKind::Projection => SimPhase::parallel_memory_bound(ph.task_seconds.clone()),
+            _ => SimPhase::parallel(ph.task_seconds.clone()),
+        })
+        .collect()
+}
+
+fn report_from_log(events_path: &Path, processors: Option<usize>) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(events_path)
+        .map_err(|e| format!("{}: {e}", events_path.display()))?;
+    let events = parse_events(&text).map_err(|e| format!("{}: {e}", events_path.display()))?;
+    let mut out = SolveSummary::from_events(&events).render();
+    if let Some(n) = processors {
+        let trace = trace_from_events(&events);
+        let phases = trace_to_sim_phases(&trace);
+        // Powers of two up to N, always ending at N itself.
+        let mut counts = vec![1usize];
+        let mut p = 2;
+        while p < n {
+            counts.push(p);
+            p *= 2;
+        }
+        if n > 1 {
+            counts.push(n);
+        }
+        let rows = sea_parsim::speedup_table(&phases, &counts, 0.0, 0.0);
+        let mut table = sea_report::Table::new("Simulated replay", &["N", "T_N (s)", "S_N", "E_N"]);
+        for r in &rows {
+            table.push_row(vec![
+                r.processors.to_string(),
+                sea_report::fmt_seconds(r.time),
+                format!("{:.2}", r.speedup),
+                format!("{:.2}%", 100.0 * r.efficiency),
+            ]);
+        }
+        out.push('\n');
+        out.push_str(&table.render());
+    }
+    Ok(out)
 }
 
 /// Execute a parsed command, returning the text to print.
@@ -102,6 +215,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 cols.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
             ))
         }
+        Command::Report { events, processors } => report_from_log(events, *processors),
         Command::Fixed {
             common,
             row_totals,
@@ -116,13 +230,9 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             } else {
                 ZeroPolicy::Free
             };
-            let problem = DiagonalProblem::with_zero_policy(
-                x0,
-                gamma,
-                TotalSpec::Fixed { s0, d0 },
-                policy,
-            )
-            .map_err(|e| format!("invalid problem: {e}"))?;
+            let problem =
+                DiagonalProblem::with_zero_policy(x0, gamma, TotalSpec::Fixed { s0, d0 }, policy)
+                    .map_err(|e| format!("invalid problem: {e}"))?;
             solve_and_emit(common, &problem)
         }
         Command::Elastic {
@@ -210,7 +320,10 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 ));
             }
             let mut report = emit(common, &out.x)?;
-            report.push_str(&format!("# RAS converged in {} iterations\n", out.iterations));
+            report.push_str(&format!(
+                "# RAS converged in {} iterations\n",
+                out.iterations
+            ));
             Ok(report)
         }
     }
@@ -326,6 +439,85 @@ mod tests {
         let report = run(&parse_args(&argv).unwrap()).unwrap();
         assert!(report.contains("2 x 2"));
         assert!(report.contains("75.0%"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn observe_metrics_and_trace_files_are_written() {
+        let dir = tmpdir("observe");
+        write(&dir, "m.csv", "1,2\n3,4\n");
+        write(&dir, "s.csv", "4,6\n");
+        write(&dir, "d.csv", "5\n5\n");
+        let events = dir.join("events.jsonl");
+        let metrics = dir.join("metrics.prom");
+        let trace = dir.join("trace.json");
+        let argv: Vec<String> = [
+            "fixed",
+            "--matrix",
+            dir.join("m.csv").to_str().unwrap(),
+            "--row-totals",
+            dir.join("s.csv").to_str().unwrap(),
+            "--col-totals",
+            dir.join("d.csv").to_str().unwrap(),
+            "--observe",
+            events.to_str().unwrap(),
+            "--metrics",
+            metrics.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let report = run(&parse_args(&argv).unwrap()).unwrap();
+        assert!(report.contains("# events:"));
+        assert!(report.contains("# metrics:"));
+        assert!(report.contains("# trace:"));
+
+        // The JSONL log parses back; rebuilt trace matches the dumped one
+        // phase for phase (the --observe/--trace acceptance round trip).
+        let log = std::fs::read_to_string(&events).unwrap();
+        let evs = parse_events(&log).unwrap();
+        assert!(matches!(evs.first(), Some(Event::SolveStart { .. })));
+        assert!(matches!(evs.last(), Some(Event::SolveEnd { .. })));
+        let from_log = trace_from_events(&evs);
+        let dumped = ExecutionTrace::from_json(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        assert_eq!(from_log, dumped);
+        assert!(!dumped.phases.is_empty());
+
+        // Metrics render in Prometheus text format.
+        let prom = std::fs::read_to_string(&metrics).unwrap();
+        assert!(prom.contains("# TYPE sea_solves_total counter"));
+        assert!(prom.contains("sea_converged 1"));
+
+        // And the report subcommand summarizes + replays the log.
+        let argv: Vec<String> = [
+            "report",
+            "--events",
+            events.to_str().unwrap(),
+            "--processors",
+            "4",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let summary = run(&parse_args(&argv).unwrap()).unwrap();
+        assert!(summary.contains("serial fraction"));
+        assert!(summary.contains("row_equilibration"));
+        assert!(summary.contains("Simulated replay"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn report_rejects_malformed_logs() {
+        let dir = tmpdir("badlog");
+        let path = write(&dir, "events.jsonl", "{\"type\":\"mystery\"}\n");
+        let argv: Vec<String> = ["report", "--events", path.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = run(&parse_args(&argv).unwrap()).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -172,7 +172,11 @@ mod tests {
         ));
         assert!(matches!(
             parse_rows("1,2\n3\n"),
-            Err(CsvError::Ragged { line: 2, expected: 2, actual: 1 })
+            Err(CsvError::Ragged {
+                line: 2,
+                expected: 2,
+                actual: 1
+            })
         ));
         assert!(matches!(parse_rows("# nothing\n"), Err(CsvError::Empty)));
     }

@@ -64,7 +64,12 @@ pub fn dual_value(p: &DiagonalProblem, lambda: &[f64], mu: &[f64]) -> f64 {
                 z += mu[j] * d0[j];
             }
         }
-        TotalSpec::Elastic { alpha, s0, beta, d0 } => {
+        TotalSpec::Elastic {
+            alpha,
+            s0,
+            beta,
+            d0,
+        } => {
             for i in 0..m {
                 let t = 2.0 * alpha[i] * s0[i] - lambda[i];
                 z += -t * t / (4.0 * alpha[i]) + alpha[i] * s0[i] * s0[i];
@@ -121,7 +126,12 @@ pub fn primal_from_multipliers(
     }
     let (s, d) = match p.totals() {
         TotalSpec::Fixed { s0, d0 } => (s0.clone(), d0.clone()),
-        TotalSpec::Elastic { alpha, s0, beta, d0 } => {
+        TotalSpec::Elastic {
+            alpha,
+            s0,
+            beta,
+            d0,
+        } => {
             let s = (0..m)
                 .map(|i| s0[i] - lambda[i] / (2.0 * alpha[i]))
                 .collect();
@@ -246,7 +256,11 @@ mod tests {
             let mut lm = lambda;
             lm[i] -= h;
             let fd = (dual_value(&p, &lp, &mu) - dual_value(&p, &lm, &mu)) / (2.0 * h);
-            assert!((fd - gl[i]).abs() < 1e-5, "dzeta/dlambda[{i}]: fd={fd} vs {}", gl[i]);
+            assert!(
+                (fd - gl[i]).abs() < 1e-5,
+                "dzeta/dlambda[{i}]: fd={fd} vs {}",
+                gl[i]
+            );
         }
         for j in 0..2 {
             let mut up = mu;
@@ -254,7 +268,11 @@ mod tests {
             let mut um = mu;
             um[j] -= h;
             let fd = (dual_value(&p, &lambda, &up) - dual_value(&p, &lambda, &um)) / (2.0 * h);
-            assert!((fd - gm[j]).abs() < 1e-5, "dzeta/dmu[{j}]: fd={fd} vs {}", gm[j]);
+            assert!(
+                (fd - gm[j]).abs() < 1e-5,
+                "dzeta/dmu[{j}]: fd={fd} vs {}",
+                gm[j]
+            );
         }
     }
 
@@ -302,7 +320,11 @@ mod tests {
             let mut lm = lambda;
             lm[i] -= h;
             let fd = (dual_value(&p, &lp, &mu) - dual_value(&p, &lm, &mu)) / (2.0 * h);
-            assert!((fd - gl[i]).abs() < 1e-5, "balanced dλ[{i}]: {fd} vs {}", gl[i]);
+            assert!(
+                (fd - gl[i]).abs() < 1e-5,
+                "balanced dλ[{i}]: {fd} vs {}",
+                gl[i]
+            );
         }
         for j in 0..2 {
             let mut up = mu;
@@ -310,7 +332,11 @@ mod tests {
             let mut um = mu;
             um[j] -= h;
             let fd = (dual_value(&p, &lambda, &up) - dual_value(&p, &lambda, &um)) / (2.0 * h);
-            assert!((fd - gm[j]).abs() < 1e-5, "balanced dμ[{j}]: {fd} vs {}", gm[j]);
+            assert!(
+                (fd - gm[j]).abs() < 1e-5,
+                "balanced dμ[{j}]: {fd} vs {}",
+                gm[j]
+            );
         }
     }
 

@@ -16,7 +16,58 @@ use crate::knapsack::{exact_equilibration_with, EquilibrationScratch, KernelKind
 use crate::parallel::Parallelism;
 use rayon::prelude::*;
 use sea_linalg::DenseMatrix;
+use sea_observe::KernelCounters;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+thread_local! {
+    /// Workspace reused by every *serial* pass run on this thread. A pass
+    /// sizes the buffers on first use and later passes (and later solves)
+    /// reuse them, keeping the steady-state solver loop allocation-free —
+    /// the property `tests/alloc_free.rs` audits. Rayon passes instead get
+    /// one scratch per worker via `try_for_each_init`.
+    static SERIAL_SCRATCH: RefCell<TaskScratch> = RefCell::new(TaskScratch::new());
+}
+
+/// Thread-safe accumulator for [`KernelCounters`] harvested from the
+/// per-thread [`TaskScratch`] workspaces of a rayon pass. The pass hands
+/// each worker its own scratch (`try_for_each_init`), so counters are
+/// flushed here with relaxed atomics once per task — contention-free in
+/// practice and exact in total.
+#[derive(Debug, Default)]
+pub struct PassCounters {
+    subproblems: AtomicU64,
+    breakpoints_scanned: AtomicU64,
+    quickselect_pivots: AtomicU64,
+    boxed_clamps: AtomicU64,
+}
+
+impl PassCounters {
+    /// Fold one scratch's counters into the accumulator.
+    pub fn add(&self, c: &KernelCounters) {
+        if c.is_empty() {
+            return;
+        }
+        self.subproblems.fetch_add(c.subproblems, Ordering::Relaxed);
+        self.breakpoints_scanned
+            .fetch_add(c.breakpoints_scanned, Ordering::Relaxed);
+        self.quickselect_pivots
+            .fetch_add(c.quickselect_pivots, Ordering::Relaxed);
+        self.boxed_clamps
+            .fetch_add(c.boxed_clamps, Ordering::Relaxed);
+    }
+
+    /// Read the current totals.
+    pub fn snapshot(&self) -> KernelCounters {
+        KernelCounters {
+            subproblems: self.subproblems.load(Ordering::Relaxed),
+            breakpoints_scanned: self.breakpoints_scanned.load(Ordering::Relaxed),
+            quickselect_pivots: self.quickselect_pivots.load(Ordering::Relaxed),
+            boxed_clamps: self.boxed_clamps.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// Per-thread scratch: gather buffers for structural-zero subproblems plus
 /// the kernel's own workspace. Reused across every subproblem a thread
@@ -87,9 +138,11 @@ fn solve_task(
                         })
                     }
                     TotalMode::Fixed { .. } => Ok((0.0, 0.0)),
-                    TotalMode::Elastic { alpha, prior, cross } => {
-                        Ok((2.0 * alpha * prior - cross, 0.0))
-                    }
+                    TotalMode::Elastic {
+                        alpha,
+                        prior,
+                        cross,
+                    } => Ok((2.0 * alpha * prior - cross, 0.0)),
                 };
             }
             scratch.q.clear();
@@ -135,10 +188,13 @@ fn solve_task(
 /// and `totals_out` receive, per subproblem, the constraint multiplier and
 /// the realized total; `x` (same orientation as `inp.prior`) receives the
 /// primal iterate. When `costs` is provided it is filled with per-task
-/// wall-clock seconds for the scheduling simulator.
+/// wall-clock seconds for the scheduling simulator. When `counters` is
+/// provided the kernels' work counters are accumulated into it (pass `None`
+/// when nothing is observing; the flush is skipped entirely).
 ///
 /// # Errors
 /// Propagates the first subproblem failure (infeasibility, invalid data).
+#[allow(clippy::too_many_arguments)] // pass = inputs + three outputs + mode + two optional sinks
 pub fn equilibration_pass(
     inp: &PassInputs<'_>,
     modes: &(dyn Fn(usize) -> TotalMode + Sync),
@@ -147,6 +203,7 @@ pub fn equilibration_pass(
     x: &mut DenseMatrix,
     par: Parallelism,
     mut costs: Option<&mut Vec<f64>>,
+    counters: Option<&PassCounters>,
 ) -> Result<(), SeaError> {
     let m = inp.prior.rows();
     debug_assert_eq!(lambda.len(), m);
@@ -167,19 +224,24 @@ pub fn equilibration_pass(
     };
 
     match par {
-        Parallelism::Serial => {
-            let mut scratch = TaskScratch::new();
+        Parallelism::Serial => SERIAL_SCRATCH.with_borrow_mut(|scratch| {
+            // The scratch outlives any one pass; drop counts a previous
+            // (possibly aborted) pass left behind before accumulating.
+            scratch.eq.stats = KernelCounters::default();
             for i in 0..m {
                 let t0 = timing.then(Instant::now);
-                let (l, s) = solve_task(inp, i, modes(i), x.row_mut(i), &mut scratch)?;
+                let (l, s) = solve_task(inp, i, modes(i), x.row_mut(i), scratch)?;
                 lambda[i] = l;
                 totals_out[i] = s;
                 if let Some(t0) = t0 {
                     cost_slice[i] = t0.elapsed().as_secs_f64();
                 }
             }
+            if let Some(c) = counters {
+                c.add(&scratch.eq.stats);
+            }
             Ok(())
-        }
+        }),
         Parallelism::Rayon | Parallelism::RayonThreads(_) => {
             // `RayonThreads` pools are installed by the solver around the
             // whole solve; here both variants fan out on the current pool.
@@ -196,6 +258,10 @@ pub fn equilibration_pass(
                         *l = lv;
                         *s = sv;
                         *c = t0.elapsed().as_secs_f64();
+                        if let Some(acc) = counters {
+                            acc.add(&scratch.eq.stats);
+                            scratch.eq.stats = KernelCounters::default();
+                        }
                         Ok(())
                     })
             } else {
@@ -208,6 +274,10 @@ pub fn equilibration_pass(
                         let (lv, sv) = solve_task(inp, i, modes(i), xr, scratch)?;
                         *l = lv;
                         *s = sv;
+                        if let Some(acc) = counters {
+                            acc.add(&scratch.eq.stats);
+                            scratch.eq.stats = KernelCounters::default();
+                        }
                         Ok(())
                     })
             }
@@ -249,6 +319,7 @@ mod tests {
             &mut x,
             Parallelism::Serial,
             None,
+            None,
         )
         .unwrap();
         let sums = x.row_sums();
@@ -285,6 +356,7 @@ mod tests {
                 &mut x,
                 par,
                 None,
+                None,
             )
             .unwrap();
             (lambda, totals, x)
@@ -320,6 +392,7 @@ mod tests {
             &mut x,
             Parallelism::Serial,
             None,
+            None,
         )
         .unwrap();
         assert_eq!(x.get(1, 1), 0.0, "structural zero must stay zero");
@@ -350,6 +423,7 @@ mod tests {
             &mut totals,
             &mut x,
             Parallelism::Serial,
+            None,
             None,
         );
         assert!(matches!(
@@ -385,9 +459,45 @@ mod tests {
             &mut x,
             Parallelism::Serial,
             Some(&mut costs),
+            None,
         )
         .unwrap();
         assert_eq!(costs.len(), 2);
         assert!(costs.iter().all(|&c| c >= 0.0));
+    }
+
+    #[test]
+    fn pass_counters_collect_from_every_worker() {
+        let (x0, gamma) = setup();
+        let shift = vec![0.0; 3];
+        let inp = PassInputs {
+            prior: &x0,
+            gamma: &gamma,
+            support: None,
+            shift: &shift,
+            side: "row",
+            kernel: KernelKind::SortScan,
+        };
+        for par in [Parallelism::Serial, Parallelism::Rayon] {
+            let counters = PassCounters::default();
+            let mut lambda = vec![0.0; 2];
+            let mut totals = vec![0.0; 2];
+            let mut x = DenseMatrix::zeros(2, 3).unwrap();
+            equilibration_pass(
+                &inp,
+                &|_| TotalMode::Fixed { total: 5.0 },
+                &mut lambda,
+                &mut totals,
+                &mut x,
+                par,
+                None,
+                Some(&counters),
+            )
+            .unwrap();
+            let snap = counters.snapshot();
+            assert_eq!(snap.subproblems, 2, "par={par:?}");
+            assert!(snap.breakpoints_scanned >= 2);
+            assert_eq!(snap.quickselect_pivots, 0);
+        }
     }
 }

@@ -12,9 +12,10 @@
 
 use crate::error::SeaError;
 use crate::problem::{DiagonalProblem, Residuals, TotalSpec, ZeroPolicy};
-use crate::solver::{solve_diagonal, SeaOptions};
+use crate::solver::{solve_diagonal_observed, SeaOptions};
 use crate::trace::{ExecutionTrace, PhaseKind};
 use sea_linalg::{DenseMatrix, SymMatrix};
+use sea_observe::{Event, NullObserver, Observer, PhaseLabel};
 use std::time::{Duration, Instant};
 
 /// Total specification for the general problem.
@@ -65,11 +66,7 @@ impl GeneralProblem {
     ///   not strictly positive (the diagonalization step divides by them).
     /// * [`SeaError::InconsistentTotals`] for inconsistent fixed totals.
     /// * [`SeaError::NotSquareSam`] for a non-square balanced problem.
-    pub fn new(
-        x0: DenseMatrix,
-        g: SymMatrix,
-        totals: GeneralTotalSpec,
-    ) -> Result<Self, SeaError> {
+    pub fn new(x0: DenseMatrix, g: SymMatrix, totals: GeneralTotalSpec) -> Result<Self, SeaError> {
         let (m, n) = (x0.rows(), x0.cols());
         if g.order() != m * n {
             return Err(SeaError::Shape {
@@ -350,8 +347,39 @@ pub fn solve_general(
     p: &GeneralProblem,
     opts: &GeneralSeaOptions,
 ) -> Result<GeneralSolution, SeaError> {
+    solve_general_observed(p, opts, &mut NullObserver)
+}
+
+/// [`solve_general`] with an event sink (see
+/// [`solve_diagonal_observed`]).
+///
+/// The outer loop emits its own `SolveStart`/`SolveEnd` pair plus one
+/// `Projection` phase and one `OuterIteration` event per projection step;
+/// the nested diagonal solves emit their full event stream in between, so a
+/// log of a general solve contains interleaved solver lifecycles.
+///
+/// # Errors
+/// Same contract as [`solve_general`].
+pub fn solve_general_observed<O: Observer + Send>(
+    p: &GeneralProblem,
+    opts: &GeneralSeaOptions,
+    obs: &mut O,
+) -> Result<GeneralSolution, SeaError> {
     let start = Instant::now();
     let (m, n) = (p.m(), p.n());
+    let observing = obs.enabled();
+    if observing {
+        obs.record(&Event::SolveStart {
+            solver: "general",
+            rows: m,
+            cols: n,
+            kernel: opts.inner.kernel.name(),
+            parallelism: opts.inner.parallelism.label(),
+            // The outer loop always checks max |Δx| across a projection
+            // step; the inner solves report their own criterion.
+            criterion: "max_abs_change",
+        });
+    }
     let mn = m * n;
     let g_diag = p.g().diagonal();
     let gamma = DenseMatrix::from_vec(m, n, g_diag.iter().map(|&v| 0.5 * v).collect())?;
@@ -374,6 +402,16 @@ pub fn solve_general(
         outer_iterations = t;
 
         // ---- Projection step: freeze off-diagonal coupling (eq. 79). ----
+        // The dense mat-vec parallelizes over rows of G; a real scheduler
+        // hands out coarse chunks, so the phase is reported as up to 256
+        // equal chunks rather than mn micro-tasks.
+        let chunks = mn.min(256);
+        if observing {
+            obs.record(&Event::PhaseStart {
+                label: PhaseLabel::Projection,
+                tasks: chunks,
+            });
+        }
         let proj_t0 = Instant::now();
         let q_flat = diagonalized_prior(
             p.g(),
@@ -413,19 +451,23 @@ pub fn solve_general(
         };
         let proj_secs = proj_t0.elapsed().as_secs_f64();
         if let Some(tr) = trace.as_mut() {
-            // The dense mat-vec parallelizes over rows of G; a real
-            // scheduler hands out coarse chunks, so record the phase as up
-            // to 256 equal chunks rather than mn micro-tasks.
-            let chunks = mn.min(256);
             tr.push(
                 PhaseKind::Projection,
                 vec![proj_secs / chunks as f64; chunks],
             );
         }
+        if observing {
+            obs.record(&Event::PhaseEnd {
+                label: PhaseLabel::Projection,
+                tasks: chunks,
+                seconds: proj_secs,
+                task_seconds: vec![proj_secs / chunks as f64; chunks],
+            });
+        }
 
         // ---- Inner diagonal SEA solve. -----------------------------------
         let sub = DiagonalProblem::with_signed_prior(q, gamma.clone(), spec, ZeroPolicy::Free)?;
-        let sol = solve_diagonal(&sub, &inner_opts)?;
+        let sol = solve_diagonal_observed(&sub, &inner_opts, &mut *obs)?;
         if opts.warm_start_inner {
             inner_opts.initial_mu = Some(sol.mu.clone());
         }
@@ -441,6 +483,13 @@ pub fn solve_general(
         x = sol.x;
         s = sol.s;
         d = sol.d;
+        if observing {
+            obs.record(&Event::OuterIteration {
+                iteration: t,
+                inner_iterations: sol.stats.iterations,
+                outer_residual,
+            });
+        }
         if outer_residual <= opts.outer_epsilon {
             converged = true;
             break;
@@ -474,6 +523,17 @@ pub fn solve_general(
     };
     let objective = p.objective(&x, &s, &d);
 
+    if observing {
+        obs.record(&Event::SolveEnd {
+            iterations: outer_iterations,
+            converged,
+            residual: outer_residual,
+            objective,
+            dual_value: None,
+            seconds: start.elapsed().as_secs_f64(),
+        });
+    }
+
     Ok(GeneralSolution {
         x,
         s,
@@ -492,6 +552,7 @@ pub fn solve_general(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::solver::solve_diagonal;
 
     /// Strictly diagonally dominant SPD matrix with negative off-diagonals,
     /// as the paper's §5.1.1 generator prescribes.
@@ -652,6 +713,72 @@ mod tests {
         assert!(a.x.max_abs_diff(&b.x) < 1e-7);
         // Warm starting can only reduce the total inner work.
         assert!(a.inner_iterations <= b.inner_iterations);
+    }
+
+    #[test]
+    fn observer_interleaves_outer_and_inner_lifecycles() {
+        let x0 = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let g = dd_matrix(4, 10.0, 1.0);
+        let p = GeneralProblem::new(
+            x0,
+            g,
+            GeneralTotalSpec::Fixed {
+                s0: vec![4.0, 6.0],
+                d0: vec![5.0, 5.0],
+            },
+        )
+        .unwrap();
+        let mut obs = sea_observe::VecObserver::new();
+        let sol =
+            solve_general_observed(&p, &GeneralSeaOptions::with_epsilon(1e-9), &mut obs).unwrap();
+        let events = &obs.events;
+        assert!(matches!(
+            events.first(),
+            Some(Event::SolveStart {
+                solver: "general",
+                ..
+            })
+        ));
+        let outer_events = events
+            .iter()
+            .filter(|e| matches!(e, Event::OuterIteration { .. }))
+            .count();
+        assert_eq!(outer_events, sol.outer_iterations);
+        let proj_starts = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    Event::PhaseStart {
+                        label: PhaseLabel::Projection,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(proj_starts, sol.outer_iterations);
+        // One nested diagonal lifecycle per outer iteration.
+        let inner_starts = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    Event::SolveStart {
+                        solver: "diagonal",
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(inner_starts, sol.outer_iterations);
+        // The outermost SolveEnd reports outer iterations with no dual.
+        assert!(matches!(
+            events.last(),
+            Some(Event::SolveEnd {
+                dual_value: None,
+                ..
+            })
+        ));
     }
 
     #[test]

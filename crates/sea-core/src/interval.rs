@@ -13,6 +13,7 @@ use crate::knapsack::{
 };
 use crate::problem::Residuals;
 use sea_linalg::DenseMatrix;
+use sea_observe::{Event, NullObserver, Observer, PhaseLabel};
 use std::time::{Duration, Instant};
 
 /// A fixed-totals diagonal problem with entry bounds.
@@ -92,7 +93,10 @@ impl BoundedProblem {
             let l: f64 = lo.row(i).iter().sum();
             let h: f64 = hi.row(i).iter().sum();
             if s0[i] < l - 1e-9 || s0[i] > h + 1e-9 {
-                return Err(SeaError::InfeasibleSubproblem { side: "row", index: i });
+                return Err(SeaError::InfeasibleSubproblem {
+                    side: "row",
+                    index: i,
+                });
             }
         }
         let lo_t = lo.transposed();
@@ -181,23 +185,62 @@ pub fn solve_bounded_with(
     max_iterations: usize,
     kernel: KernelKind,
 ) -> Result<BoundedSolution, SeaError> {
+    solve_bounded_observed(p, epsilon, max_iterations, kernel, &mut NullObserver)
+}
+
+/// [`solve_bounded_with`] with an event sink (see
+/// [`crate::solver::solve_diagonal_observed`]).
+///
+/// The bounded driver is serial, so phase events carry empty `task_seconds`
+/// (consumers fall back to the phase total) and kernel counters are read
+/// straight from the single scratch workspace.
+///
+/// # Errors
+/// Same contract as [`solve_bounded`].
+pub fn solve_bounded_observed<O: Observer>(
+    p: &BoundedProblem,
+    epsilon: f64,
+    max_iterations: usize,
+    kernel: KernelKind,
+    obs: &mut O,
+) -> Result<BoundedSolution, SeaError> {
     let start = Instant::now();
     let (m, n) = (p.m(), p.n());
     let x0_t = p.x0.transposed();
     let gamma_t = p.gamma.transposed();
     let lo_t = p.lo.transposed();
     let hi_t = p.hi.transposed();
+    let observing = obs.enabled();
+    if observing {
+        obs.record(&Event::SolveStart {
+            solver: "bounded",
+            rows: m,
+            cols: n,
+            kernel: kernel.name(),
+            parallelism: "serial".to_string(),
+            criterion: "relative_row_balance",
+        });
+    }
 
     let mut lambda = vec![0.0; m];
     let mut mu = vec![0.0; n];
     let mut x = DenseMatrix::zeros(m, n)?;
     let mut x_t = DenseMatrix::zeros(n, m)?;
     let mut scratch = EquilibrationScratch::new();
+    let mut row_sums_buf = vec![0.0; m];
 
     let mut iterations = 0;
     let mut converged = false;
+    let mut rel = f64::INFINITY;
     for t in 1..=max_iterations.max(1) {
         iterations = t;
+        if observing {
+            obs.record(&Event::PhaseStart {
+                label: PhaseLabel::RowEquilibration,
+                tasks: m,
+            });
+        }
+        let phase_t0 = observing.then(Instant::now);
         for i in 0..m {
             let r = exact_equilibration_boxed_with(
                 kernel,
@@ -212,6 +255,19 @@ pub fn solve_bounded_with(
             )?;
             lambda[i] = r.lambda;
         }
+        if let Some(t0) = phase_t0 {
+            obs.record(&Event::PhaseEnd {
+                label: PhaseLabel::RowEquilibration,
+                tasks: m,
+                seconds: t0.elapsed().as_secs_f64(),
+                task_seconds: Vec::new(),
+            });
+            obs.record(&Event::PhaseStart {
+                label: PhaseLabel::ColumnEquilibration,
+                tasks: n,
+            });
+        }
+        let phase_t0 = observing.then(Instant::now);
         for j in 0..n {
             let r = exact_equilibration_boxed_with(
                 kernel,
@@ -226,13 +282,41 @@ pub fn solve_bounded_with(
             )?;
             mu[j] = r.lambda;
         }
+        if let Some(t0) = phase_t0 {
+            obs.record(&Event::PhaseEnd {
+                label: PhaseLabel::ColumnEquilibration,
+                tasks: n,
+                seconds: t0.elapsed().as_secs_f64(),
+                task_seconds: Vec::new(),
+            });
+            obs.record(&Event::PhaseStart {
+                label: PhaseLabel::ConvergenceCheck,
+                tasks: 1,
+            });
+        }
         // Relative row balance after the column pass.
-        let row_sums = x_t.col_sums();
-        let rel = row_sums
+        let check_t0 = Instant::now();
+        x_t.col_sums_into(&mut row_sums_buf);
+        rel = row_sums_buf
             .iter()
             .zip(&p.s0)
             .map(|(r, s)| (r - s).abs() / s.abs().max(1e-12))
             .fold(0.0_f64, f64::max);
+        if observing {
+            let check_secs = check_t0.elapsed().as_secs_f64();
+            obs.record(&Event::PhaseEnd {
+                label: PhaseLabel::ConvergenceCheck,
+                tasks: 1,
+                seconds: check_secs,
+                task_seconds: vec![check_secs],
+            });
+            obs.record(&Event::ConvergenceCheck {
+                iteration: t,
+                residual: rel,
+                dual_value: None,
+                criterion: "relative_row_balance",
+            });
+        }
         if rel <= epsilon {
             converged = true;
             break;
@@ -257,6 +341,22 @@ pub fn solve_bounded_with(
     }
     residuals.norm2 = sq.sqrt();
     let objective = p.objective(&x_final);
+
+    if observing {
+        if !scratch.stats.is_empty() {
+            obs.record(&Event::KernelCounters {
+                counters: scratch.stats,
+            });
+        }
+        obs.record(&Event::SolveEnd {
+            iterations,
+            converged,
+            residual: rel,
+            objective,
+            dual_value: None,
+            seconds: start.elapsed().as_secs_f64(),
+        });
+    }
 
     Ok(BoundedSolution {
         x: x_final,
@@ -319,11 +419,9 @@ mod tests {
             },
         )
         .unwrap();
-        let free = crate::solver::solve_diagonal(
-            &dp,
-            &crate::solver::SeaOptions::with_epsilon(1e-12),
-        )
-        .unwrap();
+        let free =
+            crate::solver::solve_diagonal(&dp, &crate::solver::SeaOptions::with_epsilon(1e-12))
+                .unwrap();
         assert!(bounded.x.max_abs_diff(&free.x) < 1e-6);
     }
 
@@ -344,6 +442,37 @@ mod tests {
     }
 
     #[test]
+    fn bounded_observer_reports_clamps() {
+        let p = problem();
+        let mut obs = sea_observe::VecObserver::new();
+        let sol =
+            solve_bounded_observed(&p, 1e-10, 10_000, KernelKind::SortScan, &mut obs).unwrap();
+        assert!(sol.converged);
+        assert!(matches!(
+            obs.events.first(),
+            Some(Event::SolveStart {
+                solver: "bounded",
+                ..
+            })
+        ));
+        let checks = obs
+            .events
+            .iter()
+            .filter(|e| matches!(e, Event::ConvergenceCheck { .. }))
+            .count();
+        assert_eq!(checks, sol.iterations);
+        let counters = obs
+            .events
+            .iter()
+            .find_map(|e| match e {
+                Event::KernelCounters { counters } => Some(*counters),
+                _ => None,
+            })
+            .expect("kernel counters event missing");
+        assert_eq!(counters.subproblems, (4 * sol.iterations) as u64);
+    }
+
+    #[test]
     fn validation_rejects_infeasible_margins() {
         let x0 = DenseMatrix::filled(2, 2, 1.0).unwrap();
         let gamma = DenseMatrix::filled(2, 2, 1.0).unwrap();
@@ -352,7 +481,10 @@ mod tests {
         // Row 0 total 3.0 exceeds Σ hi = 2.
         assert!(matches!(
             BoundedProblem::new(x0, gamma, lo, hi, vec![3.0, 1.0], vec![2.0, 2.0]),
-            Err(SeaError::InfeasibleSubproblem { side: "row", index: 0 })
+            Err(SeaError::InfeasibleSubproblem {
+                side: "row",
+                index: 0
+            })
         ));
     }
 

@@ -34,6 +34,7 @@
 
 use crate::error::SeaError;
 use sea_linalg::sort;
+use sea_observe::KernelCounters;
 
 /// How the subproblem's total is specified.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -134,6 +135,12 @@ pub struct EquilibrationScratch {
     events_hi: Vec<f64>,
     /// Breakpoint events for the quickselect kernel (plain and boxed).
     events: Vec<SelectEvent>,
+    /// Cumulative work counters across every solve that used this scratch
+    /// (subproblems, breakpoint segments swept, quickselect partition
+    /// rounds, boxed-bound clamps). Maintained unconditionally — a handful
+    /// of integer adds per solve — and harvested by the observability
+    /// layer; reset by assigning `KernelCounters::default()`.
+    pub stats: KernelCounters,
 }
 
 impl EquilibrationScratch {
@@ -173,12 +180,7 @@ pub fn operation_count_for(kernel: KernelKind, n: usize) -> f64 {
 }
 
 #[inline]
-fn validate_inputs(
-    q: &[f64],
-    gamma: &[f64],
-    shift: &[f64],
-    x_out: &[f64],
-) -> Result<(), SeaError> {
+fn validate_inputs(q: &[f64], gamma: &[f64], shift: &[f64], x_out: &[f64]) -> Result<(), SeaError> {
     let n = q.len();
     if gamma.len() != n {
         return Err(SeaError::Shape {
@@ -265,6 +267,7 @@ pub fn exact_equilibration_with(
 ) -> Result<EquilibrationResult, SeaError> {
     validate_inputs(q, gamma, shift, x_out)?;
     let n = q.len();
+    scratch.stats.subproblems += 1;
 
     if let TotalMode::Elastic { alpha, .. } = mode {
         if !(alpha > 0.0) {
@@ -287,7 +290,11 @@ pub fn exact_equilibration_with(
                 total: 0.0,
                 active: 0,
             }),
-            TotalMode::Elastic { alpha, prior, cross } => {
+            TotalMode::Elastic {
+                alpha,
+                prior,
+                cross,
+            } => {
                 // Only the elastic total remains: s = prior − (λ+cross)/(2α)
                 // with s = Σx = 0 ⇒ λ = 2α·prior − cross.
                 Ok(EquilibrationResult {
@@ -325,7 +332,11 @@ pub fn exact_equilibration_with(
 
     let total = match mode {
         TotalMode::Fixed { total } => total,
-        TotalMode::Elastic { alpha, prior, cross } => prior - (lambda + cross) / (2.0 * alpha),
+        TotalMode::Elastic {
+            alpha,
+            prior,
+            cross,
+        } => prior - (lambda + cross) / (2.0 * alpha),
     };
 
     // Absorb the residual rounding error into the largest entries so the
@@ -355,9 +366,11 @@ pub fn exact_equilibration_with(
 fn elastic_constants(mode: TotalMode) -> (f64, f64) {
     match mode {
         TotalMode::Fixed { .. } => (0.0, 0.0),
-        TotalMode::Elastic { alpha, prior, cross } => {
-            (1.0 / (2.0 * alpha), prior - cross / (2.0 * alpha))
-        }
+        TotalMode::Elastic {
+            alpha,
+            prior,
+            cross,
+        } => (1.0 / (2.0 * alpha), prior - cross / (2.0 * alpha)),
     }
 }
 
@@ -377,9 +390,7 @@ fn plain_lambda_sort_scan(
     scratch.prepare(n);
     for j in 0..n {
         debug_assert!(gamma[j] > 0.0, "gamma must be strictly positive");
-        scratch
-            .breakpoints
-            .push(-2.0 * gamma[j] * q[j] - shift[j]);
+        scratch.breakpoints.push(-2.0 * gamma[j] * q[j] - shift[j]);
     }
     scratch.order.resize(n, 0);
     sort::identity_permutation(&mut scratch.order);
@@ -392,7 +403,9 @@ fn plain_lambda_sort_scan(
     let (el_slope, el_const) = elastic_constants(mode);
 
     let mut lambda = f64::NAN;
+    let mut swept = 0u64;
     for r in 0..=n {
+        swept += 1;
         let upper = if r < n {
             scratch.breakpoints[scratch.order[r] as usize]
         } else {
@@ -428,6 +441,7 @@ fn plain_lambda_sort_scan(
             b += inv2g;
         }
     }
+    scratch.stats.breakpoints_scanned += swept;
     lambda
 }
 
@@ -452,8 +466,14 @@ fn plain_lambda_quickselect(
             db: inv2g,
         });
     }
-    select_lambda(&mut scratch.events, 0.0, mode, FlatPolicy::NonnegativePrefix)
-        .unwrap_or(f64::NAN)
+    select_lambda(
+        &mut scratch.events,
+        0.0,
+        mode,
+        FlatPolicy::NonnegativePrefix,
+        &mut scratch.stats.quickselect_pivots,
+    )
+    .unwrap_or(f64::NAN)
 }
 
 /// How a flat (zero-slope) terminal segment is resolved in fixed mode.
@@ -500,6 +520,7 @@ fn select_lambda(
     base_a: f64,
     mode: TotalMode,
     flat: FlatPolicy,
+    pivots: &mut u64,
 ) -> Option<f64> {
     let (el_slope, el_const) = elastic_constants(mode);
     let (mut lo, mut hi) = (0usize, events.len());
@@ -515,11 +536,8 @@ fn select_lambda(
     let mut seg_lo = f64::NEG_INFINITY;
 
     while lo < hi {
-        let p = median3(
-            events[lo].v,
-            events[lo + (hi - lo) / 2].v,
-            events[hi - 1].v,
-        );
+        *pivots += 1;
+        let p = median3(events[lo].v, events[lo + (hi - lo) / 2].v, events[hi - 1].v);
         // Three-way partition of the window around p:
         // [lo..lt) < p, [lt..gt) == p, [gt..hi) > p.
         let (mut lt, mut cur, mut gt) = (lo, lo, hi);
@@ -646,6 +664,7 @@ pub fn exact_equilibration_boxed_with(
 ) -> Result<EquilibrationResult, SeaError> {
     validate_inputs(q, gamma, shift, x_out)?;
     let n = q.len();
+    scratch.stats.subproblems += 1;
     if lo.len() != n || hi.len() != n {
         return Err(SeaError::Shape {
             context: "exact_equilibration_boxed bounds",
@@ -708,9 +727,14 @@ pub fn exact_equilibration_boxed_with(
     }
     let total = match mode {
         TotalMode::Fixed { total } => total,
-        TotalMode::Elastic { alpha, prior, cross } => prior - (lambda + cross) / (2.0 * alpha),
+        TotalMode::Elastic {
+            alpha,
+            prior,
+            cross,
+        } => prior - (lambda + cross) / (2.0 * alpha),
     };
     let _ = sum;
+    scratch.stats.boxed_clamps += (n - active) as u64;
 
     Ok(EquilibrationResult {
         lambda,
@@ -764,7 +788,9 @@ fn boxed_lambda_sort_scan(
     // residue (all entries pinned at bounds), the division can otherwise
     // fling λ far outside the segment that actually contains the root.
     let mut seg_lo = f64::NEG_INFINITY;
+    let mut swept = 0u64;
     for r in 0..=(2 * n) {
+        swept += 1;
         let upper = if r < 2 * n {
             scratch.events_hi[scratch.order[r] as usize]
         } else {
@@ -805,6 +831,7 @@ fn boxed_lambda_sort_scan(
             seg_lo = upper;
         }
     }
+    scratch.stats.breakpoints_scanned += swept;
     lambda
 }
 
@@ -840,8 +867,14 @@ fn boxed_lambda_quickselect(
             db: -inv2g,
         });
     }
-    select_lambda(&mut scratch.events, sum_lo, mode, FlatPolicy::BoundedMatch)
-        .unwrap_or(f64::NAN)
+    select_lambda(
+        &mut scratch.events,
+        sum_lo,
+        mode,
+        FlatPolicy::BoundedMatch,
+        &mut scratch.stats.quickselect_pivots,
+    )
+    .unwrap_or(f64::NAN)
 }
 
 #[cfg(test)]
@@ -865,9 +898,11 @@ mod tests {
                 .sum();
             match mode {
                 TotalMode::Fixed { total } => s - total,
-                TotalMode::Elastic { alpha, prior, cross } => {
-                    s - (prior - (lam + cross) / (2.0 * alpha))
-                }
+                TotalMode::Elastic {
+                    alpha,
+                    prior,
+                    cross,
+                } => s - (prior - (lam + cross) / (2.0 * alpha)),
             }
         };
         let (mut lo, mut hi) = (-1e9, 1e9);
@@ -889,14 +924,7 @@ mod tests {
         (lam, x)
     }
 
-    fn check_kkt(
-        q: &[f64],
-        gamma: &[f64],
-        shift: &[f64],
-        x: &[f64],
-        lambda: f64,
-        tol: f64,
-    ) {
+    fn check_kkt(q: &[f64], gamma: &[f64], shift: &[f64], x: &[f64], lambda: f64, tol: f64) {
         for j in 0..q.len() {
             let grad = 2.0 * gamma[j] * (x[j] - q[j]) - shift[j] - lambda;
             if x[j] > tol {
@@ -905,7 +933,10 @@ mod tests {
                     "stationarity violated at {j}: grad={grad}"
                 );
             } else {
-                assert!(grad >= -tol * (1.0 + gamma[j].abs()), "sign violated at {j}");
+                assert!(
+                    grad >= -tol * (1.0 + gamma[j].abs()),
+                    "sign violated at {j}"
+                );
             }
         }
     }
@@ -1162,12 +1193,9 @@ mod tests {
         let mut x_box = [0.0; 3];
         let mut sc = EquilibrationScratch::new();
         let mode = TotalMode::Fixed { total: 7.0 };
-        let r1 =
-            exact_equilibration(&q, &gamma, &shift, mode, &mut x_plain, &mut sc).unwrap();
-        let r2 = exact_equilibration_boxed(
-            &q, &gamma, &shift, &lo, &hi, mode, &mut x_box, &mut sc,
-        )
-        .unwrap();
+        let r1 = exact_equilibration(&q, &gamma, &shift, mode, &mut x_plain, &mut sc).unwrap();
+        let r2 = exact_equilibration_boxed(&q, &gamma, &shift, &lo, &hi, mode, &mut x_box, &mut sc)
+            .unwrap();
         assert!((r1.lambda - r2.lambda).abs() < 1e-9);
         for j in 0..3 {
             assert!((x_plain[j] - x_box[j]).abs() < 1e-9);
@@ -1224,10 +1252,9 @@ mod tests {
         let r1 = exact_equilibration(&q, &gamma, &shift, mode, &mut x_plain, &mut sc).unwrap();
         let lo = [0.0; 3];
         let hi = [1e9; 3];
-        let r2 = exact_equilibration_boxed(
-            &q, &gamma, &shift, &lo, &hi, mode, &mut x_boxed, &mut sc,
-        )
-        .unwrap();
+        let r2 =
+            exact_equilibration_boxed(&q, &gamma, &shift, &lo, &hi, mode, &mut x_boxed, &mut sc)
+                .unwrap();
         assert!((r1.lambda - r2.lambda).abs() < 1e-9);
         assert!((r1.total - r2.total).abs() < 1e-9);
         for k in 0..3 {
@@ -1253,11 +1280,69 @@ mod tests {
     }
 
     #[test]
+    fn scratch_counters_accumulate_per_kernel() {
+        let q = [1.0, 2.0, 3.0, 4.0];
+        let gamma = [1.0; 4];
+        let shift = [0.0; 4];
+        let mut x = [0.0; 4];
+        let mode = TotalMode::Fixed { total: 12.0 };
+
+        let mut sc = EquilibrationScratch::new();
+        exact_equilibration_with(
+            KernelKind::SortScan,
+            &q,
+            &gamma,
+            &shift,
+            mode,
+            &mut x,
+            &mut sc,
+        )
+        .unwrap();
+        assert_eq!(sc.stats.subproblems, 1);
+        assert!(sc.stats.breakpoints_scanned >= 1);
+        assert_eq!(sc.stats.quickselect_pivots, 0);
+
+        exact_equilibration_with(
+            KernelKind::Quickselect,
+            &q,
+            &gamma,
+            &shift,
+            mode,
+            &mut x,
+            &mut sc,
+        )
+        .unwrap();
+        assert_eq!(sc.stats.subproblems, 2);
+        assert!(sc.stats.quickselect_pivots >= 1);
+
+        // Boxed solve records clamps for every entry pinned at a bound.
+        let lo = [0.0; 4];
+        let hi = [2.0; 4];
+        exact_equilibration_boxed_with(
+            KernelKind::SortScan,
+            &q,
+            &gamma,
+            &shift,
+            &lo,
+            &hi,
+            TotalMode::Fixed { total: 8.0 },
+            &mut x,
+            &mut sc,
+        )
+        .unwrap();
+        assert_eq!(sc.stats.subproblems, 3);
+        assert!(sc.stats.boxed_clamps >= 1);
+
+        // Reset is a plain assignment.
+        sc.stats = sea_observe::KernelCounters::default();
+        assert!(sc.stats.is_empty());
+    }
+
+    #[test]
     fn quickselect_cost_model_is_linear() {
         let per_entry = operation_count_for(KernelKind::Quickselect, 1000) / 1000.0;
         assert!(
-            (operation_count_for(KernelKind::Quickselect, 4000) / 4000.0 - per_entry).abs()
-                < 1e-9
+            (operation_count_for(KernelKind::Quickselect, 4000) / 4000.0 - per_entry).abs() < 1e-9
         );
         // The sort-scan model keeps its n log n term.
         assert!(
@@ -1272,7 +1357,10 @@ mod tests {
         gamma: &[f64],
         shift: &[f64],
         mode: TotalMode,
-    ) -> ((EquilibrationResult, Vec<f64>), (EquilibrationResult, Vec<f64>)) {
+    ) -> (
+        (EquilibrationResult, Vec<f64>),
+        (EquilibrationResult, Vec<f64>),
+    ) {
         let n = q.len();
         let mut sc = EquilibrationScratch::new();
         let mut x_sort = vec![0.0; n];
@@ -1309,7 +1397,10 @@ mod tests {
         lo: &[f64],
         hi: &[f64],
         mode: TotalMode,
-    ) -> ((EquilibrationResult, Vec<f64>), (EquilibrationResult, Vec<f64>)) {
+    ) -> (
+        (EquilibrationResult, Vec<f64>),
+        (EquilibrationResult, Vec<f64>),
+    ) {
         let n = q.len();
         let mut sc = EquilibrationScratch::new();
         let mut x_sort = vec![0.0; n];
@@ -1350,7 +1441,11 @@ mod tests {
         assert!((r1.lambda - r2.lambda).abs() < 1e-12);
         assert!((x1[0] - 5.0).abs() < 1e-12);
 
-        let mode = TotalMode::Elastic { alpha: 0.5, prior: 4.0, cross: 0.0 };
+        let mode = TotalMode::Elastic {
+            alpha: 0.5,
+            prior: 4.0,
+            cross: 0.0,
+        };
         let ((r1, x1), (r2, x2)) = both_plain(&[0.0], &[0.5], &[0.0], mode);
         assert_eq!(x1, x2);
         assert!((r1.lambda - 2.0).abs() < 1e-12);
@@ -1365,8 +1460,7 @@ mod tests {
         let gamma = [1.0; 6];
         let shift = [0.0; 6];
         for total in [0.0, 3.0, 12.0, 24.0] {
-            let ((r1, x1), (r2, x2)) =
-                both_plain(&q, &gamma, &shift, TotalMode::Fixed { total });
+            let ((r1, x1), (r2, x2)) = both_plain(&q, &gamma, &shift, TotalMode::Fixed { total });
             for j in 0..6 {
                 assert!(
                     (x1[j] - x2[j]).abs() <= 1e-10 * (1.0 + x1[j].abs()),
@@ -1389,8 +1483,7 @@ mod tests {
         let q = [1.0, 2.0, 4.0];
         let gamma = [0.5, 2.0, 1.0];
         let shift = [0.3, -0.7, 0.1];
-        let ((r1, x1), (r2, x2)) =
-            both_plain(&q, &gamma, &shift, TotalMode::Fixed { total: 0.0 });
+        let ((r1, x1), (r2, x2)) = both_plain(&q, &gamma, &shift, TotalMode::Fixed { total: 0.0 });
         assert_eq!(x1, vec![0.0; 3]);
         assert_eq!(x2, vec![0.0; 3]);
         check_kkt(&q, &gamma, &shift, &x1, r1.lambda, 1e-9);
@@ -1405,8 +1498,7 @@ mod tests {
         let gamma = [1e-5, 1e5, 1.0, 1e-5];
         let shift = [0.0, 1.0, -1.0, 0.5];
         for total in [1.0, 10.0, 50.0] {
-            let ((r1, x1), (r2, x2)) =
-                both_plain(&q, &gamma, &shift, TotalMode::Fixed { total });
+            let ((r1, x1), (r2, x2)) = both_plain(&q, &gamma, &shift, TotalMode::Fixed { total });
             assert!(
                 (r1.lambda - r2.lambda).abs() <= 1e-10 * (1.0 + r1.lambda.abs()),
                 "λ {} vs {}",
@@ -1456,8 +1548,14 @@ mod tests {
         let shift = [0.0; 3];
         let lo = [1.5, 0.0, 2.0];
         let hi = [1.5, 4.0, 2.0];
-        let ((_, x1), (r2, x2)) =
-            both_boxed(&q, &gamma, &shift, &lo, &hi, TotalMode::Fixed { total: 6.0 });
+        let ((_, x1), (r2, x2)) = both_boxed(
+            &q,
+            &gamma,
+            &shift,
+            &lo,
+            &hi,
+            TotalMode::Fixed { total: 6.0 },
+        );
         assert!((x2[0] - 1.5).abs() < 1e-12 && (x2[2] - 2.0).abs() < 1e-12);
         assert!((x2[1] - 2.5).abs() < 1e-9);
         for j in 0..3 {

@@ -24,6 +24,10 @@
 //!   scheduling simulator.
 //! * [`interval`] — interval/box-constrained extension (Harrigan–Buchanan,
 //!   Ohuchi–Kaji).
+//! * [`observe`] — glue to the `sea-observe` event schema: every solver has
+//!   an `*_observed` variant that streams typed lifecycle events to an
+//!   [`Observer`] sink, and recorded logs convert back to
+//!   [`ExecutionTrace`]s.
 //! * [`verify`] — first-principles KKT/duality verification of computed
 //!   solutions.
 //!
@@ -59,6 +63,7 @@ pub mod error;
 pub mod general;
 pub mod interval;
 pub mod knapsack;
+pub mod observe;
 pub mod parallel;
 pub mod problem;
 pub mod solver;
@@ -67,20 +72,28 @@ pub mod trace;
 pub mod verify;
 pub mod weights;
 
+pub use equilibrate::PassCounters;
 pub use error::SeaError;
 pub use general::{
-    solve_general, GeneralProblem, GeneralSeaOptions, GeneralSolution, GeneralTotalSpec,
+    solve_general, solve_general_observed, GeneralProblem, GeneralSeaOptions, GeneralSolution,
+    GeneralTotalSpec,
 };
-pub use interval::{solve_bounded, solve_bounded_with, BoundedProblem};
+pub use interval::{solve_bounded, solve_bounded_observed, solve_bounded_with, BoundedProblem};
 pub use knapsack::{
     exact_equilibration, exact_equilibration_with, EquilibrationResult, EquilibrationScratch,
     KernelKind, TotalMode,
 };
+pub use observe::trace_from_events;
 pub use parallel::Parallelism;
 pub use problem::{DiagonalProblem, Residuals, TotalSpec, ZeroPolicy};
 pub use solver::{
-    solve_diagonal, ConvergenceCriterion, IterationSnapshot, SeaOptions, Solution, SolveStats,
+    solve_diagonal, solve_diagonal_observed, ConvergenceCriterion, IterationSnapshot, SeaOptions,
+    Solution, SolveStats,
 };
 pub use trace::{ExecutionTrace, Phase, PhaseKind};
 pub use verify::{verify_solution, KktReport};
 pub use weights::WeightScheme;
+
+// Re-export the event vocabulary so downstream crates don't need a direct
+// sea-observe dependency for the common cases.
+pub use sea_observe::{Event, KernelCounters, NullObserver, Observer, PhaseLabel, VecObserver};

@@ -1,0 +1,130 @@
+//! Glue between the sea-observe event schema and solver-side types.
+//!
+//! An event log recorded by [`crate::solver::solve_diagonal_observed`] (or
+//! the general/bounded drivers) carries, in its `PhaseEnd` events, the same
+//! per-task cost vectors that `record_trace` collects in process. This
+//! module converts between the two representations so a JSONL solve log can
+//! be replayed through the sea-parsim scheduling simulator exactly like an
+//! in-process [`ExecutionTrace`].
+
+use crate::trace::{ExecutionTrace, PhaseKind};
+use sea_observe::{Event, PhaseLabel};
+
+/// Map a trace phase kind to its event-schema label (same wire names).
+pub fn phase_label(kind: PhaseKind) -> PhaseLabel {
+    match kind {
+        PhaseKind::RowEquilibration => PhaseLabel::RowEquilibration,
+        PhaseKind::ColumnEquilibration => PhaseLabel::ColumnEquilibration,
+        PhaseKind::ConvergenceCheck => PhaseLabel::ConvergenceCheck,
+        PhaseKind::Projection => PhaseLabel::Projection,
+    }
+}
+
+/// Inverse of [`phase_label`].
+pub fn phase_kind(label: PhaseLabel) -> PhaseKind {
+    match label {
+        PhaseLabel::RowEquilibration => PhaseKind::RowEquilibration,
+        PhaseLabel::ColumnEquilibration => PhaseKind::ColumnEquilibration,
+        PhaseLabel::ConvergenceCheck => PhaseKind::ConvergenceCheck,
+        PhaseLabel::Projection => PhaseKind::Projection,
+    }
+}
+
+/// Rebuild an [`ExecutionTrace`] from a recorded event stream.
+///
+/// Every `PhaseEnd` event becomes one phase, in log order. When the event
+/// carries per-task costs they are used verbatim (matching what
+/// `record_trace` would have produced); serial drivers that omit them fall
+/// back to a single task holding the whole phase duration.
+pub fn trace_from_events(events: &[Event]) -> ExecutionTrace {
+    let mut trace = ExecutionTrace::new();
+    for event in events {
+        if let Event::PhaseEnd {
+            label,
+            seconds,
+            task_seconds,
+            ..
+        } = event
+        {
+            let costs = if task_seconds.is_empty() {
+                vec![*seconds]
+            } else {
+                task_seconds.clone()
+            };
+            trace.push(phase_kind(*label), costs);
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_mapping_is_a_bijection() {
+        for kind in PhaseKind::ALL {
+            assert_eq!(phase_kind(phase_label(kind)), kind);
+            assert_eq!(phase_label(kind).name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn trace_from_events_uses_task_costs_and_falls_back() {
+        let events = vec![
+            Event::PhaseStart {
+                label: PhaseLabel::RowEquilibration,
+                tasks: 3,
+            },
+            Event::PhaseEnd {
+                label: PhaseLabel::RowEquilibration,
+                tasks: 3,
+                seconds: 0.6,
+                task_seconds: vec![0.1, 0.2, 0.3],
+            },
+            Event::PhaseEnd {
+                label: PhaseLabel::ConvergenceCheck,
+                tasks: 1,
+                seconds: 0.05,
+                task_seconds: Vec::new(),
+            },
+        ];
+        let trace = trace_from_events(&events);
+        assert_eq!(trace.phases.len(), 2);
+        assert_eq!(trace.phases[0].kind, PhaseKind::RowEquilibration);
+        assert_eq!(trace.phases[0].task_seconds, vec![0.1, 0.2, 0.3]);
+        assert_eq!(trace.phases[1].task_seconds, vec![0.05]);
+        assert!((trace.serial_fraction() - 0.05 / 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_trip_through_observed_solve() {
+        use crate::problem::{DiagonalProblem, TotalSpec};
+        use crate::solver::{solve_diagonal_observed, SeaOptions};
+        use sea_linalg::DenseMatrix;
+
+        let p = DiagonalProblem::new(
+            DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap(),
+            DenseMatrix::filled(2, 2, 1.0).unwrap(),
+            TotalSpec::Fixed {
+                s0: vec![4.0, 6.0],
+                d0: vec![5.0, 5.0],
+            },
+        )
+        .unwrap();
+        let mut opts = SeaOptions::with_epsilon(1e-10);
+        opts.record_trace = true;
+        let mut obs = sea_observe::VecObserver::new();
+        let sol = solve_diagonal_observed(&p, &opts, &mut obs).unwrap();
+
+        let in_process = sol.stats.trace.as_ref().unwrap();
+        let from_log = trace_from_events(&obs.events);
+        // Same phase sequence with identical per-task costs: the event log
+        // carries the exact vectors record_trace collected.
+        assert_eq!(from_log.phases.len(), in_process.phases.len());
+        for (a, b) in from_log.phases.iter().zip(&in_process.phases) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.task_seconds, b.task_seconds);
+        }
+    }
+}

@@ -25,6 +25,16 @@ impl Parallelism {
         !matches!(self, Parallelism::Serial)
     }
 
+    /// Stable label for event logs and metrics (`"serial"`, `"rayon"`,
+    /// `"rayon:4"`).
+    pub fn label(self) -> String {
+        match self {
+            Parallelism::Serial => "serial".to_string(),
+            Parallelism::Rayon => "rayon".to_string(),
+            Parallelism::RayonThreads(k) => format!("rayon:{k}"),
+        }
+    }
+
     /// Run `f` in the appropriate execution context. For
     /// [`Parallelism::RayonThreads`], builds a dedicated pool and installs
     /// it for the duration of `f` (so any nested rayon iterators use it).
@@ -51,6 +61,13 @@ mod tests {
     fn serial_runs_inline() {
         assert!(!Parallelism::Serial.is_parallel());
         assert_eq!(Parallelism::Serial.run(|| 2 + 2), 4);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Parallelism::Serial.label(), "serial");
+        assert_eq!(Parallelism::Rayon.label(), "rayon");
+        assert_eq!(Parallelism::RayonThreads(6).label(), "rayon:6");
     }
 
     #[test]

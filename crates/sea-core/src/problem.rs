@@ -131,11 +131,7 @@ impl DiagonalProblem {
     ///
     /// # Errors
     /// See [`DiagonalProblem::with_zero_policy`].
-    pub fn new(
-        x0: DenseMatrix,
-        gamma: DenseMatrix,
-        totals: TotalSpec,
-    ) -> Result<Self, SeaError> {
+    pub fn new(x0: DenseMatrix, gamma: DenseMatrix, totals: TotalSpec) -> Result<Self, SeaError> {
         Self::with_zero_policy(x0, gamma, totals, ZeroPolicy::Free)
     }
 
@@ -188,7 +184,9 @@ impl DiagonalProblem {
             });
         }
         if !vector::all_finite(x0.as_slice()) {
-            return Err(SeaError::NonFinite { context: "prior X0" });
+            return Err(SeaError::NonFinite {
+                context: "prior X0",
+            });
         }
         validate_positive(gamma.as_slice(), "gamma")?;
 
@@ -223,7 +221,12 @@ impl DiagonalProblem {
                     });
                 }
             }
-            TotalSpec::Elastic { alpha, s0, beta, d0 } => {
+            TotalSpec::Elastic {
+                alpha,
+                s0,
+                beta,
+                d0,
+            } => {
                 validate_len(alpha, m, "elastic alpha")?;
                 validate_len(s0, m, "elastic s0")?;
                 validate_len(beta, n, "elastic beta")?;
@@ -362,7 +365,12 @@ impl DiagonalProblem {
         }
         match &self.totals {
             TotalSpec::Fixed { .. } => {}
-            TotalSpec::Elastic { alpha, s0, beta, d0 } => {
+            TotalSpec::Elastic {
+                alpha,
+                s0,
+                beta,
+                d0,
+            } => {
                 for i in 0..alpha.len() {
                     let dev = s[i] - s0[i];
                     obj += alpha[i] * dev * dev;
@@ -463,7 +471,10 @@ mod tests {
                 d0: vec![5.0, 2.0],
             },
         );
-        assert!(matches!(e, Err(SeaError::NegativeTotal { side: "row", .. })));
+        assert!(matches!(
+            e,
+            Err(SeaError::NegativeTotal { side: "row", .. })
+        ));
 
         let mut g = ones();
         g.set(0, 1, 0.0);
@@ -475,7 +486,14 @@ mod tests {
                 d0: vec![5.0, 2.0],
             },
         );
-        assert!(matches!(e, Err(SeaError::NonPositiveWeight { which: "gamma", index: 1, .. })));
+        assert!(matches!(
+            e,
+            Err(SeaError::NonPositiveWeight {
+                which: "gamma",
+                index: 1,
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -505,7 +523,10 @@ mod tests {
                 s0: vec![1.0; 2],
             },
         );
-        assert!(matches!(e, Err(SeaError::NotSquareSam { rows: 2, cols: 3 })));
+        assert!(matches!(
+            e,
+            Err(SeaError::NotSquareSam { rows: 2, cols: 3 })
+        ));
     }
 
     #[test]

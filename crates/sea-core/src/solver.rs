@@ -16,13 +16,14 @@
 
 use crate::components::normalize_multipliers;
 use crate::dual;
-use crate::equilibrate::{equilibration_pass, PassInputs};
+use crate::equilibrate::{equilibration_pass, PassCounters, PassInputs};
 use crate::error::SeaError;
 use crate::knapsack::{KernelKind, TotalMode};
 use crate::parallel::Parallelism;
 use crate::problem::{DiagonalProblem, Residuals, TotalSpec};
 use crate::trace::{ExecutionTrace, PhaseKind};
 use sea_linalg::{vector, DenseMatrix};
+use sea_observe::{Event, NullObserver, Observer, PhaseLabel};
 use std::time::{Duration, Instant};
 
 /// Stopping rules. The paper uses [`MaxAbsChange`](Self::MaxAbsChange) for
@@ -39,6 +40,17 @@ pub enum ConvergenceCriterion {
     /// `‖∇ζ(λ,μ)‖₂ ≤ ε`, i.e. the Euclidean norm of the remaining
     /// constraint violations.
     ConstraintNorm,
+}
+
+impl ConvergenceCriterion {
+    /// Stable wire name for event logs and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            ConvergenceCriterion::MaxAbsChange => "max_abs_change",
+            ConvergenceCriterion::RelativeRowBalance => "relative_row_balance",
+            ConvergenceCriterion::ConstraintNorm => "constraint_norm",
+        }
+    }
 }
 
 /// Options for [`solve_diagonal`].
@@ -172,14 +184,51 @@ pub struct Solution {
 ///   a positive fixed total.
 /// * [`SeaError::NumericalBreakdown`] if the iterates become non-finite.
 pub fn solve_diagonal(p: &DiagonalProblem, opts: &SeaOptions) -> Result<Solution, SeaError> {
-    opts.parallelism.run(|| solve_diagonal_inner(p, opts))
+    solve_diagonal_observed(p, opts, &mut NullObserver)
 }
 
-fn solve_diagonal_inner(p: &DiagonalProblem, opts: &SeaOptions) -> Result<Solution, SeaError> {
+/// [`solve_diagonal`] with an event sink.
+///
+/// Every lifecycle transition of the solve (phase boundaries, convergence
+/// checks, multiplier-bound activations, kernel work counters) is reported
+/// to `obs` as a typed [`Event`]. With [`NullObserver`] the instrumentation
+/// compiles down to nothing: `enabled()` is a constant `false`, so no event
+/// is ever constructed and the hot loop stays allocation-free.
+///
+/// # Errors
+/// Same contract as [`solve_diagonal`].
+pub fn solve_diagonal_observed<O: Observer + Send>(
+    p: &DiagonalProblem,
+    opts: &SeaOptions,
+    obs: &mut O,
+) -> Result<Solution, SeaError> {
+    opts.parallelism
+        .run(move || solve_diagonal_inner(p, opts, obs))
+}
+
+fn solve_diagonal_inner<O: Observer>(
+    p: &DiagonalProblem,
+    opts: &SeaOptions,
+    obs: &mut O,
+) -> Result<Solution, SeaError> {
     let start = Instant::now();
     let (m, n) = (p.m(), p.n());
     let check_every = opts.check_every.max(1);
     let criterion = opts.effective_criterion(p.totals());
+    let observing = obs.enabled();
+    if observing {
+        obs.record(&Event::SolveStart {
+            solver: "diagonal",
+            rows: m,
+            cols: n,
+            kernel: opts.kernel.name(),
+            parallelism: opts.parallelism.label(),
+            criterion: criterion.name(),
+        });
+    }
+    // Kernel counters are only harvested when someone is listening; the
+    // per-task atomic flush is skipped entirely otherwise.
+    let counters = observing.then(PassCounters::default);
 
     // Transposed copies once per solve: the column pass then walks
     // contiguous memory.
@@ -212,10 +261,12 @@ fn solve_diagonal_inner(p: &DiagonalProblem, opts: &SeaOptions) -> Result<Soluti
     };
 
     let mut trace = opts.record_trace.then(ExecutionTrace::new);
-    let mut history: Option<Vec<IterationSnapshot>> =
-        opts.record_history.then(Vec::new);
+    let mut history: Option<Vec<IterationSnapshot>> = opts.record_history.then(Vec::new);
     let mut row_costs: Vec<f64> = Vec::new();
     let mut col_costs: Vec<f64> = Vec::new();
+    // Row sums of X (= column sums of Xᵀ), reused every check so the
+    // steady-state loop performs no allocation.
+    let mut row_sums_buf = vec![0.0; m];
 
     let mut iterations = 0usize;
     let mut converged = false;
@@ -237,7 +288,14 @@ fn solve_diagonal_inner(p: &DiagonalProblem, opts: &SeaOptions) -> Result<Soluti
                 side: "row",
                 kernel: opts.kernel,
             };
-            let costs = trace.is_some().then_some(&mut row_costs);
+            if observing {
+                obs.record(&Event::PhaseStart {
+                    label: PhaseLabel::RowEquilibration,
+                    tasks: m,
+                });
+            }
+            let phase_t0 = observing.then(Instant::now);
+            let costs = (trace.is_some() || observing).then_some(&mut row_costs);
             match p.totals() {
                 TotalSpec::Fixed { s0, .. } => equilibration_pass(
                     &inputs,
@@ -247,6 +305,7 @@ fn solve_diagonal_inner(p: &DiagonalProblem, opts: &SeaOptions) -> Result<Soluti
                     &mut x,
                     opts.parallelism,
                     costs,
+                    counters.as_ref(),
                 )?,
                 TotalSpec::Elastic { alpha, s0, .. } => equilibration_pass(
                     &inputs,
@@ -260,6 +319,7 @@ fn solve_diagonal_inner(p: &DiagonalProblem, opts: &SeaOptions) -> Result<Soluti
                     &mut x,
                     opts.parallelism,
                     costs,
+                    counters.as_ref(),
                 )?,
                 TotalSpec::Balanced { alpha, s0 } => {
                     let mu_ref: &[f64] = &mu;
@@ -275,11 +335,20 @@ fn solve_diagonal_inner(p: &DiagonalProblem, opts: &SeaOptions) -> Result<Soluti
                         &mut x,
                         opts.parallelism,
                         costs,
+                        counters.as_ref(),
                     )?
                 }
             }
             if let Some(tr) = trace.as_mut() {
                 tr.push(PhaseKind::RowEquilibration, row_costs.clone());
+            }
+            if let Some(t0) = phase_t0 {
+                obs.record(&Event::PhaseEnd {
+                    label: PhaseLabel::RowEquilibration,
+                    tasks: m,
+                    seconds: t0.elapsed().as_secs_f64(),
+                    task_seconds: row_costs.clone(),
+                });
             }
         }
 
@@ -293,7 +362,14 @@ fn solve_diagonal_inner(p: &DiagonalProblem, opts: &SeaOptions) -> Result<Soluti
                 side: "column",
                 kernel: opts.kernel,
             };
-            let costs = trace.is_some().then_some(&mut col_costs);
+            if observing {
+                obs.record(&Event::PhaseStart {
+                    label: PhaseLabel::ColumnEquilibration,
+                    tasks: n,
+                });
+            }
+            let phase_t0 = observing.then(Instant::now);
+            let costs = (trace.is_some() || observing).then_some(&mut col_costs);
             match p.totals() {
                 TotalSpec::Fixed { d0, .. } => equilibration_pass(
                     &inputs,
@@ -303,6 +379,7 @@ fn solve_diagonal_inner(p: &DiagonalProblem, opts: &SeaOptions) -> Result<Soluti
                     &mut x_t,
                     opts.parallelism,
                     costs,
+                    counters.as_ref(),
                 )?,
                 TotalSpec::Elastic { beta, d0, .. } => equilibration_pass(
                     &inputs,
@@ -316,6 +393,7 @@ fn solve_diagonal_inner(p: &DiagonalProblem, opts: &SeaOptions) -> Result<Soluti
                     &mut x_t,
                     opts.parallelism,
                     costs,
+                    counters.as_ref(),
                 )?,
                 TotalSpec::Balanced { alpha, s0 } => {
                     let lambda_ref: &[f64] = &lambda;
@@ -331,11 +409,20 @@ fn solve_diagonal_inner(p: &DiagonalProblem, opts: &SeaOptions) -> Result<Soluti
                         &mut x_t,
                         opts.parallelism,
                         costs,
+                        counters.as_ref(),
                     )?
                 }
             }
             if let Some(tr) = trace.as_mut() {
                 tr.push(PhaseKind::ColumnEquilibration, col_costs.clone());
+            }
+            if let Some(t0) = phase_t0 {
+                obs.record(&Event::PhaseEnd {
+                    label: PhaseLabel::ColumnEquilibration,
+                    tasks: n,
+                    seconds: t0.elapsed().as_secs_f64(),
+                    task_seconds: col_costs.clone(),
+                });
             }
         }
 
@@ -346,6 +433,12 @@ fn solve_diagonal_inner(p: &DiagonalProblem, opts: &SeaOptions) -> Result<Soluti
 
         // ---- Step 3: convergence verification (serial). ------------------
         if t % check_every == 0 {
+            if observing {
+                obs.record(&Event::PhaseStart {
+                    label: PhaseLabel::ConvergenceCheck,
+                    tasks: 1,
+                });
+            }
             let t0 = Instant::now();
             if !vector::all_finite(&lambda) || !vector::all_finite(&mu) {
                 return Err(SeaError::NumericalBreakdown { iteration: t });
@@ -358,21 +451,21 @@ fn solve_diagonal_inner(p: &DiagonalProblem, opts: &SeaOptions) -> Result<Soluti
                 }
                 ConvergenceCriterion::RelativeRowBalance => {
                     // Row sums of X = column sums of Xᵀ.
-                    let row_sums = x_t.col_sums();
+                    x_t.col_sums_into(&mut row_sums_buf);
                     let target = row_target(p.totals(), &lambda, &s);
                     let mut rel: f64 = 0.0;
                     for i in 0..m {
                         let ti = target(i);
-                        rel = rel.max((row_sums[i] - ti).abs() / ti.abs().max(1e-12));
+                        rel = rel.max((row_sums_buf[i] - ti).abs() / ti.abs().max(1e-12));
                     }
                     rel
                 }
                 ConvergenceCriterion::ConstraintNorm => {
-                    let row_sums = x_t.col_sums();
+                    x_t.col_sums_into(&mut row_sums_buf);
                     let target = row_target(p.totals(), &lambda, &s);
                     let mut sq = 0.0;
                     for i in 0..m {
-                        let v = row_sums[i] - target(i);
+                        let v = row_sums_buf[i] - target(i);
                         sq += v * v;
                     }
                     sq.sqrt()
@@ -382,10 +475,27 @@ fn solve_diagonal_inner(p: &DiagonalProblem, opts: &SeaOptions) -> Result<Soluti
             if let Some(tr) = trace.as_mut() {
                 tr.push(PhaseKind::ConvergenceCheck, vec![check_secs]);
             }
+            // ζ is only evaluated when something consumes it: the history
+            // recorder or an attached observer.
+            let zeta = (history.is_some() || observing).then(|| dual::dual_value(p, &lambda, &mu));
+            if observing {
+                obs.record(&Event::PhaseEnd {
+                    label: PhaseLabel::ConvergenceCheck,
+                    tasks: 1,
+                    seconds: check_secs,
+                    task_seconds: vec![check_secs],
+                });
+                obs.record(&Event::ConvergenceCheck {
+                    iteration: t,
+                    residual,
+                    dual_value: zeta,
+                    criterion: criterion.name(),
+                });
+            }
             if let Some(h) = history.as_mut() {
                 h.push(IterationSnapshot {
                     iteration: t,
-                    dual_value: dual::dual_value(p, &lambda, &mu),
+                    dual_value: zeta.unwrap_or(f64::NAN),
                     residual,
                 });
             }
@@ -399,7 +509,14 @@ fn solve_diagonal_inner(p: &DiagonalProblem, opts: &SeaOptions) -> Result<Soluti
         if let Some(bound) = opts.multiplier_bound {
             // x (row-pass iterate) is a valid support witness: shifting is
             // only applied within its positive components.
-            normalize_multipliers(x.as_slice(), m, n, &mut lambda, &mut mu, bound);
+            let shifted = normalize_multipliers(x.as_slice(), m, n, &mut lambda, &mut mu, bound);
+            if observing && shifted > 0 {
+                obs.record(&Event::MultiplierBound {
+                    iteration: t,
+                    shifted,
+                    bound,
+                });
+            }
         }
     }
 
@@ -420,6 +537,23 @@ fn solve_diagonal_inner(p: &DiagonalProblem, opts: &SeaOptions) -> Result<Soluti
     let residuals = p.residuals(&x_final, &s_final, &d_final);
     let objective = p.objective(&x_final, &s_final, &d_final);
     let dual_value = dual::dual_value(p, &lambda, &mu);
+
+    if observing {
+        if let Some(c) = counters.as_ref() {
+            let snap = c.snapshot();
+            if !snap.is_empty() {
+                obs.record(&Event::KernelCounters { counters: snap });
+            }
+        }
+        obs.record(&Event::SolveEnd {
+            iterations,
+            converged,
+            residual,
+            objective,
+            dual_value: Some(dual_value),
+            seconds: start.elapsed().as_secs_f64(),
+        });
+    }
 
     Ok(Solution {
         x: x_final,
@@ -694,8 +828,12 @@ mod tests {
         // The paper's eq. 71: ζ(λ^{t+2}, μ^{t+1}) ≥ ζ(λ^{t+1}, μ^{t+1}) ≥ …
         // — dual values never decrease across iterations.
         let spe_like = DiagonalProblem::new(
-            DenseMatrix::from_rows(&[vec![1.0, 6.0, 2.0], vec![5.0, 1.0, 3.0], vec![2.0, 2.0, 7.0]])
-                .unwrap(),
+            DenseMatrix::from_rows(&[
+                vec![1.0, 6.0, 2.0],
+                vec![5.0, 1.0, 3.0],
+                vec![2.0, 2.0, 7.0],
+            ])
+            .unwrap(),
             DenseMatrix::filled(3, 3, 1.0).unwrap(),
             TotalSpec::Elastic {
                 alpha: vec![0.5; 3],
@@ -739,8 +877,96 @@ mod tests {
         opts.initial_mu = Some(vec![0.0; 5]);
         assert!(matches!(
             solve_diagonal(&p, &opts),
-            Err(SeaError::Shape { context: "initial_mu", .. })
+            Err(SeaError::Shape {
+                context: "initial_mu",
+                ..
+            })
         ));
+    }
+
+    #[test]
+    fn observer_sees_full_event_lifecycle() {
+        let p = fixed_problem();
+        let mut obs = sea_observe::VecObserver::new();
+        let sol = solve_diagonal_observed(&p, &SeaOptions::with_epsilon(1e-10), &mut obs).unwrap();
+        let events = &obs.events;
+        assert!(matches!(
+            events.first(),
+            Some(Event::SolveStart {
+                solver: "diagonal",
+                rows: 2,
+                cols: 2,
+                ..
+            })
+        ));
+        match events.last() {
+            Some(Event::SolveEnd {
+                iterations,
+                converged,
+                ..
+            }) => {
+                assert_eq!(*iterations, sol.stats.iterations);
+                assert!(*converged);
+            }
+            other => panic!("expected SolveEnd, got {other:?}"),
+        }
+        // Each iteration contributes row + column + check phase pairs.
+        let row_starts = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    Event::PhaseStart {
+                        label: PhaseLabel::RowEquilibration,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(row_starts, sol.stats.iterations);
+        let checks = events
+            .iter()
+            .filter(|e| matches!(e, Event::ConvergenceCheck { .. }))
+            .count();
+        assert_eq!(checks, sol.stats.iterations);
+        // Kernel counters were harvested: one subproblem per row and column
+        // per iteration.
+        let counters = events.iter().find_map(|e| match e {
+            Event::KernelCounters { counters } => Some(*counters),
+            _ => None,
+        });
+        let snap = counters.expect("kernel counters event missing");
+        assert_eq!(snap.subproblems, (4 * sol.stats.iterations) as u64);
+        // The dual value is reported at every check.
+        for e in events {
+            if let Event::ConvergenceCheck { dual_value, .. } = e {
+                assert!(dual_value.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn observed_solve_matches_unobserved() {
+        let p = fixed_problem();
+        let plain = solve_diagonal(&p, &SeaOptions::with_epsilon(1e-10)).unwrap();
+        let mut obs = sea_observe::VecObserver::new();
+        let observed =
+            solve_diagonal_observed(&p, &SeaOptions::with_epsilon(1e-10), &mut obs).unwrap();
+        assert_eq!(plain.stats.iterations, observed.stats.iterations);
+        assert!(plain.x.max_abs_diff(&observed.x) < 1e-15);
+    }
+
+    #[test]
+    fn criterion_names_are_stable() {
+        assert_eq!(ConvergenceCriterion::MaxAbsChange.name(), "max_abs_change");
+        assert_eq!(
+            ConvergenceCriterion::RelativeRowBalance.name(),
+            "relative_row_balance"
+        );
+        assert_eq!(
+            ConvergenceCriterion::ConstraintNorm.name(),
+            "constraint_norm"
+        );
     }
 
     #[test]

@@ -113,7 +113,12 @@ pub fn iteration_bound(p: &DiagonalProblem, epsilon: f64) -> f64 {
             }
             zeta_max = obj;
         }
-        TotalSpec::Elastic { alpha, s0, beta, d0 } => {
+        TotalSpec::Elastic {
+            alpha,
+            s0,
+            beta,
+            d0,
+        } => {
             for (a, s) in alpha.iter().zip(s0) {
                 zeta_max += a * s * s;
             }

@@ -26,9 +26,34 @@ pub enum PhaseKind {
 }
 
 impl PhaseKind {
+    /// All kinds, in a fixed order.
+    pub const ALL: [PhaseKind; 4] = [
+        PhaseKind::RowEquilibration,
+        PhaseKind::ColumnEquilibration,
+        PhaseKind::ConvergenceCheck,
+        PhaseKind::Projection,
+    ];
+
     /// Whether tasks in this phase may execute concurrently.
     pub fn is_parallel(self) -> bool {
         !matches!(self, PhaseKind::ConvergenceCheck)
+    }
+
+    /// Stable wire name; identical to the corresponding
+    /// [`sea_observe::PhaseLabel`] name so traces and event logs share one
+    /// vocabulary.
+    pub fn name(self) -> &'static str {
+        match self {
+            PhaseKind::RowEquilibration => "row_equilibration",
+            PhaseKind::ColumnEquilibration => "column_equilibration",
+            PhaseKind::ConvergenceCheck => "convergence_check",
+            PhaseKind::Projection => "projection",
+        }
+    }
+
+    /// Inverse of [`PhaseKind::name`].
+    pub fn parse(s: &str) -> Option<PhaseKind> {
+        PhaseKind::ALL.into_iter().find(|k| k.name() == s)
     }
 }
 
@@ -106,6 +131,66 @@ impl ExecutionTrace {
     pub fn extend(&mut self, other: ExecutionTrace) {
         self.phases.extend(other.phases);
     }
+
+    /// Serialize to a JSON document:
+    /// `{"phases":[{"kind":"row_equilibration","task_seconds":[...]}, ...]}`.
+    pub fn to_json(&self) -> String {
+        use sea_observe::json::{f64_to_json, JsonValue};
+        let phases: Vec<JsonValue> = self
+            .phases
+            .iter()
+            .map(|p| {
+                JsonValue::Object(vec![
+                    (
+                        "kind".to_string(),
+                        JsonValue::String(p.kind.name().to_string()),
+                    ),
+                    (
+                        "task_seconds".to_string(),
+                        JsonValue::Array(p.task_seconds.iter().map(|&v| f64_to_json(v)).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        JsonValue::Object(vec![("phases".to_string(), JsonValue::Array(phases))]).render()
+    }
+
+    /// Parse the format produced by [`ExecutionTrace::to_json`].
+    ///
+    /// # Errors
+    /// Returns a human-readable message on malformed JSON, an unknown phase
+    /// kind, or a missing field.
+    pub fn from_json(text: &str) -> Result<ExecutionTrace, String> {
+        use sea_observe::json::{json_to_f64, parse, JsonValue};
+        let doc = parse(text)?;
+        let phases = doc
+            .get("phases")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| "trace document missing \"phases\" array".to_string())?;
+        let mut trace = ExecutionTrace::new();
+        for (idx, ph) in phases.iter().enumerate() {
+            let kind_name = ph
+                .get("kind")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("phase {idx}: missing \"kind\""))?;
+            let kind = PhaseKind::parse(kind_name)
+                .ok_or_else(|| format!("phase {idx}: unknown kind {kind_name:?}"))?;
+            let secs = ph
+                .get("task_seconds")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| format!("phase {idx}: missing \"task_seconds\""))?;
+            let task_seconds = secs
+                .iter()
+                .enumerate()
+                .map(|(j, v)| {
+                    json_to_f64(v)
+                        .ok_or_else(|| format!("phase {idx}: task_seconds[{j}] not a number"))
+                })
+                .collect::<Result<Vec<f64>, String>>()?;
+            trace.push(kind, task_seconds);
+        }
+        Ok(trace)
+    }
 }
 
 #[cfg(test)]
@@ -158,5 +243,36 @@ mod tests {
         let b = sample();
         a.extend(b);
         assert_eq!(a.phases.len(), 6);
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for k in PhaseKind::ALL {
+            assert_eq!(PhaseKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(PhaseKind::parse("warmup"), None);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_trace() {
+        let mut t = sample();
+        t.push(PhaseKind::Projection, vec![0.25, 0.25]);
+        let text = t.to_json();
+        let back = ExecutionTrace::from_json(&text).expect("round trip");
+        assert_eq!(back, t);
+        // Empty traces survive too.
+        let empty = ExecutionTrace::new();
+        assert_eq!(ExecutionTrace::from_json(&empty.to_json()).unwrap(), empty);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        assert!(ExecutionTrace::from_json("not json").is_err());
+        assert!(ExecutionTrace::from_json("{}").is_err());
+        assert!(ExecutionTrace::from_json(
+            r#"{"phases":[{"kind":"warp_drive","task_seconds":[]}]}"#
+        )
+        .is_err());
+        assert!(ExecutionTrace::from_json(r#"{"phases":[{"kind":"projection"}]}"#).is_err());
     }
 }

@@ -108,11 +108,16 @@ pub fn verify_solution(p: &DiagonalProblem, sol: &Solution) -> KktReport {
     let mut max_total_stationarity: f64 = 0.0;
     match p.totals() {
         TotalSpec::Fixed { .. } => {}
-        TotalSpec::Elastic { alpha, s0, beta, d0 } => {
+        TotalSpec::Elastic {
+            alpha,
+            s0,
+            beta,
+            d0,
+        } => {
             for i in 0..m {
                 let expect = 2.0 * alpha[i] * (s0[i] - sol.s[i]);
-                max_total_stationarity = max_total_stationarity
-                    .max((sol.lambda[i] - expect).abs() / grad_scale);
+                max_total_stationarity =
+                    max_total_stationarity.max((sol.lambda[i] - expect).abs() / grad_scale);
             }
             for j in 0..n {
                 let expect = 2.0 * beta[j] * (d0[j] - sol.d[j]);

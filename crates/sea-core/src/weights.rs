@@ -65,7 +65,9 @@ impl WeightScheme {
             });
         }
         if !sea_linalg::vector::all_finite(x0.as_slice()) {
-            return Err(SeaError::NonFinite { context: "prior X0" });
+            return Err(SeaError::NonFinite {
+                context: "prior X0",
+            });
         }
         let data: Vec<f64> = x0
             .as_slice()
@@ -138,6 +140,8 @@ mod tests {
         assert!(WeightScheme::ChiSquare
             .entry_weights_with_floor(&prior(), 0.0)
             .is_err());
-        assert!(WeightScheme::ChiSquare.total_weights(&[f64::INFINITY]).is_err());
+        assert!(WeightScheme::ChiSquare
+            .total_weights(&[f64::INFINITY])
+            .is_err());
     }
 }

@@ -1,17 +1,24 @@
-//! Steady-state allocation audit for the equilibration kernels.
+//! Steady-state allocation audit for the equilibration kernels and the
+//! diagonal solver.
 //!
 //! A counting global allocator wraps the system allocator; after one warm-up
 //! call per (kernel × variant) that sizes the reusable scratch, repeated
-//! kernel invocations must perform exactly zero heap allocations. This file
-//! deliberately holds a single test: the counter is process-global.
+//! kernel invocations must perform exactly zero heap allocations. A second
+//! section audits the whole solve loop under the default `NullObserver`
+//! differentially: a solve doing twice the iterations must allocate exactly
+//! as much as the half-length solve, so the per-iteration cost is zero.
+//! This file deliberately holds a single test: the counter is
+//! process-global.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use sea_core::{
-    exact_equilibration_with, EquilibrationScratch, KernelKind, TotalMode,
-};
 use sea_core::knapsack::exact_equilibration_boxed_with;
+use sea_core::{
+    exact_equilibration_with, solve_diagonal, DiagonalProblem, EquilibrationScratch, KernelKind,
+    SeaOptions, TotalMode, TotalSpec,
+};
+use sea_linalg::DenseMatrix;
 
 struct CountingAllocator;
 
@@ -45,8 +52,12 @@ fn allocations() -> usize {
 #[test]
 fn kernels_do_not_allocate_in_steady_state() {
     let n = 512;
-    let q: Vec<f64> = (0..n).map(|j| ((j * 37 % 101) as f64) / 10.0 - 2.0).collect();
-    let gamma: Vec<f64> = (0..n).map(|j| 0.05 + ((j * 13 % 89) as f64) / 20.0).collect();
+    let q: Vec<f64> = (0..n)
+        .map(|j| ((j * 37 % 101) as f64) / 10.0 - 2.0)
+        .collect();
+    let gamma: Vec<f64> = (0..n)
+        .map(|j| 0.05 + ((j * 13 % 89) as f64) / 20.0)
+        .collect();
     let shift: Vec<f64> = (0..n).map(|j| ((j * 7 % 61) as f64) / 30.0 - 1.0).collect();
     let lo: Vec<f64> = (0..n).map(|j| ((j * 3 % 17) as f64) / 10.0).collect();
     let hi: Vec<f64> = lo.iter().map(|&l| l + 3.0).collect();
@@ -56,8 +67,14 @@ fn kernels_do_not_allocate_in_steady_state() {
     let mut scratch = EquilibrationScratch::new();
 
     let fixed = TotalMode::Fixed { total: 300.0 };
-    let elastic = TotalMode::Elastic { alpha: 0.7, prior: 280.0, cross: 0.4 };
-    let boxed_total = TotalMode::Fixed { total: 0.5 * (slo + shi) };
+    let elastic = TotalMode::Elastic {
+        alpha: 0.7,
+        prior: 280.0,
+        cross: 0.4,
+    };
+    let boxed_total = TotalMode::Fixed {
+        total: 0.5 * (slo + shi),
+    };
 
     // Warm-up: size the scratch buffers for every code path once.
     for kernel in [KernelKind::SortScan, KernelKind::Quickselect] {
@@ -66,7 +83,15 @@ fn kernels_do_not_allocate_in_steady_state() {
                 .unwrap();
         }
         exact_equilibration_boxed_with(
-            kernel, &q, &gamma, &shift, &lo, &hi, boxed_total, &mut x, &mut scratch,
+            kernel,
+            &q,
+            &gamma,
+            &shift,
+            &lo,
+            &hi,
+            boxed_total,
+            &mut x,
+            &mut scratch,
         )
         .unwrap();
     }
@@ -107,6 +132,43 @@ fn kernels_do_not_allocate_in_steady_state() {
             after - before,
             0,
             "{kernel}: kernel allocated in steady state"
+        );
+    }
+
+    // ---- Whole-solve audit under the default NullObserver. ----
+    //
+    // Per-solve setup allocates (solution matrix, multipliers, reusable
+    // buffers), so the audit is differential: with an unattainable
+    // tolerance pinning the iteration count to `max_iterations`, a
+    // 16-iteration solve must allocate exactly as much as an 8-iteration
+    // solve — i.e. the steady-state loop itself is allocation-free.
+    let m = 12;
+    let data: Vec<f64> = (0..m * m).map(|k| 0.5 + ((k * 29 % 97) as f64)).collect();
+    let x0 = DenseMatrix::from_vec(m, m, data).unwrap();
+    let gamma =
+        DenseMatrix::from_vec(m, m, x0.as_slice().iter().map(|&v| 1.0 / v).collect()).unwrap();
+    let s0: Vec<f64> = x0.row_sums().iter().map(|v| 2.0 * v).collect();
+    let d0: Vec<f64> = x0.col_sums().iter().map(|v| 2.0 * v).collect();
+    let p = DiagonalProblem::new(x0, gamma, TotalSpec::Fixed { s0, d0 }).unwrap();
+
+    for kernel in [KernelKind::SortScan, KernelKind::Quickselect] {
+        let solve_allocations = |iterations: usize| -> usize {
+            let mut opts = SeaOptions::with_epsilon(1e-8);
+            opts.epsilon = -1.0; // unattainable: always run to the cap
+            opts.max_iterations = iterations;
+            opts.kernel = kernel;
+            let before = allocations();
+            let sol = solve_diagonal(&p, &opts).unwrap();
+            let after = allocations();
+            assert_eq!(sol.stats.iterations, iterations, "cap must bind");
+            after - before
+        };
+        solve_allocations(4); // warm-up (allocator internals, lazy statics)
+        let base = solve_allocations(8);
+        let doubled = solve_allocations(16);
+        assert_eq!(
+            doubled, base,
+            "{kernel}: solve iterations allocated under NullObserver"
         );
     }
 }

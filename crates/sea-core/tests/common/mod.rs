@@ -61,7 +61,17 @@ pub fn fixture_elastic() -> DiagonalProblem {
         .collect();
     let alpha: Vec<f64> = (0..5).map(|_| rng.random_range(0.3..2.0)).collect();
     let beta: Vec<f64> = (0..6).map(|_| rng.random_range(0.3..2.0)).collect();
-    DiagonalProblem::new(x0, gamma, TotalSpec::Elastic { alpha, s0, beta, d0 }).unwrap()
+    DiagonalProblem::new(
+        x0,
+        gamma,
+        TotalSpec::Elastic {
+            alpha,
+            s0,
+            beta,
+            d0,
+        },
+    )
+    .unwrap()
 }
 
 /// SAM-balancing fixture: square prior, shared account totals estimated
@@ -91,11 +101,7 @@ pub fn all_fixtures() -> Vec<(&'static str, DiagonalProblem)> {
 }
 
 /// Solve a fixture with an explicit kernel and parallelism mode.
-pub fn solve_with(
-    p: &DiagonalProblem,
-    kernel: KernelKind,
-    parallelism: Parallelism,
-) -> Solution {
+pub fn solve_with(p: &DiagonalProblem, kernel: KernelKind, parallelism: Parallelism) -> Solution {
     let mut opts = SeaOptions::with_epsilon(1e-10);
     opts.kernel = kernel;
     opts.parallelism = parallelism;

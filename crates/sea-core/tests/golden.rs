@@ -32,9 +32,7 @@ fn golden_solutions_reproduce_under_both_kernels() {
                 golden.len(),
                 "{tag}/{kernel}: golden shape drifted"
             );
-            for (k, (&got, &want)) in
-                sol.x.as_slice().iter().zip(&golden).enumerate()
-            {
+            for (k, (&got, &want)) in sol.x.as_slice().iter().zip(&golden).enumerate() {
                 assert!(
                     (got - want).abs() <= 1e-8 * (1.0 + want.abs()),
                     "{tag}/{kernel}: x[{k}] = {got} deviates from golden {want}"
@@ -75,10 +73,12 @@ fn regenerate() {
     for (tag, problem) in all_fixtures() {
         let sol = solve_with(&problem, KernelKind::SortScan, Parallelism::Serial);
         let report = verify_solution(&problem, &sol);
-        assert!(report.is_optimal(1e-6), "{tag}: refusing to store non-KKT golden");
-        let mut out = format!(
-            "# golden solution for the `{tag}` fixture (sort-scan, serial, eps 1e-10)\n"
+        assert!(
+            report.is_optimal(1e-6),
+            "{tag}: refusing to store non-KKT golden"
         );
+        let mut out =
+            format!("# golden solution for the `{tag}` fixture (sort-scan, serial, eps 1e-10)\n");
         let cols = sol.x.cols();
         for (k, v) in sol.x.as_slice().iter().enumerate() {
             out.push_str(&format!("{v:.17e}"));

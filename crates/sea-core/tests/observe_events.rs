@@ -1,0 +1,106 @@
+//! Golden-fixture audit of the solver event stream.
+//!
+//! A tiny deterministic solve (2×2, fixed totals, `Serial` parallelism,
+//! sort-scan kernel) is recorded through the JSONL sink and compared,
+//! line by line, against `tests/fixtures/golden_solve.jsonl`. Wall-clock
+//! and numeric-result fields are zeroed before comparison (timings are
+//! nondeterministic, and float formatting should not pin the fixture);
+//! everything structural — the event sequence, phase labels, task counts,
+//! iteration numbers, convergence flags, and the exact kernel work
+//! counters — must match the committed golden file.
+
+use sea_core::{solve_diagonal_observed, DiagonalProblem, Parallelism, SeaOptions, TotalSpec};
+use sea_linalg::DenseMatrix;
+use sea_observe::jsonl::{encode_event, parse_events, JsonlObserver};
+use sea_observe::{Event, Observer};
+
+/// Zero every wall-clock / numeric-result field, keeping structure.
+fn normalized(event: &Event) -> Event {
+    let mut e = event.clone();
+    match &mut e {
+        Event::PhaseEnd {
+            seconds,
+            task_seconds,
+            ..
+        } => {
+            *seconds = 0.0;
+            task_seconds.iter_mut().for_each(|t| *t = 0.0);
+        }
+        Event::ConvergenceCheck {
+            residual,
+            dual_value,
+            ..
+        } => {
+            *residual = 0.0;
+            *dual_value = dual_value.map(|_| 0.0);
+        }
+        Event::MultiplierBound { bound, .. } => *bound = 0.0,
+        Event::OuterIteration { outer_residual, .. } => *outer_residual = 0.0,
+        Event::SolveEnd {
+            residual,
+            objective,
+            dual_value,
+            seconds,
+            ..
+        } => {
+            *residual = 0.0;
+            *objective = 0.0;
+            *dual_value = dual_value.map(|_| 0.0);
+            *seconds = 0.0;
+        }
+        Event::SolveStart { .. } | Event::PhaseStart { .. } | Event::KernelCounters { .. } => {}
+    }
+    e
+}
+
+fn golden_problem() -> DiagonalProblem {
+    DiagonalProblem::new(
+        DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap(),
+        DenseMatrix::filled(2, 2, 1.0).unwrap(),
+        TotalSpec::Fixed {
+            s0: vec![4.0, 6.0],
+            d0: vec![5.0, 5.0],
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn event_stream_matches_golden_fixture() {
+    let p = golden_problem();
+    let mut opts = SeaOptions::with_epsilon(1e-10);
+    opts.parallelism = Parallelism::Serial;
+
+    let mut obs = JsonlObserver::new(Vec::new());
+    let sol = solve_diagonal_observed(&p, &opts, &mut obs).unwrap();
+    assert!(sol.stats.converged);
+
+    let bytes = obs.finish().unwrap();
+    let recorded = parse_events(std::str::from_utf8(&bytes).unwrap()).unwrap();
+    let mut actual = String::new();
+    for event in &recorded {
+        actual.push_str(&encode_event(&normalized(event)));
+        actual.push('\n');
+    }
+
+    // `UPDATE_GOLDEN=1 cargo test -p sea-core --test observe_events`
+    // rewrites the fixture after an intentional event-schema change.
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/fixtures/golden_solve.jsonl"
+        );
+        std::fs::write(path, &actual).unwrap();
+        return;
+    }
+
+    let golden = include_str!("fixtures/golden_solve.jsonl");
+    // Compare line by line for actionable failure messages, then exactly.
+    for (i, (a, g)) in actual.lines().zip(golden.lines()).enumerate() {
+        assert_eq!(a, g, "event {} diverges from the golden fixture", i + 1);
+    }
+    assert_eq!(
+        actual, golden,
+        "event count diverges from the golden fixture"
+    );
+}

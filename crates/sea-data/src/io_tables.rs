@@ -132,7 +132,13 @@ pub fn io_dataset(v: IoVariant, replication: u64) -> DiagonalProblem {
             let s0 = x0.row_sums();
             let d0 = x0.col_sums();
             let mut pert = x0.clone();
-            pert.map_inplace(|v| if v > 0.0 { v + rng.random_range(1.0..10.0) } else { 0.0 });
+            pert.map_inplace(|v| {
+                if v > 0.0 {
+                    v + rng.random_range(1.0..10.0)
+                } else {
+                    0.0
+                }
+            });
             (pert, s0, d0)
         }
         other => panic!("unknown I/O variant {other:?}"),
@@ -175,10 +181,16 @@ mod tests {
 
     #[test]
     fn names_and_sizes_match_paper() {
-        let v = IoVariant { family: 0, variant: 'a' };
+        let v = IoVariant {
+            family: 0,
+            variant: 'a',
+        };
         assert_eq!(v.name(), "IOC72a");
         assert_eq!(v.size(), 205);
-        let v = IoVariant { family: 2, variant: 'c' };
+        let v = IoVariant {
+            family: 2,
+            variant: 'c',
+        };
         assert_eq!(v.name(), "IO72c");
         assert_eq!(v.size(), 485);
         assert_eq!(all_variants().len(), 9);
@@ -211,7 +223,13 @@ mod tests {
     #[test]
     fn variant_construction_properties() {
         // Use the real generator (205x205 — construction is cheap).
-        let a = io_dataset(IoVariant { family: 0, variant: 'a' }, 0);
+        let a = io_dataset(
+            IoVariant {
+                family: 0,
+                variant: 'a',
+            },
+            0,
+        );
         match a.totals() {
             TotalSpec::Fixed { s0, d0 } => {
                 let rs: f64 = s0.iter().sum();
@@ -225,7 +243,13 @@ mod tests {
         }
         assert_eq!(a.zero_policy(), ZeroPolicy::Structural);
 
-        let c = io_dataset(IoVariant { family: 0, variant: 'c' }, 3);
+        let c = io_dataset(
+            IoVariant {
+                family: 0,
+                variant: 'c',
+            },
+            3,
+        );
         match c.totals() {
             TotalSpec::Fixed { s0, .. } => {
                 // Margins are the *unperturbed* base margins: row sums of
@@ -261,8 +285,20 @@ mod tests {
 
     #[test]
     fn replications_differ_for_c_variant() {
-        let c0 = io_dataset(IoVariant { family: 1, variant: 'c' }, 0);
-        let c1 = io_dataset(IoVariant { family: 1, variant: 'c' }, 1);
+        let c0 = io_dataset(
+            IoVariant {
+                family: 1,
+                variant: 'c',
+            },
+            0,
+        );
+        let c1 = io_dataset(
+            IoVariant {
+                family: 1,
+                variant: 'c',
+            },
+            1,
+        );
         assert_ne!(c0.x0(), c1.x0());
     }
 
@@ -290,8 +326,7 @@ mod tests {
             ZeroPolicy::Structural,
         )
         .unwrap();
-        let sol =
-            sea_core::solve_diagonal(&p, &sea_core::SeaOptions::with_epsilon(1e-8)).unwrap();
+        let sol = sea_core::solve_diagonal(&p, &sea_core::SeaOptions::with_epsilon(1e-8)).unwrap();
         assert!(sol.stats.converged);
     }
 }

@@ -25,9 +25,7 @@
 use crate::random::dense_dd_weight_matrix;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use sea_core::{
-    DiagonalProblem, GeneralProblem, GeneralTotalSpec, TotalSpec, ZeroPolicy,
-};
+use sea_core::{DiagonalProblem, GeneralProblem, GeneralTotalSpec, TotalSpec, ZeroPolicy};
 use sea_linalg::DenseMatrix;
 
 /// Number of states in the tables (lower 48).
@@ -134,8 +132,7 @@ pub fn base_migration_table(period: Period) -> DenseMatrix {
 /// the weights were set equal to one").
 pub fn migration_problem(period: Period, variant: MigrationVariant) -> DiagonalProblem {
     let base = base_migration_table(period);
-    let mut rng =
-        ChaCha8Rng::seed_from_u64(period.seed() * 31 + variant.letter() as u64);
+    let mut rng = ChaCha8Rng::seed_from_u64(period.seed() * 31 + variant.letter() as u64);
     let rows = base.row_sums();
     let cols = base.col_sums();
 
@@ -218,8 +215,7 @@ pub fn migration_general(period: Period, perturb_entries: bool) -> GeneralProble
         base
     };
     let g = dense_dd_weight_matrix(STATES * STATES, &mut rng);
-    GeneralProblem::new(x0, g, GeneralTotalSpec::Fixed { s0, d0 })
-        .expect("valid by construction")
+    GeneralProblem::new(x0, g, GeneralTotalSpec::Fixed { s0, d0 }).expect("valid by construction")
 }
 
 #[cfg(test)]

@@ -21,12 +21,8 @@ pub fn table1_instance(size: usize, seed: u64) -> DiagonalProblem {
         .map(|_| rng.random_range(0.1..10_000.0))
         .collect();
     let x0 = DenseMatrix::from_vec(size, size, data).expect("nonempty");
-    let gamma = DenseMatrix::from_vec(
-        size,
-        size,
-        x0.as_slice().iter().map(|&v| 1.0 / v).collect(),
-    )
-    .expect("same shape");
+    let gamma = DenseMatrix::from_vec(size, size, x0.as_slice().iter().map(|&v| 1.0 / v).collect())
+        .expect("same shape");
     let s0: Vec<f64> = x0.row_sums().iter().map(|v| 2.0 * v).collect();
     let d0: Vec<f64> = x0.col_sums().iter().map(|v| 2.0 * v).collect();
     DiagonalProblem::new(x0, gamma, TotalSpec::Fixed { s0, d0 }).expect("valid by construction")
@@ -93,8 +89,7 @@ pub fn table7_instance(rows: usize, seed: u64) -> GeneralProblem {
     for v in &mut d0 {
         *v *= scale;
     }
-    GeneralProblem::new(x0, g, GeneralTotalSpec::Fixed { s0, d0 })
-        .expect("valid by construction")
+    GeneralProblem::new(x0, g, GeneralTotalSpec::Fixed { s0, d0 }).expect("valid by construction")
 }
 
 #[cfg(test)]
@@ -107,7 +102,11 @@ mod tests {
         assert_eq!(p.m(), 40);
         assert_eq!(p.variable_count(), 1600);
         // 100% dense, entries in [0.1, 10000].
-        assert!(p.x0().as_slice().iter().all(|&v| (0.1..10_000.0).contains(&v)));
+        assert!(p
+            .x0()
+            .as_slice()
+            .iter()
+            .all(|&v| (0.1..10_000.0).contains(&v)));
         assert!((p.x0().density() - 1.0).abs() < 1e-12);
         // Chi-square weights.
         for (x, g) in p.x0().as_slice().iter().zip(p.gamma().as_slice()) {
@@ -166,8 +165,7 @@ mod tests {
     #[test]
     fn table1_instance_is_solvable() {
         let p = table1_instance(15, 2);
-        let sol = sea_core::solve_diagonal(&p, &sea_core::SeaOptions::with_epsilon(1e-6))
-            .unwrap();
+        let sol = sea_core::solve_diagonal(&p, &sea_core::SeaOptions::with_epsilon(1e-6)).unwrap();
         assert!(sol.stats.converged);
         assert!(sol.stats.residuals.rel_row_inf < 1e-5);
     }

@@ -191,13 +191,8 @@ pub fn sam_problem(inst: SamInstance, seed: u64) -> DiagonalProblem {
     )
     .expect("same shape");
 
-    DiagonalProblem::with_zero_policy(
-        x0,
-        gamma,
-        TotalSpec::Balanced { alpha, s0 },
-        zero_policy,
-    )
-    .expect("valid by construction")
+    DiagonalProblem::with_zero_policy(x0, gamma, TotalSpec::Balanced { alpha, s0 }, zero_policy)
+        .expect("valid by construction")
 }
 
 #[cfg(test)]

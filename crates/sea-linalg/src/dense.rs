@@ -221,12 +221,23 @@ impl DenseMatrix {
     /// Column sums `dⱼ = Σᵢ xᵢⱼ`.
     pub fn col_sums(&self) -> Vec<f64> {
         let mut out = vec![0.0; self.cols];
+        self.col_sums_into(&mut out);
+        out
+    }
+
+    /// Column sums written into a caller-provided buffer (allocation-free;
+    /// the solver's convergence check runs this every iteration).
+    ///
+    /// # Panics
+    /// If `out.len() != self.cols()`.
+    pub fn col_sums_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.cols, "col_sums_into buffer length");
+        out.fill(0.0);
         for r in self.row_iter() {
             for (o, v) in out.iter_mut().zip(r) {
                 *o += v;
             }
         }
-        out
     }
 
     /// Sum of every entry.

@@ -167,8 +167,7 @@ mod tests {
     #[test]
     fn symmetry_check_accepts_and_rejects() {
         let _ = sym3();
-        let bad =
-            DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 1.0]]).unwrap();
+        let bad = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 1.0]]).unwrap();
         assert!(matches!(
             SymMatrix::from_dense(bad, 1e-12),
             Err(LinalgError::NotSymmetric { i: 0, j: 1 })

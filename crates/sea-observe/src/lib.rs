@@ -1,0 +1,29 @@
+//! Solver instrumentation for the SEA reproduction.
+//!
+//! This crate is the observability layer the solvers in `sea-core` emit
+//! into: a typed [`Event`] taxonomy covering solve lifecycle, phase
+//! timings, convergence snapshots, kernel work counters, and
+//! multiplier-bound activations; the [`Observer`] sink trait (statically
+//! dispatched, so the disabled path costs nothing); and three sinks —
+//! [`NullObserver`] (the default), [`JsonlObserver`] (streaming JSONL
+//! solve logs), and [`MetricsObserver`] (an in-memory registry rendering
+//! Prometheus text exposition format).
+//!
+//! The crate is deliberately dependency-free: JSON is hand-rolled in
+//! [`json`], and nothing here touches the solver crates — `sea-core`
+//! depends on `sea-observe`, never the reverse, so the event schema stays
+//! usable from reporting and simulation tools without pulling in the
+//! numerics.
+
+#![deny(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod jsonl;
+pub mod metrics;
+pub mod observer;
+
+pub use event::{Event, KernelCounters, PhaseLabel};
+pub use jsonl::{decode_event, encode_event, parse_events, JsonlObserver};
+pub use metrics::{MetricsObserver, MetricsRegistry};
+pub use observer::{NullObserver, Observer, TeeObserver, VecObserver};

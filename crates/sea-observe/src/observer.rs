@@ -1,0 +1,163 @@
+//! The `Observer` sink trait and the built-in null / in-memory sinks.
+
+use crate::event::Event;
+
+/// An event sink attached to a solver.
+///
+/// Solvers take `&mut O where O: Observer` generically, so the whole
+/// instrumentation path is monomorphized: with [`NullObserver`] (the
+/// default), `enabled()` is a `const false`, every `record` call is dead
+/// code after inlining, and the steady-state loop stays allocation-free —
+/// the zero-overhead guarantee the alloc-audit test enforces.
+///
+/// Implementations should keep `record` cheap; solvers call it from the
+/// serial portion of the loop (never from inside parallel workers), so a
+/// sink sees a well-ordered single-threaded event stream.
+pub trait Observer {
+    /// Whether this sink wants events at all. Solvers use this to skip
+    /// event *construction* (which may allocate, e.g. cloning per-task
+    /// timing vectors), not just delivery. Defaults to `true`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Deliver one event.
+    fn record(&mut self, event: &Event);
+}
+
+/// The default sink: drops everything, statically disabled.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn record(&mut self, _event: &Event) {}
+}
+
+/// An in-memory sink that buffers every event; the workhorse for tests and
+/// for post-solve reporting in one process.
+#[derive(Debug, Clone, Default)]
+pub struct VecObserver {
+    /// The recorded events, in delivery order.
+    pub events: Vec<Event>,
+}
+
+impl VecObserver {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Observer for VecObserver {
+    fn record(&mut self, event: &Event) {
+        self.events.push(event.clone());
+    }
+}
+
+/// Forwarding: a `&mut O` is itself an observer, so solvers can hand the
+/// same sink to nested stages (the general solver lends its observer to
+/// each inner diagonal solve).
+impl<O: Observer + ?Sized> Observer for &mut O {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    fn record(&mut self, event: &Event) {
+        (**self).record(event);
+    }
+}
+
+/// Fan-out to two sinks (compose for more). Enabled if either side is.
+#[derive(Debug, Default)]
+pub struct TeeObserver<A, B> {
+    /// First sink.
+    pub first: A,
+    /// Second sink.
+    pub second: B,
+}
+
+impl<A: Observer, B: Observer> TeeObserver<A, B> {
+    /// Combine two sinks.
+    pub fn new(first: A, second: B) -> Self {
+        TeeObserver { first, second }
+    }
+}
+
+impl<A: Observer, B: Observer> Observer for TeeObserver<A, B> {
+    fn enabled(&self) -> bool {
+        self.first.enabled() || self.second.enabled()
+    }
+
+    fn record(&mut self, event: &Event) {
+        if self.first.enabled() {
+            self.first.record(event);
+        }
+        if self.second.enabled() {
+            self.second.record(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_observer_is_disabled() {
+        let obs = NullObserver;
+        assert!(!obs.enabled());
+    }
+
+    #[test]
+    fn vec_observer_buffers_in_order() {
+        let mut obs = VecObserver::new();
+        assert!(obs.enabled());
+        obs.record(&Event::PhaseStart {
+            label: crate::PhaseLabel::RowEquilibration,
+            tasks: 4,
+        });
+        obs.record(&Event::SolveEnd {
+            iterations: 1,
+            converged: true,
+            residual: 0.0,
+            objective: 0.0,
+            dual_value: None,
+            seconds: 0.0,
+        });
+        assert_eq!(obs.events.len(), 2);
+        assert_eq!(obs.events[0].kind(), "phase_start");
+        assert_eq!(obs.events[1].kind(), "solve_end");
+    }
+
+    #[test]
+    fn tee_observer_fans_out_and_skips_disabled() {
+        let mut tee = TeeObserver::new(VecObserver::new(), NullObserver);
+        assert!(tee.enabled());
+        tee.record(&Event::KernelCounters {
+            counters: crate::KernelCounters::default(),
+        });
+        assert_eq!(tee.first.events.len(), 1);
+
+        let both_null = TeeObserver::new(NullObserver, NullObserver);
+        assert!(!both_null.enabled());
+    }
+
+    #[test]
+    fn mut_reference_forwards() {
+        let mut obs = VecObserver::new();
+        {
+            let via_ref: &mut VecObserver = &mut obs;
+            assert!(Observer::enabled(&via_ref));
+            via_ref.record(&Event::KernelCounters {
+                counters: crate::KernelCounters::default(),
+            });
+        }
+        assert_eq!(obs.events.len(), 1);
+    }
+}

@@ -70,9 +70,8 @@ pub fn lpt_makespan(tasks: &[f64], processors: usize) -> f64 {
     sorted.sort_unstable_by(|a, b| b.partial_cmp(a).expect("finite"));
     // Min-heap of processor loads keyed by bit pattern of the load (all
     // loads are nonnegative finite, so the ordering is correct).
-    let mut heap: BinaryHeap<Reverse<(u64, u64)>> = (0..p as u64)
-        .map(|i| Reverse((0u64, i)))
-        .collect();
+    let mut heap: BinaryHeap<Reverse<(u64, u64)>> =
+        (0..p as u64).map(|i| Reverse((0u64, i))).collect();
     for t in sorted {
         let Reverse((bits, id)) = heap.pop().expect("nonempty heap");
         let load = f64::from_bits(bits) + t;
@@ -102,8 +101,7 @@ pub fn simulate(phases: &[SimPhase], machine: &MachineModel) -> f64 {
                     .iter()
                     .map(|&t| t + machine.dispatch_overhead)
                     .collect();
-                elapsed +=
-                    lpt_makespan(&with_overhead, p_eff) + machine.fork_join_overhead;
+                elapsed += lpt_makespan(&with_overhead, p_eff) + machine.fork_join_overhead;
             } else {
                 elapsed += phase.work();
             }

@@ -47,8 +47,7 @@ pub fn speedup_table(
     processor_counts
         .iter()
         .map(|&p| {
-            let machine =
-                MachineModel::with_overheads(p, dispatch_overhead, fork_join_overhead);
+            let machine = MachineModel::with_overheads(p, dispatch_overhead, fork_join_overhead);
             let tn = if p <= 1 {
                 t1
             } else {

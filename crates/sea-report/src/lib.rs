@@ -1,11 +1,15 @@
 //! # sea-report — experiment harness utilities
 //!
-//! Table formatting, duration formatting, and experiment records used by
-//! the `sea-bench` binaries that regenerate the paper's Tables 1–9 and
-//! Figures 5/7. Kept dependency-free so every consumer can use it.
+//! Table formatting, duration formatting, experiment records used by the
+//! `sea-bench` binaries that regenerate the paper's Tables 1–9 and
+//! Figures 5/7, and [`SolveSummary`] — the aggregate view of a recorded
+//! solver event log (per-phase wall time, Amdahl serial fraction,
+//! iterations to convergence). Depends only on `sea-observe`.
 
 pub mod record;
+pub mod summary;
 pub mod table;
 
 pub use record::ExperimentRecord;
+pub use summary::{PhaseSummary, SolveSummary};
 pub use table::{fmt_seconds, Table};

@@ -1,0 +1,310 @@
+//! Post-solve summaries computed from recorded event logs.
+//!
+//! A JSONL log written with `sea-solve … --observe events.jsonl` (or any
+//! in-memory `Vec<Event>`) aggregates into a [`SolveSummary`]: per-phase
+//! wall time and total work, the Amdahl serial fraction, and the headline
+//! convergence figures. The summary renders as the same [`Table`] the
+//! bench binaries use, so solve logs and experiment records read alike.
+
+use crate::table::{fmt_seconds, Table};
+use sea_observe::{Event, KernelCounters, PhaseLabel};
+
+/// Aggregate over every execution of one phase label in a log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseSummary {
+    /// Which phase.
+    pub label: PhaseLabel,
+    /// How many times the phase ran.
+    pub count: usize,
+    /// Total wall-clock seconds across runs.
+    pub wall_seconds: f64,
+    /// Total work (sum of per-task costs; falls back to wall time for
+    /// phases recorded without task vectors).
+    pub work_seconds: f64,
+    /// Longest single task seen in any run.
+    pub max_task_seconds: f64,
+}
+
+/// Everything the `report` command prints about one recorded log.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SolveSummary {
+    /// Solver lifecycles in the log (the general driver nests one per
+    /// inner diagonal solve, so this can exceed 1 for a single run).
+    pub solves: usize,
+    /// Iterations of the outermost solve (the last `SolveEnd`).
+    pub iterations: usize,
+    /// Whether the outermost solve converged.
+    pub converged: bool,
+    /// Final residual of the outermost solve.
+    pub residual: f64,
+    /// Wall-clock seconds of the outermost solve.
+    pub solve_seconds: f64,
+    /// Outer diagonalization iterations (general solver only).
+    pub outer_iterations: usize,
+    /// Convergence checks performed across all solves.
+    pub checks: usize,
+    /// Per-phase aggregates, in [`PhaseLabel::ALL`] order; labels that
+    /// never ran are omitted.
+    pub phases: Vec<PhaseSummary>,
+    /// Merged kernel work counters.
+    pub counters: KernelCounters,
+}
+
+impl SolveSummary {
+    /// Aggregate an event stream (log order).
+    pub fn from_events(events: &[Event]) -> SolveSummary {
+        let mut out = SolveSummary::default();
+        let mut by_label: Vec<Option<PhaseSummary>> = vec![None; PhaseLabel::ALL.len()];
+        for event in events {
+            match event {
+                Event::SolveStart { .. } => out.solves += 1,
+                Event::PhaseEnd {
+                    label,
+                    seconds,
+                    task_seconds,
+                    ..
+                } => {
+                    let slot = PhaseLabel::ALL
+                        .iter()
+                        .position(|l| l == label)
+                        .expect("label in ALL");
+                    let entry = by_label[slot].get_or_insert(PhaseSummary {
+                        label: *label,
+                        count: 0,
+                        wall_seconds: 0.0,
+                        work_seconds: 0.0,
+                        max_task_seconds: 0.0,
+                    });
+                    entry.count += 1;
+                    entry.wall_seconds += seconds;
+                    if task_seconds.is_empty() {
+                        entry.work_seconds += seconds;
+                        entry.max_task_seconds = entry.max_task_seconds.max(*seconds);
+                    } else {
+                        entry.work_seconds += task_seconds.iter().sum::<f64>();
+                        entry.max_task_seconds = task_seconds
+                            .iter()
+                            .fold(entry.max_task_seconds, |m, &v| m.max(v));
+                    }
+                }
+                Event::ConvergenceCheck { .. } => out.checks += 1,
+                Event::OuterIteration { .. } => out.outer_iterations += 1,
+                Event::KernelCounters { counters } => {
+                    out.counters = out.counters.merged(*counters);
+                }
+                Event::SolveEnd {
+                    iterations,
+                    converged,
+                    residual,
+                    seconds,
+                    ..
+                } => {
+                    // The outermost lifecycle ends last; keep overwriting.
+                    out.iterations = *iterations;
+                    out.converged = *converged;
+                    out.residual = *residual;
+                    out.solve_seconds = *seconds;
+                }
+                Event::PhaseStart { .. } | Event::MultiplierBound { .. } => {}
+            }
+        }
+        out.phases = by_label.into_iter().flatten().collect();
+        out
+    }
+
+    /// Total work across all phases (seconds on one processor).
+    pub fn total_work(&self) -> f64 {
+        self.phases.iter().map(|p| p.work_seconds).sum()
+    }
+
+    /// The Amdahl serial fraction: work in inherently serial phases over
+    /// total work, in `[0, 1]`; `0.0` when the log holds no phases.
+    pub fn serial_fraction(&self) -> f64 {
+        let total = self.total_work();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let serial: f64 = self
+            .phases
+            .iter()
+            .filter(|p| !p.label.is_parallel())
+            .map(|p| p.work_seconds)
+            .sum();
+        serial / total
+    }
+
+    /// The per-phase table: runs, wall time, total work, work share.
+    pub fn phase_table(&self) -> Table {
+        let mut t = Table::new(
+            "Per-phase breakdown",
+            &["phase", "runs", "wall s", "work s", "share"],
+        );
+        let total = self.total_work().max(f64::MIN_POSITIVE);
+        for p in &self.phases {
+            t.push_row(vec![
+                p.label.name().to_string(),
+                p.count.to_string(),
+                fmt_seconds(p.wall_seconds),
+                fmt_seconds(p.work_seconds),
+                format!("{:.1}%", 100.0 * p.work_seconds / total),
+            ]);
+        }
+        t
+    }
+
+    /// Render the full summary: headline figures, the per-phase table, and
+    /// kernel work counters when present.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "solves: {}   iterations: {}   converged: {}   residual: {:.3e}\n",
+            self.solves, self.iterations, self.converged, self.residual
+        ));
+        out.push_str(&format!(
+            "wall time: {} s   convergence checks: {}\n",
+            fmt_seconds(self.solve_seconds),
+            self.checks
+        ));
+        if self.outer_iterations > 0 {
+            out.push_str(&format!("outer iterations: {}\n", self.outer_iterations));
+        }
+        out.push_str(&format!(
+            "serial fraction (Amdahl): {:.2}%\n\n",
+            100.0 * self.serial_fraction()
+        ));
+        out.push_str(&self.phase_table().render());
+        if !self.counters.is_empty() {
+            let c = &self.counters;
+            out.push_str(&format!(
+                "\nkernel work: {} subproblems, {} breakpoints scanned, \
+                 {} quickselect pivots, {} boxed clamps\n",
+                c.subproblems, c.breakpoints_scanned, c.quickselect_pivots, c.boxed_clamps
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> Vec<Event> {
+        vec![
+            Event::SolveStart {
+                solver: "diagonal",
+                rows: 2,
+                cols: 3,
+                kernel: "sortscan",
+                parallelism: "serial".to_string(),
+                criterion: "max_abs_change",
+            },
+            Event::PhaseEnd {
+                label: PhaseLabel::RowEquilibration,
+                tasks: 2,
+                seconds: 0.3,
+                task_seconds: vec![0.1, 0.2],
+            },
+            Event::PhaseEnd {
+                label: PhaseLabel::ColumnEquilibration,
+                tasks: 3,
+                seconds: 0.4,
+                task_seconds: vec![0.1, 0.1, 0.1],
+            },
+            Event::PhaseEnd {
+                label: PhaseLabel::ConvergenceCheck,
+                tasks: 1,
+                seconds: 0.1,
+                task_seconds: Vec::new(),
+            },
+            Event::ConvergenceCheck {
+                iteration: 1,
+                residual: 1e-9,
+                dual_value: Some(2.0),
+                criterion: "max_abs_change",
+            },
+            Event::KernelCounters {
+                counters: KernelCounters {
+                    subproblems: 5,
+                    breakpoints_scanned: 40,
+                    quickselect_pivots: 0,
+                    boxed_clamps: 0,
+                },
+            },
+            Event::SolveEnd {
+                iterations: 1,
+                converged: true,
+                residual: 1e-9,
+                objective: 3.0,
+                dual_value: Some(3.0),
+                seconds: 0.85,
+            },
+        ]
+    }
+
+    #[test]
+    fn aggregates_phases_and_headlines() {
+        let s = SolveSummary::from_events(&sample_log());
+        assert_eq!(s.solves, 1);
+        assert_eq!(s.iterations, 1);
+        assert!(s.converged);
+        assert_eq!(s.checks, 1);
+        assert_eq!(s.phases.len(), 3);
+        let row = &s.phases[0];
+        assert_eq!(row.label, PhaseLabel::RowEquilibration);
+        assert!((row.work_seconds - 0.3).abs() < 1e-12);
+        assert!((row.max_task_seconds - 0.2).abs() < 1e-12);
+        // The serial check (0.1s, no task vector) over 0.7s total work
+        // (work uses task sums: 0.3 row + 0.3 column + 0.1 check).
+        assert!((s.serial_fraction() - 0.1 / 0.7).abs() < 1e-9);
+        assert_eq!(s.counters.subproblems, 5);
+    }
+
+    #[test]
+    fn multiple_phase_runs_accumulate() {
+        let mut log = sample_log();
+        log.extend(sample_log());
+        let s = SolveSummary::from_events(&log);
+        assert_eq!(s.solves, 2);
+        assert_eq!(s.phases[0].count, 2);
+        assert!((s.phases[0].work_seconds - 0.6).abs() < 1e-12);
+        assert_eq!(s.counters.subproblems, 10);
+        // Serial fraction is scale-invariant.
+        assert!((s.serial_fraction() - 0.1 / 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn last_solve_end_wins() {
+        let mut log = sample_log();
+        log.push(Event::SolveEnd {
+            iterations: 7,
+            converged: false,
+            residual: 0.5,
+            objective: 0.0,
+            dual_value: None,
+            seconds: 2.0,
+        });
+        let s = SolveSummary::from_events(&log);
+        assert_eq!(s.iterations, 7);
+        assert!(!s.converged);
+        assert_eq!(s.solve_seconds, 2.0);
+    }
+
+    #[test]
+    fn render_includes_table_and_counters() {
+        let text = SolveSummary::from_events(&sample_log()).render();
+        assert!(text.contains("iterations: 1"));
+        assert!(text.contains("row_equilibration"));
+        assert!(text.contains("serial fraction"));
+        assert!(text.contains("5 subproblems"));
+    }
+
+    #[test]
+    fn empty_log_summarizes_to_zeroes() {
+        let s = SolveSummary::from_events(&[]);
+        assert_eq!(s.solves, 0);
+        assert_eq!(s.serial_fraction(), 0.0);
+        assert!(s.phases.is_empty());
+        assert!(s.render().contains("solves: 0"));
+    }
+}

@@ -62,15 +62,14 @@ impl Table {
         let mut out = String::new();
         out.push_str(&self.title);
         out.push('\n');
-        let line =
-            |cells: &[String], w: &[usize]| -> String {
-                let mut s = String::new();
-                for (c, width) in cells.iter().zip(w) {
-                    s.push_str(&format!("| {c:>width$} "));
-                }
-                s.push('|');
-                s
-            };
+        let line = |cells: &[String], w: &[usize]| -> String {
+            let mut s = String::new();
+            for (c, width) in cells.iter().zip(w) {
+                s.push_str(&format!("| {c:>width$} "));
+            }
+            s.push('|');
+            s
+        };
         out.push_str(&line(&self.headers, &w));
         out.push('\n');
         let mut sep = String::new();

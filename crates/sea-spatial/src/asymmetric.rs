@@ -131,16 +131,14 @@ impl AsymmetricSpe {
         let (m, n) = (self.m(), self.n());
         let supply_intercept: Vec<f64> = (0..m)
             .map(|i| {
-                self.supply_intercept[i]
-                    + sea_linalg::vector::dot(self.supply_jacobian.row(i), s)
+                self.supply_intercept[i] + sea_linalg::vector::dot(self.supply_jacobian.row(i), s)
                     - self.supply_jacobian.get(i, i) * s[i]
             })
             .collect();
         let supply_slope: Vec<f64> = (0..m).map(|i| self.supply_jacobian.get(i, i)).collect();
         let demand_intercept: Vec<f64> = (0..n)
             .map(|j| {
-                self.demand_intercept[j]
-                    - sea_linalg::vector::dot(self.demand_jacobian.row(j), d)
+                self.demand_intercept[j] - sea_linalg::vector::dot(self.demand_jacobian.row(j), d)
                     + self.demand_jacobian.get(j, j) * d[j]
             })
             .collect();
@@ -157,12 +155,7 @@ impl AsymmetricSpe {
 
     /// Evaluate the equilibrium conditions with the **full** asymmetric
     /// price functions.
-    pub fn check_equilibrium(
-        &self,
-        x: &DenseMatrix,
-        s: &[f64],
-        d: &[f64],
-    ) -> EquilibriumReport {
+    pub fn check_equilibrium(&self, x: &DenseMatrix, s: &[f64], d: &[f64]) -> EquilibriumReport {
         let (m, n) = (self.m(), self.n());
         let mut max_price_violation: f64 = f64::NEG_INFINITY;
         let mut max_gap: f64 = 0.0;
@@ -343,8 +336,7 @@ mod tests {
             cost_intercept: sep.cost_intercept.clone(),
             cost_slope: sep.cost_slope.clone(),
         };
-        let a = solve_asymmetric_spe(&asym, &SeaOptions::with_epsilon(1e-10), 1e-8, 100)
-            .unwrap();
+        let a = solve_asymmetric_spe(&asym, &SeaOptions::with_epsilon(1e-10), 1e-8, 100).unwrap();
         let b = solve_spe(&sep, &SeaOptions::with_epsilon(1e-10)).unwrap();
         assert!(a.converged && b.converged);
         assert!(
@@ -364,8 +356,7 @@ mod tests {
             .any(|(i, k)| i != k && (b.get(i, k) - b.get(k, i)).abs() > 1e-12);
         assert!(asym, "generator must produce an asymmetric Jacobian");
 
-        let sol =
-            solve_asymmetric_spe(&p, &SeaOptions::with_epsilon(1e-10), 1e-8, 500).unwrap();
+        let sol = solve_asymmetric_spe(&p, &SeaOptions::with_epsilon(1e-10), 1e-8, 500).unwrap();
         assert!(sol.converged, "residual {}", sol.outer_residual);
         assert!(sol.report.total_flow > 0.0);
         let scale = sol.report.total_flow.max(1.0);
@@ -397,8 +388,7 @@ mod tests {
         }
         let decoupled = solve_spe(&sep, &SeaOptions::with_epsilon(1e-10)).unwrap();
         let sol =
-            solve_asymmetric_spe(&coupled, &SeaOptions::with_epsilon(1e-10), 1e-8, 500)
-                .unwrap();
+            solve_asymmetric_spe(&coupled, &SeaOptions::with_epsilon(1e-10), 1e-8, 500).unwrap();
         assert!(sol.converged);
         assert!(
             sol.report.total_flow < decoupled.report.total_flow,

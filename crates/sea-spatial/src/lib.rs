@@ -41,4 +41,6 @@ pub use asymmetric::{
     random_asymmetric_spe, solve_asymmetric_spe, AsymmetricSolution, AsymmetricSpe,
 };
 pub use generate::random_spe;
-pub use model::{check_equilibrium, solve_spe, EquilibriumReport, SpatialPriceProblem, SpeSolution};
+pub use model::{
+    check_equilibrium, solve_spe, EquilibriumReport, SpatialPriceProblem, SpeSolution,
+};

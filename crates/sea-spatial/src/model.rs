@@ -149,7 +149,11 @@ impl SpatialPriceProblem {
         let gamma = DenseMatrix::from_vec(
             m,
             n,
-            self.cost_slope.as_slice().iter().map(|&h| 0.5 * h).collect(),
+            self.cost_slope
+                .as_slice()
+                .iter()
+                .map(|&h| 0.5 * h)
+                .collect(),
         )?;
         let x0 = DenseMatrix::from_vec(
             m,
@@ -164,7 +168,12 @@ impl SpatialPriceProblem {
         DiagonalProblem::with_signed_prior(
             x0,
             gamma,
-            TotalSpec::Elastic { alpha, s0, beta, d0 },
+            TotalSpec::Elastic {
+                alpha,
+                s0,
+                beta,
+                d0,
+            },
             ZeroPolicy::Free,
         )
     }
@@ -288,8 +297,7 @@ mod tests {
             supply_slope: vec![1.0, 1.0],
             demand_intercept: vec![40.0, 40.0],
             demand_slope: vec![1.0, 1.0],
-            cost_intercept: DenseMatrix::from_rows(&[vec![1.0, 15.0], vec![15.0, 1.0]])
-                .unwrap(),
+            cost_intercept: DenseMatrix::from_rows(&[vec![1.0, 15.0], vec![15.0, 1.0]]).unwrap(),
             cost_slope: DenseMatrix::filled(2, 2, 0.5).unwrap(),
         }
     }
