@@ -197,6 +197,7 @@ fn half_step(
             shift,
             side: if transposed { "column" } else { "row" },
             kernel: opts.kernel,
+            fault: None,
         };
         let costs = opts.record_trace.then_some(&mut buf.costs);
         equilibration_pass(

@@ -24,6 +24,17 @@ pub struct CommonOpts {
     pub metrics: Option<PathBuf>,
     /// Write the recorded execution trace (JSON) to this file.
     pub trace: Option<PathBuf>,
+    /// Wall-clock budget in seconds; on expiry the partial estimate is
+    /// emitted with a `deadline_exceeded` stop reason.
+    pub deadline: Option<f64>,
+    /// Hard iteration cap override (default: the solver's built-in cap).
+    pub max_iterations: Option<usize>,
+    /// Write crash-safe solver checkpoints to this path.
+    pub checkpoint: Option<PathBuf>,
+    /// Checkpoint cadence in iterations (with `--checkpoint`; default 64).
+    pub checkpoint_every: usize,
+    /// Resume a solve from a checkpoint written by `--checkpoint`.
+    pub resume: Option<PathBuf>,
 }
 
 /// Parsed subcommand.
@@ -142,6 +153,41 @@ fn common_from(flags: &mut HashMap<String, String>) -> Result<CommonOpts, ParseE
     let observe = flags.remove("observe").map(PathBuf::from);
     let metrics = flags.remove("metrics").map(PathBuf::from);
     let trace = flags.remove("trace").map(PathBuf::from);
+    let deadline = match flags.remove("deadline") {
+        None => None,
+        Some(v) => {
+            let secs: f64 = v
+                .parse()
+                .map_err(|_| format!("--deadline {v:?} is not a number of seconds"))?;
+            if !(secs > 0.0) {
+                return Err("--deadline must be strictly positive".to_string());
+            }
+            Some(secs)
+        }
+    };
+    let max_iterations = match flags.remove("max-iterations") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("--max-iterations {v:?} is not a positive integer"))?,
+        ),
+    };
+    let checkpoint = flags.remove("checkpoint").map(PathBuf::from);
+    let checkpoint_every = match flags.remove("checkpoint-every") {
+        None => 64,
+        Some(v) => {
+            if checkpoint.is_none() {
+                return Err("--checkpoint-every requires --checkpoint <path>".to_string());
+            }
+            v.parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("--checkpoint-every {v:?} is not a positive integer"))?
+        }
+    };
+    let resume = flags.remove("resume").map(PathBuf::from);
     Ok(CommonOpts {
         matrix: PathBuf::from(matrix),
         out,
@@ -152,6 +198,11 @@ fn common_from(flags: &mut HashMap<String, String>) -> Result<CommonOpts, ParseE
         observe,
         metrics,
         trace,
+        deadline,
+        max_iterations,
+        checkpoint,
+        checkpoint_every,
+        resume,
     })
 }
 
@@ -271,6 +322,35 @@ OBSERVABILITY (quadratic solver subcommands):
   --metrics <file>           write Prometheus text-format metrics
   --trace <file>             dump the recorded execution trace as JSON
 
+ROBUSTNESS (quadratic solver subcommands):
+  --deadline <secs>          wall-clock budget; on expiry the partial
+                             estimate is emitted with a stop reason and a
+                             KKT-residual certificate
+  --max-iterations <n>       hard iteration cap (partial estimate on hit)
+  --checkpoint <file>        write crash-safe solver checkpoints
+                             (tmp-then-rename; safe to kill at any time)
+  --checkpoint-every <k>     checkpoint cadence in iterations (default 64)
+  --resume <file>            resume a solve from a checkpoint
+
+SIGINT (Ctrl-C) cancels a running solve cooperatively: the partial
+estimate is emitted with stop reason `cancelled` and exit code 130.
+
+EXIT CODES:
+  0   converged                  1   I/O or internal error
+  2   usage error
+  stopped early (partial estimate on stdout):
+  5   iteration cap              6   deadline exceeded
+  7   kernel work cap            8   residual stagnated
+  9   numerical breakdown (recovered snapshot)
+  130 cancelled (SIGINT)
+  invalid problem or solver failure:
+  10  shape mismatch             11  non-positive weight
+  12  inconsistent fixed totals  13  negative total
+  14  non-finite input           15  SAM prior not square
+  16  infeasible subproblem      17  numerical breakdown
+  18  linear-algebra error       19  inconsistent bounds
+  20  worker panic (contained)
+
 `report` summarizes a JSONL log recorded with --observe: per-phase wall
 time, serial fraction, and iterations to convergence; with --processors N
 it also replays the log on a simulated N-processor machine.
@@ -359,6 +439,39 @@ mod tests {
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_robustness_flags() {
+        let cmd = parse_args(&argv(
+            "sam --matrix m.csv --deadline 1.5 --max-iterations 500 \
+             --checkpoint ck.txt --checkpoint-every 8 --resume old.txt",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Sam { common, .. } => {
+                assert_eq!(common.deadline, Some(1.5));
+                assert_eq!(common.max_iterations, Some(500));
+                assert_eq!(common.checkpoint, Some(PathBuf::from("ck.txt")));
+                assert_eq!(common.checkpoint_every, 8);
+                assert_eq!(common.resume, Some(PathBuf::from("old.txt")));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Defaults: supervision off, cadence 64.
+        match parse_args(&argv("sam --matrix m.csv")).unwrap() {
+            Command::Sam { common, .. } => {
+                assert!(common.deadline.is_none() && common.max_iterations.is_none());
+                assert!(common.checkpoint.is_none() && common.resume.is_none());
+                assert_eq!(common.checkpoint_every, 64);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse_args(&argv("sam --matrix m.csv --deadline -1")).is_err());
+        assert!(parse_args(&argv("sam --matrix m.csv --deadline soon")).is_err());
+        assert!(parse_args(&argv("sam --matrix m.csv --max-iterations 0")).is_err());
+        // Cadence without a checkpoint destination is a usage error.
+        assert!(parse_args(&argv("sam --matrix m.csv --checkpoint-every 8")).is_err());
     }
 
     #[test]

@@ -2,10 +2,13 @@
 
 use crate::args::{Command, CommonOpts, USAGE};
 use crate::csv;
+use crate::exit::CliError;
+use crate::sigint;
 use sea_baselines::ras::{ras_balance, RasOptions};
 use sea_core::{
-    solve_diagonal_observed, trace_from_events, DiagonalProblem, Event, ExecutionTrace, KernelKind,
-    Observer, SeaOptions, TotalSpec, WeightScheme, ZeroPolicy,
+    solve_diagonal_supervised, trace_from_events, Checkpoint, CheckpointPolicy, DiagonalProblem,
+    Event, ExecutionTrace, KernelKind, Observer, SeaOptions, StopReason, SupervisorOptions,
+    TotalSpec, WeightScheme, ZeroPolicy,
 };
 use sea_linalg::DenseMatrix;
 use sea_observe::jsonl::{parse_events, JsonlObserver};
@@ -15,9 +18,7 @@ use sea_report::SolveSummary;
 use std::fs::File;
 use std::io::BufWriter;
 use std::path::Path;
-
-/// Human-facing failure type for the CLI.
-pub type CliError = String;
+use std::time::Duration;
 
 /// The CLI's composite sink: an optional JSONL stream plus an optional
 /// metrics aggregator. With neither requested it reports disabled, so the
@@ -52,7 +53,7 @@ fn weight_scheme(name: &str) -> WeightScheme {
 }
 
 fn load_matrix(path: &Path) -> Result<DenseMatrix, CliError> {
-    csv::read_matrix(path).map_err(|e| format!("{}: {e}", path.display()))
+    csv::read_matrix(path).map_err(|e| format!("{}: {e}", path.display()).into())
 }
 
 fn load_vector(path: &Path, expected: usize, what: &str) -> Result<Vec<f64>, CliError> {
@@ -62,15 +63,14 @@ fn load_vector(path: &Path, expected: usize, what: &str) -> Result<Vec<f64>, Cli
             "{}: expected {expected} {what}, found {}",
             path.display(),
             v.len()
-        ));
+        )
+        .into());
     }
     Ok(v)
 }
 
 fn build_gamma(x0: &DenseMatrix, scheme: WeightScheme) -> Result<DenseMatrix, CliError> {
-    scheme
-        .entry_weights(x0)
-        .map_err(|e| format!("weight construction failed: {e}"))
+    scheme.entry_weights(x0).map_err(CliError::Solver)
 }
 
 fn emit(common: &CommonOpts, x: &DenseMatrix) -> Result<String, CliError> {
@@ -83,11 +83,49 @@ fn emit(common: &CommonOpts, x: &DenseMatrix) -> Result<String, CliError> {
     }
 }
 
+/// Translate the CLI's robustness flags into supervisor configuration.
+/// Resuming mutates `opts` (warm-start multipliers) as well.
+fn supervisor_from(
+    common: &CommonOpts,
+    opts: &mut SeaOptions,
+) -> Result<SupervisorOptions, CliError> {
+    let mut sup = SupervisorOptions {
+        cancel: sigint::cancel_token(),
+        ..SupervisorOptions::default()
+    };
+    sup.budget.deadline = common.deadline.map(Duration::from_secs_f64);
+    if let Some(path) = &common.checkpoint {
+        sup.checkpoint = Some(CheckpointPolicy {
+            path: path.clone(),
+            every: common.checkpoint_every,
+        });
+    }
+    if let Some(path) = &common.resume {
+        let ck = Checkpoint::load(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        if ck.solver != "diagonal" {
+            return Err(format!(
+                "{}: checkpoint is for the {:?} solver, not the diagonal solver",
+                path.display(),
+                ck.solver
+            )
+            .into());
+        }
+        // The solver validates the multiplier length against the problem.
+        opts.initial_mu = Some(ck.mu);
+        sup.start_iteration = ck.iteration;
+    }
+    Ok(sup)
+}
+
 fn solve_and_emit(common: &CommonOpts, problem: &DiagonalProblem) -> Result<String, CliError> {
     let mut opts = SeaOptions::with_epsilon(common.epsilon);
     opts.kernel = KernelKind::parse(&common.kernel)
         .ok_or_else(|| format!("unknown kernel {:?}", common.kernel))?;
     opts.record_trace = common.trace.is_some();
+    if let Some(n) = common.max_iterations {
+        opts.max_iterations = n;
+    }
+    let sup = supervisor_from(common, &mut opts)?;
     let mut obs = CliObserver {
         jsonl: match &common.observe {
             Some(path) => {
@@ -98,10 +136,11 @@ fn solve_and_emit(common: &CommonOpts, problem: &DiagonalProblem) -> Result<Stri
         },
         metrics: common.metrics.as_ref().map(|_| MetricsObserver::new()),
     };
-    let sol = solve_diagonal_observed(problem, &opts, &mut obs)
-        .map_err(|e| format!("solver failed: {e}"))?;
-    // Flush every sink before judging convergence, so a failed solve still
-    // leaves its log/metrics behind for diagnosis.
+    let sup_sol =
+        solve_diagonal_supervised(problem, &opts, &sup, &mut obs).map_err(CliError::Solver)?;
+    let sol = &sup_sol.solution;
+    // Flush every sink before judging convergence, so a stopped solve
+    // still leaves its log/metrics behind for diagnosis.
     let mut sink_notes = String::new();
     if let Some(jsonl) = obs.jsonl.take() {
         let path = common.observe.as_ref().expect("observe path set");
@@ -124,12 +163,41 @@ fn solve_and_emit(common: &CommonOpts, problem: &DiagonalProblem) -> Result<Stri
         std::fs::write(path, trace.to_json()).map_err(|e| format!("{}: {e}", path.display()))?;
         sink_notes.push_str(&format!("# trace: {}\n", path.display()));
     }
-    if !sol.stats.converged {
-        return Err(format!(
-            "did not converge within {} iterations (residual {:.3e}); \
-             loosen --epsilon or check the inputs",
-            sol.stats.iterations, sol.stats.residual
+    if let Some(err) = &sup_sol.checkpoint_error {
+        sink_notes.push_str(&format!("# checkpoint write failed: {err}\n"));
+    }
+    if sup_sol.kernel_fallbacks > 0 {
+        sink_notes.push_str(&format!(
+            "# kernel fallbacks to sort-scan: {}\n",
+            sup_sol.kernel_fallbacks
         ));
+    }
+    if sup_sol.stop != StopReason::Converged {
+        // Emit the partial estimate with an honesty stamp: why the solve
+        // stopped plus the KKT residuals of the returned iterate. The
+        // process still exits with the stop reason's code.
+        let cert = &sup_sol.certificate;
+        let mut report = emit(common, &sol.x)?;
+        report.push_str(&format!(
+            "# stopped: {} after {} iterations; residual {:.3e}\n",
+            sup_sol.stop.name(),
+            sol.stats.iterations,
+            sol.stats.residual
+        ));
+        report.push_str(&format!(
+            "# kkt: stationarity {:.3e}; sign {:.3e}; row residual {:.3e}; \
+             col residual {:.3e}; duality gap {:.3e}\n",
+            cert.max_stationarity,
+            cert.max_sign_violation,
+            cert.residuals.row_inf,
+            cert.residuals.col_inf,
+            cert.duality_gap
+        ));
+        report.push_str(&sink_notes);
+        return Err(CliError::Stopped {
+            reason: sup_sol.stop,
+            report,
+        });
     }
     let mut report = emit(common, &sol.x)?;
     report.push_str(&format!(
@@ -232,7 +300,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             };
             let problem =
                 DiagonalProblem::with_zero_policy(x0, gamma, TotalSpec::Fixed { s0, d0 }, policy)
-                    .map_err(|e| format!("invalid problem: {e}"))?;
+                    .map_err(CliError::Solver)?;
             solve_and_emit(common, &problem)
         }
         Command::Elastic {
@@ -262,17 +330,16 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 },
                 policy,
             )
-            .map_err(|e| format!("invalid problem: {e}"))?;
+            .map_err(CliError::Solver)?;
             solve_and_emit(common, &problem)
         }
         Command::Sam { common, totals } => {
             let x0 = load_matrix(&common.matrix)?;
             if x0.rows() != x0.cols() {
-                return Err(format!(
-                    "SAM balancing needs a square matrix, got {} x {}",
-                    x0.rows(),
-                    x0.cols()
-                ));
+                return Err(CliError::Solver(sea_core::SeaError::NotSquareSam {
+                    rows: x0.rows(),
+                    cols: x0.cols(),
+                }));
             }
             let n = x0.rows();
             let s0 = match totals {
@@ -296,7 +363,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 TotalSpec::Balanced { alpha, s0 },
                 policy,
             )
-            .map_err(|e| format!("invalid problem: {e}"))?;
+            .map_err(CliError::Solver)?;
             solve_and_emit(common, &problem)
         }
         Command::Ras {
@@ -317,7 +384,8 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                     "RAS did not converge ({:?}); the quadratic solvers may still \
                      handle this problem — try `sea-solve fixed`",
                     out.failure
-                ));
+                )
+                .into());
             }
             let mut report = emit(common, &out.x)?;
             report.push_str(&format!(
@@ -517,7 +585,7 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         let err = run(&parse_args(&argv).unwrap()).unwrap_err();
-        assert!(err.contains("line 1"), "{err}");
+        assert!(err.to_string().contains("line 1"), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -528,7 +596,7 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         let err = run(&parse_args(&argv).unwrap()).unwrap_err();
-        assert!(err.contains("/nonexistent/m.csv"));
+        assert!(err.to_string().contains("/nonexistent/m.csv"));
     }
 
     #[test]
@@ -550,7 +618,7 @@ mod tests {
         .map(|s| s.to_string())
         .collect();
         let err = run(&parse_args(&argv).unwrap()).unwrap_err();
-        assert!(err.contains("expected 2 row totals"));
+        assert!(err.to_string().contains("expected 2 row totals"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -24,6 +24,9 @@
 pub mod args;
 pub mod commands;
 pub mod csv;
+pub mod exit;
+pub mod sigint;
 
 pub use args::{parse_args, Command, CommonOpts};
 pub use commands::run;
+pub use exit::{CliError, EXIT_USAGE};

@@ -1,4 +1,10 @@
 //! Thin binary wrapper over the `sea-cli` library.
+//!
+//! Exit codes are the library's documented contract (see `sea-solve help`):
+//! 0 converged, 2 usage, 1 generic I/O failure, and a distinct code per
+//! solver error and early-stop reason. Supervised solves that stop early
+//! still print their partial estimate (with its stop reason and KKT
+//! certificate) to stdout before exiting nonzero.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -6,13 +12,16 @@ fn main() {
         Ok(cmd) => match sea_cli::run(&cmd) {
             Ok(output) => print!("{output}"),
             Err(e) => {
+                if let Some(partial) = e.partial_output() {
+                    print!("{partial}");
+                }
                 eprintln!("error: {e}");
-                std::process::exit(1);
+                std::process::exit(e.exit_code());
             }
         },
         Err(e) => {
             eprintln!("error: {e}\n\n{}", sea_cli::args::USAGE);
-            std::process::exit(2);
+            std::process::exit(sea_cli::EXIT_USAGE);
         }
     }
 }

@@ -1,0 +1,71 @@
+//! Cooperative Ctrl-C handling for solver subcommands.
+//!
+//! On Unix a minimal `signal(2)` handler sets a static flag that the
+//! supervisor's [`CancelToken`] polls once per iteration, so an
+//! interrupted solve unwinds normally: sinks flush, the partial estimate
+//! is emitted with its certificate, and the process exits 130. The
+//! declaration binds the C `signal` function directly (std already links
+//! libc) to keep the CLI dependency-free.
+
+use sea_core::CancelToken;
+use std::sync::atomic::AtomicBool;
+
+/// Set by the handler on the first SIGINT.
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::INTERRUPTED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_sigint(_signum: i32) {
+        // Only the atomic store: anything else is not async-signal-safe.
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() -> bool {
+        // SAFETY: `signal` with a handler that only stores to a static
+        // atomic is async-signal-safe; the previous disposition (default
+        // terminate) needs no restoration.
+        unsafe { signal(SIGINT, on_sigint) };
+        true
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() -> bool {
+        false
+    }
+}
+
+/// Install the SIGINT handler (idempotent) and return a token that fires
+/// when the user presses Ctrl-C. `None` on platforms without `signal(2)`,
+/// where the default abrupt termination stays in place.
+pub fn cancel_token() -> Option<CancelToken> {
+    imp::install().then(|| CancelToken::from_static(&INTERRUPTED))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn token_tracks_the_static_flag() {
+        let Some(token) = cancel_token() else {
+            return; // non-unix: nothing to test
+        };
+        assert!(!token.is_cancelled());
+        INTERRUPTED.store(true, Ordering::SeqCst);
+        assert!(token.is_cancelled());
+        INTERRUPTED.store(false, Ordering::SeqCst);
+        assert!(!token.is_cancelled());
+    }
+}

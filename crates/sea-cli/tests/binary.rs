@@ -73,7 +73,7 @@ fn bad_flags_exit_with_code_2_and_usage() {
 }
 
 #[test]
-fn solver_failures_exit_with_code_1() {
+fn solver_failures_exit_with_their_documented_code() {
     let dir = tmpdir("fail");
     write(&dir, "m.csv", "1,2\n3,4\n");
     write(&dir, "s.csv", "4,6\n");
@@ -90,9 +90,198 @@ fn solver_failures_exit_with_code_1() {
         ])
         .output()
         .expect("binary runs");
-    assert_eq!(output.status.code(), Some(1));
+    // InconsistentTotals has its own documented exit code.
+    assert_eq!(output.status.code(), Some(12));
     let err = String::from_utf8_lossy(&output.stderr);
     assert!(err.contains("inconsistent"));
+
+    // An I/O failure (missing file) stays on the generic code 1.
+    let output = Command::new(bin())
+        .args(["info", "--matrix", "/nonexistent/m.csv"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(1));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A small problem driven to a hard (tiny-epsilon) target so supervised
+/// stops can be exercised deterministically.
+fn hard_problem_args(dir: &Path) -> Vec<String> {
+    write(dir, "m.csv", "10,4,6\n3,12,5\n7,2,11\n");
+    write(dir, "s.csv", "24,22,24\n");
+    write(dir, "d.csv", "25,20,25\n");
+    [
+        "fixed",
+        "--matrix",
+        dir.join("m.csv").to_str().unwrap(),
+        "--row-totals",
+        dir.join("s.csv").to_str().unwrap(),
+        "--col-totals",
+        dir.join("d.csv").to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+#[test]
+fn iteration_cap_emits_partial_estimate_with_certificate() {
+    let dir = tmpdir("itercap");
+    let mut argv = hard_problem_args(&dir);
+    // Unattainable tolerance + tiny cap: the solve must stop early.
+    argv.extend(["--epsilon", "1e-300", "--max-iterations", "3"].map(String::from));
+    let output = Command::new(bin())
+        .args(&argv)
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(5), "iteration_cap exit code");
+    let out = String::from_utf8_lossy(&output.stdout);
+    // Partial estimate: three CSV rows plus the honesty trailer.
+    assert!(
+        out.contains("# stopped: iteration_cap after 3 iterations"),
+        "{out}"
+    );
+    assert!(out.contains("# kkt: stationarity"), "{out}");
+    assert!(out.lines().filter(|l| !l.starts_with('#')).count() >= 3);
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("stopped early: iteration_cap"), "{err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn deadline_expiry_emits_partial_estimate() {
+    let dir = tmpdir("deadline");
+    let mut argv = hard_problem_args(&dir);
+    // An unattainable tolerance with a microscopic wall-clock budget.
+    argv.extend(["--epsilon", "1e-300", "--deadline", "1e-6"].map(String::from));
+    let output = Command::new(bin())
+        .args(&argv)
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(6), "deadline_exceeded exit code");
+    let out = String::from_utf8_lossy(&output.stdout);
+    assert!(out.contains("# stopped: deadline_exceeded"), "{out}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn checkpoint_then_resume_completes_the_solve() {
+    let dir = tmpdir("resume");
+    let ck = dir.join("state.ckpt");
+
+    // Phase 1: stop after 4 iterations, checkpointing every iteration.
+    let mut argv = hard_problem_args(&dir);
+    argv.extend(
+        [
+            "--epsilon",
+            "1e-10",
+            "--max-iterations",
+            "4",
+            "--checkpoint",
+            ck.to_str().unwrap(),
+            "--checkpoint-every",
+            "1",
+        ]
+        .map(String::from),
+    );
+    let output = Command::new(bin())
+        .args(&argv)
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(5));
+    assert!(ck.exists(), "checkpoint file written");
+    assert!(!dir.join("state.ckpt.tmp").exists(), "no tmp residue");
+
+    // Phase 2: resume from the checkpoint and run to convergence.
+    let out_csv = dir.join("x.csv");
+    let mut argv = hard_problem_args(&dir);
+    argv.extend(
+        [
+            "--epsilon",
+            "1e-10",
+            "--resume",
+            ck.to_str().unwrap(),
+            "--out",
+            out_csv.to_str().unwrap(),
+        ]
+        .map(String::from),
+    );
+    let output = Command::new(bin())
+        .args(&argv)
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(0), "resumed solve converges");
+    let text = std::fs::read_to_string(&out_csv).unwrap();
+    let rows: Vec<Vec<f64>> = text
+        .lines()
+        .map(|l| l.split(',').map(|c| c.parse().unwrap()).collect())
+        .collect();
+    let row_sum: f64 = rows[0].iter().sum();
+    assert!((row_sum - 24.0).abs() < 1e-6);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn resume_rejects_garbage_checkpoints() {
+    let dir = tmpdir("badck");
+    let ck = write(&dir, "bogus.ckpt", "not a checkpoint\n");
+    let mut argv = hard_problem_args(&dir);
+    argv.extend(["--resume".to_string(), ck.to_str().unwrap().to_string()]);
+    let output = Command::new(bin())
+        .args(&argv)
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("bogus.ckpt"), "{err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[cfg(unix)]
+#[test]
+fn sigint_yields_partial_estimate_and_exit_130() {
+    let dir = tmpdir("sigint");
+    // A bigger matrix with an unattainable tolerance and a huge iteration
+    // budget: the solve runs until interrupted.
+    let n = 60;
+    let m: String = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| format!("{}", 1.0 + ((i * n + j) % 17) as f64))
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    let matrix = write(&dir, "m.csv", &(m + "\n"));
+    let child = Command::new(bin())
+        .args([
+            "sam",
+            "--matrix",
+            matrix.to_str().unwrap(),
+            "--epsilon",
+            "1e-300",
+            "--max-iterations",
+            "500000000",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    // Give the solve time to start, then deliver SIGINT.
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    let kill = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(kill.success());
+    // wait_with_output drains the pipes while waiting, so a partial
+    // estimate larger than the pipe buffer cannot deadlock the child.
+    let output = child.wait_with_output().expect("child exits");
+    assert_eq!(output.status.code(), Some(130), "SIGINT exit code");
+    let out = String::from_utf8_lossy(&output.stdout);
+    assert!(out.contains("# stopped: cancelled"), "{out}");
+    assert!(out.contains("# kkt: stationarity"), "{out}");
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

@@ -92,6 +92,9 @@ pub fn dual_value(p: &DiagonalProblem, lambda: &[f64], mu: &[f64]) -> f64 {
 /// The multiplier-defined primal point `X(λ,μ), S(λ,μ), D(λ,μ)`
 /// (eq. 23a–c / 40a–b): the inner minimizer of the Lagrangian. Structural
 /// zeros are kept at zero.
+// Allowed: `DiagonalProblem` construction guarantees m, n >= 1, so the
+// workspace allocation cannot fail.
+#[allow(clippy::expect_used)]
 pub fn primal_from_multipliers(
     p: &DiagonalProblem,
     lambda: &[f64],

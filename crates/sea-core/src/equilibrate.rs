@@ -14,6 +14,7 @@
 use crate::error::SeaError;
 use crate::knapsack::{exact_equilibration_with, EquilibrationScratch, KernelKind, TotalMode};
 use crate::parallel::Parallelism;
+use crate::supervisor::TaskFault;
 use rayon::prelude::*;
 use sea_linalg::DenseMatrix;
 use sea_observe::KernelCounters;
@@ -41,6 +42,9 @@ pub struct PassCounters {
     breakpoints_scanned: AtomicU64,
     quickselect_pivots: AtomicU64,
     boxed_clamps: AtomicU64,
+    // Tracked outside `KernelCounters`, whose 4-field wire layout is pinned
+    // by the JSONL golden fixture.
+    kernel_fallbacks: AtomicU64,
 }
 
 impl PassCounters {
@@ -56,6 +60,18 @@ impl PassCounters {
             .fetch_add(c.quickselect_pivots, Ordering::Relaxed);
         self.boxed_clamps
             .fetch_add(c.boxed_clamps, Ordering::Relaxed);
+    }
+
+    /// Fold one scratch's quickselect→sort-scan fallback count in.
+    pub fn add_fallbacks(&self, n: u64) {
+        if n != 0 {
+            self.kernel_fallbacks.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Total quickselect→sort-scan fallbacks accumulated so far.
+    pub fn fallbacks(&self) -> u64 {
+        self.kernel_fallbacks.load(Ordering::Relaxed)
     }
 
     /// Read the current totals.
@@ -79,6 +95,8 @@ pub(crate) struct TaskScratch {
     g: Vec<f64>,
     sh: Vec<f64>,
     x: Vec<f64>,
+    /// Quickselect→sort-scan fallbacks taken by this thread's tasks.
+    fallbacks: u64,
 }
 
 impl TaskScratch {
@@ -101,6 +119,37 @@ pub struct PassInputs<'a> {
     pub side: &'static str,
     /// Which equilibration kernel solves each subproblem.
     pub kernel: KernelKind,
+    /// Scripted fault for one subproblem of this pass (fault-injection
+    /// harness only; `None` in production).
+    pub fault: Option<TaskFault>,
+}
+
+/// Run the configured kernel on one subproblem; on a pathological result
+/// (non-finite `λ` or total — or a scripted kernel fault) re-solve with the
+/// robust sort-scan kernel and count the fallback. Quickselect's
+/// median-of-three pivoting can in principle degrade on adversarial
+/// breakpoint patterns; sort-scan is the slower oracle both kernels are
+/// differentially tested against, so it is the safe harbor.
+#[allow(clippy::too_many_arguments)] // kernel inputs + output + workspace + fallback sink
+fn kernel_solve(
+    kernel: KernelKind,
+    force_fallback: bool,
+    q: &[f64],
+    g: &[f64],
+    sh: &[f64],
+    mode: TotalMode,
+    x: &mut [f64],
+    eq: &mut EquilibrationScratch,
+    fallbacks: &mut u64,
+) -> Result<(f64, f64), SeaError> {
+    let r = exact_equilibration_with(kernel, q, g, sh, mode, x, eq)?;
+    let pathological = force_fallback || !r.lambda.is_finite() || !r.total.is_finite();
+    if pathological && kernel == KernelKind::Quickselect {
+        *fallbacks += 1;
+        let r = exact_equilibration_with(KernelKind::SortScan, q, g, sh, mode, x, eq)?;
+        return Ok((r.lambda, r.total));
+    }
+    Ok((r.lambda, r.total))
 }
 
 /// Solve one subproblem; returns `(λ, realized total)` and writes the
@@ -112,19 +161,27 @@ fn solve_task(
     x_row: &mut [f64],
     scratch: &mut TaskScratch,
 ) -> Result<(f64, f64), SeaError> {
-    match inp.support {
-        None => {
-            let r = exact_equilibration_with(
-                inp.kernel,
-                inp.prior.row(i),
-                inp.gamma.row(i),
-                inp.shift,
-                mode,
-                x_row,
-                &mut scratch.eq,
-            )?;
-            Ok((r.lambda, r.total))
+    let force_fallback = match inp.fault {
+        Some(f) if f.index == i => {
+            if f.panic {
+                panic!("injected worker panic (fault plan)");
+            }
+            true
         }
+        _ => false,
+    };
+    match inp.support {
+        None => kernel_solve(
+            inp.kernel,
+            force_fallback,
+            inp.prior.row(i),
+            inp.gamma.row(i),
+            inp.shift,
+            mode,
+            x_row,
+            &mut scratch.eq,
+            &mut scratch.fallbacks,
+        ),
         Some(support) => {
             let idx = &support[i];
             let k = idx.len();
@@ -157,27 +214,59 @@ fn solve_task(
                 scratch.sh.push(inp.shift[j]);
             }
             scratch.x.resize(k, 0.0);
-            let r = exact_equilibration_with(
-                inp.kernel,
-                &scratch.q,
-                &scratch.g,
-                &scratch.sh,
-                mode,
-                &mut scratch.x,
-                &mut scratch.eq,
-            )
-            .map_err(|e| match e {
-                SeaError::InfeasibleSubproblem { .. } => SeaError::InfeasibleSubproblem {
-                    side: inp.side,
-                    index: i,
-                },
-                other => other,
-            })?;
+            let TaskScratch {
+                eq,
+                q,
+                g,
+                sh,
+                x,
+                fallbacks,
+            } = scratch;
+            let (lambda, total) =
+                kernel_solve(inp.kernel, force_fallback, q, g, sh, mode, x, eq, fallbacks)
+                    .map_err(|e| match e {
+                        SeaError::InfeasibleSubproblem { .. } => SeaError::InfeasibleSubproblem {
+                            side: inp.side,
+                            index: i,
+                        },
+                        other => other,
+                    })?;
             x_row.fill(0.0);
             for (&j, &v) in idx.iter().zip(&scratch.x) {
                 x_row[j as usize] = v;
             }
-            Ok((r.lambda, r.total))
+            Ok((lambda, total))
+        }
+    }
+}
+
+/// [`solve_task`] with panic containment: a worker panic (including a
+/// scripted one) becomes [`SeaError::WorkerPanic`] instead of unwinding
+/// through — or, under rayon, aborting — the whole solve. The non-panic
+/// path of `catch_unwind` costs no allocation, preserving the
+/// allocation-free steady state.
+fn run_task(
+    inp: &PassInputs<'_>,
+    i: usize,
+    mode: TotalMode,
+    x_row: &mut [f64],
+    scratch: &mut TaskScratch,
+) -> Result<(f64, f64), SeaError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        solve_task(inp, i, mode, x_row, scratch)
+    })) {
+        Ok(r) => r,
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic payload of unknown type".to_string());
+            Err(SeaError::WorkerPanic {
+                side: inp.side,
+                index: i,
+                message,
+            })
         }
     }
 }
@@ -228,9 +317,10 @@ pub fn equilibration_pass(
             // The scratch outlives any one pass; drop counts a previous
             // (possibly aborted) pass left behind before accumulating.
             scratch.eq.stats = KernelCounters::default();
+            scratch.fallbacks = 0;
             for i in 0..m {
                 let t0 = timing.then(Instant::now);
-                let (l, s) = solve_task(inp, i, modes(i), x.row_mut(i), scratch)?;
+                let (l, s) = run_task(inp, i, modes(i), x.row_mut(i), scratch)?;
                 lambda[i] = l;
                 totals_out[i] = s;
                 if let Some(t0) = t0 {
@@ -239,6 +329,7 @@ pub fn equilibration_pass(
             }
             if let Some(c) = counters {
                 c.add(&scratch.eq.stats);
+                c.add_fallbacks(scratch.fallbacks);
             }
             Ok(())
         }),
@@ -254,13 +345,15 @@ pub fn equilibration_pass(
                     .enumerate()
                     .try_for_each_init(TaskScratch::new, |scratch, (i, (((l, s), xr), c))| {
                         let t0 = Instant::now();
-                        let (lv, sv) = solve_task(inp, i, modes(i), xr, scratch)?;
+                        let (lv, sv) = run_task(inp, i, modes(i), xr, scratch)?;
                         *l = lv;
                         *s = sv;
                         *c = t0.elapsed().as_secs_f64();
                         if let Some(acc) = counters {
                             acc.add(&scratch.eq.stats);
+                            acc.add_fallbacks(scratch.fallbacks);
                             scratch.eq.stats = KernelCounters::default();
+                            scratch.fallbacks = 0;
                         }
                         Ok(())
                     })
@@ -271,12 +364,14 @@ pub fn equilibration_pass(
                     .zip(x.par_row_iter_mut())
                     .enumerate()
                     .try_for_each_init(TaskScratch::new, |scratch, (i, ((l, s), xr))| {
-                        let (lv, sv) = solve_task(inp, i, modes(i), xr, scratch)?;
+                        let (lv, sv) = run_task(inp, i, modes(i), xr, scratch)?;
                         *l = lv;
                         *s = sv;
                         if let Some(acc) = counters {
                             acc.add(&scratch.eq.stats);
+                            acc.add_fallbacks(scratch.fallbacks);
                             scratch.eq.stats = KernelCounters::default();
+                            scratch.fallbacks = 0;
                         }
                         Ok(())
                     })
@@ -306,6 +401,7 @@ mod tests {
             shift: &shift,
             side: "row",
             kernel: KernelKind::SortScan,
+            fault: None,
         };
         let s0 = [9.0, 3.0];
         let mut lambda = vec![0.0; 2];
@@ -339,6 +435,7 @@ mod tests {
             shift: &shift,
             side: "row",
             kernel: KernelKind::SortScan,
+            fault: None,
         };
         let run = |par: Parallelism| {
             let mut lambda = vec![0.0; 2];
@@ -380,6 +477,7 @@ mod tests {
             shift: &shift,
             side: "row",
             kernel: KernelKind::SortScan,
+            fault: None,
         };
         let mut lambda = vec![0.0; 2];
         let mut totals = vec![0.0; 2];
@@ -412,6 +510,7 @@ mod tests {
             shift: &shift,
             side: "column",
             kernel: KernelKind::SortScan,
+            fault: None,
         };
         let mut lambda = vec![0.0; 2];
         let mut totals = vec![0.0; 2];
@@ -446,6 +545,7 @@ mod tests {
             shift: &shift,
             side: "row",
             kernel: KernelKind::SortScan,
+            fault: None,
         };
         let mut lambda = vec![0.0; 2];
         let mut totals = vec![0.0; 2];
@@ -477,6 +577,7 @@ mod tests {
             shift: &shift,
             side: "row",
             kernel: KernelKind::SortScan,
+            fault: None,
         };
         for par in [Parallelism::Serial, Parallelism::Rayon] {
             let counters = PassCounters::default();
@@ -498,6 +599,118 @@ mod tests {
             assert_eq!(snap.subproblems, 2, "par={par:?}");
             assert!(snap.breakpoints_scanned >= 2);
             assert_eq!(snap.quickselect_pivots, 0);
+        }
+    }
+
+    #[test]
+    fn injected_kernel_fault_falls_back_to_sort_scan() {
+        let (x0, gamma) = setup();
+        let shift = vec![0.0; 3];
+        let inp = PassInputs {
+            prior: &x0,
+            gamma: &gamma,
+            support: None,
+            shift: &shift,
+            side: "row",
+            kernel: KernelKind::Quickselect,
+            fault: Some(TaskFault {
+                index: 1,
+                panic: false,
+            }),
+        };
+        let counters = PassCounters::default();
+        let mut lambda = vec![0.0; 2];
+        let mut totals = vec![0.0; 2];
+        let mut x = DenseMatrix::zeros(2, 3).unwrap();
+        equilibration_pass(
+            &inp,
+            &|_| TotalMode::Fixed { total: 5.0 },
+            &mut lambda,
+            &mut totals,
+            &mut x,
+            Parallelism::Serial,
+            None,
+            Some(&counters),
+        )
+        .unwrap();
+        assert_eq!(counters.fallbacks(), 1);
+        // The fallback re-solve still hits the row total exactly.
+        let sums = x.row_sums();
+        assert!((sums[1] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn injected_kernel_fault_is_inert_under_sort_scan() {
+        let (x0, gamma) = setup();
+        let shift = vec![0.0; 3];
+        let inp = PassInputs {
+            prior: &x0,
+            gamma: &gamma,
+            support: None,
+            shift: &shift,
+            side: "row",
+            kernel: KernelKind::SortScan,
+            fault: Some(TaskFault {
+                index: 0,
+                panic: false,
+            }),
+        };
+        let counters = PassCounters::default();
+        let mut lambda = vec![0.0; 2];
+        let mut totals = vec![0.0; 2];
+        let mut x = DenseMatrix::zeros(2, 3).unwrap();
+        equilibration_pass(
+            &inp,
+            &|_| TotalMode::Fixed { total: 5.0 },
+            &mut lambda,
+            &mut totals,
+            &mut x,
+            Parallelism::Serial,
+            None,
+            Some(&counters),
+        )
+        .unwrap();
+        assert_eq!(counters.fallbacks(), 0, "sort-scan has no fallback target");
+    }
+
+    #[test]
+    fn worker_panic_is_contained_as_typed_error() {
+        let (x0, gamma) = setup();
+        let shift = vec![0.0; 3];
+        for par in [Parallelism::Serial, Parallelism::Rayon] {
+            let inp = PassInputs {
+                prior: &x0,
+                gamma: &gamma,
+                support: None,
+                shift: &shift,
+                side: "column",
+                kernel: KernelKind::SortScan,
+                fault: Some(TaskFault {
+                    index: 1,
+                    panic: true,
+                }),
+            };
+            let mut lambda = vec![0.0; 2];
+            let mut totals = vec![0.0; 2];
+            let mut x = DenseMatrix::zeros(2, 3).unwrap();
+            let e = equilibration_pass(
+                &inp,
+                &|_| TotalMode::Fixed { total: 5.0 },
+                &mut lambda,
+                &mut totals,
+                &mut x,
+                par,
+                None,
+                None,
+            );
+            match e {
+                Err(SeaError::WorkerPanic {
+                    side: "column",
+                    index: 1,
+                    message,
+                }) => assert!(message.contains("injected"), "message: {message}"),
+                other => panic!("expected WorkerPanic, got {other:?} (par={par:?})"),
+            }
         }
     }
 }

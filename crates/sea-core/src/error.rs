@@ -74,6 +74,20 @@ pub enum SeaError {
     InconsistentBounds {
         /// Flat index of the offending entry, if entry-level.
         index: usize,
+        /// The offending lower bound.
+        lower: f64,
+        /// The offending upper bound.
+        upper: f64,
+    },
+    /// A parallel equilibration worker panicked; the panic was contained
+    /// by the supervisor instead of aborting the process.
+    WorkerPanic {
+        /// `"row"` or `"column"`.
+        side: &'static str,
+        /// Index of the subproblem whose worker panicked.
+        index: usize,
+        /// The panic payload's message, when it was a string.
+        message: String,
     },
 }
 
@@ -114,9 +128,22 @@ impl fmt::Display for SeaError {
                 write!(f, "numerical breakdown at iteration {iteration}")
             }
             SeaError::Linalg(e) => write!(f, "linear algebra error: {e}"),
-            SeaError::InconsistentBounds { index } => {
-                write!(f, "inconsistent bounds at entry {index}")
-            }
+            SeaError::InconsistentBounds {
+                index,
+                lower,
+                upper,
+            } => write!(
+                f,
+                "inconsistent bounds at entry {index}: lower {lower} > upper {upper}"
+            ),
+            SeaError::WorkerPanic {
+                side,
+                index,
+                message,
+            } => write!(
+                f,
+                "{side} equilibration worker {index} panicked: {message}"
+            ),
         }
     }
 }
@@ -155,6 +182,32 @@ mod tests {
             value: 0.0,
         };
         assert!(e.to_string().contains("gamma[3]"));
+    }
+
+    #[test]
+    fn inconsistent_bounds_reports_offending_values() {
+        let e = SeaError::InconsistentBounds {
+            index: 5,
+            lower: 2.5,
+            upper: 1.25,
+        };
+        let s = e.to_string();
+        assert!(s.contains("entry 5"), "{s}");
+        assert!(s.contains("2.5"), "{s}");
+        assert!(s.contains("1.25"), "{s}");
+    }
+
+    #[test]
+    fn worker_panic_reports_side_index_and_message() {
+        let e = SeaError::WorkerPanic {
+            side: "row",
+            index: 7,
+            message: "index out of bounds".to_string(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("row"), "{s}");
+        assert!(s.contains('7'), "{s}");
+        assert!(s.contains("index out of bounds"), "{s}");
     }
 
     #[test]

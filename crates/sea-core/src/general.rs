@@ -13,8 +13,9 @@
 use crate::error::SeaError;
 use crate::problem::{DiagonalProblem, Residuals, TotalSpec, ZeroPolicy};
 use crate::solver::{solve_diagonal_observed, SeaOptions};
+use crate::supervisor::{SolveControl, StopReason, SupervisedGeneralSolution, SupervisorOptions};
 use crate::trace::{ExecutionTrace, PhaseKind};
-use sea_linalg::{DenseMatrix, SymMatrix};
+use sea_linalg::{vector, DenseMatrix, SymMatrix};
 use sea_observe::{Event, NullObserver, Observer, PhaseLabel};
 use std::time::{Duration, Instant};
 
@@ -179,6 +180,9 @@ impl GeneralProblem {
     }
 
     /// Primal objective (eq. 1/6/10): `(x−x⁰)ᵀG(x−x⁰) [+ totals terms]`.
+    // Allowed: every quadratic form is evaluated on vectors whose lengths
+    // were validated against G/A/B at problem construction.
+    #[allow(clippy::expect_used)]
     pub fn objective(&self, x: &DenseMatrix, s: &[f64], d: &[f64]) -> f64 {
         let dev: Vec<f64> = x
             .as_slice()
@@ -206,6 +210,9 @@ impl GeneralProblem {
     /// An initial feasible point for the projection method ("start with any
     /// feasible (s, x, d)"): proportional fill for fixed totals, the prior
     /// itself for elastic totals, a balanced proportional fill for SAMs.
+    // Allowed: construction guarantees m, n >= 1, so the proportional-fill
+    // allocation cannot fail.
+    #[allow(clippy::expect_used)]
     pub fn initial_feasible(&self) -> (DenseMatrix, Vec<f64>, Vec<f64>) {
         let (m, n) = (self.m(), self.n());
         match &self.totals {
@@ -365,6 +372,39 @@ pub fn solve_general_observed<O: Observer + Send>(
     opts: &GeneralSeaOptions,
     obs: &mut O,
 ) -> Result<GeneralSolution, SeaError> {
+    solve_general_inner(p, opts, obs, &mut SolveControl::passive())
+}
+
+/// [`solve_general_observed`] under the fault-tolerant supervisor. The
+/// budget, cancellation, stagnation, and breakdown watchdogs run at
+/// *outer-iteration* granularity (an inner diagonal solve always runs to
+/// its own completion); worker panics inside the inner equilibration passes
+/// surface as [`SeaError::WorkerPanic`] regardless.
+///
+/// # Errors
+/// Same contract as [`solve_general`].
+pub fn solve_general_supervised<O: Observer + Send>(
+    p: &GeneralProblem,
+    opts: &GeneralSeaOptions,
+    sup: &SupervisorOptions,
+    obs: &mut O,
+) -> Result<SupervisedGeneralSolution, SeaError> {
+    let mut ctrl = SolveControl::active(sup);
+    let solution = solve_general_inner(p, opts, obs, &mut ctrl)?;
+    let stop = if solution.converged {
+        StopReason::Converged
+    } else {
+        ctrl.stop().unwrap_or(StopReason::IterationCap)
+    };
+    Ok(SupervisedGeneralSolution { solution, stop })
+}
+
+fn solve_general_inner<O: Observer + Send>(
+    p: &GeneralProblem,
+    opts: &GeneralSeaOptions,
+    obs: &mut O,
+    ctrl: &mut SolveControl<'_>,
+) -> Result<GeneralSolution, SeaError> {
     let start = Instant::now();
     let (m, n) = (p.m(), p.n());
     let observing = obs.enabled();
@@ -494,6 +534,38 @@ pub fn solve_general_observed<O: Observer + Send>(
             converged = true;
             break;
         }
+
+        // ---- Supervisor hooks (outer-iteration granularity). -------------
+        if ctrl.is_active() {
+            if !vector::all_finite(x.as_slice()) {
+                let mut no_multipliers: [f64; 0] = [];
+                let mut no_multipliers2: [f64; 0] = [];
+                if ctrl
+                    .restore_snapshot(
+                        &mut no_multipliers,
+                        &mut no_multipliers2,
+                        &mut x,
+                        &mut s,
+                        &mut d,
+                    )
+                    .map(|(it, res)| {
+                        outer_iterations = it;
+                        outer_residual = res;
+                    })
+                    .is_some()
+                {
+                    break;
+                }
+                return Err(SeaError::NumericalBreakdown { iteration: t });
+            }
+            ctrl.capture_snapshot(t, outer_residual, &[], &[], &x, &s, &d);
+            if ctrl.note_residual(outer_residual) {
+                break;
+            }
+            if ctrl.should_stop(t, None).is_some() {
+                break;
+            }
+        }
     }
 
     // Residuals against this problem's constraints.
@@ -524,6 +596,14 @@ pub fn solve_general_observed<O: Observer + Send>(
     let objective = p.objective(&x, &s, &d);
 
     if observing {
+        if ctrl.is_active() && !converged {
+            obs.record(&Event::SupervisorStop {
+                iteration: outer_iterations,
+                reason: ctrl
+                    .stop()
+                    .map_or(StopReason::IterationCap.name(), StopReason::name),
+            });
+        }
         obs.record(&Event::SolveEnd {
             iterations: outer_iterations,
             converged,

@@ -12,7 +12,8 @@ use crate::knapsack::{
     exact_equilibration_boxed_with, EquilibrationScratch, KernelKind, TotalMode,
 };
 use crate::problem::Residuals;
-use sea_linalg::DenseMatrix;
+use crate::supervisor::{SolveControl, StopReason, SupervisedBoundedSolution, SupervisorOptions};
+use sea_linalg::{vector, DenseMatrix};
 use sea_observe::{Event, NullObserver, Observer, PhaseLabel};
 use std::time::{Duration, Instant};
 
@@ -68,7 +69,11 @@ impl BoundedProblem {
         }
         for (k, (&l, &h)) in lo.as_slice().iter().zip(hi.as_slice()).enumerate() {
             if l > h {
-                return Err(SeaError::InconsistentBounds { index: k });
+                return Err(SeaError::InconsistentBounds {
+                    index: k,
+                    lower: l,
+                    upper: h,
+                });
             }
         }
         for (k, &g) in gamma.as_slice().iter().enumerate() {
@@ -204,6 +209,50 @@ pub fn solve_bounded_observed<O: Observer>(
     kernel: KernelKind,
     obs: &mut O,
 ) -> Result<BoundedSolution, SeaError> {
+    solve_bounded_inner(
+        p,
+        epsilon,
+        max_iterations,
+        kernel,
+        obs,
+        &mut SolveControl::passive(),
+    )
+}
+
+/// [`solve_bounded_observed`] under the fault-tolerant supervisor: budget,
+/// cancellation, stagnation, and breakdown watchdogs are checked once per
+/// iteration (the bounded driver is serial; worker faults don't apply).
+///
+/// # Errors
+/// Same contract as [`solve_bounded`], except numerical breakdown after a
+/// certified snapshot returns that snapshot with
+/// [`StopReason::Breakdown`] instead of an error.
+pub fn solve_bounded_supervised<O: Observer>(
+    p: &BoundedProblem,
+    epsilon: f64,
+    max_iterations: usize,
+    kernel: KernelKind,
+    sup: &SupervisorOptions,
+    obs: &mut O,
+) -> Result<SupervisedBoundedSolution, SeaError> {
+    let mut ctrl = SolveControl::active(sup);
+    let solution = solve_bounded_inner(p, epsilon, max_iterations, kernel, obs, &mut ctrl)?;
+    let stop = if solution.converged {
+        StopReason::Converged
+    } else {
+        ctrl.stop().unwrap_or(StopReason::IterationCap)
+    };
+    Ok(SupervisedBoundedSolution { solution, stop })
+}
+
+fn solve_bounded_inner<O: Observer>(
+    p: &BoundedProblem,
+    epsilon: f64,
+    max_iterations: usize,
+    kernel: KernelKind,
+    obs: &mut O,
+    ctrl: &mut SolveControl<'_>,
+) -> Result<BoundedSolution, SeaError> {
     let start = Instant::now();
     let (m, n) = (p.m(), p.n());
     let x0_t = p.x0.transposed();
@@ -321,6 +370,36 @@ pub fn solve_bounded_observed<O: Observer>(
             converged = true;
             break;
         }
+
+        // ---- Supervisor hooks (per iteration). ---------------------------
+        if ctrl.is_active() {
+            ctrl.inject_faults(t, &mut lambda);
+            let finite = vector::all_finite(&lambda)
+                && vector::all_finite(&mu)
+                && vector::all_finite(x_t.as_slice());
+            if !finite {
+                let mut empty_s: [f64; 0] = [];
+                let mut empty_d: [f64; 0] = [];
+                if ctrl
+                    .restore_snapshot(&mut lambda, &mut mu, &mut x_t, &mut empty_s, &mut empty_d)
+                    .map(|(it, res)| {
+                        iterations = it;
+                        rel = res;
+                    })
+                    .is_some()
+                {
+                    break;
+                }
+                return Err(SeaError::NumericalBreakdown { iteration: t });
+            }
+            ctrl.capture_snapshot(t, rel, &lambda, &mu, &x_t, &[], &[]);
+            if ctrl.note_residual(rel) {
+                break;
+            }
+            if ctrl.should_stop(t, None).is_some() {
+                break;
+            }
+        }
     }
 
     let x_final = x_t.transposed();
@@ -343,6 +422,14 @@ pub fn solve_bounded_observed<O: Observer>(
     let objective = p.objective(&x_final);
 
     if observing {
+        if ctrl.is_active() && !converged {
+            obs.record(&Event::SupervisorStop {
+                iteration: iterations,
+                reason: ctrl
+                    .stop()
+                    .map_or(StopReason::IterationCap.name(), StopReason::name),
+            });
+        }
         if !scratch.stats.is_empty() {
             obs.record(&Event::KernelCounters {
                 counters: scratch.stats,
@@ -496,7 +583,11 @@ mod tests {
         let hi = DenseMatrix::filled(2, 2, 1.0).unwrap();
         assert!(matches!(
             BoundedProblem::new(x0, gamma, lo, hi, vec![4.0, 4.0], vec![4.0, 4.0]),
-            Err(SeaError::InconsistentBounds { index: 0 })
+            Err(SeaError::InconsistentBounds {
+                index: 0,
+                lower,
+                upper,
+            }) if lower == 2.0 && upper == 1.0
         ));
     }
 }

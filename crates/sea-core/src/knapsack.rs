@@ -674,7 +674,11 @@ pub fn exact_equilibration_boxed_with(
     }
     for j in 0..n {
         if lo[j] > hi[j] {
-            return Err(SeaError::InconsistentBounds { index: j });
+            return Err(SeaError::InconsistentBounds {
+                index: j,
+                lower: lo[j],
+                upper: hi[j],
+            });
         }
     }
     let sum_lo: f64 = lo.iter().sum();
@@ -1178,7 +1182,11 @@ mod tests {
                 &mut x,
                 &mut sc
             ),
-            Err(SeaError::InconsistentBounds { index: 0 })
+            Err(SeaError::InconsistentBounds {
+                index: 0,
+                lower,
+                upper,
+            }) if lower == 2.0 && upper == 1.0
         ));
     }
 

@@ -30,6 +30,9 @@
 //!   [`ExecutionTrace`]s.
 //! * [`verify`] — first-principles KKT/duality verification of computed
 //!   solutions.
+//! * [`supervisor`] — fault-tolerant solve supervision: budgets,
+//!   cancellation, breakdown/stagnation watchdogs, crash-safe checkpoints,
+//!   kernel fallback, and a deterministic fault-injection plan.
 //!
 //! ## Example
 //!
@@ -55,6 +58,10 @@
 // that `w <= 0.0` would pass NaN through).
 #![allow(clippy::needless_range_loop)]
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
+// Robustness contract: library code must surface failures as `SeaError`,
+// never panic. The few justified sites carry an explicit `#[allow]` with a
+// proof comment; tests are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod components;
 pub mod dual;
@@ -67,6 +74,7 @@ pub mod observe;
 pub mod parallel;
 pub mod problem;
 pub mod solver;
+pub mod supervisor;
 pub mod theory;
 pub mod trace;
 pub mod verify;
@@ -75,10 +83,13 @@ pub mod weights;
 pub use equilibrate::PassCounters;
 pub use error::SeaError;
 pub use general::{
-    solve_general, solve_general_observed, GeneralProblem, GeneralSeaOptions, GeneralSolution,
-    GeneralTotalSpec,
+    solve_general, solve_general_observed, solve_general_supervised, GeneralProblem,
+    GeneralSeaOptions, GeneralSolution, GeneralTotalSpec,
 };
-pub use interval::{solve_bounded, solve_bounded_observed, solve_bounded_with, BoundedProblem};
+pub use interval::{
+    solve_bounded, solve_bounded_observed, solve_bounded_supervised, solve_bounded_with,
+    BoundedProblem,
+};
 pub use knapsack::{
     exact_equilibration, exact_equilibration_with, EquilibrationResult, EquilibrationScratch,
     KernelKind, TotalMode,
@@ -87,8 +98,13 @@ pub use observe::trace_from_events;
 pub use parallel::Parallelism;
 pub use problem::{DiagonalProblem, Residuals, TotalSpec, ZeroPolicy};
 pub use solver::{
-    solve_diagonal, solve_diagonal_observed, ConvergenceCriterion, IterationSnapshot, SeaOptions,
-    Solution, SolveStats,
+    solve_diagonal, solve_diagonal_observed, solve_diagonal_supervised, ConvergenceCriterion,
+    IterationSnapshot, SeaOptions, Solution, SolveStats,
+};
+pub use supervisor::{
+    CancelToken, Checkpoint, CheckpointPolicy, FaultKind, FaultPlan, SolveBudget, StagnationPolicy,
+    StopReason, SupervisedBoundedSolution, SupervisedGeneralSolution, SupervisedSolution,
+    SupervisorOptions,
 };
 pub use trace::{ExecutionTrace, Phase, PhaseKind};
 pub use verify::{verify_solution, KktReport};

@@ -38,6 +38,9 @@ impl Parallelism {
     /// Run `f` in the appropriate execution context. For
     /// [`Parallelism::RayonThreads`], builds a dedicated pool and installs
     /// it for the duration of `f` (so any nested rayon iterators use it).
+    // Allowed: pool construction only fails on unsatisfiable resource
+    // limits; there is no meaningful recovery short of aborting the solve.
+    #[allow(clippy::expect_used)]
     pub fn run<R: Send>(self, f: impl FnOnce() -> R + Send) -> R {
         match self {
             Parallelism::Serial | Parallelism::Rayon => f(),

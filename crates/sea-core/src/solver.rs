@@ -21,6 +21,7 @@ use crate::error::SeaError;
 use crate::knapsack::{KernelKind, TotalMode};
 use crate::parallel::Parallelism;
 use crate::problem::{DiagonalProblem, Residuals, TotalSpec};
+use crate::supervisor::{SolveControl, StopReason, SupervisedSolution, SupervisorOptions};
 use crate::trace::{ExecutionTrace, PhaseKind};
 use sea_linalg::{vector, DenseMatrix};
 use sea_observe::{Event, NullObserver, Observer, PhaseLabel};
@@ -203,13 +204,53 @@ pub fn solve_diagonal_observed<O: Observer + Send>(
     obs: &mut O,
 ) -> Result<Solution, SeaError> {
     opts.parallelism
-        .run(move || solve_diagonal_inner(p, opts, obs))
+        .run(move || solve_diagonal_inner(p, opts, obs, &mut SolveControl::passive()))
+}
+
+/// [`solve_diagonal_observed`] under a fault-tolerant supervisor.
+///
+/// The supervisor enforces the budget, watches for cancellation, stagnation
+/// and numerical breakdown, writes crash-safe checkpoints, and falls back
+/// per-subproblem from quickselect to sort-scan on kernel pathology. The
+/// contract is: either `Ok` with a typed [`StopReason`] and a KKT-residual
+/// certificate for the returned (possibly partial) iterate, or a typed
+/// [`SeaError`] — never a panic or a silently wrong answer.
+///
+/// # Errors
+/// Same validation errors as [`solve_diagonal`], plus
+/// [`SeaError::WorkerPanic`] for contained worker panics and
+/// [`SeaError::NumericalBreakdown`] only when iterates go non-finite before
+/// any convergence check has certified a restorable snapshot.
+pub fn solve_diagonal_supervised<O: Observer + Send>(
+    p: &DiagonalProblem,
+    opts: &SeaOptions,
+    sup: &SupervisorOptions,
+    obs: &mut O,
+) -> Result<SupervisedSolution, SeaError> {
+    opts.parallelism.run(move || {
+        let mut ctrl = SolveControl::active(sup);
+        let solution = solve_diagonal_inner(p, opts, obs, &mut ctrl)?;
+        let stop = if solution.stats.converged {
+            StopReason::Converged
+        } else {
+            ctrl.stop().unwrap_or(StopReason::IterationCap)
+        };
+        let certificate = crate::verify::verify_solution(p, &solution);
+        Ok(SupervisedSolution {
+            solution,
+            stop,
+            certificate,
+            kernel_fallbacks: ctrl.fallbacks,
+            checkpoint_error: ctrl.take_checkpoint_error(),
+        })
+    })
 }
 
 fn solve_diagonal_inner<O: Observer>(
     p: &DiagonalProblem,
     opts: &SeaOptions,
     obs: &mut O,
+    ctrl: &mut SolveControl<'_>,
 ) -> Result<Solution, SeaError> {
     let start = Instant::now();
     let (m, n) = (p.m(), p.n());
@@ -226,9 +267,12 @@ fn solve_diagonal_inner<O: Observer>(
             criterion: criterion.name(),
         });
     }
-    // Kernel counters are only harvested when someone is listening; the
-    // per-task atomic flush is skipped entirely otherwise.
-    let counters = observing.then(PassCounters::default);
+    // Kernel counters are only harvested when someone is listening (an
+    // observer, or a supervisor enforcing a work budget); the per-task
+    // atomic flush is skipped entirely otherwise.
+    let counters = (observing || ctrl.needs_counters()).then(PassCounters::default);
+    // Fallbacks reported so far, to emit per-pass deltas.
+    let mut fallbacks_seen = 0u64;
 
     // Transposed copies once per solve: the column pass then walks
     // contiguous memory.
@@ -287,6 +331,7 @@ fn solve_diagonal_inner<O: Observer>(
                 shift: &mu,
                 side: "row",
                 kernel: opts.kernel,
+                fault: ctrl.task_fault(t, "row"),
             };
             if observing {
                 obs.record(&Event::PhaseStart {
@@ -350,6 +395,19 @@ fn solve_diagonal_inner<O: Observer>(
                     task_seconds: row_costs.clone(),
                 });
             }
+            if observing {
+                if let Some(c) = counters.as_ref() {
+                    let total = c.fallbacks();
+                    if total > fallbacks_seen {
+                        obs.record(&Event::FallbackTriggered {
+                            iteration: t,
+                            phase: PhaseLabel::RowEquilibration,
+                            count: total - fallbacks_seen,
+                        });
+                        fallbacks_seen = total;
+                    }
+                }
+            }
         }
 
         // ---- Step 2: column equilibration (parallel over columns). -------
@@ -361,6 +419,7 @@ fn solve_diagonal_inner<O: Observer>(
                 shift: &lambda,
                 side: "column",
                 kernel: opts.kernel,
+                fault: ctrl.task_fault(t, "column"),
             };
             if observing {
                 obs.record(&Event::PhaseStart {
@@ -424,6 +483,19 @@ fn solve_diagonal_inner<O: Observer>(
                     task_seconds: col_costs.clone(),
                 });
             }
+            if observing {
+                if let Some(c) = counters.as_ref() {
+                    let total = c.fallbacks();
+                    if total > fallbacks_seen {
+                        obs.record(&Event::FallbackTriggered {
+                            iteration: t,
+                            phase: PhaseLabel::ColumnEquilibration,
+                            count: total - fallbacks_seen,
+                        });
+                        fallbacks_seen = total;
+                    }
+                }
+            }
         }
 
         // For the balanced class the column totals *are* the account totals.
@@ -431,8 +503,36 @@ fn solve_diagonal_inner<O: Observer>(
             s.copy_from_slice(&d);
         }
 
+        // Scripted NaN injection (fault harness) lands before the watchdog
+        // so the breakdown path is exercised exactly like a real blow-up.
+        ctrl.inject_faults(t, &mut lambda);
+
+        // ---- Watchdog: non-finite iterates. ------------------------------
+        // Unsupervised solves check multipliers at the convergence check and
+        // error out; supervised solves check every iteration (including the
+        // full iterate) and restore the last certified snapshot instead.
+        let check_now = t % check_every == 0;
+        if ctrl.is_active() || check_now {
+            let finite = vector::all_finite(&lambda)
+                && vector::all_finite(&mu)
+                && (!ctrl.is_active() || vector::all_finite(x_t.as_slice()));
+            if !finite {
+                if ctrl
+                    .restore_snapshot(&mut lambda, &mut mu, &mut x_t, &mut s, &mut d)
+                    .map(|(it, res)| {
+                        iterations = it;
+                        residual = res;
+                    })
+                    .is_some()
+                {
+                    break;
+                }
+                return Err(SeaError::NumericalBreakdown { iteration: t });
+            }
+        }
+
         // ---- Step 3: convergence verification (serial). ------------------
-        if t % check_every == 0 {
+        if check_now {
             if observing {
                 obs.record(&Event::PhaseStart {
                     label: PhaseLabel::ConvergenceCheck,
@@ -440,9 +540,6 @@ fn solve_diagonal_inner<O: Observer>(
                 });
             }
             let t0 = Instant::now();
-            if !vector::all_finite(&lambda) || !vector::all_finite(&mu) {
-                return Err(SeaError::NumericalBreakdown { iteration: t });
-            }
             residual = match criterion {
                 ConvergenceCriterion::MaxAbsChange => {
                     let delta = x_t.max_abs_diff(&x_t_prev);
@@ -503,6 +600,14 @@ fn solve_diagonal_inner<O: Observer>(
                 converged = true;
                 break;
             }
+            if ctrl.is_active() {
+                // This iterate passed the finite watchdog and was measured:
+                // it becomes the breakdown restore point.
+                ctrl.capture_snapshot(t, residual, &lambda, &mu, &x_t, &s, &d);
+                if ctrl.note_residual(residual) {
+                    break; // StopReason::Stagnated latched in ctrl.
+                }
+            }
         }
 
         // ---- Modified Algorithm: keep dual iterates bounded. -------------
@@ -516,6 +621,22 @@ fn solve_diagonal_inner<O: Observer>(
                     shifted,
                     bound,
                 });
+            }
+        }
+
+        // ---- Supervisor epilogue: checkpoint, then budget/cancellation. --
+        if ctrl.is_active() {
+            if let Some(path) = ctrl.maybe_checkpoint(t, &lambda, &mu) {
+                if observing {
+                    obs.record(&Event::CheckpointWritten { iteration: t, path });
+                }
+            }
+            let work = counters.as_ref().map(|c| {
+                let snap = c.snapshot();
+                snap.breakpoints_scanned + snap.quickselect_pivots + snap.boxed_clamps
+            });
+            if ctrl.should_stop(t, work).is_some() {
+                break;
             }
         }
     }
@@ -538,7 +659,17 @@ fn solve_diagonal_inner<O: Observer>(
     let objective = p.objective(&x_final, &s_final, &d_final);
     let dual_value = dual::dual_value(p, &lambda, &mu);
 
+    ctrl.fallbacks = counters.as_ref().map_or(0, |c| c.fallbacks());
+
     if observing {
+        if ctrl.is_active() && !converged {
+            obs.record(&Event::SupervisorStop {
+                iteration: iterations,
+                reason: ctrl
+                    .stop()
+                    .map_or(StopReason::IterationCap.name(), StopReason::name),
+            });
+        }
         if let Some(c) = counters.as_ref() {
             let snap = c.snapshot();
             if !snap.is_empty() {

@@ -111,6 +111,8 @@ pub fn solve_with(p: &DiagonalProblem, kernel: KernelKind, parallelism: Parallel
 }
 
 /// Parse a golden CSV (one matrix row per line) into a row-major vector.
+// Not every test binary that pulls in this module reads golden files.
+#[allow(dead_code)]
 pub fn parse_golden(csv: &str) -> Vec<f64> {
     csv.lines()
         .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))

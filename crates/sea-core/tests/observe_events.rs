@@ -12,7 +12,7 @@
 use sea_core::{solve_diagonal_observed, DiagonalProblem, Parallelism, SeaOptions, TotalSpec};
 use sea_linalg::DenseMatrix;
 use sea_observe::jsonl::{encode_event, parse_events, JsonlObserver};
-use sea_observe::{Event, Observer};
+use sea_observe::Event;
 
 /// Zero every wall-clock / numeric-result field, keeping structure.
 fn normalized(event: &Event) -> Event {
@@ -48,7 +48,12 @@ fn normalized(event: &Event) -> Event {
             *dual_value = dual_value.map(|_| 0.0);
             *seconds = 0.0;
         }
-        Event::SolveStart { .. } | Event::PhaseStart { .. } | Event::KernelCounters { .. } => {}
+        Event::SolveStart { .. }
+        | Event::PhaseStart { .. }
+        | Event::KernelCounters { .. }
+        | Event::FallbackTriggered { .. }
+        | Event::CheckpointWritten { .. }
+        | Event::SupervisorStop { .. } => {}
     }
     e
 }

@@ -1,0 +1,187 @@
+//! Property-based robustness: adversarial-but-valid inputs never panic.
+//!
+//! Every driver (diagonal, bounded, general) is run under supervision on
+//! randomly generated problems that stress the numerically nasty corners —
+//! weight spreads of twelve orders of magnitude, totals close to zero or
+//! huge, degenerate 1×n / m×1 shapes — across both kernels and both
+//! parallel modes. The contract under test: the solve returns `Ok` with a
+//! finite iterate or a typed [`SeaError`](sea_core::SeaError); a panic in
+//! any worker or driver fails the property outright (the harness treats
+//! panics as failures).
+
+use proptest::prelude::*;
+use sea_core::{
+    solve_bounded_supervised, solve_diagonal_supervised, solve_general_supervised, BoundedProblem,
+    DiagonalProblem, GeneralProblem, GeneralSeaOptions, GeneralTotalSpec, KernelKind, NullObserver,
+    Parallelism, SeaOptions, SupervisorOptions, TotalSpec,
+};
+use sea_linalg::{DenseMatrix, SymMatrix};
+
+fn kernel_of(k: u8) -> KernelKind {
+    if k == 0 {
+        KernelKind::SortScan
+    } else {
+        KernelKind::Quickselect
+    }
+}
+
+fn par_of(p: u8) -> Parallelism {
+    if p == 0 {
+        Parallelism::Serial
+    } else {
+        Parallelism::RayonThreads(2)
+    }
+}
+
+/// Grand-total scale: squeezes totals toward zero, leaves them O(1), or
+/// blows them up to 1e6.
+fn scale_of(s: u8) -> f64 {
+    match s {
+        0 => 1e-12,
+        1 => 1.0,
+        _ => 1e6,
+    }
+}
+
+fn matrix(m: usize, n: usize, cells: &[f64]) -> DenseMatrix {
+    let mut x = DenseMatrix::zeros(m, n).expect("valid dims");
+    for i in 0..m {
+        for j in 0..n {
+            x.set(i, j, cells[i * n + j]);
+        }
+    }
+    x
+}
+
+/// Consistent totals: row totals scaled by `scale`, column totals carved
+/// from the same grand total via random positive fractions.
+fn totals(s_raw: &[f64], d_frac: &[f64], scale: f64) -> (Vec<f64>, Vec<f64>) {
+    let s0: Vec<f64> = s_raw.iter().map(|v| v * scale).collect();
+    let total: f64 = s0.iter().sum();
+    let fsum: f64 = d_frac.iter().sum();
+    let d0: Vec<f64> = d_frac.iter().map(|f| total * f / fsum).collect();
+    (s0, d0)
+}
+
+/// Weights 10^e for generated exponents: spreads up to 1e±12 in one row.
+fn weights(exps: &[i32]) -> Vec<f64> {
+    exps.iter().map(|e| 10f64.powi(*e)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn diagonal_driver_never_panics(
+        m in 1usize..5,
+        n in 1usize..5,
+        cells in proptest::collection::vec(1e-6f64..10.0, 16..17),
+        exps in proptest::collection::vec(-12i32..13, 16..17),
+        s_raw in proptest::collection::vec(0.1f64..5.0, 4..5),
+        d_frac in proptest::collection::vec(0.05f64..1.0, 4..5),
+        scale_sel in 0u8..3,
+        k in 0u8..2,
+        par in 0u8..2,
+    ) {
+        let x0 = matrix(m, n, &cells[..m * n]);
+        let gamma = matrix(m, n, &weights(&exps[..m * n]));
+        let (s0, d0) = totals(&s_raw[..m], &d_frac[..n], scale_of(scale_sel));
+        let p = match DiagonalProblem::new(x0, gamma, TotalSpec::Fixed { s0, d0 }) {
+            Ok(p) => p,
+            // A typed construction error is an acceptable outcome.
+            Err(_) => return Ok(()),
+        };
+        let mut o = SeaOptions::with_epsilon(1e-8);
+        o.max_iterations = 60;
+        o.kernel = kernel_of(k);
+        o.parallelism = par_of(par);
+        let sup = SupervisorOptions::default();
+        // Err(_) is a typed SeaError by construction — also acceptable.
+        if let Ok(sol) = solve_diagonal_supervised(&p, &o, &sup, &mut NullObserver) {
+            prop_assert!(sol.solution.x.as_slice().iter().all(|v| v.is_finite()));
+            prop_assert!(sol.solution.lambda.iter().all(|v| v.is_finite()));
+            prop_assert!(sol.solution.mu.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn bounded_driver_never_panics(
+        m in 1usize..5,
+        n in 1usize..5,
+        cells in proptest::collection::vec(1e-6f64..10.0, 16..17),
+        exps in proptest::collection::vec(-12i32..13, 16..17),
+        s_raw in proptest::collection::vec(0.1f64..5.0, 4..5),
+        d_frac in proptest::collection::vec(0.05f64..1.0, 4..5),
+        scale_sel in 0u8..3,
+        k in 0u8..2,
+    ) {
+        let x0 = matrix(m, n, &cells[..m * n]);
+        let gamma = matrix(m, n, &weights(&exps[..m * n]));
+        let (s0, d0) = totals(&s_raw[..m], &d_frac[..n], scale_of(scale_sel));
+        let grand: f64 = s0.iter().sum();
+        let lo = matrix(m, n, &vec![0.0; m * n]);
+        // Each row/column interval sum covers its total, so the instance is
+        // usually feasible; when it is not, the typed error is acceptable.
+        let hi = matrix(m, n, &vec![grand.max(1e-300); m * n]);
+        let p = match BoundedProblem::new(x0, gamma, lo, hi, s0, d0) {
+            Ok(p) => p,
+            Err(_) => return Ok(()),
+        };
+        let sup = SupervisorOptions::default();
+        if let Ok(sol) =
+            solve_bounded_supervised(&p, 1e-8, 60, kernel_of(k), &sup, &mut NullObserver)
+        {
+            prop_assert!(sol.solution.x.as_slice().iter().all(|v| v.is_finite()));
+        }
+    }
+}
+
+proptest! {
+    // The general driver nests inner diagonal solves inside an outer
+    // projection loop, so each case is costlier: fewer cases, smaller dims.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn general_driver_never_panics(
+        m in 1usize..4,
+        n in 1usize..4,
+        cells in proptest::collection::vec(1e-3f64..10.0, 9..10),
+        diag_exps in proptest::collection::vec(-6i32..7, 9..10),
+        s_raw in proptest::collection::vec(0.1f64..5.0, 3..4),
+        d_frac in proptest::collection::vec(0.05f64..1.0, 3..4),
+        k in 0u8..2,
+        par in 0u8..2,
+    ) {
+        let x0 = matrix(m, n, &cells[..m * n]);
+        let order = m * n;
+        // Strictly diagonally dominant symmetric G with a wide diagonal
+        // spread: SPD by Gershgorin, adversarially conditioned.
+        let diags = weights(&diag_exps[..order]);
+        let min_diag = diags.iter().cloned().fold(f64::INFINITY, f64::min);
+        let coupling = -min_diag / (2.0 * order as f64);
+        let mut g = DenseMatrix::zeros(order, order).expect("valid dims");
+        for (i, &di) in diags.iter().enumerate() {
+            for j in 0..order {
+                g.set(i, j, if i == j { di } else { coupling });
+            }
+        }
+        let gm = match SymMatrix::from_dense(g, 1e-12) {
+            Ok(gm) => gm,
+            Err(_) => return Ok(()),
+        };
+        let (s0, d0) = totals(&s_raw[..m], &d_frac[..n], 1.0);
+        let p = match GeneralProblem::new(x0, gm, GeneralTotalSpec::Fixed { s0, d0 }) {
+            Ok(p) => p,
+            Err(_) => return Ok(()),
+        };
+        let mut o = GeneralSeaOptions::with_epsilon(1e-6);
+        o.max_outer = 5;
+        o.inner.max_iterations = 200;
+        o.inner.kernel = kernel_of(k);
+        o.inner.parallelism = par_of(par);
+        let sup = SupervisorOptions::default();
+        if let Ok(sol) = solve_general_supervised(&p, &o, &sup, &mut NullObserver) {
+            prop_assert!(sol.solution.x.as_slice().iter().all(|v| v.is_finite()));
+        }
+    }
+}

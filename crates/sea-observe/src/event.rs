@@ -166,6 +166,31 @@ pub enum Event {
         /// The counters.
         counters: KernelCounters,
     },
+    /// One or more subproblems fell back from the quickselect kernel to the
+    /// sort-scan kernel during a pass (quickselect pathology or non-finite
+    /// multiplier).
+    FallbackTriggered {
+        /// Inner iteration index (1-based).
+        iteration: usize,
+        /// Which pass the fallback happened in.
+        phase: PhaseLabel,
+        /// How many subproblems fell back in this pass.
+        count: u64,
+    },
+    /// A crash-safe checkpoint snapshot was written (tmp-then-rename).
+    CheckpointWritten {
+        /// Inner iteration index the snapshot captures.
+        iteration: usize,
+        /// Destination path of the snapshot file.
+        path: String,
+    },
+    /// The supervisor stopped the solve before convergence.
+    SupervisorStop {
+        /// Inner iteration index at which the solve stopped.
+        iteration: usize,
+        /// Stable stop-reason name (see `sea_core::StopReason::name`).
+        reason: &'static str,
+    },
     /// A solve finished.
     SolveEnd {
         /// Iterations performed (inner iterations for the diagonal solver,
@@ -195,6 +220,9 @@ impl Event {
             Event::MultiplierBound { .. } => "multiplier_bound",
             Event::OuterIteration { .. } => "outer_iteration",
             Event::KernelCounters { .. } => "kernel_counters",
+            Event::FallbackTriggered { .. } => "fallback_triggered",
+            Event::CheckpointWritten { .. } => "checkpoint_written",
+            Event::SupervisorStop { .. } => "supervisor_stop",
             Event::SolveEnd { .. } => "solve_end",
         }
     }

@@ -110,6 +110,23 @@ pub fn event_to_json(event: &Event) -> JsonValue {
                 JsonValue::Number(counters.boxed_clamps as f64),
             );
         }
+        Event::FallbackTriggered {
+            iteration,
+            phase,
+            count,
+        } => {
+            push("iteration", JsonValue::Number(*iteration as f64));
+            push("phase", JsonValue::String(phase.name().to_string()));
+            push("count", JsonValue::Number(*count as f64));
+        }
+        Event::CheckpointWritten { iteration, path } => {
+            push("iteration", JsonValue::Number(*iteration as f64));
+            push("path", JsonValue::String(path.clone()));
+        }
+        Event::SupervisorStop { iteration, reason } => {
+            push("iteration", JsonValue::Number(*iteration as f64));
+            push("reason", JsonValue::String((*reason).to_string()));
+        }
         Event::SolveEnd {
             iterations,
             converged,
@@ -241,6 +258,19 @@ pub fn json_to_event(value: &JsonValue) -> Result<Event, String> {
                 boxed_clamps: u64_field("boxed_clamps")?,
             },
         }),
+        "fallback_triggered" => Ok(Event::FallbackTriggered {
+            iteration: usize_field("iteration")?,
+            phase: label_field("phase")?,
+            count: u64_field("count")?,
+        }),
+        "checkpoint_written" => Ok(Event::CheckpointWritten {
+            iteration: usize_field("iteration")?,
+            path: str_field("path")?,
+        }),
+        "supervisor_stop" => Ok(Event::SupervisorStop {
+            iteration: usize_field("iteration")?,
+            reason: intern_stop_reason(&str_field("reason")?)?,
+        }),
         "solve_end" => Ok(Event::SolveEnd {
             iterations: usize_field("iterations")?,
             converged: value
@@ -293,6 +323,22 @@ fn intern_criterion(s: &str) -> Result<&'static str, String> {
     )
 }
 
+fn intern_stop_reason(s: &str) -> Result<&'static str, String> {
+    intern(
+        s,
+        &[
+            "converged",
+            "iteration_cap",
+            "deadline_exceeded",
+            "work_cap_exceeded",
+            "cancelled",
+            "stagnated",
+            "breakdown",
+        ],
+        "stop reason",
+    )
+}
+
 fn intern(s: &str, vocab: &[&'static str], what: &str) -> Result<&'static str, String> {
     vocab
         .iter()
@@ -303,25 +349,40 @@ fn intern(s: &str, vocab: &[&'static str], what: &str) -> Result<&'static str, S
 
 /// A streaming sink: writes one JSONL line per event to a `Write`.
 ///
-/// Wrap the inner writer in a `BufWriter` for file sinks; the observer
-/// writes each event with a single `write_all` and never flushes on its
-/// own except in [`JsonlObserver::finish`].
+/// Wrap the inner writer in a `BufWriter` for file sinks. The observer is
+/// durable against abnormal exits: it flushes the writer after every
+/// `flush_every` events (default 1, i.e. after each event) and again on
+/// `Drop`, so a cancelled or crashed solve keeps its event-log tail up to
+/// the last completed line — every line written is complete and parseable.
 #[derive(Debug)]
 pub struct JsonlObserver<W: Write> {
-    writer: W,
+    /// `None` only after `finish` moved the writer out (so `Drop` has
+    /// nothing left to flush).
+    writer: Option<W>,
     /// First I/O error encountered, if any. Events after an error are
     /// dropped; solvers are never interrupted by a sink failure.
     error: Option<std::io::Error>,
     line: String,
+    /// Flush after this many recorded events (0 is treated as 1).
+    flush_every: usize,
+    since_flush: usize,
 }
 
 impl<W: Write> JsonlObserver<W> {
-    /// Wrap a writer.
+    /// Wrap a writer, flushing after every event.
     pub fn new(writer: W) -> Self {
+        Self::with_flush_every(writer, 1)
+    }
+
+    /// Wrap a writer, flushing after every `flush_every` events (and on
+    /// `Drop`). Larger batches trade durability for fewer syscalls.
+    pub fn with_flush_every(writer: W, flush_every: usize) -> Self {
         JsonlObserver {
-            writer,
+            writer: Some(writer),
             error: None,
             line: String::new(),
+            flush_every: flush_every.max(1),
+            since_flush: 0,
         }
     }
 
@@ -330,11 +391,27 @@ impl<W: Write> JsonlObserver<W> {
     /// # Errors
     /// Returns the first write/flush failure.
     pub fn finish(mut self) -> Result<W, std::io::Error> {
-        if let Some(e) = self.error {
+        if let Some(e) = self.error.take() {
             return Err(e);
         }
-        self.writer.flush()?;
-        Ok(self.writer)
+        let mut writer = self
+            .writer
+            .take()
+            .ok_or_else(|| std::io::Error::other("writer already taken"))?;
+        writer.flush()?;
+        Ok(writer)
+    }
+}
+
+impl<W: Write> Drop for JsonlObserver<W> {
+    fn drop(&mut self) {
+        // Best effort: keep the event-log tail on abnormal exit. Errors
+        // are unreportable here, so they are ignored.
+        if self.error.is_none() {
+            if let Some(w) = self.writer.as_mut() {
+                let _ = w.flush();
+            }
+        }
     }
 }
 
@@ -343,10 +420,22 @@ impl<W: Write> crate::Observer for JsonlObserver<W> {
         if self.error.is_some() {
             return;
         }
+        let Some(writer) = self.writer.as_mut() else {
+            return;
+        };
         self.line.clear();
         event_to_json(event).write(&mut self.line);
         self.line.push('\n');
-        if let Err(e) = self.writer.write_all(self.line.as_bytes()) {
+        let wrote = writer.write_all(self.line.as_bytes()).and_then(|()| {
+            self.since_flush += 1;
+            if self.since_flush >= self.flush_every {
+                self.since_flush = 0;
+                writer.flush()
+            } else {
+                Ok(())
+            }
+        });
+        if let Err(e) = wrote {
             self.error = Some(e);
         }
     }
@@ -406,6 +495,19 @@ mod tests {
                     quickselect_pivots: 33,
                     boxed_clamps: 2,
                 },
+            },
+            Event::FallbackTriggered {
+                iteration: 3,
+                phase: PhaseLabel::ColumnEquilibration,
+                count: 2,
+            },
+            Event::CheckpointWritten {
+                iteration: 4,
+                path: "/tmp/run.ckpt".to_string(),
+            },
+            Event::SupervisorStop {
+                iteration: 5,
+                reason: "deadline_exceeded",
             },
             Event::SolveEnd {
                 iterations: 6,
@@ -485,6 +587,67 @@ mod tests {
             Event::ConvergenceCheck { residual, .. } => assert!(residual.is_nan()),
             other => panic!("wrong variant: {other:?}"),
         }
+    }
+
+    /// Shared buffer writer that records how many flushes reached it, so
+    /// tests can observe durability behavior through an abnormal drop.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::rc::Rc<std::cell::RefCell<(Vec<u8>, usize)>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.borrow_mut().0.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.0.borrow_mut().1 += 1;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn default_observer_flushes_after_every_event() {
+        let buf = SharedBuf::default();
+        let mut obs = JsonlObserver::new(buf.clone());
+        for e in sample_events() {
+            obs.record(&e);
+        }
+        let flushes = buf.0.borrow().1;
+        assert_eq!(flushes, sample_events().len());
+    }
+
+    #[test]
+    fn batched_observer_flushes_every_n_events() {
+        let buf = SharedBuf::default();
+        let mut obs = JsonlObserver::with_flush_every(buf.clone(), 4);
+        let events = sample_events();
+        for e in &events {
+            obs.record(e);
+        }
+        assert_eq!(buf.0.borrow().1, events.len() / 4);
+        drop(obs);
+        // Drop flushed the partial batch.
+        assert_eq!(buf.0.borrow().1, events.len() / 4 + 1);
+    }
+
+    #[test]
+    fn mid_solve_abort_leaves_parseable_jsonl() {
+        // Simulate a solve that dies partway: the observer is dropped
+        // without finish(), as happens when a panic or cancellation
+        // unwinds past the sink. Every recorded event must still be on
+        // disk as a complete, parseable line.
+        let buf = SharedBuf::default();
+        let events = sample_events();
+        let recorded = 4;
+        {
+            let mut obs = JsonlObserver::with_flush_every(buf.clone(), 3);
+            for e in &events[..recorded] {
+                obs.record(e);
+            }
+            // No finish(): abnormal exit path.
+        }
+        let text = String::from_utf8(buf.0.borrow().0.clone()).unwrap();
+        assert_eq!(parse_events(&text).unwrap(), events[..recorded]);
     }
 
     #[test]

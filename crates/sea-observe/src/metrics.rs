@@ -442,6 +442,36 @@ impl Observer for MetricsObserver {
                     );
                 }
             }
+            Event::FallbackTriggered { phase, count, .. } => {
+                reg.counter_add(
+                    "sea_kernel_fallbacks_total",
+                    "Subproblems that fell back from quickselect to sort-scan.",
+                    Self::phase_labels(*phase),
+                    *count as f64,
+                );
+            }
+            Event::CheckpointWritten { iteration, .. } => {
+                reg.counter_add(
+                    "sea_checkpoints_written_total",
+                    "Crash-safe checkpoint snapshots written.",
+                    vec![],
+                    1.0,
+                );
+                reg.gauge_set(
+                    "sea_checkpoint_iteration",
+                    "Iteration captured by the most recent checkpoint.",
+                    vec![],
+                    *iteration as f64,
+                );
+            }
+            Event::SupervisorStop { reason, .. } => {
+                reg.counter_add(
+                    "sea_supervisor_stops_total",
+                    "Solves stopped by the supervisor before convergence.",
+                    vec![("reason".to_string(), (*reason).to_string())],
+                    1.0,
+                );
+            }
             Event::SolveEnd {
                 iterations,
                 converged,

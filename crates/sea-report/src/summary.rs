@@ -48,6 +48,13 @@ pub struct SolveSummary {
     pub phases: Vec<PhaseSummary>,
     /// Merged kernel work counters.
     pub counters: KernelCounters,
+    /// Quickselect→sort-scan kernel fallbacks across the log.
+    pub kernel_fallbacks: u64,
+    /// Checkpoint snapshots written during the run.
+    pub checkpoints: usize,
+    /// Supervisor stop reason of the outermost solve, when it stopped a
+    /// solve early (`deadline_exceeded`, `cancelled`, …).
+    pub stop_reason: Option<String>,
 }
 
 impl SolveSummary {
@@ -104,6 +111,11 @@ impl SolveSummary {
                     out.converged = *converged;
                     out.residual = *residual;
                     out.solve_seconds = *seconds;
+                }
+                Event::FallbackTriggered { count, .. } => out.kernel_fallbacks += count,
+                Event::CheckpointWritten { .. } => out.checkpoints += 1,
+                Event::SupervisorStop { reason, .. } => {
+                    out.stop_reason = Some((*reason).to_string());
                 }
                 Event::PhaseStart { .. } | Event::MultiplierBound { .. } => {}
             }
@@ -180,6 +192,15 @@ impl SolveSummary {
                  {} quickselect pivots, {} boxed clamps\n",
                 c.subproblems, c.breakpoints_scanned, c.quickselect_pivots, c.boxed_clamps
             ));
+        }
+        if let Some(reason) = &self.stop_reason {
+            out.push_str(&format!("supervisor stop: {reason}\n"));
+        }
+        if self.kernel_fallbacks > 0 {
+            out.push_str(&format!("kernel fallbacks: {}\n", self.kernel_fallbacks));
+        }
+        if self.checkpoints > 0 {
+            out.push_str(&format!("checkpoints written: {}\n", self.checkpoints));
         }
         out
     }
@@ -297,6 +318,45 @@ mod tests {
         assert!(text.contains("row_equilibration"));
         assert!(text.contains("serial fraction"));
         assert!(text.contains("5 subproblems"));
+    }
+
+    #[test]
+    fn supervisor_events_aggregate_and_render() {
+        let mut log = sample_log();
+        log.insert(
+            1,
+            Event::FallbackTriggered {
+                iteration: 1,
+                phase: PhaseLabel::RowEquilibration,
+                count: 2,
+            },
+        );
+        log.insert(
+            2,
+            Event::CheckpointWritten {
+                iteration: 1,
+                path: "/tmp/run.ckpt".to_string(),
+            },
+        );
+        log.insert(
+            3,
+            Event::SupervisorStop {
+                iteration: 1,
+                reason: "deadline_exceeded",
+            },
+        );
+        let s = SolveSummary::from_events(&log);
+        assert_eq!(s.kernel_fallbacks, 2);
+        assert_eq!(s.checkpoints, 1);
+        assert_eq!(s.stop_reason.as_deref(), Some("deadline_exceeded"));
+        let text = s.render();
+        assert!(text.contains("supervisor stop: deadline_exceeded"));
+        assert!(text.contains("kernel fallbacks: 2"));
+        assert!(text.contains("checkpoints written: 1"));
+        // A clean log renders none of the supervisor lines.
+        let clean = SolveSummary::from_events(&sample_log()).render();
+        assert!(!clean.contains("supervisor stop"));
+        assert!(!clean.contains("fallbacks"));
     }
 
     #[test]
