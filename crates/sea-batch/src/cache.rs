@@ -1,0 +1,120 @@
+//! Per-family warm-start cache of dual multipliers.
+//!
+//! SEA state is fully captured by the column multipliers `μ` — the row pass
+//! recomputes `λ` from `μ` — so warming a solve needs only the previous
+//! solution's `μ` vector (the same observation the crash-safe checkpoints
+//! rely on). The cache maps a caller-declared *family* key (a problem
+//! identity such as `"trade-2024"` that recurs across batches with drifting
+//! data) to the last converged `μ` for that family plus the kernel work the
+//! family's *cold* solve cost, which is the baseline that `work_saved` is
+//! measured against.
+//!
+//! Within one `solve_batch` call the cache is a read-only snapshot: every
+//! instance resolves hit/miss against the state the batch started with, and
+//! updates are applied only after all instances finish, in submission order
+//! (last writer per family wins). That makes each instance's result a pure
+//! function of `(instance, snapshot, options)` — bitwise independent of
+//! scheduling and submission order — while hits still materialize across
+//! successive `solve_batch` calls on one engine.
+
+use std::collections::HashMap;
+
+/// One cached family: the dual seed and its cold-work baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntry {
+    /// Column multipliers of the family's last converged solve.
+    pub mu: Vec<f64>,
+    /// Kernel work (breakpoints + pivots + clamps) of the *cold* solve that
+    /// first populated this family. Later hits refresh `mu` but keep this
+    /// baseline, so `work_saved` always compares against a cold start.
+    pub cold_kernel_work: u64,
+}
+
+/// A deferred cache write, collected during a batch and applied at the end.
+#[derive(Debug, Clone)]
+pub struct CacheUpdate {
+    /// Family key the entry belongs to.
+    pub family: String,
+    /// The entry to store.
+    pub entry: CacheEntry,
+}
+
+/// The per-family warm-start cache (see module docs for snapshot
+/// semantics).
+#[derive(Debug, Clone, Default)]
+pub struct WarmStartCache {
+    entries: HashMap<String, CacheEntry>,
+}
+
+impl WarmStartCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cached entry for `family`, if any.
+    pub fn lookup(&self, family: &str) -> Option<&CacheEntry> {
+        self.entries.get(family)
+    }
+
+    /// Number of cached families.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop every entry (e.g. after a problem-shape migration).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Apply deferred updates in order; the last update per family wins.
+    pub fn apply(&mut self, updates: impl IntoIterator<Item = CacheUpdate>) {
+        for u in updates {
+            self.entries.insert(u.family, u.entry);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_is_last_writer_wins_in_order() {
+        let mut c = WarmStartCache::new();
+        assert!(c.is_empty());
+        c.apply([
+            CacheUpdate {
+                family: "a".into(),
+                entry: CacheEntry {
+                    mu: vec![1.0],
+                    cold_kernel_work: 100,
+                },
+            },
+            CacheUpdate {
+                family: "a".into(),
+                entry: CacheEntry {
+                    mu: vec![2.0],
+                    cold_kernel_work: 100,
+                },
+            },
+            CacheUpdate {
+                family: "b".into(),
+                entry: CacheEntry {
+                    mu: vec![3.0],
+                    cold_kernel_work: 7,
+                },
+            },
+        ]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.lookup("a").map(|e| e.mu[0]), Some(2.0));
+        assert_eq!(c.lookup("b").map(|e| e.cold_kernel_work), Some(7));
+        c.clear();
+        assert!(c.lookup("a").is_none());
+    }
+}

@@ -1,0 +1,41 @@
+//! # sea-batch — batched multi-instance SEA solving
+//!
+//! Real constrained-matrix workloads rarely arrive one problem at a time:
+//! an estimation pipeline re-balances many related matrices (regions,
+//! sectors, time steps) every cycle, and consecutive cycles differ only by
+//! drifting priors. This crate schedules such workloads over the
+//! supervised sea-core drivers with three batch-level mechanisms:
+//!
+//! * **Shared thread budget** — [`BatchParallelism`] places the rayon
+//!   threads either *across* instances (many small problems) or *inside*
+//!   each solve's row/column equilibrations (few large problems).
+//! * **Warm-start dual cache** — [`WarmStartCache`] keeps the last
+//!   converged column multipliers `μ` per problem *family* and seeds the
+//!   next solve of that family with them (the row pass recomputes `λ`
+//!   from `μ`, so `μ` alone is a complete warm start). Hit/miss and
+//!   kernel-work-saved are reported per instance and per batch through
+//!   `sea-observe` events.
+//! * **Workspace arena** — [`BatchArena`] pools per-instance buffers so a
+//!   long-lived engine's own bookkeeping stops allocating once it reaches
+//!   steady state.
+//!
+//! Results are bitwise deterministic across every parallelism policy and
+//! any submission order: instance solves are parallelism-invariant, the
+//! cache is a read-only snapshot during a batch, and buffered event
+//! streams are replayed in submission order.
+
+// Robustness contract matching sea-core: library code surfaces failures as
+// `SeaError` or reports, never panics. Justified sites carry an explicit
+// `#[allow]` with a proof comment; tests are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod arena;
+pub mod cache;
+pub mod engine;
+
+pub use arena::BatchArena;
+pub use cache::{CacheEntry, CacheUpdate, WarmStartCache};
+pub use engine::{
+    BatchEngine, BatchInstance, BatchItemReport, BatchOptions, BatchParallelism, BatchProblem,
+    BatchReport, BatchSolution, WarmStart,
+};

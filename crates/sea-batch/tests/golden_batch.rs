@@ -1,18 +1,17 @@
-//! Golden-fixture audit of the solver event stream.
+//! Golden-fixture audit of the batch event stream.
 //!
-//! A tiny deterministic solve (2×2, fixed totals, `Serial` parallelism,
-//! sort-scan kernel) is recorded through the JSONL sink and compared,
-//! line by line, against `tests/fixtures/golden_solve.jsonl`. Wall-clock
-//! and numeric-result fields are zeroed before comparison (timings are
-//! nondeterministic, and float formatting should not pin the fixture);
-//! everything structural — the event sequence, phase labels, task counts,
-//! iteration numbers, convergence flags, and the exact kernel work
-//! counters — must match the committed golden file.
+//! A tiny deterministic 3-instance batch (two cached families plus one
+//! cache bypass) is solved for two epochs through one engine — epoch one
+//! all misses, epoch two all hits — and the full JSONL event stream is
+//! compared line by line against `tests/fixtures/golden_batch.jsonl`.
+//! Wall-clock and numeric-result fields are zeroed before comparison;
+//! everything structural — batch lifecycle framing, replay order, cache
+//! outcomes, kernel-work counters — must match the committed fixture.
 
-use sea_core::{solve_diagonal_observed, DiagonalProblem, Parallelism, SeaOptions, TotalSpec};
+use sea_batch::{BatchEngine, BatchInstance, BatchOptions, BatchProblem};
+use sea_core::{DiagonalProblem, Event, TotalSpec};
 use sea_linalg::DenseMatrix;
 use sea_observe::jsonl::{encode_event, parse_events, JsonlObserver};
-use sea_observe::Event;
 
 /// Zero every wall-clock / numeric-result field, keeping structure.
 fn normalized(event: &Event) -> Event {
@@ -61,27 +60,51 @@ fn normalized(event: &Event) -> Event {
     e
 }
 
-fn golden_problem() -> DiagonalProblem {
+fn tiny(rows: [[f64; 2]; 2], s0: [f64; 2], d0: [f64; 2]) -> DiagonalProblem {
     DiagonalProblem::new(
-        DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap(),
+        DenseMatrix::from_rows(&[rows[0].to_vec(), rows[1].to_vec()]).unwrap(),
         DenseMatrix::filled(2, 2, 1.0).unwrap(),
         TotalSpec::Fixed {
-            s0: vec![4.0, 6.0],
-            d0: vec![5.0, 5.0],
+            s0: s0.to_vec(),
+            d0: d0.to_vec(),
         },
     )
     .unwrap()
 }
 
 #[test]
-fn event_stream_matches_golden_fixture() {
-    let p = golden_problem();
-    let mut opts = SeaOptions::with_epsilon(1e-10);
-    opts.parallelism = Parallelism::Serial;
+fn batch_event_stream_matches_golden_fixture() {
+    let batch = vec![
+        BatchInstance {
+            id: "alpha".to_string(),
+            family: Some("f-alpha".to_string()),
+            problem: BatchProblem::Diagonal(tiny([[1.0, 2.0], [3.0, 4.0]], [4.0, 6.0], [5.0, 5.0])),
+        },
+        BatchInstance {
+            id: "beta".to_string(),
+            family: Some("f-beta".to_string()),
+            problem: BatchProblem::Diagonal(tiny([[2.0, 1.0], [1.0, 2.0]], [3.0, 3.0], [2.0, 4.0])),
+        },
+        BatchInstance {
+            id: "adhoc".to_string(),
+            family: None,
+            problem: BatchProblem::Diagonal(tiny([[5.0, 1.0], [1.0, 5.0]], [6.0, 6.0], [7.0, 5.0])),
+        },
+    ];
+    let mut engine = BatchEngine::new(BatchOptions {
+        epsilon: 1e-10,
+        max_iterations: 1000,
+        ..BatchOptions::default()
+    });
 
+    // Two epochs through one sink: misses, then hits.
     let mut obs = JsonlObserver::new(Vec::new());
-    let sol = solve_diagonal_observed(&p, &opts, &mut obs).unwrap();
-    assert!(sol.stats.converged);
+    let first = engine.solve_batch(&batch, &mut obs);
+    assert!(first.all_converged());
+    assert_eq!(first.cache_misses, 2);
+    let second = engine.solve_batch(&batch, &mut obs);
+    assert!(second.all_converged());
+    assert_eq!(second.cache_hits, 2);
 
     let bytes = obs.finish().unwrap();
     let recorded = parse_events(std::str::from_utf8(&bytes).unwrap()).unwrap();
@@ -91,19 +114,18 @@ fn event_stream_matches_golden_fixture() {
         actual.push('\n');
     }
 
-    // `UPDATE_GOLDEN=1 cargo test -p sea-core --test observe_events`
+    // `UPDATE_GOLDEN=1 cargo test -p sea-batch --test golden_batch`
     // rewrites the fixture after an intentional event-schema change.
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
         let path = concat!(
             env!("CARGO_MANIFEST_DIR"),
-            "/tests/fixtures/golden_solve.jsonl"
+            "/tests/fixtures/golden_batch.jsonl"
         );
         std::fs::write(path, &actual).unwrap();
         return;
     }
 
-    let golden = include_str!("fixtures/golden_solve.jsonl");
-    // Compare line by line for actionable failure messages, then exactly.
+    let golden = include_str!("fixtures/golden_batch.jsonl");
     for (i, (a, g)) in actual.lines().zip(golden.lines()).enumerate() {
         assert_eq!(a, g, "event {} diverges from the golden fixture", i + 1);
     }

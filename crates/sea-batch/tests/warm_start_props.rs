@@ -1,0 +1,100 @@
+//! Warm-start correctness properties.
+//!
+//! Seeding a solve with cached multipliers is an *accelerator*, never an
+//! *approximator*: a warm solve must land on a solution certifying against
+//! the same KKT tolerance as the cold one, and on an identical repeated
+//! instance it must consume no more kernel work. Instances come from the
+//! shared generator's heterogeneous family — unit-weight fixtures converge
+//! in a couple of sweeps, which would make both properties vacuous.
+
+#[path = "../../sea-core/tests/common/generator.rs"]
+mod generator;
+
+use proptest::prelude::*;
+use sea_batch::{BatchEngine, BatchInstance, BatchOptions, BatchProblem, BatchSolution, WarmStart};
+use sea_core::{verify_solution, NullObserver};
+
+/// KKT certification tolerance: one decade looser than the solve tolerance
+/// (the convergence criterion measures residuals, the certificate measures
+/// scaled stationarity; they agree only up to conditioning).
+const SOLVE_EPS: f64 = 1e-10;
+const KKT_TOL: f64 = 1e-6;
+
+fn instance(seed: u64, m: usize, n: usize) -> BatchInstance {
+    BatchInstance {
+        id: format!("prop-{seed}"),
+        family: Some(format!("fam-{seed}")),
+        problem: BatchProblem::Diagonal(generator::heterogeneous(seed, m, n)),
+    }
+}
+
+fn options() -> BatchOptions {
+    BatchOptions {
+        epsilon: SOLVE_EPS,
+        max_iterations: 50_000,
+        ..BatchOptions::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn warm_start_reaches_the_same_kkt_certificate(
+        seed in 0u64..1 << 48,
+        m in 2usize..6,
+        n in 2usize..6,
+    ) {
+        let inst = instance(seed, m, n);
+        let BatchProblem::Diagonal(problem) = &inst.problem else {
+            unreachable!("diagonal by construction")
+        };
+        let mut engine = BatchEngine::new(options());
+        let batch = std::slice::from_ref(&inst);
+
+        let cold = engine.solve_batch(batch, &mut NullObserver);
+        prop_assert!(cold.all_converged(), "cold solve must converge");
+        let warm = engine.solve_batch(batch, &mut NullObserver);
+        prop_assert!(warm.all_converged(), "warm solve must converge");
+        prop_assert_eq!(warm.items[0].warm_start, WarmStart::Hit);
+
+        for (tag, report) in [("cold", &cold), ("warm", &warm)] {
+            let Some(Ok(BatchSolution::Diagonal(sol))) = report.items.first().map(|i| &i.outcome)
+            else {
+                return Err("diagonal outcome missing".to_string());
+            };
+            let kkt = verify_solution(problem, &sol.solution);
+            prop_assert!(
+                kkt.is_optimal(KKT_TOL),
+                "{tag} solve fails the KKT certificate: {kkt:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_identical_instance_never_costs_more_kernel_work(
+        seed in 0u64..1 << 48,
+        m in 2usize..6,
+        n in 2usize..6,
+    ) {
+        let inst = instance(seed, m, n);
+        let mut engine = BatchEngine::new(options());
+        let batch = std::slice::from_ref(&inst);
+        let cold = engine.solve_batch(batch, &mut NullObserver);
+        prop_assert!(cold.all_converged());
+        let warm = engine.solve_batch(batch, &mut NullObserver);
+        prop_assert!(warm.all_converged());
+        prop_assert_eq!(warm.items[0].warm_start, WarmStart::Hit);
+        prop_assert!(
+            warm.kernel_work <= cold.kernel_work,
+            "warm start did more work than cold: {} > {}",
+            warm.kernel_work,
+            cold.kernel_work
+        );
+        prop_assert_eq!(
+            warm.work_saved,
+            cold.kernel_work - warm.kernel_work,
+            "work_saved must equal the measured difference"
+        );
+    }
+}

@@ -1,5 +1,6 @@
 //! Hand-rolled argument parsing (kept dependency-free).
 
+use sea_batch::BatchParallelism;
 use std::collections::HashMap;
 use std::path::PathBuf;
 
@@ -35,6 +36,29 @@ pub struct CommonOpts {
     pub checkpoint_every: usize,
     /// Resume a solve from a checkpoint written by `--checkpoint`.
     pub resume: Option<PathBuf>,
+}
+
+/// Options for the `batch` subcommand (one set for every instance).
+#[derive(Debug, Clone)]
+pub struct BatchOpts {
+    /// Results file (`None` = stdout), one JSONL line per instance.
+    pub out: Option<PathBuf>,
+    /// Stopping tolerance.
+    pub epsilon: f64,
+    /// Equilibration kernel name: `sortscan` or `quickselect`.
+    pub kernel: String,
+    /// Hard iteration cap override (default: the engine's built-in cap).
+    pub max_iterations: Option<usize>,
+    /// Thread-budget policy: instance-level vs in-solve parallelism.
+    pub parallel: BatchParallelism,
+    /// Seed repeated families with their cached dual multipliers.
+    pub warm_start: bool,
+    /// Write the batch JSONL event stream to this file.
+    pub observe: Option<PathBuf>,
+    /// Write Prometheus text-exposition metrics to this file.
+    pub metrics: Option<PathBuf>,
+    /// Per-instance wall-clock budget in seconds.
+    pub deadline: Option<f64>,
 }
 
 /// Parsed subcommand.
@@ -81,6 +105,13 @@ pub enum Command {
     Info {
         /// Matrix file.
         matrix: PathBuf,
+    },
+    /// Solve many instances from a JSONL manifest in one batch.
+    Batch {
+        /// Manifest file: one JSON instance object per line.
+        manifest: PathBuf,
+        /// Batch-wide options.
+        opts: BatchOpts,
     },
     /// Summarize a recorded JSONL solve log.
     Report {
@@ -206,6 +237,69 @@ fn common_from(flags: &mut HashMap<String, String>) -> Result<CommonOpts, ParseE
     })
 }
 
+fn batch_opts_from(flags: &mut HashMap<String, String>) -> Result<BatchOpts, ParseError> {
+    let out = flags.remove("out").map(PathBuf::from);
+    let epsilon: f64 = match flags.remove("epsilon") {
+        None => 1e-8,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--epsilon {v:?} is not a number"))?,
+    };
+    let kernel = flags
+        .remove("kernel")
+        .unwrap_or_else(|| "sortscan".to_string());
+    if !["sortscan", "quickselect"].contains(&kernel.as_str()) {
+        return Err(format!(
+            "unknown --kernel {kernel:?} (expected sortscan or quickselect)"
+        ));
+    }
+    let max_iterations = match flags.remove("max-iterations") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("--max-iterations {v:?} is not a positive integer"))?,
+        ),
+    };
+    let parallel = match flags.remove("parallel") {
+        None => BatchParallelism::Serial,
+        Some(v) => BatchParallelism::parse(&v).ok_or_else(|| {
+            format!("unknown --parallel {v:?} (expected serial, outer[:K], or inner[:K])")
+        })?,
+    };
+    let warm_start = match flags.remove("warm-start").as_deref() {
+        None | Some("on") => true,
+        Some("off") => false,
+        Some(other) => return Err(format!("unknown --warm-start {other:?} (on|off)")),
+    };
+    let observe = flags.remove("observe").map(PathBuf::from);
+    let metrics = flags.remove("metrics").map(PathBuf::from);
+    let deadline = match flags.remove("deadline") {
+        None => None,
+        Some(v) => {
+            let secs: f64 = v
+                .parse()
+                .map_err(|_| format!("--deadline {v:?} is not a number of seconds"))?;
+            if !(secs > 0.0) {
+                return Err("--deadline must be strictly positive".to_string());
+            }
+            Some(secs)
+        }
+    };
+    Ok(BatchOpts {
+        out,
+        epsilon,
+        kernel,
+        max_iterations,
+        parallel,
+        warm_start,
+        observe,
+        metrics,
+        deadline,
+    })
+}
+
 fn required_path(flags: &mut HashMap<String, String>, name: &str) -> Result<PathBuf, ParseError> {
     flags
         .remove(name)
@@ -220,10 +314,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
     };
     let rest = &args[1..];
     let (mut flags, positional) = take_flags(rest)?;
-    if !positional.is_empty() {
+    // Only `batch` takes a positional argument (its manifest file).
+    if sub != "batch" && !positional.is_empty() {
         return Err(format!("unexpected argument {:?}", positional[0]));
     }
     let cmd = match sub.as_str() {
+        "batch" => {
+            let manifest = match positional.as_slice() {
+                [one] => PathBuf::from(one),
+                [] => return Err("missing manifest file (sea-solve batch <manifest>)".to_string()),
+                [_, extra, ..] => return Err(format!("unexpected argument {extra:?}")),
+            };
+            Command::Batch {
+                manifest,
+                opts: batch_opts_from(&mut flags)?,
+            }
+        }
         "fixed" => {
             let row_totals = required_path(&mut flags, "row-totals")?;
             let col_totals = required_path(&mut flags, "col-totals")?;
@@ -304,6 +410,10 @@ USAGE:
                     [--total-weight W] [opts]
   sea-solve sam     --matrix X0.csv [--totals s.csv] [opts]
   sea-solve ras     --matrix X0.csv --row-totals s.csv --col-totals d.csv [--out F]
+  sea-solve batch   manifest.jsonl [--parallel serial|outer[:K]|inner[:K]]
+                    [--warm-start on|off] [--epsilon E] [--max-iterations N]
+                    [--deadline S] [--kernel K] [--observe F] [--metrics F]
+                    [--out results.jsonl]
   sea-solve info    --matrix X0.csv
   sea-solve report  --events events.jsonl [--processors N]
 
@@ -331,6 +441,23 @@ ROBUSTNESS (quadratic solver subcommands):
                              (tmp-then-rename; safe to kill at any time)
   --checkpoint-every <k>     checkpoint cadence in iterations (default 64)
   --resume <file>            resume a solve from a checkpoint
+
+BATCH (`sea-solve batch manifest.jsonl`):
+  The manifest holds one JSON instance per line (blank and # lines are
+  skipped). Each instance gives an id, an optional warm-start family, a
+  class mirroring the solver subcommands, and inline data:
+    {\"id\":\"q1\",\"family\":\"trade\",\"class\":\"fixed\",\"matrix\":[[1,2],[3,4]],
+     \"row_totals\":[4,6],\"col_totals\":[5,5],\"weights\":\"unit\"}
+  classes: fixed (row_totals + col_totals), elastic (also total_weight),
+  sam (square matrix, optional totals); optional per-instance fields
+  weights (unit|chi2|sqrt) and zeros (structural|free).
+  Instances sharing a family are seeded with the family's last converged
+  dual multipliers (--warm-start off disables). --parallel splits the
+  thread budget across instances (outer[:K]) or inside each equilibration
+  (inner[:K]); every policy returns bitwise-identical results. One JSONL
+  result line per instance goes to --out (default stdout), then a
+  `# batch:` summary. Exit 0 iff every instance converged; otherwise the
+  first non-converged instance's stop-reason code below.
 
 SIGINT (Ctrl-C) cancels a running solve cooperatively: the partial
 estimate is emitted with stop reason `cancelled` and exit code 130.
@@ -508,6 +635,54 @@ mod tests {
             "elastic --matrix m.csv --row-totals s --col-totals d --total-weight -2"
         ))
         .is_err());
+    }
+
+    #[test]
+    fn parses_batch_command() {
+        let cmd = parse_args(&argv(
+            "batch jobs.jsonl --parallel outer:4 --warm-start off --epsilon 1e-9 \
+             --max-iterations 500 --kernel quickselect --out r.jsonl --observe e.jsonl \
+             --metrics m.prom --deadline 2.5",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Batch { manifest, opts } => {
+                assert_eq!(manifest, PathBuf::from("jobs.jsonl"));
+                assert_eq!(opts.parallel, BatchParallelism::OuterThreads(4));
+                assert!(!opts.warm_start);
+                assert_eq!(opts.epsilon, 1e-9);
+                assert_eq!(opts.max_iterations, Some(500));
+                assert_eq!(opts.kernel, "quickselect");
+                assert_eq!(opts.out, Some(PathBuf::from("r.jsonl")));
+                assert_eq!(opts.observe, Some(PathBuf::from("e.jsonl")));
+                assert_eq!(opts.metrics, Some(PathBuf::from("m.prom")));
+                assert_eq!(opts.deadline, Some(2.5));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Defaults: serial scheduling, warm starts on, no sinks.
+        match parse_args(&argv("batch jobs.jsonl")).unwrap() {
+            Command::Batch { opts, .. } => {
+                assert_eq!(opts.parallel, BatchParallelism::Serial);
+                assert!(opts.warm_start);
+                assert_eq!(opts.epsilon, 1e-8);
+                assert_eq!(opts.kernel, "sortscan");
+                assert!(opts.out.is_none() && opts.observe.is_none());
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_rejects_bad_input() {
+        assert!(parse_args(&argv("batch")).is_err()); // missing manifest
+        assert!(parse_args(&argv("batch a.jsonl b.jsonl")).is_err());
+        assert!(parse_args(&argv("batch jobs.jsonl --parallel sideways")).is_err());
+        assert!(parse_args(&argv("batch jobs.jsonl --parallel outer:0")).is_err());
+        assert!(parse_args(&argv("batch jobs.jsonl --warm-start maybe")).is_err());
+        assert!(parse_args(&argv("batch jobs.jsonl --mystery 1")).is_err());
+        // Positional manifests stay exclusive to `batch`.
+        assert!(parse_args(&argv("info stray.csv --matrix m.csv")).is_err());
     }
 
     #[test]

@@ -1,16 +1,18 @@
 //! Subcommand implementations.
 
-use crate::args::{Command, CommonOpts, USAGE};
+use crate::args::{BatchOpts, Command, CommonOpts, USAGE};
 use crate::csv;
 use crate::exit::CliError;
 use crate::sigint;
 use sea_baselines::ras::{ras_balance, RasOptions};
+use sea_batch::{BatchEngine, BatchInstance, BatchItemReport, BatchOptions, BatchProblem};
 use sea_core::{
     solve_diagonal_supervised, trace_from_events, Checkpoint, CheckpointPolicy, DiagonalProblem,
     Event, ExecutionTrace, KernelKind, Observer, SeaOptions, StopReason, SupervisorOptions,
     TotalSpec, WeightScheme, ZeroPolicy,
 };
 use sea_linalg::DenseMatrix;
+use sea_observe::json::{f64_to_json, parse as parse_json, JsonValue};
 use sea_observe::jsonl::{parse_events, JsonlObserver};
 use sea_observe::metrics::MetricsObserver;
 use sea_parsim::SimPhase;
@@ -208,6 +210,262 @@ fn solve_and_emit(common: &CommonOpts, problem: &DiagonalProblem) -> Result<Stri
     Ok(report)
 }
 
+/// Pull a numeric vector field out of a manifest instance object.
+fn manifest_vector(v: &JsonValue, key: &str, line_no: usize) -> Result<Vec<f64>, CliError> {
+    let items = v
+        .get(key)
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("manifest line {line_no}: missing array field {key:?}"))?;
+    items
+        .iter()
+        .map(|x| x.as_f64())
+        .collect::<Option<Vec<f64>>>()
+        .ok_or_else(|| format!("manifest line {line_no}: {key:?} holds a non-number").into())
+}
+
+/// Pull the prior matrix (array of equal-length numeric rows).
+fn manifest_matrix(v: &JsonValue, line_no: usize) -> Result<DenseMatrix, CliError> {
+    let rows = v
+        .get("matrix")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("manifest line {line_no}: missing array field \"matrix\""))?;
+    let mut data = Vec::with_capacity(rows.len());
+    for row in rows {
+        let cells = row
+            .as_array()
+            .ok_or_else(|| format!("manifest line {line_no}: \"matrix\" rows must be arrays"))?;
+        let parsed: Option<Vec<f64>> = cells.iter().map(|x| x.as_f64()).collect();
+        data.push(
+            parsed
+                .ok_or_else(|| format!("manifest line {line_no}: \"matrix\" holds a non-number"))?,
+        );
+    }
+    DenseMatrix::from_rows(&data)
+        .map_err(|e| format!("manifest line {line_no}: bad matrix: {e}").into())
+}
+
+/// Parse one manifest line into a batch instance. The `class` field
+/// mirrors the solver subcommands: `fixed`, `elastic`, or `sam`.
+fn manifest_instance(line_no: usize, text: &str) -> Result<BatchInstance, CliError> {
+    let v = parse_json(text).map_err(|e| format!("manifest line {line_no}: {e}"))?;
+    let str_field = |key: &str| v.get(key).and_then(JsonValue::as_str).map(str::to_string);
+    let id = str_field("id")
+        .ok_or_else(|| format!("manifest line {line_no}: missing string field \"id\""))?;
+    let family = str_field("family");
+    let class = str_field("class").unwrap_or_else(|| "fixed".to_string());
+    let weights = str_field("weights").unwrap_or_else(|| "chi2".to_string());
+    if !["unit", "chi2", "sqrt"].contains(&weights.as_str()) {
+        return Err(format!(
+            "manifest line {line_no}: unknown weights {weights:?} (unit|chi2|sqrt)"
+        )
+        .into());
+    }
+    let policy = match str_field("zeros").as_deref() {
+        None | Some("free") => ZeroPolicy::Free,
+        Some("structural") => ZeroPolicy::Structural,
+        Some(other) => {
+            return Err(format!(
+                "manifest line {line_no}: unknown zeros {other:?} (structural|free)"
+            )
+            .into())
+        }
+    };
+    let x0 = manifest_matrix(&v, line_no)?;
+    let gamma = build_gamma(&x0, weight_scheme(&weights))?;
+    let (m, n) = (x0.rows(), x0.cols());
+    let spec = match class.as_str() {
+        "fixed" => TotalSpec::Fixed {
+            s0: manifest_vector(&v, "row_totals", line_no)?,
+            d0: manifest_vector(&v, "col_totals", line_no)?,
+        },
+        "elastic" => {
+            let total_weight = match v.get("total_weight") {
+                None => 1.0,
+                Some(w) => w.as_f64().filter(|w| *w > 0.0).ok_or_else(|| {
+                    format!("manifest line {line_no}: total_weight must be a positive number")
+                })?,
+            };
+            TotalSpec::Elastic {
+                alpha: vec![total_weight; m],
+                s0: manifest_vector(&v, "row_totals", line_no)?,
+                beta: vec![total_weight; n],
+                d0: manifest_vector(&v, "col_totals", line_no)?,
+            }
+        }
+        "sam" => {
+            if m != n {
+                return Err(CliError::Solver(sea_core::SeaError::NotSquareSam {
+                    rows: m,
+                    cols: n,
+                }));
+            }
+            let s0 = match v.get("totals") {
+                Some(_) => manifest_vector(&v, "totals", line_no)?,
+                None => {
+                    let r = x0.row_sums();
+                    let c = x0.col_sums();
+                    r.iter().zip(&c).map(|(a, b)| 0.5 * (a + b)).collect()
+                }
+            };
+            let alpha = s0.iter().map(|&t| 1.0 / t.abs().max(1e-9)).collect();
+            TotalSpec::Balanced { alpha, s0 }
+        }
+        other => {
+            return Err(format!(
+                "manifest line {line_no}: unknown class {other:?} (fixed|elastic|sam)"
+            )
+            .into())
+        }
+    };
+    let problem =
+        DiagonalProblem::with_zero_policy(x0, gamma, spec, policy).map_err(CliError::Solver)?;
+    Ok(BatchInstance {
+        id,
+        family,
+        problem: BatchProblem::Diagonal(problem),
+    })
+}
+
+/// One instance's JSONL result line.
+fn result_line(item: &BatchItemReport) -> String {
+    let mut fields = vec![
+        ("index".to_string(), JsonValue::Number(item.index as f64)),
+        ("id".to_string(), JsonValue::String(item.id.clone())),
+    ];
+    if let Some(f) = &item.family {
+        fields.push(("family".to_string(), JsonValue::String(f.clone())));
+    }
+    fields.push((
+        "cache".to_string(),
+        JsonValue::String(item.warm_start.name().to_string()),
+    ));
+    fields.push((
+        "kernel_work".to_string(),
+        JsonValue::Number(item.kernel_work as f64),
+    ));
+    fields.push((
+        "work_saved".to_string(),
+        JsonValue::Number(item.work_saved as f64),
+    ));
+    match &item.outcome {
+        Ok(sol) => {
+            fields.push((
+                "stop".to_string(),
+                JsonValue::String(sol.stop().name().to_string()),
+            ));
+            fields.push(("converged".to_string(), JsonValue::Bool(sol.converged())));
+            fields.push((
+                "iterations".to_string(),
+                JsonValue::Number(sol.iterations() as f64),
+            ));
+            fields.push(("objective".to_string(), f64_to_json(sol.objective())));
+        }
+        Err(e) => fields.push(("error".to_string(), JsonValue::String(e.to_string()))),
+    }
+    JsonValue::Object(fields).render()
+}
+
+/// The `batch` subcommand: solve a JSONL manifest of instances through
+/// one engine, streaming a result line per instance plus a summary.
+fn run_batch(manifest: &Path, opts: &BatchOpts) -> Result<String, CliError> {
+    let text =
+        std::fs::read_to_string(manifest).map_err(|e| format!("{}: {e}", manifest.display()))?;
+    let mut instances = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        instances.push(manifest_instance(i + 1, t)?);
+    }
+    if instances.is_empty() {
+        return Err(format!("{}: manifest holds no instances", manifest.display()).into());
+    }
+
+    let mut bopts = BatchOptions {
+        epsilon: opts.epsilon,
+        parallelism: opts.parallel,
+        warm_start: opts.warm_start,
+        ..BatchOptions::default()
+    };
+    bopts.kernel = KernelKind::parse(&opts.kernel)
+        .ok_or_else(|| format!("unknown kernel {:?}", opts.kernel))?;
+    if let Some(cap) = opts.max_iterations {
+        bopts.max_iterations = cap;
+    }
+    bopts.supervisor.cancel = sigint::cancel_token();
+    bopts.supervisor.budget.deadline = opts.deadline.map(Duration::from_secs_f64);
+
+    let mut obs = CliObserver {
+        jsonl: match &opts.observe {
+            Some(path) => {
+                let f = File::create(path).map_err(|e| format!("{}: {e}", path.display()))?;
+                Some(JsonlObserver::new(BufWriter::new(f)))
+            }
+            None => None,
+        },
+        metrics: opts.metrics.as_ref().map(|_| MetricsObserver::new()),
+    };
+    let mut engine = BatchEngine::new(bopts);
+    let batch = engine.solve_batch(&instances, &mut obs);
+
+    let mut lines = String::new();
+    for item in &batch.items {
+        lines.push_str(&result_line(item));
+        lines.push('\n');
+    }
+    let mut report = match &opts.out {
+        Some(path) => {
+            std::fs::write(path, &lines).map_err(|e| format!("{}: {e}", path.display()))?;
+            format!("wrote {}\n", path.display())
+        }
+        None => lines,
+    };
+    if let Some(jsonl) = obs.jsonl.take() {
+        let path = opts.observe.as_ref().expect("observe path set");
+        jsonl
+            .finish()
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        report.push_str(&format!("# events: {}\n", path.display()));
+    }
+    if let Some(metrics) = obs.metrics.take() {
+        let path = opts.metrics.as_ref().expect("metrics path set");
+        std::fs::write(path, metrics.render()).map_err(|e| format!("{}: {e}", path.display()))?;
+        report.push_str(&format!("# metrics: {}\n", path.display()));
+    }
+    report.push_str(&format!(
+        "# batch: {} instances, {} converged, cache {} hit / {} miss, \
+         kernel work {}, saved {}, {:.3}s\n",
+        batch.items.len(),
+        batch.converged,
+        batch.cache_hits,
+        batch.cache_misses,
+        batch.kernel_work,
+        batch.work_saved,
+        batch.elapsed.as_secs_f64()
+    ));
+
+    // Exit contract: the first errored instance's typed code wins, then
+    // the first non-converged stop's code, then 0. Non-converged batches
+    // still carry the full per-instance report as partial output.
+    if let Some(e) = batch.items.iter().find_map(|i| i.outcome.as_ref().err()) {
+        return Err(CliError::Solver(e.clone()));
+    }
+    if let Some(stop) = batch
+        .items
+        .iter()
+        .filter_map(|i| i.outcome.as_ref().ok())
+        .map(|s| s.stop())
+        .find(|s| *s != StopReason::Converged)
+    {
+        return Err(CliError::Stopped {
+            reason: stop,
+            report,
+        });
+    }
+    Ok(report)
+}
+
 /// Convert a replayed trace into simulator phases (mirrors the conversion
 /// the bench harness applies to in-process traces).
 fn trace_to_sim_phases(trace: &ExecutionTrace) -> Vec<SimPhase> {
@@ -284,6 +542,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             ))
         }
         Command::Report { events, processors } => report_from_log(events, *processors),
+        Command::Batch { manifest, opts } => run_batch(manifest, opts),
         Command::Fixed {
             common,
             row_totals,
@@ -573,6 +832,86 @@ mod tests {
         assert!(summary.contains("serial fraction"));
         assert!(summary.contains("row_equilibration"));
         assert!(summary.contains("Simulated replay"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batch_end_to_end_mixed_classes() {
+        let dir = tmpdir("batch");
+        let manifest = write(
+            &dir,
+            "jobs.jsonl",
+            "# two instances, one cached family\n\
+             {\"id\":\"q1\",\"family\":\"trade\",\"class\":\"fixed\",\
+              \"matrix\":[[1,2],[3,4]],\"row_totals\":[4,6],\"col_totals\":[5,5],\
+              \"weights\":\"unit\"}\n\
+             \n\
+             {\"id\":\"accounts\",\"class\":\"sam\",\"zeros\":\"structural\",\
+              \"matrix\":[[0,5,1],[2,0,3],[4,1,0]]}\n",
+        );
+        let results = dir.join("r.jsonl");
+        let events = dir.join("e.jsonl");
+        let argv: Vec<String> = [
+            "batch",
+            manifest.to_str().unwrap(),
+            "--out",
+            results.to_str().unwrap(),
+            "--observe",
+            events.to_str().unwrap(),
+            "--parallel",
+            "outer:2",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let report = run(&parse_args(&argv).unwrap()).unwrap();
+        assert!(
+            report.contains("# batch: 2 instances, 2 converged"),
+            "{report}"
+        );
+        assert!(report.contains("# events:"));
+
+        // One JSON result line per instance, in submission order.
+        let text = std::fs::read_to_string(&results).unwrap();
+        let lines: Vec<JsonValue> = text.lines().map(|l| parse_json(l).unwrap()).collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].get("id").unwrap().as_str(), Some("q1"));
+        assert_eq!(lines[0].get("cache").unwrap().as_str(), Some("miss"));
+        assert_eq!(lines[1].get("id").unwrap().as_str(), Some("accounts"));
+        assert_eq!(lines[1].get("cache").unwrap().as_str(), Some("bypass"));
+        for l in &lines {
+            assert_eq!(l.get("stop").unwrap().as_str(), Some("converged"));
+            assert_eq!(l.get("converged").unwrap().as_bool(), Some(true));
+        }
+
+        // The event stream is batch-framed and parses back.
+        let evs = parse_events(&std::fs::read_to_string(&events).unwrap()).unwrap();
+        assert!(matches!(
+            evs.first(),
+            Some(Event::BatchStart { instances: 2, .. })
+        ));
+        assert!(matches!(evs.last(), Some(Event::BatchEnd { .. })));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batch_manifest_errors_are_line_addressed() {
+        let dir = tmpdir("batch-bad");
+        let manifest = write(&dir, "jobs.jsonl", "{\"id\":\"a\",\"class\":\"fixed\"}\n");
+        let argv: Vec<String> = ["batch", manifest.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = run(&parse_args(&argv).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("manifest line 1"), "{err}");
+
+        let empty = write(&dir, "empty.jsonl", "# nothing here\n");
+        let argv: Vec<String> = ["batch", empty.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = run(&parse_args(&argv).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("no instances"), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -285,6 +285,85 @@ fn sigint_yields_partial_estimate_and_exit_130() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// A two-instance manifest sharing one warm-start family.
+fn batch_manifest(dir: &Path) -> PathBuf {
+    write(
+        dir,
+        "jobs.jsonl",
+        "{\"id\":\"q1\",\"family\":\"trade\",\"class\":\"fixed\",\
+          \"matrix\":[[10,4,6],[3,12,5],[7,2,11]],\
+          \"row_totals\":[24,22,24],\"col_totals\":[25,20,25]}\n\
+         {\"id\":\"q2\",\"family\":\"trade\",\"class\":\"fixed\",\
+          \"matrix\":[[10,4,6],[3,12,5],[7,2,11]],\
+          \"row_totals\":[24,22,24],\"col_totals\":[25,20,25]}\n",
+    )
+}
+
+#[test]
+fn batch_solves_a_manifest_through_the_binary() {
+    let dir = tmpdir("batch");
+    let manifest = batch_manifest(&dir);
+    let output = Command::new(bin())
+        .args([
+            "batch",
+            manifest.to_str().unwrap(),
+            "--parallel",
+            "outer:2",
+            "--epsilon",
+            "1e-9",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(0), "batch converges");
+    let out = String::from_utf8_lossy(&output.stdout);
+    // One result line per instance plus the summary trailer.
+    assert_eq!(out.lines().filter(|l| l.starts_with('{')).count(), 2);
+    assert!(out.contains("\"id\":\"q1\""), "{out}");
+    assert!(out.contains("# batch: 2 instances, 2 converged"), "{out}");
+    // Same process, one batch: the shared family resolves against the
+    // empty snapshot, so both instances report a miss.
+    assert_eq!(out.matches("\"cache\":\"miss\"").count(), 2, "{out}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn batch_stops_exit_with_the_stop_reason_code() {
+    let dir = tmpdir("batch-cap");
+    let manifest = batch_manifest(&dir);
+    let output = Command::new(bin())
+        .args([
+            "batch",
+            manifest.to_str().unwrap(),
+            "--epsilon",
+            "1e-300",
+            "--max-iterations",
+            "3",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(5), "iteration_cap exit code");
+    let out = String::from_utf8_lossy(&output.stdout);
+    // The per-instance report still lands on stdout as partial output.
+    assert_eq!(
+        out.matches("\"stop\":\"iteration_cap\"").count(),
+        2,
+        "{out}"
+    );
+    assert!(out.contains("# batch: 2 instances, 0 converged"), "{out}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn batch_without_a_manifest_is_a_usage_error() {
+    let output = Command::new(bin())
+        .args(["batch"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("manifest"), "{err}");
+}
+
 #[test]
 fn stdout_output_when_no_out_flag() {
     let dir = tmpdir("stdout");

@@ -305,6 +305,11 @@ pub struct GeneralSolution {
     pub s: Vec<f64>,
     /// Column totals.
     pub d: Vec<f64>,
+    /// Column multipliers of the final inner diagonal solve. Seeding a
+    /// related solve's `GeneralSeaOptions::inner.initial_mu` with these
+    /// warm-starts its first projection step (the batch engine's cache
+    /// relies on this).
+    pub mu: Vec<f64>,
     /// Outer (projection) iterations performed.
     pub outer_iterations: usize,
     /// Total inner (diagonal SEA) iterations across all outer iterations.
@@ -433,6 +438,11 @@ fn solve_general_inner<O: Observer + Send>(
     let mut outer_iterations = 0usize;
     let mut converged = false;
     let mut outer_residual = f64::INFINITY;
+    let mut last_mu = opts
+        .inner
+        .initial_mu
+        .clone()
+        .unwrap_or_else(|| vec![0.0; n]);
     let mut scratch: Vec<f64> = Vec::with_capacity(mn);
 
     let mut inner_opts = opts.inner.clone();
@@ -511,6 +521,7 @@ fn solve_general_inner<O: Observer + Send>(
         if opts.warm_start_inner {
             inner_opts.initial_mu = Some(sol.mu.clone());
         }
+        last_mu = sol.mu;
         inner_iterations += sol.stats.iterations;
         if let Some(tr) = trace.as_mut() {
             if let Some(inner_tr) = sol.stats.trace {
@@ -618,6 +629,7 @@ fn solve_general_inner<O: Observer + Send>(
         x,
         s,
         d,
+        mu: last_mu,
         outer_iterations,
         inner_iterations,
         converged,
@@ -793,6 +805,27 @@ mod tests {
         assert!(a.x.max_abs_diff(&b.x) < 1e-7);
         // Warm starting can only reduce the total inner work.
         assert!(a.inner_iterations <= b.inner_iterations);
+    }
+
+    #[test]
+    fn solution_mu_warm_starts_a_repeat_solve() {
+        let x0 = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let g = dd_matrix(4, 8.0, 1.5);
+        let totals = GeneralTotalSpec::Fixed {
+            s0: vec![4.0, 6.0],
+            d0: vec![5.0, 5.0],
+        };
+        let p = GeneralProblem::new(x0, g, totals).unwrap();
+        let opts = GeneralSeaOptions::with_epsilon(1e-10);
+        let cold = solve_general(&p, &opts).unwrap();
+        assert!(cold.converged);
+        assert_eq!(cold.mu.len(), p.n());
+        let mut warm_opts = opts.clone();
+        warm_opts.inner.initial_mu = Some(cold.mu.clone());
+        let warm = solve_general(&p, &warm_opts).unwrap();
+        assert!(warm.converged);
+        assert!(warm.inner_iterations <= cold.inner_iterations);
+        assert!(warm.x.max_abs_diff(&cold.x) < 1e-7);
     }
 
     #[test]

@@ -235,8 +235,37 @@ pub fn solve_bounded_supervised<O: Observer>(
     sup: &SupervisorOptions,
     obs: &mut O,
 ) -> Result<SupervisedBoundedSolution, SeaError> {
+    solve_bounded_supervised_warm(p, epsilon, max_iterations, kernel, None, sup, obs)
+}
+
+/// [`solve_bounded_supervised`] seeded with column multipliers from a
+/// previous solve of a related problem. The row pass recomputes `λ` from
+/// `μ`, so `μ` alone resumes/warm-starts a bounded solve — the same
+/// mechanism the diagonal driver exposes via `SeaOptions::initial_mu` and
+/// that checkpoints use.
+///
+/// # Errors
+/// Same contract as [`solve_bounded`], plus [`SeaError::Shape`] when
+/// `initial_mu` has the wrong length.
+pub fn solve_bounded_supervised_warm<O: Observer>(
+    p: &BoundedProblem,
+    epsilon: f64,
+    max_iterations: usize,
+    kernel: KernelKind,
+    initial_mu: Option<&[f64]>,
+    sup: &SupervisorOptions,
+    obs: &mut O,
+) -> Result<SupervisedBoundedSolution, SeaError> {
     let mut ctrl = SolveControl::active(sup);
-    let solution = solve_bounded_inner(p, epsilon, max_iterations, kernel, obs, &mut ctrl)?;
+    let solution = solve_bounded_inner_warm(
+        p,
+        epsilon,
+        max_iterations,
+        kernel,
+        initial_mu,
+        obs,
+        &mut ctrl,
+    )?;
     let stop = if solution.converged {
         StopReason::Converged
     } else {
@@ -250,6 +279,18 @@ fn solve_bounded_inner<O: Observer>(
     epsilon: f64,
     max_iterations: usize,
     kernel: KernelKind,
+    obs: &mut O,
+    ctrl: &mut SolveControl<'_>,
+) -> Result<BoundedSolution, SeaError> {
+    solve_bounded_inner_warm(p, epsilon, max_iterations, kernel, None, obs, ctrl)
+}
+
+fn solve_bounded_inner_warm<O: Observer>(
+    p: &BoundedProblem,
+    epsilon: f64,
+    max_iterations: usize,
+    kernel: KernelKind,
+    initial_mu: Option<&[f64]>,
     obs: &mut O,
     ctrl: &mut SolveControl<'_>,
 ) -> Result<BoundedSolution, SeaError> {
@@ -272,7 +313,19 @@ fn solve_bounded_inner<O: Observer>(
     }
 
     let mut lambda = vec![0.0; m];
-    let mut mu = vec![0.0; n];
+    let mut mu = match initial_mu {
+        None => vec![0.0; n],
+        Some(mu0) => {
+            if mu0.len() != n {
+                return Err(SeaError::Shape {
+                    context: "initial_mu",
+                    expected: n,
+                    actual: mu0.len(),
+                });
+            }
+            mu0.to_vec()
+        }
+    };
     let mut x = DenseMatrix::zeros(m, n)?;
     let mut x_t = DenseMatrix::zeros(n, m)?;
     let mut scratch = EquilibrationScratch::new();
@@ -557,6 +610,53 @@ mod tests {
             })
             .expect("kernel counters event missing");
         assert_eq!(counters.subproblems, (4 * sol.iterations) as u64);
+    }
+
+    #[test]
+    fn warm_start_reproduces_same_solution_and_validates_length() {
+        let p = problem();
+        let sup = SupervisorOptions::default();
+        let cold = solve_bounded_supervised_warm(
+            &p,
+            1e-10,
+            10_000,
+            KernelKind::SortScan,
+            None,
+            &sup,
+            &mut sea_observe::NullObserver,
+        )
+        .unwrap();
+        assert_eq!(cold.stop, StopReason::Converged);
+        let warm = solve_bounded_supervised_warm(
+            &p,
+            1e-10,
+            10_000,
+            KernelKind::SortScan,
+            Some(&cold.solution.mu),
+            &sup,
+            &mut sea_observe::NullObserver,
+        )
+        .unwrap();
+        assert_eq!(warm.stop, StopReason::Converged);
+        assert!(warm.solution.iterations <= cold.solution.iterations);
+        assert!(warm.solution.x.max_abs_diff(&cold.solution.x) < 1e-8);
+
+        let err = solve_bounded_supervised_warm(
+            &p,
+            1e-10,
+            10_000,
+            KernelKind::SortScan,
+            Some(&[0.0; 5]),
+            &sup,
+            &mut sea_observe::NullObserver,
+        );
+        assert!(matches!(
+            err,
+            Err(SeaError::Shape {
+                context: "initial_mu",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -87,8 +87,8 @@ pub use general::{
     GeneralSeaOptions, GeneralSolution, GeneralTotalSpec,
 };
 pub use interval::{
-    solve_bounded, solve_bounded_observed, solve_bounded_supervised, solve_bounded_with,
-    BoundedProblem,
+    solve_bounded, solve_bounded_observed, solve_bounded_supervised, solve_bounded_supervised_warm,
+    solve_bounded_with, BoundedProblem,
 };
 pub use knapsack::{
     exact_equilibration, exact_equilibration_with, EquilibrationResult, EquilibrationScratch,

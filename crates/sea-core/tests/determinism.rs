@@ -7,9 +7,14 @@
 //! counts — on all three problem classes.
 
 mod common;
+#[path = "common/generator.rs"]
+mod generator;
 
 use common::{all_fixtures, solve_with};
-use sea_core::{KernelKind, Parallelism};
+use sea_core::{
+    solve_diagonal_supervised, solve_general_supervised, GeneralSeaOptions, KernelKind,
+    NullObserver, Parallelism, SeaOptions, SupervisorOptions,
+};
 
 fn bits(v: &[f64]) -> Vec<u64> {
     v.iter().map(|x| x.to_bits()).collect()
@@ -59,6 +64,94 @@ fn all_execution_modes_are_bitwise_identical() {
                 );
             }
         }
+    }
+}
+
+#[test]
+fn supervised_diagonal_driver_is_bitwise_identical_across_modes() {
+    // The supervisor wraps the same iteration loop (budget checks and
+    // watchdogs read state, they never perturb it), so supervised solves
+    // inherit the bitwise-determinism contract of the bare driver.
+    let p = generator::heterogeneous(0x5EA_D, 5, 5);
+    let sup = SupervisorOptions::default();
+    for kernel in [KernelKind::SortScan, KernelKind::Quickselect] {
+        let mut opts = SeaOptions::with_epsilon(1e-10);
+        opts.kernel = kernel;
+        opts.parallelism = Parallelism::Serial;
+        let reference =
+            solve_diagonal_supervised(&p, &opts, &sup, &mut NullObserver).expect("serial solve");
+        for mode in [
+            Parallelism::Rayon,
+            Parallelism::RayonThreads(1),
+            Parallelism::RayonThreads(2),
+            Parallelism::RayonThreads(4),
+        ] {
+            let mut opts = SeaOptions::with_epsilon(1e-10);
+            opts.kernel = kernel;
+            opts.parallelism = mode;
+            let sol = solve_diagonal_supervised(&p, &opts, &sup, &mut NullObserver).expect("solve");
+            assert_eq!(
+                sol.stop, reference.stop,
+                "{kernel}/{mode:?}: stop reason diverged"
+            );
+            assert_eq!(
+                sol.solution.stats.iterations, reference.solution.stats.iterations,
+                "{kernel}/{mode:?}: supervised iteration count diverged"
+            );
+            assert_eq!(
+                bits(sol.solution.x.as_slice()),
+                bits(reference.solution.x.as_slice()),
+                "{kernel}/{mode:?}: supervised solution bits diverged"
+            );
+            assert_eq!(
+                bits(&sol.solution.lambda),
+                bits(&reference.solution.lambda),
+                "{kernel}/{mode:?}: supervised row multipliers diverged"
+            );
+            assert_eq!(
+                bits(&sol.solution.mu),
+                bits(&reference.solution.mu),
+                "{kernel}/{mode:?}: supervised column multipliers diverged"
+            );
+            assert_eq!(
+                bits(&sol.solution.s),
+                bits(&reference.solution.s),
+                "{kernel}/{mode:?}: supervised row totals diverged"
+            );
+            assert_eq!(
+                bits(&sol.solution.d),
+                bits(&reference.solution.d),
+                "{kernel}/{mode:?}: supervised column totals diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn supervised_general_driver_is_bitwise_identical_across_modes() {
+    let p = generator::try_general(0x9E_4E, 3, 3, 3).expect("general instance");
+    let sup = SupervisorOptions::default();
+    let mut opts = GeneralSeaOptions::with_epsilon(1e-8);
+    opts.max_outer = 20;
+    opts.inner.parallelism = Parallelism::Serial;
+    let reference =
+        solve_general_supervised(&p, &opts, &sup, &mut NullObserver).expect("serial solve");
+    for mode in [Parallelism::Rayon, Parallelism::RayonThreads(2)] {
+        let mut opts = GeneralSeaOptions::with_epsilon(1e-8);
+        opts.max_outer = 20;
+        opts.inner.parallelism = mode;
+        let sol = solve_general_supervised(&p, &opts, &sup, &mut NullObserver).expect("solve");
+        assert_eq!(sol.stop, reference.stop, "{mode:?}: stop reason diverged");
+        assert_eq!(
+            bits(sol.solution.x.as_slice()),
+            bits(reference.solution.x.as_slice()),
+            "{mode:?}: supervised general solution bits diverged"
+        );
+        assert_eq!(
+            bits(&sol.solution.mu),
+            bits(&reference.solution.mu),
+            "{mode:?}: supervised general column multipliers diverged"
+        );
     }
 }
 

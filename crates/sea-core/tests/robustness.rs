@@ -4,18 +4,21 @@
 //! randomly generated problems that stress the numerically nasty corners —
 //! weight spreads of twelve orders of magnitude, totals close to zero or
 //! huge, degenerate 1×n / m×1 shapes — across both kernels and both
-//! parallel modes. The contract under test: the solve returns `Ok` with a
-//! finite iterate or a typed [`SeaError`](sea_core::SeaError); a panic in
-//! any worker or driver fails the property outright (the harness treats
-//! panics as failures).
+//! parallel modes. Instances come from the shared seeded generator in
+//! `common/generator.rs` (also used by the `sea-batch` suites), so a
+//! failing case is reproducible anywhere from its printed seed. The
+//! contract under test: the solve returns `Ok` with a finite iterate or a
+//! typed [`SeaError`](sea_core::SeaError); a panic in any worker or driver
+//! fails the property outright (the harness treats panics as failures).
+
+#[path = "common/generator.rs"]
+mod generator;
 
 use proptest::prelude::*;
 use sea_core::{
-    solve_bounded_supervised, solve_diagonal_supervised, solve_general_supervised, BoundedProblem,
-    DiagonalProblem, GeneralProblem, GeneralSeaOptions, GeneralTotalSpec, KernelKind, NullObserver,
-    Parallelism, SeaOptions, SupervisorOptions, TotalSpec,
+    solve_bounded_supervised, solve_diagonal_supervised, solve_general_supervised,
+    GeneralSeaOptions, KernelKind, NullObserver, Parallelism, SeaOptions, SupervisorOptions,
 };
-use sea_linalg::{DenseMatrix, SymMatrix};
 
 fn kernel_of(k: u8) -> KernelKind {
     if k == 0 {
@@ -33,60 +36,20 @@ fn par_of(p: u8) -> Parallelism {
     }
 }
 
-/// Grand-total scale: squeezes totals toward zero, leaves them O(1), or
-/// blows them up to 1e6.
-fn scale_of(s: u8) -> f64 {
-    match s {
-        0 => 1e-12,
-        1 => 1.0,
-        _ => 1e6,
-    }
-}
-
-fn matrix(m: usize, n: usize, cells: &[f64]) -> DenseMatrix {
-    let mut x = DenseMatrix::zeros(m, n).expect("valid dims");
-    for i in 0..m {
-        for j in 0..n {
-            x.set(i, j, cells[i * n + j]);
-        }
-    }
-    x
-}
-
-/// Consistent totals: row totals scaled by `scale`, column totals carved
-/// from the same grand total via random positive fractions.
-fn totals(s_raw: &[f64], d_frac: &[f64], scale: f64) -> (Vec<f64>, Vec<f64>) {
-    let s0: Vec<f64> = s_raw.iter().map(|v| v * scale).collect();
-    let total: f64 = s0.iter().sum();
-    let fsum: f64 = d_frac.iter().sum();
-    let d0: Vec<f64> = d_frac.iter().map(|f| total * f / fsum).collect();
-    (s0, d0)
-}
-
-/// Weights 10^e for generated exponents: spreads up to 1e±12 in one row.
-fn weights(exps: &[i32]) -> Vec<f64> {
-    exps.iter().map(|e| 10f64.powi(*e)).collect()
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
     #[test]
     fn diagonal_driver_never_panics(
+        seed in 0u64..1 << 48,
         m in 1usize..5,
         n in 1usize..5,
-        cells in proptest::collection::vec(1e-6f64..10.0, 16..17),
-        exps in proptest::collection::vec(-12i32..13, 16..17),
-        s_raw in proptest::collection::vec(0.1f64..5.0, 4..5),
-        d_frac in proptest::collection::vec(0.05f64..1.0, 4..5),
         scale_sel in 0u8..3,
         k in 0u8..2,
         par in 0u8..2,
     ) {
-        let x0 = matrix(m, n, &cells[..m * n]);
-        let gamma = matrix(m, n, &weights(&exps[..m * n]));
-        let (s0, d0) = totals(&s_raw[..m], &d_frac[..n], scale_of(scale_sel));
-        let p = match DiagonalProblem::new(x0, gamma, TotalSpec::Fixed { s0, d0 }) {
+        let scale = generator::scale_of(scale_sel);
+        let p = match generator::try_fixed_diagonal(seed, m, n, 12, scale) {
             Ok(p) => p,
             // A typed construction error is an acceptable outcome.
             Err(_) => return Ok(()),
@@ -106,24 +69,16 @@ proptest! {
 
     #[test]
     fn bounded_driver_never_panics(
+        seed in 0u64..1 << 48,
         m in 1usize..5,
         n in 1usize..5,
-        cells in proptest::collection::vec(1e-6f64..10.0, 16..17),
-        exps in proptest::collection::vec(-12i32..13, 16..17),
-        s_raw in proptest::collection::vec(0.1f64..5.0, 4..5),
-        d_frac in proptest::collection::vec(0.05f64..1.0, 4..5),
         scale_sel in 0u8..3,
         k in 0u8..2,
     ) {
-        let x0 = matrix(m, n, &cells[..m * n]);
-        let gamma = matrix(m, n, &weights(&exps[..m * n]));
-        let (s0, d0) = totals(&s_raw[..m], &d_frac[..n], scale_of(scale_sel));
-        let grand: f64 = s0.iter().sum();
-        let lo = matrix(m, n, &vec![0.0; m * n]);
-        // Each row/column interval sum covers its total, so the instance is
-        // usually feasible; when it is not, the typed error is acceptable.
-        let hi = matrix(m, n, &vec![grand.max(1e-300); m * n]);
-        let p = match BoundedProblem::new(x0, gamma, lo, hi, s0, d0) {
+        let scale = generator::scale_of(scale_sel);
+        // Bounds cover the grand total, so the instance is usually
+        // feasible; when it is not, the typed error is acceptable.
+        let p = match generator::try_bounded(seed, m, n, 12, scale) {
             Ok(p) => p,
             Err(_) => return Ok(()),
         };
@@ -132,6 +87,50 @@ proptest! {
             solve_bounded_supervised(&p, 1e-8, 60, kernel_of(k), &sup, &mut NullObserver)
         {
             prop_assert!(sol.solution.x.as_slice().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_never_panic(
+        seed in 0u64..1 << 48,
+        len in 1usize..6,
+        k in 0u8..2,
+        par in 0u8..2,
+    ) {
+        // 1×n and m×1: one side of the equilibration degenerates to
+        // singleton subproblems carrying the whole grand total.
+        for p in [
+            generator::degenerate_row(seed, len),
+            generator::degenerate_col(seed, len),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            let mut o = SeaOptions::with_epsilon(1e-8);
+            o.max_iterations = 60;
+            o.kernel = kernel_of(k);
+            o.parallelism = par_of(par);
+            let sup = SupervisorOptions::default();
+            if let Ok(sol) = solve_diagonal_supervised(&p, &o, &sup, &mut NullObserver) {
+                prop_assert!(sol.solution.x.as_slice().iter().all(|v| v.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn drifting_prior_sequences_never_panic(
+        seed in 0u64..1 << 48,
+        k in 0u8..2,
+    ) {
+        // The batch warm-start workload: every epoch of a drifting family
+        // must stay constructible and solvable.
+        let mut o = SeaOptions::with_epsilon(1e-8);
+        o.max_iterations = 500;
+        o.kernel = kernel_of(k);
+        let sup = SupervisorOptions::default();
+        for p in generator::drifting_priors(seed, 3, 4, 4, 0.05) {
+            let sol = solve_diagonal_supervised(&p, &o, &sup, &mut NullObserver);
+            prop_assert!(sol.is_ok(), "drifting epoch failed: {:?}", sol.err());
         }
     }
 }
@@ -143,34 +142,13 @@ proptest! {
 
     #[test]
     fn general_driver_never_panics(
+        seed in 0u64..1 << 48,
         m in 1usize..4,
         n in 1usize..4,
-        cells in proptest::collection::vec(1e-3f64..10.0, 9..10),
-        diag_exps in proptest::collection::vec(-6i32..7, 9..10),
-        s_raw in proptest::collection::vec(0.1f64..5.0, 3..4),
-        d_frac in proptest::collection::vec(0.05f64..1.0, 3..4),
         k in 0u8..2,
         par in 0u8..2,
     ) {
-        let x0 = matrix(m, n, &cells[..m * n]);
-        let order = m * n;
-        // Strictly diagonally dominant symmetric G with a wide diagonal
-        // spread: SPD by Gershgorin, adversarially conditioned.
-        let diags = weights(&diag_exps[..order]);
-        let min_diag = diags.iter().cloned().fold(f64::INFINITY, f64::min);
-        let coupling = -min_diag / (2.0 * order as f64);
-        let mut g = DenseMatrix::zeros(order, order).expect("valid dims");
-        for (i, &di) in diags.iter().enumerate() {
-            for j in 0..order {
-                g.set(i, j, if i == j { di } else { coupling });
-            }
-        }
-        let gm = match SymMatrix::from_dense(g, 1e-12) {
-            Ok(gm) => gm,
-            Err(_) => return Ok(()),
-        };
-        let (s0, d0) = totals(&s_raw[..m], &d_frac[..n], 1.0);
-        let p = match GeneralProblem::new(x0, gm, GeneralTotalSpec::Fixed { s0, d0 }) {
+        let p = match generator::try_general(seed, m, n, 6) {
             Ok(p) => p,
             Err(_) => return Ok(()),
         };
@@ -182,6 +160,42 @@ proptest! {
         let sup = SupervisorOptions::default();
         if let Ok(sol) = solve_general_supervised(&p, &o, &sup, &mut NullObserver) {
             prop_assert!(sol.solution.x.as_slice().iter().all(|v| v.is_finite()));
+        }
+    }
+}
+
+/// The near-zero-total corner, pinned deterministically (not only reachable
+/// through the property sampler): totals of O(1e-12) with 1e±6 weights.
+#[test]
+fn near_zero_totals_solve_or_fail_typed() {
+    for seed in [1u64, 2, 3, 4, 5] {
+        let Ok(p) = generator::near_zero_totals(seed, 3, 3) else {
+            continue;
+        };
+        let mut o = SeaOptions::with_epsilon(1e-8);
+        o.max_iterations = 200;
+        let sup = SupervisorOptions::default();
+        if let Ok(sol) = solve_diagonal_supervised(&p, &o, &sup, &mut NullObserver) {
+            assert!(sol.solution.x.as_slice().iter().all(|v| v.is_finite()));
+        }
+    }
+}
+
+/// The wide-weight corner pinned deterministically: 1e±12 spreads at O(1)
+/// totals must never produce NaN/Inf iterates.
+#[test]
+fn wide_weight_spreads_stay_finite() {
+    for seed in [10u64, 11, 12, 13, 14] {
+        let Ok(p) = generator::wide_weights(seed, 4, 4) else {
+            continue;
+        };
+        let mut o = SeaOptions::with_epsilon(1e-8);
+        o.max_iterations = 200;
+        let sup = SupervisorOptions::default();
+        if let Ok(sol) = solve_diagonal_supervised(&p, &o, &sup, &mut NullObserver) {
+            assert!(sol.solution.x.as_slice().iter().all(|v| v.is_finite()));
+            assert!(sol.solution.lambda.iter().all(|v| v.is_finite()));
+            assert!(sol.solution.mu.iter().all(|v| v.is_finite()));
         }
     }
 }

@@ -191,6 +191,52 @@ pub enum Event {
         /// Stable stop-reason name (see `sea_core::StopReason::name`).
         reason: &'static str,
     },
+    /// A batch solve began (emitted by the `sea-batch` engine before any
+    /// per-instance solve lifecycle).
+    BatchStart {
+        /// How many instances the batch holds.
+        instances: usize,
+        /// Batch parallelism policy label (`"serial"`, `"outer"`,
+        /// `"outer:4"`, `"inner"`, `"inner:2"`, ...).
+        parallelism: String,
+    },
+    /// Warm-start cache outcome for one batch instance, emitted after that
+    /// instance's solve lifecycle (the instance events themselves are
+    /// replayed in submission order).
+    BatchInstance {
+        /// Submission index of the instance (0-based).
+        index: usize,
+        /// Caller-supplied instance id.
+        id: String,
+        /// Warm-start cache family, when the instance declared one.
+        family: Option<String>,
+        /// Cache outcome: `"hit"`, `"miss"`, or `"bypass"` (no family or
+        /// caching disabled).
+        cache: &'static str,
+        /// Kernel work spent on this instance (breakpoints + pivots +
+        /// clamps), 0 when work measurement is off.
+        kernel_work: u64,
+        /// Kernel work saved vs the family's cold baseline solve
+        /// (`cold_work − kernel_work`, clamped at 0; 0 on miss/bypass).
+        work_saved: u64,
+    },
+    /// A batch solve finished.
+    BatchEnd {
+        /// Instances solved.
+        instances: usize,
+        /// How many instances converged.
+        converged: usize,
+        /// Warm-start cache hits across the batch.
+        cache_hits: usize,
+        /// Warm-start cache misses across the batch.
+        cache_misses: usize,
+        /// Total kernel work across instances.
+        kernel_work: u64,
+        /// Total kernel work saved vs cold baselines.
+        work_saved: u64,
+        /// Wall-clock seconds for the whole batch.
+        seconds: f64,
+    },
     /// A solve finished.
     SolveEnd {
         /// Iterations performed (inner iterations for the diagonal solver,
@@ -223,6 +269,9 @@ impl Event {
             Event::FallbackTriggered { .. } => "fallback_triggered",
             Event::CheckpointWritten { .. } => "checkpoint_written",
             Event::SupervisorStop { .. } => "supervisor_stop",
+            Event::BatchStart { .. } => "batch_start",
+            Event::BatchInstance { .. } => "batch_instance",
+            Event::BatchEnd { .. } => "batch_end",
             Event::SolveEnd { .. } => "solve_end",
         }
     }

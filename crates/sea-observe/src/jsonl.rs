@@ -127,6 +127,50 @@ pub fn event_to_json(event: &Event) -> JsonValue {
             push("iteration", JsonValue::Number(*iteration as f64));
             push("reason", JsonValue::String((*reason).to_string()));
         }
+        Event::BatchStart {
+            instances,
+            parallelism,
+        } => {
+            push("instances", JsonValue::Number(*instances as f64));
+            push("parallelism", JsonValue::String(parallelism.clone()));
+        }
+        Event::BatchInstance {
+            index,
+            id,
+            family,
+            cache,
+            kernel_work,
+            work_saved,
+        } => {
+            push("index", JsonValue::Number(*index as f64));
+            push("id", JsonValue::String(id.clone()));
+            push(
+                "family",
+                family
+                    .as_ref()
+                    .map_or(JsonValue::Null, |f| JsonValue::String(f.clone())),
+            );
+            push("cache", JsonValue::String((*cache).to_string()));
+            push("kernel_work", JsonValue::Number(*kernel_work as f64));
+            push("work_saved", JsonValue::Number(*work_saved as f64));
+        }
+        Event::BatchEnd {
+            instances,
+            converged,
+            cache_hits,
+            cache_misses,
+            kernel_work,
+            work_saved,
+            seconds,
+        } => {
+            push("instances", JsonValue::Number(*instances as f64));
+            push("converged", JsonValue::Number(*converged as f64));
+            push("cache_hits", JsonValue::Number(*cache_hits as f64));
+            push("cache_misses", JsonValue::Number(*cache_misses as f64));
+            push("kernel_work", JsonValue::Number(*kernel_work as f64));
+            push("work_saved", JsonValue::Number(*work_saved as f64));
+            push("seconds", f64_to_json(*seconds));
+        }
         Event::SolveEnd {
             iterations,
             converged,
@@ -271,6 +315,34 @@ pub fn json_to_event(value: &JsonValue) -> Result<Event, String> {
             iteration: usize_field("iteration")?,
             reason: intern_stop_reason(&str_field("reason")?)?,
         }),
+        "batch_start" => Ok(Event::BatchStart {
+            instances: usize_field("instances")?,
+            parallelism: str_field("parallelism")?,
+        }),
+        "batch_instance" => Ok(Event::BatchInstance {
+            index: usize_field("index")?,
+            id: str_field("id")?,
+            family: match value.get("family") {
+                None | Some(JsonValue::Null) => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or("ill-typed field \"family\"")?,
+                ),
+            },
+            cache: intern_cache_outcome(&str_field("cache")?)?,
+            kernel_work: u64_field("kernel_work")?,
+            work_saved: u64_field("work_saved")?,
+        }),
+        "batch_end" => Ok(Event::BatchEnd {
+            instances: usize_field("instances")?,
+            converged: usize_field("converged")?,
+            cache_hits: usize_field("cache_hits")?,
+            cache_misses: usize_field("cache_misses")?,
+            kernel_work: u64_field("kernel_work")?,
+            work_saved: u64_field("work_saved")?,
+            seconds: f64_field("seconds")?,
+        }),
         "solve_end" => Ok(Event::SolveEnd {
             iterations: usize_field("iterations")?,
             converged: value
@@ -337,6 +409,10 @@ fn intern_stop_reason(s: &str) -> Result<&'static str, String> {
         ],
         "stop reason",
     )
+}
+
+fn intern_cache_outcome(s: &str) -> Result<&'static str, String> {
+    intern(s, &["hit", "miss", "bypass"], "cache outcome")
 }
 
 fn intern(s: &str, vocab: &[&'static str], what: &str) -> Result<&'static str, String> {
@@ -516,6 +592,35 @@ mod tests {
                 objective: 12.5,
                 dual_value: Some(12.5),
                 seconds: 0.75,
+            },
+            Event::BatchStart {
+                instances: 3,
+                parallelism: "outer:4".to_string(),
+            },
+            Event::BatchInstance {
+                index: 0,
+                id: "q1".to_string(),
+                family: Some("quarterly".to_string()),
+                cache: "hit",
+                kernel_work: 120,
+                work_saved: 480,
+            },
+            Event::BatchInstance {
+                index: 1,
+                id: "adhoc".to_string(),
+                family: None,
+                cache: "bypass",
+                kernel_work: 600,
+                work_saved: 0,
+            },
+            Event::BatchEnd {
+                instances: 3,
+                converged: 3,
+                cache_hits: 1,
+                cache_misses: 1,
+                kernel_work: 1320,
+                work_saved: 480,
+                seconds: 0.9,
             },
         ]
     }

@@ -472,6 +472,68 @@ impl Observer for MetricsObserver {
                     1.0,
                 );
             }
+            Event::BatchStart { instances, .. } => {
+                reg.counter_add(
+                    "sea_batch_solves_total",
+                    "Batch solves started.",
+                    vec![],
+                    1.0,
+                );
+                reg.gauge_set(
+                    "sea_batch_instances",
+                    "Instances in the most recent batch.",
+                    vec![],
+                    *instances as f64,
+                );
+            }
+            Event::BatchInstance {
+                cache, work_saved, ..
+            } => {
+                reg.counter_add(
+                    "sea_batch_cache_outcomes_total",
+                    "Warm-start cache outcomes across batch instances.",
+                    vec![("outcome".to_string(), (*cache).to_string())],
+                    1.0,
+                );
+                reg.counter_add(
+                    "sea_batch_work_saved_total",
+                    "Kernel work saved by warm starts vs cold baselines.",
+                    vec![],
+                    *work_saved as f64,
+                );
+            }
+            Event::BatchEnd {
+                instances,
+                converged,
+                kernel_work,
+                seconds,
+                ..
+            } => {
+                reg.counter_add(
+                    "sea_batch_instances_total",
+                    "Instances solved across batches.",
+                    vec![],
+                    *instances as f64,
+                );
+                reg.counter_add(
+                    "sea_batch_converged_total",
+                    "Batch instances that converged.",
+                    vec![],
+                    *converged as f64,
+                );
+                reg.counter_add(
+                    "sea_batch_kernel_work_total",
+                    "Kernel work spent across batch instances.",
+                    vec![],
+                    *kernel_work as f64,
+                );
+                reg.counter_add(
+                    "sea_batch_seconds_total",
+                    "Cumulative wall-clock seconds across batch solves.",
+                    vec![],
+                    seconds.max(0.0),
+                );
+            }
             Event::SolveEnd {
                 iterations,
                 converged,
@@ -639,6 +701,55 @@ mod tests {
             text.find("z_total").unwrap() < text.find("a_total").unwrap(),
             "{text}"
         );
+    }
+
+    #[test]
+    fn metrics_observer_aggregates_batch_events() {
+        let mut obs = MetricsObserver::new();
+        obs.record(&Event::BatchStart {
+            instances: 3,
+            parallelism: "outer".to_string(),
+        });
+        obs.record(&Event::BatchInstance {
+            index: 0,
+            id: "a".to_string(),
+            family: Some("f".to_string()),
+            cache: "hit",
+            kernel_work: 100,
+            work_saved: 400,
+        });
+        obs.record(&Event::BatchInstance {
+            index: 1,
+            id: "b".to_string(),
+            family: Some("f".to_string()),
+            cache: "miss",
+            kernel_work: 500,
+            work_saved: 0,
+        });
+        obs.record(&Event::BatchEnd {
+            instances: 3,
+            converged: 2,
+            cache_hits: 1,
+            cache_misses: 1,
+            kernel_work: 600,
+            work_saved: 400,
+            seconds: 0.5,
+        });
+        let text = obs.render();
+        assert!(text.contains("sea_batch_solves_total 1"), "{text}");
+        assert!(text.contains("sea_batch_instances 3"), "{text}");
+        assert!(
+            text.contains("sea_batch_cache_outcomes_total{outcome=\"hit\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sea_batch_cache_outcomes_total{outcome=\"miss\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("sea_batch_work_saved_total 400"), "{text}");
+        assert!(text.contains("sea_batch_converged_total 2"), "{text}");
+        assert!(text.contains("sea_batch_kernel_work_total 600"), "{text}");
+        assert!(text.contains("sea_batch_seconds_total 0.5"), "{text}");
     }
 
     #[test]

@@ -55,6 +55,22 @@ pub struct SolveSummary {
     /// Supervisor stop reason of the outermost solve, when it stopped a
     /// solve early (`deadline_exceeded`, `cancelled`, …).
     pub stop_reason: Option<String>,
+    /// Batch solves in the log (`sea-batch` engine lifecycles).
+    pub batches: usize,
+    /// Instances solved across all batches (from `BatchEnd`).
+    pub batch_instances: usize,
+    /// Batch instances that converged.
+    pub batch_converged: usize,
+    /// Warm-start cache hits across all batches.
+    pub batch_cache_hits: usize,
+    /// Warm-start cache misses across all batches.
+    pub batch_cache_misses: usize,
+    /// Kernel work spent across batch instances.
+    pub batch_kernel_work: u64,
+    /// Kernel work saved by warm starts vs cold baselines.
+    pub batch_work_saved: u64,
+    /// Wall-clock seconds across batch solves.
+    pub batch_seconds: f64,
 }
 
 impl SolveSummary {
@@ -117,7 +133,27 @@ impl SolveSummary {
                 Event::SupervisorStop { reason, .. } => {
                     out.stop_reason = Some((*reason).to_string());
                 }
-                Event::PhaseStart { .. } | Event::MultiplierBound { .. } => {}
+                Event::BatchStart { .. } => out.batches += 1,
+                Event::BatchEnd {
+                    instances,
+                    converged,
+                    cache_hits,
+                    cache_misses,
+                    kernel_work,
+                    work_saved,
+                    seconds,
+                } => {
+                    out.batch_instances += instances;
+                    out.batch_converged += converged;
+                    out.batch_cache_hits += cache_hits;
+                    out.batch_cache_misses += cache_misses;
+                    out.batch_kernel_work += kernel_work;
+                    out.batch_work_saved += work_saved;
+                    out.batch_seconds += seconds;
+                }
+                Event::PhaseStart { .. }
+                | Event::MultiplierBound { .. }
+                | Event::BatchInstance { .. } => {}
             }
         }
         out.phases = by_label.into_iter().flatten().collect();
@@ -201,6 +237,22 @@ impl SolveSummary {
         }
         if self.checkpoints > 0 {
             out.push_str(&format!("checkpoints written: {}\n", self.checkpoints));
+        }
+        if self.batches > 0 {
+            out.push_str(&format!(
+                "batches: {}   instances: {} ({} converged)   wall time: {} s\n",
+                self.batches,
+                self.batch_instances,
+                self.batch_converged,
+                fmt_seconds(self.batch_seconds),
+            ));
+            out.push_str(&format!(
+                "warm-start cache: {} hits, {} misses   kernel work: {} ({} saved)\n",
+                self.batch_cache_hits,
+                self.batch_cache_misses,
+                self.batch_kernel_work,
+                self.batch_work_saved,
+            ));
         }
         out
     }
@@ -357,6 +409,51 @@ mod tests {
         let clean = SolveSummary::from_events(&sample_log()).render();
         assert!(!clean.contains("supervisor stop"));
         assert!(!clean.contains("fallbacks"));
+    }
+
+    #[test]
+    fn batch_events_aggregate_and_render() {
+        let mut log = sample_log();
+        log.insert(
+            0,
+            Event::BatchStart {
+                instances: 3,
+                parallelism: "outer".to_string(),
+            },
+        );
+        log.push(Event::BatchInstance {
+            index: 0,
+            id: "a".to_string(),
+            family: Some("f".to_string()),
+            cache: "hit",
+            kernel_work: 100,
+            work_saved: 400,
+        });
+        log.push(Event::BatchEnd {
+            instances: 3,
+            converged: 2,
+            cache_hits: 1,
+            cache_misses: 2,
+            kernel_work: 1100,
+            work_saved: 400,
+            seconds: 1.25,
+        });
+        let s = SolveSummary::from_events(&log);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.batch_instances, 3);
+        assert_eq!(s.batch_converged, 2);
+        assert_eq!(s.batch_cache_hits, 1);
+        assert_eq!(s.batch_cache_misses, 2);
+        assert_eq!(s.batch_kernel_work, 1100);
+        assert_eq!(s.batch_work_saved, 400);
+        let text = s.render();
+        assert!(text.contains("batches: 1"), "{text}");
+        assert!(text.contains("1 hits, 2 misses"), "{text}");
+        assert!(text.contains("(400 saved)"), "{text}");
+        // A batch-free log renders no batch lines.
+        assert!(!SolveSummary::from_events(&sample_log())
+            .render()
+            .contains("batches:"));
     }
 
     #[test]

@@ -8,6 +8,14 @@
 //! name plus the case index, so failures are reproducible run-to-run.
 //! Unlike upstream there is no shrinking: the failing case's inputs are
 //! fully determined by the printed case index.
+//!
+//! Regression persistence mirrors upstream's `proptest-regressions/`
+//! convention, adapted to index-determined cases: because a case's inputs
+//! are a pure function of the qualified test name and the case index, a
+//! regression entry is just that pair. Failing cases are appended to
+//! `proptest-regressions/regressions.txt` in the consuming crate, and every
+//! later run replays the recorded cases before the fresh sweep — commit the
+//! file and the failure is pinned for CI forever.
 
 /// Configuration accepted by `#![proptest_config(...)]`.
 pub mod test_runner {
@@ -70,6 +78,67 @@ pub mod test_runner {
             assert!(bound > 0, "empty sampling bound");
             self.next_u64() % bound
         }
+    }
+}
+
+/// Failing-case persistence (`proptest-regressions/regressions.txt`).
+pub mod persistence {
+    use std::io::Write;
+    use std::path::Path;
+
+    /// File the regressions live in, under the consuming crate's
+    /// `proptest-regressions/` directory.
+    pub const FILE_NAME: &str = "regressions.txt";
+
+    /// Recorded case indices for the property `qualified`, in file order.
+    /// Lines are `<qualified-test-name> <case-index>`; `#` comments and
+    /// malformed lines are skipped. Missing file means no regressions.
+    pub fn load(dir: &Path, qualified: &str) -> Vec<u32> {
+        let Ok(text) = std::fs::read_to_string(dir.join(FILE_NAME)) else {
+            return Vec::new();
+        };
+        let mut cases = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            if parts.next() != Some(qualified) {
+                continue;
+            }
+            if let Some(Ok(case)) = parts.next().map(str::parse) {
+                cases.push(case);
+            }
+        }
+        cases
+    }
+
+    /// Append a failing case, creating the directory and file on first use.
+    /// Best-effort: persistence must never mask the original test failure,
+    /// so IO errors are swallowed. Already-recorded cases are not
+    /// duplicated (a replayed regression that still fails stays one line).
+    pub fn record(dir: &Path, qualified: &str, case: u32) {
+        if load(dir, qualified).contains(&case) {
+            return;
+        }
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let path = dir.join(FILE_NAME);
+        let header_needed = !path.exists();
+        let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) else {
+            return;
+        };
+        if header_needed {
+            let _ = writeln!(
+                f,
+                "# Proptest regression file: one `<qualified-test-name> <case-index>` pair\n\
+                 # per line. Case inputs are a pure function of that pair, so each line\n\
+                 # pins one historical failure. Commit this file; edit only to prune."
+            );
+        }
+        let _ = writeln!(f, "{qualified} {case}");
     }
 }
 
@@ -196,7 +265,11 @@ macro_rules! proptest {
         fn $name() {
             let config: $crate::test_runner::Config = $cfg;
             let qualified = concat!(module_path!(), "::", stringify!($name));
-            for case in 0..config.cases {
+            // `env!` expands in the consuming crate, so regressions land in
+            // (and replay from) that crate's `proptest-regressions/`.
+            let proptest_regress_dir = ::std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("proptest-regressions");
+            let mut proptest_run_case = |case: u32| {
                 let mut proptest_case_rng =
                     $crate::test_runner::TestRng::for_case(qualified, case);
                 $(
@@ -207,7 +280,20 @@ macro_rules! proptest {
                 )*
                 let outcome: ::std::result::Result<(), ::std::string::String> =
                     (|| { $body ::std::result::Result::Ok(()) })();
-                if let ::std::result::Result::Err(message) = outcome {
+                outcome
+            };
+            // Recorded regressions replay first: a committed failure stays
+            // pinned even when it lies beyond this run's fresh-case budget.
+            for case in $crate::persistence::load(&proptest_regress_dir, qualified) {
+                if let ::std::result::Result::Err(message) = proptest_run_case(case) {
+                    panic!(
+                        "property {qualified} failed at recorded regression case {case}: {message}"
+                    );
+                }
+            }
+            for case in 0..config.cases {
+                if let ::std::result::Result::Err(message) = proptest_run_case(case) {
+                    $crate::persistence::record(&proptest_regress_dir, qualified, case);
                     panic!("property {qualified} failed at case {case}: {message}");
                 }
             }
@@ -308,6 +394,32 @@ mod tests {
             prop_assume!(n < 3);
             prop_assert!(n < 3);
         }
+    }
+
+    #[test]
+    fn persistence_round_trips_and_skips_comments() {
+        let dir = std::env::temp_dir().join(format!(
+            "proptest-persist-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(crate::persistence::load(&dir, "a::b").is_empty());
+
+        crate::persistence::record(&dir, "a::b", 17);
+        crate::persistence::record(&dir, "a::b", 4);
+        crate::persistence::record(&dir, "a::b", 17); // deduplicated
+        crate::persistence::record(&dir, "other::prop", 9);
+
+        assert_eq!(crate::persistence::load(&dir, "a::b"), vec![17, 4]);
+        assert_eq!(crate::persistence::load(&dir, "other::prop"), vec![9]);
+        assert!(crate::persistence::load(&dir, "missing::prop").is_empty());
+
+        let text =
+            std::fs::read_to_string(dir.join(crate::persistence::FILE_NAME)).unwrap();
+        assert!(text.starts_with('#'), "file carries an explanatory header");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
