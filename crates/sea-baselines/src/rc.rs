@@ -209,6 +209,7 @@ fn half_step(
             opts.parallelism,
             costs,
             None,
+            None,
         )?;
         if let Some(tr) = trace.as_mut() {
             tr.push(

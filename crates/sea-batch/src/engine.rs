@@ -25,6 +25,7 @@ use sea_core::{
     Observer, Parallelism, SeaError, SeaOptions, StopReason, SupervisedBoundedSolution,
     SupervisedGeneralSolution, SupervisedSolution, SupervisorOptions,
 };
+use sea_linalg::CsrMatrix;
 
 use crate::arena::{BatchArena, Slot};
 use crate::cache::{CacheEntry, CacheUpdate, WarmStartCache};
@@ -142,6 +143,8 @@ impl Default for BatchOptions {
 pub enum BatchProblem {
     /// Diagonal constrained matrix problem (§3.1 driver).
     Diagonal(DiagonalProblem),
+    /// Diagonal problem over CSR support-only storage (sparse CMPs).
+    SparseDiagonal(DiagonalProblem<CsrMatrix>),
     /// Box-bounded problem (interval extension).
     Bounded(BoundedProblem),
     /// General problem with dense `G` (§3.2 driver).
@@ -153,15 +156,18 @@ impl BatchProblem {
     pub fn n(&self) -> usize {
         match self {
             BatchProblem::Diagonal(p) => p.n(),
+            BatchProblem::SparseDiagonal(p) => p.n(),
             BatchProblem::Bounded(p) => p.n(),
             BatchProblem::General(p) => p.n(),
         }
     }
 
-    /// Stable class name (`"diagonal"`, `"bounded"`, `"general"`).
+    /// Stable class name (`"diagonal"`, `"sparse-diagonal"`, `"bounded"`,
+    /// `"general"`).
     pub fn class(&self) -> &'static str {
         match self {
             BatchProblem::Diagonal(_) => "diagonal",
+            BatchProblem::SparseDiagonal(_) => "sparse-diagonal",
             BatchProblem::Bounded(_) => "bounded",
             BatchProblem::General(_) => "general",
         }
@@ -186,6 +192,8 @@ pub struct BatchInstance {
 pub enum BatchSolution {
     /// Diagonal outcome.
     Diagonal(SupervisedSolution),
+    /// Sparse diagonal outcome (CSR estimate).
+    SparseDiagonal(SupervisedSolution<CsrMatrix>),
     /// Bounded outcome.
     Bounded(SupervisedBoundedSolution),
     /// General outcome.
@@ -197,6 +205,7 @@ impl BatchSolution {
     pub fn converged(&self) -> bool {
         match self {
             BatchSolution::Diagonal(s) => s.solution.stats.converged,
+            BatchSolution::SparseDiagonal(s) => s.solution.stats.converged,
             BatchSolution::Bounded(s) => s.solution.converged,
             BatchSolution::General(s) => s.solution.converged,
         }
@@ -206,6 +215,7 @@ impl BatchSolution {
     pub fn stop(&self) -> StopReason {
         match self {
             BatchSolution::Diagonal(s) => s.stop,
+            BatchSolution::SparseDiagonal(s) => s.stop,
             BatchSolution::Bounded(s) => s.stop,
             BatchSolution::General(s) => s.stop,
         }
@@ -216,6 +226,7 @@ impl BatchSolution {
     pub fn mu(&self) -> &[f64] {
         match self {
             BatchSolution::Diagonal(s) => &s.solution.mu,
+            BatchSolution::SparseDiagonal(s) => &s.solution.mu,
             BatchSolution::Bounded(s) => &s.solution.mu,
             BatchSolution::General(s) => &s.solution.mu,
         }
@@ -226,6 +237,7 @@ impl BatchSolution {
     pub fn iterations(&self) -> usize {
         match self {
             BatchSolution::Diagonal(s) => s.solution.stats.iterations,
+            BatchSolution::SparseDiagonal(s) => s.solution.stats.iterations,
             BatchSolution::Bounded(s) => s.solution.iterations,
             BatchSolution::General(s) => s.solution.outer_iterations,
         }
@@ -235,6 +247,7 @@ impl BatchSolution {
     pub fn objective(&self) -> f64 {
         match self {
             BatchSolution::Diagonal(s) => s.solution.stats.objective,
+            BatchSolution::SparseDiagonal(s) => s.solution.stats.objective,
             BatchSolution::Bounded(s) => s.solution.objective,
             BatchSolution::General(s) => s.solution.objective,
         }
@@ -545,6 +558,20 @@ fn solve_one(
                 slot.mu_seed = seed; // reclaim the buffer for the arena
             }
             r.map(BatchSolution::Diagonal)
+        }
+        BatchProblem::SparseDiagonal(p) => {
+            let mut o = SeaOptions::with_epsilon(opts.epsilon);
+            o.max_iterations = opts.max_iterations;
+            o.kernel = opts.kernel;
+            o.parallelism = inner;
+            if hit {
+                o.initial_mu = Some(mem::take(&mut slot.mu_seed));
+            }
+            let r = solve_diagonal_supervised(p, &o, &opts.supervisor, &mut probe);
+            if let Some(seed) = o.initial_mu.take() {
+                slot.mu_seed = seed; // reclaim the buffer for the arena
+            }
+            r.map(BatchSolution::SparseDiagonal)
         }
         BatchProblem::Bounded(p) => {
             let seed = hit.then_some(slot.mu_seed.as_slice());

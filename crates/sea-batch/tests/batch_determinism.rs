@@ -46,6 +46,9 @@ fn fingerprints(report: &BatchReport) -> Vec<Fingerprint> {
             let sol = item.outcome.as_ref().expect("instance solved");
             let (x, mu) = match sol {
                 BatchSolution::Diagonal(s) => (bits(s.solution.x.as_slice()), bits(&s.solution.mu)),
+                BatchSolution::SparseDiagonal(s) => {
+                    (bits(s.solution.x.vals()), bits(&s.solution.mu))
+                }
                 BatchSolution::Bounded(s) => (bits(s.solution.x.as_slice()), bits(&s.solution.mu)),
                 BatchSolution::General(s) => (bits(s.solution.x.as_slice()), bits(&s.solution.mu)),
             };

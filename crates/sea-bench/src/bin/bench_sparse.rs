@@ -1,0 +1,357 @@
+//! Sparse-scale benchmark: the `BENCH_6.json` snapshot.
+//!
+//! Three measurements prove the CSR storage backend does what dense
+//! storage cannot:
+//!
+//! * **scale** — a 10 000 × 10 000 banded constrained matrix problem with
+//!   ≥10⁷ stored nonzeros is solved to a passing KKT certificate over CSR
+//!   storage. Its dense image would need six 800 MB matrices before the
+//!   first pass runs.
+//! * **dense-alloc probe** — a child process under a 2 GB address-space
+//!   cap (`ulimit -v`) tries to allocate just the three primary dense
+//!   matrices of the same instance via `DenseMatrix::try_zeros` and must
+//!   fail, while the sparse solve above fits comfortably.
+//! * **parity** — a 1 200 × 1 200 banded instance both backends can hold
+//!   is solved dense and sparse; the iterates must agree bitwise on the
+//!   support, and both wall-clock medians are recorded.
+//!
+//! ```text
+//! bench_sparse [--out BENCH_6.json] [--seed 1990] [--repeats 3] [--smoke]
+//! ```
+//!
+//! `--smoke` runs only a release-mode 2 000 × 2 000 sparse solve to a
+//! passing supervised certificate (the CI gate) and writes no snapshot.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sea_core::{
+    solve_diagonal, solve_diagonal_supervised, DiagonalProblem, NullObserver, Parallelism,
+    SeaOptions, StopReason, SupervisorOptions, TotalSpec, ZeroPolicy,
+};
+use sea_linalg::{CsrMatrix, DenseMatrix};
+use sea_observe::json::{f64_to_json, JsonValue};
+
+/// Scale-stage order.
+const SCALE_N: usize = 10_000;
+/// Scale-stage half-bandwidth: 2·520 + 1 = 1041 stored cells per interior
+/// row, ≈1.014·10⁷ nonzeros total.
+const SCALE_HB: usize = 520;
+/// Parity-stage order (small enough that the dense side stays quick).
+const PARITY_N: usize = 1_200;
+/// Parity-stage half-bandwidth (~13% density).
+const PARITY_HB: usize = 80;
+/// CI smoke-solve order (sparse only; the dense image would be slow).
+const SMOKE_N: usize = 2_000;
+/// CI smoke-solve half-bandwidth.
+const SMOKE_HB: usize = 120;
+/// Stopping tolerance for both stages.
+const EPSILON: f64 = 1e-8;
+/// Address-space cap for the dense-allocation probe, in KiB (2 GiB).
+const PROBE_LIMIT_KIB: u64 = 2 * 1024 * 1024;
+
+/// Build a banded CSR prior directly in CSR order (triplet assembly would
+/// transiently triple the footprint at 10⁷ nonzeros).
+fn banded_prior(rng: &mut ChaCha8Rng, n: usize, hb: usize) -> CsrMatrix {
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut col_idx: Vec<u32> = Vec::new();
+    let mut vals: Vec<f64> = Vec::new();
+    row_ptr.push(0);
+    for i in 0..n {
+        let lo = i.saturating_sub(hb);
+        let hi = (i + hb).min(n - 1);
+        for j in lo..=hi {
+            col_idx.push(j as u32);
+            vals.push(rng.random_range(0.5..10.0));
+        }
+        row_ptr.push(col_idx.len());
+    }
+    CsrMatrix::from_parts(n, n, row_ptr, col_idx, vals).expect("banded pattern is valid CSR")
+}
+
+/// Feasible fixed-totals sparse problem on a banded support: `10^±1`
+/// weight spreads, totals from the margins of a ±10%-perturbed copy of
+/// the prior.
+fn banded_problem(seed: u64, n: usize, hb: usize) -> DiagonalProblem<CsrMatrix> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let x0 = banded_prior(&mut rng, n, hb);
+    let gvals: Vec<f64> = (0..x0.stored())
+        .map(|_| 10f64.powi(rng.random_range(-1..=1)))
+        .collect();
+    let gamma = x0.with_values(gvals).expect("same pattern");
+    let yvals: Vec<f64> = x0
+        .vals()
+        .iter()
+        .map(|&v| v * rng.random_range(0.9..1.1))
+        .collect();
+    let y = x0.with_values(yvals).expect("same pattern");
+    let mut s0 = vec![0.0; n];
+    let mut d0 = vec![0.0; n];
+    y.row_sums_into(&mut s0);
+    y.col_sums_into(&mut d0);
+    DiagonalProblem::with_zero_policy(
+        x0,
+        gamma,
+        TotalSpec::Fixed { s0, d0 },
+        ZeroPolicy::Structural,
+    )
+    .expect("banded problem is feasible by construction")
+}
+
+fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Solve the 10k×10k instance over CSR and demand a passing certificate.
+fn bench_scale(seed: u64) -> JsonValue {
+    let build_start = std::time::Instant::now();
+    let p = banded_problem(seed, SCALE_N, SCALE_HB);
+    let build_seconds = build_start.elapsed().as_secs_f64();
+    let nnz = p.x0().stored();
+    assert!(
+        nnz >= 10_000_000,
+        "scale stage must hold at least 1e7 nonzeros, got {nnz}"
+    );
+
+    let mut opts = SeaOptions::with_epsilon(EPSILON);
+    opts.parallelism = Parallelism::Rayon;
+    let sup = SupervisorOptions::default();
+    let solve_start = std::time::Instant::now();
+    let sol = solve_diagonal_supervised(&p, &opts, &sup, &mut NullObserver)
+        .expect("scale-stage solve failed");
+    let solve_seconds = solve_start.elapsed().as_secs_f64();
+    assert_eq!(
+        sol.stop,
+        StopReason::Converged,
+        "scale stage did not converge"
+    );
+
+    // The certificate's stationarity / sign / feasibility checks are
+    // relative and must pass outright; the duality gap is an absolute
+    // number that scales with the grand total, so it is recorded (and
+    // sanity-bounded relative to the objective) rather than compared to
+    // the stationarity tolerance.
+    let cert = &sol.certificate;
+    assert!(cert.max_stationarity <= 1e-6, "stationarity: {cert:?}");
+    assert!(cert.max_sign_violation <= 1e-6, "sign: {cert:?}");
+    assert!(
+        cert.residuals.rel_row_inf <= EPSILON * 1.01,
+        "rows: {cert:?}"
+    );
+    assert!(cert.min_entry >= -1e-9, "negativity: {cert:?}");
+    let objective = p.objective(&sol.solution.x, &sol.solution.s, &sol.solution.d);
+    assert!(
+        cert.duality_gap.abs() <= 1e-6 * objective.abs().max(1.0),
+        "relative duality gap: {} vs objective {objective}",
+        cert.duality_gap
+    );
+
+    obj(vec![
+        ("rows", JsonValue::Number(SCALE_N as f64)),
+        ("cols", JsonValue::Number(SCALE_N as f64)),
+        ("half_bandwidth", JsonValue::Number(SCALE_HB as f64)),
+        ("nonzeros", JsonValue::Number(nnz as f64)),
+        ("build_seconds", f64_to_json(build_seconds)),
+        ("solve_seconds", f64_to_json(solve_seconds)),
+        (
+            "iterations",
+            JsonValue::Number(sol.solution.stats.iterations as f64),
+        ),
+        ("converged", JsonValue::Bool(true)),
+        ("max_stationarity", f64_to_json(cert.max_stationarity)),
+        ("rel_row_residual", f64_to_json(cert.residuals.rel_row_inf)),
+        ("duality_gap", f64_to_json(cert.duality_gap)),
+        ("objective", f64_to_json(objective)),
+    ])
+}
+
+/// Child-process body for `--probe-dense`: try to allocate the three
+/// primary dense matrices of the scale-stage instance. Exit 0 if all
+/// three fit, 3 when allocation fails (the expected outcome under the
+/// parent's address-space cap).
+fn probe_dense_child() -> ! {
+    let mut held = Vec::new();
+    for _ in 0..3 {
+        match DenseMatrix::try_zeros(SCALE_N, SCALE_N) {
+            Ok(m) => held.push(m),
+            Err(_) => {
+                println!("dense allocation failed with {} matrices held", held.len());
+                std::process::exit(3);
+            }
+        }
+    }
+    println!("all dense matrices allocated");
+    std::process::exit(0);
+}
+
+/// Run the dense-allocation probe under `ulimit -v` in a child process.
+fn bench_dense_probe() -> JsonValue {
+    let exe = std::env::current_exe().expect("own executable path");
+    let cmd = format!(
+        "ulimit -v {PROBE_LIMIT_KIB}; exec '{}' --probe-dense",
+        exe.display()
+    );
+    let status = std::process::Command::new("sh")
+        .arg("-c")
+        .arg(&cmd)
+        .status()
+        .expect("spawn dense probe");
+    let denied = status.code() == Some(3);
+    assert!(
+        denied,
+        "dense path allocated a {SCALE_N}×{SCALE_N} problem under a \
+         {PROBE_LIMIT_KIB} KiB cap (exit {status:?}); the scale stage no \
+         longer demonstrates anything"
+    );
+    obj(vec![
+        ("rows", JsonValue::Number(SCALE_N as f64)),
+        ("cols", JsonValue::Number(SCALE_N as f64)),
+        (
+            "address_space_limit_kib",
+            JsonValue::Number(PROBE_LIMIT_KIB as f64),
+        ),
+        ("matrices_attempted", JsonValue::Number(3.0)),
+        ("dense_allocation_failed", JsonValue::Bool(true)),
+    ])
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    xs[xs.len() / 2]
+}
+
+/// Dense-vs-sparse parity at a size both backends can hold: bitwise equal
+/// iterates on the support, medians of `repeats` timed solves each.
+fn bench_parity(seed: u64, repeats: usize) -> JsonValue {
+    let sparse_p = banded_problem(seed, PARITY_N, PARITY_HB);
+    let dense_p = sparse_p.to_dense_problem().expect("parity size fits dense");
+    let mut opts = SeaOptions::with_epsilon(EPSILON);
+    opts.parallelism = Parallelism::Rayon;
+
+    let mut sparse_secs = Vec::new();
+    let mut dense_secs = Vec::new();
+    let mut iterations = 0usize;
+    for _ in 0..repeats {
+        let t = std::time::Instant::now();
+        let ssol = solve_diagonal(&sparse_p, &opts).expect("sparse parity solve");
+        sparse_secs.push(t.elapsed().as_secs_f64());
+        let t = std::time::Instant::now();
+        let dsol = solve_diagonal(&dense_p, &opts).expect("dense parity solve");
+        dense_secs.push(t.elapsed().as_secs_f64());
+        assert!(ssol.stats.converged && dsol.stats.converged);
+        assert_eq!(ssol.stats.iterations, dsol.stats.iterations);
+        iterations = ssol.stats.iterations;
+        let sx = ssol.x.to_dense().expect("densify parity solution");
+        let bits_equal = sx
+            .as_slice()
+            .iter()
+            .zip(dsol.x.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(bits_equal, "parity stage: storage backends diverged");
+    }
+    let (sparse_med, dense_med) = (median(sparse_secs), median(dense_secs));
+    obj(vec![
+        ("rows", JsonValue::Number(PARITY_N as f64)),
+        ("cols", JsonValue::Number(PARITY_N as f64)),
+        ("half_bandwidth", JsonValue::Number(PARITY_HB as f64)),
+        ("nonzeros", JsonValue::Number(sparse_p.x0().stored() as f64)),
+        ("repeats", JsonValue::Number(repeats as f64)),
+        ("iterations", JsonValue::Number(iterations as f64)),
+        ("bitwise_equal", JsonValue::Bool(true)),
+        ("sparse_median_seconds", f64_to_json(sparse_med)),
+        ("dense_median_seconds", f64_to_json(dense_med)),
+        ("speedup", f64_to_json(dense_med / sparse_med)),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--probe-dense") {
+        probe_dense_child();
+    }
+    let mut out: Option<String> = None;
+    let mut seed = 1990u64;
+    let mut repeats = 3usize;
+    let mut smoke = false;
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => {
+                if let Some(v) = it.next() {
+                    out = Some(v.clone());
+                }
+            }
+            "--seed" => {
+                if let Some(v) = it.next() {
+                    seed = v.parse().unwrap_or(seed);
+                }
+            }
+            "--repeats" => {
+                if let Some(v) = it.next() {
+                    repeats = v.parse().unwrap_or(repeats).max(1);
+                }
+            }
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if smoke {
+        let p = banded_problem(seed, SMOKE_N, SMOKE_HB);
+        let mut opts = SeaOptions::with_epsilon(EPSILON);
+        opts.parallelism = Parallelism::Rayon;
+        let sup = SupervisorOptions::default();
+        let t = std::time::Instant::now();
+        let sol = solve_diagonal_supervised(&p, &opts, &sup, &mut NullObserver)
+            .expect("smoke solve failed");
+        assert_eq!(
+            sol.stop,
+            StopReason::Converged,
+            "smoke solve did not converge"
+        );
+        assert!(
+            sol.certificate.max_stationarity <= 1e-6
+                && sol.certificate.residuals.rel_row_inf <= EPSILON * 1.01,
+            "smoke certificate failed: {:?}",
+            sol.certificate
+        );
+        println!(
+            "smoke solve passed ({SMOKE_N}×{SMOKE_N}, {} nonzeros, {} iterations, {:.2}s)",
+            p.x0().stored(),
+            sol.solution.stats.iterations,
+            t.elapsed().as_secs_f64()
+        );
+        return;
+    }
+
+    let parity = bench_parity(seed, repeats);
+    println!("parity stage passed ({PARITY_N}×{PARITY_N})");
+
+    let mut fields = vec![
+        (
+            "schema",
+            JsonValue::String("sea-bench-summary/v1".to_string()),
+        ),
+        ("pr", JsonValue::Number(6.0)),
+        ("seed", JsonValue::Number(seed as f64)),
+        ("epsilon", f64_to_json(EPSILON)),
+        ("parity", parity),
+    ];
+    fields.push(("dense_probe", bench_dense_probe()));
+    println!("dense-allocation probe passed (denied under cap)");
+    fields.push(("sparse_scale", bench_scale(seed)));
+    println!("scale stage passed ({SCALE_N}×{SCALE_N})");
+    let doc = obj(fields);
+    let mut text = doc.render();
+    text.push('\n');
+    let out = out.unwrap_or_else(|| "BENCH_6.json".to_string());
+    std::fs::write(&out, text).expect("write bench summary");
+    println!("wrote {out}");
+}

@@ -17,6 +17,9 @@ pub struct CommonOpts {
     pub epsilon: f64,
     /// Treat zeros of the prior as structural.
     pub structural_zeros: bool,
+    /// Problem storage backend: `dense` or `sparse` (CSR over the prior's
+    /// support; with `--zeros structural` only nonzero cells are stored).
+    pub storage: String,
     /// Equilibration kernel name: `sortscan` or `quickselect`.
     pub kernel: String,
     /// Write a JSONL solve log (one event per line) to this file.
@@ -181,6 +184,14 @@ fn common_from(flags: &mut HashMap<String, String>) -> Result<CommonOpts, ParseE
             "unknown --kernel {kernel:?} (expected sortscan or quickselect)"
         ));
     }
+    let storage = flags
+        .remove("storage")
+        .unwrap_or_else(|| "dense".to_string());
+    if !["dense", "sparse"].contains(&storage.as_str()) {
+        return Err(format!(
+            "unknown --storage {storage:?} (expected dense or sparse)"
+        ));
+    }
     let observe = flags.remove("observe").map(PathBuf::from);
     let metrics = flags.remove("metrics").map(PathBuf::from);
     let trace = flags.remove("trace").map(PathBuf::from);
@@ -225,6 +236,7 @@ fn common_from(flags: &mut HashMap<String, String>) -> Result<CommonOpts, ParseE
         weights,
         epsilon,
         structural_zeros,
+        storage,
         kernel,
         observe,
         metrics,
@@ -425,6 +437,11 @@ OPTIONS (solver subcommands):
                              equilibration kernel (default sortscan; both
                              produce the same solution, quickselect skips
                              the breakpoint sort)
+  --storage dense|sparse     problem storage (default dense). sparse keeps
+                             only the prior's support in CSR form — with
+                             --zeros structural only nonzero cells are
+                             stored; results match the dense path bitwise
+                             on the shared support
   --out <file>               write the estimate as CSV (default stdout)
 
 OBSERVABILITY (quadratic solver subcommands):
@@ -450,7 +467,8 @@ BATCH (`sea-solve batch manifest.jsonl`):
      \"row_totals\":[4,6],\"col_totals\":[5,5],\"weights\":\"unit\"}
   classes: fixed (row_totals + col_totals), elastic (also total_weight),
   sam (square matrix, optional totals); optional per-instance fields
-  weights (unit|chi2|sqrt) and zeros (structural|free).
+  weights (unit|chi2|sqrt), zeros (structural|free), and
+  storage (dense|sparse — sparse solves over CSR support-only storage).
   Instances sharing a family are seeded with the family's last converged
   dual multipliers (--warm-start off disables). --parallel splits the
   thread budget across instances (outer[:K]) or inside each equilibration
@@ -476,7 +494,7 @@ EXIT CODES:
   14  non-finite input           15  SAM prior not square
   16  infeasible subproblem      17  numerical breakdown
   18  linear-algebra error       19  inconsistent bounds
-  20  worker panic (contained)
+  20  worker panic (contained)   21  sparse pattern mismatch
 
 `report` summarizes a JSONL log recorded with --observe: per-phase wall
 time, serial fraction, and iterations to convergence; with --processors N
@@ -542,6 +560,19 @@ mod tests {
             other => panic!("wrong command {other:?}"),
         }
         assert!(parse_args(&argv("sam --matrix m.csv --kernel mergesort")).is_err());
+    }
+
+    #[test]
+    fn parses_storage_flag() {
+        match parse_args(&argv("sam --matrix m.csv --storage sparse")).unwrap() {
+            Command::Sam { common, .. } => assert_eq!(common.storage, "sparse"),
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse_args(&argv("sam --matrix m.csv")).unwrap() {
+            Command::Sam { common, .. } => assert_eq!(common.storage, "dense"),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse_args(&argv("sam --matrix m.csv --storage coo")).is_err());
     }
 
     #[test]

@@ -8,10 +8,10 @@ use sea_baselines::ras::{ras_balance, RasOptions};
 use sea_batch::{BatchEngine, BatchInstance, BatchItemReport, BatchOptions, BatchProblem};
 use sea_core::{
     solve_diagonal_supervised, trace_from_events, Checkpoint, CheckpointPolicy, DiagonalProblem,
-    Event, ExecutionTrace, KernelKind, Observer, SeaOptions, StopReason, SupervisorOptions,
-    TotalSpec, WeightScheme, ZeroPolicy,
+    Event, ExecutionTrace, KernelKind, Observer, SeaOptions, StopReason, Storage,
+    SupervisorOptions, TotalSpec, WeightScheme, ZeroPolicy,
 };
-use sea_linalg::DenseMatrix;
+use sea_linalg::{CsrMatrix, DenseMatrix};
 use sea_observe::json::{f64_to_json, parse as parse_json, JsonValue};
 use sea_observe::jsonl::{parse_events, JsonlObserver};
 use sea_observe::metrics::MetricsObserver;
@@ -119,7 +119,24 @@ fn supervisor_from(
     Ok(sup)
 }
 
-fn solve_and_emit(common: &CommonOpts, problem: &DiagonalProblem) -> Result<String, CliError> {
+/// Route a built dense problem through the storage backend the user asked
+/// for. The sparse image shares the dense problem's feasible set (see
+/// [`DiagonalProblem::from_dense_problem`]), so both backends print the
+/// same estimate.
+fn solve_with_storage(common: &CommonOpts, problem: &DiagonalProblem) -> Result<String, CliError> {
+    if common.storage == "sparse" {
+        let sp =
+            DiagonalProblem::<CsrMatrix>::from_dense_problem(problem).map_err(CliError::Solver)?;
+        solve_and_emit(common, &sp)
+    } else {
+        solve_and_emit(common, problem)
+    }
+}
+
+fn solve_and_emit<S: Storage>(
+    common: &CommonOpts,
+    problem: &DiagonalProblem<S>,
+) -> Result<String, CliError> {
     let mut opts = SeaOptions::with_epsilon(common.epsilon);
     opts.kernel = KernelKind::parse(&common.kernel)
         .ok_or_else(|| format!("unknown kernel {:?}", common.kernel))?;
@@ -179,7 +196,8 @@ fn solve_and_emit(common: &CommonOpts, problem: &DiagonalProblem) -> Result<Stri
         // stopped plus the KKT residuals of the returned iterate. The
         // process still exits with the stop reason's code.
         let cert = &sup_sol.certificate;
-        let mut report = emit(common, &sol.x)?;
+        let x = sol.x.to_dense().map_err(CliError::Solver)?;
+        let mut report = emit(common, &x)?;
         report.push_str(&format!(
             "# stopped: {} after {} iterations; residual {:.3e}\n",
             sup_sol.stop.name(),
@@ -201,7 +219,8 @@ fn solve_and_emit(common: &CommonOpts, problem: &DiagonalProblem) -> Result<Stri
             report,
         });
     }
-    let mut report = emit(common, &sol.x)?;
+    let x = sol.x.to_dense().map_err(CliError::Solver)?;
+    let mut report = emit(common, &x)?;
     report.push_str(&format!(
         "# converged in {} iterations; objective {:.6e}; max row residual {:.3e}\n",
         sol.stats.iterations, sol.stats.objective, sol.stats.residuals.row_inf
@@ -270,6 +289,16 @@ fn manifest_instance(line_no: usize, text: &str) -> Result<BatchInstance, CliErr
             .into())
         }
     };
+    let sparse = match str_field("storage").as_deref() {
+        None | Some("dense") => false,
+        Some("sparse") => true,
+        Some(other) => {
+            return Err(format!(
+                "manifest line {line_no}: unknown storage {other:?} (dense|sparse)"
+            )
+            .into())
+        }
+    };
     let x0 = manifest_matrix(&v, line_no)?;
     let gamma = build_gamma(&x0, weight_scheme(&weights))?;
     let (m, n) = (x0.rows(), x0.cols());
@@ -319,10 +348,17 @@ fn manifest_instance(line_no: usize, text: &str) -> Result<BatchInstance, CliErr
     };
     let problem =
         DiagonalProblem::with_zero_policy(x0, gamma, spec, policy).map_err(CliError::Solver)?;
+    let problem = if sparse {
+        BatchProblem::SparseDiagonal(
+            DiagonalProblem::<CsrMatrix>::from_dense_problem(&problem).map_err(CliError::Solver)?,
+        )
+    } else {
+        BatchProblem::Diagonal(problem)
+    };
     Ok(BatchInstance {
         id,
         family,
-        problem: BatchProblem::Diagonal(problem),
+        problem,
     })
 }
 
@@ -560,7 +596,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             let problem =
                 DiagonalProblem::with_zero_policy(x0, gamma, TotalSpec::Fixed { s0, d0 }, policy)
                     .map_err(CliError::Solver)?;
-            solve_and_emit(common, &problem)
+            solve_with_storage(common, &problem)
         }
         Command::Elastic {
             common,
@@ -590,7 +626,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 policy,
             )
             .map_err(CliError::Solver)?;
-            solve_and_emit(common, &problem)
+            solve_with_storage(common, &problem)
         }
         Command::Sam { common, totals } => {
             let x0 = load_matrix(&common.matrix)?;
@@ -623,7 +659,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 policy,
             )
             .map_err(CliError::Solver)?;
-            solve_and_emit(common, &problem)
+            solve_with_storage(common, &problem)
         }
         Command::Ras {
             common,
@@ -703,6 +739,81 @@ mod tests {
         let x = csv::read_matrix(&out).unwrap();
         let rs = x.row_sums();
         assert!((rs[0] - 4.0).abs() < 1e-6 && (rs[1] - 6.0).abs() < 1e-6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sparse_storage_matches_dense_output() {
+        let dir = tmpdir("sparse");
+        write(&dir, "m.csv", "1,0,2\n0,3,0\n4,0,5\n");
+        write(&dir, "s.csv", "4,3,8\n");
+        write(&dir, "d.csv", "5\n3\n7\n");
+        let run_with = |storage: &str| {
+            let argv: Vec<String> = [
+                "fixed",
+                "--matrix",
+                dir.join("m.csv").to_str().unwrap(),
+                "--row-totals",
+                dir.join("s.csv").to_str().unwrap(),
+                "--col-totals",
+                dir.join("d.csv").to_str().unwrap(),
+                "--zeros",
+                "structural",
+                "--weights",
+                "unit",
+                "--storage",
+                storage,
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            run(&parse_args(&argv).unwrap()).unwrap()
+        };
+        let dense = run_with("dense");
+        let sparse = run_with("sparse");
+        // Identical CSV estimate and identical convergence trailer.
+        assert_eq!(dense, sparse);
+        let x = csv::read_matrix_from_str(&sparse).unwrap();
+        assert_eq!(x.get(0, 1), 0.0);
+        let rs = x.row_sums();
+        assert!((rs[0] - 4.0).abs() < 1e-6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batch_accepts_sparse_storage_instances() {
+        let dir = tmpdir("batch-sparse");
+        let manifest = write(
+            &dir,
+            "jobs.jsonl",
+            "{\"id\":\"dense\",\"class\":\"fixed\",\"zeros\":\"structural\",\"weights\":\"unit\",\
+              \"matrix\":[[1,0,2],[0,3,0],[4,0,5]],\"row_totals\":[4,3,8],\"col_totals\":[5,3,7]}\n\
+             {\"id\":\"sparse\",\"class\":\"fixed\",\"zeros\":\"structural\",\"weights\":\"unit\",\
+              \"storage\":\"sparse\",\
+              \"matrix\":[[1,0,2],[0,3,0],[4,0,5]],\"row_totals\":[4,3,8],\"col_totals\":[5,3,7]}\n",
+        );
+        let results = dir.join("r.jsonl");
+        let argv: Vec<String> = [
+            "batch",
+            manifest.to_str().unwrap(),
+            "--out",
+            results.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let report = run(&parse_args(&argv).unwrap()).unwrap();
+        assert!(
+            report.contains("# batch: 2 instances, 2 converged"),
+            "{report}"
+        );
+        let text = std::fs::read_to_string(&results).unwrap();
+        let lines: Vec<JsonValue> = text.lines().map(|l| parse_json(l).unwrap()).collect();
+        assert_eq!(lines.len(), 2);
+        // Same problem through both backends: identical objective.
+        let obj_dense = lines[0].get("objective").unwrap().as_f64().unwrap();
+        let obj_sparse = lines[1].get("objective").unwrap().as_f64().unwrap();
+        assert_eq!(obj_dense.to_bits(), obj_sparse.to_bits());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

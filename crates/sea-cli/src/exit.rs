@@ -95,6 +95,7 @@ pub fn error_exit_code(e: &SeaError) -> i32 {
         SeaError::Linalg(_) => 18,
         SeaError::InconsistentBounds { .. } => 19,
         SeaError::WorkerPanic { .. } => 20,
+        SeaError::PatternMismatch { .. } => 21,
     }
 }
 
@@ -160,6 +161,7 @@ mod tests {
                 index: 0,
                 message: String::new(),
             },
+            SeaError::PatternMismatch { context: "t" },
         ]
     }
 

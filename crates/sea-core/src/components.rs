@@ -9,6 +9,8 @@
 //! `|λᵢ| > R`, shift the component containing it so its multipliers return
 //! to the bounded cube, guaranteeing the convergence analysis applies.
 
+use crate::storage::{RowView, Storage};
+
 /// Union–find over `m + n` nodes (rows `0..m`, columns `m..m+n`) with
 /// path-halving and union by size.
 #[derive(Debug, Clone)]
@@ -81,6 +83,69 @@ pub fn support_components(
     (rows, cols)
 }
 
+/// [`support_components`] generalized over [`Storage`]: rows `i` and columns
+/// `j` are connected when a *stored* entry `x[i, j] > threshold`. For dense
+/// storage the union order is identical to the slice-based function (row
+/// major over every cell), so labels are bitwise-equal; for sparse storage
+/// only the stored support is visited, making this `O(nnz α(m+n))`.
+pub fn storage_support_components<S: Storage>(x: &S, threshold: f64) -> (Vec<usize>, Vec<usize>) {
+    let (m, n) = (x.rows(), x.cols());
+    let mut uf = UnionFind::new(m + n);
+    for i in 0..m {
+        match x.row_view(i) {
+            RowView::Dense(row) => {
+                for (j, &v) in row.iter().enumerate() {
+                    if v > threshold {
+                        uf.union(i, m + j);
+                    }
+                }
+            }
+            RowView::Indexed { idx, vals } => {
+                for (&j, &v) in idx.iter().zip(vals) {
+                    if v > threshold {
+                        uf.union(i, m + j as usize);
+                    }
+                }
+            }
+        }
+    }
+    let rows = (0..m).map(|i| uf.find(i)).collect();
+    let cols = (0..n).map(|j| uf.find(m + j)).collect();
+    (rows, cols)
+}
+
+/// Turn per-row component labels into shard start indices for a parallel
+/// equilibration pass. Starting from row 0, a new shard opens at the first
+/// component-label change after `target` rows have accumulated — so a shard
+/// never splits a support component unless the component itself exceeds
+/// `2 * target` rows, at which point a hard cut keeps shards cache-sized
+/// (one giant component must not collapse the pass to a single worker
+/// chunk). Returns start indices; the first is always 0.
+///
+/// Sharding never changes results — rows are solved independently and each
+/// writes a position-fixed slot — so boundaries are purely a locality hint:
+/// rows of one component share columns, hence share the opposite-side
+/// multiplier cache lines.
+pub fn shard_boundaries(labels: &[usize], target: usize) -> Vec<usize> {
+    let m = labels.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let target = target.max(1);
+    let mut starts = vec![0];
+    let mut len = 1;
+    for i in 1..m {
+        let boundary = labels[i] != labels[i - 1];
+        if (len >= target && boundary) || len >= 2 * target {
+            starts.push(i);
+            len = 1;
+        } else {
+            len += 1;
+        }
+    }
+    starts
+}
+
 /// The paper's Modified Algorithm step: if any `|λᵢ| > bound`, shift every
 /// component containing an offender by the offending value — subtracting it
 /// from the component's `λ`s and adding it to the component's `μ`s — which
@@ -102,21 +167,52 @@ pub fn normalize_multipliers(
         return 0;
     }
     let (row_labels, col_labels) = support_components(x, m, n, 0.0);
-    // Pick, per component, the first offending λ as the shift value.
+    apply_component_shifts(&row_labels, &col_labels, lambda, mu, bound)
+}
+
+/// [`normalize_multipliers`] generalized over [`Storage`]: identical shift
+/// selection and application (first offending `λ` per component, in row
+/// order), but the support graph is read through row views so sparse
+/// iterates pay only for their stored entries.
+pub fn normalize_multipliers_storage<S: Storage>(
+    x: &S,
+    lambda: &mut [f64],
+    mu: &mut [f64],
+    bound: f64,
+) -> usize {
+    debug_assert_eq!(lambda.len(), x.rows());
+    debug_assert_eq!(mu.len(), x.cols());
+    if lambda.iter().all(|&l| l.abs() <= bound) {
+        return 0;
+    }
+    let (row_labels, col_labels) = storage_support_components(x, 0.0);
+    apply_component_shifts(&row_labels, &col_labels, lambda, mu, bound)
+}
+
+/// Shared tail of the Modified Algorithm: pick, per component, the first
+/// offending `λ` as the shift value, subtract it from the component's `λ`s
+/// and add it to its `μ`s. Returns the number of components shifted.
+fn apply_component_shifts(
+    row_labels: &[usize],
+    col_labels: &[usize],
+    lambda: &mut [f64],
+    mu: &mut [f64],
+    bound: f64,
+) -> usize {
     let mut shift_of_root: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
-    for i in 0..m {
-        if lambda[i].abs() > bound {
-            shift_of_root.entry(row_labels[i]).or_insert(lambda[i]);
+    for (i, &l) in lambda.iter().enumerate() {
+        if l.abs() > bound {
+            shift_of_root.entry(row_labels[i]).or_insert(l);
         }
     }
-    for i in 0..m {
+    for (i, l) in lambda.iter_mut().enumerate() {
         if let Some(&sh) = shift_of_root.get(&row_labels[i]) {
-            lambda[i] -= sh;
+            *l -= sh;
         }
     }
-    for j in 0..n {
+    for (j, m) in mu.iter_mut().enumerate() {
         if let Some(&sh) = shift_of_root.get(&col_labels[j]) {
-            mu[j] += sh;
+            *m += sh;
         }
     }
     shift_of_root.len()
@@ -177,6 +273,76 @@ mod tests {
         let shifted = normalize_multipliers(&x, 2, 2, &mut lambda, &mut mu, 10.0);
         assert_eq!(shifted, 0);
         assert_eq!(lambda, vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn storage_components_match_slice_components() {
+        use sea_linalg::{CsrMatrix, DenseMatrix};
+        let x = [1.0, 0.0, 2.0, 0.0, 3.0, 0.0];
+        let dense = DenseMatrix::from_vec(2, 3, x.to_vec()).unwrap();
+        let (r_ref, c_ref) = support_components(&x, 2, 3, 0.0);
+        let (r_d, c_d) = storage_support_components(&dense, 0.0);
+        assert_eq!(r_ref, r_d);
+        assert_eq!(c_ref, c_d);
+        // CSR drops the zeros but labels must describe the same partition.
+        let csr = CsrMatrix::from_dense_pruned(&dense).unwrap();
+        let (r_s, c_s) = storage_support_components(&csr, 0.0);
+        for a in 0..2 {
+            for b in 0..2 {
+                assert_eq!(r_ref[a] == r_ref[b], r_s[a] == r_s[b]);
+            }
+        }
+        for a in 0..3 {
+            for b in 0..3 {
+                assert_eq!(c_ref[a] == c_ref[b], c_s[a] == c_s[b]);
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_storage_matches_slice_variant() {
+        use sea_linalg::{CsrMatrix, DenseMatrix};
+        let x = [1.0, 0.0, 0.0, 2.0];
+        let dense = DenseMatrix::from_vec(2, 2, x.to_vec()).unwrap();
+        let csr = CsrMatrix::from_dense_pruned(&dense).unwrap();
+        let mut l_ref = vec![100.0, 1.0];
+        let mut m_ref = vec![-3.0, 4.0];
+        let n_ref = normalize_multipliers(&x, 2, 2, &mut l_ref, &mut m_ref, 10.0);
+        for backend in 0..2 {
+            let mut lambda = vec![100.0, 1.0];
+            let mut mu = vec![-3.0, 4.0];
+            let shifted = if backend == 0 {
+                normalize_multipliers_storage(&dense, &mut lambda, &mut mu, 10.0)
+            } else {
+                normalize_multipliers_storage(&csr, &mut lambda, &mut mu, 10.0)
+            };
+            assert_eq!(shifted, n_ref);
+            assert_eq!(lambda, l_ref);
+            assert_eq!(mu, m_ref);
+        }
+    }
+
+    #[test]
+    fn shard_boundaries_respect_components_and_caps() {
+        // Labels: component A rows 0..3, B rows 3..5, C rows 5..12.
+        let labels = [7, 7, 7, 9, 9, 2, 2, 2, 2, 2, 2, 2];
+        // target 2: cut at the first label change after 2 rows, hard cut at 4.
+        let starts = shard_boundaries(&labels, 2);
+        assert_eq!(starts[0], 0);
+        assert!(starts.windows(2).all(|w| w[0] < w[1]));
+        assert!(*starts.last().unwrap() < labels.len());
+        // Component boundary at 3 honored (shard [0,3) has >= target rows).
+        assert!(starts.contains(&3));
+        // Giant component C is hard-cut: no shard exceeds 2*target rows.
+        let mut ends = starts[1..].to_vec();
+        ends.push(labels.len());
+        for (s, e) in starts.iter().zip(&ends) {
+            assert!(e - s <= 4, "shard [{s}, {e}) exceeds 2*target");
+        }
+        // Degenerate inputs.
+        assert!(shard_boundaries(&[], 4).is_empty());
+        assert_eq!(shard_boundaries(&[1, 1, 1], 100), vec![0]);
+        assert_eq!(shard_boundaries(&[1, 2, 3], 1), vec![0, 1, 2]);
     }
 
     #[test]

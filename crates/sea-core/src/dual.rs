@@ -13,6 +13,8 @@
 //!    stopping criterion.
 
 use crate::problem::{DiagonalProblem, TotalSpec};
+use crate::storage::{RowView, Storage};
+#[cfg(test)]
 use sea_linalg::DenseMatrix;
 
 #[inline]
@@ -25,7 +27,7 @@ fn entry_term(gamma: f64, x0: f64, lam_plus_mu: f64) -> f64 {
 ///
 /// # Panics
 /// Debug-panics on length mismatches.
-pub fn dual_value(p: &DiagonalProblem, lambda: &[f64], mu: &[f64]) -> f64 {
+pub fn dual_value<S: Storage>(p: &DiagonalProblem<S>, lambda: &[f64], mu: &[f64]) -> f64 {
     let (m, n) = (p.m(), p.n());
     debug_assert_eq!(lambda.len(), m);
     debug_assert_eq!(mu.len(), n);
@@ -33,25 +35,32 @@ pub fn dual_value(p: &DiagonalProblem, lambda: &[f64], mu: &[f64]) -> f64 {
     let gamma = p.gamma();
 
     let mut z = 0.0;
-    match p.support() {
-        None => {
-            for i in 0..m {
-                let (x0r, gr) = (x0.row(i), gamma.row(i));
-                let li = lambda[i];
-                for j in 0..n {
-                    z += entry_term(gr[j], x0r[j], li + mu[j]);
+    for i in 0..m {
+        let li = lambda[i];
+        match (x0.row_view(i), gamma.row_view(i)) {
+            (RowView::Dense(x0r), RowView::Dense(gr)) => match p.support() {
+                None => {
+                    for j in 0..n {
+                        z += entry_term(gr[j], x0r[j], li + mu[j]);
+                    }
+                }
+                Some(sup) => {
+                    for &j in &sup.rows[i] {
+                        let j = j as usize;
+                        z += entry_term(gr[j], x0r[j], li + mu[j]);
+                    }
+                }
+            },
+            (RowView::Indexed { idx, vals }, RowView::Indexed { vals: gvals, .. }) => {
+                // The stored pattern is the support; entries are walked in
+                // the same (column-sorted) order as the dense support path,
+                // so sums agree bitwise for the same logical problem.
+                for (t, &j) in idx.iter().enumerate() {
+                    z += entry_term(gvals[t], vals[t], li + mu[j as usize]);
                 }
             }
-        }
-        Some(sup) => {
-            for i in 0..m {
-                let (x0r, gr) = (x0.row(i), gamma.row(i));
-                let li = lambda[i];
-                for &j in &sup.rows[i] {
-                    let j = j as usize;
-                    z += entry_term(gr[j], x0r[j], li + mu[j]);
-                }
-            }
+            // Constructors enforce a shared pattern between X^0 and Gamma.
+            _ => debug_assert!(false, "mismatched row views in dual_value"),
         }
     }
 
@@ -92,39 +101,44 @@ pub fn dual_value(p: &DiagonalProblem, lambda: &[f64], mu: &[f64]) -> f64 {
 /// The multiplier-defined primal point `X(λ,μ), S(λ,μ), D(λ,μ)`
 /// (eq. 23a–c / 40a–b): the inner minimizer of the Lagrangian. Structural
 /// zeros are kept at zero.
-// Allowed: `DiagonalProblem` construction guarantees m, n >= 1, so the
-// workspace allocation cannot fail.
+// Allowed: `DiagonalProblem` construction guarantees m, n >= 1 and a valid
+// prior, so mirroring its pattern into a workspace cannot fail.
 #[allow(clippy::expect_used)]
-pub fn primal_from_multipliers(
-    p: &DiagonalProblem,
+pub fn primal_from_multipliers<S: Storage>(
+    p: &DiagonalProblem<S>,
     lambda: &[f64],
     mu: &[f64],
-) -> (DenseMatrix, Vec<f64>, Vec<f64>) {
+) -> (S, Vec<f64>, Vec<f64>) {
     let (m, n) = (p.m(), p.n());
-    let mut x = DenseMatrix::zeros(m, n).expect("nonempty problem");
+    let mut x = p.x0().zeros_like().expect("nonempty problem");
     let x0 = p.x0();
     let gamma = p.gamma();
-    match p.support() {
-        None => {
-            for i in 0..m {
-                let (x0r, gr) = (x0.row(i), gamma.row(i));
-                let li = lambda[i];
-                let xr = x.row_mut(i);
-                for j in 0..n {
-                    xr[j] = (x0r[j] + (li + mu[j]) / (2.0 * gr[j])).max(0.0);
+    for i in 0..m {
+        let li = lambda[i];
+        match (x0.row_view(i), gamma.row_view(i)) {
+            (RowView::Dense(x0r), RowView::Dense(gr)) => {
+                let xr = x.row_values_mut(i);
+                match p.support() {
+                    None => {
+                        for j in 0..n {
+                            xr[j] = (x0r[j] + (li + mu[j]) / (2.0 * gr[j])).max(0.0);
+                        }
+                    }
+                    Some(sup) => {
+                        for &j in &sup.rows[i] {
+                            let j = j as usize;
+                            xr[j] = (x0r[j] + (li + mu[j]) / (2.0 * gr[j])).max(0.0);
+                        }
+                    }
                 }
             }
-        }
-        Some(sup) => {
-            for i in 0..m {
-                let (x0r, gr) = (x0.row(i), gamma.row(i));
-                let li = lambda[i];
-                let xr = x.row_mut(i);
-                for &j in &sup.rows[i] {
-                    let j = j as usize;
-                    xr[j] = (x0r[j] + (li + mu[j]) / (2.0 * gr[j])).max(0.0);
+            (RowView::Indexed { idx, vals }, RowView::Indexed { vals: gvals, .. }) => {
+                let xr = x.row_values_mut(i);
+                for t in 0..idx.len() {
+                    xr[t] = (vals[t] + (li + mu[idx[t] as usize]) / (2.0 * gvals[t])).max(0.0);
                 }
             }
+            _ => debug_assert!(false, "mismatched row views in primal_from_multipliers"),
         }
     }
     let (s, d) = match p.totals() {
@@ -154,16 +168,18 @@ pub fn primal_from_multipliers(
 /// Gradient of the dual at `(λ, μ)`: `grad_lambda[i] = ∂ζ/∂λᵢ =
 /// Sᵢ(λ,μ) − Σⱼ Xᵢⱼ(λ,μ)` and symmetrically for `μ` — i.e. the row and
 /// column constraint violations of the multiplier-defined primal point.
-pub fn dual_gradient(
-    p: &DiagonalProblem,
+pub fn dual_gradient<S: Storage>(
+    p: &DiagonalProblem<S>,
     lambda: &[f64],
     mu: &[f64],
     grad_lambda: &mut [f64],
     grad_mu: &mut [f64],
 ) {
     let (x, s, d) = primal_from_multipliers(p, lambda, mu);
-    let row_sums = x.row_sums();
-    let col_sums = x.col_sums();
+    let mut row_sums = vec![0.0; p.m()];
+    let mut col_sums = vec![0.0; p.n()];
+    x.row_sums_into(&mut row_sums);
+    x.col_sums_into(&mut col_sums);
     for i in 0..p.m() {
         grad_lambda[i] = s[i] - row_sums[i];
     }
@@ -174,7 +190,7 @@ pub fn dual_gradient(
 
 /// Euclidean norm of the dual gradient — the paper's `‖∇ζ‖ ≤ ε ~
 /// ‖Constraints‖ ≤ ε` stopping quantity (eq. 27).
-pub fn dual_gradient_norm(p: &DiagonalProblem, lambda: &[f64], mu: &[f64]) -> f64 {
+pub fn dual_gradient_norm<S: Storage>(p: &DiagonalProblem<S>, lambda: &[f64], mu: &[f64]) -> f64 {
     let mut gl = vec![0.0; p.m()];
     let mut gm = vec![0.0; p.n()];
     dual_gradient(p, lambda, mu, &mut gl, &mut gm);

@@ -9,18 +9,35 @@
 //!
 //! Both passes share one orientation-agnostic implementation: the caller
 //! supplies the prior and weight matrices oriented so subproblems are rows
-//! (the column pass passes transposed copies built once per solve).
+//! (the column pass passes transposed copies built once per solve). The
+//! pass is generic over [`Storage`]: dense rows go to the kernel whole (or
+//! gathered through structural-zero support lists), while CSR rows *are*
+//! the support — the kernel runs directly over the stored value slices
+//! with only the shift vector gathered, so sparse subproblem cost is
+//! `O(k log k)` in the row's support size `k`, never `O(n)`.
+//!
+//! Parallel passes are **sharded**: rows are grouped into cache-sized
+//! contiguous blocks (optionally aligned to support-graph component
+//! boundaries by the solver) and the blocks are distributed over the
+//! worker pool. Each row is still solved independently, so results are
+//! bitwise identical across worker counts *and* shard sizes.
 
 use crate::error::SeaError;
 use crate::knapsack::{exact_equilibration_with, EquilibrationScratch, KernelKind, TotalMode};
 use crate::parallel::Parallelism;
+use crate::storage::{RowView, Storage};
 use crate::supervisor::TaskFault;
 use rayon::prelude::*;
-use sea_linalg::DenseMatrix;
 use sea_observe::KernelCounters;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Default shard size (rows per block) for parallel passes when the solver
+/// does not supply explicit boundaries. Sized so a typical block's working
+/// set (a few KB per row even on dense mid-size instances) stays within an
+/// L2 cache.
+pub const DEFAULT_BLOCK_ROWS: usize = 256;
 
 thread_local! {
     /// Workspace reused by every *serial* pass run on this thread. A pass
@@ -34,7 +51,7 @@ thread_local! {
 /// Thread-safe accumulator for [`KernelCounters`] harvested from the
 /// per-thread [`TaskScratch`] workspaces of a rayon pass. The pass hands
 /// each worker its own scratch (`try_for_each_init`), so counters are
-/// flushed here with relaxed atomics once per task — contention-free in
+/// flushed here with relaxed atomics once per shard — contention-free in
 /// practice and exact in total.
 #[derive(Debug, Default)]
 pub struct PassCounters {
@@ -106,12 +123,14 @@ impl TaskScratch {
 }
 
 /// Inputs shared by every subproblem of a pass, in "row orientation".
-pub struct PassInputs<'a> {
+pub struct PassInputs<'a, S: Storage> {
     /// Prior matrix, oriented so each subproblem is a contiguous row.
-    pub prior: &'a DenseMatrix,
-    /// Weight matrix, same orientation.
-    pub gamma: &'a DenseMatrix,
-    /// Structural-zero support lists (per subproblem), if any.
+    pub prior: &'a S,
+    /// Weight matrix, same orientation (and, for sparse storage, the same
+    /// pattern).
+    pub gamma: &'a S,
+    /// Structural-zero support lists (per subproblem), if any. Dense
+    /// storage only: sparse rows carry their support in the pattern.
     pub support: Option<&'a [Vec<u32>]>,
     /// The opposite side's multipliers (length = subproblem size).
     pub shift: &'a [f64],
@@ -152,10 +171,32 @@ fn kernel_solve(
     Ok((r.lambda, r.total))
 }
 
+/// Shared semantics for a subproblem with no active entries: the iterate
+/// stays zero, a positive fixed total is infeasible, and an elastic total
+/// settles at its unconstrained optimum.
+fn empty_support_result(
+    mode: TotalMode,
+    side: &'static str,
+    i: usize,
+) -> Result<(f64, f64), SeaError> {
+    match mode {
+        TotalMode::Fixed { total } if total > 0.0 => {
+            Err(SeaError::InfeasibleSubproblem { side, index: i })
+        }
+        TotalMode::Fixed { .. } => Ok((0.0, 0.0)),
+        TotalMode::Elastic {
+            alpha,
+            prior,
+            cross,
+        } => Ok((2.0 * alpha * prior - cross, 0.0)),
+    }
+}
+
 /// Solve one subproblem; returns `(λ, realized total)` and writes the
-/// subproblem's entries into `x_row`.
-fn solve_task(
-    inp: &PassInputs<'_>,
+/// subproblem's entries into `x_row` (the iterate's stored values for this
+/// row: length `n` dense, support size for CSR).
+fn solve_task<S: Storage>(
+    inp: &PassInputs<'_, S>,
     i: usize,
     mode: TotalMode,
     x_row: &mut [f64],
@@ -170,73 +211,98 @@ fn solve_task(
         }
         _ => false,
     };
-    match inp.support {
-        None => kernel_solve(
-            inp.kernel,
-            force_fallback,
-            inp.prior.row(i),
-            inp.gamma.row(i),
-            inp.shift,
-            mode,
-            x_row,
-            &mut scratch.eq,
-            &mut scratch.fallbacks,
-        ),
-        Some(support) => {
-            let idx = &support[i];
+    match (inp.prior.row_view(i), inp.gamma.row_view(i)) {
+        // Sparse row: the stored entries are the support. The kernel runs
+        // directly over the prior/weight value slices and writes the
+        // iterate's stored values in place — only the shift is gathered.
+        (RowView::Indexed { idx, vals: q }, RowView::Indexed { vals: g, .. }) => {
             let k = idx.len();
             if k == 0 {
-                x_row.fill(0.0);
-                return match mode {
-                    TotalMode::Fixed { total } if total > 0.0 => {
-                        Err(SeaError::InfeasibleSubproblem {
-                            side: inp.side,
-                            index: i,
-                        })
-                    }
-                    TotalMode::Fixed { .. } => Ok((0.0, 0.0)),
-                    TotalMode::Elastic {
-                        alpha,
-                        prior,
-                        cross,
-                    } => Ok((2.0 * alpha * prior - cross, 0.0)),
-                };
+                return empty_support_result(mode, inp.side, i);
             }
-            scratch.q.clear();
-            scratch.g.clear();
             scratch.sh.clear();
-            let prior_row = inp.prior.row(i);
-            let gamma_row = inp.gamma.row(i);
-            for &j in idx {
-                let j = j as usize;
-                scratch.q.push(prior_row[j]);
-                scratch.g.push(gamma_row[j]);
-                scratch.sh.push(inp.shift[j]);
-            }
-            scratch.x.resize(k, 0.0);
-            let TaskScratch {
-                eq,
+            scratch
+                .sh
+                .extend(idx.iter().map(|&j| inp.shift[j as usize]));
+            kernel_solve(
+                inp.kernel,
+                force_fallback,
                 q,
                 g,
-                sh,
-                x,
-                fallbacks,
-            } = scratch;
-            let (lambda, total) =
-                kernel_solve(inp.kernel, force_fallback, q, g, sh, mode, x, eq, fallbacks)
-                    .map_err(|e| match e {
-                        SeaError::InfeasibleSubproblem { .. } => SeaError::InfeasibleSubproblem {
-                            side: inp.side,
-                            index: i,
-                        },
-                        other => other,
-                    })?;
-            x_row.fill(0.0);
-            for (&j, &v) in idx.iter().zip(&scratch.x) {
-                x_row[j as usize] = v;
-            }
-            Ok((lambda, total))
+                &scratch.sh,
+                mode,
+                x_row,
+                &mut scratch.eq,
+                &mut scratch.fallbacks,
+            )
+            .map_err(|e| match e {
+                SeaError::InfeasibleSubproblem { .. } => SeaError::InfeasibleSubproblem {
+                    side: inp.side,
+                    index: i,
+                },
+                other => other,
+            })
         }
+        (RowView::Dense(prior_row), RowView::Dense(gamma_row)) => match inp.support {
+            None => kernel_solve(
+                inp.kernel,
+                force_fallback,
+                prior_row,
+                gamma_row,
+                inp.shift,
+                mode,
+                x_row,
+                &mut scratch.eq,
+                &mut scratch.fallbacks,
+            ),
+            Some(support) => {
+                let idx = &support[i];
+                let k = idx.len();
+                if k == 0 {
+                    x_row.fill(0.0);
+                    return empty_support_result(mode, inp.side, i);
+                }
+                scratch.q.clear();
+                scratch.g.clear();
+                scratch.sh.clear();
+                for &j in idx {
+                    let j = j as usize;
+                    scratch.q.push(prior_row[j]);
+                    scratch.g.push(gamma_row[j]);
+                    scratch.sh.push(inp.shift[j]);
+                }
+                scratch.x.resize(k, 0.0);
+                let TaskScratch {
+                    eq,
+                    q,
+                    g,
+                    sh,
+                    x,
+                    fallbacks,
+                } = scratch;
+                let (lambda, total) =
+                    kernel_solve(inp.kernel, force_fallback, q, g, sh, mode, x, eq, fallbacks)
+                        .map_err(|e| match e {
+                            SeaError::InfeasibleSubproblem { .. } => {
+                                SeaError::InfeasibleSubproblem {
+                                    side: inp.side,
+                                    index: i,
+                                }
+                            }
+                            other => other,
+                        })?;
+                x_row.fill(0.0);
+                for (&j, &v) in idx.iter().zip(&scratch.x) {
+                    x_row[j as usize] = v;
+                }
+                Ok((lambda, total))
+            }
+        },
+        // A problem's prior and weights share one storage type and pattern,
+        // so mixed views cannot occur.
+        _ => Err(SeaError::PatternMismatch {
+            context: "pass inputs (mixed row views)",
+        }),
     }
 }
 
@@ -245,8 +311,8 @@ fn solve_task(
 /// through — or, under rayon, aborting — the whole solve. The non-panic
 /// path of `catch_unwind` costs no allocation, preserving the
 /// allocation-free steady state.
-fn run_task(
-    inp: &PassInputs<'_>,
+fn run_task<S: Storage>(
+    inp: &PassInputs<'_, S>,
     i: usize,
     mode: TotalMode,
     x_row: &mut [f64],
@@ -271,60 +337,127 @@ fn run_task(
     }
 }
 
+/// One contiguous block of subproblems of a parallel pass, carrying the
+/// disjoint output slices its rows write. Blocks are the unit of work
+/// distribution *and* of counter flushing; rows inside a block run
+/// sequentially on one worker.
+struct Shard<'a> {
+    /// Global index of the first row in this shard.
+    base: usize,
+    lambda: &'a mut [f64],
+    totals: &'a mut [f64],
+    /// Per-row stored-value slices of the iterate.
+    rows: Vec<&'a mut [f64]>,
+    /// Per-row wall-clock sinks, when the pass is timing tasks.
+    costs: Option<&'a mut [f64]>,
+}
+
+/// Split the pass outputs into [`Shard`]s at the given start indices
+/// (`starts[0] == 0`, strictly increasing, each `< m`).
+fn build_shards<'a, S: Storage>(
+    starts: &[usize],
+    m: usize,
+    lambda: &'a mut [f64],
+    totals_out: &'a mut [f64],
+    x: &'a mut S,
+    mut costs: Option<&'a mut [f64]>,
+) -> Vec<Shard<'a>> {
+    debug_assert_eq!(starts.first(), Some(&0));
+    let row_lens: Vec<usize> = (0..m).map(|i| x.row_range(i).len()).collect();
+    let mut lam_rest = lambda;
+    let mut tot_rest = totals_out;
+    // Stored values are row-major and contiguous in both backends, so the
+    // per-row slices tile `values_mut()` exactly.
+    let mut vals_rest = x.values_mut();
+    let mut shards = Vec::with_capacity(starts.len());
+    for (si, &start) in starts.iter().enumerate() {
+        let end = starts.get(si + 1).copied().unwrap_or(m);
+        let cnt = end - start;
+        let (lam, rest) = std::mem::take(&mut lam_rest).split_at_mut(cnt);
+        lam_rest = rest;
+        let (tot, rest) = std::mem::take(&mut tot_rest).split_at_mut(cnt);
+        tot_rest = rest;
+        let shard_costs = costs.as_mut().map(|c| {
+            let (head, rest) = std::mem::take(c).split_at_mut(cnt);
+            *c = rest;
+            head
+        });
+        let mut rows = Vec::with_capacity(cnt);
+        for i in start..end {
+            let (row, rest) = std::mem::take(&mut vals_rest).split_at_mut(row_lens[i]);
+            vals_rest = rest;
+            rows.push(row);
+        }
+        shards.push(Shard {
+            base: start,
+            lambda: lam,
+            totals: tot,
+            rows,
+            costs: shard_costs,
+        });
+    }
+    shards
+}
+
 /// Run a full equilibration pass.
 ///
 /// `modes(i)` supplies the total specification of subproblem `i`; `lambda`
 /// and `totals_out` receive, per subproblem, the constraint multiplier and
-/// the realized total; `x` (same orientation as `inp.prior`) receives the
-/// primal iterate. When `costs` is provided it is filled with per-task
-/// wall-clock seconds for the scheduling simulator. When `counters` is
-/// provided the kernels' work counters are accumulated into it (pass `None`
-/// when nothing is observing; the flush is skipped entirely).
+/// the realized total; `x` (same orientation — and, for sparse storage,
+/// the same pattern — as `inp.prior`) receives the primal iterate. When
+/// `costs` is provided it is filled with per-task wall-clock seconds for
+/// the scheduling simulator. When `counters` is provided the kernels' work
+/// counters are accumulated into it (pass `None` when nothing is
+/// observing; the flush is skipped entirely).
+///
+/// `shard_starts` optionally supplies explicit shard boundaries for the
+/// parallel path (start indices, first `0`): the solver aligns these to
+/// support-graph component boundaries. `None` shards uniformly every
+/// [`DEFAULT_BLOCK_ROWS`] rows. Serial passes ignore sharding. Results are
+/// bitwise independent of the sharding because every row is solved
+/// independently.
 ///
 /// # Errors
 /// Propagates the first subproblem failure (infeasibility, invalid data).
 #[allow(clippy::too_many_arguments)] // pass = inputs + three outputs + mode + two optional sinks
-pub fn equilibration_pass(
-    inp: &PassInputs<'_>,
+pub fn equilibration_pass<S: Storage>(
+    inp: &PassInputs<'_, S>,
     modes: &(dyn Fn(usize) -> TotalMode + Sync),
     lambda: &mut [f64],
     totals_out: &mut [f64],
-    x: &mut DenseMatrix,
+    x: &mut S,
     par: Parallelism,
     mut costs: Option<&mut Vec<f64>>,
     counters: Option<&PassCounters>,
+    shard_starts: Option<&[usize]>,
 ) -> Result<(), SeaError> {
     let m = inp.prior.rows();
     debug_assert_eq!(lambda.len(), m);
     debug_assert_eq!(totals_out.len(), m);
     debug_assert_eq!(x.rows(), m);
     debug_assert_eq!(x.cols(), inp.prior.cols());
+    debug_assert!(x.same_pattern(inp.prior));
 
     if let Some(c) = costs.as_deref_mut() {
         c.clear();
         c.resize(m, 0.0);
     }
     let timing = costs.is_some();
-    // A dummy slot so the zip below always has a cost target.
-    let mut dummy: Vec<f64> = Vec::new();
-    let cost_slice: &mut [f64] = match costs {
-        Some(c) => c.as_mut_slice(),
-        None => &mut dummy,
-    };
 
     match par {
         Parallelism::Serial => SERIAL_SCRATCH.with_borrow_mut(|scratch| {
+            let mut cost_slice: Option<&mut [f64]> = costs.map(Vec::as_mut_slice);
             // The scratch outlives any one pass; drop counts a previous
             // (possibly aborted) pass left behind before accumulating.
             scratch.eq.stats = KernelCounters::default();
             scratch.fallbacks = 0;
             for i in 0..m {
                 let t0 = timing.then(Instant::now);
-                let (l, s) = run_task(inp, i, modes(i), x.row_mut(i), scratch)?;
+                let (l, s) = run_task(inp, i, modes(i), x.row_values_mut(i), scratch)?;
                 lambda[i] = l;
                 totals_out[i] = s;
-                if let Some(t0) = t0 {
-                    cost_slice[i] = t0.elapsed().as_secs_f64();
+                if let (Some(c), Some(t0)) = (cost_slice.as_deref_mut(), t0) {
+                    c[i] = t0.elapsed().as_secs_f64();
                 }
             }
             if let Some(c) = counters {
@@ -336,46 +469,37 @@ pub fn equilibration_pass(
         Parallelism::Rayon | Parallelism::RayonThreads(_) => {
             // `RayonThreads` pools are installed by the solver around the
             // whole solve; here both variants fan out on the current pool.
-            if timing {
-                lambda
-                    .par_iter_mut()
-                    .zip(totals_out.par_iter_mut())
-                    .zip(x.par_row_iter_mut())
-                    .zip(cost_slice.par_iter_mut())
-                    .enumerate()
-                    .try_for_each_init(TaskScratch::new, |scratch, (i, (((l, s), xr), c))| {
-                        let t0 = Instant::now();
-                        let (lv, sv) = run_task(inp, i, modes(i), xr, scratch)?;
-                        *l = lv;
-                        *s = sv;
-                        *c = t0.elapsed().as_secs_f64();
-                        if let Some(acc) = counters {
-                            acc.add(&scratch.eq.stats);
-                            acc.add_fallbacks(scratch.fallbacks);
-                            scratch.eq.stats = KernelCounters::default();
-                            scratch.fallbacks = 0;
+            let default_starts: Vec<usize>;
+            let starts: &[usize] = match shard_starts {
+                Some(s) if !s.is_empty() => s,
+                _ => {
+                    default_starts = (0..m).step_by(DEFAULT_BLOCK_ROWS).collect();
+                    &default_starts
+                }
+            };
+            let cost_slice: Option<&mut [f64]> = costs.map(Vec::as_mut_slice);
+            let mut shards = build_shards(starts, m, lambda, totals_out, x, cost_slice);
+            shards
+                .par_iter_mut()
+                .try_for_each_init(TaskScratch::new, |scratch, shard| {
+                    for t in 0..shard.rows.len() {
+                        let i = shard.base + t;
+                        let t0 = timing.then(Instant::now);
+                        let (lv, sv) = run_task(inp, i, modes(i), &mut *shard.rows[t], scratch)?;
+                        shard.lambda[t] = lv;
+                        shard.totals[t] = sv;
+                        if let (Some(c), Some(t0)) = (shard.costs.as_deref_mut(), t0) {
+                            c[t] = t0.elapsed().as_secs_f64();
                         }
-                        Ok(())
-                    })
-            } else {
-                lambda
-                    .par_iter_mut()
-                    .zip(totals_out.par_iter_mut())
-                    .zip(x.par_row_iter_mut())
-                    .enumerate()
-                    .try_for_each_init(TaskScratch::new, |scratch, (i, ((l, s), xr))| {
-                        let (lv, sv) = run_task(inp, i, modes(i), xr, scratch)?;
-                        *l = lv;
-                        *s = sv;
-                        if let Some(acc) = counters {
-                            acc.add(&scratch.eq.stats);
-                            acc.add_fallbacks(scratch.fallbacks);
-                            scratch.eq.stats = KernelCounters::default();
-                            scratch.fallbacks = 0;
-                        }
-                        Ok(())
-                    })
-            }
+                    }
+                    if let Some(acc) = counters {
+                        acc.add(&scratch.eq.stats);
+                        acc.add_fallbacks(scratch.fallbacks);
+                        scratch.eq.stats = KernelCounters::default();
+                        scratch.fallbacks = 0;
+                    }
+                    Ok(())
+                })
         }
     }
 }
@@ -383,6 +507,7 @@ pub fn equilibration_pass(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sea_linalg::{CsrMatrix, DenseMatrix};
 
     fn setup() -> (DenseMatrix, DenseMatrix) {
         let x0 = DenseMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 0.0, 2.0]]).unwrap();
@@ -414,6 +539,7 @@ mod tests {
             &mut totals,
             &mut x,
             Parallelism::Serial,
+            None,
             None,
             None,
         )
@@ -454,6 +580,7 @@ mod tests {
                 par,
                 None,
                 None,
+                None,
             )
             .unwrap();
             (lambda, totals, x)
@@ -491,11 +618,175 @@ mod tests {
             Parallelism::Serial,
             None,
             None,
+            None,
         )
         .unwrap();
         assert_eq!(x.get(1, 1), 0.0, "structural zero must stay zero");
         let sums = x.row_sums();
         assert!((sums[1] - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csr_pass_matches_dense_structural_bitwise() {
+        // Same logical problem: dense rows with structural-zero support
+        // lists vs a CSR whose pattern is that support. The kernel must see
+        // identical value sequences, so λ, totals, and stored x agree
+        // *bitwise* and the structural cell stays zero.
+        let (x0, gamma) = setup();
+        let support = vec![vec![0u32, 1, 2], vec![0u32, 2]];
+        let shift = vec![0.37, -0.21, 0.11];
+
+        let mut lambda_d = vec![0.0; 2];
+        let mut totals_d = vec![0.0; 2];
+        let mut xd = DenseMatrix::zeros(2, 3).unwrap();
+        equilibration_pass(
+            &PassInputs {
+                prior: &x0,
+                gamma: &gamma,
+                support: Some(&support),
+                shift: &shift,
+                side: "row",
+                kernel: KernelKind::SortScan,
+                fault: None,
+            },
+            &|_| TotalMode::Fixed { total: 8.0 },
+            &mut lambda_d,
+            &mut totals_d,
+            &mut xd,
+            Parallelism::Serial,
+            None,
+            None,
+            None,
+        )
+        .unwrap();
+
+        let x0_csr = CsrMatrix::from_dense_pruned(&x0).unwrap();
+        let gvals: Vec<f64> = (0..2)
+            .flat_map(|i| {
+                let grow = gamma.row(i).to_vec();
+                x0_csr
+                    .row_cols(i)
+                    .iter()
+                    .map(move |&j| grow[j as usize])
+                    .collect::<Vec<f64>>()
+            })
+            .collect();
+        let gamma_csr = x0_csr.with_values(gvals).unwrap();
+        let mut lambda_s = vec![0.0; 2];
+        let mut totals_s = vec![0.0; 2];
+        let mut xs = x0_csr.zeros_like();
+        for par in [Parallelism::Serial, Parallelism::Rayon] {
+            equilibration_pass(
+                &PassInputs {
+                    prior: &x0_csr,
+                    gamma: &gamma_csr,
+                    support: None,
+                    shift: &shift,
+                    side: "row",
+                    kernel: KernelKind::SortScan,
+                    fault: None,
+                },
+                &|_| TotalMode::Fixed { total: 8.0 },
+                &mut lambda_s,
+                &mut totals_s,
+                &mut xs,
+                par,
+                None,
+                None,
+                None,
+            )
+            .unwrap();
+            assert_eq!(lambda_d, lambda_s, "par={par:?}");
+            assert_eq!(totals_d, totals_s, "par={par:?}");
+            let dense_back = xs.to_dense().unwrap();
+            assert_eq!(dense_back.as_slice(), xd.as_slice(), "par={par:?}");
+        }
+    }
+
+    #[test]
+    fn shard_boundaries_do_not_change_results() {
+        // 8 rows, solved with every sharding from one block to per-row
+        // blocks: bitwise-identical λ/totals/x.
+        let m = 8;
+        let x0 = DenseMatrix::from_vec(m, 3, (0..m * 3).map(|k| 1.0 + (k % 7) as f64).collect())
+            .unwrap();
+        let gamma = DenseMatrix::filled(m, 3, 1.0).unwrap();
+        let shift = vec![0.3, -0.4, 0.1];
+        let inp = PassInputs {
+            prior: &x0,
+            gamma: &gamma,
+            support: None,
+            shift: &shift,
+            side: "row",
+            kernel: KernelKind::SortScan,
+            fault: None,
+        };
+        let run = |starts: Option<&[usize]>| {
+            let mut lambda = vec![0.0; m];
+            let mut totals = vec![0.0; m];
+            let mut x = DenseMatrix::zeros(m, 3).unwrap();
+            equilibration_pass(
+                &inp,
+                &|i| TotalMode::Fixed {
+                    total: 5.0 + i as f64,
+                },
+                &mut lambda,
+                &mut totals,
+                &mut x,
+                Parallelism::Rayon,
+                None,
+                None,
+                starts,
+            )
+            .unwrap();
+            (lambda, totals, x)
+        };
+        let base = run(None);
+        let whole = run(Some(&[0]));
+        let pairs = run(Some(&[0, 2, 4, 6]));
+        let ragged = run(Some(&[0, 1, 5]));
+        let per_row: Vec<usize> = (0..m).collect();
+        let singles = run(Some(&per_row));
+        for other in [&whole, &pairs, &ragged, &singles] {
+            assert_eq!(base.0, other.0);
+            assert_eq!(base.1, other.1);
+            assert_eq!(base.2, other.2);
+        }
+    }
+
+    #[test]
+    fn sharded_costs_and_counters_cover_every_task() {
+        let (x0, gamma) = setup();
+        let shift = vec![0.0; 3];
+        let inp = PassInputs {
+            prior: &x0,
+            gamma: &gamma,
+            support: None,
+            shift: &shift,
+            side: "row",
+            kernel: KernelKind::SortScan,
+            fault: None,
+        };
+        let counters = PassCounters::default();
+        let mut lambda = vec![0.0; 2];
+        let mut totals = vec![0.0; 2];
+        let mut x = DenseMatrix::zeros(2, 3).unwrap();
+        let mut costs = Vec::new();
+        equilibration_pass(
+            &inp,
+            &|_| TotalMode::Fixed { total: 5.0 },
+            &mut lambda,
+            &mut totals,
+            &mut x,
+            Parallelism::Rayon,
+            Some(&mut costs),
+            Some(&counters),
+            Some(&[0, 1]),
+        )
+        .unwrap();
+        assert_eq!(costs.len(), 2);
+        assert!(costs.iter().all(|&c| c >= 0.0));
+        assert_eq!(counters.snapshot().subproblems, 2);
     }
 
     #[test]
@@ -524,6 +815,7 @@ mod tests {
             Parallelism::Serial,
             None,
             None,
+            None,
         );
         assert!(matches!(
             e,
@@ -532,6 +824,60 @@ mod tests {
                 index: 1
             })
         ));
+    }
+
+    #[test]
+    fn empty_csr_row_with_positive_total_is_infeasible() {
+        // Row 1 of the CSR has no stored entries at all.
+        let x0 = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0)]).unwrap();
+        let gamma = x0.with_values(vec![1.0, 1.0]).unwrap();
+        let shift = vec![0.0; 3];
+        let inp = PassInputs {
+            prior: &x0,
+            gamma: &gamma,
+            support: None,
+            shift: &shift,
+            side: "row",
+            kernel: KernelKind::SortScan,
+            fault: None,
+        };
+        let mut lambda = vec![0.0; 2];
+        let mut totals = vec![0.0; 2];
+        let mut x = x0.zeros_like();
+        let e = equilibration_pass(
+            &inp,
+            &|_| TotalMode::Fixed { total: 4.0 },
+            &mut lambda,
+            &mut totals,
+            &mut x,
+            Parallelism::Serial,
+            None,
+            None,
+            None,
+        );
+        assert!(matches!(
+            e,
+            Err(SeaError::InfeasibleSubproblem {
+                side: "row",
+                index: 1
+            })
+        ));
+        // A zero fixed total (or an elastic one) is fine.
+        let ok = equilibration_pass(
+            &inp,
+            &|i| TotalMode::Fixed {
+                total: if i == 0 { 4.0 } else { 0.0 },
+            },
+            &mut lambda,
+            &mut totals,
+            &mut x,
+            Parallelism::Serial,
+            None,
+            None,
+            None,
+        );
+        assert!(ok.is_ok());
+        assert_eq!(totals[1], 0.0);
     }
 
     #[test]
@@ -559,6 +905,7 @@ mod tests {
             &mut x,
             Parallelism::Serial,
             Some(&mut costs),
+            None,
             None,
         )
         .unwrap();
@@ -593,6 +940,7 @@ mod tests {
                 par,
                 None,
                 Some(&counters),
+                None,
             )
             .unwrap();
             let snap = counters.snapshot();
@@ -631,6 +979,7 @@ mod tests {
             Parallelism::Serial,
             None,
             Some(&counters),
+            None,
         )
         .unwrap();
         assert_eq!(counters.fallbacks(), 1);
@@ -668,6 +1017,7 @@ mod tests {
             Parallelism::Serial,
             None,
             Some(&counters),
+            None,
         )
         .unwrap();
         assert_eq!(counters.fallbacks(), 0, "sort-scan has no fallback target");
@@ -700,6 +1050,7 @@ mod tests {
                 &mut totals,
                 &mut x,
                 par,
+                None,
                 None,
                 None,
             );

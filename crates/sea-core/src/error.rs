@@ -79,6 +79,12 @@ pub enum SeaError {
         /// The offending upper bound.
         upper: f64,
     },
+    /// Two sparse matrices that must share a support pattern (e.g. the
+    /// prior `X⁰` and its weight table `Γ`) did not.
+    PatternMismatch {
+        /// What was being validated.
+        context: &'static str,
+    },
     /// A parallel equilibration worker panicked; the panic was contained
     /// by the supervisor instead of aborting the process.
     WorkerPanic {
@@ -136,6 +142,9 @@ impl fmt::Display for SeaError {
                 f,
                 "inconsistent bounds at entry {index}: lower {lower} > upper {upper}"
             ),
+            SeaError::PatternMismatch { context } => {
+                write!(f, "sparse pattern mismatch in {context}")
+            }
             SeaError::WorkerPanic {
                 side,
                 index,

@@ -13,6 +13,7 @@
 use crate::error::SeaError;
 use crate::problem::{DiagonalProblem, Residuals, TotalSpec, ZeroPolicy};
 use crate::solver::{solve_diagonal_observed, SeaOptions};
+use crate::storage::Storage;
 use crate::supervisor::{SolveControl, StopReason, SupervisedGeneralSolution, SupervisorOptions};
 use crate::trace::{ExecutionTrace, PhaseKind};
 use sea_linalg::{vector, DenseMatrix, SymMatrix};
@@ -184,8 +185,17 @@ impl GeneralProblem {
     // were validated against G/A/B at problem construction.
     #[allow(clippy::expect_used)]
     pub fn objective(&self, x: &DenseMatrix, s: &[f64], d: &[f64]) -> f64 {
+        self.objective_flat(x.as_slice(), s, d)
+    }
+
+    /// [`GeneralProblem::objective`] on a row-major flat estimate — the form
+    /// the generic driver uses, since a full-pattern sparse estimate exposes
+    /// exactly this layout via [`Storage::values`].
+    // Allowed: every quadratic form is evaluated on vectors whose lengths
+    // were validated against G/A/B at problem construction.
+    #[allow(clippy::expect_used)]
+    pub fn objective_flat(&self, x: &[f64], s: &[f64], d: &[f64]) -> f64 {
         let dev: Vec<f64> = x
-            .as_slice()
             .iter()
             .zip(self.x0.as_slice())
             .map(|(a, b)| a - b)
@@ -296,11 +306,13 @@ impl GeneralSeaOptions {
     }
 }
 
-/// Result of a general solve.
+/// Result of a general solve. `S` is the storage backend used for the
+/// *inner* diagonal subproblems (the outer data `G`, `A`, `B` are dense by
+/// nature); the estimate comes back in that backend.
 #[derive(Debug, Clone)]
-pub struct GeneralSolution {
+pub struct GeneralSolution<S: Storage = DenseMatrix> {
     /// The matrix estimate.
-    pub x: DenseMatrix,
+    pub x: S,
     /// Row totals.
     pub s: Vec<f64>,
     /// Column totals.
@@ -362,6 +374,21 @@ pub fn solve_general(
     solve_general_observed(p, opts, &mut NullObserver)
 }
 
+/// [`solve_general`] with the inner diagonal subproblems carried in storage
+/// backend `S`. With a sparse backend every stored cell of the projection's
+/// pseudo-prior is kept (full pattern), so results are bitwise identical to
+/// the dense path; this entry point exists to exercise and scale the sparse
+/// plumbing end-to-end through the projection method.
+///
+/// # Errors
+/// Same contract as [`solve_general`].
+pub fn solve_general_in<S: Storage>(
+    p: &GeneralProblem,
+    opts: &GeneralSeaOptions,
+) -> Result<GeneralSolution<S>, SeaError> {
+    solve_general_inner::<S, _>(p, opts, &mut NullObserver, &mut SolveControl::passive())
+}
+
 /// [`solve_general`] with an event sink (see
 /// [`solve_diagonal_observed`]).
 ///
@@ -377,7 +404,7 @@ pub fn solve_general_observed<O: Observer + Send>(
     opts: &GeneralSeaOptions,
     obs: &mut O,
 ) -> Result<GeneralSolution, SeaError> {
-    solve_general_inner(p, opts, obs, &mut SolveControl::passive())
+    solve_general_inner::<DenseMatrix, _>(p, opts, obs, &mut SolveControl::passive())
 }
 
 /// [`solve_general_observed`] under the fault-tolerant supervisor. The
@@ -394,8 +421,22 @@ pub fn solve_general_supervised<O: Observer + Send>(
     sup: &SupervisorOptions,
     obs: &mut O,
 ) -> Result<SupervisedGeneralSolution, SeaError> {
+    solve_general_supervised_in::<DenseMatrix, _>(p, opts, sup, obs)
+}
+
+/// [`solve_general_supervised`] with inner storage backend `S` (see
+/// [`solve_general_in`]).
+///
+/// # Errors
+/// Same contract as [`solve_general`].
+pub fn solve_general_supervised_in<S: Storage, O: Observer + Send>(
+    p: &GeneralProblem,
+    opts: &GeneralSeaOptions,
+    sup: &SupervisorOptions,
+    obs: &mut O,
+) -> Result<SupervisedGeneralSolution<S>, SeaError> {
     let mut ctrl = SolveControl::active(sup);
-    let solution = solve_general_inner(p, opts, obs, &mut ctrl)?;
+    let solution = solve_general_inner::<S, _>(p, opts, obs, &mut ctrl)?;
     let stop = if solution.converged {
         StopReason::Converged
     } else {
@@ -404,12 +445,12 @@ pub fn solve_general_supervised<O: Observer + Send>(
     Ok(SupervisedGeneralSolution { solution, stop })
 }
 
-fn solve_general_inner<O: Observer + Send>(
+fn solve_general_inner<S: Storage, O: Observer + Send>(
     p: &GeneralProblem,
     opts: &GeneralSeaOptions,
     obs: &mut O,
     ctrl: &mut SolveControl<'_>,
-) -> Result<GeneralSolution, SeaError> {
+) -> Result<GeneralSolution<S>, SeaError> {
     let start = Instant::now();
     let (m, n) = (p.m(), p.n());
     let observing = obs.enabled();
@@ -427,10 +468,14 @@ fn solve_general_inner<O: Observer + Send>(
     }
     let mn = m * n;
     let g_diag = p.g().diagonal();
-    let gamma = DenseMatrix::from_vec(m, n, g_diag.iter().map(|&v| 0.5 * v).collect())?;
+    let gamma_dense = DenseMatrix::from_vec(m, n, g_diag.iter().map(|&v| 0.5 * v).collect())?;
+    let gamma = S::from_dense(&gamma_dense)?;
     let parallel = opts.inner.parallelism.is_parallel();
 
-    let (mut x, mut s, mut d) = p.initial_feasible();
+    let (x_init, mut s, mut d) = p.initial_feasible();
+    // A full-pattern conversion keeps every cell, so x.values() stays the
+    // row-major flat layout the projection mat-vec expects.
+    let mut x = S::from_dense(&x_init)?;
     let x0_flat = p.x0().as_slice().to_vec();
 
     let mut trace = opts.record_trace.then(ExecutionTrace::new);
@@ -463,15 +508,9 @@ fn solve_general_inner<O: Observer + Send>(
             });
         }
         let proj_t0 = Instant::now();
-        let q_flat = diagonalized_prior(
-            p.g(),
-            &g_diag,
-            x.as_slice(),
-            &x0_flat,
-            &mut scratch,
-            parallel,
-        )?;
-        let q = DenseMatrix::from_vec(m, n, q_flat)?;
+        let q_flat =
+            diagonalized_prior(p.g(), &g_diag, x.values(), &x0_flat, &mut scratch, parallel)?;
+        let q = S::from_dense(&DenseMatrix::from_vec(m, n, q_flat)?)?;
 
         let spec = match p.totals() {
             GeneralTotalSpec::Fixed { s0, d0 } => TotalSpec::Fixed {
@@ -548,14 +587,14 @@ fn solve_general_inner<O: Observer + Send>(
 
         // ---- Supervisor hooks (outer-iteration granularity). -------------
         if ctrl.is_active() {
-            if !vector::all_finite(x.as_slice()) {
+            if !vector::all_finite(x.values()) {
                 let mut no_multipliers: [f64; 0] = [];
                 let mut no_multipliers2: [f64; 0] = [];
                 if ctrl
                     .restore_snapshot(
                         &mut no_multipliers,
                         &mut no_multipliers2,
-                        &mut x,
+                        x.values_mut(),
                         &mut s,
                         &mut d,
                     )
@@ -569,7 +608,7 @@ fn solve_general_inner<O: Observer + Send>(
                 }
                 return Err(SeaError::NumericalBreakdown { iteration: t });
             }
-            ctrl.capture_snapshot(t, outer_residual, &[], &[], &x, &s, &d);
+            ctrl.capture_snapshot(t, outer_residual, &[], &[], x.values(), &s, &d);
             if ctrl.note_residual(outer_residual) {
                 break;
             }
@@ -581,8 +620,10 @@ fn solve_general_inner<O: Observer + Send>(
 
     // Residuals against this problem's constraints.
     let residuals = {
-        let row_sums = x.row_sums();
-        let col_sums = x.col_sums();
+        let mut row_sums = vec![0.0; m];
+        let mut col_sums = vec![0.0; n];
+        x.row_sums_into(&mut row_sums);
+        x.col_sums_into(&mut col_sums);
         let (st, dt): (&[f64], &[f64]) = match p.totals() {
             GeneralTotalSpec::Fixed { s0, d0 } => (s0, d0),
             GeneralTotalSpec::Elastic { .. } => (&s, &d),
@@ -604,7 +645,7 @@ fn solve_general_inner<O: Observer + Send>(
         r.norm2 = sq.sqrt();
         r
     };
-    let objective = p.objective(&x, &s, &d);
+    let objective = p.objective_flat(x.values(), &s, &d);
 
     if observing {
         if ctrl.is_active() && !converged {
@@ -892,6 +933,32 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn sparse_inner_storage_matches_dense_bitwise() {
+        // Full-pattern CSR inner storage must replay the dense projection
+        // method exactly: same iterate sequence, same bits.
+        use sea_linalg::CsrMatrix;
+        let x0 = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let g = dd_matrix(4, 10.0, 1.0);
+        let p = GeneralProblem::new(
+            x0,
+            g,
+            GeneralTotalSpec::Fixed {
+                s0: vec![4.0, 6.0],
+                d0: vec![5.0, 5.0],
+            },
+        )
+        .unwrap();
+        let opts = GeneralSeaOptions::with_epsilon(1e-9);
+        let dense = solve_general(&p, &opts).unwrap();
+        let sparse: GeneralSolution<CsrMatrix> = solve_general_in(&p, &opts).unwrap();
+        assert!(dense.converged && sparse.converged);
+        assert_eq!(dense.x.as_slice(), sparse.x.values());
+        assert_eq!(dense.outer_iterations, sparse.outer_iterations);
+        assert_eq!(dense.inner_iterations, sparse.inner_iterations);
+        assert_eq!(dense.objective.to_bits(), sparse.objective.to_bits());
     }
 
     #[test]

@@ -12,23 +12,27 @@ use crate::knapsack::{
     exact_equilibration_boxed_with, EquilibrationScratch, KernelKind, TotalMode,
 };
 use crate::problem::Residuals;
+use crate::storage::{RowView, Storage};
 use crate::supervisor::{SolveControl, StopReason, SupervisedBoundedSolution, SupervisorOptions};
 use sea_linalg::{vector, DenseMatrix};
 use sea_observe::{Event, NullObserver, Observer, PhaseLabel};
 use std::time::{Duration, Instant};
 
-/// A fixed-totals diagonal problem with entry bounds.
+/// A fixed-totals diagonal problem with entry bounds. Generic over
+/// [`Storage`]: with a sparse backend, all four matrices share one support
+/// pattern and entries outside it are pinned at zero (they contribute
+/// nothing to either bound sum).
 #[derive(Debug, Clone)]
-pub struct BoundedProblem {
-    x0: DenseMatrix,
-    gamma: DenseMatrix,
-    lo: DenseMatrix,
-    hi: DenseMatrix,
+pub struct BoundedProblem<S: Storage = DenseMatrix> {
+    x0: S,
+    gamma: S,
+    lo: S,
+    hi: S,
     s0: Vec<f64>,
     d0: Vec<f64>,
 }
 
-impl BoundedProblem {
+impl<S: Storage> BoundedProblem<S> {
     /// Build and validate.
     ///
     /// # Errors
@@ -39,24 +43,29 @@ impl BoundedProblem {
     /// * [`SeaError::InfeasibleSubproblem`] when a row/column total falls
     ///   outside its `[Σ lo, Σ hi]` range.
     pub fn new(
-        x0: DenseMatrix,
-        gamma: DenseMatrix,
-        lo: DenseMatrix,
-        hi: DenseMatrix,
+        x0: S,
+        gamma: S,
+        lo: S,
+        hi: S,
         s0: Vec<f64>,
         d0: Vec<f64>,
     ) -> Result<Self, SeaError> {
         let (m, n) = (x0.rows(), x0.cols());
-        for (mat, ctx) in [(&gamma, "gamma"), (&lo, "lo"), (&hi, "hi")] {
+        for (mat, ctx) in [
+            (&gamma, "bounded gamma shape"),
+            (&lo, "bounded lo shape"),
+            (&hi, "bounded hi shape"),
+        ] {
             if mat.rows() != m || mat.cols() != n {
                 return Err(SeaError::Shape {
-                    context: match ctx {
-                        "gamma" => "bounded gamma shape",
-                        "lo" => "bounded lo shape",
-                        _ => "bounded hi shape",
-                    },
+                    context: ctx,
                     expected: m * n,
                     actual: mat.rows() * mat.cols(),
+                });
+            }
+            if !x0.same_pattern(mat) {
+                return Err(SeaError::PatternMismatch {
+                    context: "bounded support pattern",
                 });
             }
         }
@@ -67,7 +76,9 @@ impl BoundedProblem {
                 actual: s0.len() + d0.len(),
             });
         }
-        for (k, (&l, &h)) in lo.as_slice().iter().zip(hi.as_slice()).enumerate() {
+        // `index` is a storage index: a flat cell index for dense backends,
+        // a position in the stored-value array for sparse ones.
+        for (k, (&l, &h)) in lo.values().iter().zip(hi.values()).enumerate() {
             if l > h {
                 return Err(SeaError::InconsistentBounds {
                     index: k,
@@ -76,7 +87,7 @@ impl BoundedProblem {
                 });
             }
         }
-        for (k, &g) in gamma.as_slice().iter().enumerate() {
+        for (k, &g) in gamma.values().iter().enumerate() {
             if !(g > 0.0) {
                 return Err(SeaError::NonPositiveWeight {
                     which: "gamma",
@@ -93,23 +104,28 @@ impl BoundedProblem {
                 col_total: cs,
             });
         }
-        // Per-subproblem feasibility: s⁰ᵢ ∈ [Σⱼ lo, Σⱼ hi], likewise columns.
+        // Per-subproblem feasibility: s⁰ᵢ ∈ [Σⱼ lo, Σⱼ hi], likewise
+        // columns. Off-support entries of a sparse backend are pinned at 0
+        // and add nothing to either sum, so a fully-pinned (empty) sparse
+        // row is feasible only for a zero total.
+        let mut lo_sums = vec![0.0; m];
+        let mut hi_sums = vec![0.0; m];
+        lo.row_sums_into(&mut lo_sums);
+        hi.row_sums_into(&mut hi_sums);
         for i in 0..m {
-            let l: f64 = lo.row(i).iter().sum();
-            let h: f64 = hi.row(i).iter().sum();
-            if s0[i] < l - 1e-9 || s0[i] > h + 1e-9 {
+            if s0[i] < lo_sums[i] - 1e-9 || s0[i] > hi_sums[i] + 1e-9 {
                 return Err(SeaError::InfeasibleSubproblem {
                     side: "row",
                     index: i,
                 });
             }
         }
-        let lo_t = lo.transposed();
-        let hi_t = hi.transposed();
+        let mut lo_csums = vec![0.0; n];
+        let mut hi_csums = vec![0.0; n];
+        lo.col_sums_into(&mut lo_csums);
+        hi.col_sums_into(&mut hi_csums);
         for j in 0..n {
-            let l: f64 = lo_t.row(j).iter().sum();
-            let h: f64 = hi_t.row(j).iter().sum();
-            if d0[j] < l - 1e-9 || d0[j] > h + 1e-9 {
+            if d0[j] < lo_csums[j] - 1e-9 || d0[j] > hi_csums[j] + 1e-9 {
                 return Err(SeaError::InfeasibleSubproblem {
                     side: "column",
                     index: j,
@@ -136,11 +152,42 @@ impl BoundedProblem {
         self.x0.cols()
     }
 
+    /// The prior `X⁰`.
+    pub fn x0(&self) -> &S {
+        &self.x0
+    }
+
+    /// The weight matrix `Γ`.
+    pub fn gamma(&self) -> &S {
+        &self.gamma
+    }
+
+    /// Lower bounds.
+    pub fn lo(&self) -> &S {
+        &self.lo
+    }
+
+    /// Upper bounds.
+    pub fn hi(&self) -> &S {
+        &self.hi
+    }
+
+    /// Row totals `s⁰`.
+    pub fn s0(&self) -> &[f64] {
+        &self.s0
+    }
+
+    /// Column totals `d⁰`.
+    pub fn d0(&self) -> &[f64] {
+        &self.d0
+    }
+
     /// Objective `Σ γᵢⱼ (xᵢⱼ − x⁰ᵢⱼ)²`.
-    pub fn objective(&self, x: &DenseMatrix) -> f64 {
-        x.as_slice()
+    pub fn objective(&self, x: &S) -> f64 {
+        debug_assert!(x.same_pattern(&self.x0));
+        x.values()
             .iter()
-            .zip(self.x0.as_slice().iter().zip(self.gamma.as_slice()))
+            .zip(self.x0.values().iter().zip(self.gamma.values()))
             .map(|(x, (x0, g))| g * (x - x0) * (x - x0))
             .sum()
     }
@@ -148,9 +195,9 @@ impl BoundedProblem {
 
 /// Result of a bounded solve.
 #[derive(Debug, Clone)]
-pub struct BoundedSolution {
-    /// The estimate.
-    pub x: DenseMatrix,
+pub struct BoundedSolution<S: Storage = DenseMatrix> {
+    /// The estimate (same storage backend as the problem).
+    pub x: S,
     /// Row multipliers.
     pub lambda: Vec<f64>,
     /// Column multipliers.
@@ -172,11 +219,11 @@ pub struct BoundedSolution {
 /// # Errors
 /// Propagates kernel failures; returns `converged = false` on hitting
 /// `max_iterations`.
-pub fn solve_bounded(
-    p: &BoundedProblem,
+pub fn solve_bounded<S: Storage>(
+    p: &BoundedProblem<S>,
     epsilon: f64,
     max_iterations: usize,
-) -> Result<BoundedSolution, SeaError> {
+) -> Result<BoundedSolution<S>, SeaError> {
     solve_bounded_with(p, epsilon, max_iterations, KernelKind::SortScan)
 }
 
@@ -184,12 +231,12 @@ pub fn solve_bounded(
 ///
 /// # Errors
 /// Same contract as [`solve_bounded`].
-pub fn solve_bounded_with(
-    p: &BoundedProblem,
+pub fn solve_bounded_with<S: Storage>(
+    p: &BoundedProblem<S>,
     epsilon: f64,
     max_iterations: usize,
     kernel: KernelKind,
-) -> Result<BoundedSolution, SeaError> {
+) -> Result<BoundedSolution<S>, SeaError> {
     solve_bounded_observed(p, epsilon, max_iterations, kernel, &mut NullObserver)
 }
 
@@ -202,13 +249,13 @@ pub fn solve_bounded_with(
 ///
 /// # Errors
 /// Same contract as [`solve_bounded`].
-pub fn solve_bounded_observed<O: Observer>(
-    p: &BoundedProblem,
+pub fn solve_bounded_observed<S: Storage, O: Observer>(
+    p: &BoundedProblem<S>,
     epsilon: f64,
     max_iterations: usize,
     kernel: KernelKind,
     obs: &mut O,
-) -> Result<BoundedSolution, SeaError> {
+) -> Result<BoundedSolution<S>, SeaError> {
     solve_bounded_inner(
         p,
         epsilon,
@@ -227,14 +274,14 @@ pub fn solve_bounded_observed<O: Observer>(
 /// Same contract as [`solve_bounded`], except numerical breakdown after a
 /// certified snapshot returns that snapshot with
 /// [`StopReason::Breakdown`] instead of an error.
-pub fn solve_bounded_supervised<O: Observer>(
-    p: &BoundedProblem,
+pub fn solve_bounded_supervised<S: Storage, O: Observer>(
+    p: &BoundedProblem<S>,
     epsilon: f64,
     max_iterations: usize,
     kernel: KernelKind,
     sup: &SupervisorOptions,
     obs: &mut O,
-) -> Result<SupervisedBoundedSolution, SeaError> {
+) -> Result<SupervisedBoundedSolution<S>, SeaError> {
     solve_bounded_supervised_warm(p, epsilon, max_iterations, kernel, None, sup, obs)
 }
 
@@ -247,15 +294,15 @@ pub fn solve_bounded_supervised<O: Observer>(
 /// # Errors
 /// Same contract as [`solve_bounded`], plus [`SeaError::Shape`] when
 /// `initial_mu` has the wrong length.
-pub fn solve_bounded_supervised_warm<O: Observer>(
-    p: &BoundedProblem,
+pub fn solve_bounded_supervised_warm<S: Storage, O: Observer>(
+    p: &BoundedProblem<S>,
     epsilon: f64,
     max_iterations: usize,
     kernel: KernelKind,
     initial_mu: Option<&[f64]>,
     sup: &SupervisorOptions,
     obs: &mut O,
-) -> Result<SupervisedBoundedSolution, SeaError> {
+) -> Result<SupervisedBoundedSolution<S>, SeaError> {
     let mut ctrl = SolveControl::active(sup);
     let solution = solve_bounded_inner_warm(
         p,
@@ -274,32 +321,104 @@ pub fn solve_bounded_supervised_warm<O: Observer>(
     Ok(SupervisedBoundedSolution { solution, stop })
 }
 
-fn solve_bounded_inner<O: Observer>(
-    p: &BoundedProblem,
+/// Solve one box-bounded subproblem in row orientation: dense rows go to
+/// the kernel whole; a sparse row's stored support *is* the subproblem, with
+/// only the shift vector gathered into `sh_buf`.
+#[allow(clippy::too_many_arguments)] // one quadruple + one scalar per kernel input
+fn boxed_task<S: Storage>(
+    kernel: KernelKind,
+    (prior, gamma, lo, hi): (&S, &S, &S, &S),
+    shift: &[f64],
+    side: &'static str,
+    i: usize,
+    total: f64,
+    x: &mut S,
+    sh_buf: &mut Vec<f64>,
+    scratch: &mut EquilibrationScratch,
+) -> Result<f64, SeaError> {
+    let mode = TotalMode::Fixed { total };
+    match (
+        prior.row_view(i),
+        gamma.row_view(i),
+        lo.row_view(i),
+        hi.row_view(i),
+    ) {
+        (RowView::Dense(q), RowView::Dense(g), RowView::Dense(l), RowView::Dense(h)) => {
+            let r = exact_equilibration_boxed_with(
+                kernel,
+                q,
+                g,
+                shift,
+                l,
+                h,
+                mode,
+                x.row_values_mut(i),
+                scratch,
+            )?;
+            Ok(r.lambda)
+        }
+        (
+            RowView::Indexed { idx, vals: q },
+            RowView::Indexed { vals: g, .. },
+            RowView::Indexed { vals: l, .. },
+            RowView::Indexed { vals: h, .. },
+        ) => {
+            if idx.is_empty() {
+                // Fully-pinned (empty) sparse subproblem: every entry is a
+                // structural zero, so only a zero total is attainable.
+                scratch.stats.subproblems += 1;
+                if total.abs() > 1e-9 {
+                    return Err(SeaError::InfeasibleSubproblem { side, index: i });
+                }
+                return Ok(0.0);
+            }
+            sh_buf.clear();
+            sh_buf.extend(idx.iter().map(|&j| shift[j as usize]));
+            let r = exact_equilibration_boxed_with(
+                kernel,
+                q,
+                g,
+                sh_buf,
+                l,
+                h,
+                mode,
+                x.row_values_mut(i),
+                scratch,
+            )?;
+            Ok(r.lambda)
+        }
+        _ => Err(SeaError::PatternMismatch {
+            context: "bounded pass inputs (mixed row views)",
+        }),
+    }
+}
+
+fn solve_bounded_inner<S: Storage, O: Observer>(
+    p: &BoundedProblem<S>,
     epsilon: f64,
     max_iterations: usize,
     kernel: KernelKind,
     obs: &mut O,
     ctrl: &mut SolveControl<'_>,
-) -> Result<BoundedSolution, SeaError> {
+) -> Result<BoundedSolution<S>, SeaError> {
     solve_bounded_inner_warm(p, epsilon, max_iterations, kernel, None, obs, ctrl)
 }
 
-fn solve_bounded_inner_warm<O: Observer>(
-    p: &BoundedProblem,
+fn solve_bounded_inner_warm<S: Storage, O: Observer>(
+    p: &BoundedProblem<S>,
     epsilon: f64,
     max_iterations: usize,
     kernel: KernelKind,
     initial_mu: Option<&[f64]>,
     obs: &mut O,
     ctrl: &mut SolveControl<'_>,
-) -> Result<BoundedSolution, SeaError> {
+) -> Result<BoundedSolution<S>, SeaError> {
     let start = Instant::now();
     let (m, n) = (p.m(), p.n());
-    let x0_t = p.x0.transposed();
-    let gamma_t = p.gamma.transposed();
-    let lo_t = p.lo.transposed();
-    let hi_t = p.hi.transposed();
+    let x0_t = p.x0.transposed()?;
+    let gamma_t = p.gamma.transposed()?;
+    let lo_t = p.lo.transposed()?;
+    let hi_t = p.hi.transposed()?;
     let observing = obs.enabled();
     if observing {
         obs.record(&Event::SolveStart {
@@ -326,9 +445,10 @@ fn solve_bounded_inner_warm<O: Observer>(
             mu0.to_vec()
         }
     };
-    let mut x = DenseMatrix::zeros(m, n)?;
-    let mut x_t = DenseMatrix::zeros(n, m)?;
+    let mut x = p.x0.zeros_like()?;
+    let mut x_t = x0_t.zeros_like()?;
     let mut scratch = EquilibrationScratch::new();
+    let mut sh_buf: Vec<f64> = Vec::new();
     let mut row_sums_buf = vec![0.0; m];
 
     let mut iterations = 0;
@@ -344,18 +464,17 @@ fn solve_bounded_inner_warm<O: Observer>(
         }
         let phase_t0 = observing.then(Instant::now);
         for i in 0..m {
-            let r = exact_equilibration_boxed_with(
+            lambda[i] = boxed_task(
                 kernel,
-                p.x0.row(i),
-                p.gamma.row(i),
+                (&p.x0, &p.gamma, &p.lo, &p.hi),
                 &mu,
-                p.lo.row(i),
-                p.hi.row(i),
-                TotalMode::Fixed { total: p.s0[i] },
-                x.row_mut(i),
+                "row",
+                i,
+                p.s0[i],
+                &mut x,
+                &mut sh_buf,
                 &mut scratch,
             )?;
-            lambda[i] = r.lambda;
         }
         if let Some(t0) = phase_t0 {
             obs.record(&Event::PhaseEnd {
@@ -371,18 +490,17 @@ fn solve_bounded_inner_warm<O: Observer>(
         }
         let phase_t0 = observing.then(Instant::now);
         for j in 0..n {
-            let r = exact_equilibration_boxed_with(
+            mu[j] = boxed_task(
                 kernel,
-                x0_t.row(j),
-                gamma_t.row(j),
+                (&x0_t, &gamma_t, &lo_t, &hi_t),
                 &lambda,
-                lo_t.row(j),
-                hi_t.row(j),
-                TotalMode::Fixed { total: p.d0[j] },
-                x_t.row_mut(j),
+                "column",
+                j,
+                p.d0[j],
+                &mut x_t,
+                &mut sh_buf,
                 &mut scratch,
             )?;
-            mu[j] = r.lambda;
         }
         if let Some(t0) = phase_t0 {
             obs.record(&Event::PhaseEnd {
@@ -429,12 +547,18 @@ fn solve_bounded_inner_warm<O: Observer>(
             ctrl.inject_faults(t, &mut lambda);
             let finite = vector::all_finite(&lambda)
                 && vector::all_finite(&mu)
-                && vector::all_finite(x_t.as_slice());
+                && vector::all_finite(x_t.values());
             if !finite {
                 let mut empty_s: [f64; 0] = [];
                 let mut empty_d: [f64; 0] = [];
                 if ctrl
-                    .restore_snapshot(&mut lambda, &mut mu, &mut x_t, &mut empty_s, &mut empty_d)
+                    .restore_snapshot(
+                        &mut lambda,
+                        &mut mu,
+                        x_t.values_mut(),
+                        &mut empty_s,
+                        &mut empty_d,
+                    )
                     .map(|(it, res)| {
                         iterations = it;
                         rel = res;
@@ -445,7 +569,7 @@ fn solve_bounded_inner_warm<O: Observer>(
                 }
                 return Err(SeaError::NumericalBreakdown { iteration: t });
             }
-            ctrl.capture_snapshot(t, rel, &lambda, &mu, &x_t, &[], &[]);
+            ctrl.capture_snapshot(t, rel, &lambda, &mu, x_t.values(), &[], &[]);
             if ctrl.note_residual(rel) {
                 break;
             }
@@ -455,9 +579,11 @@ fn solve_bounded_inner_warm<O: Observer>(
         }
     }
 
-    let x_final = x_t.transposed();
-    let row_sums = x_final.row_sums();
-    let col_sums = x_final.col_sums();
+    let x_final = x_t.transposed()?;
+    let mut row_sums = vec![0.0; m];
+    let mut col_sums = vec![0.0; n];
+    x_final.row_sums_into(&mut row_sums);
+    x_final.col_sums_into(&mut col_sums);
     let mut residuals = Residuals::default();
     let mut sq = 0.0;
     for i in 0..m {
@@ -520,6 +646,87 @@ mod tests {
         let lo = DenseMatrix::filled(2, 2, 0.5).unwrap();
         let hi = DenseMatrix::filled(2, 2, 10.0).unwrap();
         BoundedProblem::new(x0, gamma, lo, hi, vec![4.0, 6.0], vec![5.0, 5.0]).unwrap()
+    }
+
+    #[test]
+    fn sparse_bounded_matches_dense_bitwise_on_full_pattern() {
+        // A full-pattern CSR bounded problem must replay the dense driver
+        // exactly: same multipliers, same entries, same bits.
+        use sea_linalg::CsrMatrix;
+        let p = problem();
+        let sp = BoundedProblem::<CsrMatrix>::new(
+            CsrMatrix::from_dense_full(
+                &DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap(),
+            )
+            .unwrap(),
+            CsrMatrix::from_dense_full(&DenseMatrix::filled(2, 2, 1.0).unwrap()).unwrap(),
+            CsrMatrix::from_dense_full(&DenseMatrix::filled(2, 2, 0.5).unwrap()).unwrap(),
+            CsrMatrix::from_dense_full(&DenseMatrix::filled(2, 2, 10.0).unwrap()).unwrap(),
+            vec![4.0, 6.0],
+            vec![5.0, 5.0],
+        )
+        .unwrap();
+        let dense = solve_bounded(&p, 1e-10, 10_000).unwrap();
+        let sparse = solve_bounded(&sp, 1e-10, 10_000).unwrap();
+        assert!(dense.converged && sparse.converged);
+        assert_eq!(dense.x.as_slice(), sparse.x.values());
+        assert_eq!(dense.lambda, sparse.lambda);
+        assert_eq!(dense.mu, sparse.mu);
+        assert_eq!(dense.iterations, sparse.iterations);
+    }
+
+    #[test]
+    fn sparse_bounded_empty_row_needs_zero_total() {
+        // Row 1 of the support is empty: every cell is a structural zero,
+        // so a nonzero row total must be rejected at validation with a
+        // typed error, and a zero total must solve cleanly.
+        use sea_linalg::CsrMatrix;
+        let trip = |v: f64| CsrMatrix::from_triplets(2, 2, &[(0, 0, v), (0, 1, v)]).unwrap();
+        let x0 = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 2.0)]).unwrap();
+        let bad = BoundedProblem::new(
+            x0.clone(),
+            trip(1.0),
+            trip(0.0),
+            trip(10.0),
+            vec![4.0, 1.0],
+            vec![2.5, 2.5],
+        );
+        assert!(matches!(
+            bad,
+            Err(SeaError::InfeasibleSubproblem {
+                side: "row",
+                index: 1
+            })
+        ));
+        let ok = BoundedProblem::new(
+            x0,
+            trip(1.0),
+            trip(0.0),
+            trip(10.0),
+            vec![4.0, 0.0],
+            vec![2.0, 2.0],
+        )
+        .unwrap();
+        let sol = solve_bounded(&ok, 1e-10, 10_000).unwrap();
+        assert!(sol.converged);
+        assert_eq!(
+            sol.x.row_view(1),
+            RowView::Indexed {
+                idx: &[],
+                vals: &[]
+            }
+        );
+        assert!((sol.x.values().iter().sum::<f64>() - 4.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn mismatched_sparse_patterns_are_rejected() {
+        use sea_linalg::CsrMatrix;
+        let x0 = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 2.0)]).unwrap();
+        let gamma = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
+        let b = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 2.0)]).unwrap();
+        let r = BoundedProblem::new(x0, gamma, b.clone(), b, vec![1.0, 2.0], vec![1.0, 2.0]);
+        assert!(matches!(r, Err(SeaError::PatternMismatch { .. })));
     }
 
     #[test]

@@ -74,6 +74,7 @@ pub mod observe;
 pub mod parallel;
 pub mod problem;
 pub mod solver;
+pub mod storage;
 pub mod supervisor;
 pub mod theory;
 pub mod trace;
@@ -83,8 +84,9 @@ pub mod weights;
 pub use equilibrate::PassCounters;
 pub use error::SeaError;
 pub use general::{
-    solve_general, solve_general_observed, solve_general_supervised, GeneralProblem,
-    GeneralSeaOptions, GeneralSolution, GeneralTotalSpec,
+    solve_general, solve_general_in, solve_general_observed, solve_general_supervised,
+    solve_general_supervised_in, GeneralProblem, GeneralSeaOptions, GeneralSolution,
+    GeneralTotalSpec,
 };
 pub use interval::{
     solve_bounded, solve_bounded_observed, solve_bounded_supervised, solve_bounded_supervised_warm,
@@ -101,6 +103,7 @@ pub use solver::{
     solve_diagonal, solve_diagonal_observed, solve_diagonal_supervised, ConvergenceCriterion,
     IterationSnapshot, SeaOptions, Solution, SolveStats,
 };
+pub use storage::{RowView, Storage};
 pub use supervisor::{
     CancelToken, Checkpoint, CheckpointPolicy, FaultKind, FaultPlan, SolveBudget, StagnationPolicy,
     StopReason, SupervisedBoundedSolution, SupervisedGeneralSolution, SupervisedSolution,

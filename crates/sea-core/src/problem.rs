@@ -19,7 +19,8 @@
 //! handled.
 
 use crate::error::SeaError;
-use sea_linalg::{vector, DenseMatrix};
+use crate::storage::{RowView, Storage};
+use sea_linalg::{vector, CsrMatrix, DenseMatrix};
 
 /// Specification of the row/column totals — selects the problem class.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,11 +90,16 @@ pub struct Residuals {
     pub norm2: f64,
 }
 
-/// A diagonal quadratic constrained matrix problem.
+/// A diagonal quadratic constrained matrix problem, generic over the
+/// storage backend (dense by default; CSR for sparse instances).
+///
+/// For sparse ([`CsrMatrix`]) storage the stored pattern **is** the
+/// support: missing cells are structural zeros regardless of
+/// [`ZeroPolicy`], and the prior and weight table must share one pattern.
 #[derive(Debug, Clone, PartialEq)]
-pub struct DiagonalProblem {
-    x0: DenseMatrix,
-    gamma: DenseMatrix,
+pub struct DiagonalProblem<S: Storage = DenseMatrix> {
+    x0: S,
+    gamma: S,
     totals: TotalSpec,
     zero_policy: ZeroPolicy,
     support: Option<Support>,
@@ -123,7 +129,7 @@ fn validate_len(v: &[f64], expected: usize, context: &'static str) -> Result<(),
     Ok(())
 }
 
-impl DiagonalProblem {
+impl<S: Storage> DiagonalProblem<S> {
     /// Relative tolerance for the `Σ s⁰ = Σ d⁰` consistency check.
     pub const TOTALS_TOL: f64 = 1e-9;
 
@@ -131,7 +137,7 @@ impl DiagonalProblem {
     ///
     /// # Errors
     /// See [`DiagonalProblem::with_zero_policy`].
-    pub fn new(x0: DenseMatrix, gamma: DenseMatrix, totals: TotalSpec) -> Result<Self, SeaError> {
+    pub fn new(x0: S, gamma: S, totals: TotalSpec) -> Result<Self, SeaError> {
         Self::with_zero_policy(x0, gamma, totals, ZeroPolicy::Free)
     }
 
@@ -139,6 +145,8 @@ impl DiagonalProblem {
     ///
     /// # Errors
     /// * [`SeaError::Shape`] on any dimension mismatch.
+    /// * [`SeaError::PatternMismatch`] when sparse `Γ` does not share the
+    ///   prior's support pattern.
     /// * [`SeaError::NonFinite`] if `X⁰` contains NaN/∞ or negatives are
     ///   present (priors are nonnegative matrices).
     /// * [`SeaError::NonPositiveWeight`] for non-positive `γ`, `α`, `β`.
@@ -146,12 +154,12 @@ impl DiagonalProblem {
     ///   invalid fixed totals.
     /// * [`SeaError::NotSquareSam`] for a non-square balanced problem.
     pub fn with_zero_policy(
-        x0: DenseMatrix,
-        gamma: DenseMatrix,
+        x0: S,
+        gamma: S,
         totals: TotalSpec,
         zero_policy: ZeroPolicy,
     ) -> Result<Self, SeaError> {
-        if x0.as_slice().iter().any(|&v| v < 0.0) {
+        if x0.values().iter().any(|&v| v < 0.0) {
             return Err(SeaError::NonFinite {
                 context: "prior X0 (negative entry)",
             });
@@ -170,8 +178,8 @@ impl DiagonalProblem {
     /// Same as [`DiagonalProblem::with_zero_policy`] minus the
     /// prior-nonnegativity check.
     pub fn with_signed_prior(
-        x0: DenseMatrix,
-        gamma: DenseMatrix,
+        x0: S,
+        gamma: S,
         totals: TotalSpec,
         zero_policy: ZeroPolicy,
     ) -> Result<Self, SeaError> {
@@ -183,12 +191,17 @@ impl DiagonalProblem {
                 actual: gamma.rows() * gamma.cols(),
             });
         }
-        if !vector::all_finite(x0.as_slice()) {
+        if !x0.same_pattern(&gamma) {
+            return Err(SeaError::PatternMismatch {
+                context: "gamma support pattern",
+            });
+        }
+        if !vector::all_finite(x0.values()) {
             return Err(SeaError::NonFinite {
                 context: "prior X0",
             });
         }
-        validate_positive(gamma.as_slice(), "gamma")?;
+        validate_positive(gamma.values(), "gamma")?;
 
         match &totals {
             TotalSpec::Fixed { s0, d0 } => {
@@ -244,21 +257,33 @@ impl DiagonalProblem {
             }
         }
 
+        // Structural-zero support lists are a *dense* notion: sparse
+        // backends already carry the support in their pattern, so an
+        // indexed row view leaves `support` as `None` and the passes use
+        // the pattern directly.
         let support = match zero_policy {
             ZeroPolicy::Free => None,
             ZeroPolicy::Structural => {
                 let mut rows: Vec<Vec<u32>> = vec![Vec::new(); m];
                 let mut cols: Vec<Vec<u32>> = vec![Vec::new(); n];
-                for i in 0..m {
-                    let row = x0.row(i);
-                    for (j, &v) in row.iter().enumerate() {
-                        if v != 0.0 {
-                            rows[i].push(j as u32);
-                            cols[j].push(i as u32);
+                let mut dense_rows = true;
+                'scan: for i in 0..m {
+                    match x0.row_view(i) {
+                        RowView::Dense(row) => {
+                            for (j, &v) in row.iter().enumerate() {
+                                if v != 0.0 {
+                                    rows[i].push(j as u32);
+                                    cols[j].push(i as u32);
+                                }
+                            }
+                        }
+                        RowView::Indexed { .. } => {
+                            dense_rows = false;
+                            break 'scan;
                         }
                     }
                 }
-                Some(Support { rows, cols })
+                dense_rows.then_some(Support { rows, cols })
             }
         };
 
@@ -280,13 +305,21 @@ impl DiagonalProblem {
     /// # Errors
     /// Propagates validation failures from [`DiagonalProblem::new`].
     pub fn fixed_from_growth(
-        x0: DenseMatrix,
-        gamma: DenseMatrix,
+        x0: S,
+        gamma: S,
         row_growth: f64,
         col_growth: f64,
     ) -> Result<Self, SeaError> {
-        let s0: Vec<f64> = x0.row_sums().into_iter().map(|v| v * row_growth).collect();
-        let mut d0: Vec<f64> = x0.col_sums().into_iter().map(|v| v * col_growth).collect();
+        let mut s0 = vec![0.0; x0.rows()];
+        let mut d0 = vec![0.0; x0.cols()];
+        x0.row_sums_into(&mut s0);
+        x0.col_sums_into(&mut d0);
+        for v in &mut s0 {
+            *v *= row_growth;
+        }
+        for v in &mut d0 {
+            *v *= col_growth;
+        }
         // Rebalance the grand total onto the columns so the polytope is
         // nonempty even when the two growth factors differ.
         let rs: f64 = s0.iter().sum();
@@ -314,13 +347,13 @@ impl DiagonalProblem {
 
     /// The prior matrix `X⁰`.
     #[inline]
-    pub fn x0(&self) -> &DenseMatrix {
+    pub fn x0(&self) -> &S {
         &self.x0
     }
 
     /// The per-entry weights `Γ`.
     #[inline]
-    pub fn gamma(&self) -> &DenseMatrix {
+    pub fn gamma(&self) -> &S {
         &self.gamma
     }
 
@@ -340,11 +373,12 @@ impl DiagonalProblem {
         self.support.as_ref()
     }
 
-    /// Number of decision variables (`m·n`, or the nonzero count under a
-    /// structural zero policy) — the paper's "# of variables" column.
+    /// Number of decision variables (`m·n` for a free dense problem, the
+    /// support size under a structural zero policy or sparse storage) —
+    /// the paper's "# of variables" column.
     pub fn variable_count(&self) -> usize {
         match &self.support {
-            None => self.m() * self.n(),
+            None => self.x0.stored(),
             Some(s) => s.rows.iter().map(Vec::len).sum(),
         }
     }
@@ -353,12 +387,15 @@ impl DiagonalProblem {
     ///
     /// For [`TotalSpec::Fixed`] the `s`/`d` arguments are ignored; for
     /// [`TotalSpec::Balanced`], `d` is ignored (totals are shared).
-    pub fn objective(&self, x: &DenseMatrix, s: &[f64], d: &[f64]) -> f64 {
+    /// `x` must share the problem's storage pattern (true for solver
+    /// iterates by construction).
+    pub fn objective(&self, x: &S, s: &[f64], d: &[f64]) -> f64 {
+        debug_assert!(x.same_pattern(&self.x0));
         let mut obj = 0.0;
         for (xv, (x0v, gv)) in x
-            .as_slice()
+            .values()
             .iter()
-            .zip(self.x0.as_slice().iter().zip(self.gamma.as_slice()))
+            .zip(self.x0.values().iter().zip(self.gamma.values()))
         {
             let dev = xv - x0v;
             obj += gv * dev * dev;
@@ -394,9 +431,11 @@ impl DiagonalProblem {
     /// constraints. For fixed totals the targets are `s⁰`/`d⁰`; for elastic
     /// and balanced problems the targets are the supplied `s`/`d` (`s`
     /// doubles as the column target in the balanced case).
-    pub fn residuals(&self, x: &DenseMatrix, s: &[f64], d: &[f64]) -> Residuals {
-        let row_sums = x.row_sums();
-        let col_sums = x.col_sums();
+    pub fn residuals(&self, x: &S, s: &[f64], d: &[f64]) -> Residuals {
+        let mut row_sums = vec![0.0; x.rows()];
+        let mut col_sums = vec![0.0; x.cols()];
+        x.row_sums_into(&mut row_sums);
+        x.col_sums_into(&mut col_sums);
         let (s_target, d_target): (&[f64], &[f64]) = match &self.totals {
             TotalSpec::Fixed { s0, d0 } => (s0, d0),
             TotalSpec::Elastic { .. } => (s, d),
@@ -417,6 +456,55 @@ impl DiagonalProblem {
         }
         r.norm2 = sq.sqrt();
         r
+    }
+
+    /// Re-express this problem over dense storage (structural zeros in a
+    /// sparse pattern become dense structural zeros under
+    /// [`ZeroPolicy::Structural`], free zeros otherwise).
+    ///
+    /// # Errors
+    /// Propagates allocation failures and re-validation errors. Note a
+    /// sparse problem whose pattern holds stored zeros in `Γ`'s positions
+    /// cannot round-trip under `ZeroPolicy::Free` — dense `Γ` must be
+    /// positive everywhere — so this is primarily a debugging/interchange
+    /// aid for full-pattern and structural problems.
+    pub fn to_dense_problem(&self) -> Result<DiagonalProblem<DenseMatrix>, SeaError> {
+        let x0 = self.x0.to_dense()?;
+        let mut gamma = self.gamma.to_dense()?;
+        // Structural cells have no weight in sparse storage; give them a
+        // positive placeholder so dense validation accepts the table (the
+        // structural policy keeps them out of the subproblems anyway).
+        if gamma.as_slice().contains(&0.0) {
+            gamma.map_inplace(|v| if v == 0.0 { 1.0 } else { v });
+        }
+        DiagonalProblem::with_signed_prior(x0, gamma, self.totals.clone(), self.zero_policy)
+    }
+}
+
+impl DiagonalProblem<CsrMatrix> {
+    /// Build the sparse image of a dense problem.
+    ///
+    /// The pattern follows the dense problem's zero policy so both describe
+    /// the same feasible set: under [`ZeroPolicy::Free`] every dense cell is
+    /// stored (zeros included — they are variables), under
+    /// [`ZeroPolicy::Structural`] only the prior's nonzero cells are stored.
+    /// `Γ` is gathered onto the prior's pattern, so the two always share it.
+    ///
+    /// # Errors
+    /// Propagates construction failures from [`CsrMatrix`] and problem
+    /// validation.
+    pub fn from_dense_problem(p: &DiagonalProblem<DenseMatrix>) -> Result<Self, SeaError> {
+        let x0 = match p.zero_policy() {
+            ZeroPolicy::Free => CsrMatrix::from_dense_full(p.x0())?,
+            ZeroPolicy::Structural => CsrMatrix::from_dense_pruned(p.x0())?,
+        };
+        let mut gvals = Vec::with_capacity(x0.stored());
+        for i in 0..x0.rows() {
+            let grow = p.gamma().row(i);
+            gvals.extend(x0.row_cols(i).iter().map(|&j| grow[j as usize]));
+        }
+        let gamma = x0.with_values(gvals)?;
+        Self::with_signed_prior(x0, gamma, p.totals().clone(), p.zero_policy())
     }
 }
 

@@ -14,13 +14,16 @@
 //! [`crate::knapsack::TotalMode`] of each subproblem and the
 //! default stopping rule.
 
-use crate::components::normalize_multipliers;
+use crate::components::{
+    normalize_multipliers_storage, shard_boundaries, storage_support_components,
+};
 use crate::dual;
-use crate::equilibrate::{equilibration_pass, PassCounters, PassInputs};
+use crate::equilibrate::{equilibration_pass, PassCounters, PassInputs, DEFAULT_BLOCK_ROWS};
 use crate::error::SeaError;
 use crate::knapsack::{KernelKind, TotalMode};
 use crate::parallel::Parallelism;
 use crate::problem::{DiagonalProblem, Residuals, TotalSpec};
+use crate::storage::Storage;
 use crate::supervisor::{SolveControl, StopReason, SupervisedSolution, SupervisorOptions};
 use crate::trace::{ExecutionTrace, PhaseKind};
 use sea_linalg::{vector, DenseMatrix};
@@ -89,6 +92,12 @@ pub struct SeaOptions {
     /// confirm monotone dual ascent and the geometric rate (eq. 71, 76).
     /// Costs one ζ evaluation per convergence check.
     pub record_history: bool,
+    /// Target shard size (rows/columns per block) for parallel passes;
+    /// `None` uses [`DEFAULT_BLOCK_ROWS`]. Shards are aligned to
+    /// support-graph component boundaries (a shard never splits a component
+    /// smaller than twice the target), purely as a locality hint — results
+    /// are bitwise-identical for every shard size.
+    pub block_size: Option<usize>,
 }
 
 impl Default for SeaOptions {
@@ -104,6 +113,7 @@ impl Default for SeaOptions {
             multiplier_bound: None,
             initial_mu: None,
             record_history: false,
+            block_size: None,
         }
     }
 }
@@ -163,9 +173,10 @@ pub struct SolveStats {
 
 /// A computed estimate: the matrix, totals, multipliers, and statistics.
 #[derive(Debug, Clone)]
-pub struct Solution {
-    /// The matrix estimate `X` (row-major, `m×n`).
-    pub x: DenseMatrix,
+pub struct Solution<S: Storage = DenseMatrix> {
+    /// The matrix estimate `X` (`m×n`; same storage backend — and, for
+    /// sparse backends, the same support pattern — as the problem's prior).
+    pub x: S,
     /// Row totals `s` (equals `s⁰` for fixed problems).
     pub s: Vec<f64>,
     /// Column totals `d` (equals `d⁰` fixed, equals `s` balanced).
@@ -184,7 +195,10 @@ pub struct Solution {
 /// * [`SeaError::InfeasibleSubproblem`] if a structural-zero row/column has
 ///   a positive fixed total.
 /// * [`SeaError::NumericalBreakdown`] if the iterates become non-finite.
-pub fn solve_diagonal(p: &DiagonalProblem, opts: &SeaOptions) -> Result<Solution, SeaError> {
+pub fn solve_diagonal<S: Storage>(
+    p: &DiagonalProblem<S>,
+    opts: &SeaOptions,
+) -> Result<Solution<S>, SeaError> {
     solve_diagonal_observed(p, opts, &mut NullObserver)
 }
 
@@ -198,11 +212,11 @@ pub fn solve_diagonal(p: &DiagonalProblem, opts: &SeaOptions) -> Result<Solution
 ///
 /// # Errors
 /// Same contract as [`solve_diagonal`].
-pub fn solve_diagonal_observed<O: Observer + Send>(
-    p: &DiagonalProblem,
+pub fn solve_diagonal_observed<S: Storage, O: Observer + Send>(
+    p: &DiagonalProblem<S>,
     opts: &SeaOptions,
     obs: &mut O,
-) -> Result<Solution, SeaError> {
+) -> Result<Solution<S>, SeaError> {
     opts.parallelism
         .run(move || solve_diagonal_inner(p, opts, obs, &mut SolveControl::passive()))
 }
@@ -221,12 +235,12 @@ pub fn solve_diagonal_observed<O: Observer + Send>(
 /// [`SeaError::WorkerPanic`] for contained worker panics and
 /// [`SeaError::NumericalBreakdown`] only when iterates go non-finite before
 /// any convergence check has certified a restorable snapshot.
-pub fn solve_diagonal_supervised<O: Observer + Send>(
-    p: &DiagonalProblem,
+pub fn solve_diagonal_supervised<S: Storage, O: Observer + Send>(
+    p: &DiagonalProblem<S>,
     opts: &SeaOptions,
     sup: &SupervisorOptions,
     obs: &mut O,
-) -> Result<SupervisedSolution, SeaError> {
+) -> Result<SupervisedSolution<S>, SeaError> {
     opts.parallelism.run(move || {
         let mut ctrl = SolveControl::active(sup);
         let solution = solve_diagonal_inner(p, opts, obs, &mut ctrl)?;
@@ -246,12 +260,12 @@ pub fn solve_diagonal_supervised<O: Observer + Send>(
     })
 }
 
-fn solve_diagonal_inner<O: Observer>(
-    p: &DiagonalProblem,
+fn solve_diagonal_inner<S: Storage, O: Observer>(
+    p: &DiagonalProblem<S>,
     opts: &SeaOptions,
     obs: &mut O,
     ctrl: &mut SolveControl<'_>,
-) -> Result<Solution, SeaError> {
+) -> Result<Solution<S>, SeaError> {
     let start = Instant::now();
     let (m, n) = (p.m(), p.n());
     let check_every = opts.check_every.max(1);
@@ -275,9 +289,25 @@ fn solve_diagonal_inner<O: Observer>(
     let mut fallbacks_seen = 0u64;
 
     // Transposed copies once per solve: the column pass then walks
-    // contiguous memory.
-    let x0_t = p.x0().transposed();
-    let gamma_t = p.gamma().transposed();
+    // contiguous memory (for sparse storage, transposition doubles as the
+    // column-access view of the support).
+    let x0_t = p.x0().transposed()?;
+    let gamma_t = p.gamma().transposed()?;
+
+    // Shard boundaries for parallel passes, computed once per solve from
+    // the prior's support-graph components (cheap relative to one pass).
+    // Purely a locality hint: rows are independent, so results are
+    // bitwise-identical for every sharding.
+    let (row_starts, col_starts) = if matches!(opts.parallelism, Parallelism::Serial) {
+        (None, None)
+    } else {
+        let target = opts.block_size.unwrap_or(DEFAULT_BLOCK_ROWS);
+        let (row_labels, col_labels) = storage_support_components(p.x0(), f64::NEG_INFINITY);
+        (
+            Some(shard_boundaries(&row_labels, target)),
+            Some(shard_boundaries(&col_labels, target)),
+        )
+    };
 
     let mut lambda = vec![0.0; m];
     let mut mu = match &opts.initial_mu {
@@ -295,13 +325,13 @@ fn solve_diagonal_inner<O: Observer>(
     };
     let mut s = vec![0.0; m];
     let mut d = vec![0.0; n];
-    let mut x = DenseMatrix::zeros(m, n)?;
-    let mut x_t = DenseMatrix::zeros(n, m)?;
+    let mut x = p.x0().zeros_like()?;
+    let mut x_t = x0_t.zeros_like()?;
     // For MaxAbsChange: the iterate at the previous check (x⁰ := X⁰).
     let mut x_t_prev = if criterion == ConvergenceCriterion::MaxAbsChange {
         x0_t.clone()
     } else {
-        DenseMatrix::zeros(n, m)?
+        x0_t.zeros_like()?
     };
 
     let mut trace = opts.record_trace.then(ExecutionTrace::new);
@@ -351,6 +381,7 @@ fn solve_diagonal_inner<O: Observer>(
                     opts.parallelism,
                     costs,
                     counters.as_ref(),
+                    row_starts.as_deref(),
                 )?,
                 TotalSpec::Elastic { alpha, s0, .. } => equilibration_pass(
                     &inputs,
@@ -365,6 +396,7 @@ fn solve_diagonal_inner<O: Observer>(
                     opts.parallelism,
                     costs,
                     counters.as_ref(),
+                    row_starts.as_deref(),
                 )?,
                 TotalSpec::Balanced { alpha, s0 } => {
                     let mu_ref: &[f64] = &mu;
@@ -381,6 +413,7 @@ fn solve_diagonal_inner<O: Observer>(
                         opts.parallelism,
                         costs,
                         counters.as_ref(),
+                        row_starts.as_deref(),
                     )?
                 }
             }
@@ -439,6 +472,7 @@ fn solve_diagonal_inner<O: Observer>(
                     opts.parallelism,
                     costs,
                     counters.as_ref(),
+                    col_starts.as_deref(),
                 )?,
                 TotalSpec::Elastic { beta, d0, .. } => equilibration_pass(
                     &inputs,
@@ -453,6 +487,7 @@ fn solve_diagonal_inner<O: Observer>(
                     opts.parallelism,
                     costs,
                     counters.as_ref(),
+                    col_starts.as_deref(),
                 )?,
                 TotalSpec::Balanced { alpha, s0 } => {
                     let lambda_ref: &[f64] = &lambda;
@@ -469,6 +504,7 @@ fn solve_diagonal_inner<O: Observer>(
                         opts.parallelism,
                         costs,
                         counters.as_ref(),
+                        col_starts.as_deref(),
                     )?
                 }
             }
@@ -515,10 +551,10 @@ fn solve_diagonal_inner<O: Observer>(
         if ctrl.is_active() || check_now {
             let finite = vector::all_finite(&lambda)
                 && vector::all_finite(&mu)
-                && (!ctrl.is_active() || vector::all_finite(x_t.as_slice()));
+                && (!ctrl.is_active() || vector::all_finite(x_t.values()));
             if !finite {
                 if ctrl
-                    .restore_snapshot(&mut lambda, &mut mu, &mut x_t, &mut s, &mut d)
+                    .restore_snapshot(&mut lambda, &mut mu, x_t.values_mut(), &mut s, &mut d)
                     .map(|(it, res)| {
                         iterations = it;
                         residual = res;
@@ -543,7 +579,7 @@ fn solve_diagonal_inner<O: Observer>(
             residual = match criterion {
                 ConvergenceCriterion::MaxAbsChange => {
                     let delta = x_t.max_abs_diff(&x_t_prev);
-                    x_t_prev.as_mut_slice().copy_from_slice(x_t.as_slice());
+                    x_t_prev.copy_values_from(&x_t);
                     delta
                 }
                 ConvergenceCriterion::RelativeRowBalance => {
@@ -603,7 +639,7 @@ fn solve_diagonal_inner<O: Observer>(
             if ctrl.is_active() {
                 // This iterate passed the finite watchdog and was measured:
                 // it becomes the breakdown restore point.
-                ctrl.capture_snapshot(t, residual, &lambda, &mu, &x_t, &s, &d);
+                ctrl.capture_snapshot(t, residual, &lambda, &mu, x_t.values(), &s, &d);
                 if ctrl.note_residual(residual) {
                     break; // StopReason::Stagnated latched in ctrl.
                 }
@@ -614,7 +650,7 @@ fn solve_diagonal_inner<O: Observer>(
         if let Some(bound) = opts.multiplier_bound {
             // x (row-pass iterate) is a valid support witness: shifting is
             // only applied within its positive components.
-            let shifted = normalize_multipliers(x.as_slice(), m, n, &mut lambda, &mut mu, bound);
+            let shifted = normalize_multipliers_storage(&x, &mut lambda, &mut mu, bound);
             if observing && shifted > 0 {
                 obs.record(&Event::MultiplierBound {
                     iteration: t,
@@ -642,7 +678,7 @@ fn solve_diagonal_inner<O: Observer>(
     }
 
     // ---- Assemble the solution from the final column pass. ---------------
-    let x_final = x_t.transposed();
+    let x_final = x_t.transposed()?;
     let (s_final, d_final) = match p.totals() {
         TotalSpec::Fixed { s0, d0 } => (s0.clone(), d0.clone()),
         TotalSpec::Elastic { alpha, s0, .. } => {

@@ -1,0 +1,400 @@
+//! Problem storage abstraction: dense and CSR backends behind one trait.
+//!
+//! The SEA drivers never need random access to a whole matrix — each
+//! equilibration pass walks *rows* of the prior, the weight table, and the
+//! iterate (columns are handled by solving rows of an explicit transpose).
+//! [`Storage`] captures exactly that access pattern, so the solvers can run
+//! unchanged over [`DenseMatrix`] (the historical backend) or
+//! [`CsrMatrix`] (support-only storage for sparse CMPs).
+//!
+//! Two invariants make dense and sparse solves *bitwise* comparable:
+//!
+//! 1. Within a row, stored entries are visited in increasing column order in
+//!    both backends (dense trivially; CSR by construction), so the kernel
+//!    sees the same value sequences.
+//! 2. A problem's prior, weights, and iterates all share one pattern
+//!    ([`Storage::same_pattern`]); for CSR the pattern `Arc`s are literally
+//!    shared, so this is a pointer check.
+//!
+//! For CSR storage the stored pattern **is** the support: missing cells are
+//! structural zeros (never variables), stored cells — including stored
+//! zeros — are variables. `ZeroPolicy` therefore has no effect on sparse
+//! problems; [`Storage::from_dense`] keeps every dense cell (stored zeros
+//! included) so that a dense problem and its sparse re-construction describe
+//! the same feasible set.
+
+use crate::error::SeaError;
+use sea_linalg::{CsrMatrix, DenseMatrix};
+use std::fmt;
+use std::ops::Range;
+
+/// Borrowed view of one row of a [`Storage`] backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RowView<'a> {
+    /// A contiguous dense row: entry `j` lives at `row[j]`.
+    Dense(&'a [f64]),
+    /// A sparse row: entry `idx[k]` (strictly increasing) has value
+    /// `vals[k]`; absent columns are structural zeros.
+    Indexed {
+        /// Column indices of the stored entries, strictly increasing.
+        idx: &'a [u32],
+        /// Stored values, parallel to `idx`.
+        vals: &'a [f64],
+    },
+}
+
+impl RowView<'_> {
+    /// Number of stored entries in this row.
+    #[inline]
+    pub fn stored(&self) -> usize {
+        match self {
+            RowView::Dense(row) => row.len(),
+            RowView::Indexed { vals, .. } => vals.len(),
+        }
+    }
+}
+
+/// Matrix storage backend for SEA problems and iterates.
+///
+/// Implementations must visit stored entries of a row in increasing column
+/// order (see the module docs for why), and `transposed` must order each
+/// transposed row by original row index — the order the dense column pass
+/// walks.
+pub trait Storage: Clone + fmt::Debug + PartialEq + Send + Sync + 'static {
+    /// Backend name for manifests, events, and CLI flags (`"dense"`/`"csr"`).
+    fn label() -> &'static str;
+
+    /// Number of rows `m`.
+    fn rows(&self) -> usize;
+
+    /// Number of columns `n`.
+    fn cols(&self) -> usize;
+
+    /// Number of stored entries (`m·n` dense; pattern nnz for CSR).
+    fn stored(&self) -> usize;
+
+    /// All stored values, row-major over the pattern.
+    fn values(&self) -> &[f64];
+
+    /// Mutable view of all stored values.
+    fn values_mut(&mut self) -> &mut [f64];
+
+    /// Borrowed view of row `i`.
+    fn row_view(&self, i: usize) -> RowView<'_>;
+
+    /// Range of row `i`'s stored values within [`Storage::values`].
+    fn row_range(&self, i: usize) -> Range<usize>;
+
+    /// Mutable stored values of row `i`.
+    fn row_values_mut(&mut self, i: usize) -> &mut [f64];
+
+    /// A matrix with the same shape *and pattern*, all stored values zero.
+    ///
+    /// # Errors
+    /// Propagates allocation/shape failures from the backend.
+    fn zeros_like(&self) -> Result<Self, SeaError>;
+
+    /// Cache-friendly explicit transpose (built once per solve for the
+    /// column pass).
+    ///
+    /// # Errors
+    /// Propagates allocation failures from the backend.
+    fn transposed(&self) -> Result<Self, SeaError>;
+
+    /// `true` when `other` has the same shape and support pattern.
+    fn same_pattern(&self, other: &Self) -> bool;
+
+    /// Value at `(i, j)`; structural zeros read as `0.0`.
+    fn get(&self, i: usize, j: usize) -> f64;
+
+    /// Per-row sums of stored values into `out` (length `rows`).
+    fn row_sums_into(&self, out: &mut [f64]);
+
+    /// Per-column sums of stored values into `out` (length `cols`).
+    fn col_sums_into(&self, out: &mut [f64]);
+
+    /// Largest absolute difference of stored values against a same-pattern
+    /// matrix.
+    fn max_abs_diff(&self, other: &Self) -> f64;
+
+    /// Overwrite stored values from a same-pattern matrix.
+    fn copy_values_from(&mut self, other: &Self);
+
+    /// Import a dense matrix, keeping **every** cell as a variable (for CSR
+    /// this means a full pattern with stored zeros — see the module docs).
+    ///
+    /// # Errors
+    /// Propagates backend construction failures.
+    fn from_dense(dense: &DenseMatrix) -> Result<Self, SeaError>;
+
+    /// Materialize as a dense matrix (structural zeros become stored zeros).
+    ///
+    /// # Errors
+    /// Propagates allocation failures from the backend.
+    fn to_dense(&self) -> Result<DenseMatrix, SeaError>;
+}
+
+impl Storage for DenseMatrix {
+    fn label() -> &'static str {
+        "dense"
+    }
+
+    #[inline]
+    fn rows(&self) -> usize {
+        DenseMatrix::rows(self)
+    }
+
+    #[inline]
+    fn cols(&self) -> usize {
+        DenseMatrix::cols(self)
+    }
+
+    #[inline]
+    fn stored(&self) -> usize {
+        DenseMatrix::len(self)
+    }
+
+    #[inline]
+    fn values(&self) -> &[f64] {
+        self.as_slice()
+    }
+
+    #[inline]
+    fn values_mut(&mut self) -> &mut [f64] {
+        self.as_mut_slice()
+    }
+
+    #[inline]
+    fn row_view(&self, i: usize) -> RowView<'_> {
+        RowView::Dense(self.row(i))
+    }
+
+    #[inline]
+    fn row_range(&self, i: usize) -> Range<usize> {
+        let n = DenseMatrix::cols(self);
+        i * n..(i + 1) * n
+    }
+
+    #[inline]
+    fn row_values_mut(&mut self, i: usize) -> &mut [f64] {
+        self.row_mut(i)
+    }
+
+    fn zeros_like(&self) -> Result<Self, SeaError> {
+        DenseMatrix::zeros(DenseMatrix::rows(self), DenseMatrix::cols(self)).map_err(SeaError::from)
+    }
+
+    fn transposed(&self) -> Result<Self, SeaError> {
+        Ok(DenseMatrix::transposed(self))
+    }
+
+    fn same_pattern(&self, other: &Self) -> bool {
+        DenseMatrix::rows(self) == DenseMatrix::rows(other)
+            && DenseMatrix::cols(self) == DenseMatrix::cols(other)
+    }
+
+    #[inline]
+    fn get(&self, i: usize, j: usize) -> f64 {
+        DenseMatrix::get(self, i, j)
+    }
+
+    fn row_sums_into(&self, out: &mut [f64]) {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.row(i).iter().sum();
+        }
+    }
+
+    fn col_sums_into(&self, out: &mut [f64]) {
+        DenseMatrix::col_sums_into(self, out);
+    }
+
+    fn max_abs_diff(&self, other: &Self) -> f64 {
+        DenseMatrix::max_abs_diff(self, other)
+    }
+
+    fn copy_values_from(&mut self, other: &Self) {
+        self.as_mut_slice().copy_from_slice(other.as_slice());
+    }
+
+    fn from_dense(dense: &DenseMatrix) -> Result<Self, SeaError> {
+        Ok(dense.clone())
+    }
+
+    fn to_dense(&self) -> Result<DenseMatrix, SeaError> {
+        Ok(self.clone())
+    }
+}
+
+impl Storage for CsrMatrix {
+    fn label() -> &'static str {
+        "csr"
+    }
+
+    #[inline]
+    fn rows(&self) -> usize {
+        CsrMatrix::rows(self)
+    }
+
+    #[inline]
+    fn cols(&self) -> usize {
+        CsrMatrix::cols(self)
+    }
+
+    #[inline]
+    fn stored(&self) -> usize {
+        CsrMatrix::stored(self)
+    }
+
+    #[inline]
+    fn values(&self) -> &[f64] {
+        self.vals()
+    }
+
+    #[inline]
+    fn values_mut(&mut self) -> &mut [f64] {
+        self.vals_mut()
+    }
+
+    #[inline]
+    fn row_view(&self, i: usize) -> RowView<'_> {
+        RowView::Indexed {
+            idx: self.row_cols(i),
+            vals: self.row_vals(i),
+        }
+    }
+
+    #[inline]
+    fn row_range(&self, i: usize) -> Range<usize> {
+        CsrMatrix::row_range(self, i)
+    }
+
+    #[inline]
+    fn row_values_mut(&mut self, i: usize) -> &mut [f64] {
+        CsrMatrix::row_vals_mut(self, i)
+    }
+
+    fn zeros_like(&self) -> Result<Self, SeaError> {
+        Ok(CsrMatrix::zeros_like(self))
+    }
+
+    fn transposed(&self) -> Result<Self, SeaError> {
+        Ok(CsrMatrix::transposed(self))
+    }
+
+    fn same_pattern(&self, other: &Self) -> bool {
+        CsrMatrix::same_pattern(self, other)
+    }
+
+    #[inline]
+    fn get(&self, i: usize, j: usize) -> f64 {
+        CsrMatrix::get(self, i, j)
+    }
+
+    fn row_sums_into(&self, out: &mut [f64]) {
+        CsrMatrix::row_sums_into(self, out);
+    }
+
+    fn col_sums_into(&self, out: &mut [f64]) {
+        CsrMatrix::col_sums_into(self, out);
+    }
+
+    fn max_abs_diff(&self, other: &Self) -> f64 {
+        CsrMatrix::max_abs_diff(self, other)
+    }
+
+    fn copy_values_from(&mut self, other: &Self) {
+        debug_assert!(CsrMatrix::same_pattern(self, other));
+        self.vals_mut().copy_from_slice(other.vals());
+    }
+
+    fn from_dense(dense: &DenseMatrix) -> Result<Self, SeaError> {
+        CsrMatrix::from_dense_full(dense).map_err(SeaError::from)
+    }
+
+    fn to_dense(&self) -> Result<DenseMatrix, SeaError> {
+        CsrMatrix::to_dense(self).map_err(SeaError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense() -> DenseMatrix {
+        DenseMatrix::from_rows(&[vec![1.0, 0.0, 2.0], vec![0.0, 3.0, 0.0]]).unwrap()
+    }
+
+    fn generic_round_trip<S: Storage>(src: &DenseMatrix) {
+        let s = S::from_dense(src).unwrap();
+        assert_eq!(s.rows(), src.rows());
+        assert_eq!(s.cols(), src.cols());
+        let back = s.to_dense().unwrap();
+        assert_eq!(&back, src);
+        let t = s.transposed().unwrap();
+        assert_eq!(t.rows(), src.cols());
+        assert_eq!(t.get(2, 0), 2.0);
+        let z = s.zeros_like().unwrap();
+        assert!(z.same_pattern(&s));
+        assert!(z.values().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn both_backends_round_trip() {
+        let d = dense();
+        generic_round_trip::<DenseMatrix>(&d);
+        generic_round_trip::<CsrMatrix>(&d);
+    }
+
+    #[test]
+    fn from_dense_keeps_every_cell_for_csr() {
+        let d = dense();
+        let c = <CsrMatrix as Storage>::from_dense(&d).unwrap();
+        // Full pattern: stored zeros stay variables, matching dense exactly.
+        assert_eq!(Storage::stored(&c), 6);
+        assert_eq!(Storage::values(&c), d.as_slice());
+    }
+
+    #[test]
+    fn row_views_agree_across_backends() {
+        let d = dense();
+        let c = CsrMatrix::from_dense_pruned(&d).unwrap();
+        match c.row_view(0) {
+            RowView::Indexed { idx, vals } => {
+                assert_eq!(idx, &[0, 2]);
+                assert_eq!(vals, &[1.0, 2.0]);
+            }
+            RowView::Dense(_) => panic!("CSR row view must be indexed"),
+        }
+        match Storage::row_view(&d, 0) {
+            RowView::Dense(row) => assert_eq!(row, &[1.0, 0.0, 2.0]),
+            RowView::Indexed { .. } => panic!("dense row view must be dense"),
+        }
+    }
+
+    #[test]
+    fn sums_and_diffs_match_between_backends() {
+        let d = dense();
+        let c = CsrMatrix::from_dense_pruned(&d).unwrap();
+        let mut rd = vec![0.0; 2];
+        let mut rc = vec![0.0; 2];
+        Storage::row_sums_into(&d, &mut rd);
+        Storage::row_sums_into(&c, &mut rc);
+        assert_eq!(rd, rc);
+        let mut cd = vec![0.0; 3];
+        let mut cc = vec![0.0; 3];
+        Storage::col_sums_into(&d, &mut cd);
+        Storage::col_sums_into(&c, &mut cc);
+        assert_eq!(cd, cc);
+    }
+
+    #[test]
+    fn row_ranges_index_values() {
+        let d = dense();
+        let c = CsrMatrix::from_dense_pruned(&d).unwrap();
+        assert_eq!(Storage::row_range(&d, 1), 3..6);
+        assert_eq!(Storage::row_range(&c, 1), 2..3);
+        let mut c2 = c.clone();
+        c2.row_values_mut(1)[0] = 9.0;
+        assert_eq!(c2.get(1, 1), 9.0);
+    }
+}

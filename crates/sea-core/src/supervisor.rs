@@ -16,7 +16,6 @@
 //! so "return the best certified iterate" is a first-class outcome here,
 //! not a failure mode.
 
-use sea_linalg::DenseMatrix;
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -263,10 +262,10 @@ pub struct SupervisorOptions {
 /// A supervised diagonal solve outcome: the (possibly partial) solution,
 /// why it stopped, and its KKT-residual certificate.
 #[derive(Debug, Clone)]
-pub struct SupervisedSolution {
+pub struct SupervisedSolution<S: crate::storage::Storage = sea_linalg::DenseMatrix> {
     /// The solution; partial (best iterate at the stop) unless
     /// `stop == Converged`.
-    pub solution: crate::solver::Solution,
+    pub solution: crate::solver::Solution<S>,
     /// Why the solve stopped.
     pub stop: StopReason,
     /// KKT residuals of the returned iterate — the honesty stamp for
@@ -282,18 +281,18 @@ pub struct SupervisedSolution {
 
 /// A supervised bounded solve outcome.
 #[derive(Debug, Clone)]
-pub struct SupervisedBoundedSolution {
+pub struct SupervisedBoundedSolution<S: crate::storage::Storage = sea_linalg::DenseMatrix> {
     /// The (possibly partial) bounded solution.
-    pub solution: crate::interval::BoundedSolution,
+    pub solution: crate::interval::BoundedSolution<S>,
     /// Why the solve stopped.
     pub stop: StopReason,
 }
 
 /// A supervised general solve outcome.
 #[derive(Debug, Clone)]
-pub struct SupervisedGeneralSolution {
+pub struct SupervisedGeneralSolution<S: crate::storage::Storage = sea_linalg::DenseMatrix> {
     /// The (possibly partial) general solution.
-    pub solution: crate::general::GeneralSolution,
+    pub solution: crate::general::GeneralSolution<S>,
     /// Why the solve stopped (outer-iteration granularity).
     pub stop: StopReason,
 }
@@ -543,7 +542,7 @@ impl<'a> SolveControl<'a> {
         residual: f64,
         lambda: &[f64],
         mu: &[f64],
-        x_t: &DenseMatrix,
+        x_t: &[f64],
         s: &[f64],
         d: &[f64],
     ) {
@@ -558,7 +557,7 @@ impl<'a> SolveControl<'a> {
         snap.mu.clear();
         snap.mu.extend_from_slice(mu);
         snap.x_t.clear();
-        snap.x_t.extend_from_slice(x_t.as_slice());
+        snap.x_t.extend_from_slice(x_t);
         snap.s.clear();
         snap.s.extend_from_slice(s);
         snap.d.clear();
@@ -573,7 +572,7 @@ impl<'a> SolveControl<'a> {
         &mut self,
         lambda: &mut [f64],
         mu: &mut [f64],
-        x_t: &mut DenseMatrix,
+        x_t: &mut [f64],
         s: &mut [f64],
         d: &mut [f64],
     ) -> Option<(usize, f64)> {
@@ -583,7 +582,7 @@ impl<'a> SolveControl<'a> {
         let snap = &self.snap;
         lambda.copy_from_slice(&snap.lambda);
         mu.copy_from_slice(&snap.mu);
-        x_t.as_mut_slice().copy_from_slice(&snap.x_t);
+        x_t.copy_from_slice(&snap.x_t);
         s.copy_from_slice(&snap.s);
         d.copy_from_slice(&snap.d);
         self.stop = Some(StopReason::Breakdown);

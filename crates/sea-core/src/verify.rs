@@ -10,6 +10,7 @@
 use crate::dual;
 use crate::problem::{DiagonalProblem, Residuals, TotalSpec};
 use crate::solver::Solution;
+use crate::storage::{RowView, Storage};
 
 /// A first-principles optimality report.
 #[derive(Debug, Clone, Copy)]
@@ -66,7 +67,7 @@ impl KktReport {
 /// let report = verify_solution(&p, &sol);
 /// assert!(report.is_optimal(1e-6));
 /// ```
-pub fn verify_solution(p: &DiagonalProblem, sol: &Solution) -> KktReport {
+pub fn verify_solution<S: Storage>(p: &DiagonalProblem<S>, sol: &Solution<S>) -> KktReport {
     let (m, n) = (p.m(), p.n());
     let x0 = p.x0();
     let gamma = p.gamma();
@@ -84,24 +85,45 @@ pub fn verify_solution(p: &DiagonalProblem, sol: &Solution) -> KktReport {
     let mut max_sign_violation: f64 = 0.0;
     let mut min_entry = f64::INFINITY;
     let entry_scale = x0
-        .as_slice()
+        .values()
         .iter()
         .fold(1e-12_f64, |acc, &v| acc.max(v.abs()));
     for i in 0..m {
-        let (x0r, gr) = (x0.row(i), gamma.row(i));
-        let xr = sol.x.row(i);
-        for j in 0..n {
-            min_entry = min_entry.min(xr[j]);
-            // Structural zeros carry no KKT condition.
-            if p.support().is_some() && x0r[j] == 0.0 {
-                continue;
+        match (x0.row_view(i), gamma.row_view(i), sol.x.row_view(i)) {
+            (RowView::Dense(x0r), RowView::Dense(gr), RowView::Dense(xr)) => {
+                for j in 0..n {
+                    min_entry = min_entry.min(xr[j]);
+                    // Structural zeros carry no KKT condition.
+                    if p.support().is_some() && x0r[j] == 0.0 {
+                        continue;
+                    }
+                    let grad = 2.0 * gr[j] * (xr[j] - x0r[j]) - sol.lambda[i] - sol.mu[j];
+                    if xr[j] > 1e-10 * entry_scale {
+                        max_stationarity = max_stationarity.max(grad.abs() / grad_scale);
+                    } else {
+                        max_sign_violation = max_sign_violation.max((-grad).max(0.0) / grad_scale);
+                    }
+                }
             }
-            let grad = 2.0 * gr[j] * (xr[j] - x0r[j]) - sol.lambda[i] - sol.mu[j];
-            if xr[j] > 1e-10 * entry_scale {
-                max_stationarity = max_stationarity.max(grad.abs() / grad_scale);
-            } else {
-                max_sign_violation = max_sign_violation.max((-grad).max(0.0) / grad_scale);
+            (
+                RowView::Indexed { idx, vals: x0v },
+                RowView::Indexed { vals: gv, .. },
+                RowView::Indexed { vals: xv, .. },
+            ) => {
+                // Stored entries are the variables; missing entries are
+                // structural zeros and carry no KKT condition.
+                for t in 0..idx.len() {
+                    let j = idx[t] as usize;
+                    min_entry = min_entry.min(xv[t]);
+                    let grad = 2.0 * gv[t] * (xv[t] - x0v[t]) - sol.lambda[i] - sol.mu[j];
+                    if xv[t] > 1e-10 * entry_scale {
+                        max_stationarity = max_stationarity.max(grad.abs() / grad_scale);
+                    } else {
+                        max_sign_violation = max_sign_violation.max((-grad).max(0.0) / grad_scale);
+                    }
+                }
             }
+            _ => debug_assert!(false, "mismatched row views in verify_solution"),
         }
     }
 

@@ -16,9 +16,10 @@
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use sea_core::{
-    BoundedProblem, DiagonalProblem, GeneralProblem, GeneralTotalSpec, SeaError, TotalSpec,
+    BoundedProblem, DiagonalProblem, GeneralProblem, GeneralTotalSpec, SeaError, Storage,
+    TotalSpec, ZeroPolicy,
 };
-use sea_linalg::{DenseMatrix, SymMatrix};
+use sea_linalg::{CsrMatrix, DenseMatrix, SymMatrix};
 
 /// The deterministic RNG behind every family.
 pub fn rng(seed: u64) -> ChaCha8Rng {
@@ -245,4 +246,231 @@ pub fn try_general(
     let gm = SymMatrix::from_dense(g, 1e-12)?;
     let (s0, d0) = consistent_totals(&mut r, m, n, 1.0);
     GeneralProblem::new(x0, gm, GeneralTotalSpec::Fixed { s0, d0 })
+}
+
+// ---------------------------------------------------------------------------
+// Sparse (CSR) families.
+//
+// Each family is a pure function of its seed, like the dense ones above.
+// Patterns guarantee at least one stored entry per row and per column, and
+// totals are the margins of a perturbed interior point on the support, so
+// every instance is feasible by construction. Problems carry
+// `ZeroPolicy::Structural` so their dense image (`to_dense_problem`) treats
+// off-support cells as structural zeros — the dense oracle the differential
+// suite compares against.
+// ---------------------------------------------------------------------------
+
+/// Banded pattern: row `i` stores the columns within `half_bandwidth` of the
+/// diagonal position `i·n/m` (clamped). Contiguous support, the
+/// cache-friendliest sparse shape.
+pub fn banded_pattern(m: usize, n: usize, half_bandwidth: usize) -> Vec<(usize, usize)> {
+    let mut pat = Vec::new();
+    for i in 0..m {
+        let center = i * n / m;
+        let lo = center.saturating_sub(half_bandwidth);
+        let hi = (center + half_bandwidth).min(n - 1);
+        for j in lo..=hi {
+            pat.push((i, j));
+        }
+    }
+    pat
+}
+
+/// Block-diagonal pattern: rows and columns split into `blocks` contiguous
+/// chunks; block k is fully stored. Blocks are exactly the support-graph
+/// components, so this family exercises component-aligned sharding.
+pub fn block_diagonal_pattern(m: usize, n: usize, blocks: usize) -> Vec<(usize, usize)> {
+    let blocks = blocks.clamp(1, m.min(n));
+    let mut pat = Vec::new();
+    for k in 0..blocks {
+        let (r0, r1) = (k * m / blocks, (k + 1) * m / blocks);
+        let (c0, c1) = (k * n / blocks, (k + 1) * n / blocks);
+        for i in r0..r1 {
+            for j in c0..c1 {
+                pat.push((i, j));
+            }
+        }
+    }
+    pat
+}
+
+/// Power-law pattern at roughly `density`: a guaranteed diagonal-ish entry
+/// per row and per column, a full hub column 0 (the heavy head of the
+/// degree distribution, which also keeps the support graph connected),
+/// plus random fill whose column choice is biased toward low indices
+/// (`j ∝ u²`) — the degree profile of real input–output tables.
+pub fn power_law_pattern(
+    r: &mut ChaCha8Rng,
+    m: usize,
+    n: usize,
+    density: f64,
+) -> Vec<(usize, usize)> {
+    let mut cells = std::collections::BTreeSet::new();
+    for i in 0..m {
+        cells.insert((i, i % n));
+        cells.insert((i, 0));
+    }
+    for j in 0..n {
+        cells.insert((j % m, j));
+    }
+    let extra = ((m * n) as f64 * density) as usize;
+    for _ in 0..extra {
+        let i = r.random_range(0..m);
+        let u: f64 = r.random_range(0.0..1.0);
+        let j = ((u * u) * n as f64) as usize;
+        cells.insert((i, j.min(n - 1)));
+    }
+    cells.into_iter().collect()
+}
+
+/// Build a fixed-totals sparse diagonal problem over a support pattern:
+/// positive priors and `10^±2` weight spreads on the stored cells, totals
+/// from the margins of a perturbed copy of the prior (feasible by
+/// construction).
+pub fn sparse_fixed_from_pattern(
+    r: &mut ChaCha8Rng,
+    m: usize,
+    n: usize,
+    pat: &[(usize, usize)],
+) -> DiagonalProblem<CsrMatrix> {
+    let trips: Vec<(usize, usize, f64)> = pat
+        .iter()
+        .map(|&(i, j)| (i, j, r.random_range(0.5..10.0)))
+        .collect();
+    let x0 = CsrMatrix::from_triplets(m, n, &trips).expect("generated pattern is valid");
+    let gvals: Vec<f64> = (0..x0.stored())
+        .map(|_| 10f64.powi(r.random_range(-2..=2)))
+        .collect();
+    let gamma = x0.with_values(gvals).expect("same pattern");
+    let (s0, d0) = sparse_margin_totals(r, &x0);
+    DiagonalProblem::with_zero_policy(
+        x0,
+        gamma,
+        TotalSpec::Fixed { s0, d0 },
+        ZeroPolicy::Structural,
+    )
+    .expect("sparse family is feasible by construction")
+}
+
+/// Feasible totals for a sparse prior: the row/column margins of an interior
+/// point obtained by perturbing every stored entry by ±25%.
+fn sparse_margin_totals(r: &mut ChaCha8Rng, x0: &CsrMatrix) -> (Vec<f64>, Vec<f64>) {
+    let yvals: Vec<f64> = x0
+        .values()
+        .iter()
+        .map(|&v| v * r.random_range(0.8..1.25))
+        .collect();
+    let y = x0.clone().with_values(yvals).expect("same pattern");
+    let mut s0 = vec![0.0; Storage::rows(x0)];
+    let mut d0 = vec![0.0; Storage::cols(x0)];
+    y.row_sums_into(&mut s0);
+    y.col_sums_into(&mut d0);
+    (s0, d0)
+}
+
+/// Seeded banded sparse instance.
+pub fn sparse_banded(seed: u64, m: usize, n: usize, hb: usize) -> DiagonalProblem<CsrMatrix> {
+    let mut r = rng(seed);
+    let pat = banded_pattern(m, n, hb);
+    sparse_fixed_from_pattern(&mut r, m, n, &pat)
+}
+
+/// Seeded block-diagonal sparse instance.
+pub fn sparse_block_diagonal(
+    seed: u64,
+    m: usize,
+    n: usize,
+    blocks: usize,
+) -> DiagonalProblem<CsrMatrix> {
+    let mut r = rng(seed);
+    let pat = block_diagonal_pattern(m, n, blocks);
+    sparse_fixed_from_pattern(&mut r, m, n, &pat)
+}
+
+/// Seeded power-law sparse instance at roughly `density`.
+pub fn sparse_power_law(seed: u64, m: usize, n: usize, density: f64) -> DiagonalProblem<CsrMatrix> {
+    let mut r = rng(seed);
+    let pat = power_law_pattern(&mut r, m, n, density);
+    sparse_fixed_from_pattern(&mut r, m, n, &pat)
+}
+
+/// Seeded elastic-totals sparse instance on a banded pattern.
+pub fn sparse_elastic(seed: u64, m: usize, n: usize, hb: usize) -> DiagonalProblem<CsrMatrix> {
+    let mut r = rng(seed);
+    let pat = banded_pattern(m, n, hb);
+    let fixed = sparse_fixed_from_pattern(&mut r, m, n, &pat);
+    let TotalSpec::Fixed { s0, d0 } = fixed.totals().clone() else {
+        unreachable!("sparse_fixed_from_pattern builds fixed totals")
+    };
+    let alpha: Vec<f64> = (0..m).map(|_| r.random_range(0.3..2.0)).collect();
+    let beta: Vec<f64> = (0..n).map(|_| r.random_range(0.3..2.0)).collect();
+    DiagonalProblem::with_zero_policy(
+        fixed.x0().clone(),
+        fixed.gamma().clone(),
+        TotalSpec::Elastic {
+            alpha,
+            s0,
+            beta,
+            d0,
+        },
+        ZeroPolicy::Structural,
+    )
+    .expect("elastic sparse family is constructible")
+}
+
+/// Seeded SAM-balancing sparse instance on a square banded pattern.
+pub fn sparse_balanced(seed: u64, n: usize, hb: usize) -> DiagonalProblem<CsrMatrix> {
+    let mut r = rng(seed);
+    let pat = banded_pattern(n, n, hb);
+    let fixed = sparse_fixed_from_pattern(&mut r, n, n, &pat);
+    let TotalSpec::Fixed { s0, d0 } = fixed.totals().clone() else {
+        unreachable!("sparse_fixed_from_pattern builds fixed totals")
+    };
+    let s0: Vec<f64> = s0.iter().zip(&d0).map(|(a, b)| 0.5 * (a + b)).collect();
+    // Unit elasticities: tiny alpha (soft totals) makes the dual converge
+    // far more slowly than the primal residual, stalling the test sweeps.
+    let alpha = vec![1.0; s0.len()];
+    DiagonalProblem::with_zero_policy(
+        fixed.x0().clone(),
+        fixed.gamma().clone(),
+        TotalSpec::Balanced { alpha, s0 },
+        ZeroPolicy::Structural,
+    )
+    .expect("balanced sparse family is constructible")
+}
+
+/// Seeded box-bounded sparse instance on a banded pattern: zero lower
+/// bounds, upper bounds covering the grand total.
+pub fn sparse_bounded(seed: u64, m: usize, n: usize, hb: usize) -> BoundedProblem<CsrMatrix> {
+    let mut r = rng(seed);
+    let pat = banded_pattern(m, n, hb);
+    let fixed = sparse_fixed_from_pattern(&mut r, m, n, &pat);
+    let TotalSpec::Fixed { s0, d0 } = fixed.totals().clone() else {
+        unreachable!("sparse_fixed_from_pattern builds fixed totals")
+    };
+    let grand: f64 = s0.iter().sum();
+    let x0 = fixed.x0().clone();
+    let lo = x0.zeros_like();
+    let hi = x0
+        .clone()
+        .with_values(vec![grand.max(1.0); x0.stored()])
+        .expect("same pattern");
+    BoundedProblem::new(x0, fixed.gamma().clone(), lo, hi, s0, d0)
+        .expect("bounded sparse family is feasible by construction")
+}
+
+/// Every fixed-totals sparse family, tagged for assertion messages — the
+/// sweep the differential and determinism suites run over.
+pub fn sparse_families(seed: u64) -> Vec<(&'static str, DiagonalProblem<CsrMatrix>)> {
+    vec![
+        ("banded", sparse_banded(seed, 12, 12, 2)),
+        ("banded-rect", sparse_banded(seed ^ 0xB4AD, 9, 14, 3)),
+        (
+            "block-diagonal",
+            sparse_block_diagonal(seed ^ 0xB10C, 12, 12, 3),
+        ),
+        ("power-law", sparse_power_law(seed ^ 0xF01, 14, 14, 0.25)),
+        ("elastic-banded", sparse_elastic(seed ^ 0xE1A, 10, 11, 2)),
+        ("balanced-banded", sparse_balanced(seed ^ 0xBA1, 12, 3)),
+    ]
 }

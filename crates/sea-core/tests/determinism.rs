@@ -169,3 +169,91 @@ fn kernels_have_independent_trajectories_but_equal_iteration_counts() {
         );
     }
 }
+
+/// Sparse storage preserves the determinism contract: for every sparse
+/// family, both kernels, any pool width, and any shard size — including
+/// single-row shards, which exercise the component-aligned sharding
+/// boundaries hardest — the solve is bitwise identical to the Serial,
+/// default-shard reference.
+#[test]
+fn sparse_solves_are_bitwise_identical_across_modes_and_shards() {
+    use sea_core::Storage;
+
+    let modes = [
+        Parallelism::Rayon,
+        Parallelism::RayonThreads(2),
+        Parallelism::RayonThreads(4),
+    ];
+    let shard_sizes = [Some(1), Some(3), Some(64)];
+    for (tag, problem) in generator::sparse_families(0x5EA_DE7) {
+        for kernel in [KernelKind::SortScan, KernelKind::Quickselect] {
+            let mut ref_opts = SeaOptions::with_epsilon(1e-8);
+            ref_opts.kernel = kernel;
+            let reference =
+                sea_core::solve_diagonal(&problem, &ref_opts).expect("reference sparse solve");
+            for mode in modes {
+                for block in shard_sizes {
+                    let mut opts = ref_opts.clone();
+                    opts.parallelism = mode;
+                    opts.block_size = block;
+                    let sol =
+                        sea_core::solve_diagonal(&problem, &opts).expect("sharded sparse solve");
+                    assert_eq!(
+                        sol.stats.iterations, reference.stats.iterations,
+                        "{tag}/{kernel}/{mode:?}/{block:?}: iteration count diverged"
+                    );
+                    assert_eq!(
+                        bits(sol.x.values()),
+                        bits(reference.x.values()),
+                        "{tag}/{kernel}/{mode:?}/{block:?}: solution bits diverged"
+                    );
+                    assert_eq!(
+                        bits(&sol.lambda),
+                        bits(&reference.lambda),
+                        "{tag}/{kernel}/{mode:?}/{block:?}: row multipliers diverged"
+                    );
+                    assert_eq!(
+                        bits(&sol.mu),
+                        bits(&reference.mu),
+                        "{tag}/{kernel}/{mode:?}/{block:?}: column multipliers diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Constructing the same logically-dense problem two ways — native dense
+/// storage vs lifted to CSR with `from_dense_problem` — yields bitwise
+/// identical solves, for both zero policies (Free keeps every cell in the
+/// pattern; Structural prunes to the support).
+#[test]
+fn dense_and_csr_construction_agree_bitwise() {
+    use sea_core::{DiagonalProblem, Storage};
+    use sea_linalg::CsrMatrix;
+
+    let mut problems = vec![("heterogeneous", generator::heterogeneous(0xD0_5EA, 8, 10))];
+    if let Ok(p) = generator::try_fixed_diagonal(0xD1_5EA, 9, 7, 2, 1.0) {
+        problems.push(("fixed-diagonal", p));
+    }
+    for (tag, dense_p) in problems {
+        let sparse_p =
+            DiagonalProblem::<CsrMatrix>::from_dense_problem(&dense_p).expect("lift to CSR");
+        for kernel in [KernelKind::SortScan, KernelKind::Quickselect] {
+            let mut opts = SeaOptions::with_epsilon(1e-8);
+            opts.kernel = kernel;
+            let dsol = sea_core::solve_diagonal(&dense_p, &opts).expect("dense solve");
+            let ssol = sea_core::solve_diagonal(&sparse_p, &opts).expect("sparse solve");
+            let sx = ssol.x.to_dense().expect("densify sparse solution");
+            assert_eq!(
+                bits(sx.as_slice()),
+                bits(dsol.x.as_slice()),
+                "{tag}/{kernel}: storage backends diverged"
+            );
+            assert_eq!(
+                ssol.stats.iterations, dsol.stats.iterations,
+                "{tag}/{kernel}: iteration counts diverged"
+            );
+        }
+    }
+}

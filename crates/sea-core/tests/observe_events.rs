@@ -112,3 +112,78 @@ fn event_stream_matches_golden_fixture() {
         "event count diverges from the golden fixture"
     );
 }
+
+/// A tiny deterministic sparse (CSR) solve, pinned the same way: the event
+/// stream — including the kernel work counters over the stored support —
+/// must match `tests/fixtures/golden_sparse_solve.jsonl` exactly.
+#[test]
+fn sparse_event_stream_matches_golden_fixture() {
+    use sea_core::ZeroPolicy;
+    use sea_linalg::CsrMatrix;
+
+    // 3×3 with a 5-cell support (cells (0,2), (1,2), (2,0), (2,1) are
+    // structural zeros); totals grow the margins non-uniformly so the
+    // solve takes several alternating passes.
+    let x0 = CsrMatrix::from_triplets(
+        3,
+        3,
+        &[
+            (0, 0, 1.0),
+            (0, 1, 2.0),
+            (1, 0, 3.0),
+            (1, 1, 4.0),
+            (2, 2, 5.0),
+        ],
+    )
+    .unwrap();
+    let gamma = x0.with_values(vec![1.0, 2.0, 1.0, 4.0, 1.0]).unwrap();
+    let p = DiagonalProblem::with_zero_policy(
+        x0,
+        gamma,
+        TotalSpec::Fixed {
+            s0: vec![3.2, 7.9, 5.5],
+            d0: vec![4.5, 6.6, 5.5],
+        },
+        ZeroPolicy::Structural,
+    )
+    .unwrap();
+    let mut opts = SeaOptions::with_epsilon(1e-10);
+    opts.parallelism = Parallelism::Serial;
+
+    let mut obs = JsonlObserver::new(Vec::new());
+    let sol = solve_diagonal_observed(&p, &opts, &mut obs).unwrap();
+    assert!(sol.stats.converged);
+
+    let bytes = obs.finish().unwrap();
+    let recorded = parse_events(std::str::from_utf8(&bytes).unwrap()).unwrap();
+    let mut actual = String::new();
+    for event in &recorded {
+        actual.push_str(&encode_event(&normalized(event)));
+        actual.push('\n');
+    }
+
+    // `UPDATE_GOLDEN=1 cargo test -p sea-core --test observe_events`
+    // rewrites the fixture after an intentional event-schema change.
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/fixtures/golden_sparse_solve.jsonl"
+        );
+        std::fs::write(path, &actual).unwrap();
+        return;
+    }
+
+    let golden = include_str!("fixtures/golden_sparse_solve.jsonl");
+    for (i, (a, g)) in actual.lines().zip(golden.lines()).enumerate() {
+        assert_eq!(
+            a,
+            g,
+            "event {} diverges from the golden sparse fixture",
+            i + 1
+        );
+    }
+    assert_eq!(
+        actual, golden,
+        "event count diverges from the golden sparse fixture"
+    );
+}

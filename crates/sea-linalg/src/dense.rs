@@ -35,6 +35,36 @@ impl DenseMatrix {
         })
     }
 
+    /// Zero matrix of the given shape, with a *fallible* allocation.
+    ///
+    /// Unlike [`DenseMatrix::zeros`], an allocator refusal surfaces as
+    /// [`LinalgError::Allocation`] instead of aborting the process, so
+    /// large-instance tooling can prove "this does not fit densely" and
+    /// keep running. Overflowing `rows * cols` is reported the same way.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::Empty`] for zero dimensions and
+    /// [`LinalgError::Allocation`] when the buffer cannot be allocated.
+    pub fn try_zeros(rows: usize, cols: usize) -> Result<Self, LinalgError> {
+        if rows == 0 || cols == 0 {
+            return Err(LinalgError::Empty {
+                context: "DenseMatrix::try_zeros",
+            });
+        }
+        let len = rows.checked_mul(cols).ok_or(LinalgError::Allocation {
+            context: "DenseMatrix::try_zeros",
+            bytes: usize::MAX,
+        })?;
+        let mut data = Vec::new();
+        data.try_reserve_exact(len)
+            .map_err(|_| LinalgError::Allocation {
+                context: "DenseMatrix::try_zeros",
+                bytes: len * std::mem::size_of::<f64>(),
+            })?;
+        data.resize(len, 0.0);
+        Ok(Self { rows, cols, data })
+    }
+
     /// Constant-filled matrix.
     ///
     /// # Errors

@@ -35,6 +35,23 @@ pub enum LinalgError {
         /// What was being constructed or applied.
         context: &'static str,
     },
+    /// A fallible allocation was refused by the allocator. Raised by
+    /// [`crate::DenseMatrix::try_zeros`] so callers can report "this
+    /// instance does not fit densely" instead of aborting the process.
+    Allocation {
+        /// What was being constructed.
+        context: &'static str,
+        /// Bytes requested when the allocator refused.
+        bytes: usize,
+    },
+    /// Sparse (CSR) structure data was inconsistent: unsorted or duplicate
+    /// column indices, an out-of-range index, or a malformed row pointer.
+    InvalidSparsity {
+        /// What was being constructed or applied.
+        context: &'static str,
+        /// Row in which the inconsistency was found.
+        row: usize,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -55,6 +72,12 @@ impl fmt::Display for LinalgError {
                 write!(f, "matrix is not symmetric at entry ({i},{j})")
             }
             LinalgError::Empty { context } => write!(f, "{context} must be nonempty"),
+            LinalgError::Allocation { context, bytes } => {
+                write!(f, "allocation of {bytes} bytes refused in {context}")
+            }
+            LinalgError::InvalidSparsity { context, row } => {
+                write!(f, "invalid sparse structure in {context} at row {row}")
+            }
         }
     }
 }

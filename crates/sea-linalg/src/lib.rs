@@ -8,6 +8,9 @@
 //!
 //! * [`DenseMatrix`] — row-major dense `f64` matrix with parallel mat-vec,
 //!   used for priors `X⁰`, per-entry weights `Γ`, and iterates `X`.
+//! * [`CsrMatrix`] — compressed sparse row matrix with an `Arc`-shared
+//!   pattern, used by the sparse storage backend of `sea-core` so that
+//!   per-row/per-column subproblems run over the support only.
 //! * [`SymMatrix`] — symmetric dense matrix (full storage) with a symmetric
 //!   mat-vec, used for the `A`, `B`, and `G` weight matrices of the general
 //!   quadratic objective, plus generators for strictly diagonally dominant
@@ -25,6 +28,7 @@
 #![allow(clippy::needless_range_loop)]
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
+pub mod csr;
 pub mod dense;
 pub mod error;
 pub mod sort;
@@ -32,6 +36,7 @@ pub mod stats;
 pub mod sym;
 pub mod vector;
 
+pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::LinalgError;
 pub use sym::SymMatrix;
