@@ -210,6 +210,7 @@ fn half_step(
             costs,
             None,
             None,
+            None,
         )?;
         if let Some(tr) = trace.as_mut() {
             tr.push(

@@ -9,7 +9,7 @@
 
 use crate::cache::CacheUpdate;
 use crate::engine::{BatchSolution, WarmStart};
-use sea_core::{Event, SeaError};
+use sea_core::{Event, KernelCounters, SeaError};
 
 /// Per-instance workspace and result carrier for one batch position.
 #[derive(Debug, Default)]
@@ -26,6 +26,12 @@ pub(crate) struct Slot {
     pub kernel_work: u64,
     /// Kernel work saved vs the family's cold baseline (0 off-hit).
     pub work_saved: u64,
+    /// Full kernel counters harvested by the probe (for Instance spans).
+    pub counters: KernelCounters,
+    /// Solve start offset from the batch epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Solve end offset from the batch epoch, nanoseconds.
+    pub end_ns: u64,
     /// The solve outcome; `None` only before the instance ran.
     pub outcome: Option<Result<BatchSolution, SeaError>>,
     /// Deferred cache write produced by this instance, if any.
@@ -40,6 +46,9 @@ impl Slot {
         self.warm = WarmStart::Bypass;
         self.kernel_work = 0;
         self.work_saved = 0;
+        self.counters = KernelCounters::default();
+        self.start_ns = 0;
+        self.end_ns = 0;
         self.outcome = None;
         self.update = None;
     }

@@ -21,9 +21,9 @@ use std::time::{Duration, Instant};
 use rayon::prelude::*;
 use sea_core::{
     solve_bounded_supervised_warm, solve_diagonal_supervised, solve_general_supervised,
-    BoundedProblem, DiagonalProblem, Event, GeneralProblem, GeneralSeaOptions, KernelKind,
-    Observer, Parallelism, SeaError, SeaOptions, StopReason, SupervisedBoundedSolution,
-    SupervisedGeneralSolution, SupervisedSolution, SupervisorOptions,
+    BoundedProblem, DiagonalProblem, Event, GeneralProblem, GeneralSeaOptions, KernelCounters,
+    KernelKind, Observer, Parallelism, SeaError, SeaOptions, SpanKind, StopReason,
+    SupervisedBoundedSolution, SupervisedGeneralSolution, SupervisedSolution, SupervisorOptions,
 };
 use sea_linalg::CsrMatrix;
 
@@ -379,6 +379,13 @@ impl BatchEngine {
                 parallelism: self.options.parallelism.label(),
             });
         }
+        // The Batch span opens before any instance runs so the workers'
+        // start/end stamps (offsets from `start`) land inside it; each
+        // instance becomes a leaf replayed from the serial epilogue.
+        let spanning = obs.spans_enabled();
+        if spanning {
+            obs.span_open(SpanKind::Batch, 0, instances.len() as u64);
+        }
 
         let BatchEngine {
             options,
@@ -387,7 +394,13 @@ impl BatchEngine {
         } = self;
         let slots = arena.acquire(instances.len());
         let run = |slot: &mut Slot, inst: &BatchInstance| {
-            solve_one(inst, options, cache, observing, slot);
+            if spanning {
+                slot.start_ns = elapsed_ns(start);
+            }
+            solve_one(inst, options, cache, observing, spanning, slot);
+            if spanning {
+                slot.end_ns = elapsed_ns(start);
+            }
         };
         match options.parallelism {
             BatchParallelism::Outer | BatchParallelism::OuterThreads(_) => {
@@ -427,6 +440,22 @@ impl BatchEngine {
             } else {
                 slot.events.clear();
             }
+            if spanning {
+                let tasks = slot
+                    .outcome
+                    .as_ref()
+                    .and_then(|o| o.as_ref().ok())
+                    .map_or(0, |s| s.iterations() as u64);
+                obs.span_leaf(
+                    SpanKind::Instance,
+                    index as u64,
+                    slot.start_ns,
+                    slot.end_ns,
+                    tasks,
+                    &slot.counters,
+                    slot.warm.name(),
+                );
+            }
             match slot.warm {
                 WarmStart::Hit => hits += 1,
                 WarmStart::Miss => misses += 1,
@@ -455,6 +484,9 @@ impl BatchEngine {
             });
         }
         cache.apply(updates);
+        if spanning {
+            obs.span_close(&KernelCounters::default());
+        }
 
         let elapsed = start.elapsed();
         if observing {
@@ -480,6 +512,14 @@ impl BatchEngine {
     }
 }
 
+/// Nanoseconds elapsed since `t0`, saturating (good for ~584 years).
+fn elapsed_ns(t0: Instant) -> u64 {
+    let d = t0.elapsed();
+    d.as_secs()
+        .saturating_mul(1_000_000_000)
+        .saturating_add(u64::from(d.subsec_nanos()))
+}
+
 /// Probe sink for one instance: harvests kernel-work counters and (when
 /// the batch has an outer observer) buffers the instance's event stream
 /// for in-order replay.
@@ -487,6 +527,7 @@ struct ProbeObserver {
     keep_events: bool,
     measure: bool,
     work: u64,
+    counters: KernelCounters,
     events: Vec<Event>,
 }
 
@@ -504,6 +545,7 @@ impl Observer for ProbeObserver {
                 self.work += counters.breakpoints_scanned
                     + counters.quickselect_pivots
                     + counters.boxed_clamps;
+                self.counters = self.counters.merged(*counters);
             }
         }
         if self.keep_events {
@@ -518,6 +560,7 @@ fn solve_one(
     opts: &BatchOptions,
     cache: &WarmStartCache,
     buffer_events: bool,
+    spanning: bool,
     slot: &mut Slot,
 ) {
     // Resolve the warm start against the read-only snapshot. A cached μ of
@@ -537,10 +580,13 @@ fn solve_one(
     }
     let hit = slot.warm == WarmStart::Hit;
 
+    // Span attribution needs the counters even when the caller left
+    // `measure_kernel_work` off, so spanning forces measurement on.
     let mut probe = ProbeObserver {
         keep_events: buffer_events,
-        measure: opts.measure_kernel_work,
+        measure: opts.measure_kernel_work || spanning,
         work: 0,
+        counters: KernelCounters::default(),
         events: mem::take(&mut slot.events),
     };
     let inner = opts.parallelism.instance();
@@ -604,6 +650,7 @@ fn solve_one(
 
     slot.events = probe.events;
     slot.kernel_work = probe.work;
+    slot.counters = probe.counters;
     if hit {
         slot.work_saved = baseline.saturating_sub(probe.work);
     }

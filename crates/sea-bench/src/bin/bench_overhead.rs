@@ -1,0 +1,546 @@
+//! Span-profiling overhead benchmark: the `BENCH_7.json` snapshot.
+//!
+//! Two workloads are timed twice each — once under [`NullObserver`]
+//! (the audited zero-overhead path) and once with a [`SpanProfiler`]
+//! attached — with the repeats interleaved so machine drift hits both
+//! modes equally:
+//!
+//! * **sparse** — a supervised 10 000 × 10 000 banded CSR solve; span
+//!   signalling adds epoch/pass/check spans, per-shard leaves, and the
+//!   convergence telemetry stream.
+//! * **batch** — a 3-instance warm-start batch through one engine; span
+//!   signalling adds the batch frame and per-instance leaves (and forces
+//!   counter harvesting on).
+//!
+//! The snapshot records median wall times, the relative overhead (the
+//! tentpole budget is <2%), the per-phase breakdown computed from the
+//! recorded spans, and the reconciliation error between the solve root
+//! span and the end-to-end wall clock (must be ≤5%). Both exports are
+//! exercised in-process: the chrome-trace document must parse back into
+//! the same number of spans and the folded-stack text must be non-empty.
+//!
+//! ```text
+//! bench_overhead [--out BENCH_7.json] [--seed 1990] [--repeats 3]
+//!                [--smoke] [--max-overhead PCT]
+//! ```
+//!
+//! `--smoke` runs a smaller sparse instance only and exits non-zero when
+//! the measured overhead exceeds `--max-overhead` (default 2.0) — the CI
+//! overhead-regression gate — after smoke-testing both export formats.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sea_batch::{BatchEngine, BatchInstance, BatchOptions, BatchProblem};
+use sea_core::{
+    solve_diagonal_supervised, DiagonalProblem, NullObserver, Parallelism, SeaOptions,
+    SpanProfiler, StopReason, SupervisorOptions, TotalSpec, ZeroPolicy,
+};
+use sea_linalg::CsrMatrix;
+use sea_observe::json::{f64_to_json, JsonValue};
+use sea_observe::{chrome_trace, folded_stacks, parse_chrome_trace, ParsedSpan, SpanKind};
+use sea_report::SpanBreakdown;
+
+/// Sparse-stage order (rows = cols).
+const SCALE_N: usize = 10_000;
+/// Sparse-stage half-bandwidth: 129 stored cells per interior row keeps
+/// one solve in the ~60 s range at the scale tolerance (iteration count
+/// for banded priors grows steeply in `n / half_bandwidth`), while the
+/// pass/shard structure matches the big BENCH_6 instance.
+const SCALE_HB: usize = 64;
+/// Smoke-stage order.
+const SMOKE_N: usize = 2_000;
+/// Smoke-stage half-bandwidth.
+const SMOKE_HB: usize = 48;
+/// Batch-stage instance order.
+const BATCH_N: usize = 160;
+/// Batch-stage instance count (the acceptance scenario).
+const BATCH_INSTANCES: usize = 3;
+/// Stopping tolerance for the batch snapshot stage (tiny instances).
+const EPSILON: f64 = 1e-8;
+/// Sparse-stage tolerance: 1e-6 at this order/bandwidth runs past the
+/// ten-minute mark per solve, so the 10k×10k acceptance stage stops at
+/// 1e-5 — still a supervised solve to convergence, ~60 s per run.
+const EPSILON_SCALE: f64 = 1e-5;
+/// Looser smoke tolerance: the overhead ratio does not depend on how far
+/// the solve runs, and CI wants the gate in seconds, not minutes.
+const EPSILON_SMOKE: f64 = 1e-5;
+/// Reconciliation budget: root span vs end-to-end wall clock.
+const MAX_RECONCILE_PCT: f64 = 5.0;
+/// Profiler ring sizing: big enough that no epoch is ever sampled out,
+/// so the bench measures the worst-case (record-everything) overhead.
+const SPAN_CAPACITY: usize = 1 << 17;
+/// Telemetry ring sizing, same reasoning.
+const TELEMETRY_CAPACITY: usize = 1 << 13;
+
+/// Build a banded CSR prior directly in CSR order.
+fn banded_prior(rng: &mut ChaCha8Rng, n: usize, hb: usize) -> CsrMatrix {
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut col_idx: Vec<u32> = Vec::new();
+    let mut vals: Vec<f64> = Vec::new();
+    row_ptr.push(0);
+    for i in 0..n {
+        let lo = i.saturating_sub(hb);
+        let hi = (i + hb).min(n - 1);
+        for j in lo..=hi {
+            col_idx.push(j as u32);
+            vals.push(rng.random_range(0.5..10.0));
+        }
+        row_ptr.push(col_idx.len());
+    }
+    CsrMatrix::from_parts(n, n, row_ptr, col_idx, vals).expect("banded pattern is valid CSR")
+}
+
+/// Feasible fixed-totals sparse problem on a banded support (the
+/// BENCH_6 recipe: `10^±1` weight spreads, totals from the margins of a
+/// ±10%-perturbed copy of the prior).
+fn banded_problem(seed: u64, n: usize, hb: usize) -> DiagonalProblem<CsrMatrix> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let x0 = banded_prior(&mut rng, n, hb);
+    let gvals: Vec<f64> = (0..x0.stored())
+        .map(|_| 10f64.powi(rng.random_range(-1..=1)))
+        .collect();
+    let gamma = x0.with_values(gvals).expect("same pattern");
+    let yvals: Vec<f64> = x0
+        .vals()
+        .iter()
+        .map(|&v| v * rng.random_range(0.9..1.1))
+        .collect();
+    let y = x0.with_values(yvals).expect("same pattern");
+    let mut s0 = vec![0.0; n];
+    let mut d0 = vec![0.0; n];
+    y.row_sums_into(&mut s0);
+    y.col_sums_into(&mut d0);
+    DiagonalProblem::with_zero_policy(
+        x0,
+        gamma,
+        TotalSpec::Fixed { s0, d0 },
+        ZeroPolicy::Structural,
+    )
+    .expect("banded problem is feasible by construction")
+}
+
+/// A 3-instance batch in one family, priors a few percent apart so the
+/// warm-start cache sees hits after the cold fill.
+fn batch_manifest(seed: u64) -> Vec<BatchInstance> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xBA7C7);
+    (0..BATCH_INSTANCES)
+        .map(|i| {
+            let n = BATCH_N;
+            let mut x0 = Vec::with_capacity(n * n);
+            let mut gamma = Vec::with_capacity(n * n);
+            for k in 0..n * n {
+                let phase = k % 5;
+                x0.push((1.0 + phase as f64) * rng.random_range(0.9..1.1));
+                gamma.push(10f64.powi(phase as i32 - 2));
+            }
+            let x0 = sea_linalg::DenseMatrix::from_vec(n, n, x0).expect("nonempty");
+            let gamma = sea_linalg::DenseMatrix::from_vec(n, n, gamma).expect("same shape");
+            let s0: Vec<f64> = x0.row_sums().iter().map(|v| 1.1 * v).collect();
+            let grand: f64 = s0.iter().sum();
+            let mut d0: Vec<f64> = x0.col_sums();
+            let dsum: f64 = d0.iter().sum();
+            for d in &mut d0 {
+                *d *= grand / dsum;
+            }
+            let resid = grand - d0.iter().sum::<f64>();
+            d0[0] += resid;
+            let problem = DiagonalProblem::new(x0, gamma, TotalSpec::Fixed { s0, d0 })
+                .expect("valid by construction");
+            BatchInstance {
+                id: format!("inst-{i}"),
+                family: Some("bench".to_string()),
+                problem: BatchProblem::Diagonal(problem),
+            }
+        })
+        .collect()
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    assert!(!v.is_empty());
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    v[v.len() / 2]
+}
+
+fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Round-trip the profiler's ring through both export formats, failing
+/// loudly when either drops information, and hand back the parsed spans.
+fn validate_exports(profiler: &SpanProfiler) -> Vec<ParsedSpan> {
+    let spans = profiler.spans();
+    assert!(!spans.is_empty(), "profiler recorded no spans");
+    let doc = chrome_trace(&spans, profiler.dropped());
+    let parsed = parse_chrome_trace(&doc).expect("chrome-trace export must parse back");
+    assert_eq!(
+        parsed.len(),
+        spans.len(),
+        "chrome-trace round trip lost spans"
+    );
+    let flame = folded_stacks(&spans);
+    assert!(
+        flame
+            .lines()
+            .any(|l| l.starts_with("solve") || l.starts_with("batch")),
+        "folded stacks carry no rooted lines:\n{flame}"
+    );
+    parsed
+}
+
+/// Serialize the per-kind aggregates of a breakdown.
+fn phases_json(b: &SpanBreakdown) -> JsonValue {
+    JsonValue::Object(
+        b.kinds
+            .iter()
+            .map(|(kind, s)| {
+                (
+                    kind.name().to_string(),
+                    obj(vec![
+                        ("count", JsonValue::Number(s.count as f64)),
+                        (
+                            "inclusive_seconds",
+                            f64_to_json(s.inclusive_ns as f64 * 1e-9),
+                        ),
+                        ("self_seconds", f64_to_json(s.self_ns as f64 * 1e-9)),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
+
+struct StageResult {
+    null_median: f64,
+    span_median: f64,
+    overhead_pct: f64,
+    reconcile_pct: f64,
+    breakdown: SpanBreakdown,
+    spans: usize,
+}
+
+impl StageResult {
+    fn json(&self, extra: Vec<(&str, JsonValue)>) -> JsonValue {
+        let mut fields = vec![
+            ("null_median_seconds", f64_to_json(self.null_median)),
+            ("span_median_seconds", f64_to_json(self.span_median)),
+            ("overhead_pct", f64_to_json(self.overhead_pct)),
+            ("reconcile_pct", f64_to_json(self.reconcile_pct)),
+            ("spans", JsonValue::Number(self.spans as f64)),
+            (
+                "serial_fraction",
+                f64_to_json(self.breakdown.serial_fraction()),
+            ),
+            (
+                "critical_path_seconds",
+                f64_to_json(self.breakdown.critical_path_ns as f64 * 1e-9),
+            ),
+            ("phases", phases_json(&self.breakdown)),
+        ];
+        fields.extend(extra);
+        obj(fields)
+    }
+}
+
+/// Interleave `repeats` timed runs of `null_run` and `span_run`; the
+/// span runs record into `profiler` (reset between runs, last run kept).
+fn measure<FN, FS>(
+    repeats: usize,
+    profiler: &mut SpanProfiler,
+    mut null_run: FN,
+    mut span_run: FS,
+) -> (f64, f64)
+where
+    FN: FnMut() -> f64,
+    FS: FnMut(&mut SpanProfiler) -> f64,
+{
+    let mut null_secs = Vec::with_capacity(repeats);
+    let mut span_secs = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        null_secs.push(null_run());
+        profiler.reset();
+        span_secs.push(span_run(profiler));
+    }
+    (median(null_secs), median(span_secs))
+}
+
+/// Reconciliation: the root spans' wall coverage vs the measured
+/// end-to-end seconds of the same (last) spanned run.
+fn reconcile_pct(breakdown: &SpanBreakdown, end_to_end_seconds: f64) -> f64 {
+    let covered = breakdown.wall_ns as f64 * 1e-9;
+    100.0 * (end_to_end_seconds - covered).abs() / end_to_end_seconds
+}
+
+/// The supervised sparse stage at order `n`, half-bandwidth `hb`.
+fn bench_sparse_stage(seed: u64, repeats: usize, n: usize, hb: usize, epsilon: f64) -> StageResult {
+    let p = banded_problem(seed, n, hb);
+    let mut opts = SeaOptions::with_epsilon(epsilon);
+    opts.parallelism = Parallelism::Rayon;
+    // Narrow bands couple weakly and take many cheap sweeps; give the
+    // driver room (the budget below is the real guard, not this cap).
+    opts.max_iterations = 50_000;
+    let sup = SupervisorOptions::default();
+    let run_null = || {
+        let t = std::time::Instant::now();
+        let sol = solve_diagonal_supervised(&p, &opts, &sup, &mut NullObserver)
+            .expect("sparse solve failed");
+        assert_eq!(
+            sol.stop,
+            StopReason::Converged,
+            "sparse stage must converge"
+        );
+        t.elapsed().as_secs_f64()
+    };
+    let run_span = |prof: &mut SpanProfiler| {
+        let t = std::time::Instant::now();
+        let sol =
+            solve_diagonal_supervised(&p, &opts, &sup, prof).expect("spanned sparse solve failed");
+        assert_eq!(
+            sol.stop,
+            StopReason::Converged,
+            "spanned stage must converge"
+        );
+        t.elapsed().as_secs_f64()
+    };
+
+    let mut profiler = SpanProfiler::with_capacity(SPAN_CAPACITY, TELEMETRY_CAPACITY);
+    let mut last_span_seconds = 0.0;
+    let (null_median, span_median) = measure(repeats, &mut profiler, run_null, |prof| {
+        last_span_seconds = run_span(prof);
+        last_span_seconds
+    });
+    assert_eq!(profiler.dropped(), 0, "ring sized to record every span");
+
+    let parsed = validate_exports(&profiler);
+    let breakdown = SpanBreakdown::from_spans(&parsed);
+    let spans = parsed.len();
+    StageResult {
+        null_median,
+        span_median,
+        overhead_pct: 100.0 * (span_median - null_median) / null_median,
+        reconcile_pct: reconcile_pct(&breakdown, last_span_seconds),
+        breakdown,
+        spans,
+    }
+}
+
+/// The 3-instance batch stage: one engine per mode so warm-start cache
+/// behavior is identical, timed over `repeats` further epochs each.
+fn bench_batch_stage(seed: u64, repeats: usize) -> StageResult {
+    let instances = batch_manifest(seed);
+    let mk_engine = || {
+        BatchEngine::new(BatchOptions {
+            epsilon: EPSILON,
+            ..BatchOptions::default()
+        })
+    };
+    let mut null_engine = mk_engine();
+    let mut span_engine = mk_engine();
+    // Cold fill both engines once so the timed epochs hit the cache.
+    assert!(null_engine
+        .solve_batch(&instances, &mut NullObserver)
+        .all_converged());
+    let mut warmup = SpanProfiler::with_capacity(SPAN_CAPACITY, TELEMETRY_CAPACITY);
+    assert!(span_engine
+        .solve_batch(&instances, &mut warmup)
+        .all_converged());
+
+    let mut profiler = SpanProfiler::with_capacity(SPAN_CAPACITY, TELEMETRY_CAPACITY);
+    let mut last_span_seconds = 0.0;
+    let (null_median, span_median) = measure(
+        repeats,
+        &mut profiler,
+        || {
+            let report = null_engine.solve_batch(&instances, &mut NullObserver);
+            assert!(report.all_converged(), "batch stage must converge");
+            report.elapsed.as_secs_f64()
+        },
+        |prof| {
+            let t = std::time::Instant::now();
+            let report = span_engine.solve_batch(&instances, prof);
+            assert!(report.all_converged(), "spanned batch stage must converge");
+            last_span_seconds = t.elapsed().as_secs_f64();
+            last_span_seconds
+        },
+    );
+
+    let parsed = validate_exports(&profiler);
+    let instances_seen = parsed
+        .iter()
+        .filter(|s| s.kind == SpanKind::Instance)
+        .count();
+    assert_eq!(
+        instances_seen, BATCH_INSTANCES,
+        "batch trace must carry one leaf per instance"
+    );
+    let breakdown = SpanBreakdown::from_spans(&parsed);
+    let spans = parsed.len();
+    StageResult {
+        null_median,
+        span_median,
+        overhead_pct: 100.0 * (span_median - null_median) / null_median,
+        reconcile_pct: reconcile_pct(&breakdown, last_span_seconds),
+        breakdown,
+        spans,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut out: Option<String> = None;
+    let mut seed = 1990u64;
+    let mut repeats = 3usize;
+    let mut smoke = false;
+    let mut max_overhead = 2.0f64;
+    let mut n_override: Option<usize> = None;
+    let mut hb_override: Option<usize> = None;
+    let mut eps_override: Option<f64> = None;
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => {
+                if let Some(v) = it.next() {
+                    out = Some(v.clone());
+                }
+            }
+            "--seed" => {
+                if let Some(v) = it.next() {
+                    seed = v.parse().unwrap_or(seed);
+                }
+            }
+            "--repeats" => {
+                if let Some(v) = it.next() {
+                    repeats = v.parse().unwrap_or(repeats).max(1);
+                }
+            }
+            "--max-overhead" => {
+                if let Some(v) = it.next() {
+                    max_overhead = v.parse().unwrap_or(max_overhead);
+                }
+            }
+            "--n" => {
+                if let Some(v) = it.next() {
+                    n_override = v.parse().ok();
+                }
+            }
+            "--hb" => {
+                if let Some(v) = it.next() {
+                    hb_override = v.parse().ok();
+                }
+            }
+            "--epsilon" => {
+                if let Some(v) = it.next() {
+                    eps_override = v.parse().ok();
+                }
+            }
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if smoke {
+        // CI gate: a smaller instance at a looser tolerance (the overhead
+        // ratio is tolerance-independent), more repeats for a stable
+        // median, hard overhead threshold, and both exports exercised.
+        let r = bench_sparse_stage(
+            seed,
+            repeats.max(3),
+            n_override.unwrap_or(SMOKE_N),
+            hb_override.unwrap_or(SMOKE_HB),
+            eps_override.unwrap_or(EPSILON_SMOKE),
+        );
+        println!(
+            "smoke: null {:.3}s vs spans {:.3}s → {:+.2}% overhead \
+             ({} spans, reconcile {:.2}%)",
+            r.null_median, r.span_median, r.overhead_pct, r.spans, r.reconcile_pct
+        );
+        assert!(
+            r.reconcile_pct <= MAX_RECONCILE_PCT,
+            "span coverage reconciles to {:.2}% (> {MAX_RECONCILE_PCT}%)",
+            r.reconcile_pct
+        );
+        if r.overhead_pct > max_overhead {
+            eprintln!(
+                "OVERHEAD REGRESSION: {:.2}% > {max_overhead}% budget",
+                r.overhead_pct
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let scale_n = n_override.unwrap_or(SCALE_N);
+    let scale_hb = hb_override.unwrap_or(SCALE_HB);
+    let scale_eps = eps_override.unwrap_or(EPSILON_SCALE);
+    eprintln!("sparse stage: {scale_n}×{scale_n}, half-bandwidth {scale_hb}, {repeats} repeats…");
+    let sparse = bench_sparse_stage(seed, repeats, scale_n, scale_hb, scale_eps);
+    eprintln!(
+        "sparse: null {:.3}s vs spans {:.3}s → {:+.2}% overhead, reconcile {:.2}%",
+        sparse.null_median, sparse.span_median, sparse.overhead_pct, sparse.reconcile_pct
+    );
+    assert!(
+        sparse.reconcile_pct <= MAX_RECONCILE_PCT,
+        "sparse reconcile {:.2}% exceeds {MAX_RECONCILE_PCT}%",
+        sparse.reconcile_pct
+    );
+
+    eprintln!("batch stage: {BATCH_INSTANCES}×{BATCH_N}×{BATCH_N} instances, {repeats} repeats…");
+    let batch = bench_batch_stage(seed, repeats);
+    eprintln!(
+        "batch: null {:.3}s vs spans {:.3}s → {:+.2}% overhead, reconcile {:.2}%",
+        batch.null_median, batch.span_median, batch.overhead_pct, batch.reconcile_pct
+    );
+    assert!(
+        batch.reconcile_pct <= MAX_RECONCILE_PCT,
+        "batch reconcile {:.2}% exceeds {MAX_RECONCILE_PCT}%",
+        batch.reconcile_pct
+    );
+
+    let doc = obj(vec![
+        (
+            "schema",
+            JsonValue::String("sea-bench-summary/v1".to_string()),
+        ),
+        ("pr", JsonValue::Number(7.0)),
+        ("seed", JsonValue::Number(seed as f64)),
+        ("overhead_budget_pct", f64_to_json(max_overhead)),
+        (
+            "sparse",
+            sparse.json(vec![
+                ("rows", JsonValue::Number(scale_n as f64)),
+                ("cols", JsonValue::Number(scale_n as f64)),
+                ("half_bandwidth", JsonValue::Number(scale_hb as f64)),
+                ("epsilon", f64_to_json(scale_eps)),
+            ]),
+        ),
+        (
+            "batch",
+            batch.json(vec![
+                ("instances", JsonValue::Number(BATCH_INSTANCES as f64)),
+                ("order", JsonValue::Number(BATCH_N as f64)),
+                ("epsilon", f64_to_json(EPSILON)),
+            ]),
+        ),
+    ]);
+    let rendered = doc.render();
+    match out {
+        Some(path) => {
+            std::fs::write(&path, format!("{rendered}\n")).expect("write snapshot");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{rendered}"),
+    }
+    assert!(
+        sparse.overhead_pct <= max_overhead && batch.overhead_pct <= max_overhead,
+        "measured overhead (sparse {:.2}%, batch {:.2}%) exceeds the {max_overhead}% budget",
+        sparse.overhead_pct,
+        batch.overhead_pct
+    );
+}

@@ -28,6 +28,12 @@ pub struct CommonOpts {
     pub metrics: Option<PathBuf>,
     /// Write the recorded execution trace (JSON) to this file.
     pub trace: Option<PathBuf>,
+    /// Write a chrome-trace span profile (JSON) to this file.
+    pub trace_spans: Option<PathBuf>,
+    /// Write a folded-stack flamegraph text file to this path.
+    pub flamegraph: Option<PathBuf>,
+    /// Render a live convergence progress line (with an ETA) on stderr.
+    pub progress: bool,
     /// Wall-clock budget in seconds; on expiry the partial estimate is
     /// emitted with a `deadline_exceeded` stop reason.
     pub deadline: Option<f64>,
@@ -60,6 +66,10 @@ pub struct BatchOpts {
     pub observe: Option<PathBuf>,
     /// Write Prometheus text-exposition metrics to this file.
     pub metrics: Option<PathBuf>,
+    /// Write a chrome-trace span profile (JSON) to this file.
+    pub trace_spans: Option<PathBuf>,
+    /// Write a folded-stack flamegraph text file to this path.
+    pub flamegraph: Option<PathBuf>,
     /// Per-instance wall-clock budget in seconds.
     pub deadline: Option<f64>,
 }
@@ -116,10 +126,12 @@ pub enum Command {
         /// Batch-wide options.
         opts: BatchOpts,
     },
-    /// Summarize a recorded JSONL solve log.
+    /// Summarize a recorded JSONL solve log and/or a span profile.
     Report {
         /// Events file written by `--observe`.
-        events: PathBuf,
+        events: Option<PathBuf>,
+        /// Chrome-trace span profile written by `--trace-spans`.
+        spans: Option<PathBuf>,
         /// Replay the log on a simulated machine with this many processors.
         processors: Option<usize>,
     },
@@ -138,6 +150,10 @@ fn take_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>),
         if let Some(name) = a.strip_prefix("--") {
             if name == "structural-zeros" || name == "zeros" && it.peek().is_none() {
                 flags.insert("structural-zeros".to_string(), "true".to_string());
+                continue;
+            }
+            if name == "progress" {
+                flags.insert("progress".to_string(), "true".to_string());
                 continue;
             }
             let value = it
@@ -195,6 +211,9 @@ fn common_from(flags: &mut HashMap<String, String>) -> Result<CommonOpts, ParseE
     let observe = flags.remove("observe").map(PathBuf::from);
     let metrics = flags.remove("metrics").map(PathBuf::from);
     let trace = flags.remove("trace").map(PathBuf::from);
+    let trace_spans = flags.remove("trace-spans").map(PathBuf::from);
+    let flamegraph = flags.remove("flamegraph").map(PathBuf::from);
+    let progress = flags.remove("progress").is_some();
     let deadline = match flags.remove("deadline") {
         None => None,
         Some(v) => {
@@ -241,6 +260,9 @@ fn common_from(flags: &mut HashMap<String, String>) -> Result<CommonOpts, ParseE
         observe,
         metrics,
         trace,
+        trace_spans,
+        flamegraph,
+        progress,
         deadline,
         max_iterations,
         checkpoint,
@@ -287,6 +309,8 @@ fn batch_opts_from(flags: &mut HashMap<String, String>) -> Result<BatchOpts, Par
     };
     let observe = flags.remove("observe").map(PathBuf::from);
     let metrics = flags.remove("metrics").map(PathBuf::from);
+    let trace_spans = flags.remove("trace-spans").map(PathBuf::from);
+    let flamegraph = flags.remove("flamegraph").map(PathBuf::from);
     let deadline = match flags.remove("deadline") {
         None => None,
         Some(v) => {
@@ -308,6 +332,8 @@ fn batch_opts_from(flags: &mut HashMap<String, String>) -> Result<BatchOpts, Par
         warm_start,
         observe,
         metrics,
+        trace_spans,
+        flamegraph,
         deadline,
     })
 }
@@ -391,7 +417,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
             Command::Info { matrix }
         }
         "report" => {
-            let events = required_path(&mut flags, "events")?;
+            let events = flags.remove("events").map(PathBuf::from);
+            let spans = flags.remove("spans").map(PathBuf::from);
+            if events.is_none() && spans.is_none() {
+                return Err("report needs --events <file> and/or --spans <file>".to_string());
+            }
             let processors = match flags.remove("processors") {
                 None => None,
                 Some(v) => Some(
@@ -401,7 +431,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                         .ok_or_else(|| format!("--processors {v:?} is not a positive integer"))?,
                 ),
             };
-            Command::Report { events, processors }
+            Command::Report {
+                events,
+                spans,
+                processors,
+            }
         }
         "help" | "--help" | "-h" => Command::Help,
         other => return Err(format!("unknown subcommand {other:?}")),
@@ -425,9 +459,10 @@ USAGE:
   sea-solve batch   manifest.jsonl [--parallel serial|outer[:K]|inner[:K]]
                     [--warm-start on|off] [--epsilon E] [--max-iterations N]
                     [--deadline S] [--kernel K] [--observe F] [--metrics F]
+                    [--trace-spans F] [--flamegraph F] [--progress]
                     [--out results.jsonl]
   sea-solve info    --matrix X0.csv
-  sea-solve report  --events events.jsonl [--processors N]
+  sea-solve report  [--events events.jsonl] [--spans trace.json] [--processors N]
 
 OPTIONS (solver subcommands):
   --weights unit|chi2|sqrt   deviation weights (default chi2 = 1/x0)
@@ -448,6 +483,17 @@ OBSERVABILITY (quadratic solver subcommands):
   --observe <file>           stream typed solver events as JSONL
   --metrics <file>           write Prometheus text-format metrics
   --trace <file>             dump the recorded execution trace as JSON
+  --trace-spans <file>       profile the solve as hierarchical spans and
+                             write a chrome-trace JSON (load in
+                             chrome://tracing or Perfetto; feed back to
+                             `report --spans`). Bounded overhead: spans go
+                             to a preallocated ring with adaptive sampling
+  --flamegraph <file>        write the span profile as folded stacks
+                             (one `path;to;frame <self-us>` line each) for
+                             flamegraph.pl / inferno
+  --progress                 live one-line convergence progress on stderr
+                             (iteration, residual, convergence-rate ETA);
+                             also accepted by `batch`
 
 ROBUSTNESS (quadratic solver subcommands):
   --deadline <secs>          wall-clock budget; on expiry the partial
@@ -498,7 +544,12 @@ EXIT CODES:
 
 `report` summarizes a JSONL log recorded with --observe: per-phase wall
 time, serial fraction, and iterations to convergence; with --processors N
-it also replays the log on a simulated N-processor machine.
+it also replays the log on a simulated N-processor machine. With
+--spans trace.json it additionally breaks the solve down per span kind
+(self vs inclusive time, kernel work), computes the measured critical
+path, serial fraction, and speedup ceiling from the real spans, and —
+with --processors — simulates the replay over the *measured* phase
+durations instead of the event log's synthetic ones.
 ";
 
 #[cfg(test)]
@@ -635,8 +686,13 @@ mod tests {
     #[test]
     fn parses_report_command() {
         match parse_args(&argv("report --events e.jsonl")).unwrap() {
-            Command::Report { events, processors } => {
-                assert_eq!(events, PathBuf::from("e.jsonl"));
+            Command::Report {
+                events,
+                spans,
+                processors,
+            } => {
+                assert_eq!(events, Some(PathBuf::from("e.jsonl")));
+                assert!(spans.is_none());
                 assert!(processors.is_none());
             }
             other => panic!("wrong command {other:?}"),
@@ -645,9 +701,61 @@ mod tests {
             Command::Report { processors, .. } => assert_eq!(processors, Some(8)),
             other => panic!("wrong command {other:?}"),
         }
+        // --spans alone is enough; either source satisfies the command.
+        match parse_args(&argv("report --spans t.json")).unwrap() {
+            Command::Report { events, spans, .. } => {
+                assert!(events.is_none());
+                assert_eq!(spans, Some(PathBuf::from("t.json")));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
         assert!(parse_args(&argv("report")).is_err());
         assert!(parse_args(&argv("report --events e.jsonl --processors 0")).is_err());
         assert!(parse_args(&argv("report --events e.jsonl --processors many")).is_err());
+    }
+
+    #[test]
+    fn parses_span_profiling_flags() {
+        let cmd = parse_args(&argv(
+            "sam --matrix m.csv --trace-spans t.json --flamegraph f.folded --progress",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Sam { common, .. } => {
+                assert_eq!(common.trace_spans, Some(PathBuf::from("t.json")));
+                assert_eq!(common.flamegraph, Some(PathBuf::from("f.folded")));
+                assert!(common.progress);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Defaults: all off.
+        match parse_args(&argv("sam --matrix m.csv")).unwrap() {
+            Command::Sam { common, .. } => {
+                assert!(common.trace_spans.is_none() && common.flamegraph.is_none());
+                assert!(!common.progress);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // `--progress` is a bare boolean: the next token is not swallowed.
+        match parse_args(&argv("sam --progress --matrix m.csv")).unwrap() {
+            Command::Sam { common, .. } => {
+                assert!(common.progress);
+                assert_eq!(common.matrix, PathBuf::from("m.csv"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Batch takes span exports too.
+        match parse_args(&argv(
+            "batch jobs.jsonl --trace-spans t.json --flamegraph f.txt",
+        ))
+        .unwrap()
+        {
+            Command::Batch { opts, .. } => {
+                assert_eq!(opts.trace_spans, Some(PathBuf::from("t.json")));
+                assert_eq!(opts.flamegraph, Some(PathBuf::from("f.txt")));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
     }
 
     #[test]

@@ -8,27 +8,101 @@ use sea_baselines::ras::{ras_balance, RasOptions};
 use sea_batch::{BatchEngine, BatchInstance, BatchItemReport, BatchOptions, BatchProblem};
 use sea_core::{
     solve_diagonal_supervised, trace_from_events, Checkpoint, CheckpointPolicy, DiagonalProblem,
-    Event, ExecutionTrace, KernelKind, Observer, SeaOptions, StopReason, Storage,
-    SupervisorOptions, TotalSpec, WeightScheme, ZeroPolicy,
+    Event, ExecutionTrace, KernelCounters, KernelKind, Observer, SeaOptions, SpanKind, StopReason,
+    Storage, SupervisorOptions, TelemetrySample, TotalSpec, WeightScheme, ZeroPolicy,
 };
 use sea_linalg::{CsrMatrix, DenseMatrix};
 use sea_observe::json::{f64_to_json, parse as parse_json, JsonValue};
 use sea_observe::jsonl::{parse_events, JsonlObserver};
 use sea_observe::metrics::MetricsObserver;
+use sea_observe::{
+    chrome_trace, folded_stacks, parse_chrome_trace, ConvergenceEstimator, SpanProfiler,
+};
 use sea_parsim::SimPhase;
-use sea_report::SolveSummary;
+use sea_report::{SolveSummary, SpanBreakdown};
 use std::fs::File;
-use std::io::BufWriter;
+use std::io::{BufWriter, Write};
 use std::path::Path;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// The CLI's composite sink: an optional JSONL stream plus an optional
-/// metrics aggregator. With neither requested it reports disabled, so the
-/// solver takes its zero-overhead path.
+/// Rate-limited single-line progress display: overwrites one stderr line
+/// (`\r`, no newline) with the latest iteration, residual, and — once the
+/// estimator has enough samples — the fitted convergence rate and an ETA.
+#[derive(Debug)]
+struct ProgressLine {
+    /// Residual target the ETA projects to (the solve's epsilon).
+    target: f64,
+    /// Recent telemetry tail the rate fit runs over.
+    samples: Vec<TelemetrySample>,
+    last_emit: Option<Instant>,
+    /// Whether anything was written (so `finish` knows to emit `\n`).
+    dirty: bool,
+}
+
+impl ProgressLine {
+    /// Minimum wall time between repaints, so tight solves don't turn
+    /// the progress line into a stderr firehose.
+    const MIN_REPAINT: Duration = Duration::from_millis(100);
+    /// Samples kept for the rate fit; the estimator only reads a tail.
+    const KEEP: usize = 64;
+
+    fn new(target: f64) -> Self {
+        Self {
+            target,
+            samples: Vec::with_capacity(Self::KEEP),
+            last_emit: None,
+            dirty: false,
+        }
+    }
+
+    fn observe(&mut self, sample: &TelemetrySample) {
+        if self.samples.len() == Self::KEEP {
+            self.samples.drain(..Self::KEEP / 2);
+        }
+        self.samples.push(*sample);
+        let now = Instant::now();
+        if self
+            .last_emit
+            .is_some_and(|t| now.duration_since(t) < Self::MIN_REPAINT)
+        {
+            return;
+        }
+        self.last_emit = Some(now);
+        let mut line = format!(
+            "\r# iter {:>6}  residual {:9.3e}",
+            sample.iteration, sample.residual
+        );
+        if let Some(eta) = ConvergenceEstimator::estimate(&self.samples, self.target) {
+            line.push_str(&format!(
+                "  rate {:.4}  eta {:.1}s ({:.0} iters)",
+                eta.rate, eta.seconds_remaining, eta.iterations_remaining
+            ));
+        }
+        let mut err = std::io::stderr();
+        let _ = err.write_all(line.as_bytes());
+        let _ = err.flush();
+        self.dirty = true;
+    }
+
+    /// Terminate the overwritten line so the report prints cleanly below.
+    fn finish(&mut self) {
+        if self.dirty {
+            let _ = writeln!(std::io::stderr());
+            self.dirty = false;
+        }
+    }
+}
+
+/// The CLI's composite sink: an optional JSONL stream, an optional
+/// metrics aggregator, an optional span profiler, and an optional TTY
+/// progress line. With none requested both `enabled` and `spans_enabled`
+/// report false, so the solver takes its zero-overhead path.
 #[derive(Debug, Default)]
 struct CliObserver {
     jsonl: Option<JsonlObserver<BufWriter<File>>>,
     metrics: Option<MetricsObserver>,
+    spans: Option<SpanProfiler>,
+    progress: Option<ProgressLine>,
 }
 
 impl Observer for CliObserver {
@@ -44,6 +118,103 @@ impl Observer for CliObserver {
             m.record(event);
         }
     }
+
+    fn spans_enabled(&self) -> bool {
+        // Progress rides the telemetry stream and metrics histograms ride
+        // span leaves, so either one also turns span signalling on.
+        self.spans.is_some()
+            || self.progress.is_some()
+            || self.metrics.as_ref().is_some_and(Observer::spans_enabled)
+    }
+
+    fn span_open(&mut self, kind: SpanKind, index: u64, tasks: u64) {
+        if let Some(p) = &mut self.spans {
+            p.span_open(kind, index, tasks);
+        }
+        if let Some(m) = &mut self.metrics {
+            m.span_open(kind, index, tasks);
+        }
+    }
+
+    fn span_close(&mut self, self_counters: &KernelCounters) {
+        if let Some(p) = &mut self.spans {
+            p.span_close(self_counters);
+        }
+        if let Some(m) = &mut self.metrics {
+            m.span_close(self_counters);
+        }
+    }
+
+    fn span_leaf(
+        &mut self,
+        kind: SpanKind,
+        index: u64,
+        rel_start_ns: u64,
+        rel_end_ns: u64,
+        tasks: u64,
+        counters: &KernelCounters,
+        detail: &'static str,
+    ) {
+        if let Some(p) = &mut self.spans {
+            p.span_leaf(
+                kind,
+                index,
+                rel_start_ns,
+                rel_end_ns,
+                tasks,
+                counters,
+                detail,
+            );
+        }
+        if let Some(m) = &mut self.metrics {
+            m.span_leaf(
+                kind,
+                index,
+                rel_start_ns,
+                rel_end_ns,
+                tasks,
+                counters,
+                detail,
+            );
+        }
+    }
+
+    fn telemetry(&mut self, sample: &TelemetrySample) {
+        if let Some(p) = &mut self.spans {
+            p.telemetry(sample);
+        }
+        if let Some(pr) = &mut self.progress {
+            pr.observe(sample);
+        }
+    }
+}
+
+/// Flush the profiler's ring to the requested export files, appending a
+/// `# spans:` / `# flamegraph:` trailer line per file written.
+fn export_spans(
+    profiler: &SpanProfiler,
+    trace_spans: Option<&Path>,
+    flamegraph: Option<&Path>,
+    notes: &mut String,
+) -> Result<(), CliError> {
+    let spans = profiler.spans();
+    if let Some(path) = trace_spans {
+        let mut doc = chrome_trace(&spans, profiler.dropped()).render();
+        doc.push('\n');
+        std::fs::write(path, doc).map_err(|e| format!("{}: {e}", path.display()))?;
+        notes.push_str(&format!(
+            "# spans: {} ({} spans, {} dropped)\n",
+            path.display(),
+            spans.len(),
+            profiler.dropped()
+        ));
+    }
+    if let Some(path) = flamegraph {
+        std::fs::write(path, folded_stacks(&spans))
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        notes.push_str(&format!("# flamegraph: {}\n", path.display()));
+    }
+    Ok(())
 }
 
 fn weight_scheme(name: &str) -> WeightScheme {
@@ -154,9 +325,17 @@ fn solve_and_emit<S: Storage>(
             None => None,
         },
         metrics: common.metrics.as_ref().map(|_| MetricsObserver::new()),
+        spans: (common.trace_spans.is_some() || common.flamegraph.is_some())
+            .then(SpanProfiler::new),
+        progress: common.progress.then(|| ProgressLine::new(common.epsilon)),
     };
-    let sup_sol =
-        solve_diagonal_supervised(problem, &opts, &sup, &mut obs).map_err(CliError::Solver)?;
+    let sup_sol = solve_diagonal_supervised(problem, &opts, &sup, &mut obs);
+    if let Some(p) = &mut obs.progress {
+        // Terminate the overwritten stderr line before any report prints,
+        // whether the solve converged, stopped, or failed.
+        p.finish();
+    }
+    let sup_sol = sup_sol.map_err(CliError::Solver)?;
     let sol = &sup_sol.solution;
     // Flush every sink before judging convergence, so a stopped solve
     // still leaves its log/metrics behind for diagnosis.
@@ -172,6 +351,14 @@ fn solve_and_emit<S: Storage>(
         let path = common.metrics.as_ref().expect("metrics path set");
         std::fs::write(path, metrics.render()).map_err(|e| format!("{}: {e}", path.display()))?;
         sink_notes.push_str(&format!("# metrics: {}\n", path.display()));
+    }
+    if let Some(profiler) = obs.spans.take() {
+        export_spans(
+            &profiler,
+            common.trace_spans.as_deref(),
+            common.flamegraph.as_deref(),
+            &mut sink_notes,
+        )?;
     }
     if let Some(path) = &common.trace {
         let trace = sol
@@ -441,6 +628,8 @@ fn run_batch(manifest: &Path, opts: &BatchOpts) -> Result<String, CliError> {
             None => None,
         },
         metrics: opts.metrics.as_ref().map(|_| MetricsObserver::new()),
+        spans: (opts.trace_spans.is_some() || opts.flamegraph.is_some()).then(SpanProfiler::new),
+        progress: None,
     };
     let mut engine = BatchEngine::new(bopts);
     let batch = engine.solve_batch(&instances, &mut obs);
@@ -468,6 +657,14 @@ fn run_batch(manifest: &Path, opts: &BatchOpts) -> Result<String, CliError> {
         let path = opts.metrics.as_ref().expect("metrics path set");
         std::fs::write(path, metrics.render()).map_err(|e| format!("{}: {e}", path.display()))?;
         report.push_str(&format!("# metrics: {}\n", path.display()));
+    }
+    if let Some(profiler) = obs.spans.take() {
+        export_spans(
+            &profiler,
+            opts.trace_spans.as_deref(),
+            opts.flamegraph.as_deref(),
+            &mut report,
+        )?;
     }
     report.push_str(&format!(
         "# batch: {} instances, {} converged, cache {} hit / {} miss, \
@@ -517,14 +714,59 @@ fn trace_to_sim_phases(trace: &ExecutionTrace) -> Vec<SimPhase> {
         .collect()
 }
 
-fn report_from_log(events_path: &Path, processors: Option<usize>) -> Result<String, CliError> {
-    let text = std::fs::read_to_string(events_path)
-        .map_err(|e| format!("{}: {e}", events_path.display()))?;
-    let events = parse_events(&text).map_err(|e| format!("{}: {e}", events_path.display()))?;
-    let mut out = SolveSummary::from_events(&events).render();
+/// Convert measured span phases into simulator phases. Serial phases
+/// stay serial; the projection's clamp sweep is memory-bound like the
+/// event-trace replay treats it; everything else scales compute-bound.
+fn span_phases_to_sim(phases: &[sea_report::SpanPhase]) -> Vec<SimPhase> {
+    phases
+        .iter()
+        .map(|ph| match ph.kind {
+            _ if ph.serial => SimPhase::serial(ph.tasks.clone()),
+            sea_core::SpanKind::Projection => SimPhase::parallel_memory_bound(ph.tasks.clone()),
+            _ => SimPhase::parallel(ph.tasks.clone()),
+        })
+        .collect()
+}
+
+fn report_from_log(
+    events_path: Option<&Path>,
+    spans_path: Option<&Path>,
+    processors: Option<usize>,
+) -> Result<String, CliError> {
+    let mut out = String::new();
+    let mut events = None;
+    if let Some(path) = events_path {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let evs = parse_events(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        out.push_str(&SolveSummary::from_events(&evs).render());
+        events = Some(evs);
+    }
+    let mut measured = None;
+    if let Some(path) = spans_path {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let doc = parse_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let spans = parse_chrome_trace(&doc).map_err(|e| format!("{}: {e}", path.display()))?;
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&SpanBreakdown::from_spans(&spans).render());
+        measured = Some(spans);
+    }
     if let Some(n) = processors {
-        let trace = trace_from_events(&events);
-        let phases = trace_to_sim_phases(&trace);
+        // Prefer measured span phases over the coarser event-trace replay:
+        // real per-shard timings feed the simulator instead of per-phase
+        // wall time split evenly across tasks.
+        let (phases, title) = match (&measured, &events) {
+            (Some(spans), _) => (
+                span_phases_to_sim(&SpanBreakdown::phases(spans)),
+                "Simulated replay (measured span phases)",
+            ),
+            (None, Some(evs)) => (
+                trace_to_sim_phases(&trace_from_events(evs)),
+                "Simulated replay",
+            ),
+            (None, None) => unreachable!("report requires --events or --spans"),
+        };
         // Powers of two up to N, always ending at N itself.
         let mut counts = vec![1usize];
         let mut p = 2;
@@ -536,7 +778,7 @@ fn report_from_log(events_path: &Path, processors: Option<usize>) -> Result<Stri
             counts.push(n);
         }
         let rows = sea_parsim::speedup_table(&phases, &counts, 0.0, 0.0);
-        let mut table = sea_report::Table::new("Simulated replay", &["N", "T_N (s)", "S_N", "E_N"]);
+        let mut table = sea_report::Table::new(title, &["N", "T_N (s)", "S_N", "E_N"]);
         for r in &rows {
             table.push_row(vec![
                 r.processors.to_string(),
@@ -577,7 +819,11 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 cols.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
             ))
         }
-        Command::Report { events, processors } => report_from_log(events, *processors),
+        Command::Report {
+            events,
+            spans,
+            processors,
+        } => report_from_log(events.as_deref(), spans.as_deref(), *processors),
         Command::Batch { manifest, opts } => run_batch(manifest, opts),
         Command::Fixed {
             common,
@@ -944,6 +1190,159 @@ mod tests {
         assert!(summary.contains("row_equilibration"));
         assert!(summary.contains("Simulated replay"));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn span_exports_and_measured_report_end_to_end() {
+        let dir = tmpdir("spans");
+        write(&dir, "m.csv", "1,2\n3,4\n");
+        write(&dir, "s.csv", "4,6\n");
+        write(&dir, "d.csv", "5\n5\n");
+        let trace = dir.join("spans.json");
+        let folded = dir.join("flame.folded");
+        let argv: Vec<String> = [
+            "fixed",
+            "--matrix",
+            dir.join("m.csv").to_str().unwrap(),
+            "--row-totals",
+            dir.join("s.csv").to_str().unwrap(),
+            "--col-totals",
+            dir.join("d.csv").to_str().unwrap(),
+            "--weights",
+            "unit",
+            "--trace-spans",
+            trace.to_str().unwrap(),
+            "--flamegraph",
+            folded.to_str().unwrap(),
+            "--progress",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let report = run(&parse_args(&argv).unwrap()).unwrap();
+        assert!(report.contains("# spans:"), "{report}");
+        assert!(report.contains("# flamegraph:"), "{report}");
+
+        // The chrome-trace document parses back into a span forest rooted
+        // at a solve span whose epochs nest inside it.
+        let doc = parse_json(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        let spans = parse_chrome_trace(&doc).unwrap();
+        assert!(!spans.is_empty());
+        let root = spans
+            .iter()
+            .find(|s| s.kind == sea_core::SpanKind::Solve)
+            .expect("solve root span");
+        assert!(root.parent.is_none());
+        assert!(spans
+            .iter()
+            .any(|s| s.kind == sea_core::SpanKind::Epoch && s.parent == Some(root.id)));
+
+        // The folded-stack export names the solve root on every line.
+        let flame = std::fs::read_to_string(&folded).unwrap();
+        assert!(!flame.is_empty());
+        assert!(flame.lines().all(|l| l.starts_with("solve")), "{flame}");
+
+        // `report --spans` renders the measured per-phase breakdown, and
+        // `--processors` replays the measured phases through the simulator.
+        let argv: Vec<String> = [
+            "report",
+            "--spans",
+            trace.to_str().unwrap(),
+            "--processors",
+            "4",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let summary = run(&parse_args(&argv).unwrap()).unwrap();
+        assert!(
+            summary.contains("per-phase breakdown (from spans)"),
+            "{summary}"
+        );
+        assert!(summary.contains("serial fraction"), "{summary}");
+        assert!(
+            summary.contains("Simulated replay (measured span phases)"),
+            "{summary}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batch_span_export_carries_instance_leaves() {
+        let dir = tmpdir("batch-spans");
+        let manifest = write(
+            &dir,
+            "jobs.jsonl",
+            "{\"id\":\"a\",\"family\":\"f\",\"class\":\"fixed\",\"weights\":\"unit\",\
+              \"matrix\":[[1,2],[3,4]],\"row_totals\":[4,6],\"col_totals\":[5,5]}\n\
+             {\"id\":\"b\",\"family\":\"f\",\"class\":\"fixed\",\"weights\":\"unit\",\
+              \"matrix\":[[1,2],[3,4]],\"row_totals\":[4,6],\"col_totals\":[5,5]}\n",
+        );
+        let trace = dir.join("spans.json");
+        let argv: Vec<String> = [
+            "batch",
+            manifest.to_str().unwrap(),
+            "--trace-spans",
+            trace.to_str().unwrap(),
+            "--parallel",
+            "outer:2",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let report = run(&parse_args(&argv).unwrap()).unwrap();
+        assert!(report.contains("# spans:"), "{report}");
+        let doc = parse_json(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        let spans = parse_chrome_trace(&doc).unwrap();
+        let batch = spans
+            .iter()
+            .find(|s| s.kind == sea_core::SpanKind::Batch)
+            .expect("batch span");
+        let instances: Vec<_> = spans
+            .iter()
+            .filter(|s| s.kind == sea_core::SpanKind::Instance)
+            .collect();
+        assert_eq!(instances.len(), 2);
+        for inst in &instances {
+            assert_eq!(inst.parent, Some(batch.id));
+            // Instance leaves carry the warm-start outcome as detail.
+            assert!(["hit", "miss", "bypass"].contains(&inst.detail.as_str()));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn report_understands_committed_batch_and_sparse_vocab() {
+        // Regression for the golden fixtures committed by earlier PRs:
+        // `report --events` must summarize both the batch framing and the
+        // sparse solve's event stream, not just the original dense vocab.
+        let batch_log = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../sea-batch/tests/fixtures/golden_batch.jsonl");
+        let argv: Vec<String> = ["report", "--events", batch_log.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let summary = run(&parse_args(&argv).unwrap()).unwrap();
+        assert!(summary.contains("batches: 2"), "{summary}");
+        assert!(summary.contains("warm-start cache:"), "{summary}");
+        assert!(summary.contains("Batch instances"), "{summary}");
+
+        let sparse_log = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../sea-core/tests/fixtures/golden_sparse_solve.jsonl");
+        let argv: Vec<String> = [
+            "report",
+            "--events",
+            sparse_log.to_str().unwrap(),
+            "--processors",
+            "4",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let summary = run(&parse_args(&argv).unwrap()).unwrap();
+        assert!(summary.contains("row_equilibration"), "{summary}");
+        assert!(summary.contains("kernel work:"), "{summary}");
+        assert!(summary.contains("Simulated replay"), "{summary}");
     }
 
     #[test]

@@ -102,6 +102,66 @@ impl PassCounters {
     }
 }
 
+/// Wall-clock window and kernel work of one shard of a parallel pass,
+/// filled by the worker that ran the shard. Offsets are nanoseconds from
+/// the pass start, so the serial caller can replay shards as span leaves
+/// without workers ever touching the observer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardTiming {
+    /// Nanoseconds from pass start to the shard's first task.
+    pub start_ns: u64,
+    /// Nanoseconds from pass start to the shard's last task finishing.
+    pub end_ns: u64,
+    /// Subproblems (rows) in the shard.
+    pub tasks: u64,
+    /// Kernel work done by the shard's tasks.
+    pub counters: KernelCounters,
+}
+
+/// Preallocated per-shard timing sink for span profiling.
+///
+/// Reused across passes: `equilibration_pass` resizes it to the shard
+/// count (a no-op allocation-wise after the first pass, since the shard
+/// layout of a solve is fixed) and workers fill disjoint slots. Serial
+/// passes leave it empty — the pass span itself carries their timing.
+#[derive(Debug, Default)]
+pub struct ShardSink {
+    timings: Vec<ShardTiming>,
+}
+
+impl ShardSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Size for `shards` slots and zero them.
+    fn prepare(&mut self, shards: usize) {
+        self.timings.clear();
+        self.timings.resize(shards, ShardTiming::default());
+    }
+
+    /// The per-shard timings of the most recent parallel pass (empty
+    /// after a serial pass).
+    pub fn timings(&self) -> &[ShardTiming] {
+        &self.timings
+    }
+
+    /// Drop any recorded timings (used before serial passes so stale
+    /// shards from a previous pass are not replayed).
+    pub fn clear(&mut self) {
+        self.timings.clear();
+    }
+}
+
+/// Nanoseconds elapsed since `base`, saturating.
+fn elapsed_ns(base: Instant) -> u64 {
+    let d = base.elapsed();
+    d.as_secs()
+        .saturating_mul(1_000_000_000)
+        .saturating_add(u64::from(d.subsec_nanos()))
+}
+
 /// Per-thread scratch: gather buffers for structural-zero subproblems plus
 /// the kernel's own workspace. Reused across every subproblem a thread
 /// handles (allocation-free hot loop).
@@ -350,6 +410,8 @@ struct Shard<'a> {
     rows: Vec<&'a mut [f64]>,
     /// Per-row wall-clock sinks, when the pass is timing tasks.
     costs: Option<&'a mut [f64]>,
+    /// This shard's timing slot, when the pass is span-profiled.
+    timing: Option<&'a mut ShardTiming>,
 }
 
 /// Split the pass outputs into [`Shard`]s at the given start indices
@@ -361,6 +423,7 @@ fn build_shards<'a, S: Storage>(
     totals_out: &'a mut [f64],
     x: &'a mut S,
     mut costs: Option<&'a mut [f64]>,
+    mut timings: Option<&'a mut [ShardTiming]>,
 ) -> Vec<Shard<'a>> {
     debug_assert_eq!(starts.first(), Some(&0));
     let row_lens: Vec<usize> = (0..m).map(|i| x.row_range(i).len()).collect();
@@ -382,6 +445,11 @@ fn build_shards<'a, S: Storage>(
             *c = rest;
             head
         });
+        let shard_timing = timings.as_mut().map(|t| {
+            let (head, rest) = std::mem::take(t).split_at_mut(1);
+            *t = rest;
+            &mut head[0]
+        });
         let mut rows = Vec::with_capacity(cnt);
         for i in start..end {
             let (row, rest) = std::mem::take(&mut vals_rest).split_at_mut(row_lens[i]);
@@ -394,6 +462,7 @@ fn build_shards<'a, S: Storage>(
             totals: tot,
             rows,
             costs: shard_costs,
+            timing: shard_timing,
         });
     }
     shards
@@ -417,9 +486,15 @@ fn build_shards<'a, S: Storage>(
 /// bitwise independent of the sharding because every row is solved
 /// independently.
 ///
+/// When `timings` is provided, parallel workers fill one [`ShardTiming`]
+/// slot per shard (wall window relative to pass start, task count, and
+/// kernel counters) for the caller to replay as span leaves; serial
+/// passes clear the sink instead. Per-shard counters require `counters`
+/// to also be present (the per-shard flush is what isolates them).
+///
 /// # Errors
 /// Propagates the first subproblem failure (infeasibility, invalid data).
-#[allow(clippy::too_many_arguments)] // pass = inputs + three outputs + mode + two optional sinks
+#[allow(clippy::too_many_arguments)] // pass = inputs + three outputs + mode + three optional sinks
 pub fn equilibration_pass<S: Storage>(
     inp: &PassInputs<'_, S>,
     modes: &(dyn Fn(usize) -> TotalMode + Sync),
@@ -430,6 +505,7 @@ pub fn equilibration_pass<S: Storage>(
     mut costs: Option<&mut Vec<f64>>,
     counters: Option<&PassCounters>,
     shard_starts: Option<&[usize]>,
+    timings: Option<&mut ShardSink>,
 ) -> Result<(), SeaError> {
     let m = inp.prior.rows();
     debug_assert_eq!(lambda.len(), m);
@@ -446,6 +522,9 @@ pub fn equilibration_pass<S: Storage>(
 
     match par {
         Parallelism::Serial => SERIAL_SCRATCH.with_borrow_mut(|scratch| {
+            if let Some(sink) = timings {
+                sink.clear();
+            }
             let mut cost_slice: Option<&mut [f64]> = costs.map(Vec::as_mut_slice);
             // The scratch outlives any one pass; drop counts a previous
             // (possibly aborted) pass left behind before accumulating.
@@ -478,10 +557,19 @@ pub fn equilibration_pass<S: Storage>(
                 }
             };
             let cost_slice: Option<&mut [f64]> = costs.map(Vec::as_mut_slice);
-            let mut shards = build_shards(starts, m, lambda, totals_out, x, cost_slice);
+            let timing_slots: Option<&mut [ShardTiming]> = timings.map(|sink| {
+                sink.prepare(starts.len());
+                sink.timings.as_mut_slice()
+            });
+            let pass_t0 = Instant::now();
+            let mut shards =
+                build_shards(starts, m, lambda, totals_out, x, cost_slice, timing_slots);
             shards
                 .par_iter_mut()
                 .try_for_each_init(TaskScratch::new, |scratch, shard| {
+                    if let Some(tm) = shard.timing.as_mut() {
+                        tm.start_ns = elapsed_ns(pass_t0);
+                    }
                     for t in 0..shard.rows.len() {
                         let i = shard.base + t;
                         let t0 = timing.then(Instant::now);
@@ -491,6 +579,14 @@ pub fn equilibration_pass<S: Storage>(
                         if let (Some(c), Some(t0)) = (shard.costs.as_deref_mut(), t0) {
                             c[t] = t0.elapsed().as_secs_f64();
                         }
+                    }
+                    if let Some(tm) = shard.timing.as_mut() {
+                        tm.end_ns = elapsed_ns(pass_t0);
+                        tm.tasks = shard.rows.len() as u64;
+                        // Valid only alongside `counters`: the per-shard
+                        // flush below is what scopes the scratch stats to
+                        // this shard.
+                        tm.counters = scratch.eq.stats;
                     }
                     if let Some(acc) = counters {
                         acc.add(&scratch.eq.stats);
@@ -542,6 +638,7 @@ mod tests {
             None,
             None,
             None,
+            None,
         )
         .unwrap();
         let sums = x.row_sums();
@@ -578,6 +675,7 @@ mod tests {
                 &mut totals,
                 &mut x,
                 par,
+                None,
                 None,
                 None,
                 None,
@@ -619,6 +717,7 @@ mod tests {
             None,
             None,
             None,
+            None,
         )
         .unwrap();
         assert_eq!(x.get(1, 1), 0.0, "structural zero must stay zero");
@@ -657,6 +756,7 @@ mod tests {
             None,
             None,
             None,
+            None,
         )
         .unwrap();
 
@@ -691,6 +791,7 @@ mod tests {
                 &mut totals_s,
                 &mut xs,
                 par,
+                None,
                 None,
                 None,
                 None,
@@ -737,6 +838,7 @@ mod tests {
                 None,
                 None,
                 starts,
+                None,
             )
             .unwrap();
             (lambda, totals, x)
@@ -782,6 +884,7 @@ mod tests {
             Some(&mut costs),
             Some(&counters),
             Some(&[0, 1]),
+            None,
         )
         .unwrap();
         assert_eq!(costs.len(), 2);
@@ -813,6 +916,7 @@ mod tests {
             &mut totals,
             &mut x,
             Parallelism::Serial,
+            None,
             None,
             None,
             None,
@@ -854,6 +958,7 @@ mod tests {
             None,
             None,
             None,
+            None,
         );
         assert!(matches!(
             e,
@@ -872,6 +977,7 @@ mod tests {
             &mut totals,
             &mut x,
             Parallelism::Serial,
+            None,
             None,
             None,
             None,
@@ -907,6 +1013,7 @@ mod tests {
             Some(&mut costs),
             None,
             None,
+            None,
         )
         .unwrap();
         assert_eq!(costs.len(), 2);
@@ -940,6 +1047,7 @@ mod tests {
                 par,
                 None,
                 Some(&counters),
+                None,
                 None,
             )
             .unwrap();
@@ -980,6 +1088,7 @@ mod tests {
             None,
             Some(&counters),
             None,
+            None,
         )
         .unwrap();
         assert_eq!(counters.fallbacks(), 1);
@@ -1018,6 +1127,7 @@ mod tests {
             None,
             Some(&counters),
             None,
+            None,
         )
         .unwrap();
         assert_eq!(counters.fallbacks(), 0, "sort-scan has no fallback target");
@@ -1050,6 +1160,7 @@ mod tests {
                 &mut totals,
                 &mut x,
                 par,
+                None,
                 None,
                 None,
                 None,

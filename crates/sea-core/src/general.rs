@@ -17,7 +17,9 @@ use crate::storage::Storage;
 use crate::supervisor::{SolveControl, StopReason, SupervisedGeneralSolution, SupervisorOptions};
 use crate::trace::{ExecutionTrace, PhaseKind};
 use sea_linalg::{vector, DenseMatrix, SymMatrix};
-use sea_observe::{Event, NullObserver, Observer, PhaseLabel};
+use sea_observe::{
+    Event, KernelCounters, NullObserver, Observer, PhaseLabel, SpanKind, TelemetrySample,
+};
 use std::time::{Duration, Instant};
 
 /// Total specification for the general problem.
@@ -466,6 +468,15 @@ fn solve_general_inner<S: Storage, O: Observer + Send>(
             criterion: "max_abs_change",
         });
     }
+    // Outer spans: the general driver contributes no kernel work of its
+    // own, so every span here closes with zero self-counters; the inner
+    // diagonal solves open nested Solve spans through the lent observer
+    // and their counters roll up into the outer Epoch automatically.
+    let spanning = obs.spans_enabled();
+    if spanning {
+        obs.span_open(SpanKind::Solve, 0, (m + n) as u64);
+    }
+    let mut epoch_open = false;
     let mn = m * n;
     let g_diag = p.g().diagonal();
     let gamma_dense = DenseMatrix::from_vec(m, n, g_diag.iter().map(|&v| 0.5 * v).collect())?;
@@ -501,6 +512,11 @@ fn solve_general_inner<S: Storage, O: Observer + Send>(
         // hands out coarse chunks, so the phase is reported as up to 256
         // equal chunks rather than mn micro-tasks.
         let chunks = mn.min(256);
+        if spanning {
+            obs.span_open(SpanKind::Epoch, t as u64, 0);
+            epoch_open = true;
+            obs.span_open(SpanKind::Projection, t as u64, chunks as u64);
+        }
         if observing {
             obs.record(&Event::PhaseStart {
                 label: PhaseLabel::Projection,
@@ -553,6 +569,9 @@ fn solve_general_inner<S: Storage, O: Observer + Send>(
                 task_seconds: vec![proj_secs / chunks as f64; chunks],
             });
         }
+        if spanning {
+            obs.span_close(&KernelCounters::default());
+        }
 
         // ---- Inner diagonal SEA solve. -----------------------------------
         let sub = DiagonalProblem::with_signed_prior(q, gamma.clone(), spec, ZeroPolicy::Free)?;
@@ -578,6 +597,17 @@ fn solve_general_inner<S: Storage, O: Observer + Send>(
                 iteration: t,
                 inner_iterations: sol.stats.iterations,
                 outer_residual,
+            });
+        }
+        if spanning {
+            let active_set = x.values().iter().filter(|v| **v > 0.0).count() as u64;
+            obs.telemetry(&TelemetrySample {
+                iteration: t as u64,
+                seconds: start.elapsed().as_secs_f64(),
+                residual: outer_residual,
+                dual_value: f64::NAN,
+                kernel_work: 0,
+                active_set,
             });
         }
         if outer_residual <= opts.outer_epsilon {
@@ -616,6 +646,17 @@ fn solve_general_inner<S: Storage, O: Observer + Send>(
                 break;
             }
         }
+
+        if spanning {
+            obs.span_close(&KernelCounters::default());
+            epoch_open = false;
+        }
+    }
+    if spanning {
+        if epoch_open {
+            obs.span_close(&KernelCounters::default());
+        }
+        obs.span_close(&KernelCounters::default());
     }
 
     // Residuals against this problem's constraints.

@@ -15,7 +15,9 @@ use crate::problem::Residuals;
 use crate::storage::{RowView, Storage};
 use crate::supervisor::{SolveControl, StopReason, SupervisedBoundedSolution, SupervisorOptions};
 use sea_linalg::{vector, DenseMatrix};
-use sea_observe::{Event, NullObserver, Observer, PhaseLabel};
+use sea_observe::{
+    Event, KernelCounters, NullObserver, Observer, PhaseLabel, SpanKind, TelemetrySample,
+};
 use std::time::{Duration, Instant};
 
 /// A fixed-totals diagonal problem with entry bounds. Generic over
@@ -430,6 +432,14 @@ fn solve_bounded_inner_warm<S: Storage, O: Observer>(
             criterion: "relative_row_balance",
         });
     }
+    // The bounded driver is fully serial, so pass spans carry their own
+    // kernel counters directly: a snapshot delta of the cumulative scratch
+    // stats brackets each pass, and there are no shard leaves to replay.
+    let spanning = obs.spans_enabled();
+    if spanning {
+        obs.span_open(SpanKind::Solve, 0, (m + n) as u64);
+    }
+    let mut epoch_open = false;
 
     let mut lambda = vec![0.0; m];
     let mut mu = match initial_mu {
@@ -456,6 +466,12 @@ fn solve_bounded_inner_warm<S: Storage, O: Observer>(
     let mut rel = f64::INFINITY;
     for t in 1..=max_iterations.max(1) {
         iterations = t;
+        if spanning {
+            obs.span_open(SpanKind::Epoch, t as u64, 0);
+            epoch_open = true;
+            obs.span_open(SpanKind::RowPass, t as u64, m as u64);
+        }
+        let pass_c0 = scratch.stats;
         if observing {
             obs.record(&Event::PhaseStart {
                 label: PhaseLabel::RowEquilibration,
@@ -488,6 +504,11 @@ fn solve_bounded_inner_warm<S: Storage, O: Observer>(
                 tasks: n,
             });
         }
+        if spanning {
+            obs.span_close(&scratch.stats.delta_from(pass_c0));
+            obs.span_open(SpanKind::ColPass, t as u64, n as u64);
+        }
+        let pass_c0 = scratch.stats;
         let phase_t0 = observing.then(Instant::now);
         for j in 0..n {
             mu[j] = boxed_task(
@@ -514,6 +535,10 @@ fn solve_bounded_inner_warm<S: Storage, O: Observer>(
                 tasks: 1,
             });
         }
+        if spanning {
+            obs.span_close(&scratch.stats.delta_from(pass_c0));
+            obs.span_open(SpanKind::Check, t as u64, 1);
+        }
         // Relative row balance after the column pass.
         let check_t0 = Instant::now();
         x_t.col_sums_into(&mut row_sums_buf);
@@ -535,6 +560,18 @@ fn solve_bounded_inner_warm<S: Storage, O: Observer>(
                 residual: rel,
                 dual_value: None,
                 criterion: "relative_row_balance",
+            });
+        }
+        if spanning {
+            obs.span_close(&KernelCounters::default());
+            let active_set = x_t.values().iter().filter(|v| **v > 0.0).count() as u64;
+            obs.telemetry(&TelemetrySample {
+                iteration: t as u64,
+                seconds: start.elapsed().as_secs_f64(),
+                residual: rel,
+                dual_value: f64::NAN,
+                kernel_work: scratch.stats.work(),
+                active_set,
             });
         }
         if rel <= epsilon {
@@ -577,6 +614,17 @@ fn solve_bounded_inner_warm<S: Storage, O: Observer>(
                 break;
             }
         }
+
+        if spanning {
+            obs.span_close(&KernelCounters::default());
+            epoch_open = false;
+        }
+    }
+    if spanning {
+        if epoch_open {
+            obs.span_close(&KernelCounters::default());
+        }
+        obs.span_close(&KernelCounters::default());
     }
 
     let x_final = x_t.transposed()?;

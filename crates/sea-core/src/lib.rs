@@ -115,4 +115,7 @@ pub use weights::WeightScheme;
 
 // Re-export the event vocabulary so downstream crates don't need a direct
 // sea-observe dependency for the common cases.
-pub use sea_observe::{Event, KernelCounters, NullObserver, Observer, PhaseLabel, VecObserver};
+pub use sea_observe::{
+    Event, KernelCounters, NullObserver, Observer, PhaseLabel, SpanKind, SpanProfiler, SpanRecord,
+    TelemetrySample, VecObserver,
+};

@@ -18,7 +18,9 @@ use crate::components::{
     normalize_multipliers_storage, shard_boundaries, storage_support_components,
 };
 use crate::dual;
-use crate::equilibrate::{equilibration_pass, PassCounters, PassInputs, DEFAULT_BLOCK_ROWS};
+use crate::equilibrate::{
+    equilibration_pass, PassCounters, PassInputs, ShardSink, DEFAULT_BLOCK_ROWS,
+};
 use crate::error::SeaError;
 use crate::knapsack::{KernelKind, TotalMode};
 use crate::parallel::Parallelism;
@@ -27,8 +29,18 @@ use crate::storage::Storage;
 use crate::supervisor::{SolveControl, StopReason, SupervisedSolution, SupervisorOptions};
 use crate::trace::{ExecutionTrace, PhaseKind};
 use sea_linalg::{vector, DenseMatrix};
-use sea_observe::{Event, NullObserver, Observer, PhaseLabel};
+use sea_observe::{
+    Event, KernelCounters, NullObserver, Observer, PhaseLabel, SpanKind, TelemetrySample,
+};
 use std::time::{Duration, Instant};
+
+/// Telemetry cadence: one sample every this many convergence checks.
+/// The sample payload (dual value ζ and the active-set census) costs a
+/// full O(nnz) sweep each, so emitting it on every check would blow the
+/// span-profiling overhead budget; the residual itself is still checked
+/// at the configured `check_every`, and the profiler's adaptive stride
+/// decimates the stream further on long solves.
+const TELEMETRY_EVERY_CHECKS: u64 = 8;
 
 /// Stopping rules. The paper uses [`MaxAbsChange`](Self::MaxAbsChange) for
 /// the unknown-totals class (§3.1.1 Step 3) and relative row balance for
@@ -281,10 +293,18 @@ fn solve_diagonal_inner<S: Storage, O: Observer>(
             criterion: criterion.name(),
         });
     }
+    // Span signalling is independent of event observation: a profiler can
+    // consume spans with events off (the alloc-free configuration) and an
+    // event sink can run without span overhead.
+    let spanning = obs.spans_enabled();
+    if spanning {
+        obs.span_open(SpanKind::Solve, 0, (m + n) as u64);
+    }
     // Kernel counters are only harvested when someone is listening (an
-    // observer, or a supervisor enforcing a work budget); the per-task
-    // atomic flush is skipped entirely otherwise.
-    let counters = (observing || ctrl.needs_counters()).then(PassCounters::default);
+    // observer, a span profiler needing per-span attribution, or a
+    // supervisor enforcing a work budget); the per-task atomic flush is
+    // skipped entirely otherwise.
+    let counters = (observing || spanning || ctrl.needs_counters()).then(PassCounters::default);
     // Fallbacks reported so far, to emit per-pass deltas.
     let mut fallbacks_seen = 0u64;
 
@@ -338,6 +358,14 @@ fn solve_diagonal_inner<S: Storage, O: Observer>(
     let mut history: Option<Vec<IterationSnapshot>> = opts.record_history.then(Vec::new);
     let mut row_costs: Vec<f64> = Vec::new();
     let mut col_costs: Vec<f64> = Vec::new();
+    // Per-shard timing sink for span profiling of parallel passes. Sized
+    // on first use and reused every pass (allocation-free steady state).
+    let mut shard_sink =
+        (spanning && !matches!(opts.parallelism, Parallelism::Serial)).then(ShardSink::new);
+    // Whether an Epoch span is open (breaks exit mid-epoch).
+    let mut epoch_open = false;
+    // Convergence checks seen, for telemetry payload rate limiting.
+    let mut checks_seen = 0u64;
     // Row sums of X (= column sums of Xᵀ), reused every check so the
     // steady-state loop performs no allocation.
     let mut row_sums_buf = vec![0.0; m];
@@ -351,6 +379,10 @@ fn solve_diagonal_inner<S: Storage, O: Observer>(
 
     for t in 1..=opts.max_iterations {
         iterations = t;
+        if spanning {
+            obs.span_open(SpanKind::Epoch, t as u64, 0);
+            epoch_open = true;
+        }
 
         // ---- Step 1: row equilibration (parallel over rows). -------------
         {
@@ -369,6 +401,10 @@ fn solve_diagonal_inner<S: Storage, O: Observer>(
                     tasks: m,
                 });
             }
+            let span_c0 = span_snapshot(spanning, counters.as_ref());
+            if spanning {
+                obs.span_open(SpanKind::RowPass, t as u64, m as u64);
+            }
             let phase_t0 = observing.then(Instant::now);
             let costs = (trace.is_some() || observing).then_some(&mut row_costs);
             match p.totals() {
@@ -382,6 +418,7 @@ fn solve_diagonal_inner<S: Storage, O: Observer>(
                     costs,
                     counters.as_ref(),
                     row_starts.as_deref(),
+                    shard_sink.as_mut(),
                 )?,
                 TotalSpec::Elastic { alpha, s0, .. } => equilibration_pass(
                     &inputs,
@@ -397,6 +434,7 @@ fn solve_diagonal_inner<S: Storage, O: Observer>(
                     costs,
                     counters.as_ref(),
                     row_starts.as_deref(),
+                    shard_sink.as_mut(),
                 )?,
                 TotalSpec::Balanced { alpha, s0 } => {
                     let mu_ref: &[f64] = &mu;
@@ -414,8 +452,12 @@ fn solve_diagonal_inner<S: Storage, O: Observer>(
                         costs,
                         counters.as_ref(),
                         row_starts.as_deref(),
+                        shard_sink.as_mut(),
                     )?
                 }
+            }
+            if spanning {
+                close_pass_span(obs, shard_sink.as_ref(), counters.as_ref(), span_c0);
             }
             if let Some(tr) = trace.as_mut() {
                 tr.push(PhaseKind::RowEquilibration, row_costs.clone());
@@ -460,6 +502,10 @@ fn solve_diagonal_inner<S: Storage, O: Observer>(
                     tasks: n,
                 });
             }
+            let span_c0 = span_snapshot(spanning, counters.as_ref());
+            if spanning {
+                obs.span_open(SpanKind::ColPass, t as u64, n as u64);
+            }
             let phase_t0 = observing.then(Instant::now);
             let costs = (trace.is_some() || observing).then_some(&mut col_costs);
             match p.totals() {
@@ -473,6 +519,7 @@ fn solve_diagonal_inner<S: Storage, O: Observer>(
                     costs,
                     counters.as_ref(),
                     col_starts.as_deref(),
+                    shard_sink.as_mut(),
                 )?,
                 TotalSpec::Elastic { beta, d0, .. } => equilibration_pass(
                     &inputs,
@@ -488,6 +535,7 @@ fn solve_diagonal_inner<S: Storage, O: Observer>(
                     costs,
                     counters.as_ref(),
                     col_starts.as_deref(),
+                    shard_sink.as_mut(),
                 )?,
                 TotalSpec::Balanced { alpha, s0 } => {
                     let lambda_ref: &[f64] = &lambda;
@@ -505,8 +553,12 @@ fn solve_diagonal_inner<S: Storage, O: Observer>(
                         costs,
                         counters.as_ref(),
                         col_starts.as_deref(),
+                        shard_sink.as_mut(),
                     )?
                 }
+            }
+            if spanning {
+                close_pass_span(obs, shard_sink.as_ref(), counters.as_ref(), span_c0);
             }
             if let Some(tr) = trace.as_mut() {
                 tr.push(PhaseKind::ColumnEquilibration, col_costs.clone());
@@ -575,6 +627,9 @@ fn solve_diagonal_inner<S: Storage, O: Observer>(
                     tasks: 1,
                 });
             }
+            if spanning {
+                obs.span_open(SpanKind::Check, t as u64, 1);
+            }
             let t0 = Instant::now();
             residual = match criterion {
                 ConvergenceCriterion::MaxAbsChange => {
@@ -608,9 +663,36 @@ fn solve_diagonal_inner<S: Storage, O: Observer>(
             if let Some(tr) = trace.as_mut() {
                 tr.push(PhaseKind::ConvergenceCheck, vec![check_secs]);
             }
+            // Telemetry's payload (ζ and the active-set census) costs a
+            // full O(nnz) sweep each, so the stream is rate limited at
+            // the source: one sample every TELEMETRY_EVERY_CHECKS checks
+            // keeps the spanning overhead inside the <2% budget, and the
+            // profiler's own stride decimates further on long solves.
+            let telemetry_now = spanning && checks_seen.is_multiple_of(TELEMETRY_EVERY_CHECKS);
+            checks_seen += 1;
             // ζ is only evaluated when something consumes it: the history
-            // recorder or an attached observer.
-            let zeta = (history.is_some() || observing).then(|| dual::dual_value(p, &lambda, &mu));
+            // recorder, an attached observer, or a due telemetry sample.
+            let zeta = (history.is_some() || observing || telemetry_now)
+                .then(|| dual::dual_value(p, &lambda, &mu));
+            if spanning {
+                obs.span_close(&KernelCounters::default());
+            }
+            if telemetry_now {
+                let snap = counters
+                    .as_ref()
+                    .map_or_else(KernelCounters::default, |c| c.snapshot());
+                // Active set = positive stored entries of the iterate; the
+                // profiler derives churn from consecutive samples.
+                let active_set = x_t.values().iter().filter(|v| **v > 0.0).count() as u64;
+                obs.telemetry(&TelemetrySample {
+                    iteration: t as u64,
+                    seconds: start.elapsed().as_secs_f64(),
+                    residual,
+                    dual_value: zeta.unwrap_or(f64::NAN),
+                    kernel_work: snap.work(),
+                    active_set,
+                });
+            }
             if observing {
                 obs.record(&Event::PhaseEnd {
                     label: PhaseLabel::ConvergenceCheck,
@@ -675,6 +757,19 @@ fn solve_diagonal_inner<S: Storage, O: Observer>(
                 break;
             }
         }
+
+        if spanning {
+            obs.span_close(&KernelCounters::default());
+            epoch_open = false;
+        }
+    }
+
+    if spanning {
+        // Breaks exit mid-epoch; close the dangling Epoch, then the Solve.
+        if epoch_open {
+            obs.span_close(&KernelCounters::default());
+        }
+        obs.span_close(&KernelCounters::default());
     }
 
     // ---- Assemble the solution from the final column pass. ---------------
@@ -740,6 +835,49 @@ fn solve_diagonal_inner<S: Storage, O: Observer>(
             history,
         },
     })
+}
+
+/// Counter snapshot taken at a pass-span boundary (zero when counters are
+/// off — span signalling forces them on, so this is just defensive).
+fn span_snapshot(spanning: bool, counters: Option<&PassCounters>) -> KernelCounters {
+    if spanning {
+        counters.map_or_else(KernelCounters::default, PassCounters::snapshot)
+    } else {
+        KernelCounters::default()
+    }
+}
+
+/// Close an equilibration-pass span: replay per-shard timings as Shard
+/// leaves (parallel passes), then close the pass. When shard leaves were
+/// emitted they carry the pass's whole kernel-work attribution (their
+/// per-shard counters sum to the pass delta exactly), so the pass closes
+/// with zero *self* counters; serial passes close with the full delta.
+fn close_pass_span<O: Observer>(
+    obs: &mut O,
+    sink: Option<&ShardSink>,
+    counters: Option<&PassCounters>,
+    pass_begin: KernelCounters,
+) {
+    let timings = sink.map_or(&[][..], ShardSink::timings);
+    for (si, tm) in timings.iter().enumerate() {
+        obs.span_leaf(
+            SpanKind::Shard,
+            si as u64,
+            tm.start_ns,
+            tm.end_ns,
+            tm.tasks,
+            &tm.counters,
+            "",
+        );
+    }
+    let self_counters = if timings.is_empty() {
+        counters
+            .map_or_else(KernelCounters::default, PassCounters::snapshot)
+            .delta_from(pass_begin)
+    } else {
+        KernelCounters::default()
+    };
+    obs.span_close(&self_counters);
 }
 
 /// Row-total target accessor for the convergence check.

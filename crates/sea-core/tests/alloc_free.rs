@@ -7,11 +7,15 @@
 //! section audits the whole solve loop under the default `NullObserver`
 //! differentially: a solve doing twice the iterations must allocate exactly
 //! as much as the half-length solve, so the per-iteration cost is zero.
-//! This file deliberately holds a single test: the counter is
-//! process-global.
+//!
+//! The counter is *per-thread*: the audited paths all run serially on the
+//! test thread, while libtest's harness thread lazily initializes its own
+//! channel machinery (`std::sync::mpmc` thread-locals) at a
+//! scheduling-dependent moment — a process-global counter intermittently
+//! caught those two foreign allocations inside a measured window.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::Cell;
 
 use sea_core::knapsack::exact_equilibration_boxed_with;
 use sea_core::{
@@ -22,22 +26,32 @@ use sea_linalg::DenseMatrix;
 
 struct CountingAllocator;
 
-static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+std::thread_local! {
+    // const-initialized: accessing it never allocates, so the allocator
+    // hooks cannot recurse.
+    static ALLOCATIONS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Bump the calling thread's counter; silently skipped during thread
+/// teardown when the TLS slot is already destroyed.
+fn count_one() {
+    let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
 
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         unsafe { System.alloc(layout) }
     }
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         unsafe { System.dealloc(ptr, layout) }
     }
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         unsafe { System.realloc(ptr, layout, new_size) }
     }
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         unsafe { System.alloc_zeroed(layout) }
     }
 }
@@ -46,7 +60,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
 static GLOBAL: CountingAllocator = CountingAllocator;
 
 fn allocations() -> usize {
-    ALLOCATIONS.load(Ordering::Relaxed)
+    ALLOCATIONS.with(|c| c.get())
 }
 
 #[test]
@@ -169,6 +183,40 @@ fn kernels_do_not_allocate_in_steady_state() {
         assert_eq!(
             doubled, base,
             "{kernel}: solve iterations allocated under NullObserver"
+        );
+    }
+
+    // ---- Span-enabled differential audit. ----
+    //
+    // Same differential contract with a preallocated SpanProfiler
+    // attached: spans and telemetry land in the profiler's rings in
+    // place, so a span-recording solve loop must stay allocation-free
+    // per iteration exactly like the NullObserver loop. The profiler is
+    // built (and its rings sized) before the baseline measurement.
+    let mut profiler = sea_core::SpanProfiler::with_capacity(4096, 512);
+    for kernel in [KernelKind::SortScan, KernelKind::Quickselect] {
+        let mut solve_allocations = |iterations: usize| -> usize {
+            let mut opts = SeaOptions::with_epsilon(1e-8);
+            opts.epsilon = -1.0; // unattainable: always run to the cap
+            opts.max_iterations = iterations;
+            opts.kernel = kernel;
+            profiler.reset();
+            let before = allocations();
+            let sol = sea_core::solve_diagonal_observed(&p, &opts, &mut profiler).unwrap();
+            let after = allocations();
+            assert_eq!(sol.stats.iterations, iterations, "cap must bind");
+            after - before
+        };
+        solve_allocations(4); // warm-up
+        let base = solve_allocations(8);
+        let doubled = solve_allocations(16);
+        assert_eq!(
+            doubled, base,
+            "{kernel}: solve iterations allocated with span profiling on"
+        );
+        assert!(
+            !profiler.spans().is_empty(),
+            "{kernel}: profiler recorded no spans — audit is vacuous"
         );
     }
 }

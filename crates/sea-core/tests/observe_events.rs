@@ -49,7 +49,8 @@ fn normalized(event: &Event) -> Event {
             *seconds = 0.0;
         }
         Event::BatchEnd { seconds, .. } => *seconds = 0.0,
-        Event::SolveStart { .. }
+        Event::Meta { .. }
+        | Event::SolveStart { .. }
         | Event::PhaseStart { .. }
         | Event::KernelCounters { .. }
         | Event::FallbackTriggered { .. }

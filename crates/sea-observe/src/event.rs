@@ -87,6 +87,38 @@ impl KernelCounters {
     pub fn is_empty(self) -> bool {
         self == KernelCounters::default()
     }
+
+    /// Field-wise saturating difference (`self − earlier`): the work done
+    /// between two cumulative snapshots. Saturates at zero so a stale
+    /// snapshot never underflows.
+    pub fn delta_from(self, earlier: KernelCounters) -> KernelCounters {
+        KernelCounters {
+            subproblems: self.subproblems.saturating_sub(earlier.subproblems),
+            breakpoints_scanned: self
+                .breakpoints_scanned
+                .saturating_sub(earlier.breakpoints_scanned),
+            quickselect_pivots: self
+                .quickselect_pivots
+                .saturating_sub(earlier.quickselect_pivots),
+            boxed_clamps: self.boxed_clamps.saturating_sub(earlier.boxed_clamps),
+        }
+    }
+
+    /// True when every field of `self` is ≥ the matching field of
+    /// `other` — the partial order span well-formedness is stated in
+    /// (child counter sums never exceed their parent's).
+    pub fn dominates(self, other: KernelCounters) -> bool {
+        self.subproblems >= other.subproblems
+            && self.breakpoints_scanned >= other.breakpoints_scanned
+            && self.quickselect_pivots >= other.quickselect_pivots
+            && self.boxed_clamps >= other.boxed_clamps
+    }
+
+    /// Total kernel work: breakpoints + pivots + clamps (the quantity the
+    /// batch engine and telemetry stream report as `kernel_work`).
+    pub fn work(self) -> u64 {
+        self.breakpoints_scanned + self.quickselect_pivots + self.boxed_clamps
+    }
 }
 
 /// A single typed solver event.
@@ -95,6 +127,16 @@ impl KernelCounters {
 /// are only meaningful for some solver configurations are `Option`s.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
+    /// Wire-format header: the event-vocabulary version of the stream.
+    ///
+    /// Emitted (at most once, first) by writers that opt into headers —
+    /// the CLI does; in-process observers and the committed golden
+    /// fixtures do not, so pre-versioning logs remain valid streams.
+    /// Readers must tolerate its absence and ignore unknown versions.
+    Meta {
+        /// The event vocabulary version (see `sea_observe::WIRE_VERSION`).
+        wire_version: u64,
+    },
     /// A solve began.
     SolveStart {
         /// Which driver emitted the event (`"diagonal"`, `"general"`,
@@ -259,6 +301,7 @@ impl Event {
     /// Stable wire name of the variant (`snake_case`).
     pub fn kind(&self) -> &'static str {
         match self {
+            Event::Meta { .. } => "meta",
             Event::SolveStart { .. } => "solve_start",
             Event::PhaseStart { .. } => "phase_start",
             Event::PhaseEnd { .. } => "phase_end",

@@ -11,6 +11,16 @@ use std::io::Write;
 use crate::event::{Event, KernelCounters, PhaseLabel};
 use crate::json::{f64_to_json, json_to_f64, parse, JsonValue};
 
+/// Version of the JSONL event vocabulary.
+///
+/// - **1**: the unversioned PR 2–6 vocabulary (no `meta` line).
+/// - **2**: adds the `meta` header line and the span/telemetry layer
+///   (spans export separately as chrome-trace, so version 2 streams are
+///   a strict superset of version 1 — every version-1 line encodes
+///   byte-for-byte identically under version 2; the wire-compat test
+///   pins this against the committed golden fixtures).
+pub const WIRE_VERSION: u64 = 2;
+
 /// Serialize one event to its compact JSON object (no trailing newline).
 pub fn encode_event(event: &Event) -> String {
     event_to_json(event).render()
@@ -24,6 +34,9 @@ pub fn event_to_json(event: &Event) -> JsonValue {
     )];
     let mut push = |k: &str, v: JsonValue| fields.push((k.to_string(), v));
     match event {
+        Event::Meta { wire_version } => {
+            push("wire_version", JsonValue::Number(*wire_version as f64));
+        }
         Event::SolveStart {
             solver,
             rows,
@@ -250,6 +263,9 @@ pub fn json_to_event(value: &JsonValue) -> Result<Event, String> {
     };
 
     match kind {
+        "meta" => Ok(Event::Meta {
+            wire_version: u64_field("wire_version")?,
+        }),
         "solve_start" => Ok(Event::SolveStart {
             solver: intern_solver(&str_field("solver")?)?,
             rows: usize_field("rows")?,

@@ -11,8 +11,9 @@
 
 use std::fmt::Write as _;
 
-use crate::event::{Event, PhaseLabel};
+use crate::event::{Event, KernelCounters, PhaseLabel};
 use crate::observer::Observer;
+use crate::span::SpanKind;
 
 /// A label set: `(name, value)` pairs, stored sorted by name.
 pub type Labels = Vec<(String, String)>;
@@ -313,6 +314,12 @@ fn escape_help(s: &str) -> String {
 pub const PHASE_SECONDS_BUCKETS: [f64; 10] =
     [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0];
 
+/// Bucket bounds (seconds) for fine-grained shard / subproblem latency
+/// histograms: individual knapsack subproblems run in nanoseconds to
+/// microseconds, shards in microseconds to milliseconds.
+pub const TASK_SECONDS_BUCKETS: [f64; 10] =
+    [1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0];
+
 /// An observer that aggregates the event stream into a
 /// [`MetricsRegistry`], ready to render after the solve.
 #[derive(Debug, Default)]
@@ -341,6 +348,7 @@ impl Observer for MetricsObserver {
     fn record(&mut self, event: &Event) {
         let reg = &mut self.registry;
         match event {
+            Event::Meta { .. } => {}
             Event::SolveStart { solver, kernel, .. } => {
                 reg.counter_add(
                     "sea_solves_total",
@@ -353,7 +361,21 @@ impl Observer for MetricsObserver {
                 );
             }
             Event::PhaseStart { .. } => {}
-            Event::PhaseEnd { label, seconds, .. } => {
+            Event::PhaseEnd {
+                label,
+                seconds,
+                task_seconds,
+                ..
+            } => {
+                for &task in task_seconds {
+                    reg.histogram_observe(
+                        "sea_subproblem_seconds",
+                        "Per-task (knapsack subproblem) latency distribution.",
+                        Self::phase_labels(*label),
+                        &TASK_SECONDS_BUCKETS,
+                        task,
+                    );
+                }
                 reg.counter_add(
                     "sea_phase_total",
                     "Solver phases executed, by phase.",
@@ -559,6 +581,46 @@ impl Observer for MetricsObserver {
                     if *converged { 1.0 } else { 0.0 },
                 );
             }
+        }
+    }
+
+    /// Metrics also consume span leaves so shard / batch-instance
+    /// latency histograms populate when span signalling is on.
+    fn spans_enabled(&self) -> bool {
+        true
+    }
+
+    fn span_leaf(
+        &mut self,
+        kind: SpanKind,
+        _index: u64,
+        rel_start_ns: u64,
+        rel_end_ns: u64,
+        _tasks: u64,
+        _counters: &KernelCounters,
+        _detail: &'static str,
+    ) {
+        let seconds = rel_end_ns.saturating_sub(rel_start_ns) as f64 / 1e9;
+        match kind {
+            SpanKind::Shard => {
+                self.registry.histogram_observe(
+                    "sea_shard_seconds",
+                    "Per-shard latency of parallel equilibration passes.",
+                    vec![],
+                    &TASK_SECONDS_BUCKETS,
+                    seconds,
+                );
+            }
+            SpanKind::Instance => {
+                self.registry.histogram_observe(
+                    "sea_instance_seconds",
+                    "Per-instance latency inside batch solves.",
+                    vec![],
+                    &PHASE_SECONDS_BUCKETS,
+                    seconds,
+                );
+            }
+            _ => {}
         }
     }
 }

@@ -1,6 +1,8 @@
 //! The `Observer` sink trait and the built-in null / in-memory sinks.
 
-use crate::event::Event;
+use crate::event::{Event, KernelCounters};
+use crate::span::SpanKind;
+use crate::telemetry::TelemetrySample;
 
 /// An event sink attached to a solver.
 ///
@@ -13,6 +15,23 @@ use crate::event::Event;
 /// Implementations should keep `record` cheap; solvers call it from the
 /// serial portion of the loop (never from inside parallel workers), so a
 /// sink sees a well-ordered single-threaded event stream.
+///
+/// ## Span signals
+///
+/// Beyond discrete events, drivers emit a hierarchical span stream
+/// through [`span_open`](Observer::span_open) /
+/// [`span_close`](Observer::span_close) /
+/// [`span_leaf`](Observer::span_leaf), gated by
+/// [`spans_enabled`](Observer::spans_enabled) (default `false`, so the
+/// span path also compiles away under [`NullObserver`]). The observer —
+/// not the driver — owns the clock, span identity, and nesting stack
+/// ([`crate::SpanProfiler`] is the canonical consumer); a driver only
+/// signals structure. Counters passed to `span_close` are the *self*
+/// attribution of that span — work not already carried by a child span
+/// or leaf — so a consumer accumulating children upward reconstructs
+/// exact totals. Like `record`, span signals arrive only from serial
+/// driver code; parallel shard timings are collected into preallocated
+/// sinks by the workers and replayed as `span_leaf` calls afterwards.
 pub trait Observer {
     /// Whether this sink wants events at all. Solvers use this to skip
     /// event *construction* (which may allocate, e.g. cloning per-task
@@ -23,6 +42,60 @@ pub trait Observer {
 
     /// Deliver one event.
     fn record(&mut self, event: &Event);
+
+    /// Whether this sink wants span signals and telemetry samples.
+    /// Defaults to `false`: spans are opt-in, unlike events.
+    fn spans_enabled(&self) -> bool {
+        false
+    }
+
+    /// A span of kind `kind` begins now. `index` is the kind-relative
+    /// ordinal (epoch number, pass iteration, …) and `tasks` the
+    /// parallel task count inside the span (0 when not meaningful).
+    fn span_open(&mut self, kind: SpanKind, index: u64, tasks: u64) {
+        let _ = (kind, index, tasks);
+    }
+
+    /// The innermost open span ends now. `self_counters` is the kernel
+    /// work attributed directly to this span, excluding work already
+    /// reported by child spans or leaves.
+    fn span_close(&mut self, self_counters: &KernelCounters) {
+        let _ = self_counters;
+    }
+
+    /// A leaf span (shard, batch instance) that was timed off-thread and
+    /// is replayed serially. Offsets are nanoseconds relative to the
+    /// moment the innermost currently-open span was opened. `detail` is
+    /// an optional static annotation (e.g. a warm-start cache outcome);
+    /// empty when unused.
+    // Leaves are POD replayed on the hot path; a parameter struct would
+    // force every no-op implementor to destructure one.
+    #[allow(clippy::too_many_arguments)]
+    fn span_leaf(
+        &mut self,
+        kind: SpanKind,
+        index: u64,
+        rel_start_ns: u64,
+        rel_end_ns: u64,
+        tasks: u64,
+        counters: &KernelCounters,
+        detail: &'static str,
+    ) {
+        let _ = (
+            kind,
+            index,
+            rel_start_ns,
+            rel_end_ns,
+            tasks,
+            counters,
+            detail,
+        );
+    }
+
+    /// Deliver one convergence telemetry sample (per periodic check).
+    fn telemetry(&mut self, sample: &TelemetrySample) {
+        let _ = sample;
+    }
 }
 
 /// The default sink: drops everything, statically disabled.
@@ -37,6 +110,33 @@ impl Observer for NullObserver {
 
     #[inline(always)]
     fn record(&mut self, _event: &Event) {}
+
+    #[inline(always)]
+    fn spans_enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn span_open(&mut self, _kind: SpanKind, _index: u64, _tasks: u64) {}
+
+    #[inline(always)]
+    fn span_close(&mut self, _self_counters: &KernelCounters) {}
+
+    #[inline(always)]
+    fn span_leaf(
+        &mut self,
+        _kind: SpanKind,
+        _index: u64,
+        _rel_start_ns: u64,
+        _rel_end_ns: u64,
+        _tasks: u64,
+        _counters: &KernelCounters,
+        _detail: &'static str,
+    ) {
+    }
+
+    #[inline(always)]
+    fn telemetry(&mut self, _sample: &TelemetrySample) {}
 }
 
 /// An in-memory sink that buffers every event; the workhorse for tests and
@@ -71,6 +171,43 @@ impl<O: Observer + ?Sized> Observer for &mut O {
     fn record(&mut self, event: &Event) {
         (**self).record(event);
     }
+
+    fn spans_enabled(&self) -> bool {
+        (**self).spans_enabled()
+    }
+
+    fn span_open(&mut self, kind: SpanKind, index: u64, tasks: u64) {
+        (**self).span_open(kind, index, tasks);
+    }
+
+    fn span_close(&mut self, self_counters: &KernelCounters) {
+        (**self).span_close(self_counters);
+    }
+
+    fn span_leaf(
+        &mut self,
+        kind: SpanKind,
+        index: u64,
+        rel_start_ns: u64,
+        rel_end_ns: u64,
+        tasks: u64,
+        counters: &KernelCounters,
+        detail: &'static str,
+    ) {
+        (**self).span_leaf(
+            kind,
+            index,
+            rel_start_ns,
+            rel_end_ns,
+            tasks,
+            counters,
+            detail,
+        );
+    }
+
+    fn telemetry(&mut self, sample: &TelemetrySample) {
+        (**self).telemetry(sample);
+    }
 }
 
 /// Fan-out to two sinks (compose for more). Enabled if either side is.
@@ -102,6 +239,71 @@ impl<A: Observer, B: Observer> Observer for TeeObserver<A, B> {
             self.second.record(event);
         }
     }
+
+    fn spans_enabled(&self) -> bool {
+        self.first.spans_enabled() || self.second.spans_enabled()
+    }
+
+    fn span_open(&mut self, kind: SpanKind, index: u64, tasks: u64) {
+        if self.first.spans_enabled() {
+            self.first.span_open(kind, index, tasks);
+        }
+        if self.second.spans_enabled() {
+            self.second.span_open(kind, index, tasks);
+        }
+    }
+
+    fn span_close(&mut self, self_counters: &KernelCounters) {
+        if self.first.spans_enabled() {
+            self.first.span_close(self_counters);
+        }
+        if self.second.spans_enabled() {
+            self.second.span_close(self_counters);
+        }
+    }
+
+    fn span_leaf(
+        &mut self,
+        kind: SpanKind,
+        index: u64,
+        rel_start_ns: u64,
+        rel_end_ns: u64,
+        tasks: u64,
+        counters: &KernelCounters,
+        detail: &'static str,
+    ) {
+        if self.first.spans_enabled() {
+            self.first.span_leaf(
+                kind,
+                index,
+                rel_start_ns,
+                rel_end_ns,
+                tasks,
+                counters,
+                detail,
+            );
+        }
+        if self.second.spans_enabled() {
+            self.second.span_leaf(
+                kind,
+                index,
+                rel_start_ns,
+                rel_end_ns,
+                tasks,
+                counters,
+                detail,
+            );
+        }
+    }
+
+    fn telemetry(&mut self, sample: &TelemetrySample) {
+        if self.first.spans_enabled() {
+            self.first.telemetry(sample);
+        }
+        if self.second.spans_enabled() {
+            self.second.telemetry(sample);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -112,6 +314,7 @@ mod tests {
     fn null_observer_is_disabled() {
         let obs = NullObserver;
         assert!(!obs.enabled());
+        assert!(!obs.spans_enabled());
     }
 
     #[test]
@@ -146,6 +349,7 @@ mod tests {
 
         let both_null = TeeObserver::new(NullObserver, NullObserver);
         assert!(!both_null.enabled());
+        assert!(!both_null.spans_enabled());
     }
 
     #[test]
@@ -159,5 +363,27 @@ mod tests {
             });
         }
         assert_eq!(obs.events.len(), 1);
+    }
+
+    #[test]
+    fn span_hooks_default_to_noops() {
+        // VecObserver opts out of spans: the default hooks must be
+        // callable without effect.
+        let mut obs = VecObserver::new();
+        assert!(!obs.spans_enabled());
+        obs.span_open(SpanKind::Solve, 0, 1);
+        obs.span_close(&KernelCounters::default());
+        obs.span_leaf(SpanKind::Shard, 0, 0, 1, 1, &KernelCounters::default(), "");
+        obs.telemetry(&TelemetrySample::zeroed());
+        assert!(obs.events.is_empty());
+    }
+
+    #[test]
+    fn tee_forwards_spans_to_enabled_sides_only() {
+        let mut tee = TeeObserver::new(crate::SpanProfiler::new(), NullObserver);
+        assert!(tee.spans_enabled());
+        tee.span_open(SpanKind::Solve, 0, 1);
+        tee.span_close(&KernelCounters::default());
+        assert_eq!(tee.first.spans().len(), 1);
     }
 }

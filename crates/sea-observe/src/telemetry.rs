@@ -1,0 +1,307 @@
+//! Convergence telemetry: bounded sample buffers and rate estimation.
+//!
+//! The span profiler ([`crate::span::SpanProfiler`]) and the CLI
+//! `--progress` line both consume a stream of per-check
+//! [`TelemetrySample`]s emitted by the drivers through
+//! [`crate::Observer::telemetry`]. Samples are `Copy` and the buffer is
+//! preallocated, so recording a sample never allocates — the audited
+//! alloc-free steady-state loop stays alloc-free with telemetry enabled.
+//!
+//! When the buffer fills it decimates in place (keeps every other
+//! retained sample) and doubles its acceptance stride, so memory stays
+//! bounded while the retained trajectory keeps roughly uniform coverage
+//! of the whole solve.
+
+/// One convergence snapshot, taken at a driver's periodic check.
+///
+/// All fields are plain numbers so the sample is `Copy` and can be
+/// recorded without allocation from inside the solve loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetrySample {
+    /// Iteration (epoch) index at which the check ran.
+    pub iteration: u64,
+    /// Wall-clock seconds since the solve started.
+    pub seconds: f64,
+    /// Convergence residual under the driver's active criterion.
+    pub residual: f64,
+    /// Dual objective value, or NaN when the driver did not compute it.
+    pub dual_value: f64,
+    /// Cumulative kernel work (breakpoints scanned + quickselect pivots
+    /// + boxed clamps) up to this check.
+    pub kernel_work: u64,
+    /// Number of strictly positive entries in the iterate — the active
+    /// set of the equilibration subproblems. The churn between two
+    /// consecutive samples is the absolute change in this count.
+    pub active_set: u64,
+}
+
+impl TelemetrySample {
+    /// A sample with every field zeroed (residual/dual NaN-free zero).
+    pub fn zeroed() -> Self {
+        TelemetrySample {
+            iteration: 0,
+            seconds: 0.0,
+            residual: 0.0,
+            dual_value: f64::NAN,
+            kernel_work: 0,
+            active_set: 0,
+        }
+    }
+}
+
+/// Preallocated, self-decimating buffer of [`TelemetrySample`]s.
+///
+/// `push` is alloc-free: the backing `Vec` is reserved up front and
+/// never grows. When the buffer is full it drops every other retained
+/// sample in place and doubles the acceptance stride, so an arbitrarily
+/// long solve keeps a bounded, roughly uniformly spaced trajectory.
+#[derive(Debug)]
+pub struct TelemetryBuffer {
+    samples: Vec<TelemetrySample>,
+    capacity: usize,
+    /// Accept one sample in every `stride` offered.
+    stride: u64,
+    /// Samples offered so far (accepted or not).
+    offered: u64,
+    /// Samples dropped by striding or decimation.
+    dropped: u64,
+}
+
+impl TelemetryBuffer {
+    /// A buffer retaining at most `capacity` samples (minimum 4).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(4);
+        TelemetryBuffer {
+            samples: Vec::with_capacity(capacity),
+            capacity,
+            stride: 1,
+            offered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Offer a sample; returns `true` if it was retained.
+    pub fn push(&mut self, sample: TelemetrySample) -> bool {
+        let offered = self.offered;
+        self.offered += 1;
+        if !offered.is_multiple_of(self.stride) {
+            self.dropped += 1;
+            return false;
+        }
+        if self.samples.len() == self.capacity {
+            // Decimate in place: keep even-indexed samples, then double
+            // the stride so future samples arrive at the thinned rate.
+            let len = self.samples.len();
+            let mut keep = 0usize;
+            for i in (0..len).step_by(2) {
+                self.samples[keep] = self.samples[i];
+                keep += 1;
+            }
+            self.dropped += (len - keep) as u64;
+            self.samples.truncate(keep);
+            self.stride = self.stride.saturating_mul(2);
+        }
+        self.samples.push(sample);
+        true
+    }
+
+    /// The retained samples, in arrival order.
+    pub fn samples(&self) -> &[TelemetrySample] {
+        &self.samples
+    }
+
+    /// Samples dropped by striding or decimation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total samples offered to the buffer.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// The most recently retained sample.
+    pub fn last(&self) -> Option<&TelemetrySample> {
+        self.samples.last()
+    }
+
+    /// Forget all retained samples and reset the stride.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+        self.stride = 1;
+        self.offered = 0;
+        self.dropped = 0;
+    }
+}
+
+/// Estimated convergence rate and time-to-target from recent samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EtaEstimate {
+    /// Geometric residual contraction factor per iteration (< 1 means
+    /// the residual is shrinking).
+    pub rate: f64,
+    /// Estimated iterations remaining until the residual reaches the
+    /// target tolerance.
+    pub iterations_remaining: f64,
+    /// Estimated wall-clock seconds remaining.
+    pub seconds_remaining: f64,
+}
+
+/// Fits a geometric convergence model to the tail of a sample
+/// trajectory and projects the remaining work to a target residual.
+///
+/// SEA's dual block-coordinate ascent converges linearly in practice,
+/// so `log(residual)` against iteration is close to affine; the
+/// estimator does a least-squares line fit over the last few samples
+/// with positive finite residuals.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ConvergenceEstimator;
+
+/// How many trailing samples the estimator fits over.
+const FIT_WINDOW: usize = 8;
+
+impl ConvergenceEstimator {
+    /// Estimate the contraction rate and remaining work to bring the
+    /// residual below `target`. Returns `None` when fewer than two
+    /// usable samples exist, the fit is degenerate, or the trajectory
+    /// is not contracting.
+    pub fn estimate(samples: &[TelemetrySample], target: f64) -> Option<EtaEstimate> {
+        let usable: Vec<&TelemetrySample> = samples
+            .iter()
+            .filter(|s| s.residual.is_finite() && s.residual > 0.0)
+            .collect();
+        if usable.len() < 2 {
+            return None;
+        }
+        let tail = &usable[usable.len().saturating_sub(FIT_WINDOW)..];
+        // Least-squares fit of ln(residual) = a + b * iteration.
+        let n = tail.len() as f64;
+        let (mut sx, mut sy, mut sxx, mut sxy) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for s in tail {
+            let x = s.iteration as f64;
+            let y = s.residual.ln();
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            sxy += x * y;
+        }
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < f64::EPSILON {
+            return None;
+        }
+        let slope = (n * sxy - sx * sy) / denom;
+        let rate = slope.exp();
+        if !rate.is_finite() || rate >= 1.0 || rate <= 0.0 {
+            return None;
+        }
+        let last = tail[tail.len() - 1];
+        // `!(target > 0.0)` deliberately treats a NaN target as already
+        // met (no extrapolation), which `target <= 0.0` would not.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(target > 0.0) || last.residual <= target {
+            return Some(EtaEstimate {
+                rate,
+                iterations_remaining: 0.0,
+                seconds_remaining: 0.0,
+            });
+        }
+        let iterations_remaining = (target / last.residual).ln() / slope;
+        // Seconds per iteration from the span of the fitted window.
+        let first = tail[0];
+        let di = (last.iteration - first.iteration) as f64;
+        let secs_per_iter = if di > 0.0 {
+            (last.seconds - first.seconds).max(0.0) / di
+        } else {
+            0.0
+        };
+        Some(EtaEstimate {
+            rate,
+            iterations_remaining,
+            seconds_remaining: iterations_remaining * secs_per_iter,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(iteration: u64, residual: f64, seconds: f64) -> TelemetrySample {
+        TelemetrySample {
+            iteration,
+            seconds,
+            residual,
+            dual_value: f64::NAN,
+            kernel_work: 0,
+            active_set: 0,
+        }
+    }
+
+    #[test]
+    fn buffer_retains_everything_under_capacity() {
+        let mut buf = TelemetryBuffer::with_capacity(8);
+        for i in 0..8 {
+            assert!(buf.push(sample(i, 1.0, i as f64)));
+        }
+        assert_eq!(buf.samples().len(), 8);
+        assert_eq!(buf.dropped(), 0);
+    }
+
+    #[test]
+    fn buffer_decimates_and_strides_when_full() {
+        let mut buf = TelemetryBuffer::with_capacity(8);
+        for i in 0..64 {
+            buf.push(sample(i, 1.0, i as f64));
+        }
+        assert!(buf.samples().len() <= 8);
+        assert_eq!(buf.offered(), 64);
+        assert_eq!(
+            buf.samples().len() as u64 + buf.dropped(),
+            buf.offered(),
+            "every offered sample is retained or counted dropped"
+        );
+        // Retained iterations stay sorted (uniform-ish coverage).
+        let iters: Vec<u64> = buf.samples().iter().map(|s| s.iteration).collect();
+        let mut sorted = iters.clone();
+        sorted.sort_unstable();
+        assert_eq!(iters, sorted);
+    }
+
+    #[test]
+    fn buffer_push_never_grows_backing_storage() {
+        let mut buf = TelemetryBuffer::with_capacity(16);
+        let cap = buf.samples.capacity();
+        for i in 0..1000 {
+            buf.push(sample(i, 1.0, 0.0));
+        }
+        assert_eq!(buf.samples.capacity(), cap);
+    }
+
+    #[test]
+    fn estimator_fits_a_geometric_trajectory() {
+        // residual = 0.5^k, one second per iteration.
+        let samples: Vec<TelemetrySample> = (0..10)
+            .map(|k| sample(k, 0.5f64.powi(k as i32), k as f64))
+            .collect();
+        let eta = ConvergenceEstimator::estimate(&samples, 1e-9).expect("estimate");
+        assert!((eta.rate - 0.5).abs() < 1e-9, "rate {}", eta.rate);
+        assert!(eta.iterations_remaining > 0.0);
+        assert!((eta.seconds_remaining - eta.iterations_remaining).abs() < 1e-6);
+    }
+
+    #[test]
+    fn estimator_declines_non_contracting_trajectories() {
+        let samples: Vec<TelemetrySample> =
+            (0..10).map(|k| sample(k, 1.0 + k as f64, 0.0)).collect();
+        assert!(ConvergenceEstimator::estimate(&samples, 1e-9).is_none());
+    }
+
+    #[test]
+    fn estimator_reports_done_when_target_met() {
+        let samples: Vec<TelemetrySample> = (0..4)
+            .map(|k| sample(k, 0.5f64.powi(k as i32), k as f64))
+            .collect();
+        let eta = ConvergenceEstimator::estimate(&samples, 1.0).expect("estimate");
+        assert_eq!(eta.iterations_remaining, 0.0);
+    }
+}

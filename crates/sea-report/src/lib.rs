@@ -7,9 +7,11 @@
 //! iterations to convergence). Depends only on `sea-observe`.
 
 pub mod record;
+pub mod spans;
 pub mod summary;
 pub mod table;
 
 pub use record::ExperimentRecord;
+pub use spans::{KindSummary, SpanBreakdown, SpanPhase};
 pub use summary::{PhaseSummary, SolveSummary};
 pub use table::{fmt_seconds, Table};

@@ -1,0 +1,395 @@
+//! Per-phase breakdown and critical-path analysis of recorded solve spans.
+//!
+//! [`SpanBreakdown`] consumes the spans imported from a chrome-trace
+//! export (see `sea_observe::parse_chrome_trace`) and answers the
+//! questions the event-level [`SolveSummary`](crate::SolveSummary)
+//! cannot: where wall time actually went per span kind, what the
+//! *measured* critical path through the solve was (overlapping sibling
+//! spans — shards, batch instances — count once at their maximum, serial
+//! siblings add up), and hence the measured serial fraction and the
+//! speedup ceiling `T₁ / T∞`. [`SpanBreakdown::phases`] re-expresses the
+//! recorded spans as per-phase task-duration vectors so the parallel-
+//! machine simulator can replay *measured* phases instead of synthetic
+//! ones.
+
+use crate::table::{fmt_seconds, Table};
+use sea_observe::{KernelCounters, ParsedSpan, SpanKind};
+
+/// Aggregate for one span kind.
+#[derive(Debug, Clone, Default)]
+pub struct KindSummary {
+    /// Number of recorded spans of this kind.
+    pub count: usize,
+    /// Wall time inclusive of children, nanoseconds. Overlapping spans
+    /// (shards) all count, so this can exceed elapsed time.
+    pub inclusive_ns: u64,
+    /// Self wall time (inclusive minus recorded children), nanoseconds.
+    pub self_ns: u64,
+    /// Kernel counters summed over spans of this kind (subtree totals).
+    pub counters: KernelCounters,
+}
+
+/// One recorded phase re-expressed for the parallel-machine simulator:
+/// a vector of task durations (seconds) plus whether the phase is
+/// inherently serial.
+#[derive(Debug, Clone)]
+pub struct SpanPhase {
+    /// Kind the phase came from.
+    pub kind: SpanKind,
+    /// True when the phase cannot be spread over processors.
+    pub serial: bool,
+    /// Task durations in seconds.
+    pub tasks: Vec<f64>,
+}
+
+/// Breakdown of a recorded span forest.
+#[derive(Debug, Clone)]
+pub struct SpanBreakdown {
+    /// Per-kind aggregates, in [`SpanKind::ALL`] order, zero-count kinds
+    /// omitted.
+    pub kinds: Vec<(SpanKind, KindSummary)>,
+    /// Elapsed wall time covered by the root spans, nanoseconds.
+    pub wall_ns: u64,
+    /// Total work `T₁`: the sum of every span's self time, nanoseconds.
+    pub work_ns: u64,
+    /// Measured critical path `T∞` through the span forest, nanoseconds.
+    pub critical_path_ns: u64,
+    /// Self time spent in inherently serial spans (Solve/Epoch/Check and
+    /// batch bookkeeping), nanoseconds.
+    pub serial_ns: u64,
+    /// Number of recorded spans.
+    pub spans: usize,
+}
+
+/// Whether a kind's *self* time is inherently serial (driver bookkeeping
+/// and convergence checks) as opposed to parallelizable pass/task work.
+fn is_serial_kind(kind: SpanKind) -> bool {
+    matches!(
+        kind,
+        SpanKind::Solve | SpanKind::Epoch | SpanKind::Check | SpanKind::Batch
+    )
+}
+
+impl SpanBreakdown {
+    /// Analyze a span forest (any order; linked by id/parent).
+    pub fn from_spans(spans: &[ParsedSpan]) -> SpanBreakdown {
+        let n = spans.len();
+        // id → position, then children lists in start order.
+        let mut by_id = std::collections::HashMap::with_capacity(n);
+        for (i, s) in spans.iter().enumerate() {
+            by_id.insert(s.id, i);
+        }
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut roots: Vec<usize> = Vec::new();
+        for (i, s) in spans.iter().enumerate() {
+            match s.parent.and_then(|p| by_id.get(&p)) {
+                // A parent lost to ring overwrite degrades the child to a
+                // root rather than dropping it.
+                Some(&p) if p != i => children[p].push(i),
+                _ => roots.push(i),
+            }
+        }
+        for list in &mut children {
+            list.sort_by_key(|&i| spans[i].start_ns);
+        }
+
+        let mut kinds_map: Vec<KindSummary> = vec![KindSummary::default(); SpanKind::ALL.len()];
+        let mut work_ns = 0u64;
+        let mut serial_ns = 0u64;
+        for (i, s) in spans.iter().enumerate() {
+            let child_ns: u64 = children[i]
+                .iter()
+                .map(|&c| spans[c].duration_ns())
+                .fold(0, u64::saturating_add);
+            let self_ns = s.duration_ns().saturating_sub(child_ns);
+            let k = kind_pos(s.kind);
+            kinds_map[k].count += 1;
+            kinds_map[k].inclusive_ns += s.duration_ns();
+            kinds_map[k].self_ns += self_ns;
+            kinds_map[k].counters = kinds_map[k].counters.merged(s.counters);
+            work_ns += self_ns;
+            if is_serial_kind(s.kind) {
+                serial_ns += self_ns;
+            }
+        }
+
+        let critical_path_ns = roots
+            .iter()
+            .map(|&r| critical_path(spans, &children, r))
+            .fold(0, u64::saturating_add);
+        let wall_ns = {
+            let start = roots.iter().map(|&r| spans[r].start_ns).min().unwrap_or(0);
+            let end = roots.iter().map(|&r| spans[r].end_ns).max().unwrap_or(0);
+            end.saturating_sub(start)
+        };
+
+        let kinds = SpanKind::ALL
+            .iter()
+            .filter(|k| kinds_map[kind_pos(**k)].count > 0)
+            .map(|&k| (k, kinds_map[kind_pos(k)].clone()))
+            .collect();
+        SpanBreakdown {
+            kinds,
+            wall_ns,
+            work_ns,
+            critical_path_ns,
+            serial_ns,
+            spans: n,
+        }
+    }
+
+    /// Measured serial fraction: self time of inherently serial spans over
+    /// total work.
+    pub fn serial_fraction(&self) -> f64 {
+        if self.work_ns == 0 {
+            return 0.0;
+        }
+        self.serial_ns as f64 / self.work_ns as f64
+    }
+
+    /// Speedup ceiling `T₁ / T∞` implied by the measured critical path.
+    pub fn max_speedup(&self) -> f64 {
+        if self.critical_path_ns == 0 {
+            return 1.0;
+        }
+        self.work_ns as f64 / self.critical_path_ns as f64
+    }
+
+    /// Re-express the recorded spans as simulator phases, in span-id
+    /// (preorder) order. Passes with recorded shard leaves become parallel
+    /// phases of the measured shard durations; passes recorded without
+    /// shards are split evenly over their task count (capped at 256
+    /// chunks, matching the drivers' phase reporting); checks and driver
+    /// self time are serial. Shard/Instance leaves are consumed by their
+    /// parents and never produce phases of their own.
+    pub fn phases(spans: &[ParsedSpan]) -> Vec<SpanPhase> {
+        let mut by_id = std::collections::HashMap::with_capacity(spans.len());
+        for (i, s) in spans.iter().enumerate() {
+            by_id.insert(s.id, i);
+        }
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+        for (i, s) in spans.iter().enumerate() {
+            if let Some(&p) = s.parent.and_then(|p| by_id.get(&p)) {
+                if p != i {
+                    children[p].push(i);
+                }
+            }
+        }
+        let mut order: Vec<usize> = (0..spans.len()).collect();
+        order.sort_by_key(|&i| spans[i].id);
+
+        let mut phases = Vec::new();
+        for &i in &order {
+            let s = &spans[i];
+            let secs = s.duration_ns() as f64 / 1e9;
+            match s.kind {
+                SpanKind::RowPass | SpanKind::ColPass | SpanKind::Projection => {
+                    let shard_durs: Vec<f64> = children[i]
+                        .iter()
+                        .filter(|&&c| spans[c].kind == SpanKind::Shard)
+                        .map(|&c| spans[c].duration_ns() as f64 / 1e9)
+                        .collect();
+                    let tasks = if shard_durs.is_empty() {
+                        let chunks = s.tasks.clamp(1, 256) as usize;
+                        vec![secs / chunks as f64; chunks]
+                    } else {
+                        shard_durs
+                    };
+                    phases.push(SpanPhase {
+                        kind: s.kind,
+                        serial: false,
+                        tasks,
+                    });
+                }
+                SpanKind::Check => phases.push(SpanPhase {
+                    kind: s.kind,
+                    serial: true,
+                    tasks: vec![secs],
+                }),
+                SpanKind::Batch => {
+                    let inst: Vec<f64> = children[i]
+                        .iter()
+                        .filter(|&&c| spans[c].kind == SpanKind::Instance)
+                        .map(|&c| spans[c].duration_ns() as f64 / 1e9)
+                        .collect();
+                    if !inst.is_empty() {
+                        phases.push(SpanPhase {
+                            kind: SpanKind::Instance,
+                            serial: false,
+                            tasks: inst,
+                        });
+                    }
+                }
+                // Solve/Epoch self time is bookkeeping noise; Shard and
+                // Instance leaves were folded into their parents above.
+                _ => {}
+            }
+        }
+        phases
+    }
+
+    /// Render the per-kind table plus the critical-path analysis lines.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "per-phase breakdown (from spans)",
+            &["kind", "count", "incl", "self", "self %", "kernel work"],
+        );
+        for (kind, k) in &self.kinds {
+            let pct = if self.work_ns > 0 {
+                100.0 * k.self_ns as f64 / self.work_ns as f64
+            } else {
+                0.0
+            };
+            t.push_row(vec![
+                kind.name().to_string(),
+                k.count.to_string(),
+                fmt_seconds(k.inclusive_ns as f64 / 1e9),
+                fmt_seconds(k.self_ns as f64 / 1e9),
+                format!("{pct:.1}"),
+                k.counters.work().to_string(),
+            ]);
+        }
+        let mut out = t.render();
+        out.push_str(&format!(
+            "\nspans {}  wall {}  work T1 {}  critical path Tinf {}\n\
+             measured serial fraction {:.4}  speedup ceiling {:.2}x\n",
+            self.spans,
+            fmt_seconds(self.wall_ns as f64 / 1e9),
+            fmt_seconds(self.work_ns as f64 / 1e9),
+            fmt_seconds(self.critical_path_ns as f64 / 1e9),
+            self.serial_fraction(),
+            self.max_speedup(),
+        ));
+        out
+    }
+}
+
+fn kind_pos(kind: SpanKind) -> usize {
+    // Allowed: ALL contains every variant by construction.
+    #[allow(clippy::expect_used)]
+    SpanKind::ALL
+        .iter()
+        .position(|k| *k == kind)
+        .expect("kind in ALL")
+}
+
+/// Critical path through `root`'s subtree: self time plus, per group of
+/// wall-time-overlapping children (which ran concurrently), the maximum
+/// child critical path; disjoint groups ran sequentially and add up.
+fn critical_path(spans: &[ParsedSpan], children: &[Vec<usize>], root: usize) -> u64 {
+    let kids = &children[root];
+    let child_total: u64 = kids
+        .iter()
+        .map(|&c| spans[c].duration_ns())
+        .fold(0, u64::saturating_add);
+    let self_ns = spans[root].duration_ns().saturating_sub(child_total);
+    let mut path = 0u64;
+    let mut group_max = 0u64;
+    let mut group_end = 0u64;
+    let mut in_group = false;
+    for &c in kids {
+        let s = &spans[c];
+        let cp = critical_path(spans, children, c);
+        if in_group && s.start_ns < group_end {
+            group_max = group_max.max(cp);
+            group_end = group_end.max(s.end_ns);
+        } else {
+            path = path.saturating_add(group_max);
+            group_max = cp;
+            group_end = s.end_ns;
+            in_group = true;
+        }
+    }
+    path.saturating_add(group_max).saturating_add(self_ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(
+        id: u64,
+        parent: Option<u64>,
+        kind: SpanKind,
+        start_ns: u64,
+        end_ns: u64,
+        tasks: u64,
+    ) -> ParsedSpan {
+        ParsedSpan {
+            id,
+            parent,
+            kind,
+            index: 0,
+            start_ns,
+            end_ns,
+            tasks,
+            counters: KernelCounters::default(),
+            detail: String::new(),
+        }
+    }
+
+    /// solve > epoch > {row pass > 2 overlapping shards, check}
+    fn sample_spans() -> Vec<ParsedSpan> {
+        vec![
+            span(0, None, SpanKind::Solve, 0, 6_200, 4),
+            span(1, Some(0), SpanKind::Epoch, 100, 6_100, 0),
+            span(2, Some(1), SpanKind::RowPass, 200, 5_000, 4),
+            // Shards overlap in wall time → they ran concurrently.
+            span(3, Some(2), SpanKind::Shard, 200, 4_200, 2),
+            span(4, Some(2), SpanKind::Shard, 1_200, 3_200, 2),
+            span(5, Some(1), SpanKind::Check, 5_000, 6_000, 1),
+        ]
+    }
+
+    #[test]
+    fn breakdown_measures_critical_path_and_serial_fraction() {
+        let spans = sample_spans();
+        let b = SpanBreakdown::from_spans(&spans);
+        assert_eq!(b.spans, 6);
+        assert_eq!(b.wall_ns, 6_200);
+        // Work: every span's self time. Shards 4000+2000, pass self
+        // 4800-6000→0 (children exceed), check 1000, epoch self
+        // 6000-(4800+1000)=200, solve self 100+100=200... computed below.
+        assert_eq!(b.work_ns, {
+            let shard = 4_000 + 2_000;
+            let pass_self = 4_800u64.saturating_sub(6_000);
+            let check = 1_000;
+            let epoch_self = 6_000u64 - (4_800 + 1_000);
+            let solve_self = 6_200 - 6_000;
+            shard + pass_self + check + epoch_self + solve_self
+        });
+        // Critical path: solve self + epoch self + (pass self 0 + max
+        // shard 4000) + check 1000.
+        assert_eq!(b.critical_path_ns, 200 + 200 + 4_000 + 1_000);
+        assert!(b.max_speedup() > 1.0);
+        let f = b.serial_fraction();
+        assert!(f > 0.0 && f < 1.0, "serial fraction {f}");
+        let text = b.render();
+        assert!(text.contains("row_pass"));
+        assert!(text.contains("critical path"));
+    }
+
+    #[test]
+    fn phases_use_measured_shards_and_split_serial_passes() {
+        let spans = sample_spans();
+        let phases = SpanBreakdown::phases(&spans);
+        // One parallel row pass (2 measured shards) and one serial check.
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].kind, SpanKind::RowPass);
+        assert!(!phases[0].serial);
+        assert_eq!(phases[0].tasks.len(), 2);
+        assert!((phases[0].tasks[0] - 4e-6).abs() < 1e-12);
+        assert_eq!(phases[1].kind, SpanKind::Check);
+        assert!(phases[1].serial);
+    }
+
+    #[test]
+    fn orphaned_children_degrade_to_roots() {
+        let mut spans = sample_spans();
+        // Drop the solve root: epoch's parent vanishes.
+        spans.retain(|s| s.kind != SpanKind::Solve);
+        let b = SpanBreakdown::from_spans(&spans);
+        assert_eq!(b.spans, 5);
+        assert!(b.critical_path_ns > 0);
+    }
+}

@@ -25,9 +25,28 @@ pub struct PhaseSummary {
     pub max_task_seconds: f64,
 }
 
+/// One batch instance's warm-start outcome (from `BatchInstance`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceSummary {
+    /// Submission index (0-based).
+    pub index: usize,
+    /// Caller-supplied instance id.
+    pub id: String,
+    /// Warm-start cache family, when declared.
+    pub family: Option<String>,
+    /// Cache outcome (`"hit"`, `"miss"`, `"bypass"`).
+    pub cache: String,
+    /// Kernel work spent on the instance.
+    pub kernel_work: u64,
+    /// Kernel work saved vs the family's cold baseline.
+    pub work_saved: u64,
+}
+
 /// Everything the `report` command prints about one recorded log.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SolveSummary {
+    /// Wire version declared by a leading `meta` line, when present.
+    pub wire_version: Option<u64>,
     /// Solver lifecycles in the log (the general driver nests one per
     /// inner diagonal solve, so this can exceed 1 for a single run).
     pub solves: usize,
@@ -71,6 +90,8 @@ pub struct SolveSummary {
     pub batch_work_saved: u64,
     /// Wall-clock seconds across batch solves.
     pub batch_seconds: f64,
+    /// Per-instance warm-start outcomes, in log order.
+    pub instances: Vec<InstanceSummary>,
 }
 
 impl SolveSummary {
@@ -151,9 +172,23 @@ impl SolveSummary {
                     out.batch_work_saved += work_saved;
                     out.batch_seconds += seconds;
                 }
-                Event::PhaseStart { .. }
-                | Event::MultiplierBound { .. }
-                | Event::BatchInstance { .. } => {}
+                Event::BatchInstance {
+                    index,
+                    id,
+                    family,
+                    cache,
+                    kernel_work,
+                    work_saved,
+                } => out.instances.push(InstanceSummary {
+                    index: *index,
+                    id: id.clone(),
+                    family: family.clone(),
+                    cache: (*cache).to_string(),
+                    kernel_work: *kernel_work,
+                    work_saved: *work_saved,
+                }),
+                Event::Meta { wire_version } => out.wire_version = Some(*wire_version),
+                Event::PhaseStart { .. } | Event::MultiplierBound { .. } => {}
             }
         }
         out.phases = by_label.into_iter().flatten().collect();
@@ -195,6 +230,25 @@ impl SolveSummary {
                 fmt_seconds(p.wall_seconds),
                 fmt_seconds(p.work_seconds),
                 format!("{:.1}%", 100.0 * p.work_seconds / total),
+            ]);
+        }
+        t
+    }
+
+    /// The per-instance table for batch logs: one row per `BatchInstance`.
+    pub fn instance_table(&self) -> Table {
+        let mut t = Table::new(
+            "Batch instances",
+            &["#", "id", "family", "cache", "kernel work", "work saved"],
+        );
+        for i in &self.instances {
+            t.push_row(vec![
+                i.index.to_string(),
+                i.id.clone(),
+                i.family.clone().unwrap_or_else(|| "-".to_string()),
+                i.cache.clone(),
+                i.kernel_work.to_string(),
+                i.work_saved.to_string(),
             ]);
         }
         t
@@ -253,6 +307,10 @@ impl SolveSummary {
                 self.batch_kernel_work,
                 self.batch_work_saved,
             ));
+            if !self.instances.is_empty() {
+                out.push('\n');
+                out.push_str(&self.instance_table().render());
+            }
         }
         out
     }
