@@ -1,7 +1,7 @@
 //! Reusable per-instance workspaces.
 //!
 //! A long-lived [`BatchEngine`](crate::BatchEngine) solves batch after
-//! batch; the arena keeps one [`Slot`] per instance position alive across
+//! batch; the arena keeps one `Slot` per instance position alive across
 //! `solve_batch` calls so the engine's own bookkeeping — buffered event
 //! streams, warm-start seed vectors, outcome scaffolding — reaches a
 //! steady state and stops allocating. A slot is `reset` (lengths zeroed,

@@ -366,6 +366,37 @@ impl BatchEngine {
     /// order. Emits `BatchStart`, the buffered per-instance solve streams
     /// interleaved with `BatchInstance`, and `BatchEnd` when `obs` is
     /// enabled.
+    ///
+    /// A per-instance failure never aborts the batch: it lands in that
+    /// item's [`BatchItemReport::outcome`] and the remaining instances
+    /// still solve.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sea_batch::{BatchEngine, BatchInstance, BatchOptions, BatchProblem};
+    /// use sea_core::{DiagonalProblem, NullObserver, TotalSpec, WeightScheme};
+    /// use sea_linalg::DenseMatrix;
+    ///
+    /// let x0 = DenseMatrix::from_rows(&[vec![10.0, 5.0], vec![5.0, 10.0]])?;
+    /// let gamma = WeightScheme::ChiSquare.entry_weights(&x0)?;
+    /// let p = DiagonalProblem::new(
+    ///     x0,
+    ///     gamma,
+    ///     TotalSpec::Fixed { s0: vec![18.0, 18.0], d0: vec![18.0, 18.0] },
+    /// )?;
+    /// let batch = vec![BatchInstance {
+    ///     id: "q1".to_string(),
+    ///     family: None,
+    ///     problem: BatchProblem::Diagonal(p),
+    /// }];
+    ///
+    /// let mut engine = BatchEngine::new(BatchOptions::default());
+    /// let report = engine.solve_batch(&batch, &mut NullObserver);
+    /// assert_eq!(report.converged, 1);
+    /// assert!(report.items[0].outcome.is_ok());
+    /// # Ok::<(), sea_core::SeaError>(())
+    /// ```
     pub fn solve_batch<O: Observer>(
         &mut self,
         instances: &[BatchInstance],
@@ -510,6 +541,45 @@ impl BatchEngine {
             elapsed,
         }
     }
+}
+
+/// Solve a single instance against a cache snapshot, outside any batch.
+///
+/// This is the entry point long-running services compose: the caller owns
+/// the cache (and whatever lock guards it), resolves sharing and eviction
+/// policy itself, and applies the returned [`CacheUpdate`] (if any)
+/// whenever it chooses — typically immediately, under the same lock a
+/// concurrent worker would take. Events stream to `obs` in order with no
+/// batch framing. The result is bitwise identical to the same instance
+/// going through [`BatchEngine::solve_batch`] with the same options and
+/// cache snapshot (it runs the same per-instance path).
+pub fn solve_instance<O: Observer>(
+    inst: &BatchInstance,
+    opts: &BatchOptions,
+    cache: &WarmStartCache,
+    obs: &mut O,
+) -> (BatchItemReport, Option<CacheUpdate>) {
+    let mut slot = Slot::default();
+    solve_one(inst, opts, cache, obs.enabled(), false, &mut slot);
+    for e in slot.events.drain(..) {
+        obs.record(&e);
+    }
+    // Allowed: `solve_one` unconditionally fills `outcome` (same proof as
+    // the batch epilogue above).
+    #[allow(clippy::expect_used)]
+    let outcome = slot.outcome.take().expect("instance was solved");
+    (
+        BatchItemReport {
+            index: 0,
+            id: inst.id.clone(),
+            family: inst.family.clone(),
+            warm_start: slot.warm,
+            kernel_work: slot.kernel_work,
+            work_saved: slot.work_saved,
+            outcome,
+        },
+        slot.update.take(),
+    )
 }
 
 /// Nanoseconds elapsed since `t0`, saturating (good for ~584 years).

@@ -1,0 +1,342 @@
+//! Serve load benchmark: the `BENCH_8.json` snapshot.
+//!
+//! Runs an in-process [`sea_serve::Server`] and drives it with
+//! keep-alive HTTP clients over a fleet of heterogeneous-weight
+//! families (the `hard_problem` recipe — convergence takes real work, so
+//! a warm dual seed pays off):
+//!
+//! * **cold phase** — every family solved once on a fresh cache; all
+//!   requests are warm-start misses.
+//! * **warm phase** — sustained concurrent load cycling the same
+//!   families; every request after the fill should be a hit. Mid-phase
+//!   the harness scrapes `/metrics` and asserts the exposition is
+//!   well-formed (queue depth + request-latency histogram present).
+//!
+//! The committed snapshot records sustained req/s and p50/p99 latency
+//! for both phases plus the warm hit fraction.
+//!
+//! ```text
+//! bench_serve [--out BENCH_8.json] [--requests 400] [--clients 4] [--smoke]
+//! ```
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sea_observe::json::{f64_to_json, JsonValue};
+use sea_serve::{ServeConfig, Server};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Instance order (rows = cols).
+const N: usize = 40;
+/// Families cycled by the load generator.
+const FAMILIES: usize = 8;
+/// Stopping tolerance (tight enough that convergence takes real work).
+const EPSILON: f64 = 1e-10;
+
+/// One family's request body: heterogeneous weights spanning seven
+/// decades, exact-balance fixed totals, stable under its family key.
+fn family_body(index: u64) -> String {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xBE8C ^ index);
+    let mut matrix = String::from("[");
+    for i in 0..N {
+        if i > 0 {
+            matrix.push(',');
+        }
+        matrix.push('[');
+        for j in 0..N {
+            if j > 0 {
+                matrix.push(',');
+            }
+            let phase = (i * N + j) % 7;
+            let v: f64 = (1.0 + phase as f64) * rng.random_range(0.9..1.1);
+            matrix.push_str(&format!("{v:.6}"));
+        }
+        matrix.push(']');
+    }
+    matrix.push(']');
+    let s0: Vec<f64> = (0..N)
+        .map(|i| (20.0 + 3.0 * (i % 7) as f64) * rng.random_range(0.9..1.1))
+        .collect();
+    let grand: f64 = s0.iter().sum();
+    let mut d0: Vec<f64> = (0..N).map(|j| 30.0 - 4.0 * (j % 7) as f64).collect();
+    let dsum: f64 = d0.iter().sum();
+    for d in &mut d0 {
+        *d *= grand / dsum;
+    }
+    d0[0] += grand - d0.iter().sum::<f64>();
+    // Round-trip formatting: the server re-parses these exact f64s, so
+    // the exact-balance fix above survives serialization.
+    let fmt = |v: &[f64]| {
+        let items: Vec<String> = v.iter().map(|x| format!("{x}")).collect();
+        format!("[{}]", items.join(","))
+    };
+    format!(
+        "{{\"id\":\"req-{index}\",\"family\":\"fam-{index}\",\"epsilon\":{EPSILON:e},\
+         \"weights\":\"chi2\",\"matrix\":{matrix},\"row_totals\":{},\"col_totals\":{}}}",
+        fmt(&s0),
+        fmt(&d0)
+    )
+}
+
+/// One keep-alive HTTP exchange; returns (status, body).
+fn exchange(
+    conn: &mut BufReader<TcpStream>,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, String) {
+    // One write per request: piecemeal writes trip Nagle/delayed-ACK
+    // stalls that would dominate the measured latency.
+    let frame = format!(
+        "{method} {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    conn.get_mut()
+        .write_all(frame.as_bytes())
+        .expect("send request");
+    let mut line = String::new();
+    conn.read_line(&mut line).expect("status line");
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {line:?}"));
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        conn.read_line(&mut header).expect("header line");
+        let header = header.trim();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().expect("content-length value");
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    conn.read_exact(&mut body).expect("body");
+    (status, String::from_utf8(body).expect("utf-8 body"))
+}
+
+fn connect(addr: SocketAddr) -> BufReader<TcpStream> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    BufReader::new(stream)
+}
+
+struct PhaseStats {
+    latencies: Vec<f64>,
+    wall: f64,
+    hits: usize,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Drive `total` requests over `clients` keep-alive connections, cycling
+/// the family bodies round-robin.
+fn drive(
+    addr: SocketAddr,
+    bodies: &Arc<Vec<String>>,
+    clients: usize,
+    total: usize,
+    scrape_mid_load: bool,
+) -> PhaseStats {
+    let next = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let bodies = Arc::clone(bodies);
+            let next = Arc::clone(&next);
+            std::thread::spawn(move || {
+                let mut conn = connect(addr);
+                let mut latencies = Vec::new();
+                let mut hits = 0usize;
+                loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= total {
+                        return (latencies, hits);
+                    }
+                    let body = &bodies[k % bodies.len()];
+                    let t = Instant::now();
+                    let (status, text) = exchange(&mut conn, "POST", "/solve", body);
+                    latencies.push(t.elapsed().as_secs_f64());
+                    assert_eq!(status, 200, "solve failed: {text}");
+                    assert!(text.contains("\"stop\":\"converged\""), "{text}");
+                    if text.contains("\"cache\":\"hit\"") {
+                        hits += 1;
+                    }
+                }
+            })
+        })
+        .collect();
+
+    if scrape_mid_load {
+        // Scrape while the clients are still pushing load and assert the
+        // exposition is well-formed.
+        let mut conn = connect(addr);
+        let (status, metrics) = exchange(&mut conn, "GET", "/metrics", "");
+        assert_eq!(status, 200);
+        for needle in [
+            "# TYPE sea_serve_queue_depth gauge",
+            "# TYPE sea_serve_request_seconds histogram",
+            "sea_serve_request_seconds_bucket",
+            "sea_serve_requests_total",
+            "# TYPE sea_solves_total counter",
+        ] {
+            assert!(
+                metrics.contains(needle),
+                "mid-load /metrics missing {needle:?}"
+            );
+        }
+        eprintln!(
+            "mid-load /metrics scrape: well-formed ({} bytes)",
+            metrics.len()
+        );
+    }
+
+    let mut latencies = Vec::new();
+    let mut hits = 0usize;
+    for h in handles {
+        let (l, hi) = h.join().expect("client thread");
+        latencies.extend(l);
+        hits += hi;
+    }
+    let wall = start.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    PhaseStats {
+        latencies,
+        wall,
+        hits,
+    }
+}
+
+fn phase_json(name: &str, stats: &PhaseStats) -> (String, JsonValue) {
+    let n = stats.latencies.len();
+    let rps = n as f64 / stats.wall;
+    let p50 = percentile(&stats.latencies, 0.50);
+    let p99 = percentile(&stats.latencies, 0.99);
+    eprintln!(
+        "{name}: {n} requests in {:.2}s → {rps:.1} req/s, p50 {:.1}ms, p99 {:.1}ms, hits {}",
+        stats.wall,
+        p50 * 1e3,
+        p99 * 1e3,
+        stats.hits
+    );
+    (
+        name.to_string(),
+        JsonValue::Object(vec![
+            ("requests".to_string(), JsonValue::Number(n as f64)),
+            ("wall_seconds".to_string(), f64_to_json(stats.wall)),
+            ("sustained_rps".to_string(), f64_to_json(rps)),
+            ("p50_seconds".to_string(), f64_to_json(p50)),
+            ("p99_seconds".to_string(), f64_to_json(p99)),
+            (
+                "warm_hits".to_string(),
+                JsonValue::Number(stats.hits as f64),
+            ),
+        ]),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut out = "BENCH_8.json".to_string();
+    let mut requests = 400usize;
+    let mut clients = 4usize;
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => {
+                if let Some(v) = it.next() {
+                    out = v.clone();
+                }
+            }
+            "--requests" => {
+                if let Some(v) = it.next() {
+                    requests = v.parse().unwrap_or(requests).max(FAMILIES);
+                }
+            }
+            "--clients" => {
+                if let Some(v) = it.next() {
+                    clients = v.parse().unwrap_or(clients).max(1);
+                }
+            }
+            "--smoke" => {
+                requests = 3 * FAMILIES;
+                clients = 2;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let workers = 4;
+    let server = Server::bind(ServeConfig {
+        workers,
+        queue_capacity: 256,
+        epsilon: EPSILON,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+    let bodies = Arc::new(
+        (0..FAMILIES as u64)
+            .map(family_body)
+            .collect::<Vec<String>>(),
+    );
+
+    // Cold: one solve per family on an empty cache (serial, so every
+    // request is a genuine miss rather than racing the first fill).
+    let cold = drive(addr, &bodies, 1, FAMILIES, false);
+    assert_eq!(cold.hits, 0, "cold phase must not hit the cache");
+
+    // Warm: sustained concurrent load over the now-filled cache.
+    let warm = drive(addr, &bodies, clients, requests, true);
+    assert!(
+        warm.hits * 10 >= warm.latencies.len() * 9,
+        "warm phase should hit the cache on ≥90% of requests ({}/{})",
+        warm.hits,
+        warm.latencies.len()
+    );
+
+    server.shutdown();
+    server.join();
+
+    let (cold_key, cold_json) = phase_json("cold", &cold);
+    let (warm_key, warm_json) = phase_json("warm", &warm);
+    let doc = JsonValue::Object(vec![
+        (
+            "schema".to_string(),
+            JsonValue::String("sea-bench-summary/v1".to_string()),
+        ),
+        ("pr".to_string(), JsonValue::Number(8.0)),
+        (
+            "serve_load".to_string(),
+            JsonValue::Object(vec![
+                ("rows".to_string(), JsonValue::Number(N as f64)),
+                ("cols".to_string(), JsonValue::Number(N as f64)),
+                ("families".to_string(), JsonValue::Number(FAMILIES as f64)),
+                ("epsilon".to_string(), f64_to_json(EPSILON)),
+                ("workers".to_string(), JsonValue::Number(workers as f64)),
+                ("clients".to_string(), JsonValue::Number(clients as f64)),
+                (cold_key, cold_json),
+                (warm_key, warm_json),
+            ]),
+        ),
+    ]);
+    let mut text = doc.render();
+    text.push('\n');
+    std::fs::write(&out, text).expect("write snapshot");
+    eprintln!("wrote {out}");
+}

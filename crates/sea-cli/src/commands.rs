@@ -3,16 +3,17 @@
 use crate::args::{BatchOpts, Command, CommonOpts, USAGE};
 use crate::csv;
 use crate::exit::CliError;
+use crate::manifest::{build_gamma, manifest_instance, result_line, weight_scheme};
 use crate::sigint;
 use sea_baselines::ras::{ras_balance, RasOptions};
-use sea_batch::{BatchEngine, BatchInstance, BatchItemReport, BatchOptions, BatchProblem};
+use sea_batch::{BatchEngine, BatchOptions};
 use sea_core::{
     solve_diagonal_supervised, trace_from_events, Checkpoint, CheckpointPolicy, DiagonalProblem,
     Event, ExecutionTrace, KernelCounters, KernelKind, Observer, SeaOptions, SpanKind, StopReason,
-    Storage, SupervisorOptions, TelemetrySample, TotalSpec, WeightScheme, ZeroPolicy,
+    Storage, SupervisorOptions, TelemetrySample, TotalSpec, ZeroPolicy,
 };
 use sea_linalg::{CsrMatrix, DenseMatrix};
-use sea_observe::json::{f64_to_json, parse as parse_json, JsonValue};
+use sea_observe::json::parse as parse_json;
 use sea_observe::jsonl::{parse_events, JsonlObserver};
 use sea_observe::metrics::MetricsObserver;
 use sea_observe::{
@@ -217,14 +218,6 @@ fn export_spans(
     Ok(())
 }
 
-fn weight_scheme(name: &str) -> WeightScheme {
-    match name {
-        "unit" => WeightScheme::LeastSquares,
-        "sqrt" => WeightScheme::InverseSqrt,
-        _ => WeightScheme::ChiSquare,
-    }
-}
-
 fn load_matrix(path: &Path) -> Result<DenseMatrix, CliError> {
     csv::read_matrix(path).map_err(|e| format!("{}: {e}", path.display()).into())
 }
@@ -240,10 +233,6 @@ fn load_vector(path: &Path, expected: usize, what: &str) -> Result<Vec<f64>, Cli
         .into());
     }
     Ok(v)
-}
-
-fn build_gamma(x0: &DenseMatrix, scheme: WeightScheme) -> Result<DenseMatrix, CliError> {
-    scheme.entry_weights(x0).map_err(CliError::Solver)
 }
 
 fn emit(common: &CommonOpts, x: &DenseMatrix) -> Result<String, CliError> {
@@ -414,178 +403,6 @@ fn solve_and_emit<S: Storage>(
     ));
     report.push_str(&sink_notes);
     Ok(report)
-}
-
-/// Pull a numeric vector field out of a manifest instance object.
-fn manifest_vector(v: &JsonValue, key: &str, line_no: usize) -> Result<Vec<f64>, CliError> {
-    let items = v
-        .get(key)
-        .and_then(JsonValue::as_array)
-        .ok_or_else(|| format!("manifest line {line_no}: missing array field {key:?}"))?;
-    items
-        .iter()
-        .map(|x| x.as_f64())
-        .collect::<Option<Vec<f64>>>()
-        .ok_or_else(|| format!("manifest line {line_no}: {key:?} holds a non-number").into())
-}
-
-/// Pull the prior matrix (array of equal-length numeric rows).
-fn manifest_matrix(v: &JsonValue, line_no: usize) -> Result<DenseMatrix, CliError> {
-    let rows = v
-        .get("matrix")
-        .and_then(JsonValue::as_array)
-        .ok_or_else(|| format!("manifest line {line_no}: missing array field \"matrix\""))?;
-    let mut data = Vec::with_capacity(rows.len());
-    for row in rows {
-        let cells = row
-            .as_array()
-            .ok_or_else(|| format!("manifest line {line_no}: \"matrix\" rows must be arrays"))?;
-        let parsed: Option<Vec<f64>> = cells.iter().map(|x| x.as_f64()).collect();
-        data.push(
-            parsed
-                .ok_or_else(|| format!("manifest line {line_no}: \"matrix\" holds a non-number"))?,
-        );
-    }
-    DenseMatrix::from_rows(&data)
-        .map_err(|e| format!("manifest line {line_no}: bad matrix: {e}").into())
-}
-
-/// Parse one manifest line into a batch instance. The `class` field
-/// mirrors the solver subcommands: `fixed`, `elastic`, or `sam`.
-fn manifest_instance(line_no: usize, text: &str) -> Result<BatchInstance, CliError> {
-    let v = parse_json(text).map_err(|e| format!("manifest line {line_no}: {e}"))?;
-    let str_field = |key: &str| v.get(key).and_then(JsonValue::as_str).map(str::to_string);
-    let id = str_field("id")
-        .ok_or_else(|| format!("manifest line {line_no}: missing string field \"id\""))?;
-    let family = str_field("family");
-    let class = str_field("class").unwrap_or_else(|| "fixed".to_string());
-    let weights = str_field("weights").unwrap_or_else(|| "chi2".to_string());
-    if !["unit", "chi2", "sqrt"].contains(&weights.as_str()) {
-        return Err(format!(
-            "manifest line {line_no}: unknown weights {weights:?} (unit|chi2|sqrt)"
-        )
-        .into());
-    }
-    let policy = match str_field("zeros").as_deref() {
-        None | Some("free") => ZeroPolicy::Free,
-        Some("structural") => ZeroPolicy::Structural,
-        Some(other) => {
-            return Err(format!(
-                "manifest line {line_no}: unknown zeros {other:?} (structural|free)"
-            )
-            .into())
-        }
-    };
-    let sparse = match str_field("storage").as_deref() {
-        None | Some("dense") => false,
-        Some("sparse") => true,
-        Some(other) => {
-            return Err(format!(
-                "manifest line {line_no}: unknown storage {other:?} (dense|sparse)"
-            )
-            .into())
-        }
-    };
-    let x0 = manifest_matrix(&v, line_no)?;
-    let gamma = build_gamma(&x0, weight_scheme(&weights))?;
-    let (m, n) = (x0.rows(), x0.cols());
-    let spec = match class.as_str() {
-        "fixed" => TotalSpec::Fixed {
-            s0: manifest_vector(&v, "row_totals", line_no)?,
-            d0: manifest_vector(&v, "col_totals", line_no)?,
-        },
-        "elastic" => {
-            let total_weight = match v.get("total_weight") {
-                None => 1.0,
-                Some(w) => w.as_f64().filter(|w| *w > 0.0).ok_or_else(|| {
-                    format!("manifest line {line_no}: total_weight must be a positive number")
-                })?,
-            };
-            TotalSpec::Elastic {
-                alpha: vec![total_weight; m],
-                s0: manifest_vector(&v, "row_totals", line_no)?,
-                beta: vec![total_weight; n],
-                d0: manifest_vector(&v, "col_totals", line_no)?,
-            }
-        }
-        "sam" => {
-            if m != n {
-                return Err(CliError::Solver(sea_core::SeaError::NotSquareSam {
-                    rows: m,
-                    cols: n,
-                }));
-            }
-            let s0 = match v.get("totals") {
-                Some(_) => manifest_vector(&v, "totals", line_no)?,
-                None => {
-                    let r = x0.row_sums();
-                    let c = x0.col_sums();
-                    r.iter().zip(&c).map(|(a, b)| 0.5 * (a + b)).collect()
-                }
-            };
-            let alpha = s0.iter().map(|&t| 1.0 / t.abs().max(1e-9)).collect();
-            TotalSpec::Balanced { alpha, s0 }
-        }
-        other => {
-            return Err(format!(
-                "manifest line {line_no}: unknown class {other:?} (fixed|elastic|sam)"
-            )
-            .into())
-        }
-    };
-    let problem =
-        DiagonalProblem::with_zero_policy(x0, gamma, spec, policy).map_err(CliError::Solver)?;
-    let problem = if sparse {
-        BatchProblem::SparseDiagonal(
-            DiagonalProblem::<CsrMatrix>::from_dense_problem(&problem).map_err(CliError::Solver)?,
-        )
-    } else {
-        BatchProblem::Diagonal(problem)
-    };
-    Ok(BatchInstance {
-        id,
-        family,
-        problem,
-    })
-}
-
-/// One instance's JSONL result line.
-fn result_line(item: &BatchItemReport) -> String {
-    let mut fields = vec![
-        ("index".to_string(), JsonValue::Number(item.index as f64)),
-        ("id".to_string(), JsonValue::String(item.id.clone())),
-    ];
-    if let Some(f) = &item.family {
-        fields.push(("family".to_string(), JsonValue::String(f.clone())));
-    }
-    fields.push((
-        "cache".to_string(),
-        JsonValue::String(item.warm_start.name().to_string()),
-    ));
-    fields.push((
-        "kernel_work".to_string(),
-        JsonValue::Number(item.kernel_work as f64),
-    ));
-    fields.push((
-        "work_saved".to_string(),
-        JsonValue::Number(item.work_saved as f64),
-    ));
-    match &item.outcome {
-        Ok(sol) => {
-            fields.push((
-                "stop".to_string(),
-                JsonValue::String(sol.stop().name().to_string()),
-            ));
-            fields.push(("converged".to_string(), JsonValue::Bool(sol.converged())));
-            fields.push((
-                "iterations".to_string(),
-                JsonValue::Number(sol.iterations() as f64),
-            ));
-            fields.push(("objective".to_string(), f64_to_json(sol.objective())));
-        }
-        Err(e) => fields.push(("error".to_string(), JsonValue::String(e.to_string()))),
-    }
-    JsonValue::Object(fields).render()
 }
 
 /// The `batch` subcommand: solve a JSONL manifest of instances through
@@ -942,6 +759,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
 mod tests {
     use super::*;
     use crate::args::parse_args;
+    use sea_observe::json::JsonValue;
     use std::path::PathBuf;
 
     fn write(dir: &Path, name: &str, content: &str) -> PathBuf {

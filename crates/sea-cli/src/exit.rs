@@ -189,6 +189,23 @@ mod tests {
     }
 
     #[test]
+    fn every_code_has_a_row_in_the_operations_guide() {
+        // The operator guide documents each exit code as a markdown table
+        // row whose first cell is the bare number: `| 6 | deadline … |`.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/OPERATIONS.md");
+        let guide = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        let mut codes = vec![0, 1, EXIT_USAGE];
+        codes.extend(all_errors().iter().map(error_exit_code));
+        codes.extend(StopReason::ALL.iter().map(|s| stop_exit_code(*s)));
+        for c in codes {
+            assert!(
+                guide.contains(&format!("| {c} |")),
+                "exit code {c} has no table row in docs/OPERATIONS.md"
+            );
+        }
+    }
+
+    #[test]
     fn stopped_carries_partial_output_and_code() {
         let e = CliError::Stopped {
             reason: StopReason::DeadlineExceeded,

@@ -25,8 +25,10 @@ pub mod args;
 pub mod commands;
 pub mod csv;
 pub mod exit;
+pub mod manifest;
 pub mod sigint;
 
 pub use args::{parse_args, Command, CommonOpts};
 pub use commands::run;
 pub use exit::{CliError, EXIT_USAGE};
+pub use manifest::{instance_from_json, manifest_instance, result_line};

@@ -1,0 +1,245 @@
+//! Shared request/response serialization for batch manifests and the
+//! `sea-serve` daemon.
+//!
+//! One JSON *instance object* describes one constrained matrix problem
+//! plus its solve identity. The same schema is accepted on every surface
+//! that takes work in: each line of a `sea-solve batch` JSONL manifest,
+//! the body of a `sea-serve` `POST /solve` request, and each line of a
+//! `POST /batch` body. [`result_line`] is the matching response encoding:
+//! one JSON object per solved instance, identical between the CLI's
+//! `--out` results file and the daemon's response bodies, so downstream
+//! tooling parses one format regardless of how the solve was submitted.
+//!
+//! Instance fields (see `docs/OPERATIONS.md` for the full schema):
+//! `id` (required string), `family` (optional warm-start key), `class`
+//! (`fixed` | `elastic` | `sam`, default `fixed`), `matrix` (array of
+//! equal-length numeric rows), `row_totals` / `col_totals` / `totals`
+//! (per class), `total_weight` (elastic), `weights`
+//! (`unit` | `chi2` | `sqrt`), `zeros` (`structural` | `free`), and
+//! `storage` (`dense` | `sparse`). Unknown fields are ignored, which is
+//! how serve-level extras (`tenant`, `deadline`, `epsilon`) ride on the
+//! same objects.
+
+use crate::exit::CliError;
+use sea_batch::{BatchInstance, BatchItemReport, BatchProblem};
+use sea_core::{DiagonalProblem, TotalSpec, WeightScheme, ZeroPolicy};
+use sea_linalg::{CsrMatrix, DenseMatrix};
+use sea_observe::json::{f64_to_json, parse as parse_json, JsonValue};
+
+/// Resolve a weight-scheme name (`unit` | `sqrt` | anything else = chi2).
+pub fn weight_scheme(name: &str) -> WeightScheme {
+    match name {
+        "unit" => WeightScheme::LeastSquares,
+        "sqrt" => WeightScheme::InverseSqrt,
+        _ => WeightScheme::ChiSquare,
+    }
+}
+
+/// Entry weights for a prior under a scheme, as a typed CLI error.
+pub fn build_gamma(x0: &DenseMatrix, scheme: WeightScheme) -> Result<DenseMatrix, CliError> {
+    scheme.entry_weights(x0).map_err(CliError::Solver)
+}
+
+/// Pull a numeric vector field out of a manifest instance object.
+fn manifest_vector(v: &JsonValue, key: &str, line_no: usize) -> Result<Vec<f64>, CliError> {
+    let items = v
+        .get(key)
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("manifest line {line_no}: missing array field {key:?}"))?;
+    items
+        .iter()
+        .map(|x| x.as_f64())
+        .collect::<Option<Vec<f64>>>()
+        .ok_or_else(|| format!("manifest line {line_no}: {key:?} holds a non-number").into())
+}
+
+/// Pull the prior matrix (array of equal-length numeric rows).
+fn manifest_matrix(v: &JsonValue, line_no: usize) -> Result<DenseMatrix, CliError> {
+    let rows = v
+        .get("matrix")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("manifest line {line_no}: missing array field \"matrix\""))?;
+    let mut data = Vec::with_capacity(rows.len());
+    for row in rows {
+        let cells = row
+            .as_array()
+            .ok_or_else(|| format!("manifest line {line_no}: \"matrix\" rows must be arrays"))?;
+        let parsed: Option<Vec<f64>> = cells.iter().map(|x| x.as_f64()).collect();
+        data.push(
+            parsed
+                .ok_or_else(|| format!("manifest line {line_no}: \"matrix\" holds a non-number"))?,
+        );
+    }
+    DenseMatrix::from_rows(&data)
+        .map_err(|e| format!("manifest line {line_no}: bad matrix: {e}").into())
+}
+
+/// Parse one *already-parsed* instance object into a batch instance.
+/// `line_no` is used in error messages only (`manifest line N: …`).
+pub fn instance_from_json(v: &JsonValue, line_no: usize) -> Result<BatchInstance, CliError> {
+    let str_field = |key: &str| v.get(key).and_then(JsonValue::as_str).map(str::to_string);
+    let id = str_field("id")
+        .ok_or_else(|| format!("manifest line {line_no}: missing string field \"id\""))?;
+    let family = str_field("family");
+    let class = str_field("class").unwrap_or_else(|| "fixed".to_string());
+    let weights = str_field("weights").unwrap_or_else(|| "chi2".to_string());
+    if !["unit", "chi2", "sqrt"].contains(&weights.as_str()) {
+        return Err(format!(
+            "manifest line {line_no}: unknown weights {weights:?} (unit|chi2|sqrt)"
+        )
+        .into());
+    }
+    let policy = match str_field("zeros").as_deref() {
+        None | Some("free") => ZeroPolicy::Free,
+        Some("structural") => ZeroPolicy::Structural,
+        Some(other) => {
+            return Err(format!(
+                "manifest line {line_no}: unknown zeros {other:?} (structural|free)"
+            )
+            .into())
+        }
+    };
+    let sparse = match str_field("storage").as_deref() {
+        None | Some("dense") => false,
+        Some("sparse") => true,
+        Some(other) => {
+            return Err(format!(
+                "manifest line {line_no}: unknown storage {other:?} (dense|sparse)"
+            )
+            .into())
+        }
+    };
+    let x0 = manifest_matrix(v, line_no)?;
+    let gamma = build_gamma(&x0, weight_scheme(&weights))?;
+    let (m, n) = (x0.rows(), x0.cols());
+    let spec = match class.as_str() {
+        "fixed" => TotalSpec::Fixed {
+            s0: manifest_vector(v, "row_totals", line_no)?,
+            d0: manifest_vector(v, "col_totals", line_no)?,
+        },
+        "elastic" => {
+            let total_weight = match v.get("total_weight") {
+                None => 1.0,
+                Some(w) => w.as_f64().filter(|w| *w > 0.0).ok_or_else(|| {
+                    format!("manifest line {line_no}: total_weight must be a positive number")
+                })?,
+            };
+            TotalSpec::Elastic {
+                alpha: vec![total_weight; m],
+                s0: manifest_vector(v, "row_totals", line_no)?,
+                beta: vec![total_weight; n],
+                d0: manifest_vector(v, "col_totals", line_no)?,
+            }
+        }
+        "sam" => {
+            if m != n {
+                return Err(CliError::Solver(sea_core::SeaError::NotSquareSam {
+                    rows: m,
+                    cols: n,
+                }));
+            }
+            let s0 = match v.get("totals") {
+                Some(_) => manifest_vector(v, "totals", line_no)?,
+                None => {
+                    let r = x0.row_sums();
+                    let c = x0.col_sums();
+                    r.iter().zip(&c).map(|(a, b)| 0.5 * (a + b)).collect()
+                }
+            };
+            let alpha = s0.iter().map(|&t| 1.0 / t.abs().max(1e-9)).collect();
+            TotalSpec::Balanced { alpha, s0 }
+        }
+        other => {
+            return Err(format!(
+                "manifest line {line_no}: unknown class {other:?} (fixed|elastic|sam)"
+            )
+            .into())
+        }
+    };
+    let problem =
+        DiagonalProblem::with_zero_policy(x0, gamma, spec, policy).map_err(CliError::Solver)?;
+    let problem = if sparse {
+        BatchProblem::SparseDiagonal(
+            DiagonalProblem::<CsrMatrix>::from_dense_problem(&problem).map_err(CliError::Solver)?,
+        )
+    } else {
+        BatchProblem::Diagonal(problem)
+    };
+    Ok(BatchInstance {
+        id,
+        family,
+        problem,
+    })
+}
+
+/// Parse one manifest line into a batch instance. The `class` field
+/// mirrors the solver subcommands: `fixed`, `elastic`, or `sam`.
+pub fn manifest_instance(line_no: usize, text: &str) -> Result<BatchInstance, CliError> {
+    let v = parse_json(text).map_err(|e| format!("manifest line {line_no}: {e}"))?;
+    instance_from_json(&v, line_no)
+}
+
+/// One instance's JSONL result line (also the `sea-serve` response body).
+pub fn result_line(item: &BatchItemReport) -> String {
+    let mut fields = vec![
+        ("index".to_string(), JsonValue::Number(item.index as f64)),
+        ("id".to_string(), JsonValue::String(item.id.clone())),
+    ];
+    if let Some(f) = &item.family {
+        fields.push(("family".to_string(), JsonValue::String(f.clone())));
+    }
+    fields.push((
+        "cache".to_string(),
+        JsonValue::String(item.warm_start.name().to_string()),
+    ));
+    fields.push((
+        "kernel_work".to_string(),
+        JsonValue::Number(item.kernel_work as f64),
+    ));
+    fields.push((
+        "work_saved".to_string(),
+        JsonValue::Number(item.work_saved as f64),
+    ));
+    match &item.outcome {
+        Ok(sol) => {
+            fields.push((
+                "stop".to_string(),
+                JsonValue::String(sol.stop().name().to_string()),
+            ));
+            fields.push(("converged".to_string(), JsonValue::Bool(sol.converged())));
+            fields.push((
+                "iterations".to_string(),
+                JsonValue::Number(sol.iterations() as f64),
+            ));
+            fields.push(("objective".to_string(), f64_to_json(sol.objective())));
+        }
+        Err(e) => fields.push(("error".to_string(), JsonValue::String(e.to_string()))),
+    }
+    JsonValue::Object(fields).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_fields_are_ignored() {
+        // Serve-level extras (tenant/deadline/epsilon) ride on the same
+        // instance objects without tripping the manifest parser.
+        let line = "{\"id\":\"a\",\"class\":\"fixed\",\"tenant\":\"t1\",\"deadline\":2.5,\
+                     \"epsilon\":1e-6,\"matrix\":[[1,2],[3,4]],\
+                     \"row_totals\":[4,6],\"col_totals\":[5,5]}";
+        let inst = manifest_instance(1, line).unwrap();
+        assert_eq!(inst.id, "a");
+        assert!(inst.family.is_none());
+        assert_eq!(inst.problem.class(), "diagonal");
+    }
+
+    #[test]
+    fn errors_carry_the_line_number() {
+        let err = manifest_instance(7, "{\"class\":\"fixed\"}").unwrap_err();
+        assert!(err.to_string().contains("manifest line 7"), "{err}");
+        let err = manifest_instance(3, "not json").unwrap_err();
+        assert!(err.to_string().contains("manifest line 3"), "{err}");
+    }
+}

@@ -49,7 +49,7 @@ thread_local! {
 }
 
 /// Thread-safe accumulator for [`KernelCounters`] harvested from the
-/// per-thread [`TaskScratch`] workspaces of a rayon pass. The pass hands
+/// per-thread `TaskScratch` workspaces of a rayon pass. The pass hands
 /// each worker its own scratch (`try_for_each_init`), so counters are
 /// flushed here with relaxed atomics once per shard — contention-free in
 /// practice and exact in total.

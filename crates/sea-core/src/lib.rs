@@ -14,7 +14,14 @@
 //!   inverse-sqrt.
 //! * [`knapsack`] — the exact-equilibration kernel (closed-form
 //!   single-constraint QP via breakpoint sort), plus a box-bounded variant.
+//! * [`equilibrate`] — row/column equilibration passes (serial and
+//!   parallel) that fan the kernel out over a matrix.
 //! * [`solver`] — [`solve_diagonal`]: the diagonal SEA driver (§3.1).
+//! * [`storage`] — the [`Storage`] abstraction every driver is generic
+//!   over: row-major dense (`DenseMatrix`) and CSR support-only
+//!   (`CsrMatrix`) problem storage with bitwise-identical solves.
+//! * [`error`] — [`SeaError`], the typed failure vocabulary (no panics in
+//!   library code).
 //! * [`general`] — [`GeneralProblem`] and [`solve_general`]: the
 //!   projection/diagonalization outer loop for dense `A`, `B`, `G` (§3.2).
 //! * [`dual`] — `ζ₁/ζ₂/ζ₃`, gradients, weak duality.

@@ -247,6 +247,36 @@ pub fn solve_diagonal_observed<S: Storage, O: Observer + Send>(
 /// [`SeaError::WorkerPanic`] for contained worker panics and
 /// [`SeaError::NumericalBreakdown`] only when iterates go non-finite before
 /// any convergence check has certified a restorable snapshot.
+///
+/// # Example
+///
+/// A budgeted solve: whatever stops it, the outcome names the reason and
+/// certifies the returned iterate.
+///
+/// ```
+/// use sea_core::{
+///     solve_diagonal_supervised, DiagonalProblem, NullObserver, SeaOptions, SolveBudget,
+///     StopReason, SupervisorOptions, TotalSpec, WeightScheme,
+/// };
+/// use sea_linalg::DenseMatrix;
+///
+/// let x0 = DenseMatrix::from_rows(&[vec![10.0, 5.0], vec![5.0, 10.0]])?;
+/// let gamma = WeightScheme::ChiSquare.entry_weights(&x0)?;
+/// let p = DiagonalProblem::new(
+///     x0,
+///     gamma,
+///     TotalSpec::Fixed { s0: vec![18.0, 18.0], d0: vec![18.0, 18.0] },
+/// )?;
+/// let sup = SupervisorOptions {
+///     budget: SolveBudget { max_iterations: Some(500), ..SolveBudget::default() },
+///     ..SupervisorOptions::default()
+/// };
+/// let opts = SeaOptions::with_epsilon(1e-10);
+/// let out = solve_diagonal_supervised(&p, &opts, &sup, &mut NullObserver)?;
+/// assert_eq!(out.stop, StopReason::Converged);
+/// assert!(out.certificate.is_optimal(1e-6));
+/// # Ok::<(), sea_core::SeaError>(())
+/// ```
 pub fn solve_diagonal_supervised<S: Storage, O: Observer + Send>(
     p: &DiagonalProblem<S>,
     opts: &SeaOptions,

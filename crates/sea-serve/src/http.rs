@@ -1,0 +1,232 @@
+//! Minimal HTTP/1.1 framing over a blocking stream.
+//!
+//! The vendored-crates constraint rules out tokio/hyper, and the service
+//! needs only a sliver of the protocol: parse one request head, read a
+//! `Content-Length` body, write one response, optionally keep the
+//! connection alive. This module implements exactly that sliver over any
+//! `Read + Write` stream — chunked bodies, continuations, and multiline
+//! headers are out of scope and rejected with a clean error.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Hard cap on the request head (request line + headers) in bytes.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request: method, path, and the (possibly empty) body.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), uppercased by the client.
+    pub method: String,
+    /// Request path including any query string, e.g. `/solve`.
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// True when the client asked to close the connection after this
+    /// exchange (`Connection: close`).
+    pub close: bool,
+}
+
+/// Why reading a request failed.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Clean end of stream before a request line: the peer hung up.
+    Eof,
+    /// Transport error (includes read timeouts on idle keep-alive).
+    Io(std::io::Error),
+    /// The bytes did not form a request this server accepts; the message
+    /// is safe to echo in a 400 body.
+    Malformed(String),
+    /// The declared `Content-Length` exceeds the server's body cap.
+    BodyTooLarge {
+        /// Declared length.
+        declared: usize,
+        /// Server cap it exceeded.
+        limit: usize,
+    },
+}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Read one request from a buffered stream. `max_body` bounds the body
+/// allocation; an over-limit `Content-Length` fails *before* reading the
+/// body so the caller can answer 413 and close.
+pub fn read_request<S: Read>(
+    reader: &mut BufReader<S>,
+    max_body: usize,
+) -> Result<Request, ReadError> {
+    let line = read_head_line(reader)?;
+    if line.is_empty() {
+        return Err(ReadError::Eof);
+    }
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v),
+        _ => return Err(ReadError::Malformed(format!("bad request line {line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(format!("bad version {version:?}")));
+    }
+
+    let mut content_length = 0usize;
+    let mut close = false;
+    let mut head_bytes = line.len();
+    loop {
+        let line = read_head_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        head_bytes += line.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(ReadError::Malformed("request head too large".to_string()));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::Malformed(format!("bad header line {line:?}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| ReadError::Malformed(format!("bad content-length {value:?}")))?;
+            }
+            "connection" => close = value.eq_ignore_ascii_case("close"),
+            "transfer-encoding" => {
+                return Err(ReadError::Malformed(
+                    "transfer-encoding is not supported; send content-length".to_string(),
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    if content_length > max_body {
+        return Err(ReadError::BodyTooLarge {
+            declared: content_length,
+            limit: max_body,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request {
+        method,
+        path,
+        body,
+        close,
+    })
+}
+
+/// Read one CRLF-terminated head line (request line or header), returning
+/// it without the terminator. An empty return is either end-of-head (after
+/// headers) or EOF (before the request line — the caller distinguishes).
+fn read_head_line<S: Read>(reader: &mut BufReader<S>) -> Result<String, ReadError> {
+    let mut line = String::new();
+    let n = reader
+        .by_ref()
+        .take(MAX_HEAD_BYTES as u64)
+        .read_line(&mut line)?;
+    if n == 0 {
+        return Ok(String::new());
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Reason phrases for the status codes this server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Write one response. `content_type` is typically `application/json` or
+/// Prometheus' `text/plain; version=0.0.4`. The whole response goes out
+/// in a single `write_all` — head and body split across separate small
+/// writes triggers Nagle/delayed-ACK stalls (~40ms per exchange) on
+/// keep-alive connections.
+pub fn write_response<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+) -> std::io::Result<()> {
+    let connection = if close { "close" } else { "keep-alive" };
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        reason(status),
+        body.len(),
+    );
+    let mut frame = Vec::with_capacity(head.len() + body.len());
+    frame.extend_from_slice(head.as_bytes());
+    frame.extend_from_slice(body);
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> Result<Request, ReadError> {
+        read_request(&mut BufReader::new(Cursor::new(raw.as_bytes())), 1024)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse("POST /solve HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/solve");
+        assert_eq!(req.body, b"abcd");
+        assert!(!req.close);
+    }
+
+    #[test]
+    fn parses_get_without_body_and_connection_close() {
+        let req = parse("GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.body, b"");
+        assert!(req.close);
+    }
+
+    #[test]
+    fn rejects_oversized_and_malformed() {
+        match parse("POST /solve HTTP/1.1\r\nContent-Length: 9999\r\n\r\n") {
+            Err(ReadError::BodyTooLarge { declared, limit }) => {
+                assert_eq!((declared, limit), (9999, 1024));
+            }
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
+        assert!(matches!(
+            parse("NONSENSE\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(parse(""), Err(ReadError::Eof)));
+    }
+
+    #[test]
+    fn response_is_well_formed() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "application/json", b"{}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,84 @@
+//! # sea-serve — a long-running solve service over the SEA stack
+//!
+//! The paper positions the splitting equilibration algorithm as the
+//! practical route to *large-scale* constrained matrix problems; this
+//! crate is the layer that turns the library stack into a service:
+//! a daemon that accepts solve requests over HTTP/1.1 (hand-rolled,
+//! std-only — the vendored-crates build has no tokio/hyper) and composes
+//! the existing pieces per request:
+//!
+//! * **Admission control** — a bounded [`FairQueue`] with FIFO-per-tenant
+//!   fairness feeding a fixed pool of solver workers; a full queue
+//!   answers 429 instead of buffering unboundedly.
+//! * **Deadlines** — each request's `deadline` (seconds, measured from
+//!   admission so queue wait counts) maps onto
+//!   [`sea_core::SolveBudget::deadline`]; a deadline-stopped solve
+//!   answers 504 with the partial result and its stop reason.
+//! * **Warm starts** — a process-wide per-family
+//!   [`sea_batch::WarmStartCache`] with a byte budget and LRU eviction,
+//!   so repeated solves of a drifting family reuse dual multipliers
+//!   across requests.
+//! * **Observability** — `GET /metrics` renders Prometheus text: serve
+//!   metrics (requests by route/code, queue depth, request/queue-wait
+//!   latency histograms, cache occupancy) plus the solver metrics
+//!   aggregated from every solve's event stream. `GET /healthz` and
+//!   `GET /readyz` gate orchestration.
+//! * **Graceful drain** — SIGTERM/SIGINT stop the accept loop, close the
+//!   queue, finish every admitted solve, flush every response, and exit 0.
+//!
+//! Request and response bodies are exactly the CLI's batch formats
+//! ([`sea_cli::manifest`]): `POST /solve` takes one JSON instance
+//! object, `POST /batch` a JSONL manifest, and both answer with the same
+//! result lines `sea-solve batch` writes. See `docs/OPERATIONS.md` for
+//! the full schema and operational contract.
+//!
+//! ## In-process use
+//!
+//! The daemon is a thin wrapper; tests and benches run the server
+//! in-process:
+//!
+//! ```
+//! use sea_serve::{Server, ServeConfig};
+//! use std::io::{BufReader, Write};
+//!
+//! let server = Server::bind(ServeConfig::default()).unwrap();
+//! let addr = server.addr();
+//!
+//! let mut conn = std::net::TcpStream::connect(addr).unwrap();
+//! let body = r#"{"id":"q","family":"docs","matrix":[[1.0,2.0],[3.0,4.0]],
+//!                "row_totals":[4.0,6.0],"col_totals":[5.0,5.0]}"#;
+//! write!(
+//!     conn,
+//!     "POST /solve HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+//!     body.len(),
+//!     body
+//! )
+//! .unwrap();
+//! let mut reply = String::new();
+//! std::io::Read::read_to_string(&mut BufReader::new(conn), &mut reply).unwrap();
+//! assert!(reply.starts_with("HTTP/1.1 200 OK"));
+//! assert!(reply.contains("\"stop\":\"converged\""));
+//!
+//! server.shutdown();
+//! server.join();
+//! ```
+
+// Service code must not take the process down on bad input: failures
+// surface as HTTP status codes. Justified sites carry explicit allows.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod http;
+pub mod queue;
+pub mod server;
+pub mod signals;
+
+pub use queue::{FairQueue, PushError};
+pub use server::{ServeConfig, Server};
+
+/// Exit code for a clean drain (SIGTERM/SIGINT honored, all admitted
+/// solves finished, all responses written).
+pub const EXIT_CLEAN: i32 = 0;
+/// Exit code for runtime failures (bind error, worker pool failure).
+pub const EXIT_RUNTIME: i32 = 1;
+/// Exit code for bad command-line usage.
+pub const EXIT_USAGE: i32 = 2;

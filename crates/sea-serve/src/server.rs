@@ -1,0 +1,643 @@
+//! The serve loop: accept, admit, solve, respond, drain.
+//!
+//! ## Threading model
+//!
+//! One nonblocking accept thread hands each connection to its own
+//! handler thread (keep-alive HTTP/1.1, read timeout so idle connections
+//! notice a drain). Handlers *parse and admit only* — every solve runs on
+//! one of `workers` solver threads feeding from the shared
+//! [`FairQueue`], so concurrency of actual solving is bounded by the
+//! worker pool no matter how many connections are open, and
+//! [`BatchParallelism::InnerThreads`] can additionally split one large
+//! solve across the process-wide rayon pool.
+//!
+//! ## Request lifecycle
+//!
+//! admission (bounded queue, 429 when full) → queue wait (fair FIFO per
+//! tenant) → solve (per-request deadline mapped to
+//! [`sea_core::SolveBudget`], warm-started from the per-family cache) →
+//! response (the same JSON result line the CLI's batch mode writes).
+//!
+//! ## Drain
+//!
+//! [`Server::shutdown`] (the binary wires SIGTERM/SIGINT to it) stops
+//! the accept loop, closes the queue (new requests answer 503), lets the
+//! workers finish every already-admitted solve — each bounded by its own
+//! deadline budget — and [`Server::join`] returns once all responses are
+//! written. The binary then exits 0: a clean drain is indistinguishable
+//! from a clean stop by design.
+
+use crate::http::{read_request, write_response, ReadError, Request};
+use crate::queue::{FairQueue, PushError};
+use sea_batch::{
+    solve_instance, BatchInstance, BatchItemReport, BatchOptions, BatchParallelism, CacheUpdate,
+    WarmStartCache,
+};
+use sea_cli::manifest::{instance_from_json, result_line};
+use sea_core::{KernelKind, StopReason, SupervisorOptions};
+use sea_observe::json::{parse as parse_json, JsonValue};
+use sea_observe::metrics::PHASE_SECONDS_BUCKETS;
+use sea_observe::{MetricsObserver, MetricsRegistry, Observer, VecObserver};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Bucket bounds (seconds) for end-to-end request latency: sub-millisecond
+/// cache hits through deadline-bounded multi-second solves.
+const REQUEST_SECONDS_BUCKETS: [f64; 10] =
+    [1e-4, 1e-3, 5e-3, 0.02, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0];
+
+/// How long a handler blocks in `read` before re-checking for drain.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+/// Server configuration (flag surface of the `sea-serve` binary).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (port 0 = ephemeral).
+    pub addr: String,
+    /// Solver worker threads (the solve-concurrency bound).
+    pub workers: usize,
+    /// Admission queue capacity across all tenants (full → 429).
+    pub queue_capacity: usize,
+    /// Warm-start cache byte budget; `None` = unbounded.
+    pub cache_bytes: Option<usize>,
+    /// Default stopping tolerance (per-request `epsilon` overrides).
+    pub epsilon: f64,
+    /// Iteration cap per solve.
+    pub max_iterations: usize,
+    /// Equilibration kernel for every solve.
+    pub kernel: KernelKind,
+    /// Thread placement for each solve (`Serial` or `Inner[:K]`;
+    /// instance-level parallelism comes from the worker pool itself).
+    pub parallelism: BatchParallelism,
+    /// Default per-request deadline, measured from *admission* (so it
+    /// covers queue wait); per-request `deadline` overrides.
+    pub default_deadline: Option<Duration>,
+    /// Request body cap in bytes (over → 413).
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(2),
+            queue_capacity: 64,
+            cache_bytes: Some(64 << 20),
+            epsilon: 1e-8,
+            max_iterations: 10_000,
+            kernel: KernelKind::SortScan,
+            parallelism: BatchParallelism::Serial,
+            default_deadline: Some(Duration::from_secs(30)),
+            max_body_bytes: 8 << 20,
+        }
+    }
+}
+
+/// What a handler enqueues and a worker solves.
+enum JobKind {
+    /// `POST /solve`: one instance.
+    Solve(Box<BatchInstance>),
+    /// `POST /batch`: a JSONL manifest, solved sequentially in order.
+    Batch(Vec<BatchInstance>),
+}
+
+struct Job {
+    kind: JobKind,
+    /// Deadline for the whole job, measured from admission.
+    deadline: Option<Duration>,
+    /// Per-request tolerance override.
+    epsilon: Option<f64>,
+    admitted: Instant,
+    respond: mpsc::Sender<(u16, String)>,
+}
+
+/// Server + solver metrics behind one lock, rendered together.
+struct Metrics {
+    server: MetricsRegistry,
+    solver: MetricsObserver,
+    /// Last cache-eviction count folded into the counter (so the counter
+    /// advances by deltas of the cache's cumulative figure).
+    evictions_seen: u64,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    queue: FairQueue<Job>,
+    cache: Mutex<WarmStartCache>,
+    metrics: Mutex<Metrics>,
+    /// Set once by `shutdown`; accept loop and idle handlers exit on it.
+    draining: AtomicBool,
+    /// Jobs admitted and not yet responded to (readiness + drain gauge).
+    inflight: AtomicUsize,
+}
+
+/// Lock a mutex, recovering the guard from poisoning: state behind these
+/// locks (cache, metrics) stays usable even if some other holder panicked.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl Shared {
+    fn set_queue_gauges(&self) {
+        let depth = self.queue.depth() as f64;
+        let inflight = self.inflight.load(Ordering::SeqCst) as f64;
+        let mut m = lock(&self.metrics);
+        m.server.gauge_set(
+            "sea_serve_queue_depth",
+            "Jobs admitted and waiting for a solver worker.",
+            vec![],
+            depth,
+        );
+        m.server.gauge_set(
+            "sea_serve_inflight",
+            "Jobs admitted and not yet responded to (queued or solving).",
+            vec![],
+            inflight,
+        );
+    }
+
+    fn count_request(&self, route: &str, code: u16, started: Instant) {
+        let mut m = lock(&self.metrics);
+        m.server.counter_add(
+            "sea_serve_requests_total",
+            "HTTP requests served, by route and status code.",
+            vec![
+                ("route".to_string(), route.to_string()),
+                ("code".to_string(), code.to_string()),
+            ],
+            1.0,
+        );
+        m.server.histogram_observe(
+            "sea_serve_request_seconds",
+            "End-to-end request latency (read to response write), by route.",
+            vec![("route".to_string(), route.to_string())],
+            &REQUEST_SECONDS_BUCKETS,
+            started.elapsed().as_secs_f64(),
+        );
+    }
+}
+
+/// A running server: accept thread + worker pool bound to one listener.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `cfg.addr`, spawn the worker pool and accept thread, and
+    /// return the running server. Fails only on bind errors.
+    pub fn bind(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let workers_n = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            cache: Mutex::new(match cfg.cache_bytes {
+                Some(b) => WarmStartCache::with_limit(b),
+                None => WarmStartCache::new(),
+            }),
+            queue: FairQueue::new(cfg.queue_capacity),
+            metrics: Mutex::new(Metrics {
+                server: MetricsRegistry::new(),
+                solver: MetricsObserver::new(),
+                evictions_seen: 0,
+            }),
+            draining: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+            cfg,
+        });
+
+        let workers = (0..workers_n)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sea-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("sea-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))?
+        };
+
+        Ok(Server {
+            shared,
+            addr,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begin a graceful drain: stop accepting, fail new admissions with
+    /// 503, let admitted solves finish. Idempotent; `join` waits it out.
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+    }
+
+    /// True once a drain has started.
+    pub fn draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Wait for the drain to complete: every admitted solve finished and
+    /// every response written. Call after [`Server::shutdown`] (or it
+    /// blocks until someone else triggers one).
+    pub fn join(mut self) {
+        let handlers = match self.accept.take() {
+            Some(h) => h.join().unwrap_or_default(),
+            None => Vec::new(),
+        };
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) -> Vec<JoinHandle<()>> {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return handlers;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                if let Ok(h) = std::thread::Builder::new()
+                    .name("sea-serve-conn".to_string())
+                    .spawn(move || handle_connection(stream, &shared))
+                {
+                    handlers.push(h);
+                }
+                handlers.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    // Responses are written whole; waiting for ACKs between keep-alive
+    // exchanges only adds Nagle latency.
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let started = Instant::now();
+        let req = match read_request(&mut reader, shared.cfg.max_body_bytes) {
+            Ok(req) => req,
+            Err(ReadError::Eof) => return,
+            Err(ReadError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle keep-alive poll tick: close only when draining.
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(ReadError::Io(_)) => return,
+            Err(ReadError::Malformed(msg)) => {
+                let body = error_body(&msg);
+                let _ = write_response(&mut writer, 400, "application/json", body.as_bytes(), true);
+                shared.count_request("malformed", 400, started);
+                return;
+            }
+            Err(ReadError::BodyTooLarge { declared, limit }) => {
+                let body = error_body(&format!("body of {declared} bytes exceeds limit {limit}"));
+                let _ = write_response(&mut writer, 413, "application/json", body.as_bytes(), true);
+                shared.count_request("oversized", 413, started);
+                return;
+            }
+        };
+        let (status, content_type, body) = route(&req, shared);
+        // During a drain, answer the in-hand request and close so the
+        // handler thread exits; otherwise honor keep-alive.
+        let close = req.close || shared.draining.load(Ordering::SeqCst);
+        shared.count_request(&req.path, status, started);
+        if write_response(&mut writer, status, content_type, body.as_bytes(), close).is_err() {
+            return;
+        }
+        if close {
+            return;
+        }
+    }
+}
+
+/// Dispatch one request; returns (status, content type, body).
+fn route(req: &Request, shared: &Arc<Shared>) -> (u16, &'static str, String) {
+    const JSON: &str = "application/json";
+    const TEXT: &str = "text/plain; version=0.0.4";
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (200, TEXT, "ok\n".to_string()),
+        ("GET", "/readyz") => {
+            if shared.draining.load(Ordering::SeqCst) {
+                (503, TEXT, "draining\n".to_string())
+            } else {
+                (200, TEXT, "ready\n".to_string())
+            }
+        }
+        ("GET", "/metrics") => (200, TEXT, render_metrics(shared)),
+        ("POST", "/solve") => handle_solve(&req.body, shared, false),
+        ("POST", "/batch") => handle_solve(&req.body, shared, true),
+        (_, "/healthz" | "/readyz" | "/metrics" | "/solve" | "/batch") => {
+            (405, JSON, error_body("method not allowed"))
+        }
+        _ => (404, JSON, error_body("no such route")),
+    }
+}
+
+fn render_metrics(shared: &Arc<Shared>) -> String {
+    shared.set_queue_gauges();
+    {
+        // Fold current cache occupancy into the registry at scrape time.
+        let (bytes, families, evictions) = {
+            let c = lock(&shared.cache);
+            (c.bytes() as f64, c.len() as f64, c.evictions())
+        };
+        let mut m = lock(&shared.metrics);
+        m.server.gauge_set(
+            "sea_serve_cache_bytes",
+            "Approximate resident bytes of the warm-start cache.",
+            vec![],
+            bytes,
+        );
+        m.server.gauge_set(
+            "sea_serve_cache_families",
+            "Families resident in the warm-start cache.",
+            vec![],
+            families,
+        );
+        let delta = evictions.saturating_sub(m.evictions_seen);
+        m.evictions_seen = evictions;
+        m.server.counter_add(
+            "sea_serve_cache_evictions_total",
+            "Warm-start cache families evicted by the byte budget.",
+            vec![],
+            delta as f64,
+        );
+    }
+    let m = lock(&shared.metrics);
+    let mut out = m.server.render();
+    out.push_str(&m.solver.render());
+    out
+}
+
+fn error_body(msg: &str) -> String {
+    let mut body = JsonValue::Object(vec![(
+        "error".to_string(),
+        JsonValue::String(msg.to_string()),
+    )])
+    .render();
+    body.push('\n');
+    body
+}
+
+/// Parse, admit, and await one `/solve` or `/batch` request.
+fn handle_solve(body: &[u8], shared: &Arc<Shared>, batch: bool) -> (u16, &'static str, String) {
+    const JSON: &str = "application/json";
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return (400, JSON, error_body("body is not UTF-8")),
+    };
+
+    // Serve-level extras ride on the first JSON object of the body.
+    let mut tenant = "default".to_string();
+    let mut deadline = shared.cfg.default_deadline;
+    let mut epsilon = None;
+
+    let kind = if batch {
+        let mut instances = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('#') {
+                continue;
+            }
+            let v = match parse_json(t) {
+                Ok(v) => v,
+                Err(e) => {
+                    return (
+                        400,
+                        JSON,
+                        error_body(&format!("manifest line {}: {e}", i + 1)),
+                    )
+                }
+            };
+            if instances.is_empty() {
+                read_extras(&v, &mut tenant, &mut deadline, &mut epsilon);
+            }
+            match instance_from_json(&v, i + 1) {
+                Ok(inst) => instances.push(inst),
+                Err(e) => return (400, JSON, error_body(&e.to_string())),
+            }
+        }
+        if instances.is_empty() {
+            return (400, JSON, error_body("batch body holds no instances"));
+        }
+        JobKind::Batch(instances)
+    } else {
+        let v = match parse_json(text.trim()) {
+            Ok(v) => v,
+            Err(e) => return (400, JSON, error_body(&format!("bad request body: {e}"))),
+        };
+        read_extras(&v, &mut tenant, &mut deadline, &mut epsilon);
+        match instance_from_json(&v, 1) {
+            Ok(inst) => JobKind::Solve(Box::new(inst)),
+            Err(e) => return (400, JSON, error_body(&e.to_string())),
+        }
+    };
+
+    if shared.draining.load(Ordering::SeqCst) {
+        return (503, JSON, error_body("draining"));
+    }
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        kind,
+        deadline,
+        epsilon,
+        admitted: Instant::now(),
+        respond: tx,
+    };
+    shared.inflight.fetch_add(1, Ordering::SeqCst);
+    match shared.queue.push(&tenant, job) {
+        Ok(()) => {}
+        Err(PushError::Full) => {
+            shared.inflight.fetch_sub(1, Ordering::SeqCst);
+            return (429, JSON, error_body("queue full, retry later"));
+        }
+        Err(PushError::Closed) => {
+            shared.inflight.fetch_sub(1, Ordering::SeqCst);
+            return (503, JSON, error_body("draining"));
+        }
+    }
+    shared.set_queue_gauges();
+    match rx.recv() {
+        Ok((status, body)) => (status, JSON, body),
+        // Worker pool gone mid-job: only reachable if a worker panicked.
+        Err(_) => (503, JSON, error_body("worker pool unavailable")),
+    }
+}
+
+/// Read serve-level extras (`tenant`, `deadline`, `epsilon`) off a
+/// request object; invalid values fall back to server defaults rather
+/// than failing the request (they are hints, not the problem statement).
+fn read_extras(
+    v: &JsonValue,
+    tenant: &mut String,
+    deadline: &mut Option<Duration>,
+    epsilon: &mut Option<f64>,
+) {
+    if let Some(t) = v.get("tenant").and_then(JsonValue::as_str) {
+        if !t.is_empty() {
+            *tenant = t.to_string();
+        }
+    }
+    if let Some(d) = v.get("deadline").and_then(|d| d.as_f64()) {
+        if d > 0.0 && d.is_finite() {
+            *deadline = Some(Duration::from_secs_f64(d));
+        }
+    }
+    if let Some(e) = v.get("epsilon").and_then(|e| e.as_f64()) {
+        if e.is_finite() {
+            *epsilon = Some(e);
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let wait = job.admitted.elapsed().as_secs_f64();
+        {
+            let mut m = lock(&shared.metrics);
+            m.server.histogram_observe(
+                "sea_serve_queue_wait_seconds",
+                "Time jobs spent queued before a worker picked them up.",
+                vec![],
+                &PHASE_SECONDS_BUCKETS,
+                wait,
+            );
+        }
+        shared.set_queue_gauges();
+        let response = run_job(&job, shared);
+        let _ = job.respond.send(response);
+        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        shared.set_queue_gauges();
+    }
+}
+
+/// Solve a job's instances in order, sharing the warm-start cache across
+/// them, and render the response body (one result line per instance).
+fn run_job(job: &Job, shared: &Arc<Shared>) -> (u16, String) {
+    let instances: Vec<&BatchInstance> = match &job.kind {
+        JobKind::Solve(inst) => vec![inst],
+        JobKind::Batch(list) => list.iter().collect(),
+    };
+    let mut body = String::new();
+    let mut deadline_hit = false;
+    for (index, inst) in instances.iter().enumerate() {
+        let mut report = solve_with_cache(inst, job, shared);
+        report.index = index;
+        if report
+            .outcome
+            .as_ref()
+            .is_ok_and(|sol| sol.stop() == StopReason::DeadlineExceeded)
+        {
+            deadline_hit = true;
+        }
+        body.push_str(&result_line(&report));
+        body.push('\n');
+    }
+    // A deadline miss is the one stop the client cannot see from a 200
+    // alone, so it gets the gateway-timeout status; the body still carries
+    // the partial result lines with their stop reasons.
+    let status = if deadline_hit { 504 } else { 200 };
+    (status, body)
+}
+
+fn solve_with_cache(inst: &BatchInstance, job: &Job, shared: &Arc<Shared>) -> BatchItemReport {
+    let cfg = &shared.cfg;
+    let mut opts = BatchOptions {
+        epsilon: job.epsilon.unwrap_or(cfg.epsilon),
+        max_iterations: cfg.max_iterations,
+        kernel: cfg.kernel,
+        parallelism: cfg.parallelism,
+        warm_start: inst.family.is_some(),
+        measure_kernel_work: true,
+        supervisor: SupervisorOptions::default(),
+    };
+    // The deadline is measured from admission, so queue wait counts
+    // against it; a job that waited past its whole deadline still enters
+    // the solver, which stops at the first budget check.
+    if let Some(total) = job.deadline {
+        opts.supervisor.budget.deadline = Some(total.saturating_sub(job.admitted.elapsed()));
+    }
+
+    // Snapshot the family's entry so the solve itself runs without
+    // holding the cache lock.
+    let mut local = WarmStartCache::new();
+    if let Some(family) = &inst.family {
+        let snap = lock(&shared.cache).lookup(family).cloned();
+        if let Some(entry) = snap {
+            local.apply([CacheUpdate {
+                family: family.clone(),
+                entry,
+            }]);
+        }
+    }
+
+    let mut events = VecObserver::new();
+    let (report, update) = solve_instance(inst, &opts, &local, &mut events);
+
+    {
+        let mut cache = lock(&shared.cache);
+        if let Some(family) = &inst.family {
+            cache.touch(family);
+        }
+        cache.apply(update);
+    }
+    {
+        let mut m = lock(&shared.metrics);
+        for e in &events.events {
+            m.solver.record(e);
+        }
+        m.server.counter_add(
+            "sea_serve_warm_total",
+            "Solves by warm-start cache outcome (hit/miss/bypass).",
+            vec![("result".to_string(), report.warm_start.name().to_string())],
+            1.0,
+        );
+    }
+    report
+}

@@ -1,0 +1,76 @@
+//! SIGTERM/SIGINT → graceful drain for the daemon.
+//!
+//! Same dependency-free `signal(2)` binding the CLI uses for Ctrl-C
+//! (std already links libc): the handler only stores to a static atomic,
+//! which the binary's supervision loop polls to trigger
+//! [`crate::Server::shutdown`]. Both signals mean "drain and exit 0" — an
+//! orchestrator's stop (SIGTERM) and an operator's Ctrl-C (SIGINT) want
+//! the same behavior from a service.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the handler on the first SIGTERM or SIGINT.
+static STOP_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::STOP_REQUESTED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_stop(_signum: i32) {
+        // Only the atomic store: anything else is not async-signal-safe.
+        STOP_REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() -> bool {
+        // SAFETY: `signal` with a handler that only stores to a static
+        // atomic is async-signal-safe; the previous dispositions (default
+        // terminate) need no restoration.
+        unsafe {
+            signal(SIGTERM, on_stop);
+            signal(SIGINT, on_stop);
+        }
+        true
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() -> bool {
+        false
+    }
+}
+
+/// Install the drain handlers (idempotent). Returns false on platforms
+/// without `signal(2)`, where default abrupt termination stays in place.
+pub fn install() -> bool {
+    imp::install()
+}
+
+/// True once SIGTERM or SIGINT arrived.
+pub fn stop_requested() -> bool {
+    STOP_REQUESTED.load(Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_tracks_the_static() {
+        if !install() {
+            return; // non-unix
+        }
+        assert!(!stop_requested());
+        STOP_REQUESTED.store(true, Ordering::SeqCst);
+        assert!(stop_requested());
+        STOP_REQUESTED.store(false, Ordering::SeqCst);
+    }
+}

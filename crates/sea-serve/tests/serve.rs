@@ -1,0 +1,282 @@
+//! Request-lifecycle tests against an in-process server, plus a
+//! SIGTERM-drain E2E through the real binary.
+
+use sea_serve::{ServeConfig, Server};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A 2x2 solvable instance body; `extra` splices in serve-level fields.
+fn instance_body(id: &str, family: Option<&str>, extra: &str) -> String {
+    let family = family
+        .map(|f| format!("\"family\":\"{f}\","))
+        .unwrap_or_default();
+    format!(
+        "{{\"id\":\"{id}\",{family}{extra}\"matrix\":[[1.0,2.0],[3.0,4.0]],\
+         \"row_totals\":[4.0,6.0],\"col_totals\":[5.0,5.0]}}"
+    )
+}
+
+/// Minimal HTTP client: one request, whole response, connection closed.
+fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    write!(
+        conn,
+        "{method} {path} HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    let mut raw = String::new();
+    BufReader::new(conn).read_to_string(&mut raw).expect("recv");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad response: {raw:?}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn quick_server(cfg: ServeConfig) -> Server {
+    Server::bind(cfg).expect("bind on an ephemeral port")
+}
+
+#[test]
+fn health_ready_and_unknown_routes() {
+    let server = quick_server(ServeConfig::default());
+    let addr = server.addr();
+    assert_eq!(request(addr, "GET", "/healthz", "").0, 200);
+    assert_eq!(request(addr, "GET", "/readyz", "").0, 200);
+    assert_eq!(request(addr, "GET", "/nope", "").0, 404);
+    assert_eq!(request(addr, "GET", "/solve", "").0, 405);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn malformed_bodies_answer_400() {
+    let server = quick_server(ServeConfig::default());
+    let addr = server.addr();
+
+    let (status, body) = request(addr, "POST", "/solve", "this is not json");
+    assert_eq!(status, 400);
+    assert!(body.contains("\"error\""), "{body}");
+
+    // Valid JSON, invalid instance: missing id.
+    let (status, body) = request(addr, "POST", "/solve", "{\"class\":\"fixed\"}");
+    assert_eq!(status, 400);
+    assert!(
+        body.contains("missing string field \\\"id\\\"") || body.contains("missing"),
+        "{body}"
+    );
+
+    // Batch bodies report the failing line.
+    let good = instance_body("a", None, "");
+    let (status, body) = request(addr, "POST", "/batch", &format!("{good}\nnot json\n"));
+    assert_eq!(status, 400);
+    assert!(body.contains("line 2"), "{body}");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn oversized_body_answers_413() {
+    let server = quick_server(ServeConfig {
+        max_body_bytes: 64,
+        ..ServeConfig::default()
+    });
+    let big = instance_body("big", None, "");
+    let (status, body) = request(server.addr(), "POST", "/solve", &big);
+    assert_eq!(status, 413);
+    assert!(body.contains("exceeds limit 64"), "{body}");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn solve_solves_and_warm_start_hits_across_requests() {
+    let server = quick_server(ServeConfig::default());
+    let addr = server.addr();
+
+    let body = instance_body("r1", Some("fam"), "");
+    let (status, text) = request(addr, "POST", "/solve", &body);
+    assert_eq!(status, 200, "{text}");
+    assert!(text.contains("\"stop\":\"converged\""), "{text}");
+    assert!(text.contains("\"cache\":\"miss\""), "{text}");
+
+    let body = instance_body("r2", Some("fam"), "");
+    let (status, text) = request(addr, "POST", "/solve", &body);
+    assert_eq!(status, 200, "{text}");
+    assert!(text.contains("\"cache\":\"hit\""), "{text}");
+
+    // Sparse storage rides the same schema.
+    let body = instance_body("r3", None, "\"storage\":\"sparse\",");
+    let (status, text) = request(addr, "POST", "/solve", &body);
+    assert_eq!(status, 200, "{text}");
+    assert!(text.contains("\"stop\":\"converged\""), "{text}");
+
+    // Batch: two lines, same family, warmed by the earlier solves.
+    let manifest = format!(
+        "{}\n{}\n",
+        instance_body("b1", Some("fam"), ""),
+        instance_body("b2", Some("fam"), "")
+    );
+    let (status, text) = request(addr, "POST", "/batch", &manifest);
+    assert_eq!(status, 200, "{text}");
+    assert_eq!(text.lines().count(), 2, "{text}");
+    assert!(text.contains("\"id\":\"b1\""), "{text}");
+
+    // Metrics reflect the traffic: well-formed families with queue depth,
+    // request latency histogram, warm-start outcomes, solver metrics.
+    let (status, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    for needle in [
+        "# TYPE sea_serve_requests_total counter",
+        "# TYPE sea_serve_queue_depth gauge",
+        "# TYPE sea_serve_request_seconds histogram",
+        "sea_serve_request_seconds_bucket",
+        "sea_serve_warm_total{result=\"hit\"}",
+        "sea_serve_cache_families",
+        "# TYPE sea_solves_total counter",
+    ] {
+        assert!(
+            metrics.contains(needle),
+            "missing {needle:?} in:\n{metrics}"
+        );
+    }
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn over_deadline_request_answers_504_with_partial_result() {
+    // A huge iteration cap so the deadline is the binding budget.
+    let server = quick_server(ServeConfig {
+        max_iterations: 1_000_000_000,
+        ..ServeConfig::default()
+    });
+    // epsilon: -1 never converges (residuals are nonnegative), so the
+    // request runs exactly to its deadline budget.
+    let body = instance_body("slow", None, "\"deadline\":0.2,\"epsilon\":-1.0,");
+    let (status, text) = request(server.addr(), "POST", "/solve", &body);
+    assert_eq!(status, 504, "{text}");
+    assert!(text.contains("\"stop\":\"deadline_exceeded\""), "{text}");
+    assert!(text.contains("\"converged\":false"), "{text}");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn queue_full_answers_429() {
+    // One worker, one queue slot: the first slow request occupies the
+    // worker, the second queues, the third bounces with 429.
+    let server = quick_server(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        max_iterations: 1_000_000_000,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let slow = instance_body("slow", None, "\"deadline\":1.0,\"epsilon\":-1.0,");
+    let mut in_flight = Vec::new();
+    for _ in 0..2 {
+        let slow = slow.clone();
+        in_flight.push(std::thread::spawn(move || {
+            request(addr, "POST", "/solve", &slow)
+        }));
+        // Let the request reach the queue before the next one.
+        std::thread::sleep(Duration::from_millis(150));
+    }
+    let (status, text) = request(addr, "POST", "/solve", &slow);
+    assert_eq!(status, 429, "{text}");
+    assert!(text.contains("queue full"), "{text}");
+    for h in in_flight {
+        let (status, _) = h.join().expect("in-flight request completes");
+        assert_eq!(status, 504, "slow requests stop at their deadline");
+    }
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn shutdown_rejects_new_work_and_drains() {
+    let server = quick_server(ServeConfig::default());
+    let addr = server.addr();
+    server.shutdown();
+    // Admission after drain start answers 503 (the accept loop may also
+    // already be closed, in which case connect fails — both are a clean
+    // rejection).
+    if let Ok(mut conn) = TcpStream::connect(addr) {
+        let body = instance_body("late", None, "");
+        let sent = write!(
+            conn,
+            "POST /solve HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        if sent.is_ok() {
+            let mut raw = String::new();
+            if BufReader::new(conn).read_to_string(&mut raw).is_ok() && !raw.is_empty() {
+                assert!(raw.contains("503"), "{raw}");
+            }
+        }
+    }
+    server.join();
+}
+
+/// SIGTERM-drain E2E through the real binary: an in-flight solve
+/// completes, the response arrives, and the process exits 0 (the code
+/// documented in docs/OPERATIONS.md).
+#[test]
+#[cfg(unix)]
+fn sigterm_drains_the_binary_cleanly() {
+    use std::process::{Command, Stdio};
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sea-serve"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--max-iterations",
+            "1000000000",
+        ])
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn sea-serve");
+    // The daemon prints `sea-serve: listening on ADDR` once bound.
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+    let mut line = String::new();
+    stderr.read_line(&mut line).expect("read listen line");
+    let addr: std::net::SocketAddr = line
+        .rsplit(' ')
+        .next()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no address in {line:?}"));
+
+    // Park a slow solve in the worker, then deliver SIGTERM mid-flight.
+    let slow = instance_body("inflight", None, "\"deadline\":1.0,\"epsilon\":-1.0,");
+    let in_flight = std::thread::spawn(move || request(addr, "POST", "/solve", &slow));
+    std::thread::sleep(Duration::from_millis(250));
+    let killed = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("deliver SIGTERM");
+    assert!(killed.success());
+
+    // The admitted solve still completes (bounded by its deadline) and
+    // its response is written before the process exits.
+    let (status, text) = in_flight.join().expect("in-flight response arrives");
+    assert_eq!(status, 504, "{text}");
+    assert!(text.contains("\"stop\":\"deadline_exceeded\""), "{text}");
+
+    let exit = child.wait().expect("daemon exits");
+    assert_eq!(exit.code(), Some(0), "clean drain exits 0");
+    let mut rest = String::new();
+    stderr.read_to_string(&mut rest).expect("drain log");
+    assert!(rest.contains("drained cleanly"), "{rest}");
+}
