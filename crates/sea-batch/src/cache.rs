@@ -153,6 +153,22 @@ impl WarmStartCache {
         self.bytes = 0;
     }
 
+    /// Drop one family's entry. Returns true when something was removed.
+    /// This is how a long-running server discards a warm seed that just
+    /// broke a solve (e.g. a corrupted μ vector): the next solve for the
+    /// family runs cold instead of re-tripping the watchdog forever. Not
+    /// counted in [`WarmStartCache::evictions`], which tracks byte-budget
+    /// pressure only.
+    pub fn remove(&mut self, family: &str) -> bool {
+        match self.entries.remove(family) {
+            Some(s) => {
+                self.bytes = self.bytes.saturating_sub(s.entry.cost(family));
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Apply deferred updates in order; the last update per family wins.
     /// With a byte budget set, least-recently-used families are evicted
     /// after the writes until the budget holds (a just-written entry is the

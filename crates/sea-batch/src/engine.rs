@@ -252,6 +252,21 @@ impl BatchSolution {
             BatchSolution::General(s) => s.solution.objective,
         }
     }
+
+    /// Stopping-quantity residual of the returned iterate: the value the
+    /// driver's own convergence test compares against ε (relative row
+    /// balance for diagonal/bounded solves, outer change for general
+    /// ones). Lets callers judge how far a *partial* answer — e.g. a
+    /// deadline-stopped solve — is from converged, without recomputing a
+    /// certificate.
+    pub fn residual(&self) -> f64 {
+        match self {
+            BatchSolution::Diagonal(s) => s.solution.stats.residual,
+            BatchSolution::SparseDiagonal(s) => s.solution.stats.residual,
+            BatchSolution::Bounded(s) => s.solution.residuals.rel_row_inf,
+            BatchSolution::General(s) => s.solution.outer_residual,
+        }
+    }
 }
 
 /// Warm-start cache outcome for one instance.

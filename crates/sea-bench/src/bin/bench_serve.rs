@@ -1,4 +1,5 @@
-//! Serve load benchmark: the `BENCH_8.json` snapshot.
+//! Serve load benchmark: the `BENCH_8.json` (healthy) and `BENCH_9.json`
+//! (chaos soak) snapshots.
 //!
 //! Runs an in-process [`sea_serve::Server`] and drives it with
 //! keep-alive HTTP clients over a fleet of heterogeneous-weight
@@ -11,23 +12,34 @@
 //!   families; every request after the fill should be a hit. Mid-phase
 //!   the harness scrapes `/metrics` and asserts the exposition is
 //!   well-formed (queue depth + request-latency histogram present).
+//! * **chaos soak** (`--chaos`) — a second server configured with a
+//!   scripted [`ChaosPlan`]: a contained worker panic, a worker crash
+//!   and respawn, a poison family driven into quarantine and back out,
+//!   a corrupted warm-cache entry, degraded deadline answers, an
+//!   overload window with admission-time shedding, a retrying client
+//!   riding `Retry-After` to success, and a stalled slow client. The
+//!   soak asserts every request got exactly one typed response and the
+//!   pool ended full, ready, and drained.
 //!
 //! The committed snapshot records sustained req/s and p50/p99 latency
-//! for both phases plus the warm hit fraction.
+//! for the healthy phases plus (under `--chaos`) the overload-window
+//! latencies and the full fault ledger.
 //!
 //! ```text
-//! bench_serve [--out BENCH_8.json] [--requests 400] [--clients 4] [--smoke]
+//! bench_serve [--out BENCH_8.json] [--requests 400] [--clients 4]
+//!             [--smoke] [--chaos]
 //! ```
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use sea_cli::client::{RetryPolicy, RetryingClient};
 use sea_observe::json::{f64_to_json, JsonValue};
-use sea_serve::{ServeConfig, Server};
+use sea_serve::{ChaosPlan, QuarantinePolicy, ServeConfig, Server};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Instance order (rows = cols).
 const N: usize = 40;
@@ -247,17 +259,420 @@ fn phase_json(name: &str, stats: &PhaseStats) -> (String, JsonValue) {
     )
 }
 
+/// One `Connection: close` exchange on a fresh socket; returns
+/// `(status, head, body)`. The chaos requests use this instead of the
+/// keep-alive driver: crash/panic answers close the connection anyway.
+fn one_shot(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    write!(
+        conn,
+        "{method} {path} HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    let mut raw = String::new();
+    BufReader::new(conn).read_to_string(&mut raw).expect("recv");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad response: {raw:?}"));
+    match raw.split_once("\r\n\r\n") {
+        Some((head, body)) => (status, head.to_string(), body.to_string()),
+        None => (status, raw, String::new()),
+    }
+}
+
+/// A tiny solvable 2x2 instance; `extra` splices serve-level fields
+/// (`"deadline":…,"epsilon":…,`) ahead of the matrix.
+fn tiny_body(id: &str, family: &str, extra: &str) -> String {
+    format!(
+        "{{\"id\":\"{id}\",\"family\":\"{family}\",{extra}\"matrix\":[[1.0,2.0],[3.0,4.0]],\
+         \"row_totals\":[4.0,6.0],\"col_totals\":[5.0,5.0]}}"
+    )
+}
+
+/// Value of an unlabeled metric line (`name value`) from a scrape.
+fn metric_value(metrics: &str, name: &str) -> f64 {
+    metrics
+        .lines()
+        .find(|l| l.split_whitespace().next() == Some(name))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(f64::NAN)
+}
+
+fn scrape(addr: SocketAddr) -> String {
+    one_shot(addr, "GET", "/metrics", "").2
+}
+
+/// Poll `/metrics` until `pred` holds (the supervisor respawns workers
+/// asynchronously); panics after ~5s.
+fn wait_for_metric(addr: SocketAddr, name: &str, pred: impl Fn(f64) -> bool) -> f64 {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let v = metric_value(&scrape(addr), name);
+        if pred(v) {
+            return v;
+        }
+        assert!(Instant::now() < deadline, "timed out on {name}, last {v}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Running ledger of chaos-phase outcomes: every request issued lands in
+/// exactly one bucket, and the soak asserts the buckets sum to the
+/// requests issued — nothing hangs, nothing double-answers.
+#[derive(Default)]
+struct Ledger {
+    issued: usize,
+    converged: usize,
+    degraded: usize,
+    breakdown: usize,
+    deadline_504: usize,
+    panic_500: usize,
+    quarantined_422: usize,
+    shed_429: usize,
+}
+
+impl Ledger {
+    fn accounted(&self) -> usize {
+        self.converged
+            + self.degraded
+            + self.breakdown
+            + self.deadline_504
+            + self.panic_500
+            + self.quarantined_422
+            + self.shed_429
+    }
+
+    /// File a final `(status, body)` under its bucket.
+    fn file(&mut self, status: u16, body: &str) {
+        self.issued += 1;
+        match status {
+            200 if body.contains("\"degraded\":true") => self.degraded += 1,
+            200 if body.contains("breakdown") => self.breakdown += 1,
+            200 => self.converged += 1,
+            500 => self.panic_500 += 1,
+            422 => self.quarantined_422 += 1,
+            429 => self.shed_429 += 1,
+            504 => self.deadline_504 += 1,
+            other => panic!("unexpected status {other}: {body}"),
+        }
+    }
+}
+
+/// The deterministic fault script: solve sequence numbers are global and
+/// 1-based, every chaos request below is serial, and quarantine refusals
+/// never reach a worker (so they consume no sequence number) — which
+/// pins each fault to exactly the request written next to it.
+const CHAOS_SPEC: &str = "panic@1,crash@2,nan@3-4,cachecorrupt@6";
+
+/// Drive the scripted chaos soak against a dedicated server; returns the
+/// `chaos_soak` snapshot section.
+fn chaos_soak() -> JsonValue {
+    const WORKERS: usize = 2;
+    let server = Server::bind(ServeConfig {
+        workers: WORKERS,
+        max_iterations: 1_000_000_000,
+        degraded_epsilon: Some(1.0),
+        quarantine: Some(QuarantinePolicy {
+            strikes: 2,
+            cooldown: Duration::from_millis(300),
+        }),
+        chaos: ChaosPlan::parse(CHAOS_SPEC).expect("valid chaos spec"),
+        ..ServeConfig::default()
+    })
+    .expect("bind chaos server");
+    let addr = server.addr();
+    let mut ledger = Ledger::default();
+
+    // seq 1 — contained panic: typed 500, the worker thread survives.
+    let (status, _, body) = one_shot(addr, "POST", "/solve", &tiny_body("r1", "pan", ""));
+    assert_eq!(status, 500, "{body}");
+    assert!(body.contains("\"panic\":true"), "{body}");
+    ledger.file(status, &body);
+
+    // seq 2 — worker crash: typed 500 from the dropped channel, then the
+    // supervisor respawns the slot and the pool is whole again.
+    let (status, _, body) = one_shot(addr, "POST", "/solve", &tiny_body("r2", "crash", ""));
+    assert_eq!(status, 500, "{body}");
+    ledger.file(status, &body);
+    wait_for_metric(addr, "sea_serve_worker_restarts_total", |v| v >= 1.0);
+    wait_for_metric(addr, "sea_serve_workers_alive", |v| v == WORKERS as f64);
+
+    // seqs 3-4 — two scripted NaNs poison family "toxic": strike, strike,
+    // circuit open.
+    let toxic = tiny_body("r3", "toxic", "");
+    for _ in 0..2 {
+        let (status, _, body) = one_shot(addr, "POST", "/solve", &toxic);
+        assert_eq!(status, 200, "poison is typed, not 5xx: {body}");
+        ledger.file(status, &body);
+    }
+
+    // no seq — the open circuit refuses at admission with 422.
+    let (status, head, body) = one_shot(addr, "POST", "/solve", &toxic);
+    assert_eq!(status, 422, "{body}");
+    assert!(body.contains("\"quarantined\":true"), "{body}");
+    assert!(head.contains("Retry-After:"), "{head}");
+    ledger.file(status, &body);
+
+    // seqs 5-7 — fill family "victim"'s warm entry, corrupt it with the
+    // scripted fault (one poison strike, entry evicted), then watch the
+    // next solve run cold and converge: the cache heals itself.
+    let victim = tiny_body("r6", "victim", "");
+    for expect_breakdown in [false, true, false] {
+        let (status, _, body) = one_shot(addr, "POST", "/solve", &victim);
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body.contains("breakdown"), expect_breakdown, "{body}");
+        ledger.file(status, &body);
+    }
+
+    // seq 8 — past the cooldown the probe is admitted, the chaos script
+    // is spent, and the circuit closes.
+    std::thread::sleep(Duration::from_millis(350));
+    let (status, _, body) = one_shot(addr, "POST", "/solve", &toxic);
+    assert_eq!(status, 200, "probe heals the family: {body}");
+    assert!(body.contains("\"stop\":\"converged\""), "{body}");
+    ledger.file(status, &body);
+
+    // seqs 9-11 — never-converging solves run to their deadlines and are
+    // accepted at the degraded tolerance; they also seed the wait
+    // estimator's EWMA with honest slow-solve samples.
+    for (id, deadline) in [("deg", 0.25), ("seed1", 0.3), ("seed2", 0.3)] {
+        let body_text = tiny_body(
+            id,
+            "slow",
+            &format!("\"deadline\":{deadline},\"epsilon\":-1.0,"),
+        );
+        let (status, _, body) = one_shot(addr, "POST", "/solve", &body_text);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"degraded\":true"), "{body}");
+        ledger.file(status, &body);
+    }
+
+    // Overload window: occupy both workers and queue two more slow jobs,
+    // then burst doomed short-deadline requests — every one is shed at
+    // admission (429 + Retry-After) instead of rotting in the queue.
+    let overload_start = Instant::now();
+    let mut overload_latencies: Vec<f64> = Vec::new();
+    let slow = tiny_body("fill", "slow", "\"deadline\":0.8,\"epsilon\":-1.0,");
+    let mut fills = Vec::new();
+    for wave in 0..2 {
+        for _ in 0..WORKERS {
+            let slow = slow.clone();
+            fills.push(std::thread::spawn(move || {
+                let t = Instant::now();
+                let (status, _, body) = one_shot(addr, "POST", "/solve", &slow);
+                (status, body, t.elapsed().as_secs_f64())
+            }));
+        }
+        // First wave reaches the workers; second wave sits in the queue.
+        std::thread::sleep(Duration::from_millis(if wave == 0 { 150 } else { 100 }));
+    }
+
+    let doomed = tiny_body("doomed", "slow", "\"deadline\":0.05,\"epsilon\":-1.0,");
+    let mut shed_latencies: Vec<f64> = Vec::new();
+    for _ in 0..6 {
+        let t = Instant::now();
+        let (status, head, body) = one_shot(addr, "POST", "/solve", &doomed);
+        let dt = t.elapsed().as_secs_f64();
+        assert_eq!(status, 429, "doomed request is shed at admission: {body}");
+        assert!(body.contains("\"shed\":true"), "{body}");
+        assert!(head.contains("Retry-After:"), "{head}");
+        ledger.file(status, &body);
+        shed_latencies.push(dt);
+        overload_latencies.push(dt);
+    }
+
+    // A well-behaved client rides the Retry-After hints through the
+    // storm: backs off, retries, and lands a (degraded) answer once the
+    // overload clears.
+    let mut client = RetryingClient::new(
+        addr,
+        RetryPolicy {
+            max_attempts: 12,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_millis(300),
+            jitter_seed: 0x5EA_C4405,
+        },
+    );
+    let t = Instant::now();
+    let reply = client
+        .post("/solve", &doomed)
+        .expect("retries ride out the overload");
+    overload_latencies.push(t.elapsed().as_secs_f64());
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let client_retries = client.retries;
+    assert!(client_retries >= 1, "the storm forced at least one retry");
+    ledger.file(reply.status, &reply.body);
+
+    // A slow client stalls mid-request head while the soak runs; it must
+    // cost a connection thread, never a worker: the service stays live.
+    let mut staller = TcpStream::connect(addr).expect("staller connects");
+    staller
+        .write_all(b"POST /solve HTTP/1.1\r\nContent-Le")
+        .expect("partial head");
+    std::thread::sleep(Duration::from_millis(250));
+    let (status, _, _) = one_shot(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "server live while a client stalls");
+    drop(staller);
+
+    for h in fills {
+        let (status, body, dt) = h.join().expect("fill completes");
+        // The queued wave dequeues with its deadline already spent: a
+        // degraded 200 when the first residual clears the bar, 504 when
+        // the solve never got far enough. Both are typed, final answers.
+        assert!(status == 200 || status == 504, "{status}: {body}");
+        ledger.file(status, &body);
+        overload_latencies.push(dt);
+    }
+    let overload_wall = overload_start.elapsed().as_secs_f64();
+
+    // Recovery: queue drained, pool full, breaker closed, ready again.
+    wait_for_metric(addr, "sea_serve_queue_depth", |v| v == 0.0);
+    wait_for_metric(addr, "sea_serve_inflight", |v| v == 0.0);
+    let metrics = scrape(addr);
+    let panics = metric_value(&metrics, "sea_serve_worker_panics_total");
+    let crashes = metric_value(&metrics, "sea_serve_worker_crashes_total");
+    let restarts = metric_value(&metrics, "sea_serve_worker_restarts_total");
+    let q_opens = metric_value(&metrics, "sea_serve_quarantine_opens_total");
+    let q_refusals = metric_value(&metrics, "sea_serve_quarantine_refusals_total");
+    let q_closes = metric_value(&metrics, "sea_serve_quarantine_closes_total");
+    let shed_wait = metric_value(&metrics, "sea_serve_shed_total{reason=\"wait\"}");
+    let degraded_total = metric_value(&metrics, "sea_serve_degraded_total");
+    assert!(panics >= 1.0, "panic counter visible: {panics}");
+    assert!(crashes >= 1.0 && restarts >= 1.0, "{crashes}/{restarts}");
+    assert!(q_opens >= 1.0 && q_refusals >= 1.0 && q_closes >= 1.0);
+    assert_eq!(
+        metric_value(&metrics, "sea_serve_quarantined_families"),
+        0.0
+    );
+    assert!(shed_wait >= ledger.shed_429 as f64, "{shed_wait}");
+    assert!(degraded_total >= 1.0, "{degraded_total}");
+    assert_eq!(
+        metric_value(&metrics, "sea_serve_workers_alive"),
+        WORKERS as f64
+    );
+    assert_eq!(
+        metric_value(&metrics, "sea_serve_restart_breaker_open"),
+        0.0
+    );
+    let (ready, _, _) = one_shot(addr, "GET", "/readyz", "");
+    assert_eq!(ready, 200, "ready again after the storm");
+
+    assert_eq!(
+        ledger.accounted(),
+        ledger.issued,
+        "every chaos request got exactly one typed response"
+    );
+
+    server.shutdown();
+    server.join();
+
+    overload_latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    shed_latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    eprintln!(
+        "chaos soak: {} requests all accounted ({} shed, {} degraded, {} poison, \
+         {} panic-500, {} quarantined, {} retries); pool {}/{} alive, ready, drained",
+        ledger.issued,
+        ledger.shed_429,
+        ledger.degraded,
+        ledger.breakdown,
+        ledger.panic_500,
+        ledger.quarantined_422,
+        client_retries,
+        WORKERS,
+        WORKERS,
+    );
+
+    let count = |n: usize| JsonValue::Number(n as f64);
+    JsonValue::Object(vec![
+        (
+            "plan".to_string(),
+            JsonValue::String(CHAOS_SPEC.to_string()),
+        ),
+        ("workers".to_string(), count(WORKERS)),
+        ("requests".to_string(), count(ledger.issued)),
+        (
+            "outcomes".to_string(),
+            JsonValue::Object(vec![
+                ("converged".to_string(), count(ledger.converged)),
+                ("degraded".to_string(), count(ledger.degraded)),
+                ("breakdown".to_string(), count(ledger.breakdown)),
+                ("panic_500".to_string(), count(ledger.panic_500)),
+                ("quarantined_422".to_string(), count(ledger.quarantined_422)),
+                ("shed_429".to_string(), count(ledger.shed_429)),
+                ("deadline_504".to_string(), count(ledger.deadline_504)),
+            ]),
+        ),
+        (
+            "pool".to_string(),
+            JsonValue::Object(vec![
+                ("panics".to_string(), f64_to_json(panics)),
+                ("crashes".to_string(), f64_to_json(crashes)),
+                ("restarts".to_string(), f64_to_json(restarts)),
+            ]),
+        ),
+        (
+            "quarantine".to_string(),
+            JsonValue::Object(vec![
+                ("opens".to_string(), f64_to_json(q_opens)),
+                ("refusals".to_string(), f64_to_json(q_refusals)),
+                ("closes".to_string(), f64_to_json(q_closes)),
+            ]),
+        ),
+        (
+            "overload".to_string(),
+            JsonValue::Object(vec![
+                ("requests".to_string(), count(overload_latencies.len())),
+                ("wall_seconds".to_string(), f64_to_json(overload_wall)),
+                (
+                    "p50_seconds".to_string(),
+                    f64_to_json(percentile(&overload_latencies, 0.50)),
+                ),
+                (
+                    "p99_seconds".to_string(),
+                    f64_to_json(percentile(&overload_latencies, 0.99)),
+                ),
+                (
+                    "shed_answer_p50_seconds".to_string(),
+                    f64_to_json(percentile(&shed_latencies, 0.50)),
+                ),
+                (
+                    "shed_answer_p99_seconds".to_string(),
+                    f64_to_json(percentile(&shed_latencies, 0.99)),
+                ),
+            ]),
+        ),
+        (
+            "client_retries".to_string(),
+            JsonValue::Number(client_retries as f64),
+        ),
+        ("stalled_clients".to_string(), count(1)),
+        (
+            "recovered".to_string(),
+            JsonValue::Object(vec![
+                ("workers_alive".to_string(), count(WORKERS)),
+                ("readyz".to_string(), JsonValue::Number(200.0)),
+                ("drained".to_string(), JsonValue::Bool(true)),
+            ]),
+        ),
+    ])
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let mut out = "BENCH_8.json".to_string();
+    let mut out: Option<String> = None;
     let mut requests = 400usize;
     let mut clients = 4usize;
+    let mut chaos = false;
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--out" => {
                 if let Some(v) = it.next() {
-                    out = v.clone();
+                    out = Some(v.clone());
                 }
             }
             "--requests" => {
@@ -274,12 +689,21 @@ fn main() {
                 requests = 3 * FAMILIES;
                 clients = 2;
             }
+            "--chaos" => chaos = true,
             other => {
                 eprintln!("unknown argument {other:?}");
                 std::process::exit(2);
             }
         }
     }
+    let out = out.unwrap_or_else(|| {
+        if chaos {
+            "BENCH_9.json"
+        } else {
+            "BENCH_8.json"
+        }
+        .to_string()
+    });
 
     let workers = 4;
     let server = Server::bind(ServeConfig {
@@ -313,14 +737,19 @@ fn main() {
     server.shutdown();
     server.join();
 
+    let chaos_json = chaos.then(chaos_soak);
+
     let (cold_key, cold_json) = phase_json("cold", &cold);
     let (warm_key, warm_json) = phase_json("warm", &warm);
-    let doc = JsonValue::Object(vec![
+    let mut doc_fields = vec![
         (
             "schema".to_string(),
             JsonValue::String("sea-bench-summary/v1".to_string()),
         ),
-        ("pr".to_string(), JsonValue::Number(8.0)),
+        (
+            "pr".to_string(),
+            JsonValue::Number(if chaos { 9.0 } else { 8.0 }),
+        ),
         (
             "serve_load".to_string(),
             JsonValue::Object(vec![
@@ -334,7 +763,11 @@ fn main() {
                 (warm_key, warm_json),
             ]),
         ),
-    ]);
+    ];
+    if let Some(section) = chaos_json {
+        doc_fields.push(("chaos_soak".to_string(), section));
+    }
+    let doc = JsonValue::Object(doc_fields);
     let mut text = doc.render();
     text.push('\n');
     std::fs::write(&out, text).expect("write snapshot");

@@ -22,6 +22,7 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod args;
+pub mod client;
 pub mod commands;
 pub mod csv;
 pub mod exit;
@@ -29,6 +30,7 @@ pub mod manifest;
 pub mod sigint;
 
 pub use args::{parse_args, Command, CommonOpts};
+pub use client::{ClientError, HttpReply, RetryPolicy, RetryingClient};
 pub use commands::run;
 pub use exit::{CliError, EXIT_USAGE};
-pub use manifest::{instance_from_json, manifest_instance, result_line};
+pub use manifest::{instance_from_json, manifest_instance, result_line, result_line_with};

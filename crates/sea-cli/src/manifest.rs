@@ -181,6 +181,14 @@ pub fn manifest_instance(line_no: usize, text: &str) -> Result<BatchInstance, Cl
 
 /// One instance's JSONL result line (also the `sea-serve` response body).
 pub fn result_line(item: &BatchItemReport) -> String {
+    result_line_with(item, &[])
+}
+
+/// [`result_line`] with caller-supplied extra fields appended after the
+/// standard ones — how `sea-serve` flags serve-level outcomes (e.g.
+/// `"degraded":true` on a deadline-stopped answer accepted at the
+/// degraded tolerance) without the CLI's lines carrying the fields.
+pub fn result_line_with(item: &BatchItemReport, extras: &[(&str, JsonValue)]) -> String {
     let mut fields = vec![
         ("index".to_string(), JsonValue::Number(item.index as f64)),
         ("id".to_string(), JsonValue::String(item.id.clone())),
@@ -214,6 +222,9 @@ pub fn result_line(item: &BatchItemReport) -> String {
             fields.push(("objective".to_string(), f64_to_json(sol.objective())));
         }
         Err(e) => fields.push(("error".to_string(), JsonValue::String(e.to_string()))),
+    }
+    for (key, value) in extras {
+        fields.push((key.to_string(), value.clone()));
     }
     JsonValue::Object(fields).render()
 }

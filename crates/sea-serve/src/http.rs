@@ -58,9 +58,11 @@ pub fn read_request<S: Read>(
     reader: &mut BufReader<S>,
     max_body: usize,
 ) -> Result<Request, ReadError> {
-    let line = read_head_line(reader)?;
-    if line.is_empty() {
+    let Some(line) = read_head_line(reader)? else {
         return Err(ReadError::Eof);
+    };
+    if line.is_empty() {
+        return Err(ReadError::Malformed("empty request line".to_string()));
     }
     let mut parts = line.split_whitespace();
     let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
@@ -75,7 +77,13 @@ pub fn read_request<S: Read>(
     let mut close = false;
     let mut head_bytes = line.len();
     loop {
-        let line = read_head_line(reader)?;
+        let Some(line) = read_head_line(reader)? else {
+            // EOF before the blank end-of-head line: a truncated head,
+            // not a complete body-less request.
+            return Err(ReadError::Malformed(
+                "unexpected eof in request head".to_string(),
+            ));
+        };
         if line.is_empty() {
             break;
         }
@@ -121,21 +129,29 @@ pub fn read_request<S: Read>(
 }
 
 /// Read one CRLF-terminated head line (request line or header), returning
-/// it without the terminator. An empty return is either end-of-head (after
-/// headers) or EOF (before the request line — the caller distinguishes).
-fn read_head_line<S: Read>(reader: &mut BufReader<S>) -> Result<String, ReadError> {
+/// it without the terminator. `None` is EOF — distinct from an empty line,
+/// so a head truncated mid-stream cannot masquerade as a complete one.
+fn read_head_line<S: Read>(reader: &mut BufReader<S>) -> Result<Option<String>, ReadError> {
     let mut line = String::new();
     let n = reader
         .by_ref()
         .take(MAX_HEAD_BYTES as u64)
         .read_line(&mut line)?;
     if n == 0 {
-        return Ok(String::new());
+        return Ok(None);
+    }
+    if !line.ends_with('\n') {
+        // `read_line` returned without a terminator: the stream ended (or
+        // the head cap cut it off) in the middle of this line.
+        let preview: String = line.chars().take(64).collect();
+        return Err(ReadError::Malformed(format!(
+            "unterminated head line {preview:?}"
+        )));
     }
     while line.ends_with('\n') || line.ends_with('\r') {
         line.pop();
     }
-    Ok(line)
+    Ok(Some(line))
 }
 
 /// Reason phrases for the status codes this server emits.
@@ -146,7 +162,9 @@ fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
         429 => "Too Many Requests",
+        500 => "Internal Server Error",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Unknown",
@@ -165,12 +183,32 @@ pub fn write_response<W: Write>(
     body: &[u8],
     close: bool,
 ) -> std::io::Result<()> {
+    write_response_with(w, status, content_type, &[], body, close)
+}
+
+/// [`write_response`] with extra response headers (name, value) — the
+/// backpressure statuses (429/503/422) attach `Retry-After` this way.
+pub fn write_response_with<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+    close: bool,
+) -> std::io::Result<()> {
     let connection = if close { "close" } else { "keep-alive" };
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         reason(status),
         body.len(),
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     let mut frame = Vec::with_capacity(head.len() + body.len());
     frame.extend_from_slice(head.as_bytes());
     frame.extend_from_slice(body);
@@ -228,5 +266,24 @@ mod tests {
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn extra_headers_ride_in_the_head() {
+        let mut out = Vec::new();
+        write_response_with(
+            &mut out,
+            429,
+            "application/json",
+            &[("Retry-After", "3".to_string())],
+            b"{}",
+            true,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        let (head, body) = text.split_once("\r\n\r\n").unwrap();
+        assert!(head.contains("Retry-After: 3"), "{head}");
+        assert_eq!(body, "{}");
     }
 }

@@ -25,6 +25,15 @@
 //!   `GET /readyz` gate orchestration.
 //! * **Graceful drain** — SIGTERM/SIGINT stop the accept loop, close the
 //!   queue, finish every admitted solve, flush every response, and exit 0.
+//! * **Resilience** — solves run behind a per-request panic boundary
+//!   (typed 500, worker survives); a supervisor respawns workers whose
+//!   panic escaped anyway, with a restart-storm breaker flipping
+//!   `/readyz` unhealthy; repeated-poison families are circuit-broken by
+//!   a [`Quarantine`] (fast 422, half-open probe after cooldown); a
+//!   queue-wait [`WaitEstimator`] sheds doomed requests at admission
+//!   with 429 + `Retry-After`; and a deterministic [`ChaosPlan`] scripts
+//!   worker crashes, contained panics, solver NaNs, and cache corruption
+//!   for replayable failure drills (see `crate::chaos`).
 //!
 //! Request and response bodies are exactly the CLI's batch formats
 //! ([`sea_cli::manifest`]): `POST /solve` takes one JSON instance
@@ -67,11 +76,17 @@
 // surface as HTTP status codes. Justified sites carry explicit allows.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod chaos;
 pub mod http;
+pub mod overload;
+pub mod quarantine;
 pub mod queue;
 pub mod server;
 pub mod signals;
 
+pub use chaos::{ChaosPlan, ServiceFault};
+pub use overload::{BreakerPolicy, RestartBreaker, WaitEstimator};
+pub use quarantine::{Admission, Quarantine, QuarantinePolicy, QuarantineStats};
 pub use queue::{FairQueue, PushError};
 pub use server::{ServeConfig, Server};
 

@@ -5,35 +5,67 @@
 
 use sea_batch::BatchParallelism;
 use sea_core::KernelKind;
-use sea_serve::{signals, ServeConfig, Server, EXIT_CLEAN, EXIT_RUNTIME, EXIT_USAGE};
+use sea_serve::{
+    signals, BreakerPolicy, ChaosPlan, QuarantinePolicy, ServeConfig, Server, EXIT_CLEAN,
+    EXIT_RUNTIME, EXIT_USAGE,
+};
 use std::time::Duration;
+
+/// Parse `N:SECONDS` (count, window) — the shared grammar of
+/// `--quarantine` and `--restart-breaker`.
+fn parse_threshold(value: &str) -> Option<(usize, f64)> {
+    let (n, secs) = value.split_once(':')?;
+    let n = n.parse::<usize>().ok().filter(|&n| n >= 1)?;
+    let secs = secs
+        .parse::<f64>()
+        .ok()
+        .filter(|&s| s > 0.0 && s.is_finite())?;
+    Some((n, secs))
+}
 
 const USAGE: &str = "\
 sea-serve: long-running HTTP solve service over the SEA solvers
 
 USAGE:
   sea-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
-            [--cache-bytes N|off] [--epsilon F] [--max-iterations N]
+            [--tenant-quota N|off] [--cache-bytes N|off] [--epsilon F]
+            [--degraded-epsilon F|off] [--max-iterations N]
             [--kernel sortscan|quickselect] [--parallel serial|inner[:K]]
             [--deadline SECONDS|off] [--max-body-bytes N]
+            [--quarantine N:SECONDS|off] [--restart-breaker N:SECONDS]
+            [--chaos SPEC]
 
 FLAGS:
   --addr HOST:PORT     bind address              (default 127.0.0.1:7878)
   --workers N          solver worker threads     (default: cpu count, max 8)
   --queue-depth N      admission queue capacity  (default 64; full => 429)
+  --tenant-quota N|off per-tenant queued-job cap (default off; at quota => 429)
   --cache-bytes N|off  warm-start cache budget   (default 67108864; off = unbounded)
   --epsilon F          default stop tolerance    (default 1e-8)
+  --degraded-epsilon F|off
+                       looser tolerance accepted when the deadline fires:
+                       answers 200 with \"degraded\":true instead of 504
+                       (default off)
   --max-iterations N   iteration cap per solve   (default 10000)
   --kernel NAME        equilibration kernel      (default sortscan)
   --parallel POLICY    per-solve threads         (default serial)
   --deadline S|off     default request deadline  (default 30; off = unbounded)
   --max-body-bytes N   request body cap          (default 8388608; over => 413)
+  --quarantine N:SECONDS|off
+                       circuit-break a family after N consecutive poison
+                       solves for SECONDS (default 3:10; off disables)
+  --restart-breaker N:SECONDS
+                       /readyz goes 503 after N worker respawns within
+                       SECONDS (default 5:60)
+  --chaos SPEC         scripted service faults, e.g. crash@3,panic@6-8,
+                       nan@12,cachecorrupt@15 (default: none; drills only)
 
 ROUTES:
   POST /solve    one JSON instance object -> one JSON result line
   POST /batch    JSONL manifest           -> JSONL result lines
   GET  /metrics  Prometheus text exposition
-  GET  /healthz  liveness   GET /readyz  readiness (503 while draining)
+  GET  /healthz  liveness   GET /readyz  readiness (503 while draining
+                 or during a worker restart storm)
 
 EXIT CODES:
   0  clean drain after SIGTERM/SIGINT (all admitted solves finished)
@@ -136,6 +168,53 @@ fn parse_config(args: &[String]) -> Result<ServeConfig, String> {
                     .ok()
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| format!("--max-body-bytes {value:?} is not a byte count"))?;
+            }
+            "tenant-quota" => {
+                cfg.tenant_quota =
+                    if value == "off" {
+                        None
+                    } else {
+                        Some(value.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(
+                        || format!("--tenant-quota {value:?} is not a positive integer or \"off\""),
+                    )?)
+                    };
+            }
+            "degraded-epsilon" => {
+                cfg.degraded_epsilon = if value == "off" {
+                    None
+                } else {
+                    let eps: f64 = value
+                        .parse()
+                        .map_err(|_| format!("--degraded-epsilon {value:?} is not a number"))?;
+                    if !(eps > 0.0) {
+                        return Err("--degraded-epsilon must be strictly positive".to_string());
+                    }
+                    Some(eps)
+                };
+            }
+            "quarantine" => {
+                cfg.quarantine = if value == "off" {
+                    None
+                } else {
+                    let (strikes, secs) = parse_threshold(value).ok_or_else(|| {
+                        format!("--quarantine {value:?} is not N:SECONDS or \"off\"")
+                    })?;
+                    Some(QuarantinePolicy {
+                        strikes,
+                        cooldown: Duration::from_secs_f64(secs),
+                    })
+                };
+            }
+            "restart-breaker" => {
+                let (max_restarts, secs) = parse_threshold(value)
+                    .ok_or_else(|| format!("--restart-breaker {value:?} is not N:SECONDS"))?;
+                cfg.breaker = BreakerPolicy {
+                    max_restarts,
+                    window: Duration::from_secs_f64(secs),
+                };
+            }
+            "chaos" => {
+                cfg.chaos = ChaosPlan::parse(value).map_err(|e| format!("--chaos: {e}"))?;
             }
             other => return Err(format!("unknown flag --{other}")),
         }

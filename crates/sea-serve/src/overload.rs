@@ -1,0 +1,194 @@
+//! Adaptive overload control: queue-wait estimation and the
+//! restart-storm breaker.
+//!
+//! ## Load shedding
+//!
+//! The queue-full 429 is a *capacity* backstop; it fires only once the
+//! queue holds `queue_capacity` jobs, by which time every queued request
+//! may already be doomed to miss its deadline. [`WaitEstimator`] keeps
+//! an exponentially weighted moving average of recent solve times and
+//! estimates the queue wait a new arrival would see
+//! (`depth / workers × EWMA`). When that estimate exceeds the request's
+//! own deadline the handler rejects it *at admission* with 429 +
+//! `Retry-After` — the request could not have been answered in time, so
+//! shedding it early is strictly better for everyone behind it.
+//!
+//! ## Restart-storm breaker
+//!
+//! Worker respawn turns a one-off crash into a non-event, but a fault
+//! that kills every worker that touches it would otherwise respawn in a
+//! tight loop forever. [`RestartBreaker`] counts respawns in a sliding
+//! window; at the threshold `/readyz` flips unhealthy so an orchestrator
+//! stops routing traffic here, and recovers by itself once the window
+//! slides past the storm.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// EWMA of solve wall-times → queue-wait estimates.
+///
+/// Not a lock-free structure: the server keeps it behind its metrics
+/// mutex; updates are one multiply-add per completed solve.
+#[derive(Debug, Clone, Default)]
+pub struct WaitEstimator {
+    /// EWMA of solve seconds; `None` until the first sample (estimates
+    /// are 0 until then — never shed on no data).
+    ewma: Option<f64>,
+}
+
+/// Smoothing factor: ~10 solves of memory, quick to track load shifts.
+const EWMA_ALPHA: f64 = 0.2;
+
+impl WaitEstimator {
+    /// A fresh estimator with no samples.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one completed solve's wall time.
+    pub fn record(&mut self, solve_seconds: f64) {
+        if !solve_seconds.is_finite() || solve_seconds < 0.0 {
+            return;
+        }
+        self.ewma = Some(match self.ewma {
+            None => solve_seconds,
+            Some(prev) => EWMA_ALPHA * solve_seconds + (1.0 - EWMA_ALPHA) * prev,
+        });
+    }
+
+    /// Estimated queue wait (seconds) for a new arrival behind `depth`
+    /// queued jobs on `workers` workers. Zero before any sample: the
+    /// estimator never sheds without evidence.
+    pub fn estimated_wait(&self, depth: usize, workers: usize) -> f64 {
+        match self.ewma {
+            None => 0.0,
+            Some(ewma) => depth as f64 / workers.max(1) as f64 * ewma,
+        }
+    }
+
+    /// Current EWMA of solve seconds (0 before any sample).
+    pub fn solve_seconds(&self) -> f64 {
+        self.ewma.unwrap_or(0.0)
+    }
+}
+
+/// Sliding-window respawn counter (see module docs).
+#[derive(Debug)]
+pub struct RestartBreaker {
+    /// Respawns within `window` that trip the breaker.
+    max_restarts: usize,
+    /// Sliding window length.
+    window: Duration,
+    /// Respawn timestamps, oldest first, pruned to the window.
+    restarts: VecDeque<Instant>,
+    /// Total respawns ever (the `/metrics` counter).
+    total: u64,
+}
+
+/// Breaker configuration (flag surface `--restart-breaker N:SECONDS`).
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerPolicy {
+    /// Respawns within the window that flip `/readyz` unhealthy.
+    pub max_restarts: usize,
+    /// Sliding window length.
+    pub window: Duration,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy {
+            max_restarts: 5,
+            window: Duration::from_secs(60),
+        }
+    }
+}
+
+impl RestartBreaker {
+    /// A breaker enforcing `policy`.
+    pub fn new(policy: BreakerPolicy) -> Self {
+        RestartBreaker {
+            max_restarts: policy.max_restarts.max(1),
+            window: policy.window,
+            restarts: VecDeque::new(),
+            total: 0,
+        }
+    }
+
+    fn prune(&mut self) {
+        let now = Instant::now();
+        while let Some(&front) = self.restarts.front() {
+            if now.duration_since(front) > self.window {
+                self.restarts.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Record one worker respawn.
+    pub fn record_restart(&mut self) {
+        self.total += 1;
+        self.restarts.push_back(Instant::now());
+        self.prune();
+    }
+
+    /// True while respawns-in-window are at the threshold: `/readyz`
+    /// answers 503. Self-recovers as the window slides.
+    pub fn open(&mut self) -> bool {
+        self.prune();
+        self.restarts.len() >= self.max_restarts
+    }
+
+    /// Total respawns ever.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimator_is_silent_without_samples() {
+        let e = WaitEstimator::new();
+        assert_eq!(e.estimated_wait(100, 1), 0.0);
+    }
+
+    #[test]
+    fn estimator_tracks_and_scales() {
+        let mut e = WaitEstimator::new();
+        e.record(1.0);
+        assert!((e.solve_seconds() - 1.0).abs() < 1e-12);
+        // 4 queued jobs over 2 workers at ~1s each → ~2s wait.
+        assert!((e.estimated_wait(4, 2) - 2.0).abs() < 1e-12);
+        // The EWMA moves toward new samples.
+        for _ in 0..50 {
+            e.record(0.1);
+        }
+        assert!(e.solve_seconds() < 0.15, "{}", e.solve_seconds());
+        // Garbage samples are ignored.
+        e.record(f64::NAN);
+        e.record(-3.0);
+        assert!(e.solve_seconds().is_finite());
+    }
+
+    #[test]
+    fn breaker_opens_at_threshold_and_recovers() {
+        let mut b = RestartBreaker::new(BreakerPolicy {
+            max_restarts: 2,
+            window: Duration::from_millis(60),
+        });
+        assert!(!b.open());
+        b.record_restart();
+        assert!(!b.open());
+        b.record_restart();
+        assert!(b.open());
+        assert_eq!(b.total(), 2);
+        // The window slides past the storm: ready again, counter keeps
+        // the history.
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(!b.open());
+        assert_eq!(b.total(), 2);
+    }
+}

@@ -1,0 +1,300 @@
+//! Poison-request quarantine: a per-family circuit breaker.
+//!
+//! A *poison* request is one whose solve panics or NaN-trips the
+//! breakdown watchdog — outcomes that burn a worker's time (or the
+//! worker itself) without producing a useful answer. One bad instance
+//! resubmitted in a loop would otherwise occupy the pool indefinitely.
+//! Families accumulate *strikes* on consecutive poison outcomes; at the
+//! threshold the family's circuit **opens** and further requests are
+//! refused immediately (the handler answers a fast, typed 422) without
+//! touching the pool. After a cooldown the circuit goes **half-open**:
+//! exactly one probe request is admitted, and its outcome decides
+//! whether the circuit closes (healthy again) or re-opens for another
+//! cooldown.
+//!
+//! Strikes reset on any healthy outcome, so intermittent faults (one
+//! flaky NaN in a stream of good solves) never quarantine a family.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// When to open a family's circuit and how long to hold it open.
+#[derive(Debug, Clone, Copy)]
+pub struct QuarantinePolicy {
+    /// Consecutive poison outcomes that open the circuit.
+    pub strikes: usize,
+    /// How long an open circuit refuses requests before admitting one
+    /// half-open probe.
+    pub cooldown: Duration,
+}
+
+impl Default for QuarantinePolicy {
+    fn default() -> Self {
+        QuarantinePolicy {
+            strikes: 3,
+            cooldown: Duration::from_secs(10),
+        }
+    }
+}
+
+/// One family's circuit state.
+#[derive(Debug)]
+enum Circuit {
+    /// Healthy; `strikes` consecutive poison outcomes so far.
+    Closed { strikes: usize },
+    /// Refusing requests since `since`.
+    Open { since: Instant },
+    /// One probe is in flight; everyone else is refused until it
+    /// resolves.
+    HalfOpen,
+}
+
+/// Verdict for one admission attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Not quarantined: solve it.
+    Admit,
+    /// Admitted as the single half-open probe. The caller must resolve
+    /// the probe — [`Quarantine::record`] once the solve finishes, or
+    /// [`Quarantine::abort_probe`] if the request never reaches a worker
+    /// (queue full, drain) — or the circuit wedges half-open.
+    Probe,
+    /// Quarantined: answer 422 without queueing.
+    Refuse {
+        /// Seconds until the next half-open probe would be admitted
+        /// (the response's `Retry-After`).
+        retry_after: u64,
+    },
+}
+
+/// Cumulative quarantine counters (rendered into `/metrics`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QuarantineStats {
+    /// Circuits opened (first open and re-opens after a failed probe).
+    pub opens: u64,
+    /// Requests refused with 422.
+    pub refusals: u64,
+    /// Circuits closed by a successful probe.
+    pub closes: u64,
+}
+
+/// The per-family circuit breaker (see module docs). All methods take
+/// `&self`; one internal lock guards the family map.
+#[derive(Debug)]
+pub struct Quarantine {
+    policy: QuarantinePolicy,
+    state: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    families: HashMap<String, Circuit>,
+    stats: QuarantineStats,
+}
+
+impl Quarantine {
+    /// A quarantine enforcing `policy`.
+    pub fn new(policy: QuarantinePolicy) -> Self {
+        Quarantine {
+            policy,
+            state: Mutex::new(Inner::default()),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Decide whether a request for `family` may enter the queue. An
+    /// open circuit past its cooldown transitions to half-open and
+    /// admits this caller as the probe.
+    pub fn admit(&self, family: &str) -> Admission {
+        let mut s = self.lock();
+        let refuse_secs = |remaining: Duration| remaining.as_secs_f64().ceil().max(1.0) as u64;
+        let verdict = match s.families.get_mut(family) {
+            None | Some(Circuit::Closed { .. }) => Admission::Admit,
+            Some(c @ Circuit::Open { .. }) => {
+                let since = match c {
+                    Circuit::Open { since } => *since,
+                    // Unreachable: the outer match arm pinned the variant.
+                    _ => Instant::now(),
+                };
+                if since.elapsed() >= self.policy.cooldown {
+                    *c = Circuit::HalfOpen;
+                    Admission::Probe
+                } else {
+                    Admission::Refuse {
+                        retry_after: refuse_secs(self.policy.cooldown - since.elapsed()),
+                    }
+                }
+            }
+            Some(Circuit::HalfOpen) => Admission::Refuse {
+                retry_after: refuse_secs(self.policy.cooldown),
+            },
+        };
+        if let Admission::Refuse { .. } = verdict {
+            s.stats.refusals += 1;
+        }
+        verdict
+    }
+
+    /// Record one solve outcome for `family`. `poison` means the solve
+    /// panicked or NaN-tripped (see the server's classification); any
+    /// healthy outcome resets the strike count or closes a half-open
+    /// circuit.
+    pub fn record(&self, family: &str, poison: bool) {
+        let mut s = self.lock();
+        let circuit = s
+            .families
+            .entry(family.to_string())
+            .or_insert(Circuit::Closed { strikes: 0 });
+        match circuit {
+            Circuit::Closed { strikes } => {
+                if poison {
+                    *strikes += 1;
+                    if *strikes >= self.policy.strikes {
+                        *circuit = Circuit::Open {
+                            since: Instant::now(),
+                        };
+                        s.stats.opens += 1;
+                    }
+                } else {
+                    *strikes = 0;
+                }
+            }
+            Circuit::HalfOpen => {
+                if poison {
+                    *circuit = Circuit::Open {
+                        since: Instant::now(),
+                    };
+                    s.stats.opens += 1;
+                } else {
+                    *circuit = Circuit::Closed { strikes: 0 };
+                    s.stats.closes += 1;
+                }
+            }
+            // A result for a job admitted before the circuit opened:
+            // the open circuit's cooldown stands either way.
+            Circuit::Open { .. } => {}
+        }
+    }
+
+    /// Un-wedge a half-open circuit whose probe was admitted but never
+    /// dispatched (queue full, tenant quota, drain started). The circuit
+    /// returns to open *with its cooldown already served*, so the next
+    /// request becomes the probe instead of waiting a full cooldown.
+    pub fn abort_probe(&self, family: &str) {
+        let mut s = self.lock();
+        if let Some(c @ Circuit::HalfOpen) = s.families.get_mut(family) {
+            let since = Instant::now()
+                .checked_sub(self.policy.cooldown)
+                .unwrap_or_else(Instant::now);
+            *c = Circuit::Open { since };
+        }
+    }
+
+    /// Families currently refusing requests (open or half-open).
+    pub fn quarantined(&self) -> usize {
+        self.lock()
+            .families
+            .values()
+            .filter(|c| !matches!(c, Circuit::Closed { .. }))
+            .count()
+    }
+
+    /// Snapshot of the cumulative counters.
+    pub fn stats(&self) -> QuarantineStats {
+        self.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_policy() -> QuarantinePolicy {
+        QuarantinePolicy {
+            strikes: 3,
+            cooldown: Duration::from_millis(40),
+        }
+    }
+
+    #[test]
+    fn opens_after_consecutive_strikes_only() {
+        let q = Quarantine::new(fast_policy());
+        q.record("f", true);
+        q.record("f", true);
+        // A healthy outcome resets the count: no quarantine from
+        // intermittent faults.
+        q.record("f", false);
+        q.record("f", true);
+        q.record("f", true);
+        assert_eq!(q.admit("f"), Admission::Admit);
+        q.record("f", true);
+        assert!(matches!(q.admit("f"), Admission::Refuse { .. }));
+        assert_eq!(q.quarantined(), 1);
+        assert_eq!(q.stats().opens, 1);
+        assert!(q.stats().refusals >= 1);
+    }
+
+    #[test]
+    fn refusal_reports_retry_after_and_other_families_unaffected() {
+        let q = Quarantine::new(fast_policy());
+        for _ in 0..3 {
+            q.record("bad", true);
+        }
+        match q.admit("bad") {
+            Admission::Refuse { retry_after } => assert!(retry_after >= 1),
+            other => panic!("expected refusal, got {other:?}"),
+        }
+        assert_eq!(q.admit("good"), Admission::Admit);
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success() {
+        let q = Quarantine::new(fast_policy());
+        for _ in 0..3 {
+            q.record("f", true);
+        }
+        assert!(matches!(q.admit("f"), Admission::Refuse { .. }));
+        std::thread::sleep(Duration::from_millis(50));
+        // Past the cooldown: exactly one probe admitted, others refused.
+        assert_eq!(q.admit("f"), Admission::Probe);
+        assert!(matches!(q.admit("f"), Admission::Refuse { .. }));
+        q.record("f", false);
+        assert_eq!(q.admit("f"), Admission::Admit);
+        assert_eq!(q.quarantined(), 0);
+        assert_eq!(q.stats().closes, 1);
+    }
+
+    #[test]
+    fn aborted_probe_does_not_wedge_the_circuit() {
+        let q = Quarantine::new(fast_policy());
+        for _ in 0..3 {
+            q.record("f", true);
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(q.admit("f"), Admission::Probe);
+        // Probe never dispatched (say the queue was full); without an
+        // abort the circuit would refuse everyone forever.
+        q.abort_probe("f");
+        assert_eq!(q.admit("f"), Admission::Probe);
+    }
+
+    #[test]
+    fn half_open_probe_reopens_on_poison() {
+        let q = Quarantine::new(fast_policy());
+        for _ in 0..3 {
+            q.record("f", true);
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(q.admit("f"), Admission::Probe);
+        q.record("f", true);
+        assert!(matches!(q.admit("f"), Admission::Refuse { .. }));
+        assert_eq!(q.stats().opens, 2);
+    }
+}

@@ -1,4 +1,4 @@
-//! Bounded admission queue with per-tenant FIFO fairness.
+//! Bounded admission queue with per-tenant FIFO fairness and quotas.
 //!
 //! Admission control is the service's backpressure: the queue holds at
 //! most `capacity` jobs across all tenants, and an arrival beyond that is
@@ -7,6 +7,11 @@
 //! tenant keeps its own FIFO lane and workers take the next job from the
 //! next non-empty lane in round-robin order, so one tenant flooding the
 //! queue delays its own later jobs, not other tenants' first ones.
+//!
+//! An optional *per-tenant quota* caps one lane's depth below the shared
+//! capacity, so a flooding tenant is told to back off (429 +
+//! `Retry-After`) while slots remain for everyone else — round-robin
+//! popping keeps latency fair, quotas keep *admission* fair.
 //!
 //! The queue is a plain `Mutex` + `Condvar` pair — jobs are coarse
 //! (whole solves), so lock hold times are nanoseconds against solve times
@@ -20,6 +25,9 @@ use std::sync::{Condvar, Mutex};
 pub enum PushError {
     /// The queue is at capacity; the caller should answer 429.
     Full,
+    /// This tenant's lane is at its quota; the caller should answer 429
+    /// (other tenants may still be admitted).
+    TenantQuota,
     /// The queue is closed (server draining); the caller should answer 503.
     Closed,
 }
@@ -41,11 +49,19 @@ pub struct FairQueue<T> {
     state: Mutex<State<T>>,
     readable: Condvar,
     capacity: usize,
+    /// Per-tenant lane cap; `None` = only the shared capacity applies.
+    tenant_quota: Option<usize>,
 }
 
 impl<T> FairQueue<T> {
     /// An open queue admitting at most `capacity` jobs (min 1).
     pub fn new(capacity: usize) -> Self {
+        Self::with_tenant_quota(capacity, None)
+    }
+
+    /// Like [`FairQueue::new`], additionally capping each tenant's lane
+    /// at `quota` queued jobs (min 1 when set).
+    pub fn with_tenant_quota(capacity: usize, quota: Option<usize>) -> Self {
         FairQueue {
             state: Mutex::new(State {
                 lanes: Vec::new(),
@@ -55,6 +71,7 @@ impl<T> FairQueue<T> {
             }),
             readable: Condvar::new(),
             capacity: capacity.max(1),
+            tenant_quota: quota.map(|q| q.max(1)),
         }
     }
 
@@ -76,6 +93,16 @@ impl<T> FairQueue<T> {
         }
         if s.len >= self.capacity {
             return Err(PushError::Full);
+        }
+        if let Some(quota) = self.tenant_quota {
+            let lane_depth = s
+                .lanes
+                .iter()
+                .find(|(name, _)| name == tenant)
+                .map_or(0, |(_, lane)| lane.len());
+            if lane_depth >= quota {
+                return Err(PushError::TenantQuota);
+            }
         }
         match s.lanes.iter_mut().find(|(name, _)| name == tenant) {
             Some((_, lane)) => lane.push_back(job),
@@ -176,6 +203,45 @@ mod tests {
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn tenant_quota_caps_one_lane_without_starving_others() {
+        let q = FairQueue::with_tenant_quota(8, Some(2));
+        q.push("flood", 1).unwrap();
+        q.push("flood", 2).unwrap();
+        // The flooding tenant is told to back off at its quota…
+        assert_eq!(q.push("flood", 3), Err(PushError::TenantQuota));
+        // …while other tenants still have both capacity and fairness.
+        q.push("quiet", 10).unwrap();
+        assert_eq!(q.depth(), 3);
+        // Popping a flood job frees quota for the tenant again.
+        assert_eq!(q.pop(), Some(1));
+        q.push("flood", 3).unwrap();
+    }
+
+    #[test]
+    fn quota_never_exceeds_capacity_semantics() {
+        // Quota above capacity: the shared cap still wins.
+        let q = FairQueue::with_tenant_quota(2, Some(10));
+        q.push("t", 1).unwrap();
+        q.push("t", 2).unwrap();
+        assert_eq!(q.push("t", 3), Err(PushError::Full));
+    }
+
+    #[test]
+    fn flooding_tenant_cannot_starve_a_late_arrival() {
+        // A misbehaving tenant fills the queue up to its quota *before*
+        // a well-behaved tenant submits anything; the late arrival's
+        // first job still pops on the next round-robin turn, not after
+        // the flood drains.
+        let q = FairQueue::with_tenant_quota(16, Some(8));
+        for i in 0..8 {
+            q.push("flood", format!("f{i}")).unwrap();
+        }
+        q.push("late", "l0".to_string()).unwrap();
+        assert_eq!(q.pop(), Some("f0".to_string()));
+        assert_eq!(q.pop(), Some("l0".to_string()));
     }
 
     #[test]

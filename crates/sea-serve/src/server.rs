@@ -1,4 +1,4 @@
-//! The serve loop: accept, admit, solve, respond, drain.
+//! The serve loop: accept, admit, solve, respond, drain — and survive.
 //!
 //! ## Threading model
 //!
@@ -13,10 +13,30 @@
 //!
 //! ## Request lifecycle
 //!
-//! admission (bounded queue, 429 when full) → queue wait (fair FIFO per
-//! tenant) → solve (per-request deadline mapped to
-//! [`sea_core::SolveBudget`], warm-started from the per-family cache) →
-//! response (the same JSON result line the CLI's batch mode writes).
+//! admission (quarantine check, load shed, bounded queue) → queue wait
+//! (fair FIFO per tenant, optional per-tenant quota) → solve
+//! (per-request deadline mapped to [`sea_core::SolveBudget`],
+//! warm-started from the per-family cache) → response (the same JSON
+//! result line the CLI's batch mode writes).
+//!
+//! ## Resilience
+//!
+//! Solves run inside `catch_unwind`: a panicking solve answers a typed
+//! 500 and the worker survives. A worker thread that dies anyway (the
+//! panic escaped containment) drops its job's response channel — the
+//! waiting handler answers the typed 500 — and a supervisor thread
+//! respawns the slot so the pool never shrinks. Respawns feed the
+//! [`RestartBreaker`]; a restart storm flips `/readyz` to 503 so an
+//! orchestrator stops routing here, and readiness self-recovers as the
+//! window slides. Families whose solves repeatedly panic or NaN-trip
+//! are circuit-broken by the [`Quarantine`] (fast 422 + `Retry-After`,
+//! half-open probe after cooldown), and the [`WaitEstimator`] sheds
+//! requests at admission (429 + `Retry-After`) when the queue wait they
+//! would see already exceeds their deadline. With `degraded_epsilon`
+//! set, a deadline-stopped solve whose residual is already below that
+//! looser tolerance answers 200 with `"degraded":true` instead of 504.
+//! All of it is observable in `/metrics` and scriptable by a
+//! [`ChaosPlan`] for deterministic fault drills.
 //!
 //! ## Drain
 //!
@@ -27,20 +47,24 @@
 //! written. The binary then exits 0: a clean drain is indistinguishable
 //! from a clean stop by design.
 
-use crate::http::{read_request, write_response, ReadError, Request};
+use crate::chaos::{ChaosPlan, ServiceFault};
+use crate::http::{read_request, write_response_with, ReadError, Request};
+use crate::overload::{BreakerPolicy, RestartBreaker, WaitEstimator};
+use crate::quarantine::{Admission, Quarantine, QuarantinePolicy};
 use crate::queue::{FairQueue, PushError};
 use sea_batch::{
-    solve_instance, BatchInstance, BatchItemReport, BatchOptions, BatchParallelism, CacheUpdate,
-    WarmStartCache,
+    solve_instance, BatchInstance, BatchItemReport, BatchOptions, BatchParallelism, CacheEntry,
+    CacheUpdate, WarmStart, WarmStartCache,
 };
-use sea_cli::manifest::{instance_from_json, result_line};
-use sea_core::{KernelKind, StopReason, SupervisorOptions};
+use sea_cli::manifest::{instance_from_json, result_line_with};
+use sea_core::{FaultKind, FaultPlan, KernelKind, SeaError, StopReason, SupervisorOptions};
 use sea_observe::json::{parse as parse_json, JsonValue};
 use sea_observe::metrics::PHASE_SECONDS_BUCKETS;
-use sea_observe::{MetricsObserver, MetricsRegistry, Observer, VecObserver};
+use sea_observe::{Event, MetricsObserver, MetricsRegistry, Observer};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -53,6 +77,9 @@ const REQUEST_SECONDS_BUCKETS: [f64; 10] =
 /// How long a handler blocks in `read` before re-checking for drain.
 const READ_POLL: Duration = Duration::from_millis(200);
 
+/// How often the supervisor scans worker slots for dead threads.
+const SUPERVISOR_POLL: Duration = Duration::from_millis(20);
+
 /// Server configuration (flag surface of the `sea-serve` binary).
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -62,10 +89,18 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Admission queue capacity across all tenants (full → 429).
     pub queue_capacity: usize,
+    /// Per-tenant cap on queued jobs (`None` = lanes bounded only by
+    /// total capacity); at quota → 429 while other tenants still admit.
+    pub tenant_quota: Option<usize>,
     /// Warm-start cache byte budget; `None` = unbounded.
     pub cache_bytes: Option<usize>,
     /// Default stopping tolerance (per-request `epsilon` overrides).
     pub epsilon: f64,
+    /// Looser tolerance for graceful degradation: a deadline-stopped
+    /// solve whose residual is already ≤ this answers 200 with
+    /// `"degraded":true` instead of 504. `None` disables (the default —
+    /// a deadline miss is a 504).
+    pub degraded_epsilon: Option<f64>,
     /// Iteration cap per solve.
     pub max_iterations: usize,
     /// Equilibration kernel for every solve.
@@ -78,6 +113,12 @@ pub struct ServeConfig {
     pub default_deadline: Option<Duration>,
     /// Request body cap in bytes (over → 413).
     pub max_body_bytes: usize,
+    /// Poison-family circuit breaker; `None` disables quarantine.
+    pub quarantine: Option<QuarantinePolicy>,
+    /// Restart-storm breaker driving `/readyz`.
+    pub breaker: BreakerPolicy,
+    /// Scripted service faults (empty in production; see [`ChaosPlan`]).
+    pub chaos: ChaosPlan,
 }
 
 impl Default for ServeConfig {
@@ -88,13 +129,18 @@ impl Default for ServeConfig {
                 .map(|n| n.get().min(8))
                 .unwrap_or(2),
             queue_capacity: 64,
+            tenant_quota: None,
             cache_bytes: Some(64 << 20),
             epsilon: 1e-8,
+            degraded_epsilon: None,
             max_iterations: 10_000,
             kernel: KernelKind::SortScan,
             parallelism: BatchParallelism::Serial,
             default_deadline: Some(Duration::from_secs(30)),
             max_body_bytes: 8 << 20,
+            quarantine: Some(QuarantinePolicy::default()),
+            breaker: BreakerPolicy::default(),
+            chaos: ChaosPlan::new(),
         }
     }
 }
@@ -124,6 +170,8 @@ struct Metrics {
     /// Last cache-eviction count folded into the counter (so the counter
     /// advances by deltas of the cache's cumulative figure).
     evictions_seen: u64,
+    /// Last quarantine counters folded in, same delta scheme.
+    quarantine_seen: (u64, u64, u64),
 }
 
 struct Shared {
@@ -135,6 +183,17 @@ struct Shared {
     draining: AtomicBool,
     /// Jobs admitted and not yet responded to (readiness + drain gauge).
     inflight: AtomicUsize,
+    /// Poison-family circuit breaker (`None` = disabled by config).
+    quarantine: Option<Quarantine>,
+    /// EWMA queue-wait estimator feeding the load shedder.
+    estimator: Mutex<WaitEstimator>,
+    /// Restart-storm breaker feeding `/readyz`.
+    breaker: Mutex<RestartBreaker>,
+    /// 1-based solve sequence counter driving the chaos plan.
+    solve_seq: AtomicU64,
+    /// Worker threads currently running (gauge; respawn keeps it at
+    /// `cfg.workers` outside the instant between death and respawn).
+    workers_alive: AtomicUsize,
 }
 
 /// Lock a mutex, recovering the guard from poisoning: state behind these
@@ -147,9 +206,34 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 impl Shared {
+    fn counter(&self, name: &str, help: &str, labels: Vec<(String, String)>, v: f64) {
+        lock(&self.metrics)
+            .server
+            .counter_add(name, help, labels, v);
+    }
+
+    fn count_shed(&self, reason: &str, n: f64) {
+        self.counter(
+            "sea_serve_shed_total",
+            "Requests rejected at admission, by reason (wait|quota|full).",
+            vec![("reason".to_string(), reason.to_string())],
+            n,
+        );
+    }
+
+    fn count_panic(&self, n: f64) {
+        self.counter(
+            "sea_serve_worker_panics_total",
+            "Solve panics contained by the per-request boundary (answered 500).",
+            vec![],
+            n,
+        );
+    }
+
     fn set_queue_gauges(&self) {
         let depth = self.queue.depth() as f64;
         let inflight = self.inflight.load(Ordering::SeqCst) as f64;
+        let alive = self.workers_alive.load(Ordering::SeqCst) as f64;
         let mut m = lock(&self.metrics);
         m.server.gauge_set(
             "sea_serve_queue_depth",
@@ -162,6 +246,12 @@ impl Shared {
             "Jobs admitted and not yet responded to (queued or solving).",
             vec![],
             inflight,
+        );
+        m.server.gauge_set(
+            "sea_serve_workers_alive",
+            "Solver worker threads currently running.",
+            vec![],
+            alive,
         );
     }
 
@@ -184,19 +274,61 @@ impl Shared {
             started.elapsed().as_secs_f64(),
         );
     }
+
+    /// `Retry-After` hint when the queue itself pushed back: roughly one
+    /// solve's worth of seconds, floored at 1.
+    fn retry_hint(&self) -> u64 {
+        let est = lock(&self.estimator).solve_seconds();
+        est.ceil().max(1.0) as u64
+    }
 }
 
-/// A running server: accept thread + worker pool bound to one listener.
+/// One routed response; `retry_after` becomes a `Retry-After` header.
+struct Reply {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+    retry_after: Option<u64>,
+}
+
+impl Reply {
+    fn json(status: u16, body: String) -> Reply {
+        Reply {
+            status,
+            content_type: "application/json",
+            body,
+            retry_after: None,
+        }
+    }
+
+    fn text(status: u16, body: &str) -> Reply {
+        Reply {
+            status,
+            content_type: "text/plain; version=0.0.4",
+            body: body.to_string(),
+            retry_after: None,
+        }
+    }
+
+    fn retry_after(mut self, secs: u64) -> Reply {
+        self.retry_after = Some(secs);
+        self
+    }
+}
+
+/// A running server: accept thread, worker pool, and the supervisor
+/// that keeps the pool at full strength.
 pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
     accept: Option<JoinHandle<Vec<JoinHandle<()>>>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Bind `cfg.addr`, spawn the worker pool and accept thread, and
-    /// return the running server. Fails only on bind errors.
+    /// Bind `cfg.addr`, spawn the worker pool, its supervisor, and the
+    /// accept thread, and return the running server. Fails only on bind
+    /// or spawn errors.
     pub fn bind(cfg: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
@@ -207,25 +339,32 @@ impl Server {
                 Some(b) => WarmStartCache::with_limit(b),
                 None => WarmStartCache::new(),
             }),
-            queue: FairQueue::new(cfg.queue_capacity),
+            queue: FairQueue::with_tenant_quota(cfg.queue_capacity, cfg.tenant_quota),
             metrics: Mutex::new(Metrics {
                 server: MetricsRegistry::new(),
                 solver: MetricsObserver::new(),
                 evictions_seen: 0,
+                quarantine_seen: (0, 0, 0),
             }),
             draining: AtomicBool::new(false),
             inflight: AtomicUsize::new(0),
+            quarantine: cfg.quarantine.map(Quarantine::new),
+            estimator: Mutex::new(WaitEstimator::new()),
+            breaker: Mutex::new(RestartBreaker::new(cfg.breaker)),
+            solve_seq: AtomicU64::new(0),
+            workers_alive: AtomicUsize::new(0),
             cfg,
         });
 
-        let workers = (0..workers_n)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("sea-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-            })
+        let slots = (0..workers_n)
+            .map(|i| spawn_worker(&shared, i).map(Some))
             .collect::<std::io::Result<Vec<_>>>()?;
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("sea-serve-supervisor".to_string())
+                .spawn(move || supervisor_loop(&shared, slots))?
+        };
 
         let accept = {
             let shared = Arc::clone(&shared);
@@ -238,7 +377,7 @@ impl Server {
             shared,
             addr,
             accept: Some(accept),
-            workers,
+            supervisor: Some(supervisor),
         })
     }
 
@@ -267,12 +406,85 @@ impl Server {
             Some(h) => h.join().unwrap_or_default(),
             None => Vec::new(),
         };
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        if let Some(s) = self.supervisor.take() {
+            let _ = s.join();
         }
         for h in handlers {
             let _ = h.join();
         }
+    }
+}
+
+/// RAII decrement of `workers_alive`: runs even when the worker thread
+/// unwinds from an uncontained panic.
+struct AliveGuard(Arc<Shared>);
+
+impl Drop for AliveGuard {
+    fn drop(&mut self) {
+        self.0.workers_alive.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn spawn_worker(shared: &Arc<Shared>, slot: usize) -> std::io::Result<JoinHandle<()>> {
+    shared.workers_alive.fetch_add(1, Ordering::SeqCst);
+    let sh = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name(format!("sea-serve-worker-{slot}"))
+        .spawn(move || {
+            let _alive = AliveGuard(Arc::clone(&sh));
+            worker_loop(&sh);
+        });
+    if handle.is_err() {
+        shared.workers_alive.fetch_sub(1, Ordering::SeqCst);
+    }
+    handle
+}
+
+/// Scan worker slots; respawn any thread that died by panic so the pool
+/// never shrinks. Respawns feed the restart breaker. Exits once a drain
+/// has started and every worker has finished — except that a crash
+/// *during* a drain with jobs still queued is respawned anyway, so every
+/// admitted request gets its response before the process exits.
+fn supervisor_loop(shared: &Arc<Shared>, mut slots: Vec<Option<JoinHandle<()>>>) {
+    loop {
+        let draining = shared.draining.load(Ordering::SeqCst);
+        let mut alive = 0usize;
+        for (slot, entry) in slots.iter_mut().enumerate() {
+            if entry.as_ref().is_some_and(|h| h.is_finished()) {
+                let crashed = match entry.take() {
+                    Some(h) => h.join().is_err(),
+                    None => false,
+                };
+                if crashed {
+                    shared.counter(
+                        "sea_serve_worker_crashes_total",
+                        "Worker threads that died to an uncontained panic.",
+                        vec![],
+                        1.0,
+                    );
+                    if !draining || shared.queue.depth() > 0 {
+                        lock(&shared.breaker).record_restart();
+                        shared.counter(
+                            "sea_serve_worker_restarts_total",
+                            "Worker threads respawned by the supervisor.",
+                            vec![],
+                            1.0,
+                        );
+                        if let Ok(h) = spawn_worker(shared, slot) {
+                            *entry = Some(h);
+                            alive += 1;
+                        }
+                    }
+                    shared.set_queue_gauges();
+                }
+            } else if entry.is_some() {
+                alive += 1;
+            }
+        }
+        if draining && alive == 0 {
+            return;
+        }
+        std::thread::sleep(SUPERVISOR_POLL);
     }
 }
 
@@ -330,24 +542,27 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
             }
             Err(ReadError::Io(_)) => return,
             Err(ReadError::Malformed(msg)) => {
-                let body = error_body(&msg);
-                let _ = write_response(&mut writer, 400, "application/json", body.as_bytes(), true);
+                let reply = Reply::json(400, error_body(&msg));
+                let _ = write_reply(&mut writer, &reply, true);
                 shared.count_request("malformed", 400, started);
                 return;
             }
             Err(ReadError::BodyTooLarge { declared, limit }) => {
-                let body = error_body(&format!("body of {declared} bytes exceeds limit {limit}"));
-                let _ = write_response(&mut writer, 413, "application/json", body.as_bytes(), true);
+                let reply = Reply::json(
+                    413,
+                    error_body(&format!("body of {declared} bytes exceeds limit {limit}")),
+                );
+                let _ = write_reply(&mut writer, &reply, true);
                 shared.count_request("oversized", 413, started);
                 return;
             }
         };
-        let (status, content_type, body) = route(&req, shared);
+        let reply = route(&req, shared);
         // During a drain, answer the in-hand request and close so the
         // handler thread exits; otherwise honor keep-alive.
         let close = req.close || shared.draining.load(Ordering::SeqCst);
-        shared.count_request(&req.path, status, started);
-        if write_response(&mut writer, status, content_type, body.as_bytes(), close).is_err() {
+        shared.count_request(&req.path, reply.status, started);
+        if write_reply(&mut writer, &reply, close).is_err() {
             return;
         }
         if close {
@@ -356,26 +571,43 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
-/// Dispatch one request; returns (status, content type, body).
-fn route(req: &Request, shared: &Arc<Shared>) -> (u16, &'static str, String) {
-    const JSON: &str = "application/json";
-    const TEXT: &str = "text/plain; version=0.0.4";
+fn write_reply<W: std::io::Write>(w: &mut W, reply: &Reply, close: bool) -> std::io::Result<()> {
+    let extra: Vec<(&str, String)> = match reply.retry_after {
+        Some(secs) => vec![("Retry-After", secs.to_string())],
+        None => Vec::new(),
+    };
+    write_response_with(
+        w,
+        reply.status,
+        reply.content_type,
+        &extra,
+        reply.body.as_bytes(),
+        close,
+    )
+}
+
+/// Dispatch one request.
+fn route(req: &Request, shared: &Arc<Shared>) -> Reply {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => (200, TEXT, "ok\n".to_string()),
+        ("GET", "/healthz") => Reply::text(200, "ok\n"),
         ("GET", "/readyz") => {
             if shared.draining.load(Ordering::SeqCst) {
-                (503, TEXT, "draining\n".to_string())
+                Reply::text(503, "draining\n").retry_after(1)
+            } else if lock(&shared.breaker).open() {
+                // A restart storm: stop routing traffic here until the
+                // breaker window slides past it.
+                Reply::text(503, "restart-storm\n").retry_after(1)
             } else {
-                (200, TEXT, "ready\n".to_string())
+                Reply::text(200, "ready\n")
             }
         }
-        ("GET", "/metrics") => (200, TEXT, render_metrics(shared)),
+        ("GET", "/metrics") => Reply::text(200, &render_metrics(shared)),
         ("POST", "/solve") => handle_solve(&req.body, shared, false),
         ("POST", "/batch") => handle_solve(&req.body, shared, true),
         (_, "/healthz" | "/readyz" | "/metrics" | "/solve" | "/batch") => {
-            (405, JSON, error_body("method not allowed"))
+            Reply::json(405, error_body("method not allowed"))
         }
-        _ => (404, JSON, error_body("no such route")),
+        _ => Reply::json(404, error_body("no such route")),
     }
 }
 
@@ -386,6 +618,10 @@ fn render_metrics(shared: &Arc<Shared>) -> String {
         let (bytes, families, evictions) = {
             let c = lock(&shared.cache);
             (c.bytes() as f64, c.len() as f64, c.evictions())
+        };
+        let breaker = {
+            let mut b = lock(&shared.breaker);
+            (b.open(), b.total())
         };
         let mut m = lock(&shared.metrics);
         m.server.gauge_set(
@@ -408,7 +644,68 @@ fn render_metrics(shared: &Arc<Shared>) -> String {
             vec![],
             delta as f64,
         );
+        m.server.gauge_set(
+            "sea_serve_restart_breaker_open",
+            "1 while the restart-storm breaker holds /readyz at 503.",
+            vec![],
+            if breaker.0 { 1.0 } else { 0.0 },
+        );
     }
+    if let Some(q) = &shared.quarantine {
+        let stats = q.stats();
+        let quarantined = q.quarantined() as f64;
+        let mut m = lock(&shared.metrics);
+        m.server.gauge_set(
+            "sea_serve_quarantined_families",
+            "Families currently refusing requests (open or half-open circuit).",
+            vec![],
+            quarantined,
+        );
+        let (opens, refusals, closes) = m.quarantine_seen;
+        m.quarantine_seen = (stats.opens, stats.refusals, stats.closes);
+        m.server.counter_add(
+            "sea_serve_quarantine_opens_total",
+            "Family circuits opened after repeated poison outcomes.",
+            vec![],
+            stats.opens.saturating_sub(opens) as f64,
+        );
+        m.server.counter_add(
+            "sea_serve_quarantine_refusals_total",
+            "Requests refused with 422 by an open family circuit.",
+            vec![],
+            stats.refusals.saturating_sub(refusals) as f64,
+        );
+        m.server.counter_add(
+            "sea_serve_quarantine_closes_total",
+            "Family circuits closed by a successful half-open probe.",
+            vec![],
+            stats.closes.saturating_sub(closes) as f64,
+        );
+    }
+    // Register the event counters at 0 so dashboards (and the chaos
+    // soak's assertions) see them before the first event.
+    shared.count_panic(0.0);
+    for reason in ["wait", "quota", "full"] {
+        shared.count_shed(reason, 0.0);
+    }
+    shared.counter(
+        "sea_serve_worker_crashes_total",
+        "Worker threads that died to an uncontained panic.",
+        vec![],
+        0.0,
+    );
+    shared.counter(
+        "sea_serve_worker_restarts_total",
+        "Worker threads respawned by the supervisor.",
+        vec![],
+        0.0,
+    );
+    shared.counter(
+        "sea_serve_degraded_total",
+        "Deadline-stopped solves accepted at the degraded tolerance.",
+        vec![],
+        0.0,
+    );
     let m = lock(&shared.metrics);
     let mut out = m.server.render();
     out.push_str(&m.solver.render());
@@ -425,12 +722,41 @@ fn error_body(msg: &str) -> String {
     body
 }
 
+/// [`error_body`] with one extra boolean flag (`"panic":true`,
+/// `"quarantined":true`, `"shed":true`) so clients can branch on the
+/// failure class without parsing prose.
+fn error_body_tagged(msg: &str, tag: &str) -> String {
+    let mut body = JsonValue::Object(vec![
+        ("error".to_string(), JsonValue::String(msg.to_string())),
+        (tag.to_string(), JsonValue::Bool(true)),
+    ])
+    .render();
+    body.push('\n');
+    body
+}
+
+/// Distinct families across a job's instances (quarantine bookkeeping).
+fn job_families(kind: &JobKind) -> Vec<String> {
+    let mut families: Vec<String> = Vec::new();
+    let mut add = |inst: &BatchInstance| {
+        if let Some(f) = &inst.family {
+            if !families.iter().any(|g| g == f) {
+                families.push(f.clone());
+            }
+        }
+    };
+    match kind {
+        JobKind::Solve(inst) => add(inst),
+        JobKind::Batch(list) => list.iter().for_each(add),
+    }
+    families
+}
+
 /// Parse, admit, and await one `/solve` or `/batch` request.
-fn handle_solve(body: &[u8], shared: &Arc<Shared>, batch: bool) -> (u16, &'static str, String) {
-    const JSON: &str = "application/json";
+fn handle_solve(body: &[u8], shared: &Arc<Shared>, batch: bool) -> Reply {
     let text = match std::str::from_utf8(body) {
         Ok(t) => t,
-        Err(_) => return (400, JSON, error_body("body is not UTF-8")),
+        Err(_) => return Reply::json(400, error_body("body is not UTF-8")),
     };
 
     // Serve-level extras ride on the first JSON object of the body.
@@ -448,11 +774,7 @@ fn handle_solve(body: &[u8], shared: &Arc<Shared>, batch: bool) -> (u16, &'stati
             let v = match parse_json(t) {
                 Ok(v) => v,
                 Err(e) => {
-                    return (
-                        400,
-                        JSON,
-                        error_body(&format!("manifest line {}: {e}", i + 1)),
-                    )
+                    return Reply::json(400, error_body(&format!("manifest line {}: {e}", i + 1)))
                 }
             };
             if instances.is_empty() {
@@ -460,28 +782,91 @@ fn handle_solve(body: &[u8], shared: &Arc<Shared>, batch: bool) -> (u16, &'stati
             }
             match instance_from_json(&v, i + 1) {
                 Ok(inst) => instances.push(inst),
-                Err(e) => return (400, JSON, error_body(&e.to_string())),
+                Err(e) => return Reply::json(400, error_body(&e.to_string())),
             }
         }
         if instances.is_empty() {
-            return (400, JSON, error_body("batch body holds no instances"));
+            return Reply::json(400, error_body("batch body holds no instances"));
         }
         JobKind::Batch(instances)
     } else {
         let v = match parse_json(text.trim()) {
             Ok(v) => v,
-            Err(e) => return (400, JSON, error_body(&format!("bad request body: {e}"))),
+            Err(e) => return Reply::json(400, error_body(&format!("bad request body: {e}"))),
         };
         read_extras(&v, &mut tenant, &mut deadline, &mut epsilon);
         match instance_from_json(&v, 1) {
             Ok(inst) => JobKind::Solve(Box::new(inst)),
-            Err(e) => return (400, JSON, error_body(&e.to_string())),
+            Err(e) => return Reply::json(400, error_body(&e.to_string())),
+        }
+    };
+
+    // Quarantine gate: circuit-broken families answer a fast, typed 422
+    // without costing a queue slot or a worker.
+    let families = job_families(&kind);
+    let mut probes: Vec<String> = Vec::new();
+    if let Some(q) = &shared.quarantine {
+        for family in &families {
+            match q.admit(family) {
+                Admission::Admit => {}
+                Admission::Probe => probes.push(family.clone()),
+                Admission::Refuse { retry_after } => {
+                    for p in &probes {
+                        q.abort_probe(p);
+                    }
+                    return Reply::json(
+                        422,
+                        error_body_tagged(
+                            &format!(
+                                "family {family:?} is quarantined after repeated solver faults"
+                            ),
+                            "quarantined",
+                        ),
+                    )
+                    .retry_after(retry_after);
+                }
+            }
+        }
+    }
+    // Any early rejection below must resolve half-open probes admitted
+    // above, or the probed circuits wedge.
+    let release_probes = || {
+        if let Some(q) = &shared.quarantine {
+            for p in &probes {
+                q.abort_probe(p);
+            }
         }
     };
 
     if shared.draining.load(Ordering::SeqCst) {
-        return (503, JSON, error_body("draining"));
+        release_probes();
+        return Reply::json(503, error_body("draining")).retry_after(1);
     }
+
+    // Load shed: refuse at admission when the queue wait this request
+    // would see already exceeds its whole deadline — it could not have
+    // been answered in time, and shedding it keeps the queue honest for
+    // the requests behind it.
+    if let Some(d) = deadline {
+        let est =
+            lock(&shared.estimator).estimated_wait(shared.queue.depth(), shared.cfg.workers.max(1));
+        if est > d.as_secs_f64() {
+            release_probes();
+            shared.count_shed("wait", 1.0);
+            return Reply::json(
+                429,
+                error_body_tagged(
+                    &format!(
+                        "estimated queue wait {est:.2}s exceeds the {:.2}s deadline",
+                        d.as_secs_f64()
+                    ),
+                    "shed",
+                ),
+            )
+            .retry_after(est.ceil().max(1.0) as u64);
+        }
+    }
+
     let (tx, rx) = mpsc::channel();
     let job = Job {
         kind,
@@ -495,18 +880,53 @@ fn handle_solve(body: &[u8], shared: &Arc<Shared>, batch: bool) -> (u16, &'stati
         Ok(()) => {}
         Err(PushError::Full) => {
             shared.inflight.fetch_sub(1, Ordering::SeqCst);
-            return (429, JSON, error_body("queue full, retry later"));
+            release_probes();
+            shared.count_shed("full", 1.0);
+            return Reply::json(429, error_body("queue full, retry later"))
+                .retry_after(shared.retry_hint());
+        }
+        Err(PushError::TenantQuota) => {
+            shared.inflight.fetch_sub(1, Ordering::SeqCst);
+            release_probes();
+            shared.count_shed("quota", 1.0);
+            return Reply::json(
+                429,
+                error_body_tagged(
+                    &format!("tenant {tenant:?} is at its admission quota"),
+                    "shed",
+                ),
+            )
+            .retry_after(shared.retry_hint());
         }
         Err(PushError::Closed) => {
             shared.inflight.fetch_sub(1, Ordering::SeqCst);
-            return (503, JSON, error_body("draining"));
+            release_probes();
+            return Reply::json(503, error_body("draining")).retry_after(1);
         }
     }
     shared.set_queue_gauges();
     match rx.recv() {
-        Ok((status, body)) => (status, JSON, body),
-        // Worker pool gone mid-job: only reachable if a worker panicked.
-        Err(_) => (503, JSON, error_body("worker pool unavailable")),
+        Ok((status, body)) => {
+            shared.inflight.fetch_sub(1, Ordering::SeqCst);
+            Reply::json(status, body)
+        }
+        Err(_) => {
+            // The worker died with our job: its panic escaped the
+            // per-request containment (or was scripted to). The response
+            // is still typed — and the job's families take the strike,
+            // since the worker was no longer around to record it.
+            shared.inflight.fetch_sub(1, Ordering::SeqCst);
+            shared.set_queue_gauges();
+            if let Some(q) = &shared.quarantine {
+                for f in &families {
+                    q.record(f, true);
+                }
+            }
+            Reply::json(
+                500,
+                error_body_tagged("worker crashed mid-solve; the pool is respawning", "panic"),
+            )
+        }
     }
 }
 
@@ -536,6 +956,17 @@ fn read_extras(
     }
 }
 
+/// Human-readable panic payload (matches what the panic would print).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
         let wait = job.admitted.elapsed().as_secs_f64();
@@ -550,43 +981,130 @@ fn worker_loop(shared: &Arc<Shared>) {
             );
         }
         shared.set_queue_gauges();
-        let response = run_job(&job, shared);
+        let seq = shared.solve_seq.fetch_add(1, Ordering::SeqCst) + 1;
+        let faults: Vec<ServiceFault> = shared.cfg.chaos.at_seq(seq).collect();
+        if faults.contains(&ServiceFault::Crash) {
+            // Deliberately OUTSIDE the per-request containment: the
+            // worker thread dies mid-job, the waiting handler answers
+            // the typed 500 through the dropped channel, and the
+            // supervisor respawns this slot.
+            panic!("chaos: scripted worker crash at solve {seq}");
+        }
+        let solve_started = Instant::now();
+        let response = match catch_unwind(AssertUnwindSafe(|| run_job(&job, shared, &faults))) {
+            Ok(resp) => {
+                lock(&shared.estimator).record(solve_started.elapsed().as_secs_f64());
+                resp
+            }
+            Err(payload) => {
+                // Contained: the request answers a typed 500, the worker
+                // survives, and the job's families take a poison strike.
+                shared.count_panic(1.0);
+                if let Some(q) = &shared.quarantine {
+                    for f in job_families(&job.kind) {
+                        q.record(&f, true);
+                    }
+                }
+                let msg = panic_message(&*payload);
+                (
+                    500,
+                    error_body_tagged(&format!("worker panicked while solving: {msg}"), "panic"),
+                )
+            }
+        };
         let _ = job.respond.send(response);
-        shared.inflight.fetch_sub(1, Ordering::SeqCst);
         shared.set_queue_gauges();
+    }
+}
+
+/// True when a solve outcome should count as a quarantine strike: the
+/// solver panicked (contained by its own supervisor), or the NaN/∞
+/// watchdog tripped.
+fn is_poison(report: &BatchItemReport) -> bool {
+    match &report.outcome {
+        Ok(sol) => sol.stop() == StopReason::Breakdown,
+        Err(SeaError::WorkerPanic { .. } | SeaError::NumericalBreakdown { .. }) => true,
+        Err(_) => false,
     }
 }
 
 /// Solve a job's instances in order, sharing the warm-start cache across
 /// them, and render the response body (one result line per instance).
-fn run_job(job: &Job, shared: &Arc<Shared>) -> (u16, String) {
+fn run_job(job: &Job, shared: &Arc<Shared>, faults: &[ServiceFault]) -> (u16, String) {
+    if faults.contains(&ServiceFault::Panic) {
+        // Scripted *contained* panic: caught by the worker's
+        // catch_unwind, answered as a typed 500.
+        panic!("chaos: scripted contained panic");
+    }
     let instances: Vec<&BatchInstance> = match &job.kind {
         JobKind::Solve(inst) => vec![inst],
         JobKind::Batch(list) => list.iter().collect(),
     };
     let mut body = String::new();
     let mut deadline_hit = false;
+    let mut solver_panic = false;
     for (index, inst) in instances.iter().enumerate() {
-        let mut report = solve_with_cache(inst, job, shared);
+        let mut report = solve_with_cache(inst, job, shared, faults);
         report.index = index;
-        if report
-            .outcome
-            .as_ref()
-            .is_ok_and(|sol| sol.stop() == StopReason::DeadlineExceeded)
-        {
-            deadline_hit = true;
+        if let Some(q) = &shared.quarantine {
+            if let Some(family) = &inst.family {
+                q.record(family, is_poison(&report));
+            }
         }
-        body.push_str(&result_line(&report));
+        let mut extras: Vec<(&str, JsonValue)> = Vec::new();
+        match &report.outcome {
+            Ok(sol) if sol.stop() == StopReason::DeadlineExceeded => {
+                let degraded = shared
+                    .cfg
+                    .degraded_epsilon
+                    .is_some_and(|de| sol.residual() <= de);
+                if degraded {
+                    // Graceful degradation: the partial answer already
+                    // meets the looser tolerance, so it is an answer —
+                    // flagged, not failed.
+                    extras.push(("degraded", JsonValue::Bool(true)));
+                    shared.counter(
+                        "sea_serve_degraded_total",
+                        "Deadline-stopped solves accepted at the degraded tolerance.",
+                        vec![],
+                        1.0,
+                    );
+                } else {
+                    deadline_hit = true;
+                }
+            }
+            Err(SeaError::WorkerPanic { .. }) => {
+                // The solver's own supervisor contained an equilibration
+                // worker panic; surface it on the same metric as
+                // serve-level containment.
+                solver_panic = true;
+                shared.count_panic(1.0);
+            }
+            _ => {}
+        }
+        body.push_str(&result_line_with(&report, &extras));
         body.push('\n');
     }
     // A deadline miss is the one stop the client cannot see from a 200
     // alone, so it gets the gateway-timeout status; the body still carries
-    // the partial result lines with their stop reasons.
-    let status = if deadline_hit { 504 } else { 200 };
+    // the partial result lines with their stop reasons. A panic anywhere
+    // in the job outranks it.
+    let status = if solver_panic {
+        500
+    } else if deadline_hit {
+        504
+    } else {
+        200
+    };
     (status, body)
 }
 
-fn solve_with_cache(inst: &BatchInstance, job: &Job, shared: &Arc<Shared>) -> BatchItemReport {
+fn solve_with_cache(
+    inst: &BatchInstance,
+    job: &Job,
+    shared: &Arc<Shared>,
+    faults: &[ServiceFault],
+) -> BatchItemReport {
     let cfg = &shared.cfg;
     let mut opts = BatchOptions {
         epsilon: job.epsilon.unwrap_or(cfg.epsilon),
@@ -603,6 +1121,28 @@ fn solve_with_cache(inst: &BatchInstance, job: &Job, shared: &Arc<Shared>) -> Ba
     if let Some(total) = job.deadline {
         opts.supervisor.budget.deadline = Some(total.saturating_sub(job.admitted.elapsed()));
     }
+    if faults.contains(&ServiceFault::Nan) {
+        // Scripted solver fault (the PR 3 idiom): NaN multiplier at
+        // iteration 1; the breakdown watchdog must contain it.
+        opts.supervisor.faults = FaultPlan::new().at(1, FaultKind::NanLambda { index: 0 });
+    }
+    if faults.contains(&ServiceFault::CacheCorrupt) {
+        // Scripted cache corruption: poison the family's warm seed
+        // before the snapshot below reads it.
+        if let Some(family) = &inst.family {
+            let mut cache = lock(&shared.cache);
+            if let Some(entry) = cache.lookup(family) {
+                let poisoned = CacheEntry {
+                    mu: vec![f64::NAN; entry.mu.len()],
+                    cold_kernel_work: entry.cold_kernel_work,
+                };
+                cache.apply([CacheUpdate {
+                    family: family.clone(),
+                    entry: poisoned,
+                }]);
+            }
+        }
+    }
 
     // Snapshot the family's entry so the solve itself runs without
     // holding the cache lock.
@@ -617,13 +1157,20 @@ fn solve_with_cache(inst: &BatchInstance, job: &Job, shared: &Arc<Shared>) -> Ba
         }
     }
 
-    let mut events = VecObserver::new();
+    let mut events = CappedObserver::default();
     let (report, update) = solve_instance(inst, &opts, &local, &mut events);
 
     {
         let mut cache = lock(&shared.cache);
         if let Some(family) = &inst.family {
-            cache.touch(family);
+            if matches!(report.warm_start, WarmStart::Hit) && is_poison(&report) {
+                // A warm seed that just broke a solve is dropped so the
+                // next attempt runs cold instead of re-tripping the
+                // watchdog from the same poisoned μ forever.
+                cache.remove(family);
+            } else {
+                cache.touch(family);
+            }
         }
         cache.apply(update);
     }
@@ -631,6 +1178,14 @@ fn solve_with_cache(inst: &BatchInstance, job: &Job, shared: &Arc<Shared>) -> Ba
         let mut m = lock(&shared.metrics);
         for e in &events.events {
             m.solver.record(e);
+        }
+        if events.dropped > 0 {
+            m.server.counter_add(
+                "sea_serve_solver_events_dropped_total",
+                "Per-iteration solver events past the per-solve replay cap.",
+                vec![],
+                events.dropped as f64,
+            );
         }
         m.server.counter_add(
             "sea_serve_warm_total",
@@ -640,4 +1195,53 @@ fn solve_with_cache(inst: &BatchInstance, job: &Job, shared: &Arc<Shared>) -> Ba
         );
     }
     report
+}
+
+/// Per-solve chatty-event budget for [`CappedObserver`]. A converging
+/// solve emits a few per-iteration events per iteration and stays far
+/// below this; only pathological drills (deadline-capped `epsilon: -1`
+/// solves run hundreds of thousands of iterations) hit it.
+const CHATTY_EVENT_CAP: usize = 4096;
+
+/// A [`VecObserver`](sea_observe::VecObserver) with a ceiling on
+/// per-iteration chatter.
+///
+/// The worker buffers solver events during the solve and replays them
+/// into the metrics registry afterwards (so the solve never holds the
+/// metrics lock). Unbounded, that replay is O(iterations): a solve that
+/// legitimately stops at its deadline after ~500k iterations would then
+/// hold its worker for several more *seconds* grinding the lock — a
+/// deadline overshoot that starves the queue exactly when the service is
+/// overloaded. Boundary events (start/end/stop/fallbacks) always land;
+/// per-iteration chatter past the cap is counted and dropped.
+#[derive(Default)]
+struct CappedObserver {
+    events: Vec<Event>,
+    chatty: usize,
+    dropped: u64,
+}
+
+impl Observer for CappedObserver {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, event: &Event) {
+        let chatty = matches!(
+            event,
+            Event::ConvergenceCheck { .. }
+                | Event::PhaseStart { .. }
+                | Event::PhaseEnd { .. }
+                | Event::MultiplierBound { .. }
+                | Event::OuterIteration { .. }
+        );
+        if chatty {
+            self.chatty += 1;
+            if self.chatty > CHATTY_EVENT_CAP {
+                self.dropped += 1;
+                return;
+            }
+        }
+        self.events.push(event.clone());
+    }
 }
