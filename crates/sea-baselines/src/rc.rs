@@ -197,6 +197,8 @@ fn half_step(
             shift,
             side: if transposed { "column" } else { "row" },
             kernel: opts.kernel,
+            simd: sea_core::SimdLevel::Scalar,
+            f32_phase: false,
             fault: None,
         };
         let costs = opts.record_trace.then_some(&mut buf.costs);

@@ -20,10 +20,11 @@ use std::time::{Duration, Instant};
 
 use rayon::prelude::*;
 use sea_core::{
-    solve_bounded_supervised_warm, solve_diagonal_supervised, solve_general_supervised,
-    BoundedProblem, DiagonalProblem, Event, GeneralProblem, GeneralSeaOptions, KernelCounters,
-    KernelKind, Observer, Parallelism, SeaError, SeaOptions, SpanKind, StopReason,
-    SupervisedBoundedSolution, SupervisedGeneralSolution, SupervisedSolution, SupervisorOptions,
+    solve_bounded_supervised_configured, solve_diagonal_supervised, solve_general_supervised,
+    BoundedOptions, BoundedProblem, DiagonalProblem, Event, GeneralProblem, GeneralSeaOptions,
+    KernelCounters, KernelKind, Observer, Parallelism, Precision, SeaError, SeaOptions, SimdMode,
+    SpanKind, StopReason, SupervisedBoundedSolution, SupervisedGeneralSolution, SupervisedSolution,
+    SupervisorOptions,
 };
 use sea_linalg::CsrMatrix;
 
@@ -107,6 +108,10 @@ pub struct BatchOptions {
     pub max_iterations: usize,
     /// Equilibration kernel for every solve.
     pub kernel: KernelKind,
+    /// SIMD policy for every solve's kernels.
+    pub simd: SimdMode,
+    /// Kernel arithmetic precision for every solve.
+    pub precision: Precision,
     /// Thread-budget policy (see [`BatchParallelism`]).
     pub parallelism: BatchParallelism,
     /// Enable the per-family warm-start cache. Off, every instance is a
@@ -130,6 +135,8 @@ impl Default for BatchOptions {
             epsilon: defaults.epsilon,
             max_iterations: defaults.max_iterations,
             kernel: KernelKind::SortScan,
+            simd: SimdMode::Off,
+            precision: Precision::F64,
             parallelism: BatchParallelism::Serial,
             warm_start: true,
             measure_kernel_work: true,
@@ -680,6 +687,8 @@ fn solve_one(
             let mut o = SeaOptions::with_epsilon(opts.epsilon);
             o.max_iterations = opts.max_iterations;
             o.kernel = opts.kernel;
+            o.simd = opts.simd;
+            o.precision = opts.precision;
             o.parallelism = inner;
             if hit {
                 o.initial_mu = Some(mem::take(&mut slot.mu_seed));
@@ -694,6 +703,8 @@ fn solve_one(
             let mut o = SeaOptions::with_epsilon(opts.epsilon);
             o.max_iterations = opts.max_iterations;
             o.kernel = opts.kernel;
+            o.simd = opts.simd;
+            o.precision = opts.precision;
             o.parallelism = inner;
             if hit {
                 o.initial_mu = Some(mem::take(&mut slot.mu_seed));
@@ -706,11 +717,16 @@ fn solve_one(
         }
         BatchProblem::Bounded(p) => {
             let seed = hit.then_some(slot.mu_seed.as_slice());
-            solve_bounded_supervised_warm(
+            let bcfg = BoundedOptions {
+                kernel: opts.kernel,
+                simd: opts.simd,
+                precision: opts.precision,
+            };
+            solve_bounded_supervised_configured(
                 p,
                 opts.epsilon,
                 opts.max_iterations,
-                opts.kernel,
+                &bcfg,
                 seed,
                 &opts.supervisor,
                 &mut probe,
@@ -721,6 +737,8 @@ fn solve_one(
             let mut o = GeneralSeaOptions::with_epsilon(opts.epsilon);
             o.inner.max_iterations = opts.max_iterations;
             o.inner.kernel = opts.kernel;
+            o.inner.simd = opts.simd;
+            o.inner.precision = opts.precision;
             o.inner.parallelism = inner;
             if hit {
                 o.inner.initial_mu = Some(mem::take(&mut slot.mu_seed));

@@ -143,9 +143,9 @@ fn bench_scale(seed: u64) -> JsonValue {
         "rows: {cert:?}"
     );
     assert!(cert.min_entry >= -1e-9, "negativity: {cert:?}");
-    let objective = p.objective(&sol.solution.x, &sol.solution.s, &sol.solution.d);
+    let objective = cert.objective;
     assert!(
-        cert.duality_gap.abs() <= 1e-6 * objective.abs().max(1.0),
+        cert.is_optimal_with(1e-6, sea_core::verify::GapCheck::RelativeToObjective),
         "relative duality gap: {} vs objective {objective}",
         cert.duality_gap
     );

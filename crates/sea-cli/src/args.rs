@@ -22,6 +22,12 @@ pub struct CommonOpts {
     pub storage: String,
     /// Equilibration kernel name: `sortscan` or `quickselect`.
     pub kernel: String,
+    /// SIMD policy: `auto` (runtime dispatch, the default), `off`
+    /// (scalar oracle), or `force` (require AVX2, else exit 22).
+    pub simd: String,
+    /// Arithmetic precision: `f64` (default), `f32`, or `f32-mixed`
+    /// (f32 iterates with a final f64 polish epoch).
+    pub precision: String,
     /// Write a JSONL solve log (one event per line) to this file.
     pub observe: Option<PathBuf>,
     /// Write Prometheus text-exposition metrics to this file.
@@ -56,6 +62,10 @@ pub struct BatchOpts {
     pub epsilon: f64,
     /// Equilibration kernel name: `sortscan` or `quickselect`.
     pub kernel: String,
+    /// SIMD policy: `auto`, `off`, or `force`.
+    pub simd: String,
+    /// Arithmetic precision: `f64`, `f32`, or `f32-mixed`.
+    pub precision: String,
     /// Hard iteration cap override (default: the engine's built-in cap).
     pub max_iterations: Option<usize>,
     /// Thread-budget policy: instance-level vs in-solve parallelism.
@@ -200,6 +210,20 @@ fn common_from(flags: &mut HashMap<String, String>) -> Result<CommonOpts, ParseE
             "unknown --kernel {kernel:?} (expected sortscan or quickselect)"
         ));
     }
+    let simd = flags.remove("simd").unwrap_or_else(|| "auto".to_string());
+    if sea_core::SimdMode::parse(&simd).is_none() {
+        return Err(format!(
+            "unknown --simd {simd:?} (expected auto, off, or force)"
+        ));
+    }
+    let precision = flags
+        .remove("precision")
+        .unwrap_or_else(|| "f64".to_string());
+    if sea_core::Precision::parse(&precision).is_none() {
+        return Err(format!(
+            "unknown --precision {precision:?} (expected f64, f32, or f32-mixed)"
+        ));
+    }
     let storage = flags
         .remove("storage")
         .unwrap_or_else(|| "dense".to_string());
@@ -257,6 +281,8 @@ fn common_from(flags: &mut HashMap<String, String>) -> Result<CommonOpts, ParseE
         structural_zeros,
         storage,
         kernel,
+        simd,
+        precision,
         observe,
         metrics,
         trace,
@@ -285,6 +311,20 @@ fn batch_opts_from(flags: &mut HashMap<String, String>) -> Result<BatchOpts, Par
     if !["sortscan", "quickselect"].contains(&kernel.as_str()) {
         return Err(format!(
             "unknown --kernel {kernel:?} (expected sortscan or quickselect)"
+        ));
+    }
+    let simd = flags.remove("simd").unwrap_or_else(|| "auto".to_string());
+    if sea_core::SimdMode::parse(&simd).is_none() {
+        return Err(format!(
+            "unknown --simd {simd:?} (expected auto, off, or force)"
+        ));
+    }
+    let precision = flags
+        .remove("precision")
+        .unwrap_or_else(|| "f64".to_string());
+    if sea_core::Precision::parse(&precision).is_none() {
+        return Err(format!(
+            "unknown --precision {precision:?} (expected f64, f32, or f32-mixed)"
         ));
     }
     let max_iterations = match flags.remove("max-iterations") {
@@ -327,6 +367,8 @@ fn batch_opts_from(flags: &mut HashMap<String, String>) -> Result<BatchOpts, Par
         out,
         epsilon,
         kernel,
+        simd,
+        precision,
         max_iterations,
         parallel,
         warm_start,
@@ -477,6 +519,19 @@ OPTIONS (solver subcommands):
                              --zeros structural only nonzero cells are
                              stored; results match the dense path bitwise
                              on the shared support
+  --simd auto|off|force      SIMD policy for the equilibration kernels
+                             (default auto: runtime CPU dispatch, bitwise
+                             identical to the scalar oracle; off runs the
+                             scalar oracle; force requires AVX2 and exits
+                             22 when the CPU lacks it); also accepted by
+                             `batch`
+  --precision f64|f32|f32-mixed
+                             kernel arithmetic (default f64). f32-mixed
+                             iterates in f32 with f64 accumulation and
+                             finishes with an f64 polish epoch that must
+                             pass the f64 KKT certificate; f32 is a
+                             diagnostic mode without the polish. Also
+                             accepted by `batch`
   --out <file>               write the estimate as CSV (default stdout)
 
 OBSERVABILITY (quadratic solver subcommands):
@@ -541,6 +596,7 @@ EXIT CODES:
   16  infeasible subproblem      17  numerical breakdown
   18  linear-algebra error       19  inconsistent bounds
   20  worker panic (contained)   21  sparse pattern mismatch
+  22  SIMD forced but CPU lacks AVX2
 
 `report` summarizes a JSONL log recorded with --observe: per-phase wall
 time, serial fraction, and iterations to convergence; with --processors N
@@ -774,6 +830,46 @@ mod tests {
             "elastic --matrix m.csv --row-totals s --col-totals d --total-weight -2"
         ))
         .is_err());
+        assert!(parse_args(&argv(
+            "fixed --matrix m.csv --row-totals s --col-totals d --simd sometimes"
+        ))
+        .is_err());
+        assert!(parse_args(&argv(
+            "fixed --matrix m.csv --row-totals s --col-totals d --precision f16"
+        ))
+        .is_err());
+        assert!(parse_args(&argv("batch jobs.jsonl --simd sometimes")).is_err());
+        assert!(parse_args(&argv("batch jobs.jsonl --precision f16")).is_err());
+    }
+
+    #[test]
+    fn parses_simd_and_precision_flags() {
+        // Defaults: runtime dispatch, full precision.
+        match parse_args(&argv("fixed --matrix m.csv --row-totals s --col-totals d")).unwrap() {
+            Command::Fixed { common, .. } => {
+                assert_eq!(common.simd, "auto");
+                assert_eq!(common.precision, "f64");
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse_args(&argv(
+            "fixed --matrix m.csv --row-totals s --col-totals d --simd force --precision f32-mixed",
+        ))
+        .unwrap()
+        {
+            Command::Fixed { common, .. } => {
+                assert_eq!(common.simd, "force");
+                assert_eq!(common.precision, "f32-mixed");
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse_args(&argv("batch jobs.jsonl --simd off --precision f32")).unwrap() {
+            Command::Batch { opts, .. } => {
+                assert_eq!(opts.simd, "off");
+                assert_eq!(opts.precision, "f32");
+            }
+            other => panic!("wrong command {other:?}"),
+        }
     }
 
     #[test]

@@ -96,6 +96,7 @@ pub fn error_exit_code(e: &SeaError) -> i32 {
         SeaError::InconsistentBounds { .. } => 19,
         SeaError::WorkerPanic { .. } => 20,
         SeaError::PatternMismatch { .. } => 21,
+        SeaError::SimdUnsupported => 22,
     }
 }
 
@@ -162,6 +163,7 @@ mod tests {
                 message: String::new(),
             },
             SeaError::PatternMismatch { context: "t" },
+            SeaError::SimdUnsupported,
         ]
     }
 

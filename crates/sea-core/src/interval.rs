@@ -8,12 +8,14 @@
 //! breakpoint sweep ([`crate::knapsack::exact_equilibration_boxed`]).
 
 use crate::error::SeaError;
-use crate::knapsack::{
-    exact_equilibration_boxed_with, EquilibrationScratch, KernelKind, TotalMode,
+use crate::kernel_simd::{
+    exact_equilibration_boxed_f32, exact_equilibration_boxed_simd, Precision, SimdMode,
 };
+use crate::knapsack::{EquilibrationResult, EquilibrationScratch, KernelKind, TotalMode};
 use crate::problem::Residuals;
 use crate::storage::{RowView, Storage};
 use crate::supervisor::{SolveControl, StopReason, SupervisedBoundedSolution, SupervisorOptions};
+use sea_linalg::simd::{self, SimdLevel};
 use sea_linalg::{vector, DenseMatrix};
 use sea_observe::{
     Event, KernelCounters, NullObserver, Observer, PhaseLabel, SpanKind, TelemetrySample,
@@ -216,6 +218,32 @@ pub struct BoundedSolution<S: Storage = DenseMatrix> {
     pub elapsed: Duration,
 }
 
+/// Kernel configuration for the bounded driver: which λ-search kernel,
+/// which SIMD policy, and which arithmetic precision. The default
+/// (`SortScan`, `SimdMode::Off`, `Precision::F64`) is exactly the scalar
+/// oracle the legacy entry points run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundedOptions {
+    /// Which equilibration kernel solves the row/column subproblems.
+    pub kernel: KernelKind,
+    /// SIMD policy, resolved once per solve against the running CPU.
+    pub simd: SimdMode,
+    /// Arithmetic precision of the iterates (same phase semantics as
+    /// [`crate::SeaOptions::precision`]: `F32Mixed` polishes in f64 before
+    /// convergence may be declared).
+    pub precision: Precision,
+}
+
+impl Default for BoundedOptions {
+    fn default() -> Self {
+        Self {
+            kernel: KernelKind::SortScan,
+            simd: SimdMode::Off,
+            precision: Precision::F64,
+        }
+    }
+}
+
 /// Solve a bounded problem by SEA with box-bounded exact equilibration.
 ///
 /// # Errors
@@ -227,6 +255,61 @@ pub fn solve_bounded<S: Storage>(
     max_iterations: usize,
 ) -> Result<BoundedSolution<S>, SeaError> {
     solve_bounded_with(p, epsilon, max_iterations, KernelKind::SortScan)
+}
+
+/// [`solve_bounded`] with a full kernel configuration (kernel choice, SIMD
+/// policy, and precision).
+///
+/// # Errors
+/// Same contract as [`solve_bounded`], plus [`SeaError::SimdUnsupported`]
+/// when `opts.simd` is [`SimdMode::Force`] on a CPU without AVX2.
+pub fn solve_bounded_configured<S: Storage>(
+    p: &BoundedProblem<S>,
+    epsilon: f64,
+    max_iterations: usize,
+    opts: &BoundedOptions,
+) -> Result<BoundedSolution<S>, SeaError> {
+    solve_bounded_inner_warm(
+        p,
+        epsilon,
+        max_iterations,
+        *opts,
+        None,
+        &mut NullObserver,
+        &mut SolveControl::passive(),
+    )
+}
+
+/// [`solve_bounded_supervised_warm`] with a full kernel configuration.
+///
+/// # Errors
+/// Same contract as [`solve_bounded_supervised_warm`], plus
+/// [`SeaError::SimdUnsupported`] when SIMD is forced without AVX2 support.
+pub fn solve_bounded_supervised_configured<S: Storage, O: Observer>(
+    p: &BoundedProblem<S>,
+    epsilon: f64,
+    max_iterations: usize,
+    opts: &BoundedOptions,
+    initial_mu: Option<&[f64]>,
+    sup: &SupervisorOptions,
+    obs: &mut O,
+) -> Result<SupervisedBoundedSolution<S>, SeaError> {
+    let mut ctrl = SolveControl::active(sup);
+    let solution = solve_bounded_inner_warm(
+        p,
+        epsilon,
+        max_iterations,
+        *opts,
+        initial_mu,
+        obs,
+        &mut ctrl,
+    )?;
+    let stop = if solution.converged {
+        StopReason::Converged
+    } else {
+        ctrl.stop().unwrap_or(StopReason::IterationCap)
+    };
+    Ok(SupervisedBoundedSolution { solution, stop })
 }
 
 /// [`solve_bounded`] with an explicit equilibration kernel choice.
@@ -310,7 +393,10 @@ pub fn solve_bounded_supervised_warm<S: Storage, O: Observer>(
         p,
         epsilon,
         max_iterations,
-        kernel,
+        BoundedOptions {
+            kernel,
+            ..BoundedOptions::default()
+        },
         initial_mu,
         obs,
         &mut ctrl,
@@ -323,12 +409,44 @@ pub fn solve_bounded_supervised_warm<S: Storage, O: Observer>(
     Ok(SupervisedBoundedSolution { solution, stop })
 }
 
+/// Run the configured boxed kernel on one subproblem's gathered slices:
+/// f32 λ-search first during the mixed-precision phase (falling back to
+/// the f64 kernel when it cannot produce a usable multiplier), the
+/// SIMD-dispatched f64 kernel otherwise.
+#[allow(clippy::too_many_arguments)] // kernel inputs + output + workspace
+fn boxed_kernel(
+    kernel: KernelKind,
+    level: SimdLevel,
+    f32_phase: bool,
+    q: &[f64],
+    g: &[f64],
+    sh: &[f64],
+    l: &[f64],
+    h: &[f64],
+    mode: TotalMode,
+    x_row: &mut [f64],
+    scratch: &mut EquilibrationScratch,
+) -> Result<EquilibrationResult, SeaError> {
+    // As in the plain dispatcher: the f32 stand-in is a sort-scan, so it
+    // only pays off under the sort-scan kernel; quickselect solves route
+    // straight to the f64 kernel.
+    if f32_phase && kernel == KernelKind::SortScan {
+        if let Some(r) = exact_equilibration_boxed_f32(level, q, g, sh, l, h, mode, x_row, scratch)?
+        {
+            return Ok(r);
+        }
+    }
+    exact_equilibration_boxed_simd(level, kernel, q, g, sh, l, h, mode, x_row, scratch)
+}
+
 /// Solve one box-bounded subproblem in row orientation: dense rows go to
 /// the kernel whole; a sparse row's stored support *is* the subproblem, with
 /// only the shift vector gathered into `sh_buf`.
 #[allow(clippy::too_many_arguments)] // one quadruple + one scalar per kernel input
 fn boxed_task<S: Storage>(
     kernel: KernelKind,
+    level: SimdLevel,
+    f32_phase: bool,
     (prior, gamma, lo, hi): (&S, &S, &S, &S),
     shift: &[f64],
     side: &'static str,
@@ -346,8 +464,10 @@ fn boxed_task<S: Storage>(
         hi.row_view(i),
     ) {
         (RowView::Dense(q), RowView::Dense(g), RowView::Dense(l), RowView::Dense(h)) => {
-            let r = exact_equilibration_boxed_with(
+            let r = boxed_kernel(
                 kernel,
+                level,
+                f32_phase,
                 q,
                 g,
                 shift,
@@ -375,9 +495,12 @@ fn boxed_task<S: Storage>(
                 return Ok(0.0);
             }
             sh_buf.clear();
-            sh_buf.extend(idx.iter().map(|&j| shift[j as usize]));
-            let r = exact_equilibration_boxed_with(
+            sh_buf.resize(idx.len(), 0.0);
+            simd::gather(level, shift, idx, sh_buf);
+            let r = boxed_kernel(
                 kernel,
+                level,
+                f32_phase,
                 q,
                 g,
                 sh_buf,
@@ -403,18 +526,37 @@ fn solve_bounded_inner<S: Storage, O: Observer>(
     obs: &mut O,
     ctrl: &mut SolveControl<'_>,
 ) -> Result<BoundedSolution<S>, SeaError> {
-    solve_bounded_inner_warm(p, epsilon, max_iterations, kernel, None, obs, ctrl)
+    solve_bounded_inner_warm(
+        p,
+        epsilon,
+        max_iterations,
+        BoundedOptions {
+            kernel,
+            ..BoundedOptions::default()
+        },
+        None,
+        obs,
+        ctrl,
+    )
 }
 
 fn solve_bounded_inner_warm<S: Storage, O: Observer>(
     p: &BoundedProblem<S>,
     epsilon: f64,
     max_iterations: usize,
-    kernel: KernelKind,
+    cfg: BoundedOptions,
     initial_mu: Option<&[f64]>,
     obs: &mut O,
     ctrl: &mut SolveControl<'_>,
 ) -> Result<BoundedSolution<S>, SeaError> {
+    let kernel = cfg.kernel;
+    let simd_level = cfg.simd.resolve()?;
+    // Mixed-precision phase control, mirroring the diagonal driver: the
+    // f32 phase hands over to a full-f64 polish epoch on reaching ε or on
+    // stagnation, and only the polish may declare convergence.
+    let mut f32_phase = cfg.precision != Precision::F64;
+    let mut prev_rel = f64::INFINITY;
+    let mut stagnant_checks = 0u32;
     let start = Instant::now();
     let (m, n) = (p.m(), p.n());
     let x0_t = p.x0.transposed()?;
@@ -482,6 +624,8 @@ fn solve_bounded_inner_warm<S: Storage, O: Observer>(
         for i in 0..m {
             lambda[i] = boxed_task(
                 kernel,
+                simd_level,
+                f32_phase,
                 (&p.x0, &p.gamma, &p.lo, &p.hi),
                 &mu,
                 "row",
@@ -513,6 +657,8 @@ fn solve_bounded_inner_warm<S: Storage, O: Observer>(
         for j in 0..n {
             mu[j] = boxed_task(
                 kernel,
+                simd_level,
+                f32_phase,
                 (&x0_t, &gamma_t, &lo_t, &hi_t),
                 &lambda,
                 "column",
@@ -574,10 +720,27 @@ fn solve_bounded_inner_warm<S: Storage, O: Observer>(
                 active_set,
             });
         }
+        let f32_iterating = f32_phase && cfg.precision == Precision::F32Mixed;
         if rel <= epsilon {
-            converged = true;
-            break;
+            if f32_iterating {
+                // Hand over to the f64 polish epoch; convergence may only
+                // be declared from full-precision iterates.
+                f32_phase = false;
+            } else {
+                converged = true;
+                break;
+            }
+        } else if f32_iterating {
+            if rel > prev_rel * 0.99 {
+                stagnant_checks += 1;
+                if stagnant_checks >= 3 {
+                    f32_phase = false;
+                }
+            } else {
+                stagnant_checks = 0;
+            }
         }
+        prev_rel = rel;
 
         // ---- Supervisor hooks (per iteration). ---------------------------
         if ctrl.is_active() {

@@ -117,10 +117,10 @@ pub struct EquilibrationResult {
 /// One breakpoint event for the selection kernel: crossing `v` changes the
 /// active-set linear form `f(λ) = A + B·λ` by `(da, db)`.
 #[derive(Debug, Default, Clone, Copy)]
-struct SelectEvent {
-    v: f64,
-    da: f64,
-    db: f64,
+pub(crate) struct SelectEvent {
+    pub(crate) v: f64,
+    pub(crate) da: f64,
+    pub(crate) db: f64,
 }
 
 /// Reusable workspace so the hot loop performs no allocation (workhorse
@@ -129,12 +129,15 @@ struct SelectEvent {
 /// allocation-free regardless of kernel.
 #[derive(Debug, Default, Clone)]
 pub struct EquilibrationScratch {
-    breakpoints: Vec<f64>,
-    order: Vec<u32>,
+    pub(crate) breakpoints: Vec<f64>,
+    pub(crate) order: Vec<u32>,
     /// Second event array for the boxed variant.
-    events_hi: Vec<f64>,
+    pub(crate) events_hi: Vec<f64>,
     /// Breakpoint events for the quickselect kernel (plain and boxed).
-    events: Vec<SelectEvent>,
+    pub(crate) events: Vec<SelectEvent>,
+    /// Extra coefficient buffers used only by the vectorized kernels in
+    /// [`crate::kernel_simd`]; empty (and allocation-free) on scalar paths.
+    pub(crate) simd: crate::kernel_simd::SimdScratch,
     /// Cumulative work counters across every solve that used this scratch
     /// (subproblems, breakpoint segments swept, quickselect partition
     /// rounds, boxed-bound clamps). Maintained unconditionally — a handful
@@ -149,7 +152,7 @@ impl EquilibrationScratch {
         Self::default()
     }
 
-    fn prepare(&mut self, n: usize) {
+    pub(crate) fn prepare(&mut self, n: usize) {
         self.breakpoints.clear();
         self.breakpoints.reserve(n);
         self.order.clear();
@@ -180,7 +183,12 @@ pub fn operation_count_for(kernel: KernelKind, n: usize) -> f64 {
 }
 
 #[inline]
-fn validate_inputs(q: &[f64], gamma: &[f64], shift: &[f64], x_out: &[f64]) -> Result<(), SeaError> {
+pub(crate) fn validate_inputs(
+    q: &[f64],
+    gamma: &[f64],
+    shift: &[f64],
+    x_out: &[f64],
+) -> Result<(), SeaError> {
     let n = q.len();
     if gamma.len() != n {
         return Err(SeaError::Shape {
@@ -363,7 +371,7 @@ pub fn exact_equilibration_with(
 /// Slope/intercept of the elastic total response `S(λ) = el_const − λ·el_slope`
 /// (fixed mode degenerates to `(0, 0)` and is special-cased by callers).
 #[inline]
-fn elastic_constants(mode: TotalMode) -> (f64, f64) {
+pub(crate) fn elastic_constants(mode: TotalMode) -> (f64, f64) {
     match mode {
         TotalMode::Fixed { .. } => (0.0, 0.0),
         TotalMode::Elastic {
@@ -378,7 +386,7 @@ fn elastic_constants(mode: TotalMode) -> (f64, f64) {
 /// breakpoints, then sweep segments left to right accumulating the active
 /// linear form. Returns NaN when no segment accepts (numerical breakdown;
 /// the caller reports it).
-fn plain_lambda_sort_scan(
+pub(crate) fn plain_lambda_sort_scan(
     q: &[f64],
     gamma: &[f64],
     shift: &[f64],
@@ -478,7 +486,7 @@ fn plain_lambda_quickselect(
 
 /// How a flat (zero-slope) terminal segment is resolved in fixed mode.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum FlatPolicy {
+pub(crate) enum FlatPolicy {
     /// Plain kernel: zero slope only happens left of every breakpoint,
     /// where all entries clamp to zero — a solution iff `total ≤ 0`; report
     /// the segment's upper boundary, matching the sort-scan sweep.
@@ -515,7 +523,7 @@ fn median3(a: f64, b: f64, c: f64) -> f64 {
 ///
 /// Returns `None` when fixed mode finds no consistent segment (the caller
 /// picks its fallback).
-fn select_lambda(
+pub(crate) fn select_lambda(
     events: &mut [SelectEvent],
     base_a: f64,
     mode: TotalMode,

@@ -14,6 +14,10 @@
 //!   inverse-sqrt.
 //! * [`knapsack`] — the exact-equilibration kernel (closed-form
 //!   single-constraint QP via breakpoint sort), plus a box-bounded variant.
+//! * [`kernel_simd`] — vectorized (runtime-dispatched SIMD) and
+//!   mixed-precision variants of the kernels, bitwise-identical to the
+//!   scalar oracle by construction (elementwise SIMD, scalar-order
+//!   reductions).
 //! * [`equilibrate`] — row/column equilibration passes (serial and
 //!   parallel) that fan the kernel out over a matrix.
 //! * [`solver`] — [`solve_diagonal`]: the diagonal SEA driver (§3.1).
@@ -76,6 +80,7 @@ pub mod equilibrate;
 pub mod error;
 pub mod general;
 pub mod interval;
+pub mod kernel_simd;
 pub mod knapsack;
 pub mod observe;
 pub mod parallel;
@@ -96,8 +101,13 @@ pub use general::{
     GeneralTotalSpec,
 };
 pub use interval::{
-    solve_bounded, solve_bounded_observed, solve_bounded_supervised, solve_bounded_supervised_warm,
-    solve_bounded_with, BoundedProblem,
+    solve_bounded, solve_bounded_configured, solve_bounded_observed, solve_bounded_supervised,
+    solve_bounded_supervised_configured, solve_bounded_supervised_warm, solve_bounded_with,
+    BoundedOptions, BoundedProblem,
+};
+pub use kernel_simd::{
+    exact_equilibration_boxed_f32, exact_equilibration_boxed_simd, exact_equilibration_f32,
+    exact_equilibration_simd, Precision, SimdMode,
 };
 pub use knapsack::{
     exact_equilibration, exact_equilibration_with, EquilibrationResult, EquilibrationScratch,
@@ -106,6 +116,7 @@ pub use knapsack::{
 pub use observe::trace_from_events;
 pub use parallel::Parallelism;
 pub use problem::{DiagonalProblem, Residuals, TotalSpec, ZeroPolicy};
+pub use sea_linalg::simd::SimdLevel;
 pub use solver::{
     solve_diagonal, solve_diagonal_observed, solve_diagonal_supervised, ConvergenceCriterion,
     IterationSnapshot, SeaOptions, Solution, SolveStats,
@@ -117,7 +128,7 @@ pub use supervisor::{
     SupervisorOptions,
 };
 pub use trace::{ExecutionTrace, Phase, PhaseKind};
-pub use verify::{verify_solution, KktReport};
+pub use verify::{verify_solution, GapCheck, KktReport};
 pub use weights::WeightScheme;
 
 // Re-export the event vocabulary so downstream crates don't need a direct

@@ -22,6 +22,7 @@ use crate::equilibrate::{
     equilibration_pass, PassCounters, PassInputs, ShardSink, DEFAULT_BLOCK_ROWS,
 };
 use crate::error::SeaError;
+use crate::kernel_simd::{Precision, SimdMode};
 use crate::knapsack::{KernelKind, TotalMode};
 use crate::parallel::Parallelism;
 use crate::problem::{DiagonalProblem, Residuals, TotalSpec};
@@ -89,6 +90,15 @@ pub struct SeaOptions {
     /// the sort-based reference or the expected-linear selection kernel
     /// (identical solutions; see [`crate::knapsack::KernelKind`]).
     pub kernel: KernelKind,
+    /// SIMD policy for the equilibration kernels, resolved once per solve
+    /// against the running CPU. [`SimdMode::Off`] (the default) runs the
+    /// scalar oracle; the vectorized paths are bitwise-identical to it.
+    pub simd: SimdMode,
+    /// Arithmetic precision of the equilibration iterates.
+    /// [`Precision::F32Mixed`] runs the λ-search in `f32` until the
+    /// residual reaches `ε` or stagnates, then switches every pass to a
+    /// full-`f64` polish epoch; convergence is only declared from polish.
+    pub precision: Precision,
     /// Record an [`ExecutionTrace`] for the scheduling simulator.
     pub record_trace: bool,
     /// Enable the paper's Modified Algorithm with this bound `R`: when some
@@ -121,6 +131,8 @@ impl Default for SeaOptions {
             check_every: 1,
             parallelism: Parallelism::Serial,
             kernel: KernelKind::SortScan,
+            simd: SimdMode::Off,
+            precision: Precision::F64,
             record_trace: false,
             multiplier_bound: None,
             initial_mu: None,
@@ -312,6 +324,18 @@ fn solve_diagonal_inner<S: Storage, O: Observer>(
     let (m, n) = (p.m(), p.n());
     let check_every = opts.check_every.max(1);
     let criterion = opts.effective_criterion(p.totals());
+    // Resolve the SIMD policy once, before the hot loop: `Force` without
+    // AVX2 fails here, up front, instead of per subproblem.
+    let simd_level = opts.simd.resolve()?;
+    // Mixed-precision phase control. `f32_phase` drives the passes; for
+    // `F32Mixed` the convergence check flips it off (the f64 polish epoch)
+    // once the f32 residual reaches ε or stagnates, and convergence is only
+    // ever declared with the flag off. Pure `F32` never polishes — its
+    // residual is still measured on the f64-materialized iterates, so it
+    // stalls rather than lies on problems f32 cannot resolve.
+    let mut f32_phase = opts.precision != Precision::F64;
+    let mut prev_check_residual = f64::INFINITY;
+    let mut stagnant_checks = 0u32;
     let observing = obs.enabled();
     if observing {
         obs.record(&Event::SolveStart {
@@ -423,6 +447,8 @@ fn solve_diagonal_inner<S: Storage, O: Observer>(
                 shift: &mu,
                 side: "row",
                 kernel: opts.kernel,
+                simd: simd_level,
+                f32_phase,
                 fault: ctrl.task_fault(t, "row"),
             };
             if observing {
@@ -524,6 +550,8 @@ fn solve_diagonal_inner<S: Storage, O: Observer>(
                 shift: &lambda,
                 side: "column",
                 kernel: opts.kernel,
+                simd: simd_level,
+                f32_phase,
                 fault: ctrl.task_fault(t, "column"),
             };
             if observing {
@@ -744,10 +772,32 @@ fn solve_diagonal_inner<S: Storage, O: Observer>(
                     residual,
                 });
             }
+            let f32_iterating = f32_phase && opts.precision == Precision::F32Mixed;
             if residual <= opts.epsilon {
-                converged = true;
-                break;
+                if f32_iterating {
+                    // The f32 phase reached tolerance: enter the f64 polish
+                    // epoch instead of declaring convergence — the final
+                    // iterate (and its KKT certificate) must come from
+                    // full-precision passes.
+                    f32_phase = false;
+                } else {
+                    converged = true;
+                    break;
+                }
+            } else if f32_iterating {
+                // Stagnation hand-over: three consecutive checks improving
+                // the residual by less than 1% mean the f32 search has hit
+                // its precision floor; polish in f64 from here.
+                if residual > prev_check_residual * 0.99 {
+                    stagnant_checks += 1;
+                    if stagnant_checks >= 3 {
+                        f32_phase = false;
+                    }
+                } else {
+                    stagnant_checks = 0;
+                }
             }
+            prev_check_residual = residual;
             if ctrl.is_active() {
                 // This iterate passed the finite watchdog and was measured:
                 // it becomes the breakdown restore point.

@@ -29,24 +29,55 @@ pub struct KktReport {
     pub residuals: Residuals,
     /// `objective − ζ(λ,μ) ≥ 0`; approaches 0 at the optimum.
     pub duality_gap: f64,
+    /// Primal objective value at the verified point — the natural scale
+    /// for a relative duality-gap check on large problems.
+    pub objective: f64,
     /// Smallest entry (must be ≥ 0).
     pub min_entry: f64,
 }
 
+/// How [`KktReport::is_optimal_with`] scales the duality gap before
+/// comparing it with `tol`.
+///
+/// The stationarity and residual checks are always relative (to the
+/// gradient and total scales); only the gap check has two useful scales.
+/// On large-scale problems the objective grows with the problem, so an
+/// absolute gap bound that is meaningful at `m = n = 10` is unreachably
+/// tight at `m = n = 10⁴` — use [`GapCheck::RelativeToObjective`] there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GapCheck {
+    /// `|gap| ≤ tol · max(1, |gap|)` — an absolute bound with a unit
+    /// floor (the historical behavior of [`KktReport::is_optimal`]).
+    Absolute,
+    /// `|gap| ≤ tol · max(1, |objective|)` — the gap measured against
+    /// the objective's own magnitude.
+    RelativeToObjective,
+}
+
 impl KktReport {
     /// True when every check is within `tol` (scaled checks) — a compact
-    /// pass/fail for assertions.
+    /// pass/fail for assertions. The duality gap is checked absolutely
+    /// ([`GapCheck::Absolute`]); see [`Self::is_optimal_with`] for the
+    /// relative variant suited to large-scale objectives.
     pub fn is_optimal(&self, tol: f64) -> bool {
+        self.is_optimal_with(tol, GapCheck::Absolute)
+    }
+
+    /// [`Self::is_optimal`] with an explicit duality-gap scaling policy.
+    pub fn is_optimal_with(&self, tol: f64, gap: GapCheck) -> bool {
         self.max_stationarity <= tol
             && self.max_sign_violation <= tol
             && self.max_total_stationarity <= tol
             && self.residuals.rel_row_inf <= tol
             && self.min_entry >= -tol
-            && self.duality_gap.abs() <= tol * self.duality_gap_scale()
+            && self.duality_gap.abs() <= tol * self.duality_gap_scale(gap)
     }
 
-    fn duality_gap_scale(&self) -> f64 {
-        1.0_f64.max(self.duality_gap.abs())
+    fn duality_gap_scale(&self, gap: GapCheck) -> f64 {
+        match gap {
+            GapCheck::Absolute => 1.0_f64.max(self.duality_gap.abs()),
+            GapCheck::RelativeToObjective => 1.0_f64.max(self.objective.abs()),
+        }
     }
 }
 
@@ -166,6 +197,7 @@ pub fn verify_solution<S: Storage>(p: &DiagonalProblem<S>, sol: &Solution<S>) ->
         max_total_stationarity,
         residuals,
         duality_gap: objective - zeta,
+        objective,
         min_entry,
     }
 }
@@ -248,6 +280,84 @@ mod tests {
         let report = verify_solution(&p, &sol);
         assert!(!report.is_optimal(1e-6));
         assert!(report.residuals.row_inf > 0.1);
+    }
+
+    #[test]
+    fn gap_check_modes_disagree_on_large_objectives() {
+        // The PR-6 gotcha, pinned: a solve whose objective is ~1e9 can
+        // carry a duality gap that is absolutely large (handfuls of
+        // units) yet relatively at machine precision. The absolute mode
+        // must reject it; the relative mode must accept it.
+        let report = KktReport {
+            max_stationarity: 1e-10,
+            max_sign_violation: 0.0,
+            max_total_stationarity: 0.0,
+            residuals: Residuals {
+                row_inf: 1e-7,
+                col_inf: 1e-7,
+                rel_row_inf: 1e-10,
+                norm2: 1e-7,
+            },
+            duality_gap: 3.0,
+            objective: 1.5e9,
+            min_entry: 0.0,
+        };
+        assert!(!report.is_optimal(1e-6), "absolute must reject gap 3.0");
+        assert!(
+            !report.is_optimal_with(1e-6, GapCheck::Absolute),
+            "explicit absolute must match is_optimal"
+        );
+        assert!(
+            report.is_optimal_with(1e-6, GapCheck::RelativeToObjective),
+            "gap 3.0 against objective 1.5e9 is 2e-9 relative"
+        );
+
+        // And the relative mode is not a free pass: a relatively large
+        // gap still fails it.
+        let bad = KktReport {
+            duality_gap: 1.5e4,
+            ..report
+        };
+        assert!(!bad.is_optimal_with(1e-6, GapCheck::RelativeToObjective));
+    }
+
+    #[test]
+    fn large_scale_fixture_passes_the_relative_gap_check() {
+        // A solved fixture with entries ~1e6: both modes agree here
+        // (the gap converges to ~0 absolutely too), and the report's
+        // objective field matches the problem's own objective.
+        let m = 20;
+        let n = 30;
+        let mut x0 = DenseMatrix::zeros(m, n).unwrap();
+        let mut gamma = DenseMatrix::zeros(m, n).unwrap();
+        for i in 0..m {
+            for j in 0..n {
+                let v = 1e6 * (1.0 + ((i * n + j) % 17) as f64);
+                x0.set(i, j, v);
+                gamma.set(i, j, 1.0 / v); // chi-square weights
+            }
+        }
+        // Perturb the margins by ~3% so the solve does real work.
+        let s0: Vec<f64> = x0.row_sums().iter().map(|&s| s * 1.03).collect();
+        let mut d0 = x0.col_sums();
+        let excess: f64 = s0.iter().sum::<f64>() - d0.iter().sum::<f64>();
+        for d in &mut d0 {
+            *d += excess / n as f64;
+        }
+        let p = DiagonalProblem::new(x0, gamma, TotalSpec::Fixed { s0, d0 }).unwrap();
+        let sol = solve_diagonal(&p, &SeaOptions::with_epsilon(1e-12)).unwrap();
+        assert!(sol.stats.converged);
+        let report = verify_solution(&p, &sol);
+        assert_eq!(
+            report.objective,
+            p.objective(&sol.x, &sol.s, &sol.d),
+            "report must expose the primal objective it verified"
+        );
+        assert!(report.objective > 1e5, "fixture should be large-scale");
+        assert!(
+            report.is_optimal_with(1e-6, GapCheck::RelativeToObjective),
+            "{report:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,1099 @@
+//! Runtime-dispatched SIMD primitives for the equilibration kernels.
+//!
+//! Every routine here is **elementwise**: lane `j` of the output depends only
+//! on lane `j` of the inputs, through the *same sequence of IEEE-754
+//! operations* the scalar kernels perform (no FMA contraction, no
+//! reassociation). Per-lane SIMD arithmetic is bit-identical to scalar
+//! arithmetic for identical operation sequences, so the vectorized kernels in
+//! `sea-core` reproduce the scalar oracle *bitwise* — iterates, multipliers,
+//! and work counters. Reductions (sums, slope folds) deliberately stay in
+//! scalar index order at the call sites; this module only fills arrays,
+//! gathers, and scales.
+//!
+//! Three levels are provided, selected once per solve:
+//!
+//! * [`SimdLevel::Scalar`] — plain loops, the reference behaviour.
+//! * [`SimdLevel::Lanes`] — portable 4-wide chunked loops the compiler can
+//!   autovectorize on any target; always available.
+//! * [`SimdLevel::Avx2`] — explicit AVX2 intrinsics (256-bit, 4 × f64) with
+//!   a `vgatherpd` CSR gather; used only when the CPU reports AVX2.
+//!
+//! The NaN conventions of the scalar kernels are preserved exactly: the
+//! nonnegative projection `max(v, 0)` maps NaN (and `-0.0`) to `+0.0`
+//! (matching `if v > 0.0 { v } else { 0.0 }`), while the boxed clamp is
+//! implemented with compare+blend so a NaN response stays NaN (matching
+//! `f64::clamp`).
+
+/// Number of f64 lanes processed per step by the `Lanes` and `Avx2` paths.
+pub const LANES: usize = 4;
+
+/// Instruction-set level actually used by a solve, resolved once from the
+/// user-facing policy (`off` / `auto` / `force`) before the hot loop starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimdLevel {
+    /// Plain scalar loops (the differential oracle's own code path).
+    #[default]
+    Scalar,
+    /// Portable 4-wide chunked loops; available on every target.
+    Lanes,
+    /// Explicit AVX2 intrinsics; requires runtime CPU support.
+    Avx2,
+}
+
+impl SimdLevel {
+    /// Best level available on this CPU: [`SimdLevel::Avx2`] when the CPU
+    /// reports AVX2, otherwise the portable [`SimdLevel::Lanes`] path.
+    pub fn detect() -> SimdLevel {
+        if avx2_available() {
+            SimdLevel::Avx2
+        } else {
+            SimdLevel::Lanes
+        }
+    }
+
+    /// Stable lowercase name for logs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Lanes => "lanes",
+            SimdLevel::Avx2 => "avx2",
+        }
+    }
+}
+
+impl std::fmt::Display for SimdLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Whether the running CPU supports the explicit AVX2 path.
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plain (nonnegative) kernel fills.
+// ---------------------------------------------------------------------------
+
+/// Breakpoints of the plain kernel: `out[j] = -2·gamma[j]·q[j] - shift[j]`.
+///
+/// # Panics
+/// Panics if the slices disagree in length.
+pub fn breakpoints_plain(
+    level: SimdLevel,
+    q: &[f64],
+    gamma: &[f64],
+    shift: &[f64],
+    out: &mut [f64],
+) {
+    let n = out.len();
+    assert!(q.len() == n && gamma.len() == n && shift.len() == n);
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { avx2::breakpoints_plain(q, gamma, shift, out) },
+        _ => {
+            for j in 0..n {
+                out[j] = -2.0 * gamma[j] * q[j] - shift[j];
+            }
+        }
+    }
+}
+
+/// Event coefficients of the plain selection kernel, split into parallel
+/// arrays: `v[j] = -2·γ·q - shift`, `db[j] = 1/(2·γ)`, `da[j] = q + shift·db`.
+///
+/// # Panics
+/// Panics if the slices disagree in length.
+pub fn event_coeffs_plain(
+    level: SimdLevel,
+    q: &[f64],
+    gamma: &[f64],
+    shift: &[f64],
+    v: &mut [f64],
+    da: &mut [f64],
+    db: &mut [f64],
+) {
+    let n = q.len();
+    assert!(gamma.len() == n && shift.len() == n && v.len() == n && da.len() == n && db.len() == n);
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { avx2::event_coeffs_plain(q, gamma, shift, v, da, db) },
+        _ => {
+            for j in 0..n {
+                let inv2g = 1.0 / (2.0 * gamma[j]);
+                v[j] = -2.0 * gamma[j] * q[j] - shift[j];
+                da[j] = q[j] + shift[j] * inv2g;
+                db[j] = inv2g;
+            }
+        }
+    }
+}
+
+/// Materialize the plain solution `x[j] = max(q[j] + (shift[j]+λ)/(2γ[j]), 0)`
+/// and return `(sum, active)` accumulated in scalar index order (so the sum
+/// is bitwise identical to the scalar kernel's own accumulation).
+///
+/// # Panics
+/// Panics if the slices disagree in length.
+pub fn materialize_plain(
+    level: SimdLevel,
+    q: &[f64],
+    gamma: &[f64],
+    shift: &[f64],
+    lambda: f64,
+    x_out: &mut [f64],
+) -> (f64, usize) {
+    let n = x_out.len();
+    assert!(q.len() == n && gamma.len() == n && shift.len() == n);
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => {
+            return unsafe { avx2::materialize_plain(q, gamma, shift, lambda, x_out) }
+        }
+        SimdLevel::Lanes => {
+            let mut j = 0;
+            while j + LANES <= n {
+                for k in 0..LANES {
+                    let v = q[j + k] + (shift[j + k] + lambda) / (2.0 * gamma[j + k]);
+                    x_out[j + k] = if v > 0.0 { v } else { 0.0 };
+                }
+                j += LANES;
+            }
+            while j < n {
+                let v = q[j] + (shift[j] + lambda) / (2.0 * gamma[j]);
+                x_out[j] = if v > 0.0 { v } else { 0.0 };
+                j += 1;
+            }
+        }
+        SimdLevel::Scalar => {
+            for j in 0..n {
+                let v = q[j] + (shift[j] + lambda) / (2.0 * gamma[j]);
+                x_out[j] = if v > 0.0 { v } else { 0.0 };
+            }
+        }
+    }
+    // Scalar-order reduction: identical values folded in identical order.
+    let mut sum = 0.0;
+    let mut active = 0usize;
+    for &v in x_out.iter() {
+        if v > 0.0 {
+            active += 1;
+        }
+        sum += v;
+    }
+    (sum, active)
+}
+
+// ---------------------------------------------------------------------------
+// Boxed kernel fills.
+// ---------------------------------------------------------------------------
+
+/// Boxed breakpoints: `out_lo[j] = 2γ(lo-q) - shift`, `out_hi[j] = 2γ(hi-q) - shift`.
+///
+/// # Panics
+/// Panics if the slices disagree in length.
+#[allow(clippy::too_many_arguments)]
+pub fn breakpoints_boxed(
+    level: SimdLevel,
+    q: &[f64],
+    gamma: &[f64],
+    shift: &[f64],
+    lo: &[f64],
+    hi: &[f64],
+    out_lo: &mut [f64],
+    out_hi: &mut [f64],
+) {
+    let n = q.len();
+    assert!(
+        gamma.len() == n
+            && shift.len() == n
+            && lo.len() == n
+            && hi.len() == n
+            && out_lo.len() == n
+            && out_hi.len() == n
+    );
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe {
+            avx2::breakpoints_boxed(q, gamma, shift, lo, hi, out_lo, out_hi)
+        },
+        _ => {
+            for j in 0..n {
+                out_lo[j] = 2.0 * gamma[j] * (lo[j] - q[j]) - shift[j];
+                out_hi[j] = 2.0 * gamma[j] * (hi[j] - q[j]) - shift[j];
+            }
+        }
+    }
+}
+
+/// Slope/intercept coefficients of the boxed events, split into parallel
+/// arrays: crossing the lower event adds `(da_lo, db)`, crossing the upper
+/// event adds `(da_hi, −db)`, with `da_lo = q + shift·db − lo`,
+/// `da_hi = hi − (q + shift·db)`, `db = 1/(2γ)`.
+///
+/// # Panics
+/// Panics if the slices disagree in length.
+#[allow(clippy::too_many_arguments)]
+pub fn event_coeffs_boxed(
+    level: SimdLevel,
+    q: &[f64],
+    gamma: &[f64],
+    shift: &[f64],
+    lo: &[f64],
+    hi: &[f64],
+    da_lo: &mut [f64],
+    da_hi: &mut [f64],
+    db: &mut [f64],
+) {
+    let n = q.len();
+    assert!(
+        gamma.len() == n
+            && shift.len() == n
+            && lo.len() == n
+            && hi.len() == n
+            && da_lo.len() == n
+            && da_hi.len() == n
+            && db.len() == n
+    );
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe {
+            avx2::event_coeffs_boxed(q, gamma, shift, lo, hi, da_lo, da_hi, db)
+        },
+        _ => {
+            for j in 0..n {
+                let inv2g = 1.0 / (2.0 * gamma[j]);
+                let interior = q[j] + shift[j] * inv2g;
+                da_lo[j] = interior - lo[j];
+                da_hi[j] = hi[j] - interior;
+                db[j] = inv2g;
+            }
+        }
+    }
+}
+
+/// Materialize the boxed solution `x[j] = clamp(q + (shift+λ)/(2γ), lo, hi)`
+/// and return the interior (`lo < x < hi`) count, accumulated in scalar index
+/// order. NaN responses stay NaN, exactly as `f64::clamp` leaves them.
+///
+/// # Panics
+/// Panics if the slices disagree in length, or (like `f64::clamp`) if some
+/// `lo[j] > hi[j]` on the scalar paths.
+#[allow(clippy::too_many_arguments)]
+pub fn materialize_boxed(
+    level: SimdLevel,
+    q: &[f64],
+    gamma: &[f64],
+    shift: &[f64],
+    lo: &[f64],
+    hi: &[f64],
+    lambda: f64,
+    x_out: &mut [f64],
+) -> usize {
+    let n = x_out.len();
+    assert!(q.len() == n && gamma.len() == n && shift.len() == n && lo.len() == n && hi.len() == n);
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => {
+            return unsafe { avx2::materialize_boxed(q, gamma, shift, lo, hi, lambda, x_out) }
+        }
+        _ => {
+            for j in 0..n {
+                let raw = q[j] + (shift[j] + lambda) / (2.0 * gamma[j]);
+                x_out[j] = raw.clamp(lo[j], hi[j]);
+            }
+        }
+    }
+    let mut active = 0usize;
+    for j in 0..n {
+        if x_out[j] > lo[j] && x_out[j] < hi[j] {
+            active += 1;
+        }
+    }
+    active
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers.
+// ---------------------------------------------------------------------------
+
+/// In-place scale `x[j] *= scale` (the constraint-restoring rescale of the
+/// plain kernel). Elementwise, hence bitwise identical to the scalar loop.
+pub fn scale_in_place(level: SimdLevel, x: &mut [f64], scale: f64) {
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { avx2::scale_in_place(x, scale) },
+        _ => {
+            for v in x.iter_mut() {
+                *v *= scale;
+            }
+        }
+    }
+}
+
+/// Gather `out[k] = src[idx[k]]` (the CSR shift gather of a sparse pass);
+/// uses `vgatherpd` on the AVX2 path. Pure loads — trivially bitwise.
+///
+/// # Panics
+/// Panics if `out.len() != idx.len()` or any index is out of bounds.
+pub fn gather(level: SimdLevel, src: &[f64], idx: &[u32], out: &mut [f64]) {
+    assert_eq!(idx.len(), out.len());
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => {
+            if let Some(&mx) = idx.iter().max() {
+                assert!((mx as usize) < src.len(), "gather index out of bounds");
+            }
+            unsafe { avx2::gather(src, idx, out) }
+        }
+        _ => {
+            for (o, &i) in out.iter_mut().zip(idx) {
+                *o = src[i as usize];
+            }
+        }
+    }
+}
+
+/// Narrow an f64 slice to f32 (round-to-nearest-even), for the
+/// mixed-precision kernels' working copies.
+///
+/// # Panics
+/// Panics if the slices disagree in length.
+pub fn narrow_to_f32(level: SimdLevel, src: &[f64], out: &mut [f32]) {
+    assert_eq!(src.len(), out.len());
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { avx2::narrow_to_f32(src, out) },
+        _ => {
+            for (o, &s) in out.iter_mut().zip(src) {
+                *o = s as f32;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// f32 fills for the mixed-precision λ-search.
+// ---------------------------------------------------------------------------
+
+/// Number of f32 lanes processed per step by the `Lanes` and `Avx2` paths:
+/// a 256-bit register holds eight f32 values, twice the f64 lane count.
+pub const F32_LANES: usize = 8;
+
+/// f32 breakpoints of the plain kernel over inputs already narrowed by
+/// [`narrow_to_f32`]: `out[j] = -2·gamma[j]·q[j] - shift[j]`, every
+/// operation performed in f32.
+///
+/// # Panics
+/// Panics if the slices disagree in length.
+pub fn breakpoints_plain_f32(
+    level: SimdLevel,
+    q: &[f32],
+    gamma: &[f32],
+    shift: &[f32],
+    out: &mut [f32],
+) {
+    let n = out.len();
+    assert!(q.len() == n && gamma.len() == n && shift.len() == n);
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { avx2::breakpoints_plain_f32(q, gamma, shift, out) },
+        _ => {
+            for j in 0..n {
+                out[j] = -2.0 * gamma[j] * q[j] - shift[j];
+            }
+        }
+    }
+}
+
+/// f32 event coefficients shared by the plain and boxed mixed-precision
+/// sweeps: `db[j] = 1/(2·gamma[j])`, `da[j] = q[j] + shift[j]·db[j]`.
+/// Hoisting the divisions out of the sequential sweep lets them run eight
+/// lanes wide (`vdivps`), where the sweep itself must stay in scalar event
+/// order.
+///
+/// # Panics
+/// Panics if the slices disagree in length.
+pub fn event_coeffs_plain_f32(
+    level: SimdLevel,
+    q: &[f32],
+    gamma: &[f32],
+    shift: &[f32],
+    da: &mut [f32],
+    db: &mut [f32],
+) {
+    let n = q.len();
+    assert!(gamma.len() == n && shift.len() == n && da.len() == n && db.len() == n);
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { avx2::event_coeffs_plain_f32(q, gamma, shift, da, db) },
+        _ => {
+            for j in 0..n {
+                let inv2g = 1.0 / (2.0 * gamma[j]);
+                da[j] = q[j] + shift[j] * inv2g;
+                db[j] = inv2g;
+            }
+        }
+    }
+}
+
+/// f32 breakpoints of the boxed kernel, lower and upper event arrays:
+/// `out_lo[j] = 2·gamma[j]·(lo[j] - q[j]) - shift[j]`,
+/// `out_hi[j] = 2·gamma[j]·(hi[j] - q[j]) - shift[j]`.
+///
+/// # Panics
+/// Panics if the slices disagree in length.
+#[allow(clippy::too_many_arguments)]
+pub fn breakpoints_boxed_f32(
+    level: SimdLevel,
+    q: &[f32],
+    gamma: &[f32],
+    shift: &[f32],
+    lo: &[f32],
+    hi: &[f32],
+    out_lo: &mut [f32],
+    out_hi: &mut [f32],
+) {
+    let n = out_lo.len();
+    assert!(
+        q.len() == n
+            && gamma.len() == n
+            && shift.len() == n
+            && lo.len() == n
+            && hi.len() == n
+            && out_hi.len() == n
+    );
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe {
+            avx2::breakpoints_boxed_f32(q, gamma, shift, lo, hi, out_lo, out_hi)
+        },
+        _ => {
+            for j in 0..n {
+                out_lo[j] = 2.0 * gamma[j] * (lo[j] - q[j]) - shift[j];
+                out_hi[j] = 2.0 * gamma[j] * (hi[j] - q[j]) - shift[j];
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 backend.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! Explicit 256-bit implementations. Every function here is only invoked
+    //! after a successful runtime AVX2 check; lanes perform exactly the same
+    //! IEEE operation sequence as the scalar loops (no FMA).
+
+    use super::{F32_LANES, LANES};
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    /// Caller must have verified AVX2 support at runtime.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn breakpoints_plain(q: &[f64], g: &[f64], sh: &[f64], out: &mut [f64]) {
+        let n = out.len();
+        let neg2 = _mm256_set1_pd(-2.0);
+        let mut j = 0;
+        while j + LANES <= n {
+            unsafe {
+                let gq = _mm256_mul_pd(
+                    _mm256_mul_pd(neg2, _mm256_loadu_pd(g.as_ptr().add(j))),
+                    _mm256_loadu_pd(q.as_ptr().add(j)),
+                );
+                let b = _mm256_sub_pd(gq, _mm256_loadu_pd(sh.as_ptr().add(j)));
+                _mm256_storeu_pd(out.as_mut_ptr().add(j), b);
+            }
+            j += LANES;
+        }
+        while j < n {
+            out[j] = -2.0 * g[j] * q[j] - sh[j];
+            j += 1;
+        }
+    }
+
+    /// # Safety
+    /// Caller must have verified AVX2 support at runtime.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn event_coeffs_plain(
+        q: &[f64],
+        g: &[f64],
+        sh: &[f64],
+        v: &mut [f64],
+        da: &mut [f64],
+        db: &mut [f64],
+    ) {
+        let n = q.len();
+        let one = _mm256_set1_pd(1.0);
+        let two = _mm256_set1_pd(2.0);
+        let neg2 = _mm256_set1_pd(-2.0);
+        let mut j = 0;
+        while j + LANES <= n {
+            unsafe {
+                let gv = _mm256_loadu_pd(g.as_ptr().add(j));
+                let qv = _mm256_loadu_pd(q.as_ptr().add(j));
+                let sv = _mm256_loadu_pd(sh.as_ptr().add(j));
+                let inv2g = _mm256_div_pd(one, _mm256_mul_pd(two, gv));
+                let bp = _mm256_sub_pd(_mm256_mul_pd(_mm256_mul_pd(neg2, gv), qv), sv);
+                _mm256_storeu_pd(v.as_mut_ptr().add(j), bp);
+                _mm256_storeu_pd(
+                    da.as_mut_ptr().add(j),
+                    _mm256_add_pd(qv, _mm256_mul_pd(sv, inv2g)),
+                );
+                _mm256_storeu_pd(db.as_mut_ptr().add(j), inv2g);
+            }
+            j += LANES;
+        }
+        while j < n {
+            let inv2g = 1.0 / (2.0 * g[j]);
+            v[j] = -2.0 * g[j] * q[j] - sh[j];
+            da[j] = q[j] + sh[j] * inv2g;
+            db[j] = inv2g;
+            j += 1;
+        }
+    }
+
+    /// # Safety
+    /// Caller must have verified AVX2 support at runtime.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn materialize_plain(
+        q: &[f64],
+        g: &[f64],
+        sh: &[f64],
+        lambda: f64,
+        x_out: &mut [f64],
+    ) -> (f64, usize) {
+        let n = x_out.len();
+        let lam = _mm256_set1_pd(lambda);
+        let two = _mm256_set1_pd(2.0);
+        let zero = _mm256_setzero_pd();
+        let mut j = 0;
+        while j + LANES <= n {
+            unsafe {
+                let num = _mm256_add_pd(_mm256_loadu_pd(sh.as_ptr().add(j)), lam);
+                let den = _mm256_mul_pd(two, _mm256_loadu_pd(g.as_ptr().add(j)));
+                let v = _mm256_add_pd(_mm256_loadu_pd(q.as_ptr().add(j)), _mm256_div_pd(num, den));
+                // max(v, 0) with `0` as the second operand: NaN and -0.0 both
+                // resolve to +0.0, matching `if v > 0.0 { v } else { 0.0 }`.
+                _mm256_storeu_pd(x_out.as_mut_ptr().add(j), _mm256_max_pd(v, zero));
+            }
+            j += LANES;
+        }
+        while j < n {
+            let v = q[j] + (sh[j] + lambda) / (2.0 * g[j]);
+            x_out[j] = if v > 0.0 { v } else { 0.0 };
+            j += 1;
+        }
+        let mut sum = 0.0;
+        let mut active = 0usize;
+        for &v in x_out.iter() {
+            if v > 0.0 {
+                active += 1;
+            }
+            sum += v;
+        }
+        (sum, active)
+    }
+
+    /// # Safety
+    /// Caller must have verified AVX2 support at runtime.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn breakpoints_boxed(
+        q: &[f64],
+        g: &[f64],
+        sh: &[f64],
+        lo: &[f64],
+        hi: &[f64],
+        out_lo: &mut [f64],
+        out_hi: &mut [f64],
+    ) {
+        let n = q.len();
+        let two = _mm256_set1_pd(2.0);
+        let mut j = 0;
+        while j + LANES <= n {
+            unsafe {
+                let g2 = _mm256_mul_pd(two, _mm256_loadu_pd(g.as_ptr().add(j)));
+                let qv = _mm256_loadu_pd(q.as_ptr().add(j));
+                let sv = _mm256_loadu_pd(sh.as_ptr().add(j));
+                let el = _mm256_sub_pd(
+                    _mm256_mul_pd(g2, _mm256_sub_pd(_mm256_loadu_pd(lo.as_ptr().add(j)), qv)),
+                    sv,
+                );
+                let eh = _mm256_sub_pd(
+                    _mm256_mul_pd(g2, _mm256_sub_pd(_mm256_loadu_pd(hi.as_ptr().add(j)), qv)),
+                    sv,
+                );
+                _mm256_storeu_pd(out_lo.as_mut_ptr().add(j), el);
+                _mm256_storeu_pd(out_hi.as_mut_ptr().add(j), eh);
+            }
+            j += LANES;
+        }
+        while j < n {
+            out_lo[j] = 2.0 * g[j] * (lo[j] - q[j]) - sh[j];
+            out_hi[j] = 2.0 * g[j] * (hi[j] - q[j]) - sh[j];
+            j += 1;
+        }
+    }
+
+    /// # Safety
+    /// Caller must have verified AVX2 support at runtime.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn event_coeffs_boxed(
+        q: &[f64],
+        g: &[f64],
+        sh: &[f64],
+        lo: &[f64],
+        hi: &[f64],
+        da_lo: &mut [f64],
+        da_hi: &mut [f64],
+        db: &mut [f64],
+    ) {
+        let n = q.len();
+        let one = _mm256_set1_pd(1.0);
+        let two = _mm256_set1_pd(2.0);
+        let mut j = 0;
+        while j + LANES <= n {
+            unsafe {
+                let gv = _mm256_loadu_pd(g.as_ptr().add(j));
+                let qv = _mm256_loadu_pd(q.as_ptr().add(j));
+                let sv = _mm256_loadu_pd(sh.as_ptr().add(j));
+                let inv2g = _mm256_div_pd(one, _mm256_mul_pd(two, gv));
+                let interior = _mm256_add_pd(qv, _mm256_mul_pd(sv, inv2g));
+                _mm256_storeu_pd(
+                    da_lo.as_mut_ptr().add(j),
+                    _mm256_sub_pd(interior, _mm256_loadu_pd(lo.as_ptr().add(j))),
+                );
+                _mm256_storeu_pd(
+                    da_hi.as_mut_ptr().add(j),
+                    _mm256_sub_pd(_mm256_loadu_pd(hi.as_ptr().add(j)), interior),
+                );
+                _mm256_storeu_pd(db.as_mut_ptr().add(j), inv2g);
+            }
+            j += LANES;
+        }
+        while j < n {
+            let inv2g = 1.0 / (2.0 * g[j]);
+            let interior = q[j] + sh[j] * inv2g;
+            da_lo[j] = interior - lo[j];
+            da_hi[j] = hi[j] - interior;
+            db[j] = inv2g;
+            j += 1;
+        }
+    }
+
+    /// # Safety
+    /// Caller must have verified AVX2 support at runtime.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn materialize_boxed(
+        q: &[f64],
+        g: &[f64],
+        sh: &[f64],
+        lo: &[f64],
+        hi: &[f64],
+        lambda: f64,
+        x_out: &mut [f64],
+    ) -> usize {
+        let n = x_out.len();
+        let lam = _mm256_set1_pd(lambda);
+        let two = _mm256_set1_pd(2.0);
+        let mut j = 0;
+        while j + LANES <= n {
+            unsafe {
+                let num = _mm256_add_pd(_mm256_loadu_pd(sh.as_ptr().add(j)), lam);
+                let den = _mm256_mul_pd(two, _mm256_loadu_pd(g.as_ptr().add(j)));
+                let raw =
+                    _mm256_add_pd(_mm256_loadu_pd(q.as_ptr().add(j)), _mm256_div_pd(num, den));
+                let lov = _mm256_loadu_pd(lo.as_ptr().add(j));
+                let hiv = _mm256_loadu_pd(hi.as_ptr().add(j));
+                // clamp via compare+blend, NOT min/max chains: a NaN `raw`
+                // must stay NaN exactly as `f64::clamp` leaves it (ordered
+                // compares are false on NaN, so neither blend replaces it).
+                let gt_hi = _mm256_cmp_pd::<_CMP_GT_OQ>(raw, hiv);
+                let r1 = _mm256_blendv_pd(raw, hiv, gt_hi);
+                let lt_lo = _mm256_cmp_pd::<_CMP_LT_OQ>(r1, lov);
+                let r2 = _mm256_blendv_pd(r1, lov, lt_lo);
+                _mm256_storeu_pd(x_out.as_mut_ptr().add(j), r2);
+            }
+            j += LANES;
+        }
+        while j < n {
+            let raw = q[j] + (sh[j] + lambda) / (2.0 * g[j]);
+            x_out[j] = raw.clamp(lo[j], hi[j]);
+            j += 1;
+        }
+        let mut active = 0usize;
+        for k in 0..n {
+            if x_out[k] > lo[k] && x_out[k] < hi[k] {
+                active += 1;
+            }
+        }
+        active
+    }
+
+    /// # Safety
+    /// Caller must have verified AVX2 support at runtime.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn scale_in_place(x: &mut [f64], scale: f64) {
+        let n = x.len();
+        let s = _mm256_set1_pd(scale);
+        let mut j = 0;
+        while j + LANES <= n {
+            unsafe {
+                let v = _mm256_mul_pd(_mm256_loadu_pd(x.as_ptr().add(j)), s);
+                _mm256_storeu_pd(x.as_mut_ptr().add(j), v);
+            }
+            j += LANES;
+        }
+        while j < n {
+            x[j] *= scale;
+            j += 1;
+        }
+    }
+
+    /// # Safety
+    /// Caller must have verified AVX2 support at runtime, and every index
+    /// must be in bounds for `src` (checked by the safe wrapper).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn gather(src: &[f64], idx: &[u32], out: &mut [f64]) {
+        let n = out.len();
+        let mut j = 0;
+        while j + LANES <= n {
+            unsafe {
+                let ix = _mm_loadu_si128(idx.as_ptr().add(j) as *const __m128i);
+                let v = _mm256_i32gather_pd::<8>(src.as_ptr(), ix);
+                _mm256_storeu_pd(out.as_mut_ptr().add(j), v);
+            }
+            j += LANES;
+        }
+        while j < n {
+            out[j] = src[idx[j] as usize];
+            j += 1;
+        }
+    }
+
+    /// # Safety
+    /// Caller must have verified AVX2 support at runtime.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn narrow_to_f32(src: &[f64], out: &mut [f32]) {
+        let n = src.len();
+        let mut j = 0;
+        while j + LANES <= n {
+            unsafe {
+                let v = _mm256_cvtpd_ps(_mm256_loadu_pd(src.as_ptr().add(j)));
+                _mm_storeu_ps(out.as_mut_ptr().add(j), v);
+            }
+            j += LANES;
+        }
+        while j < n {
+            out[j] = src[j] as f32;
+            j += 1;
+        }
+    }
+
+    /// # Safety
+    /// Caller must have verified AVX2 support at runtime.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn breakpoints_plain_f32(q: &[f32], g: &[f32], sh: &[f32], out: &mut [f32]) {
+        let n = out.len();
+        let neg2 = _mm256_set1_ps(-2.0);
+        let mut j = 0;
+        while j + F32_LANES <= n {
+            unsafe {
+                let gq = _mm256_mul_ps(
+                    _mm256_mul_ps(neg2, _mm256_loadu_ps(g.as_ptr().add(j))),
+                    _mm256_loadu_ps(q.as_ptr().add(j)),
+                );
+                let b = _mm256_sub_ps(gq, _mm256_loadu_ps(sh.as_ptr().add(j)));
+                _mm256_storeu_ps(out.as_mut_ptr().add(j), b);
+            }
+            j += F32_LANES;
+        }
+        while j < n {
+            out[j] = -2.0 * g[j] * q[j] - sh[j];
+            j += 1;
+        }
+    }
+
+    /// # Safety
+    /// Caller must have verified AVX2 support at runtime.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn event_coeffs_plain_f32(
+        q: &[f32],
+        g: &[f32],
+        sh: &[f32],
+        da: &mut [f32],
+        db: &mut [f32],
+    ) {
+        let n = q.len();
+        let one = _mm256_set1_ps(1.0);
+        let two = _mm256_set1_ps(2.0);
+        let mut j = 0;
+        while j + F32_LANES <= n {
+            unsafe {
+                let gv = _mm256_loadu_ps(g.as_ptr().add(j));
+                let qv = _mm256_loadu_ps(q.as_ptr().add(j));
+                let sv = _mm256_loadu_ps(sh.as_ptr().add(j));
+                let inv2g = _mm256_div_ps(one, _mm256_mul_ps(two, gv));
+                _mm256_storeu_ps(
+                    da.as_mut_ptr().add(j),
+                    _mm256_add_ps(qv, _mm256_mul_ps(sv, inv2g)),
+                );
+                _mm256_storeu_ps(db.as_mut_ptr().add(j), inv2g);
+            }
+            j += F32_LANES;
+        }
+        while j < n {
+            let inv2g = 1.0 / (2.0 * g[j]);
+            da[j] = q[j] + sh[j] * inv2g;
+            db[j] = inv2g;
+            j += 1;
+        }
+    }
+
+    /// # Safety
+    /// Caller must have verified AVX2 support at runtime.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn breakpoints_boxed_f32(
+        q: &[f32],
+        g: &[f32],
+        sh: &[f32],
+        lo: &[f32],
+        hi: &[f32],
+        out_lo: &mut [f32],
+        out_hi: &mut [f32],
+    ) {
+        let n = out_lo.len();
+        let two = _mm256_set1_ps(2.0);
+        let mut j = 0;
+        while j + F32_LANES <= n {
+            unsafe {
+                let gv = _mm256_loadu_ps(g.as_ptr().add(j));
+                let qv = _mm256_loadu_ps(q.as_ptr().add(j));
+                let sv = _mm256_loadu_ps(sh.as_ptr().add(j));
+                let g2 = _mm256_mul_ps(two, gv);
+                let blo = _mm256_sub_ps(
+                    _mm256_mul_ps(g2, _mm256_sub_ps(_mm256_loadu_ps(lo.as_ptr().add(j)), qv)),
+                    sv,
+                );
+                let bhi = _mm256_sub_ps(
+                    _mm256_mul_ps(g2, _mm256_sub_ps(_mm256_loadu_ps(hi.as_ptr().add(j)), qv)),
+                    sv,
+                );
+                _mm256_storeu_ps(out_lo.as_mut_ptr().add(j), blo);
+                _mm256_storeu_ps(out_hi.as_mut_ptr().add(j), bhi);
+            }
+            j += F32_LANES;
+        }
+        while j < n {
+            out_lo[j] = 2.0 * g[j] * (lo[j] - q[j]) - sh[j];
+            out_hi[j] = 2.0 * g[j] * (hi[j] - q[j]) - sh[j];
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[allow(clippy::type_complexity)]
+    fn inputs(n: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+        let q: Vec<f64> = (0..n)
+            .map(|j| ((j * 37 % 101) as f64) / 7.0 - 4.0)
+            .collect();
+        let g: Vec<f64> = (0..n)
+            .map(|j| 0.03 + ((j * 13 % 89) as f64) / 11.0)
+            .collect();
+        let sh: Vec<f64> = (0..n).map(|j| ((j * 7 % 61) as f64) / 9.0 - 2.5).collect();
+        let lo: Vec<f64> = (0..n).map(|j| ((j * 3 % 17) as f64) / 10.0 - 0.4).collect();
+        let hi: Vec<f64> = lo.iter().map(|&l| l + 2.5).collect();
+        (q, g, sh, lo, hi)
+    }
+
+    fn levels() -> Vec<SimdLevel> {
+        let mut out = vec![SimdLevel::Lanes];
+        if avx2_available() {
+            out.push(SimdLevel::Avx2);
+        }
+        out
+    }
+
+    #[test]
+    fn elementwise_fills_are_bitwise_identical_to_scalar() {
+        // Edge lane counts included: 0, 1, LANES-1, LANES, LANES+1, long.
+        for n in [0usize, 1, LANES - 1, LANES, LANES + 1, 37, 256] {
+            let (q, g, sh, lo, hi) = inputs(n);
+            let mut refbp = vec![0.0; n];
+            breakpoints_plain(SimdLevel::Scalar, &q, &g, &sh, &mut refbp);
+            for level in levels() {
+                let mut bp = vec![1.0; n];
+                breakpoints_plain(level, &q, &g, &sh, &mut bp);
+                assert!(bp
+                    .iter()
+                    .zip(&refbp)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()));
+
+                let (mut v0, mut da0, mut db0) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+                event_coeffs_plain(SimdLevel::Scalar, &q, &g, &sh, &mut v0, &mut da0, &mut db0);
+                let (mut v1, mut da1, mut db1) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+                event_coeffs_plain(level, &q, &g, &sh, &mut v1, &mut da1, &mut db1);
+                assert!(v0.iter().zip(&v1).all(|(a, b)| a.to_bits() == b.to_bits()));
+                assert!(da0
+                    .iter()
+                    .zip(&da1)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()));
+                assert!(db0
+                    .iter()
+                    .zip(&db1)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()));
+
+                let lambda = 0.7321;
+                let mut x0 = vec![0.0; n];
+                let (s0, a0) = materialize_plain(SimdLevel::Scalar, &q, &g, &sh, lambda, &mut x0);
+                let mut x1 = vec![0.0; n];
+                let (s1, a1) = materialize_plain(level, &q, &g, &sh, lambda, &mut x1);
+                assert_eq!(s0.to_bits(), s1.to_bits());
+                assert_eq!(a0, a1);
+                assert!(x0.iter().zip(&x1).all(|(a, b)| a.to_bits() == b.to_bits()));
+
+                let mut b0 = vec![0.0; n];
+                let n0 =
+                    materialize_boxed(SimdLevel::Scalar, &q, &g, &sh, &lo, &hi, lambda, &mut b0);
+                let mut b1 = vec![0.0; n];
+                let n1 = materialize_boxed(level, &q, &g, &sh, &lo, &hi, lambda, &mut b1);
+                assert_eq!(n0, n1);
+                assert!(b0.iter().zip(&b1).all(|(a, b)| a.to_bits() == b.to_bits()));
+            }
+        }
+    }
+
+    #[test]
+    fn f32_fills_are_bitwise_identical_to_scalar() {
+        // Edge lane counts for the 8-wide f32 paths: 0, 1, F32_LANES-1,
+        // F32_LANES, F32_LANES+1, long.
+        for n in [0usize, 1, F32_LANES - 1, F32_LANES, F32_LANES + 1, 37, 256] {
+            let (q64, g64, sh64, lo64, hi64) = inputs(n);
+            let narrow = |v: &[f64]| v.iter().map(|&x| x as f32).collect::<Vec<f32>>();
+            let (q, g, sh, lo, hi) = (
+                narrow(&q64),
+                narrow(&g64),
+                narrow(&sh64),
+                narrow(&lo64),
+                narrow(&hi64),
+            );
+            let bits =
+                |a: &[f32], b: &[f32]| a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits());
+
+            let mut ref_bp = vec![0.0f32; n];
+            breakpoints_plain_f32(SimdLevel::Scalar, &q, &g, &sh, &mut ref_bp);
+            let (mut ref_da, mut ref_db) = (vec![0.0f32; n], vec![0.0f32; n]);
+            event_coeffs_plain_f32(SimdLevel::Scalar, &q, &g, &sh, &mut ref_da, &mut ref_db);
+            let (mut ref_lo, mut ref_hi) = (vec![0.0f32; n], vec![0.0f32; n]);
+            breakpoints_boxed_f32(
+                SimdLevel::Scalar,
+                &q,
+                &g,
+                &sh,
+                &lo,
+                &hi,
+                &mut ref_lo,
+                &mut ref_hi,
+            );
+
+            for level in levels() {
+                let mut bp = vec![1.0f32; n];
+                breakpoints_plain_f32(level, &q, &g, &sh, &mut bp);
+                assert!(bits(&bp, &ref_bp), "breakpoints_plain_f32 {level} n={n}");
+
+                let (mut da, mut db) = (vec![1.0f32; n], vec![1.0f32; n]);
+                event_coeffs_plain_f32(level, &q, &g, &sh, &mut da, &mut db);
+                assert!(
+                    bits(&da, &ref_da),
+                    "event_coeffs_plain_f32 da {level} n={n}"
+                );
+                assert!(
+                    bits(&db, &ref_db),
+                    "event_coeffs_plain_f32 db {level} n={n}"
+                );
+
+                let (mut blo, mut bhi) = (vec![1.0f32; n], vec![1.0f32; n]);
+                breakpoints_boxed_f32(level, &q, &g, &sh, &lo, &hi, &mut blo, &mut bhi);
+                assert!(
+                    bits(&blo, &ref_lo),
+                    "breakpoints_boxed_f32 lo {level} n={n}"
+                );
+                assert!(
+                    bits(&bhi, &ref_hi),
+                    "breakpoints_boxed_f32 hi {level} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nan_semantics_match_scalar() {
+        // gamma = 0 produces ±inf or NaN responses; the projections must
+        // treat them exactly as the scalar kernels do. black_box keeps the
+        // optimizer from const-folding the scalar 0/0 (LLVM folds to +qNaN
+        // where the x86 divider produces -qNaN, a payload-only divergence).
+        let q = std::hint::black_box([1.0, -1.0, 0.0, 2.0, -3.0]);
+        let g = std::hint::black_box([0.0, 0.0, 0.0, 1.0, 1.0]);
+        let sh = [0.0, 0.0, 0.0, 0.0, 0.0];
+        let lo = [0.0; 5];
+        let hi = [1.0; 5];
+        for level in levels() {
+            let mut x0 = vec![0.0; 5];
+            let (s0, a0) = materialize_plain(SimdLevel::Scalar, &q, &g, &sh, 0.0, &mut x0);
+            let mut x1 = vec![0.0; 5];
+            let (s1, a1) = materialize_plain(level, &q, &g, &sh, 0.0, &mut x1);
+            assert_eq!(a0, a1);
+            assert_eq!(s0.to_bits(), s1.to_bits());
+            assert!(x0.iter().zip(&x1).all(|(a, b)| a.to_bits() == b.to_bits()));
+
+            let mut b0 = vec![0.0; 5];
+            let c0 = materialize_boxed(SimdLevel::Scalar, &q, &g, &sh, &lo, &hi, 0.0, &mut b0);
+            let mut b1 = vec![0.0; 5];
+            let c1 = materialize_boxed(level, &q, &g, &sh, &lo, &hi, 0.0, &mut b1);
+            assert_eq!(c0, c1);
+            assert!(b0.iter().zip(&b1).all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+    }
+
+    #[test]
+    fn gather_and_scale_match_scalar() {
+        let src: Vec<f64> = (0..100).map(|i| (i as f64).sin()).collect();
+        let idx: Vec<u32> = (0..57).map(|i| (i * 13 % 100) as u32).collect();
+        for level in levels() {
+            let mut out = vec![0.0; idx.len()];
+            gather(level, &src, &idx, &mut out);
+            for (k, &i) in idx.iter().enumerate() {
+                assert_eq!(out[k].to_bits(), src[i as usize].to_bits());
+            }
+            let mut x: Vec<f64> = (0..13).map(|i| i as f64 / 3.0).collect();
+            let mut xr = x.clone();
+            scale_in_place(level, &mut x, 1.0 / 3.0);
+            scale_in_place(SimdLevel::Scalar, &mut xr, 1.0 / 3.0);
+            assert!(x.iter().zip(&xr).all(|(a, b)| a.to_bits() == b.to_bits()));
+
+            let mut f = vec![0.0f32; src.len()];
+            narrow_to_f32(level, &src, &mut f);
+            for (a, &s) in f.iter().zip(&src) {
+                assert_eq!(a.to_bits(), (s as f32).to_bits());
+            }
+        }
+    }
+}
